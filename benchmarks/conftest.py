@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the relevant slice of the Table-I design at the paper's sizes, prints the
+same rows/series the paper reports (use ``-s`` to see them), and asserts
+the qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentRunner
+
+#: Columns the paper's figure panels plot.
+FIGURE_COLUMNS = (
+    "paradigm", "workflow", "size", "succeeded",
+    "makespan_seconds", "power_watts", "cpu_usage_cores", "memory_gb",
+)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One runner for the whole benchmark session (shares the workflow
+    cache, like the paper generating each workflow once)."""
+    return ExperimentRunner(seed=0)
+
+
+def show(title: str, rows, columns=FIGURE_COLUMNS) -> None:
+    print()
+    print(format_table(rows, columns=[c for c in columns
+                                      if rows and c in rows[0]], title=title))
+
+
+def once(benchmark, fn):
+    """Run an expensive figure regeneration exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

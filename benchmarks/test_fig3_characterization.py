@@ -1,0 +1,53 @@
+"""Figure 3 — workflow characterisation: DAG structure, functions per
+phase, functions per type, for all seven workflows."""
+
+from conftest import once, show
+
+from repro.experiments.figures import GROUP_1, GROUP_2, fig3_characterization
+
+
+def test_fig3_characterization(benchmark):
+    rows = once(benchmark, lambda: fig3_characterization(sizes=(100,)))
+    show(
+        "Figure 3: workflow characterisation (size 100)",
+        rows,
+        columns=("workflow", "group", "num_tasks", "num_edges", "num_phases",
+                 "max_width", "density_ratio"),
+    )
+    # Per-phase density (the middle panels of Figure 3).
+    for row in rows:
+        print(f"  {row['workflow']:<12} phases: {row['phase_density']}")
+    print()
+    for row in rows:
+        cats = ", ".join(f"{k}:{v}" for k, v in
+                         sorted(row["category_counts"].items()))
+        print(f"  {row['workflow']:<12} functions: {cats}")
+
+    assert len(rows) == 7
+    by_wf = {r["workflow"]: r for r in rows}
+    # Paper: Blast/BWA dense (few steps, high concentration); Cycles and
+    # Epigenomics more complex (more steps, broader diversity of types).
+    for dense in GROUP_1:
+        assert by_wf[dense]["density_ratio"] >= 0.5, dense
+    for complex_wf in GROUP_2:
+        assert by_wf[complex_wf]["num_phases"] >= 5, complex_wf
+        assert by_wf[complex_wf]["density_ratio"] < 0.5, complex_wf
+    assert by_wf["epigenomics"]["num_phases"] == 9
+    assert by_wf["seismology"]["num_phases"] == 2
+    # Broader diversity of function types in group 2.
+    assert len(by_wf["cycles"]["category_counts"]) >= 6
+    assert len(by_wf["epigenomics"]["category_counts"]) >= 8
+
+
+def test_fig3_structure_stable_across_sizes(benchmark):
+    def across_sizes():
+        return {
+            size: fig3_characterization(sizes=(size,))
+            for size in (100, 250)
+        }
+
+    by_size = once(benchmark, across_sizes)
+    for small, large in zip(by_size[100], by_size[250]):
+        # Phase count is a recipe invariant; width grows with size.
+        assert abs(small["num_phases"] - large["num_phases"]) <= 1
+        assert large["max_width"] > small["max_width"]

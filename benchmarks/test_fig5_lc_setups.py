@@ -1,0 +1,51 @@
+"""Figure 5 — local-container setups compared (LC1wPM / LC1wNoPM /
+LC10wNoPM / LC10wNoPMNoCR) on Blast and Epigenomics.
+
+Paper finding: 10wNoPM+NoCR slightly improves power efficiency and CPU
+usage, but does not enhance execution time and may consume more memory
+(no hard cgroup limit).
+"""
+
+from conftest import once, show
+
+from repro.experiments.figures import fig5_local_container_setups
+
+
+def test_fig5_local_container_setups(runner, benchmark):
+    rows = once(benchmark, lambda: fig5_local_container_setups(runner))
+    show("Figure 5: local-container (bare-metal) setups", rows)
+
+    assert len(rows) == 4 * 2 * 2  # 4 setups x 2 workflows x 2 sizes
+    assert all(r["succeeded"] for r in rows)
+
+    def cell(paradigm, workflow, size):
+        return next(r for r in rows if r["paradigm"] == paradigm
+                    and r["workflow"] == workflow and r["size"] == size)
+
+    for workflow in ("blast", "epigenomics"):
+        for size in (100, 250):
+            cr = cell("LC10wNoPM", workflow, size)
+            nocr = cell("LC10wNoPMNoCR", workflow, size)
+            pm = cell("LC1wPM", workflow, size)
+            nopm = cell("LC1wNoPM", workflow, size)
+            # NoCR improves CPU usage and power (no standing reservation,
+            # no CFS-quota overhead) ...
+            assert nocr["cpu_usage_cores"] < cr["cpu_usage_cores"]
+            assert nocr["power_watts"] <= cr["power_watts"] * 1.02
+            # ... but consumes more memory (no hard limit) and does not
+            # meaningfully enhance execution time.
+            assert nocr["memory_gb"] > cr["memory_gb"]
+            assert nocr["makespan_seconds"] > cr["makespan_seconds"] * 0.8
+            # PM holds more memory than NoPM at equal worker count.
+            assert nopm["memory_gb"] <= pm["memory_gb"]
+
+
+def test_fig5_lc_execution_insensitive_to_worker_count(runner, benchmark):
+    """Paper: '10 workers ... does not enhance execution time' — the node's
+    physical cores, not the worker count, bound throughput."""
+    rows = once(benchmark, lambda: fig5_local_container_setups(
+        runner, applications=("blast",), sizes=(100,)))
+    by = {r["paradigm"]: r for r in rows}
+    ratio = (by["LC10wNoPM"]["makespan_seconds"]
+             / by["LC1wNoPM"]["makespan_seconds"])
+    assert 0.7 < ratio < 1.3

@@ -1,0 +1,49 @@
+"""Figure 7 — the best setups head-to-head: Kn10wNoPM vs LC10wNoPM across
+all seven workflows and both fine-grained sizes.
+
+Paper findings (§V-D): group-1 workflows (Blast, BWA, Genome, Seismology,
+SraSearch) run longer on serverless, as expected; the group-2 gap
+(Cycles, Epigenomics) is narrower, especially at larger sizes; serverless
+matches local containers on power while massively reducing CPU and memory
+usage.
+"""
+
+from conftest import once, show
+
+from repro.experiments.figures import (
+    GROUP_1,
+    GROUP_2,
+    fig7_best_setups,
+    headline_reductions,
+)
+
+
+def test_fig7_best_setups(runner, benchmark):
+    rows = once(benchmark, lambda: fig7_best_setups(runner))
+    show("Figure 7: Kn10wNoPM vs LC10wNoPM (best setups)", rows)
+
+    assert len(rows) == 2 * 7 * 2
+    assert all(r["succeeded"] for r in rows)
+
+    summary = headline_reductions(rows)
+    print("\nper-cell serverless-vs-LC comparison:")
+    for cell in summary["per_cell"]:
+        print(f"  {cell['workflow']:<12} n={cell['size']:<4} group {cell['group']}: "
+              f"slowdown x{cell['slowdown']:.2f}, power x{cell['power_ratio']:.2f}, "
+              f"CPU -{cell['cpu_reduction_percent']:.1f}%, "
+              f"mem -{cell['memory_reduction_percent']:.1f}%")
+
+    cells = {(c["workflow"], c["size"]): c for c in summary["per_cell"]}
+    for workflow in GROUP_1:
+        for size in (100, 250):
+            cell = cells[(workflow, size)]
+            # Group 1: serverless slower, as the paper expects ...
+            assert cell["slowdown"] > 1.0, cell
+            # ... with large resource savings and power parity.
+            assert cell["cpu_reduction_percent"] > 40.0, cell
+            assert cell["memory_reduction_percent"] > 30.0, cell
+            assert 0.7 < cell["power_ratio"] < 1.3, cell
+    for workflow in GROUP_2:
+        # Group 2: gap narrows at the larger size.
+        assert (cells[(workflow, 250)]["slowdown"]
+                <= cells[(workflow, 100)]["slowdown"] * 1.1), workflow

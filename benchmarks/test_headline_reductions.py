@@ -1,0 +1,43 @@
+"""The abstract's headline numbers: 'serverless can reduce CPU and memory
+usage respectively by 78.11% and 73.92% without compromising performance'.
+
+The reproduction runs on a simulator, so we assert the *shape*: maximum
+reductions in the same several-tens-of-percent regime, achieved without
+order-of-magnitude slowdowns, with power parity.
+"""
+
+from conftest import once
+
+from repro.experiments.figures import fig7_best_setups, headline_reductions
+
+PAPER_CPU_REDUCTION = 78.11
+PAPER_MEM_REDUCTION = 73.92
+
+
+def test_headline_reductions(runner, benchmark):
+    def compute():
+        rows = fig7_best_setups(runner)
+        return headline_reductions(rows)
+
+    summary = once(benchmark, compute)
+    print(f"\n  paper:    CPU -{PAPER_CPU_REDUCTION}%  memory -{PAPER_MEM_REDUCTION}%")
+    print(f"  measured: CPU -{summary['cpu_reduction_percent']}% at "
+          f"{summary['cpu_reduction_cell']}  memory -"
+          f"{summary['memory_reduction_percent']}% at "
+          f"{summary['memory_reduction_cell']}")
+
+    # Same regime as the paper's maxima (tens of percent, not single
+    # digits, not >99%).
+    assert 55.0 <= summary["cpu_reduction_percent"] <= 99.0
+    assert 55.0 <= summary["memory_reduction_percent"] <= 99.0
+
+    # 'Without compromising performance': no cell slows by >4x, and power
+    # stays at parity everywhere.
+    for cell in summary["per_cell"]:
+        assert cell["slowdown"] < 4.0, cell
+        assert 0.7 < cell["power_ratio"] < 1.3, cell
+
+    # Every cell saves on both axes (serverless always wins resources in
+    # the fine-grained comparison).
+    assert all(c["cpu_reduction_percent"] > 0 for c in summary["per_cell"])
+    assert all(c["memory_reduction_percent"] > 0 for c in summary["per_cell"])

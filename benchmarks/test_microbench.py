@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the substrates (classic pytest-benchmark usage):
+event-kernel throughput, workflow generation, translation, and one full
+experiment cell.  These guard against performance regressions in the
+simulator itself."""
+
+import numpy as np
+
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.simulation import Environment, Resource
+from repro.wfcommons import WorkflowGenerator, recipe_for
+from repro.wfcommons.translators import KnativeTranslator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-process throughput of the event queue."""
+
+    def run_events():
+        env = Environment()
+        for i in range(5000):
+            env.timeout(i % 97 * 0.01)
+        env.run()
+        return env.now
+
+    benchmark(run_events)
+
+
+def test_kernel_process_switching(benchmark):
+    """Context-switch cost of generator processes."""
+
+    def run_processes():
+        env = Environment()
+
+        def proc():
+            for _ in range(50):
+                yield env.timeout(1.0)
+
+        for _ in range(100):
+            env.process(proc())
+        env.run()
+
+    benchmark(run_processes)
+
+
+def test_resource_contention_throughput(benchmark):
+    """FIFO semaphore with heavy queueing."""
+
+    def run_contention():
+        env = Environment()
+        res = Resource(env, capacity=4)
+
+        def worker():
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        for _ in range(500):
+            env.process(worker())
+        env.run()
+
+    benchmark(run_contention)
+
+
+def test_workflow_generation_250(benchmark):
+    """WfGen cost for a paper-sized instance."""
+    recipe = recipe_for("epigenomics")()
+
+    def generate():
+        return WorkflowGenerator(recipe, seed=0).build_workflow(250)
+
+    wf = benchmark(generate)
+    assert len(wf) == 250
+
+
+def test_knative_translation_250(benchmark):
+    wf = WorkflowGenerator(recipe_for("blast")(), seed=0).build_workflow(250)
+    translator = KnativeTranslator()
+    doc = benchmark(translator.translate, wf)
+    assert len(doc["workflow"]["tasks"]) == 250
+
+
+def test_full_experiment_cell(benchmark):
+    """One complete generate->translate->simulate->measure cell."""
+    runner = ExperimentRunner(seed=0)
+    cell = ExperimentSpec(
+        experiment_id="micro/Kn10wNoPM/blast/100",
+        paradigm_name="Kn10wNoPM", application="blast", num_tasks=100,
+        granularity="fine",
+    )
+    result = benchmark.pedantic(runner.run_spec, args=(cell,), rounds=3,
+                                iterations=1)
+    assert result.succeeded

@@ -1,0 +1,15 @@
+"""Table I — the experiment design (98 fine + 42 coarse = 140 runs)."""
+
+from conftest import show
+
+from repro.experiments.design import build_design
+
+
+def test_table1_design(benchmark):
+    design = benchmark(build_design)
+    rows = design.table1_rows()
+    show("Table I: experiment design (paper: 98 + 42 = 140)", rows,
+         columns=("block", "experiments", "paradigms", "workflows", "sizes"))
+    assert len(design.fine) == 98
+    assert len(design.coarse) == 42
+    assert design.total == 140

@@ -1,0 +1,28 @@
+"""Table II — the computational-paradigm nomenclature."""
+
+from conftest import show
+
+from repro.experiments.paradigms import PARADIGMS
+
+
+def test_table2_paradigms(benchmark):
+    def build_rows():
+        return [
+            {
+                "paradigm": p.name,
+                "platform": p.platform,
+                "workers": p.workers_label,
+                "PM": p.persistent_memory,
+                "CR": p.cpu_requirement,
+                "granularity": p.granularity,
+                "description": p.description[:60],
+            }
+            for p in PARADIGMS.values()
+        ]
+
+    rows = benchmark(build_rows)
+    show("Table II: computational paradigms", rows,
+         columns=("paradigm", "platform", "workers", "PM", "CR", "granularity"))
+    assert len(rows) == 9
+    names = {r["paradigm"] for r in rows}
+    assert {"Kn1wPM", "Kn10wNoPM", "LC10wNoPMNoCR", "LC1000wPM"} <= names

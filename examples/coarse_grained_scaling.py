@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The coarse-grained scenario (paper §V-C / Figure 6): one pre-warmed
+serverless pod reserving the whole machine vs an equally-sized local
+container, including the 1000-function workflows that fine-grained
+auto-scaling cannot finish on a constrained cluster.
+
+Run:  python examples/coarse_grained_scaling.py
+"""
+
+from repro.experiments import ExperimentRunner, format_table
+from repro.experiments.design import ExperimentSpec
+from repro.platform.cluster import ClusterSpec, NodeSpec
+
+GB = 1 << 30
+
+
+def spec(paradigm, app, size, granularity):
+    return ExperimentSpec(
+        experiment_id=f"example/{paradigm}/{app}/{size}",
+        paradigm_name=paradigm, application=app, num_tasks=size,
+        granularity=granularity,
+    )
+
+
+def main() -> None:
+    runner = ExperimentRunner(seed=0)
+
+    print("=== Figure 6: coarse-grained Kn1000wPM vs LC1000wPM ===")
+    rows = []
+    for paradigm in ("Kn1000wPM", "LC1000wPM"):
+        for size in (100, 250, 1000):
+            result = runner.run_spec(spec(paradigm, "blast", size, "coarse"))
+            rows.append(result.row())
+    print(format_table(rows, columns=(
+        "paradigm", "size", "succeeded", "makespan_seconds",
+        "cpu_usage_cores", "memory_gb", "power_watts", "cold_starts")))
+    print("note: serverless matches local containers on time (no cold "
+          "starts, no scaling) but loses the resource-usage advantage.")
+
+    print("\n=== Why coarse-grained exists: fine-grained at 1000 tasks ===")
+    # The paper's 'small setup' hits CPU/memory limits; pin the cluster to
+    # the testbed's physical-core scale to reproduce the failure.
+    constrained = ClusterSpec(nodes=(
+        NodeSpec(name="master", cores=48, memory_bytes=256 * GB,
+                 schedulable=False),
+        NodeSpec(name="worker", cores=48, memory_bytes=192 * GB),
+    ))
+    tight_runner = ExperimentRunner(cluster_spec=constrained, seed=0)
+    rows = []
+    for paradigm, granularity in (("Kn10wNoPM", "fine"),
+                                  ("Kn1000wPM", "coarse")):
+        result = tight_runner.run_spec(spec(paradigm, "blast", 1000, granularity))
+        rows.append(result.row())
+        if not result.succeeded:
+            print(f"  {paradigm}: FAILED — {result.run.error[:100]}")
+    print(format_table(rows, columns=(
+        "paradigm", "granularity", "succeeded", "makespan_seconds",
+        "peak_units")))
+    print("(paper §VI: auto-scaling 'may reach limits of memory and CPU'; "
+          "'bigger workflows were successfully executed on coarse-grained "
+          "scenarios')")
+
+
+if __name__ == "__main__":
+    main()

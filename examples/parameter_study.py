@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Parameter studies with the sweep and repetition utilities.
+
+Three mini-studies the harness makes one-liners:
+
+1. cold-start sensitivity — how the serverless slowdown scales with pod
+   cold-start latency;
+2. concurrency knob — Table II's worker axis as a continuous sweep;
+3. noise check — repetitions with confidence intervals showing the
+   paradigm gap is significant, not seed luck.
+
+Run:  python examples/parameter_study.py
+"""
+
+from repro.analysis import bar_chart
+from repro.experiments import (
+    ParameterSweep,
+    run_repetitions,
+    significant_difference,
+)
+
+
+def cold_start_study() -> None:
+    print("=== 1. cold-start sensitivity (blast-100, Kn10wNoPM) ===")
+    sweep = ParameterSweep(
+        {"knative.cold_start_seconds": [0.0, 1.0, 2.0, 4.0, 8.0]},
+        base_application="blast", base_num_tasks=100,
+    )
+    cells = sweep.run()
+    print(bar_chart(
+        [(f"cold={c.parameters['knative.cold_start_seconds']:.0f}s",
+          c.result.aggregates.makespan_seconds) for c in cells],
+        unit="s",
+    ))
+
+
+def concurrency_study() -> None:
+    print("\n=== 2. containerConcurrency sweep (blast-100) ===")
+    sweep = ParameterSweep(
+        {"knative.container_concurrency": [1, 2, 5, 10, 20]},
+        base_application="blast", base_num_tasks=100,
+    )
+    cells = sweep.run()
+    for cell in cells:
+        cc = cell.parameters["knative.container_concurrency"]
+        agg = cell.result.aggregates
+        pods = cell.result.platform_stats.units_created
+        print(f"  cc={cc:>3}: makespan {agg.makespan_seconds:6.1f}s, "
+              f"pods {pods:>3}, CPU usage {agg.cpu_usage_cores:5.1f} cores")
+
+
+def repetition_study() -> None:
+    print("\n=== 3. repetitions: is the paradigm gap just noise? ===")
+    kn = run_repetitions("Kn10wNoPM", "blast", 100, repetitions=5)
+    lc = run_repetitions("LC10wNoPM", "blast", 100, repetitions=5)
+    for label, report in (("Kn10wNoPM", kn), ("LC10wNoPM", lc)):
+        s = report.summary("cpu_usage_cores")
+        low, high = s.ci95
+        print(f"  {label}: CPU usage {s.mean:5.1f} ± {s.ci95_halfwidth:4.2f} "
+              f"cores (95% CI [{low:.1f}, {high:.1f}], n={s.n})")
+    significant = significant_difference(
+        kn.summary("cpu_usage_cores"), lc.summary("cpu_usage_cores"))
+    print(f"  difference significant at 95%: {significant}")
+
+
+def main() -> None:
+    cold_start_study()
+    concurrency_study()
+    repetition_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works on environments without the `wheel`
+package (legacy editable installs need a setup.py)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of "Enabling HPC Scientific Workflows for
+Serverless" (Da Silva et al., SC 2024).
+
+The library reimplements the paper's full framework:
+
+* :mod:`repro.wfcommons` — WfCommons substrate: WfChef-style recipes for
+  the seven evaluated workflows (Blast, BWA, Cycles, Epigenomics, Genome,
+  Seismology, Srasearch), the WfGen generator, and WfBench translators
+  including the paper's new Knative translator.
+* :mod:`repro.wfbench` — WfBench-as-a-Service: the CPU/memory/I-O
+  benchmark engine, both as a real HTTP service and as an analytic model.
+* :mod:`repro.platform` — execution platforms on a simulated 2-node
+  cluster: a Knative model (pods, KPA autoscaler, activator, cold starts)
+  and a Docker local-container baseline.
+* :mod:`repro.core` — the paper's primary contribution: a serverless
+  workflow manager executing WfCommons DAGs phase-by-phase over HTTP.
+* :mod:`repro.monitoring` — PCP/`pmdumptext`-style 1 Hz metric sampling
+  with a RAPL-like power model.
+* :mod:`repro.experiments` — the evaluation harness: Table II paradigms,
+  the 140-experiment Table I design, and data generators for Figures 3-7.
+
+Quickstart::
+
+    from repro import quick_run
+    result = quick_run("blast", num_tasks=100, paradigm="Kn10wNoPM")
+    print(result.run.summary())
+"""
+
+from repro.errors import ReproError
+from repro.version import __version__
+
+__all__ = ["ReproError", "__version__", "quick_run"]
+
+
+def quick_run(application: str, num_tasks: int = 100,
+              paradigm: str = "Kn10wNoPM", seed: int = 0):
+    """Generate, translate and execute one workflow on one paradigm.
+
+    Returns an :class:`repro.experiments.runner.ExperimentResult`.
+    """
+    from repro.experiments.design import ExperimentSpec
+    from repro.experiments.paradigms import paradigm as lookup
+    from repro.experiments.runner import ExperimentRunner
+
+    par = lookup(paradigm)
+    spec = ExperimentSpec(
+        experiment_id=f"quick/{paradigm}/{application}/{num_tasks}",
+        paradigm_name=paradigm,
+        application=application,
+        num_tasks=num_tasks,
+        granularity=par.granularity,
+        seed=seed,
+    )
+    return ExperimentRunner(seed=seed).run_spec(spec)

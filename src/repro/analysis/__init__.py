@@ -1,0 +1,46 @@
+"""Result analysis: the reproduction of the paper artifact's
+``analysis/`` directory (Jupyter notebooks + visualization scripts).
+
+* :mod:`~repro.analysis.invocations` — the ``workflows_descriptions``
+  analyses: functions invoked per phase and per function name;
+* :mod:`~repro.analysis.aggregate` — the ``analysis_wfbench.ipynb``
+  pipeline: load per-run pmdumptext CSVs + summaries, aggregate by
+  paradigm/workflow/size into the figure series;
+* :mod:`~repro.analysis.text_plots` — terminal-friendly bar charts for
+  the figure series (the pdf/png plots of the artifact, as text).
+"""
+
+from repro.analysis.invocations import (
+    invocations_per_phase,
+    invocations_per_name,
+    write_workflow_descriptions,
+)
+from repro.analysis.aggregate import RunRecord, ResultsStore, aggregate_cells
+from repro.analysis.text_plots import bar_chart, grouped_bar_chart
+from repro.analysis.visualization import layered_text, to_dot, write_visualizations
+from repro.analysis.cost import BillingRates, CostModel, RunCost
+from repro.analysis.efficiency import EfficiencyMetrics, compare_efficiency, efficiency_of
+from repro.analysis.timeline import phase_gantt, run_timeline, series_sparkline
+
+__all__ = [
+    "invocations_per_phase",
+    "invocations_per_name",
+    "write_workflow_descriptions",
+    "RunRecord",
+    "ResultsStore",
+    "aggregate_cells",
+    "bar_chart",
+    "grouped_bar_chart",
+    "layered_text",
+    "to_dot",
+    "write_visualizations",
+    "BillingRates",
+    "CostModel",
+    "RunCost",
+    "EfficiencyMetrics",
+    "compare_efficiency",
+    "efficiency_of",
+    "phase_gantt",
+    "run_timeline",
+    "series_sparkline",
+]

@@ -1,0 +1,130 @@
+"""Result aggregation (the artifact's ``analysis_wfbench.ipynb``).
+
+The paper's pipeline stores one pmdumptext CSV per run, grouped in
+per-paradigm directories (``knative-scaling-10w-novm``,
+``local-container-960w-novm``, …), then a notebook loads everything and
+aggregates by (paradigm, workflow, size) into the figure series.
+:class:`ResultsStore` reproduces the store-and-load half,
+:func:`aggregate_cells` the aggregation half.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.experiments.runner import ExperimentResult
+from repro.monitoring.metrics import MetricsFrame
+from repro.monitoring.pcp import PmdumptextWriter, read_pmdumptext
+
+__all__ = ["RunRecord", "ResultsStore", "aggregate_cells"]
+
+#: Artifact directory name per paradigm (AD/AE appendix listing).
+PARADIGM_DIRECTORIES = {
+    "Kn1wPM": "knative-scaling-1w",
+    "Kn1wNoPM": "knative-scaling-1w-novm",
+    "Kn10wNoPM": "knative-scaling-10w-novm",
+    "Kn1000wPM": "knative-level",
+    "LC1wPM": "local-container-96w",
+    "LC1wNoPM": "local-container-96w-novm",
+    "LC10wNoPM": "local-container-960w-novm",
+    "LC10wNoPMNoCR": "local-container-960w-novm-nocr",
+    "LC1000wPM": "local-level",
+}
+
+
+@dataclass
+class RunRecord:
+    """One stored run: the summary plus (optionally) its metric series."""
+
+    paradigm: str
+    workflow: str
+    size: int
+    summary: dict[str, Any]
+    frame: Optional[MetricsFrame] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.summary.get("succeeded", False))
+
+    def metric(self, key: str, default: float = 0.0) -> float:
+        value = self.summary.get(key, default)
+        return float(value) if value is not None else default
+
+
+class ResultsStore:
+    """Per-paradigm directories of run CSVs + JSON summaries on disk."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _run_base(self, paradigm: str, workflow: str, size: int) -> Path:
+        directory = PARADIGM_DIRECTORIES.get(paradigm, paradigm.lower())
+        return self.root / directory / f"{workflow}-{size}"
+
+    def save(self, result: ExperimentResult) -> Path:
+        """Persist one experiment in the artifact's layout."""
+        base = self._run_base(result.spec.paradigm_name,
+                              result.spec.application,
+                              result.spec.num_tasks)
+        base.parent.mkdir(parents=True, exist_ok=True)
+        summary = {
+            **result.run.summary(),
+            "paradigm": result.spec.paradigm_name,
+            "workflow": result.spec.application,
+            "size": result.spec.num_tasks,
+            "error": result.run.error,
+        }
+        base.with_suffix(".json").write_text(json.dumps(summary, indent=2))
+        if result.frame is not None:
+            PmdumptextWriter().write(result.frame, base.with_suffix(".csv"))
+        return base.with_suffix(".json")
+
+    def load(self) -> list[RunRecord]:
+        """Load everything previously saved."""
+        records: list[RunRecord] = []
+        for summary_path in sorted(self.root.rglob("*.json")):
+            summary = json.loads(summary_path.read_text())
+            csv_path = summary_path.with_suffix(".csv")
+            frame = read_pmdumptext(csv_path) if csv_path.exists() else None
+            records.append(
+                RunRecord(
+                    paradigm=summary.get("paradigm", summary_path.parent.name),
+                    workflow=summary.get("workflow", ""),
+                    size=int(summary.get("size", 0)),
+                    summary=summary,
+                    frame=frame,
+                )
+            )
+        return records
+
+
+def aggregate_cells(
+    records: Iterable[RunRecord],
+    metrics: tuple[str, ...] = (
+        "makespan_seconds", "cpu_usage_cores", "memory_gb", "power_watts",
+    ),
+) -> list[dict[str, Any]]:
+    """Mean (and count) per (paradigm, workflow, size) cell — the rows the
+    paper's figures plot (repetitions averaged)."""
+    cells: dict[tuple[str, str, int], list[RunRecord]] = {}
+    for record in records:
+        cells.setdefault((record.paradigm, record.workflow, record.size),
+                         []).append(record)
+    rows: list[dict[str, Any]] = []
+    for (paradigm, workflow, size), group in sorted(cells.items()):
+        row: dict[str, Any] = {
+            "paradigm": paradigm,
+            "workflow": workflow,
+            "size": size,
+            "runs": len(group),
+            "succeeded": all(r.succeeded for r in group),
+        }
+        for metric in metrics:
+            values = [r.metric(metric) for r in group if r.succeeded]
+            row[metric] = round(statistics.fmean(values), 3) if values else None
+        rows.append(row)
+    return rows

@@ -1,0 +1,112 @@
+"""Serverless vs dedicated cost model.
+
+The paper motivates serverless with "reduce costs" (§I) but never prices
+the comparison.  This extension does: serverless runs are billed like
+FaaS platforms (per-request + vCPU-seconds + GB-seconds actually
+*reserved while pods are live*), dedicated runs are billed like a
+reservation (the container's quota cores and memory limit for the whole
+wall time).  Rates default to public-cloud magnitudes (Lambda-like); the
+point is the *ratio*, which is rate-scale-invariant as long as CPU and
+memory rates move together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.experiments.runner import ExperimentResult
+from repro.monitoring.metrics import ResourceAggregates
+
+__all__ = ["BillingRates", "CostModel", "RunCost"]
+
+
+@dataclass(frozen=True)
+class BillingRates:
+    """Unit prices (USD; defaults at AWS-Lambda magnitude)."""
+
+    per_vcpu_second: float = 0.0000118
+    per_gb_second: float = 0.0000017
+    per_million_requests: float = 0.20
+
+    def __post_init__(self) -> None:
+        if min(self.per_vcpu_second, self.per_gb_second,
+               self.per_million_requests) < 0:
+            raise ValueError("rates must be non-negative")
+
+
+@dataclass(frozen=True)
+class RunCost:
+    """Priced breakdown of one run."""
+
+    compute_usd: float
+    memory_usd: float
+    requests_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.memory_usd + self.requests_usd
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compute_usd": round(self.compute_usd, 6),
+            "memory_usd": round(self.memory_usd, 6),
+            "requests_usd": round(self.requests_usd, 6),
+            "total_usd": round(self.total_usd, 6),
+        }
+
+
+class CostModel:
+    """Prices runs under the two paradigms' billing semantics."""
+
+    def __init__(self, rates: BillingRates | None = None):
+        self.rates = rates or BillingRates()
+
+    # ------------------------------------------------------------------
+    def serverless_cost(self, aggregates: ResourceAggregates,
+                        invocations: int) -> RunCost:
+        """Pay-per-use: mean occupied resources over the run window (what
+        the autoscaler kept live) plus per-request fees."""
+        duration = aggregates.makespan_seconds
+        vcpu_seconds = aggregates.cpu_usage_cores * duration
+        gb_seconds = aggregates.memory_gb * duration
+        return RunCost(
+            compute_usd=vcpu_seconds * self.rates.per_vcpu_second,
+            memory_usd=gb_seconds * self.rates.per_gb_second,
+            requests_usd=invocations * self.rates.per_million_requests / 1e6,
+        )
+
+    def dedicated_cost(self, aggregates: ResourceAggregates,
+                       reserved_cores: float, reserved_gb: float) -> RunCost:
+        """Reservation billing: the quota is paid for the whole wall time
+        regardless of utilisation; no per-request fees."""
+        duration = aggregates.makespan_seconds
+        return RunCost(
+            compute_usd=reserved_cores * duration * self.rates.per_vcpu_second,
+            memory_usd=reserved_gb * duration * self.rates.per_gb_second,
+            requests_usd=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def price_experiment(self, result: ExperimentResult,
+                         reserved_cores: float = 96.0,
+                         reserved_gb: float = 64.0) -> RunCost:
+        """Price one harness result under its own paradigm's semantics."""
+        if result.spec.paradigm_name.startswith("Kn"):
+            return self.serverless_cost(
+                result.aggregates, invocations=result.platform_stats.invocations
+            )
+        return self.dedicated_cost(result.aggregates, reserved_cores,
+                                   reserved_gb)
+
+    def compare(self, serverless: ExperimentResult,
+                dedicated: ExperimentResult) -> dict[str, Any]:
+        kn = self.price_experiment(serverless)
+        lc = self.price_experiment(dedicated)
+        return {
+            "serverless": kn.as_dict(),
+            "dedicated": lc.as_dict(),
+            "savings_percent": round(
+                100.0 * (1.0 - kn.total_usd / lc.total_usd), 2
+            ) if lc.total_usd > 0 else 0.0,
+        }

@@ -1,0 +1,80 @@
+"""Efficiency metrics derived from run aggregates.
+
+The paper compares raw metrics (time, power, CPU, memory).  Downstream
+users usually want composites; this module provides the standard ones:
+
+* **energy-delay product** (EDP = energy × makespan) — penalises saving
+  power by running longer;
+* **resource-time products** (core-seconds, GB-seconds) — what
+  reservations and FaaS bills meter;
+* **utilisation efficiency** — busy ÷ occupied CPU: how much of the
+  capacity a run pinned it actually used (the quantity serverless
+  improves);
+* a per-cell efficiency comparison used by the reporting layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.monitoring.metrics import ResourceAggregates
+
+__all__ = ["EfficiencyMetrics", "efficiency_of", "compare_efficiency"]
+
+
+@dataclass(frozen=True)
+class EfficiencyMetrics:
+    """Composite efficiency figures for one run."""
+
+    energy_delay_product: float     # J·s
+    core_seconds: float             # occupied cores × makespan
+    busy_core_seconds: float        # busy cores × makespan
+    gb_seconds: float               # resident GB × makespan
+    utilisation_efficiency: float   # busy / occupied, in [0, 1]
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "energy_delay_product": round(self.energy_delay_product, 1),
+            "core_seconds": round(self.core_seconds, 2),
+            "busy_core_seconds": round(self.busy_core_seconds, 2),
+            "gb_seconds": round(self.gb_seconds, 2),
+            "utilisation_efficiency": round(self.utilisation_efficiency, 4),
+        }
+
+
+def efficiency_of(aggregates: ResourceAggregates) -> EfficiencyMetrics:
+    """Derive the composites from one run's aggregates."""
+    duration = aggregates.makespan_seconds
+    occupied = aggregates.cpu_usage_cores
+    busy = aggregates.cpu_busy_cores
+    return EfficiencyMetrics(
+        energy_delay_product=aggregates.energy_joules * duration,
+        core_seconds=occupied * duration,
+        busy_core_seconds=busy * duration,
+        gb_seconds=aggregates.memory_gb * duration,
+        utilisation_efficiency=min(1.0, busy / occupied) if occupied > 0 else 0.0,
+    )
+
+
+def compare_efficiency(serverless: ResourceAggregates,
+                       dedicated: ResourceAggregates) -> dict[str, Any]:
+    """Serverless-vs-dedicated composite comparison for one cell.
+
+    ``*_ratio`` < 1 means serverless is better on that composite.
+    """
+    kn = efficiency_of(serverless)
+    lc = efficiency_of(dedicated)
+
+    def ratio(a: float, b: float) -> float:
+        return round(a / b, 4) if b > 0 else float("inf")
+
+    return {
+        "serverless": kn.as_dict(),
+        "dedicated": lc.as_dict(),
+        "edp_ratio": ratio(kn.energy_delay_product, lc.energy_delay_product),
+        "core_seconds_ratio": ratio(kn.core_seconds, lc.core_seconds),
+        "gb_seconds_ratio": ratio(kn.gb_seconds, lc.gb_seconds),
+        "utilisation_gain": round(
+            kn.utilisation_efficiency - lc.utilisation_efficiency, 4),
+    }

@@ -1,0 +1,72 @@
+"""Workflow-description analyses (paper artifact:
+``experiments/results/workflows_descriptions``).
+
+Two views per workflow, feeding Figure 3's middle and right panels:
+
+* ``functions_invocation``      — number of invocations per phase;
+* ``functions_invocation_name`` — number of invocations per function name
+  (category).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.wfcommons.analysis import phase_levels
+from repro.wfcommons.schema import Workflow
+
+__all__ = [
+    "invocations_per_phase",
+    "invocations_per_name",
+    "write_workflow_descriptions",
+]
+
+
+def invocations_per_phase(workflow: Workflow) -> list[dict[str, object]]:
+    """Rows of (workflow, phase, invocations)."""
+    levels = phase_levels(workflow)
+    counts: dict[int, int] = {}
+    for level in levels.values():
+        counts[level] = counts.get(level, 0) + 1
+    return [
+        {"workflow": workflow.name, "phase": phase, "invocations": counts[phase]}
+        for phase in sorted(counts)
+    ]
+
+
+def invocations_per_name(workflow: Workflow) -> list[dict[str, object]]:
+    """Rows of (workflow, function, invocations), most frequent first."""
+    counts = workflow.categories()
+    return [
+        {"workflow": workflow.name, "function": name, "invocations": count}
+        for name, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+
+
+def _write_csv(rows: list[dict[str, object]], path: Path) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_workflow_descriptions(workflow: Workflow, output_dir: str | Path
+                                ) -> dict[str, Path]:
+    """Write both analyses in the artifact's directory layout."""
+    output_dir = Path(output_dir)
+    return {
+        "functions_invocation": _write_csv(
+            invocations_per_phase(workflow),
+            output_dir / "functions_invocation" / f"{workflow.name}.csv",
+        ),
+        "functions_invocation_name": _write_csv(
+            invocations_per_name(workflow),
+            output_dir / "functions_invocation_name" / f"{workflow.name}.csv",
+        ),
+    }

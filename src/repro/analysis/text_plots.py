@@ -1,0 +1,83 @@
+"""Terminal bar charts for figure series.
+
+The paper artifact renders pdf/png panels; this module renders the same
+series as unicode bar charts so results are inspectable in CI logs and
+benchmark output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    if max_value <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / max_value))
+    cells = fraction * width
+    full = int(cells)
+    remainder = int((cells - full) * (len(_BLOCKS) - 1))
+    bar = "█" * full
+    if remainder and full < width:
+        bar += _BLOCKS[remainder]
+    return bar
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per (label, value)."""
+    if not items:
+        return f"{title}\n(no data)" if title else "(no data)"
+    label_width = max(len(label) for label, _ in items)
+    max_value = max(value for _, value in items)
+    lines = [title] if title else []
+    for label, value in items:
+        lines.append(
+            f"{label:<{label_width}} {_bar(value, max_value, width):<{width}} "
+            f"{value:,.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[dict[str, Any]],
+    group_key: str,
+    series_key: str,
+    value_key: str,
+    title: str = "",
+    width: int = 36,
+) -> str:
+    """Figure-style panels: one group per ``group_key`` value, one bar per
+    ``series_key`` value (e.g. group=workflow, series=paradigm)."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for row in rows:
+        groups.setdefault(str(row[group_key]), []).append(row)
+    values = [float(r[value_key]) for r in rows if r.get(value_key) is not None]
+    max_value = max(values) if values else 0.0
+    series_labels = [str(r[series_key]) for r in rows]
+    label_width = max(len(s) for s in series_labels)
+
+    lines = [title] if title else []
+    for group, members in groups.items():
+        lines.append(f"{group}:")
+        for row in members:
+            value = row.get(value_key)
+            if value is None:
+                lines.append(f"  {str(row[series_key]):<{label_width}} (failed)")
+                continue
+            lines.append(
+                f"  {str(row[series_key]):<{label_width}} "
+                f"{_bar(float(value), max_value, width):<{width}} "
+                f"{float(value):,.1f}"
+            )
+    return "\n".join(lines)

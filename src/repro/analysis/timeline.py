@@ -1,0 +1,86 @@
+"""Run timelines: a text Gantt of one execution.
+
+Combines the manager's phase records with the sampled platform series
+(pods live, queue depth, busy cores) into a per-second timeline — the
+"what happened when" view behind questions like *why is the serverless
+makespan 1.9× the baseline's* (answer, visibly: cold-start ramps at the
+start of wide phases, 1 s inter-phase gaps, scale-down tails).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.results import WorkflowRunResult
+from repro.monitoring.metrics import MetricsFrame
+
+__all__ = ["phase_gantt", "series_sparkline", "run_timeline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def phase_gantt(result: WorkflowRunResult, width: int = 64) -> str:
+    """One bar per phase, positioned on the run's time axis."""
+    if not result.phases:
+        return "(no phases recorded)"
+    t0 = result.started_at
+    span = max(result.makespan_seconds, 1e-9)
+
+    lines = [f"{result.workflow_name} — {result.makespan_seconds:.1f}s, "
+             f"{len(result.phases)} phases"]
+    for phase in result.phases:
+        start = (phase.started_at - t0) / span
+        end = (phase.finished_at - t0) / span
+        left = int(start * width)
+        length = max(1, int((end - start) * width))
+        bar = " " * left + "█" * min(length, width - left)
+        marker = " ✗" if phase.failures else ""
+        lines.append(
+            f"  p{phase.index:<2} [{bar:<{width}}] "
+            f"{phase.num_tasks:>4} fn, {phase.duration_seconds:6.2f}s{marker}"
+        )
+    return "\n".join(lines)
+
+
+def series_sparkline(frame: MetricsFrame, name: str, start: float,
+                     end: float, width: int = 64) -> str:
+    """A unicode sparkline of one sampled series over [start, end]."""
+    if name not in frame:
+        return "(series not sampled)"
+    window = frame[name].window(start, end)
+    if len(window) == 0:
+        return "(empty window)"
+    values = window.values
+    # Bucket to the target width.
+    buckets = []
+    n = len(values)
+    for i in range(min(width, n)):
+        lo = i * n // min(width, n)
+        hi = max(lo + 1, (i + 1) * n // min(width, n))
+        buckets.append(float(values[lo:hi].max()))
+    peak = max(buckets) or 1.0
+    chars = "".join(
+        _SPARK[min(len(_SPARK) - 1, int(v / peak * (len(_SPARK) - 1)))]
+        for v in buckets
+    )
+    return f"{chars}  (peak {peak:,.1f})"
+
+
+def run_timeline(result: WorkflowRunResult, frame: Optional[MetricsFrame],
+                 width: int = 64) -> str:
+    """The combined view: phase Gantt + platform/cluster sparklines."""
+    sections = [phase_gantt(result, width=width)]
+    if frame is not None:
+        start, end = result.started_at, result.finished_at
+        rows = [
+            ("busy cores ", "kernel.all.cpu.user"),
+            ("occupied   ", "repro.cluster.cpu.occupied"),
+            ("pods/units ", "repro.platform.units"),
+            ("queue depth", "repro.platform.queue"),
+        ]
+        for label, series in rows:
+            if series in frame:
+                sections.append(
+                    f"  {label} {series_sparkline(frame, series, start, end, width)}"
+                )
+    return "\n".join(sections)

@@ -1,0 +1,11 @@
+"""Command-line entry points.
+
+* ``repro-wfgen``       — generate & translate workflow suites
+  (the paper's ``generate_workflows.py``);
+* ``repro-wfbench``     — run WfBench as a real HTTP service
+  (the paper's containerised service);
+* ``repro-wfm``         — execute a workflow JSON through the serverless
+  workflow manager (the paper's ``serverless-workflow-wfbench.py``);
+* ``repro-experiments`` — run the evaluation harness
+  (the paper's ``run_all_wfbench*.sh`` + analysis).
+"""

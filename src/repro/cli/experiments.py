@@ -1,0 +1,195 @@
+"""``repro-experiments``: run the evaluation harness.
+
+Regenerates the paper's tables and figure data:
+
+* ``table1`` / ``table2`` — the experiment design and paradigm catalogue;
+* ``fig3`` .. ``fig7``   — the per-figure data series;
+* ``headline``           — the abstract's CPU/memory reduction numbers;
+* ``all``                — everything, optionally exporting CSVs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.experiments import (
+    ExperimentRunner,
+    PARADIGMS,
+    build_design,
+    fig3_characterization,
+    fig4_knative_setups,
+    fig5_local_container_setups,
+    fig6_coarse_grained,
+    fig7_best_setups,
+    format_table,
+    headline_reductions,
+)
+from repro.experiments.reporting import write_rows_csv
+
+__all__ = ["main", "build_parser"]
+
+_TARGETS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "headline", "design", "report", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("targets", nargs="*", default=["all"],
+                        choices=_TARGETS, help="what to regenerate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", "-o", type=Path, default=None,
+                        help="directory for CSV exports (optional)")
+    parser.add_argument("--sizes", nargs="+", type=int, default=None,
+                        help="override fine-grained sizes")
+    parser.add_argument(
+        "--store", type=Path, default=None,
+        help="for the 'design' target: persist per-run summaries + "
+        "pmdumptext CSVs in the paper artifact's directory layout",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="render figure series as terminal bar charts (the artifact's "
+        "png panels, as text)",
+    )
+    return parser
+
+#: Metrics plotted per figure panel (the paper's y-axes).
+_PANEL_METRICS = ("makespan_seconds", "power_watts", "cpu_usage_cores",
+                  "memory_gb")
+
+
+def _emit(name: str, rows: list[dict[str, Any]], output: Path | None,
+          title: str, plot: bool = False) -> None:
+    print()
+    print(format_table(rows, title=title))
+    if plot and rows and "paradigm" in rows[0] and "workflow" in rows[0]:
+        from repro.analysis.text_plots import grouped_bar_chart
+
+        for metric in _PANEL_METRICS:
+            if metric not in rows[0]:
+                continue
+            print()
+            print(grouped_bar_chart(
+                [{**r, "cell": f"{r['workflow']}-{r['size']}"} for r in rows],
+                group_key="cell", series_key="paradigm", value_key=metric,
+                title=f"{title} — {metric}",
+            ))
+    if output is not None:
+        path = write_rows_csv(rows, output / f"{name}.csv")
+        print(f"[csv] {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    targets = set(args.targets)
+    if "all" in targets:
+        targets = set(_TARGETS) - {"all"}
+    runner = ExperimentRunner(seed=args.seed)
+    sizes = tuple(args.sizes) if args.sizes else None
+
+    if "table1" in targets:
+        design = build_design(seed=args.seed)
+        _emit("table1", design.table1_rows(), args.output,
+              "Table I: experiment design")
+    if "table2" in targets:
+        rows = [
+            {
+                "paradigm": p.name,
+                "platform": p.platform,
+                "workers": p.workers_label,
+                "persistent_memory": p.persistent_memory,
+                "cpu_requirement": p.cpu_requirement,
+                "granularity": p.granularity,
+            }
+            for p in PARADIGMS.values()
+        ]
+        _emit("table2", rows, args.output, "Table II: computational paradigms")
+    if "fig3" in targets:
+        rows = fig3_characterization(seed=args.seed)
+        _emit("fig3", rows, args.output, "Figure 3: workflow characterization")
+    if "fig4" in targets:
+        rows = fig4_knative_setups(runner, sizes=sizes or (100, 250), seed=args.seed)
+        _emit("fig4", rows, args.output, "Figure 4: Knative setups", plot=args.plot)
+    if "fig5" in targets:
+        rows = fig5_local_container_setups(runner, sizes=sizes or (100, 250),
+                                           seed=args.seed)
+        _emit("fig5", rows, args.output, "Figure 5: local-container setups", plot=args.plot)
+    if "fig6" in targets:
+        rows = fig6_coarse_grained(runner, seed=args.seed)
+        _emit("fig6", rows, args.output, "Figure 6: coarse-grained comparison", plot=args.plot)
+    if "fig7" in targets:
+        rows = fig7_best_setups(runner, sizes=sizes or (100, 250), seed=args.seed)
+        _emit("fig7", rows, args.output, "Figure 7: best setups head-to-head", plot=args.plot)
+        if "headline" in targets:
+            summary = headline_reductions(rows)
+            _emit("headline", summary["per_cell"], args.output,
+                  "Headline: serverless vs local containers")
+            print(
+                f"\nmax CPU reduction:    {summary['cpu_reduction_percent']:.2f}% "
+                f"at {summary['cpu_reduction_cell']} (paper: 78.11%)"
+            )
+            print(
+                f"max memory reduction: {summary['memory_reduction_percent']:.2f}% "
+                f"at {summary['memory_reduction_cell']} (paper: 73.92%)"
+            )
+            targets.discard("headline")
+    if "design" in targets:
+        # Run the full Table-I design — the paper's run_all_wfbench*.sh.
+        from repro.analysis.aggregate import ResultsStore, aggregate_cells, RunRecord
+
+        design = build_design(seed=args.seed)
+        store = ResultsStore(args.store) if args.store is not None else None
+        design_runner = ExperimentRunner(seed=args.seed,
+                                         keep_frames=store is not None)
+        records = []
+        failed = 0
+        for spec in design.all_specs:
+            result = design_runner.run_spec(spec)
+            if not result.succeeded:
+                failed += 1
+                print(f"  FAILED {spec.experiment_id}: {result.run.error[:80]}")
+            if store is not None:
+                store.save(result)
+            records.append(RunRecord(
+                paradigm=spec.paradigm_name, workflow=spec.application,
+                size=spec.num_tasks,
+                summary={**result.run.summary(), "error": result.run.error},
+            ))
+        rows = aggregate_cells(records)
+        _emit("design", rows, args.output,
+              f"Full design: {design.total} experiments "
+              f"({failed} failed)")
+        if store is not None:
+            print(f"[store] per-run artefacts under {args.store}")
+    if "report" in targets:
+        from repro.experiments.report import build_report
+
+        text = build_report(runner, sizes=sizes or (100, 250), seed=args.seed)
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            path = args.output / "report.md"
+            path.write_text(text)
+            print(f"\n[report] {path}")
+        else:
+            print()
+            print(text)
+    if "headline" in targets:
+        summary = headline_reductions(runner=runner, seed=args.seed)
+        _emit("headline", summary["per_cell"], args.output,
+              "Headline: serverless vs local containers")
+        print(
+            f"\nmax CPU reduction:    {summary['cpu_reduction_percent']:.2f}% "
+            f"(paper: 78.11%)  max memory reduction: "
+            f"{summary['memory_reduction_percent']:.2f}% (paper: 73.92%)"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""``repro-wfbench``: run WfBench as a real HTTP service.
+
+The stdlib equivalent of the paper's containerised
+``gunicorn --workers N --threads 1 --timeout 0 app:app`` deployment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+from pathlib import Path
+
+from repro.wfbench import AppConfig, WfBenchService
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wfbench",
+        description="Serve POST /wfbench (WfBench as a Service).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--workers", type=int, default=10,
+                        help="gunicorn-style worker pool size")
+    parser.add_argument("--data-dir", type=Path, default=Path("."),
+                        help="shared-drive root the service reads/writes")
+    parser.add_argument(
+        "--persistent-memory", dest="keep_memory", action="store_true",
+        help="force --vm-keep on every request (the PM paradigms)",
+    )
+    parser.add_argument(
+        "--no-persistent-memory", dest="keep_memory", action="store_false",
+        help="force per-iteration reallocation (the NoPM paradigms)",
+    )
+    parser.add_argument(
+        "--once", metavar="JSON", default=None,
+        help="execute a single request body locally and exit — the "
+        "paper's bare-metal wfbench.py invocation (no HTTP server)",
+    )
+    parser.set_defaults(keep_memory=None)
+    return parser
+
+
+def _run_once(args) -> int:
+    """Bare-metal single execution (paper §III-B pre-service behaviour)."""
+    from repro.wfbench.app import WfBenchApp
+    from repro.wfbench.workload import WorkloadEngine
+
+    engine = WorkloadEngine(base_dir=args.data_dir)
+    app = WfBenchApp(engine, AppConfig(workers=1, keep_memory=args.keep_memory))
+    response = app.handle(args.once)
+    print(response.dumps())
+    return 0 if response.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.once is not None:
+        return _run_once(args)
+    config = AppConfig(workers=args.workers, keep_memory=args.keep_memory)
+    service = WfBenchService(
+        base_dir=args.data_dir, config=config, host=args.host, port=args.port
+    )
+    service.start()
+    print(f"WfBench service listening on {service.url} "
+          f"(workers={args.workers}, data={args.data_dir})")
+
+    stop = []
+    signal.signal(signal.SIGINT, lambda *_: stop.append(True))
+    signal.signal(signal.SIGTERM, lambda *_: stop.append(True))
+    try:
+        while not stop:
+            signal.pause()
+    except (KeyboardInterrupt, AttributeError):
+        pass
+    finally:
+        service.stop()
+        print("stopped")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""``repro-wfgen``: generate and translate workflow benchmark suites.
+
+Mirrors the paper's ``experiments/workflows/generate_workflows.py``:
+generates the seven HPC scientific workflows at the requested sizes and
+emits both the plain WfCommons JSON and the Knative/local translations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.wfcommons import generate_suite
+from repro.wfcommons.recipes import RECIPES
+from repro.wfcommons.translators import TRANSLATORS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wfgen",
+        description="Generate WfCommons workflow suites and translate them "
+        "for serverless (Knative) or local-container execution.",
+    )
+    parser.add_argument(
+        "--applications", "-a", nargs="+", default=sorted(RECIPES),
+        choices=sorted(RECIPES), help="applications to generate",
+    )
+    parser.add_argument(
+        "--sizes", "-n", nargs="+", type=int, default=[100, 250],
+        help="number of tasks per workflow instance",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cpu-work", type=float, default=100.0,
+        help="WfBench cpu-work units for a weight-1 function",
+    )
+    parser.add_argument(
+        "--translate", "-t", nargs="*", default=["knative"],
+        choices=sorted(TRANSLATORS), help="translators to run",
+    )
+    parser.add_argument(
+        "--output", "-o", type=Path, default=Path("generated_workflows"),
+        help="output directory",
+    )
+    parser.add_argument(
+        "--visualize", action="store_true",
+        help="also emit Graphviz DOT + layered-text DAG renders and the "
+        "per-phase/per-name invocation analyses (the artifact's "
+        "generate_visualization.py + workflows_descriptions)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    suite = generate_suite(
+        sizes=args.sizes,
+        applications=args.applications,
+        seed=args.seed,
+        base_cpu_work=args.cpu_work,
+        output_dir=args.output,
+    )
+    count = 0
+    for app, workflows in suite.items():
+        for workflow in workflows:
+            base = args.output / workflow.name
+            for target in args.translate:
+                translator = TRANSLATORS[target]()
+                path = base / f"{workflow.name}.{target}.json"
+                if target == "nextflow":
+                    path = base / f"{workflow.name}.nf"
+                translator.translate_to_file(workflow, path)
+            count += 1
+            print(f"generated {workflow.name}: {len(workflow)} tasks -> {base}")
+    if args.visualize:
+        from repro.analysis.invocations import write_workflow_descriptions
+        from repro.analysis.visualization import write_visualizations
+
+        all_workflows = [wf for wfs in suite.values() for wf in wfs]
+        write_visualizations(all_workflows, args.output / "visualizations")
+        for workflow in all_workflows:
+            write_workflow_descriptions(
+                workflow, args.output / "workflows_descriptions")
+        print(f"visualizations + invocation analyses under {args.output}")
+    print(f"{count} workflow instance(s) under {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

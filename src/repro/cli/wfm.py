@@ -1,0 +1,127 @@
+"""``repro-wfm``: execute a workflow JSON through the manager.
+
+The equivalent of the paper's::
+
+    python3 serverless-workflow-wfbench.py -r <workflow>.json \\
+        <workflow_name> <number_of_cpus> <computational_paradigm>
+
+with ``knative``/``local`` selecting a *simulated* platform, or
+``--url`` pointing the manager at a real WfBench HTTP endpoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import (
+    HttpInvoker,
+    LocalSharedDrive,
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.experiments.paradigms import PARADIGMS, paradigm
+from repro.monitoring.pcp import PmdumptextWriter
+from repro.monitoring.sampler import SimClusterSampler
+from repro.platform.cluster import Cluster
+from repro.platform.knative import KnativePlatform
+from repro.platform.localcontainer import LocalContainerPlatform
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfcommons.schema import Workflow
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wfm",
+        description="Run a WfCommons workflow through the serverless "
+        "workflow manager.",
+    )
+    parser.add_argument("workflow", type=Path, help="workflow JSON file")
+    parser.add_argument(
+        "--paradigm", "-p", default="Kn10wNoPM", choices=sorted(PARADIGMS),
+        help="computational paradigm (simulated platforms)",
+    )
+    parser.add_argument(
+        "--url", default=None,
+        help="real WfBench endpoint; overrides --paradigm's platform",
+    )
+    parser.add_argument("--workdir", default=".",
+                        help="shared-drive workdir for the functions")
+    parser.add_argument("--phase-delay", type=float, default=1.0)
+    parser.add_argument("--mode", choices=("level", "sequential", "eager"),
+                        default="level", help="execution mode")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="per-function retry budget for transient failures")
+    parser.add_argument("--csv", type=Path, default=None,
+                        help="write a pmdumptext-style metrics CSV here")
+    parser.add_argument("--summary-json", type=Path, default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    workflow = Workflow.load(args.workflow)
+
+    if args.url is not None:
+        drive = LocalSharedDrive(Path(args.workdir))
+        invoker = HttpInvoker()
+        config = ManagerConfig(
+            phase_delay_seconds=args.phase_delay,
+            workdir=".",
+            default_api_url=args.url,
+            execution_mode=args.mode,
+            task_retries=args.retries,
+        )
+        for task in workflow:
+            task.command.api_url = args.url
+        manager = ServerlessWorkflowManager(invoker, drive, config)
+        result = manager.execute(workflow, platform_label="http")
+        invoker.close()
+        sampler_frame = None
+    else:
+        par = paradigm(args.paradigm)
+        env = Environment()
+        cluster = Cluster(env)
+        drive = SimulatedSharedDrive()
+        for f in workflow_input_files(workflow):
+            drive.put(f.name, f.size_in_bytes)
+        if par.is_serverless:
+            platform = KnativePlatform(env, cluster, drive,
+                                       config=par.knative_config())
+        else:
+            platform = LocalContainerPlatform(env, cluster, drive,
+                                              config=par.local_config())
+        sampler = SimClusterSampler(env, cluster).start()
+        invoker = SimulatedInvoker(platform)
+        config = ManagerConfig(
+            phase_delay_seconds=args.phase_delay,
+            keep_memory=par.persistent_memory,
+            execution_mode=args.mode,
+            task_retries=args.retries,
+        )
+        manager = ServerlessWorkflowManager(invoker, drive, config)
+        result = manager.execute(workflow, platform_label=par.platform,
+                                 paradigm_label=par.name)
+        sampler.sample()
+        sampler_frame = sampler.frame
+
+    summary = result.summary()
+    print(json.dumps(summary, indent=2))
+    if args.csv is not None and sampler_frame is not None:
+        PmdumptextWriter().write(sampler_frame, args.csv)
+        print(f"metrics CSV: {args.csv}")
+    if args.summary_json is not None:
+        args.summary_json.parent.mkdir(parents=True, exist_ok=True)
+        args.summary_json.write_text(json.dumps(summary, indent=2))
+    return 0 if result.succeeded else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: a workflow manager for serverless.
+
+The manager (paper §III-C) takes a WfCommons-format workflow description,
+builds the DAG, injects a *header* and a *tail* function, and executes
+the DAG phase by phase: every function of a phase is fired concurrently
+as an HTTP POST to its ``api_url``; before each phase the manager checks
+that the required input files exist on the shared drive; a one-second
+delay separates phases.
+
+It is platform-agnostic by design — "compatible with any serverless
+platform that uses HTTP requests for function invocation" — which here
+means it runs unchanged against:
+
+* a real :class:`~repro.wfbench.service.WfBenchService` over sockets
+  (:class:`~repro.core.invocation.HttpInvoker`);
+* the simulated Knative / local-container platforms
+  (:class:`~repro.core.invocation.SimulatedInvoker`).
+"""
+
+from repro.core.dag import WorkflowDAG, Phase
+from repro.core.shared_drive import (
+    SharedDrive,
+    LocalSharedDrive,
+    SimulatedSharedDrive,
+)
+from repro.core.invocation import (
+    Invoker,
+    HttpInvoker,
+    SimulatedInvoker,
+)
+from repro.core.manager import ManagerConfig, ServerlessWorkflowManager
+from repro.core.results import TaskExecution, PhaseResult, WorkflowRunResult
+from repro.core.instance_export import export_instance, instance_document
+
+__all__ = [
+    "WorkflowDAG",
+    "Phase",
+    "SharedDrive",
+    "LocalSharedDrive",
+    "SimulatedSharedDrive",
+    "Invoker",
+    "HttpInvoker",
+    "SimulatedInvoker",
+    "ManagerConfig",
+    "ServerlessWorkflowManager",
+    "TaskExecution",
+    "PhaseResult",
+    "WorkflowRunResult",
+    "export_instance",
+    "instance_document",
+]

@@ -1,0 +1,152 @@
+"""DAG construction and phase decomposition for the workflow manager.
+
+"Upon invocation, the workflow is translated into a Directed Acyclic
+Graph (DAG).  For each step in the DAG, all associated functions are
+collected and simultaneously executed" (paper §III-C).  The manager also
+injects a *header* (starting) and *tail* (finishing) function so every
+workflow has a unique entry and exit, "ensuring a more generic and
+flexible execution process".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+
+from repro.errors import ValidationError
+from repro.wfcommons.schema import Task, TaskCommand, Workflow
+
+__all__ = ["Phase", "WorkflowDAG", "HEADER_NAME", "TAIL_NAME"]
+
+HEADER_NAME = "header_00000000"
+TAIL_NAME = "tail_99999999"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution step: tasks fired simultaneously."""
+
+    index: int
+    tasks: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def _make_marker_task(name: str, category: str) -> Task:
+    """Header/tail functions: near-zero compute, no files."""
+    return Task(
+        name=name,
+        task_id=name.rsplit("_", 1)[-1],
+        category=category,
+        command=TaskCommand(program="wfbench.py", arguments=[]),
+        percent_cpu=0.5,
+        cpu_work=1.0,
+        memory_bytes=0,
+    )
+
+
+class WorkflowDAG:
+    """The manager's executable view of a workflow.
+
+    Wraps a :class:`networkx.DiGraph` whose nodes are task names and
+    computes the phase decomposition (longest-path levels), optionally
+    after injecting header/tail marker functions.
+    """
+
+    def __init__(self, workflow: Workflow, inject_markers: bool = True):
+        self.workflow = workflow
+        self.inject_markers = inject_markers
+        self._tasks: dict[str, Task] = dict(workflow.tasks)
+        self.graph = nx.DiGraph()
+        for name, task in self._tasks.items():
+            self.graph.add_node(name)
+        for parent, child in workflow.edges():
+            self.graph.add_edge(parent, child)
+        if inject_markers:
+            self._inject_header_tail()
+        if not nx.is_directed_acyclic_graph(self.graph):
+            cycle = nx.find_cycle(self.graph)
+            raise ValidationError(f"workflow {workflow.name!r} has a cycle: {cycle}")
+        self._phases = self._compute_phases()
+
+    # ------------------------------------------------------------------
+    def _inject_header_tail(self) -> None:
+        roots = [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+        leaves = [n for n in self.graph.nodes if self.graph.out_degree(n) == 0]
+        header = _make_marker_task(HEADER_NAME, "header")
+        tail = _make_marker_task(TAIL_NAME, "tail")
+        self._tasks[HEADER_NAME] = header
+        self._tasks[TAIL_NAME] = tail
+        self.graph.add_node(HEADER_NAME)
+        self.graph.add_node(TAIL_NAME)
+        for root in roots:
+            self.graph.add_edge(HEADER_NAME, root)
+        for leaf in leaves:
+            self.graph.add_edge(leaf, TAIL_NAME)
+
+    def _compute_phases(self) -> list[Phase]:
+        levels: dict[str, int] = {}
+        for name in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(name))
+            levels[name] = 0 if not preds else 1 + max(levels[p] for p in preds)
+        if not levels:
+            return []
+        n_phases = 1 + max(levels.values())
+        buckets: list[list[str]] = [[] for _ in range(n_phases)]
+        for name, level in levels.items():
+            buckets[level].append(name)
+        return [
+            Phase(index=i, tasks=tuple(sorted(bucket)))
+            for i, bucket in enumerate(buckets)
+        ]
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def phases(self) -> list[Phase]:
+        return list(self._phases)
+
+    @property
+    def num_phases(self) -> int:
+        return len(self._phases)
+
+    @property
+    def task_names(self) -> list[str]:
+        return list(self._tasks)
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise KeyError(f"no task {name!r} in DAG of {self.workflow.name!r}")
+
+    def is_marker(self, name: str) -> bool:
+        return name in (HEADER_NAME, TAIL_NAME)
+
+    def parents(self, name: str) -> list[str]:
+        return list(self.graph.predecessors(name))
+
+    def children(self, name: str) -> list[str]:
+        return list(self.graph.successors(name))
+
+    def phase_inputs(self, phase: Phase) -> list[str]:
+        """Input files the phase's tasks will read (readiness check)."""
+        names: list[str] = []
+        seen: set[str] = set()
+        for task_name in phase.tasks:
+            if self.is_marker(task_name):
+                continue
+            for f in self.task(task_name).input_files:
+                if f.name not in seen:
+                    seen.add(f.name)
+                    names.append(f.name)
+        return names
+
+    def critical_path(self) -> list[str]:
+        """A longest path through the DAG (by task count)."""
+        return nx.dag_longest_path(self.graph)
+
+    def __len__(self) -> int:
+        return len(self._tasks)

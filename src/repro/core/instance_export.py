@@ -1,0 +1,113 @@
+"""Export executed runs as WfCommons *instances*.
+
+WfInstances — the corpus WfChef mines — are WfFormat documents recording
+*actual executions*: per-task runtimes, the machines they ran on and the
+workflow makespan.  This module closes the paper's Figure-2 loop: a
+workflow executed by the manager becomes an instance document that
+:mod:`repro.wfcommons.wfchef` can infer new recipes from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.dag import HEADER_NAME, TAIL_NAME
+from repro.core.results import WorkflowRunResult
+from repro.errors import SchemaError
+from repro.wfcommons.schema import Task, Workflow, WorkflowMeta
+
+__all__ = ["export_instance", "instance_document"]
+
+
+def export_instance(
+    workflow: Workflow,
+    result: WorkflowRunResult,
+    author: str = "repro",
+) -> Workflow:
+    """A copy of ``workflow`` whose tasks carry the measured runtimes.
+
+    Marker (header/tail) executions are dropped — they are a manager
+    artefact, not part of the scientific workflow.
+    """
+    executions = {
+        t.name: t for t in result.tasks
+        if t.name not in (HEADER_NAME, TAIL_NAME)
+    }
+    missing = [name for name in workflow.task_names if name not in executions]
+    if missing:
+        raise SchemaError(
+            f"run result does not cover tasks {missing[:5]} of "
+            f"{workflow.name!r}; was it executed with another workflow?"
+        )
+
+    meta = WorkflowMeta(
+        name=workflow.meta.name,
+        description=(
+            f"Execution of {workflow.meta.name} on {result.platform or 'unknown'}"
+            f" ({result.paradigm or 'default paradigm'}), exported by {author}."
+        ),
+        created_at=workflow.meta.created_at,
+        schema_version=workflow.meta.schema_version,
+        executed_at=workflow.meta.executed_at,
+        makespan_in_seconds=round(result.makespan_seconds, 3),
+    )
+    executed = Workflow(meta)
+    for task in workflow:
+        execution = executions[task.name]
+        executed.add_task(
+            Task(
+                name=task.name,
+                task_id=task.task_id,
+                category=task.category,
+                command=task.command,
+                files=list(task.files),
+                runtime_in_seconds=round(
+                    max(0.0, execution.finished_at - execution.started_at), 3
+                ),
+                cores=task.cores,
+                task_type=task.task_type,
+                percent_cpu=task.percent_cpu,
+                cpu_work=task.cpu_work,
+                memory_bytes=task.memory_bytes,
+                started_at=task.started_at,
+            )
+        )
+    for parent, child in workflow.edges():
+        executed.add_edge(parent, child)
+    return executed
+
+
+def instance_document(
+    workflow: Workflow,
+    result: WorkflowRunResult,
+    machines: Optional[list[dict[str, Any]]] = None,
+    author: str = "repro",
+) -> dict[str, Any]:
+    """The full WfInstances-style JSON document for one execution."""
+    executed = export_instance(workflow, result, author=author)
+    doc = executed.to_json()
+    doc["runtimeSystem"] = {
+        "name": "repro-serverless-wfm",
+        "platform": result.platform,
+        "paradigm": result.paradigm,
+    }
+    doc["author"] = {"name": author}
+    nodes_used = sorted({t.node for t in result.tasks if t.node})
+    doc["workflow"]["machines"] = machines or [
+        {"nodeName": node, "system": "linux"} for node in nodes_used
+    ]
+    doc["workflow"]["execution"] = {
+        "makespanInSeconds": round(result.makespan_seconds, 3),
+        "succeeded": result.succeeded,
+        "failedTasks": len(result.failed_tasks),
+        "coldStarts": result.cold_start_count,
+        "phases": [
+            {
+                "index": p.index,
+                "tasks": p.num_tasks,
+                "durationInSeconds": round(p.duration_seconds, 3),
+            }
+            for p in result.phases
+        ],
+    }
+    return doc

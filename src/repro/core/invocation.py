@@ -1,0 +1,210 @@
+"""Invokers: how the manager fires HTTP requests.
+
+The manager is written against :class:`Invoker` — submit a batch of
+requests, gather their outcomes, sleep, read the clock — so the same
+manager code drives:
+
+* :class:`HttpInvoker` — real POSTs over sockets to a running
+  :class:`~repro.wfbench.service.WfBenchService` (or any server with the
+  same API), using a thread pool for the simultaneous per-phase fire;
+* :class:`SimulatedInvoker` — the discrete-event platforms; ``gather``
+  advances simulated time until the phase completes.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+from repro.errors import InvocationError
+from repro.platform.base import InvocationOutcome, Platform
+from repro.platform.gateway import HttpGateway
+from repro.simulation import Environment, Event
+from repro.wfbench.spec import BenchRequest
+
+__all__ = ["InvocationRecord", "Invoker", "HttpInvoker", "SimulatedInvoker"]
+
+
+@dataclass
+class InvocationRecord:
+    """Invoker-neutral outcome of one request."""
+
+    name: str
+    status: int
+    submitted_at: float
+    started_at: float
+    finished_at: float
+    cold_start: bool = False
+    node: str = ""
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class Invoker(abc.ABC):
+    """What the manager needs from the outside world."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (wall or simulated)."""
+
+    @abc.abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Advance time (the manager's 1 s inter-phase delay)."""
+
+    @abc.abstractmethod
+    def submit(self, url: str, request: BenchRequest) -> Any:
+        """Fire one request without waiting; returns an opaque handle."""
+
+    @abc.abstractmethod
+    def gather(self, handles: Sequence[Any]) -> list[InvocationRecord]:
+        """Wait until every handle completes; outcomes in submit order."""
+
+    @abc.abstractmethod
+    def wait_any(self, handles: Sequence[Any]) -> tuple[int, InvocationRecord]:
+        """Block until at least one handle completes; return its index and
+        outcome.  Powers the eager (dependency-driven) execution mode."""
+
+    def close(self) -> None:
+        """Release resources (thread pools etc.)."""
+
+
+class HttpInvoker(Invoker):
+    """Real HTTP POSTs, mirroring the paper's ``curl``-driven manager."""
+
+    def __init__(self, max_parallel: int = 64, timeout_seconds: float = 300.0):
+        self._pool = ThreadPoolExecutor(max_workers=max_parallel,
+                                        thread_name_prefix="wfm-http")
+        self.timeout_seconds = timeout_seconds
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def _post(self, url: str, request: BenchRequest) -> InvocationRecord:
+        submitted = self.now()
+        body = request.dumps().encode()
+        http_request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(http_request, timeout=self.timeout_seconds) as resp:
+                payload = json.loads(resp.read() or b"{}")
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except Exception:
+                payload = {}
+            status = exc.code
+        except (urllib.error.URLError, TimeoutError, OSError) as exc:
+            finished = self.now()
+            return InvocationRecord(
+                name=request.name, status=503, submitted_at=submitted,
+                started_at=submitted, finished_at=finished, error=str(exc),
+            )
+        finished = self.now()
+        return InvocationRecord(
+            name=request.name,
+            status=status,
+            submitted_at=submitted,
+            started_at=finished - float(payload.get("duration", 0.0)),
+            finished_at=finished,
+            error=str(payload.get("error", "")),
+        )
+
+    def submit(self, url: str, request: BenchRequest) -> Future:
+        return self._pool.submit(self._post, url, request)
+
+    def gather(self, handles: Sequence[Future]) -> list[InvocationRecord]:
+        return [h.result() for h in handles]
+
+    def wait_any(self, handles: Sequence[Future]) -> tuple[int, InvocationRecord]:
+        if not handles:
+            raise InvocationError("wait_any needs at least one handle")
+        done, _ = futures_wait(handles, return_when=FIRST_COMPLETED)
+        first = next(iter(done))
+        return handles.index(first), first.result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+class SimulatedInvoker(Invoker):
+    """Drives the discrete-event platforms.
+
+    Accepts a single :class:`Platform` or an :class:`HttpGateway`; the
+    manager's blocking calls (``gather``, ``sleep``) advance the
+    simulation clock.
+    """
+
+    def __init__(self, target: Union[Platform, HttpGateway], env: Optional[Environment] = None):
+        # Gateway-likes (HttpGateway, FederatedGateway) expose `platforms`;
+        # anything else is treated as a single platform.
+        if hasattr(target, "platforms"):
+            self.gateway = target
+            platforms = target.platforms
+            if not platforms:
+                raise InvocationError("gateway has no platforms registered")
+            self.env = env or platforms[0].env
+        else:
+            self.gateway = None
+            self._platform = target
+            self.env = env or target.env
+
+    def now(self) -> float:
+        return self.env.now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.env.run(until=self.env.now + seconds)
+
+    def submit(self, url: str, request: BenchRequest) -> Event:
+        if self.gateway is not None:
+            return self.gateway.invoke(url, request)
+        return self._platform.invoke(request)
+
+    @staticmethod
+    def _record(outcome: InvocationOutcome) -> InvocationRecord:
+        return InvocationRecord(
+            name=outcome.name,
+            status=outcome.status,
+            submitted_at=outcome.submitted_at,
+            started_at=outcome.started_at or outcome.submitted_at,
+            finished_at=outcome.finished_at,
+            cold_start=outcome.cold_start,
+            node=outcome.node,
+            error=outcome.error,
+        )
+
+    def gather(self, handles: Sequence[Event]) -> list[InvocationRecord]:
+        records: list[InvocationRecord] = []
+        for handle in handles:
+            if not handle.processed:
+                self.env.run(until=handle)
+            records.append(self._record(handle.value))
+        return records
+
+    def wait_any(self, handles: Sequence[Event]) -> tuple[int, InvocationRecord]:
+        if not handles:
+            raise InvocationError("wait_any needs at least one handle")
+        for index, handle in enumerate(handles):
+            if handle.processed:
+                return index, self._record(handle.value)
+        self.env.run(until=self.env.any_of(list(handles)))
+        for index, handle in enumerate(handles):
+            if handle.processed:
+                return index, self._record(handle.value)
+        raise InvocationError("any_of fired but no handle completed")

@@ -1,0 +1,357 @@
+"""The serverless workflow manager (paper §III-C, contribution C2).
+
+Execution algorithm, exactly as described in the paper:
+
+1. parse the workflow description (WfCommons JSON, possibly
+   Knative-translated) into a DAG;
+2. inject a *header* function before the roots and a *tail* after the
+   leaves;
+3. walk the DAG phase by phase: for each phase, check that the phase's
+   input files are available on the shared drive (they must have been
+   written by the preceding functions), then fire every function of the
+   phase simultaneously as an HTTP POST to its ``api_url``;
+4. wait for all of them, record outcomes, then sleep one second before
+   the next phase "allowing sufficient time for the preceding functions
+   to complete and write the expected files to the shared drive".
+
+The manager is deliberately thin — per the paper, it works against any
+serverless (or container) platform that accepts HTTP requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.dag import Phase, WorkflowDAG
+from repro.core.invocation import InvocationRecord, Invoker
+from repro.core.results import PhaseResult, TaskExecution, WorkflowRunResult
+from repro.core.shared_drive import SharedDrive
+from repro.errors import WorkflowExecutionError
+from repro.wfbench.spec import BenchRequest
+from repro.wfcommons.schema import Task, Workflow
+
+__all__ = ["ManagerConfig", "ServerlessWorkflowManager"]
+
+
+@dataclass
+class ManagerConfig:
+    """Knobs of the manager (paper defaults)."""
+
+    #: "a brief delay of one second is introduced between each workflow phase".
+    phase_delay_seconds: float = 1.0
+    #: Check input-file availability on the shared drive before each phase.
+    readiness_check: bool = True
+    #: Retries (each followed by ``readiness_retry_delay``) before giving up.
+    readiness_retries: int = 3
+    readiness_retry_delay_seconds: float = 1.0
+    #: Inject the header/tail marker functions.
+    inject_header_tail: bool = True
+    #: The PM/NoPM axis: force ``keep-memory`` on every request.
+    keep_memory: bool = False
+    #: ``workdir`` sent with every request (shared-drive-relative).
+    workdir: str = "."
+    #: Stop at the first failed phase instead of continuing.
+    abort_on_failure: bool = True
+    #: Fallback endpoint for tasks without an ``api_url``.
+    default_api_url: str = "http://localhost:8080/wfbench"
+    #: How functions are fired: ``"level"`` posts each phase's functions
+    #: simultaneously with a barrier between phases (the paper's design,
+    #: §III-C); ``"sequential"`` posts one function at a time (the
+    #: artifact's ``knative-sequential`` runs); ``"eager"`` posts every
+    #: function the moment its parents complete — no phase barriers, no
+    #: inter-phase delays (a dependency-driven extension in the style of
+    #: Wukong-class engines, quantifying what the paper's barriers cost).
+    execution_mode: str = "level"
+    #: Re-submit a failed function up to this many times before counting
+    #: it as a phase failure (0 = the paper's fire-once behaviour).
+    task_retries: int = 0
+    #: Delay before each retry.
+    retry_delay_seconds: float = 1.0
+    #: Cap on simultaneously outstanding requests in level mode (0 = the
+    #: paper's unbounded simultaneous fire).  Useful when the client's
+    #: own socket/thread budget — not the platform — is the bottleneck.
+    max_parallel_requests: int = 0
+
+    def __post_init__(self) -> None:
+        if self.execution_mode not in ("level", "sequential", "eager"):
+            raise ValueError(
+                f"execution_mode must be 'level', 'sequential' or 'eager', "
+                f"got {self.execution_mode!r}"
+            )
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if self.max_parallel_requests < 0:
+            raise ValueError("max_parallel_requests must be >= 0")
+
+
+class ServerlessWorkflowManager:
+    """Executes workflows phase-by-phase through an :class:`Invoker`."""
+
+    def __init__(
+        self,
+        invoker: Invoker,
+        drive: SharedDrive,
+        config: Optional[ManagerConfig] = None,
+    ):
+        self.invoker = invoker
+        self.drive = drive
+        self.config = config or ManagerConfig()
+
+    # ------------------------------------------------------------------
+    def build_request(self, task: Task) -> BenchRequest:
+        """The WfBench POST body for one task (paper §III-B)."""
+        return BenchRequest(
+            name=task.name,
+            percent_cpu=task.percent_cpu,
+            cpu_work=task.cpu_work,
+            out={f.name: f.size_in_bytes for f in task.output_files},
+            inputs=tuple(f.name for f in task.input_files),
+            workdir=self.config.workdir,
+            memory_bytes=task.memory_bytes,
+            keep_memory=self.config.keep_memory,
+            cores=task.cores,
+        )
+
+    def api_url_for(self, task: Task) -> str:
+        return task.command.api_url or self.config.default_api_url
+
+    def _check_readiness(self, dag: WorkflowDAG, phase: Phase) -> list[str]:
+        """Wait (bounded) until the phase's inputs are on the shared drive."""
+        needed = dag.phase_inputs(phase)
+        missing = self.drive.missing(needed)
+        retries = self.config.readiness_retries
+        while missing and retries > 0:
+            self.invoker.sleep(self.config.readiness_retry_delay_seconds)
+            missing = self.drive.missing(needed)
+            retries -= 1
+        return missing
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        workflow: Union[Workflow, Mapping[str, Any]],
+        platform_label: str = "",
+        paradigm_label: str = "",
+    ) -> WorkflowRunResult:
+        """Run one workflow to completion (or first failure)."""
+        if not isinstance(workflow, Workflow):
+            workflow = Workflow.from_json(dict(workflow))
+        dag = WorkflowDAG(workflow, inject_markers=self.config.inject_header_tail)
+
+        result = WorkflowRunResult(
+            workflow_name=workflow.name,
+            platform=platform_label,
+            paradigm=paradigm_label,
+            started_at=self.invoker.now(),
+        )
+        try:
+            if self.config.execution_mode == "eager":
+                self._execute_eager(dag, result)
+            else:
+                self._execute_phases(dag, result)
+        except WorkflowExecutionError as exc:
+            result.succeeded = False
+            result.error = str(exc)
+        result.finished_at = self.invoker.now()
+        return result
+
+    def _execute_phases(self, dag: WorkflowDAG, result: WorkflowRunResult) -> None:
+        phases = dag.phases
+        for phase in phases:
+            if self.config.readiness_check:
+                missing = self._check_readiness(dag, phase)
+                if missing:
+                    raise WorkflowExecutionError(
+                        f"phase {phase.index}: inputs never appeared on the "
+                        f"shared drive: {missing[:5]}"
+                    )
+
+            phase_start = self.invoker.now()
+            records = self._run_phase(dag, phase)
+            if self.config.task_retries > 0:
+                records = self._retry_failures(dag, records)
+            failures = self._record_phase(result, phase, records)
+            result.phases.append(
+                PhaseResult(
+                    index=phase.index,
+                    num_tasks=len(phase),
+                    started_at=phase_start,
+                    finished_at=self.invoker.now(),
+                    failures=failures,
+                )
+            )
+            if failures and self.config.abort_on_failure:
+                bad = [r for r in records if not r.ok]
+                raise WorkflowExecutionError(
+                    f"phase {phase.index}: {failures} function(s) failed "
+                    f"(first: {bad[0].name}: {bad[0].status} {bad[0].error})"
+                )
+            if phase is not phases[-1]:
+                self.invoker.sleep(self.config.phase_delay_seconds)
+        result.succeeded = True
+
+    def _execute_eager(self, dag: WorkflowDAG, result: WorkflowRunResult) -> None:
+        """Dependency-driven execution: no phase barriers, no delays.
+
+        A function is POSTed the instant its last parent completes (its
+        inputs are then on the shared drive by the manager's own file
+        contract, so no readiness polling is needed either).
+        """
+        phase_of = {name: p.index for p in dag.phases for name in p.tasks}
+        remaining = {name: len(dag.parents(name)) for name in dag.task_names}
+        in_flight: list = []       # handles
+        flight_names: list[str] = []
+        failures = 0
+
+        def submit(name: str) -> None:
+            task = dag.task(name)
+            in_flight.append(
+                self.invoker.submit(self.api_url_for(task),
+                                    self.build_request(task))
+            )
+            flight_names.append(name)
+
+        for name, missing in remaining.items():
+            if missing == 0:
+                submit(name)
+
+        completed = 0
+        total = len(dag.task_names)
+        while completed < total:
+            if not in_flight:
+                raise WorkflowExecutionError(
+                    f"eager executor stalled with {total - completed} "
+                    f"function(s) unscheduled (cyclic or failed dependencies)"
+                )
+            index, record = self.invoker.wait_any(in_flight)
+            name = flight_names.pop(index)
+            in_flight.pop(index)
+            completed += 1
+            if not record.ok:
+                failures += 1
+            result.tasks.append(
+                TaskExecution(
+                    name=record.name,
+                    phase=phase_of[name],
+                    status=record.status,
+                    submitted_at=record.submitted_at,
+                    started_at=record.started_at,
+                    finished_at=record.finished_at,
+                    cold_start=record.cold_start,
+                    node=record.node,
+                    error=record.error,
+                )
+            )
+            if not record.ok and self.config.abort_on_failure:
+                # Drain what is already in flight, then stop.
+                for leftover, drained in zip(
+                    list(flight_names), self.invoker.gather(list(in_flight))
+                ):
+                    result.tasks.append(
+                        TaskExecution(
+                            name=drained.name, phase=phase_of[leftover],
+                            status=drained.status,
+                            submitted_at=drained.submitted_at,
+                            started_at=drained.started_at,
+                            finished_at=drained.finished_at,
+                            cold_start=drained.cold_start,
+                            node=drained.node, error=drained.error,
+                        )
+                    )
+                raise WorkflowExecutionError(
+                    f"function {record.name} failed "
+                    f"({record.status} {record.error}); aborting eager run"
+                )
+            for child in dag.children(name):
+                remaining[child] -= 1
+                if remaining[child] == 0:
+                    submit(child)
+        result.succeeded = failures == 0
+
+    def _run_phase(self, dag: WorkflowDAG, phase: Phase) -> list[InvocationRecord]:
+        """Fire one phase's functions per the configured execution mode."""
+        if self.config.execution_mode == "sequential":
+            records: list[InvocationRecord] = []
+            for name in phase.tasks:
+                task = dag.task(name)
+                handle = self.invoker.submit(
+                    self.api_url_for(task), self.build_request(task)
+                )
+                records.extend(self.invoker.gather([handle]))
+            return records
+        cap = self.config.max_parallel_requests
+        if cap and len(phase.tasks) > cap:
+            # Windowed fire: keep at most `cap` requests outstanding.
+            records: list[InvocationRecord] = []
+            for start in range(0, len(phase.tasks), cap):
+                window = phase.tasks[start:start + cap]
+                handles = [
+                    self.invoker.submit(
+                        self.api_url_for(dag.task(name)),
+                        self.build_request(dag.task(name)),
+                    )
+                    for name in window
+                ]
+                records.extend(self.invoker.gather(handles))
+            return records
+        handles = [
+            self.invoker.submit(
+                self.api_url_for(dag.task(name)),
+                self.build_request(dag.task(name)),
+            )
+            for name in phase.tasks
+        ]
+        return self.invoker.gather(handles)
+
+    #: Statuses worth retrying: conflict (inputs late), server errors,
+    #: unavailability.  Client errors (400) are permanent.
+    _RETRYABLE = frozenset({409, 500, 502, 503, 507})
+
+    def _retry_failures(
+        self, dag: WorkflowDAG, records: list[InvocationRecord]
+    ) -> list[InvocationRecord]:
+        """Re-submit retryable failures up to ``task_retries`` times."""
+        final = list(records)
+        for _ in range(self.config.task_retries):
+            retry_indices = [
+                i for i, r in enumerate(final)
+                if not r.ok and r.status in self._RETRYABLE
+            ]
+            if not retry_indices:
+                break
+            self.invoker.sleep(self.config.retry_delay_seconds)
+            handles = []
+            for i in retry_indices:
+                task = dag.task(final[i].name)
+                handles.append(
+                    self.invoker.submit(
+                        self.api_url_for(task), self.build_request(task)
+                    )
+                )
+            for i, record in zip(retry_indices, self.invoker.gather(handles)):
+                final[i] = record
+        return final
+
+    @staticmethod
+    def _record_phase(
+        result: WorkflowRunResult, phase: Phase, records: list[InvocationRecord]
+    ) -> int:
+        failures = 0
+        for record in records:
+            if not record.ok:
+                failures += 1
+            result.tasks.append(
+                TaskExecution(
+                    name=record.name,
+                    phase=phase.index,
+                    status=record.status,
+                    submitted_at=record.submitted_at,
+                    started_at=record.started_at,
+                    finished_at=record.finished_at,
+                    cold_start=record.cold_start,
+                    node=record.node,
+                    error=record.error,
+                )
+            )
+        return failures

@@ -1,0 +1,103 @@
+"""Run result records produced by the workflow manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["TaskExecution", "PhaseResult", "WorkflowRunResult"]
+
+
+@dataclass
+class TaskExecution:
+    """Outcome of one function invocation, as the manager saw it."""
+
+    name: str
+    phase: int
+    status: int = 200
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    cold_start: bool = False
+    node: str = ""
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def wait_seconds(self) -> float:
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def duration_seconds(self) -> float:
+        return max(0.0, self.finished_at - self.submitted_at)
+
+
+@dataclass
+class PhaseResult:
+    """Timing of one phase (all functions fired simultaneously)."""
+
+    index: int
+    num_tasks: int
+    started_at: float
+    finished_at: float
+    failures: int = 0
+
+    @property
+    def duration_seconds(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+
+@dataclass
+class WorkflowRunResult:
+    """Everything one workflow execution produced."""
+
+    workflow_name: str
+    platform: str = ""
+    paradigm: str = ""
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    succeeded: bool = False
+    error: str = ""
+    tasks: list[TaskExecution] = field(default_factory=list)
+    phases: list[PhaseResult] = field(default_factory=list)
+    #: Attached by the experiment harness: metric aggregates, platform stats.
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def failed_tasks(self) -> list[TaskExecution]:
+        return [t for t in self.tasks if not t.ok]
+
+    @property
+    def cold_start_count(self) -> int:
+        return sum(1 for t in self.tasks if t.cold_start)
+
+    def mean_wait_seconds(self) -> float:
+        if not self.tasks:
+            return 0.0
+        return sum(t.wait_seconds for t in self.tasks) / len(self.tasks)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "workflow": self.workflow_name,
+            "platform": self.platform,
+            "paradigm": self.paradigm,
+            "succeeded": self.succeeded,
+            "makespan_seconds": round(self.makespan_seconds, 3),
+            "num_tasks": self.num_tasks,
+            "num_phases": len(self.phases),
+            "failed_tasks": len(self.failed_tasks),
+            "cold_starts": self.cold_start_count,
+            "mean_wait_seconds": round(self.mean_wait_seconds(), 3),
+            **{k: v for k, v in self.metrics.items() if not isinstance(v, (list, dict))},
+        }

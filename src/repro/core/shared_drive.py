@@ -1,0 +1,103 @@
+"""Shared-drive abstraction (paper §III-C).
+
+The paper's first prototype "assumes that all machines in the cluster
+have access to a common shared directory for storing I/O"; all function
+communication flows through it.  The manager only needs three operations
+— does a file exist, how big is it, stage these bytes — so both a real
+directory and an in-memory simulated store satisfy the same interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = ["SharedDrive", "LocalSharedDrive", "SimulatedSharedDrive"]
+
+
+class SharedDrive(abc.ABC):
+    """What the workflow manager sees of the cluster's shared directory."""
+
+    @abc.abstractmethod
+    def exists(self, name: str) -> bool:
+        """Is ``name`` present (i.e. was it produced/staged)?"""
+
+    @abc.abstractmethod
+    def size(self, name: str) -> int:
+        """Size in bytes of ``name`` (0 if absent)."""
+
+    @abc.abstractmethod
+    def put(self, name: str, size: int) -> None:
+        """Record/stage a file of ``size`` bytes."""
+
+    @abc.abstractmethod
+    def list_files(self) -> list[str]:
+        """All file names currently on the drive."""
+
+    def missing(self, names: Iterable[str]) -> list[str]:
+        """The subset of ``names`` not present (readiness check helper)."""
+        return [n for n in names if not self.exists(n)]
+
+    def stage(self, files: Mapping[str, int]) -> None:
+        for name, size in files.items():
+            self.put(name, size)
+
+
+class SimulatedSharedDrive(SharedDrive):
+    """In-memory drive used by the discrete-event platforms."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, int] = {}
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def size(self, name: str) -> int:
+        return self._files.get(name, 0)
+
+    def put(self, name: str, size: int) -> None:
+        self._files[name] = int(size)
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def total_bytes(self) -> int:
+        return sum(self._files.values())
+
+    def clear(self) -> None:
+        self._files.clear()
+
+
+class LocalSharedDrive(SharedDrive):
+    """A real directory (the NFS mount in the paper's testbed)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        path = (self.root / name).resolve()
+        if not path.is_relative_to(self.root.resolve()):
+            raise ValueError(f"file name {name!r} escapes the shared drive")
+        return path
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).is_file()
+
+    def size(self, name: str) -> int:
+        path = self._path(name)
+        return path.stat().st_size if path.is_file() else 0
+
+    def put(self, name: str, size: int) -> None:
+        path = self._path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as handle:
+            if size > 0:
+                handle.seek(size - 1)
+                handle.write(b"\0")
+
+    def list_files(self) -> list[str]:
+        return sorted(
+            str(p.relative_to(self.root)) for p in self.root.rglob("*") if p.is_file()
+        )

@@ -1,0 +1,72 @@
+"""Exception hierarchy shared across the library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "ValidationError",
+    "GenerationError",
+    "TranslationError",
+    "PlatformError",
+    "ResourceExhaustedError",
+    "InvocationError",
+    "WorkflowExecutionError",
+    "CalibrationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SchemaError(ReproError):
+    """Malformed workflow document or task specification."""
+
+
+class ValidationError(ReproError):
+    """Structurally invalid workflow (cycles, dangling edges, ...)."""
+
+
+class GenerationError(ReproError):
+    """A recipe could not produce a workflow of the requested size."""
+
+
+class TranslationError(ReproError):
+    """A translator could not convert a workflow."""
+
+
+class PlatformError(ReproError):
+    """Platform-level failure (deployment, routing, scaling)."""
+
+
+class ResourceExhaustedError(PlatformError):
+    """Cluster CPU or memory limits were reached (paper §V-C / §VI)."""
+
+    def __init__(self, message: str, resource: str = "", requested: float = 0.0,
+                 available: float = 0.0):
+        super().__init__(message)
+        self.resource = resource
+        self.requested = requested
+        self.available = available
+
+
+class InvocationError(ReproError):
+    """An HTTP(-like) function invocation failed."""
+
+    def __init__(self, message: str, status: int = 500):
+        super().__init__(message)
+        self.status = status
+
+
+class WorkflowExecutionError(ReproError):
+    """The workflow manager could not complete a run."""
+
+
+class CalibrationError(ReproError):
+    """The WfBench CPU calibration failed to converge."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness misconfiguration."""

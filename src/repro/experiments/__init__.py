@@ -1,0 +1,64 @@
+"""Experiment harness: the paper's full evaluation (Tables I-II, Figures 3-7)."""
+
+from repro.experiments.paradigms import (
+    Paradigm,
+    PARADIGMS,
+    FINE_PARADIGMS,
+    COARSE_PARADIGMS,
+    paradigm,
+)
+from repro.experiments.design import (
+    ExperimentSpec,
+    ExperimentDesign,
+    build_design,
+    FINE_SIZES,
+    COARSE_SIZES,
+    APPLICATIONS_ORDER,
+)
+from repro.experiments.runner import ExperimentRunner, ExperimentResult
+from repro.experiments.figures import (
+    fig3_characterization,
+    fig4_knative_setups,
+    fig5_local_container_setups,
+    fig6_coarse_grained,
+    fig7_best_setups,
+    headline_reductions,
+)
+from repro.experiments.reporting import format_table, rows_to_csv
+from repro.experiments.sweeps import ParameterSweep, SweepCell
+from repro.experiments.repetitions import (
+    MetricSummary,
+    RepetitionReport,
+    run_repetitions,
+    significant_difference,
+)
+
+__all__ = [
+    "Paradigm",
+    "PARADIGMS",
+    "FINE_PARADIGMS",
+    "COARSE_PARADIGMS",
+    "paradigm",
+    "ExperimentSpec",
+    "ExperimentDesign",
+    "build_design",
+    "FINE_SIZES",
+    "COARSE_SIZES",
+    "APPLICATIONS_ORDER",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "fig3_characterization",
+    "fig4_knative_setups",
+    "fig5_local_container_setups",
+    "fig6_coarse_grained",
+    "fig7_best_setups",
+    "headline_reductions",
+    "format_table",
+    "rows_to_csv",
+    "ParameterSweep",
+    "SweepCell",
+    "MetricSummary",
+    "RepetitionReport",
+    "run_repetitions",
+    "significant_difference",
+]

@@ -1,0 +1,138 @@
+"""Table I: the experiment design.
+
+The paper runs 140 experiments:
+
+* 98 fine-grained  — 7 paradigms × 7 workflows × 2 sizes;
+* 42 coarse-grained — 2 paradigms × 7 workflows × 3 sizes.
+
+Sizes follow the artifact's recipe directories (``*-250-100``,
+``*-250-1000``): 100 and 250 tasks fine-grained, plus 1000 tasks in the
+coarse-grained block ("we can manage bigger applications ... (e.g 1000
+functions)", §V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.experiments.paradigms import COARSE_PARADIGMS, FINE_PARADIGMS, paradigm
+
+__all__ = [
+    "APPLICATIONS_ORDER",
+    "FINE_SIZES",
+    "COARSE_SIZES",
+    "ExperimentSpec",
+    "ExperimentDesign",
+    "build_design",
+]
+
+#: The order the paper lists the workflows (§V-A).
+APPLICATIONS_ORDER: tuple[str, ...] = (
+    "blast", "bwa", "cycles", "epigenomics", "genome", "seismology", "srasearch",
+)
+
+FINE_SIZES: tuple[int, ...] = (100, 250)
+COARSE_SIZES: tuple[int, ...] = (100, 250, 1000)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: a (paradigm, workflow, size) cell."""
+
+    experiment_id: str
+    paradigm_name: str
+    application: str
+    num_tasks: int
+    granularity: str
+    seed: int = 0
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.paradigm_name, self.application, self.num_tasks)
+
+
+@dataclass(frozen=True)
+class ExperimentDesign:
+    """The full design plus the Table-I bookkeeping."""
+
+    fine: tuple[ExperimentSpec, ...]
+    coarse: tuple[ExperimentSpec, ...]
+
+    @property
+    def all_specs(self) -> tuple[ExperimentSpec, ...]:
+        return self.fine + self.coarse
+
+    @property
+    def total(self) -> int:
+        return len(self.fine) + len(self.coarse)
+
+    def table1_rows(self) -> list[dict[str, object]]:
+        """The Table-I summary: per block, the factor counts."""
+        return [
+            {
+                "block": "fine-grained",
+                "experiments": len(self.fine),
+                "paradigms": len(FINE_PARADIGMS),
+                "workflows": len(APPLICATIONS_ORDER),
+                "sizes": len(FINE_SIZES),
+            },
+            {
+                "block": "coarse-grained",
+                "experiments": len(self.coarse),
+                "paradigms": len(COARSE_PARADIGMS),
+                "workflows": len(APPLICATIONS_ORDER),
+                "sizes": len(COARSE_SIZES),
+            },
+            {
+                "block": "total",
+                "experiments": self.total,
+                "paradigms": len(FINE_PARADIGMS) + len(COARSE_PARADIGMS),
+                "workflows": len(APPLICATIONS_ORDER),
+                "sizes": len(set(FINE_SIZES) | set(COARSE_SIZES)),
+            },
+        ]
+
+
+def build_design(
+    seed: int = 0,
+    applications: Optional[Iterable[str]] = None,
+    fine_sizes: Optional[Iterable[int]] = None,
+    coarse_sizes: Optional[Iterable[int]] = None,
+) -> ExperimentDesign:
+    """Enumerate the 140 experiments (or a filtered subset)."""
+    apps = tuple(applications or APPLICATIONS_ORDER)
+    f_sizes = tuple(fine_sizes or FINE_SIZES)
+    c_sizes = tuple(coarse_sizes or COARSE_SIZES)
+
+    fine: list[ExperimentSpec] = []
+    for pname in FINE_PARADIGMS:
+        paradigm(pname)  # validate
+        for app in apps:
+            for size in f_sizes:
+                fine.append(
+                    ExperimentSpec(
+                        experiment_id=f"fine/{pname}/{app}/{size}",
+                        paradigm_name=pname,
+                        application=app,
+                        num_tasks=size,
+                        granularity="fine",
+                        seed=seed,
+                    )
+                )
+    coarse: list[ExperimentSpec] = []
+    for pname in COARSE_PARADIGMS:
+        paradigm(pname)
+        for app in apps:
+            for size in c_sizes:
+                coarse.append(
+                    ExperimentSpec(
+                        experiment_id=f"coarse/{pname}/{app}/{size}",
+                        paradigm_name=pname,
+                        application=app,
+                        num_tasks=size,
+                        granularity="coarse",
+                        seed=seed,
+                    )
+                )
+    return ExperimentDesign(fine=tuple(fine), coarse=tuple(coarse))

@@ -1,0 +1,213 @@
+"""Data series for every figure in the paper's evaluation (Figures 3-7).
+
+Each ``figN_*`` function runs the relevant slice of the Table-I design
+and returns rows shaped like the corresponding figure's panels, so the
+benchmark harness (and the text reports) regenerate the same comparisons
+the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.experiments.design import (
+    APPLICATIONS_ORDER,
+    COARSE_SIZES,
+    FINE_SIZES,
+    ExperimentSpec,
+)
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.simulation.rng import derive_seed
+from repro.wfcommons import WorkflowAnalyzer, WorkflowGenerator, recipe_for
+
+__all__ = [
+    "fig3_characterization",
+    "fig4_knative_setups",
+    "fig5_local_container_setups",
+    "fig6_coarse_grained",
+    "fig7_best_setups",
+    "headline_reductions",
+    "run_cells",
+]
+
+#: Figures 4 and 5 "emphasize the Blast and Epigenomics workflows, as they
+#: exemplify the two main behaviors" (paper §V-B).
+EXEMPLAR_WORKFLOWS = ("blast", "epigenomics")
+
+#: Paper §V-D behaviour grouping.
+GROUP_1 = ("blast", "bwa", "genome", "seismology", "srasearch")
+GROUP_2 = ("cycles", "epigenomics")
+
+
+def _spec(paradigm: str, app: str, size: int, granularity: str,
+          seed: int = 0) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=f"{granularity}/{paradigm}/{app}/{size}",
+        paradigm_name=paradigm,
+        application=app,
+        num_tasks=size,
+        granularity=granularity,
+        seed=seed,
+    )
+
+
+def run_cells(
+    runner: ExperimentRunner,
+    paradigms: Iterable[str],
+    applications: Iterable[str],
+    sizes: Iterable[int],
+    granularity: str = "fine",
+    seed: int = 0,
+) -> list[ExperimentResult]:
+    """Run the cross product of cells and return their results."""
+    results = []
+    for paradigm_name in paradigms:
+        for app in applications:
+            for size in sizes:
+                results.append(
+                    runner.run_spec(_spec(paradigm_name, app, size, granularity, seed))
+                )
+    return results
+
+
+# ---------------------------------------------------------------------------
+def fig3_characterization(
+    sizes: Iterable[int] = (100,),
+    applications: Iterable[str] = APPLICATIONS_ORDER,
+    seed: int = 0,
+    base_cpu_work: float = 100.0,
+) -> list[dict[str, Any]]:
+    """Figure 3: per-workflow phase density and function-type histograms."""
+    analyzer = WorkflowAnalyzer()
+    rows: list[dict[str, Any]] = []
+    for app in applications:
+        recipe = recipe_for(app)(base_cpu_work=base_cpu_work)
+        generator = WorkflowGenerator(recipe, seed=derive_seed(seed, app))
+        for size in sizes:
+            char = analyzer.characterize(generator.build_workflow(size))
+            rows.append(
+                {
+                    "workflow": app,
+                    "size": size,
+                    "num_tasks": char.num_tasks,
+                    "num_edges": char.num_edges,
+                    "num_phases": char.num_phases,
+                    "max_width": char.max_width,
+                    "density_ratio": round(char.density_ratio, 3),
+                    "group": 1 if app in GROUP_1 else 2,
+                    "phase_density": char.phase_density,
+                    "category_counts": char.category_counts,
+                }
+            )
+    return rows
+
+
+def _comparison_rows(results: list[ExperimentResult]) -> list[dict[str, Any]]:
+    return [r.row() for r in results]
+
+
+def fig4_knative_setups(
+    runner: Optional[ExperimentRunner] = None,
+    applications: Iterable[str] = EXEMPLAR_WORKFLOWS,
+    sizes: Iterable[int] = FINE_SIZES,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Figure 4: Kn1wPM vs Kn1wNoPM vs Kn10wNoPM."""
+    runner = runner or ExperimentRunner(seed=seed)
+    results = run_cells(
+        runner, ("Kn1wPM", "Kn1wNoPM", "Kn10wNoPM"), applications, sizes, "fine", seed
+    )
+    return _comparison_rows(results)
+
+
+def fig5_local_container_setups(
+    runner: Optional[ExperimentRunner] = None,
+    applications: Iterable[str] = EXEMPLAR_WORKFLOWS,
+    sizes: Iterable[int] = FINE_SIZES,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Figure 5: LC1wPM vs LC1wNoPM vs LC10wNoPM vs LC10wNoPMNoCR."""
+    runner = runner or ExperimentRunner(seed=seed)
+    results = run_cells(
+        runner,
+        ("LC1wPM", "LC1wNoPM", "LC10wNoPM", "LC10wNoPMNoCR"),
+        applications, sizes, "fine", seed,
+    )
+    return _comparison_rows(results)
+
+
+def fig6_coarse_grained(
+    runner: Optional[ExperimentRunner] = None,
+    applications: Iterable[str] = APPLICATIONS_ORDER,
+    sizes: Iterable[int] = COARSE_SIZES,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Figure 6: coarse-grained Kn1000wPM vs LC1000wPM across 3 sizes."""
+    runner = runner or ExperimentRunner(seed=seed)
+    results = run_cells(
+        runner, ("Kn1000wPM", "LC1000wPM"), applications, sizes, "coarse", seed
+    )
+    return _comparison_rows(results)
+
+
+def fig7_best_setups(
+    runner: Optional[ExperimentRunner] = None,
+    applications: Iterable[str] = APPLICATIONS_ORDER,
+    sizes: Iterable[int] = FINE_SIZES,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Figure 7: the best setups head-to-head (Kn10wNoPM vs LC10wNoPM)."""
+    runner = runner or ExperimentRunner(seed=seed)
+    results = run_cells(
+        runner, ("Kn10wNoPM", "LC10wNoPM"), applications, sizes, "fine", seed
+    )
+    return _comparison_rows(results)
+
+
+def headline_reductions(
+    rows: Optional[list[dict[str, Any]]] = None,
+    runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """The abstract's headline: max CPU/memory reduction of serverless vs
+    local containers at matched (workflow, size), Kn10wNoPM vs LC10wNoPM."""
+    rows = rows if rows is not None else fig7_best_setups(runner=runner, seed=seed)
+    by_cell: dict[tuple[str, int], dict[str, dict[str, Any]]] = {}
+    for row in rows:
+        cell = (row["workflow"], row["size"])
+        by_cell.setdefault(cell, {})[row["paradigm"]] = row
+
+    best = {
+        "cpu_reduction_percent": 0.0,
+        "memory_reduction_percent": 0.0,
+        "cpu_reduction_cell": None,
+        "memory_reduction_cell": None,
+        "per_cell": [],
+    }
+    for cell, pair in sorted(by_cell.items()):
+        kn = pair.get("Kn10wNoPM")
+        lc = pair.get("LC10wNoPM")
+        if not kn or not lc or not kn["succeeded"] or not lc["succeeded"]:
+            continue
+        cpu_red = 100.0 * (1.0 - kn["cpu_usage_cores"] / max(lc["cpu_usage_cores"], 1e-9))
+        mem_red = 100.0 * (1.0 - kn["memory_gb"] / max(lc["memory_gb"], 1e-9))
+        slowdown = kn["makespan_seconds"] / max(lc["makespan_seconds"], 1e-9)
+        power_ratio = kn["power_watts"] / max(lc["power_watts"], 1e-9)
+        best["per_cell"].append(
+            {
+                "workflow": cell[0],
+                "size": cell[1],
+                "group": 1 if cell[0] in GROUP_1 else 2,
+                "cpu_reduction_percent": round(cpu_red, 2),
+                "memory_reduction_percent": round(mem_red, 2),
+                "slowdown": round(slowdown, 2),
+                "power_ratio": round(power_ratio, 3),
+            }
+        )
+        if cpu_red > best["cpu_reduction_percent"]:
+            best["cpu_reduction_percent"] = round(cpu_red, 2)
+            best["cpu_reduction_cell"] = cell
+        if mem_red > best["memory_reduction_percent"]:
+            best["memory_reduction_percent"] = round(mem_red, 2)
+            best["memory_reduction_cell"] = cell
+    return best

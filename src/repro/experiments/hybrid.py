@@ -1,0 +1,127 @@
+"""Hybrid-paradigm execution (paper §V-D / conclusion, future work).
+
+"The optimal strategy for complex workflows might be combining executions
+on serverless and bare-metal local containers for different tasks or
+groups of tasks."  This module implements that idea on top of the
+gateway: a :class:`HybridPolicy` assigns every task a paradigm, the
+runner deploys both platforms on the same cluster and the manager routes
+each function's HTTP request accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+    WorkflowRunResult,
+)
+from repro.monitoring.metrics import ResourceAggregates
+from repro.monitoring.sampler import SimClusterSampler
+from repro.platform.cluster import Cluster, ClusterSpec
+from repro.platform.gateway import HttpGateway
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfcommons.analysis import phase_levels
+from repro.wfcommons.schema import Workflow
+
+__all__ = ["HybridPolicy", "dense_phase_policy", "run_hybrid"]
+
+KNATIVE_URL = "http://wfbench.knative-functions.00.000.000.000.sslip.io/wfbench"
+LOCAL_URL = "http://localhost:80/wfbench"
+
+#: task -> "knative" | "local"
+HybridPolicy = Callable[[Workflow, str], str]
+
+
+def dense_phase_policy(threshold: int = 32) -> HybridPolicy:
+    """Route tasks in phases wider than ``threshold`` to serverless.
+
+    Wide (dense) phases are where the paper found serverless saves the
+    most resources; narrow phases run on the local container where they
+    are fastest.
+    """
+
+    cache: dict[int, tuple[dict[str, int], dict[int, int]]] = {}
+
+    def policy(workflow: Workflow, task_name: str) -> str:
+        key = id(workflow)
+        if key not in cache:
+            levels = phase_levels(workflow)
+            width: dict[int, int] = {}
+            for level in levels.values():
+                width[level] = width.get(level, 0) + 1
+            cache[key] = (levels, width)
+        levels, width = cache[key]
+        return "knative" if width[levels[task_name]] >= threshold else "local"
+
+    return policy
+
+
+def run_hybrid(
+    workflow: Workflow,
+    policy: Optional[HybridPolicy] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+    knative_config: Optional[KnativeConfig] = None,
+    local_config: Optional[LocalContainerRuntimeConfig] = None,
+    manager_config: Optional[ManagerConfig] = None,
+    seed: int = 0,
+) -> tuple[WorkflowRunResult, ResourceAggregates]:
+    """Execute one workflow under a hybrid paradigm mapping."""
+    policy = policy or dense_phase_policy()
+    env = Environment()
+    cluster = Cluster(env, cluster_spec)
+    drive = SimulatedSharedDrive()
+    for f in workflow_input_files(workflow):
+        drive.put(f.name, f.size_in_bytes)
+
+    rng = np.random.default_rng(seed)
+    knative = KnativePlatform(
+        env, cluster, drive,
+        config=knative_config or KnativeConfig(container_concurrency=10),
+        rng=rng,
+    )
+    # The hybrid's static container is right-sized for the narrow phases
+    # it serves ("if applied strategically", paper §V-D) — a full-machine
+    # container would forfeit the resource savings serverless brings.
+    local = LocalContainerPlatform(
+        env, cluster, drive,
+        config=local_config or LocalContainerRuntimeConfig(
+            workers=32, cpu_quota_cores=32.0, memory_limit_bytes=16 << 30,
+        ),
+        rng=rng,
+    )
+    gateway = HttpGateway()
+    gateway.register(KNATIVE_URL, knative)
+    gateway.register(LOCAL_URL, local, default=True)
+
+    # Stamp each task's api_url according to the policy.
+    for name, task in workflow.tasks.items():
+        task.command.api_url = (
+            KNATIVE_URL if policy(workflow, name) == "knative" else LOCAL_URL
+        )
+
+    sampler = SimClusterSampler(env, cluster).start()
+    invoker = SimulatedInvoker(gateway)
+    manager = ServerlessWorkflowManager(
+        invoker, drive, manager_config or ManagerConfig()
+    )
+    run = manager.execute(workflow, platform_label="hybrid", paradigm_label="Hybrid")
+    sampler.sample()
+    knative.shutdown()
+    local.shutdown()
+    aggregates = ResourceAggregates.from_frame(
+        sampler.frame, run.started_at, run.finished_at
+    )
+    run.metrics.update(aggregates.as_dict())
+    return run, aggregates

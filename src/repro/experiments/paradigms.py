@@ -1,0 +1,140 @@
+"""Table II: the nine computational paradigms.
+
+Names and semantics follow the paper exactly:
+
+========================  =================================================
+Kn1wPM                    Knative, 1 worker per pod, persistent memory
+Kn1wNoPM                  Knative, 1 worker per pod, no persistent memory
+Kn10wNoPM                 Knative, 10 workers per pod, no persistent memory
+Kn1000wPM                 Knative, 1000 workers per pod, PM (coarse only)
+LC1wPM                    Local container, 1 worker/thread, PM
+LC1wNoPM                  Local container, 1 worker/thread, NoPM
+LC10wNoPM                 Local container, 10 workers/thread, NoPM
+LC10wNoPMNoCR             Same, and no CPU requirement (no quota/limits)
+LC1000wPM                 Local container, 1000 workers, PM (coarse only)
+========================  =================================================
+
+The paper's artifact stores the LC results as ``local-container-96w`` and
+``local-container-960w`` — one and ten gunicorn workers per hardware
+thread of the 96-thread worker node — which is how the "1w"/"10w"
+per-process labels are materialised here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ExperimentError
+from repro.platform.knative.config import KnativeConfig
+from repro.platform.localcontainer.config import LocalContainerRuntimeConfig
+
+__all__ = ["Paradigm", "PARADIGMS", "FINE_PARADIGMS", "COARSE_PARADIGMS", "paradigm"]
+
+GB = 1 << 30
+
+#: Hardware threads of the worker node (2× EPYC 7443).
+_NODE_THREADS = 96
+
+
+@dataclass(frozen=True)
+class Paradigm:
+    """One row of Table II, resolvable to a platform configuration."""
+
+    name: str
+    platform: str            # "knative" | "local"
+    workers_label: str       # "1w" | "10w" | "1000w"
+    persistent_memory: bool  # PM vs NoPM (the --vm-keep axis)
+    cpu_requirement: bool    # CR vs NoCR (reserve resources in advance)
+    granularity: str         # "fine" | "coarse"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.platform not in ("knative", "local"):
+            raise ExperimentError(f"unknown platform {self.platform!r}")
+        if self.granularity not in ("fine", "coarse"):
+            raise ExperimentError(f"unknown granularity {self.granularity!r}")
+
+    @property
+    def is_serverless(self) -> bool:
+        return self.platform == "knative"
+
+    # -- resolution to platform configs --------------------------------------
+    def knative_config(self, node_cores: int = _NODE_THREADS,
+                       node_memory_bytes: int = 192 * GB) -> KnativeConfig:
+        if not self.is_serverless:
+            raise ExperimentError(f"{self.name} is not a Knative paradigm")
+        if self.granularity == "coarse":
+            return KnativeConfig.coarse_grained(
+                node_cores=node_cores, node_memory_bytes=node_memory_bytes
+            )
+        workers = {"1w": 1, "10w": 10}[self.workers_label]
+        return KnativeConfig(container_concurrency=workers)
+
+    def local_config(self, node_cores: int = _NODE_THREADS
+                     ) -> LocalContainerRuntimeConfig:
+        if self.is_serverless:
+            raise ExperimentError(f"{self.name} is not a local-container paradigm")
+        per_thread = {"1w": 1, "10w": 10, "1000w": 10}[self.workers_label]
+        workers = per_thread * _NODE_THREADS
+        if self.workers_label == "1000w":
+            workers = 1000
+        if self.cpu_requirement:
+            return LocalContainerRuntimeConfig(
+                workers=workers,
+                cpu_quota_cores=float(node_cores),
+                memory_limit_bytes=64 * GB,
+            )
+        return LocalContainerRuntimeConfig(
+            workers=workers, cpu_quota_cores=None, memory_limit_bytes=None
+        )
+
+
+def _p(name: str, platform: str, workers: str, pm: bool, cr: bool,
+       granularity: str, description: str) -> Paradigm:
+    return Paradigm(name, platform, workers, pm, cr, granularity, description)
+
+
+#: Table II, keyed by paradigm name.
+PARADIGMS: dict[str, Paradigm] = {
+    p.name: p
+    for p in (
+        _p("Kn1wPM", "knative", "1w", True, True, "fine",
+           "Knative, 1 worker per pod, persistent memory over the functions"),
+        _p("Kn1wNoPM", "knative", "1w", False, True, "fine",
+           "Knative, 1 worker per pod, no persistent memory"),
+        _p("Kn10wNoPM", "knative", "10w", False, True, "fine",
+           "Knative, 10 workers per pod, no persistent memory"),
+        _p("Kn1000wPM", "knative", "1000w", True, True, "coarse",
+           "Knative, 1000 workers per pod, persistent memory (coarse-grained)"),
+        _p("LC1wPM", "local", "1w", True, True, "fine",
+           "Local containers, 1 worker per thread, persistent memory"),
+        _p("LC1wNoPM", "local", "1w", False, True, "fine",
+           "Local containers, 1 worker per thread, no persistent memory"),
+        _p("LC10wNoPM", "local", "10w", False, True, "fine",
+           "Local containers, 10 workers per thread, no persistent memory"),
+        _p("LC10wNoPMNoCR", "local", "10w", False, False, "fine",
+           "Local containers, 10 workers per thread, no persistent memory, "
+           "no CPU requirement"),
+        _p("LC1000wPM", "local", "1000w", True, True, "coarse",
+           "Local containers, 1000 workers, persistent memory (coarse-grained)"),
+    )
+}
+
+#: The 7 fine-grained paradigms of Table I's 98-experiment block.
+FINE_PARADIGMS: tuple[str, ...] = (
+    "Kn1wPM", "Kn1wNoPM", "Kn10wNoPM",
+    "LC1wPM", "LC1wNoPM", "LC10wNoPM", "LC10wNoPMNoCR",
+)
+
+#: The 2 coarse-grained paradigms of Table I's 42-experiment block.
+COARSE_PARADIGMS: tuple[str, ...] = ("Kn1000wPM", "LC1000wPM")
+
+
+def paradigm(name: str) -> Paradigm:
+    try:
+        return PARADIGMS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown paradigm {name!r}; known: {sorted(PARADIGMS)}"
+        )

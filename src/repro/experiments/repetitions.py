@@ -1,0 +1,136 @@
+"""Repeated runs with dispersion statistics.
+
+The paper runs each of its 140 experiments once.  A credible harness
+also supports repetitions: :func:`run_repetitions` executes one cell N
+times with distinct seeds (fresh workflows, fresh noise draws) and
+reports mean, standard deviation and a normal-approximation confidence
+interval per metric — enough to judge whether a paradigm difference
+exceeds run-to-run noise (:func:`significant_difference`).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.platform.cluster import ClusterSpec
+from repro.simulation.rng import derive_seed
+
+__all__ = ["MetricSummary", "RepetitionReport", "run_repetitions",
+           "significant_difference"]
+
+_METRICS = ("makespan_seconds", "cpu_usage_cores", "memory_gb", "power_watts")
+
+#: z-value for a 95 % normal confidence interval.
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Dispersion of one metric across repetitions."""
+
+    metric: str
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return _Z95 * self.stdev / math.sqrt(self.n)
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        half = self.ci95_halfwidth
+        return (self.mean - half, self.mean + half)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (relative noise)."""
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+@dataclass(frozen=True)
+class RepetitionReport:
+    """All repetitions of one cell."""
+
+    paradigm: str
+    application: str
+    num_tasks: int
+    results: tuple[ExperimentResult, ...]
+    summaries: dict[str, MetricSummary]
+
+    @property
+    def n(self) -> int:
+        return len(self.results)
+
+    @property
+    def all_succeeded(self) -> bool:
+        return all(r.succeeded for r in self.results)
+
+    def summary(self, metric: str) -> MetricSummary:
+        return self.summaries[metric]
+
+
+def run_repetitions(
+    paradigm: str,
+    application: str,
+    num_tasks: int,
+    repetitions: int = 5,
+    granularity: str = "fine",
+    base_seed: int = 0,
+    cluster_spec: Optional[ClusterSpec] = None,
+) -> RepetitionReport:
+    """Execute one cell ``repetitions`` times with independent seeds."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    results: list[ExperimentResult] = []
+    for repetition in range(repetitions):
+        seed = derive_seed(base_seed, f"rep:{repetition}") % (2**31)
+        runner = ExperimentRunner(seed=seed, cluster_spec=cluster_spec)
+        spec = ExperimentSpec(
+            experiment_id=f"rep{repetition}/{paradigm}/{application}/{num_tasks}",
+            paradigm_name=paradigm,
+            application=application,
+            num_tasks=num_tasks,
+            granularity=granularity,
+            seed=seed,
+        )
+        results.append(runner.run_spec(spec))
+
+    summaries: dict[str, MetricSummary] = {}
+    for metric in _METRICS:
+        values = [getattr(r.aggregates, metric) for r in results
+                  if r.succeeded]
+        if not values:
+            values = [0.0]
+        summaries[metric] = MetricSummary(
+            metric=metric,
+            mean=statistics.fmean(values),
+            stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+            minimum=min(values),
+            maximum=max(values),
+            n=len(values),
+        )
+    return RepetitionReport(
+        paradigm=paradigm,
+        application=application,
+        num_tasks=num_tasks,
+        results=tuple(results),
+        summaries=summaries,
+    )
+
+
+def significant_difference(a: MetricSummary, b: MetricSummary) -> bool:
+    """True when the 95 % confidence intervals do not overlap — a simple
+    (conservative) test that a paradigm difference exceeds noise."""
+    a_low, a_high = a.ci95
+    b_low, b_high = b.ci95
+    return a_high < b_low or b_high < a_low

@@ -1,0 +1,63 @@
+"""Plain-text tables and CSV export for the experiment harness."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "write_rows_csv"]
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Fixed-width text table from dict rows (skips nested values)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = [
+            k for k, v in rows[0].items() if not isinstance(v, (list, dict))
+        ]
+    header = list(columns)
+    body = [
+        ["" if row.get(c) is None else str(row.get(c, "")) for c in header]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[dict[str, Any]],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """CSV text from dict rows (nested values JSON-ish via str())."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k) for k in columns})
+    return buffer.getvalue()
+
+
+def write_rows_csv(rows: Sequence[dict[str, Any]], path: str | Path,
+                   columns: Optional[Sequence[str]] = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows, columns))
+    return path

@@ -1,0 +1,199 @@
+"""The generate → translate → execute → measure pipeline (paper Fig. 1).
+
+For each :class:`~repro.experiments.design.ExperimentSpec` the runner:
+
+1. generates the workflow with the WfCommons substrate (cached per
+   application/size/seed — the paper generates each workflow once);
+2. translates it for the paradigm's platform (Knative or local-container
+   translator), which also fixes every task's ``api_url``;
+3. builds a fresh simulated cluster + platform + shared drive, stages the
+   workflow's input datasets, attaches the 1 Hz sampler;
+4. executes the workflow through the serverless workflow manager;
+5. aggregates the sampled metrics over the run window — execution time,
+   CPU usage, memory usage, power — the four metrics of Figures 4-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+    WorkflowRunResult,
+)
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.paradigms import Paradigm, paradigm
+from repro.monitoring.metrics import MetricsFrame, ResourceAggregates
+from repro.monitoring.sampler import SimClusterSampler
+from repro.platform.base import Platform, PlatformStats
+from repro.platform.cluster import Cluster, ClusterSpec
+from repro.platform.knative import KnativePlatform
+from repro.platform.localcontainer import LocalContainerPlatform
+from repro.simulation import Environment
+from repro.simulation.rng import derive_seed
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons import WorkflowGenerator, recipe_for
+from repro.wfcommons.schema import Workflow
+from repro.wfcommons.translators import KnativeTranslator, LocalContainerTranslator
+
+__all__ = ["ExperimentResult", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    spec: ExperimentSpec
+    run: WorkflowRunResult
+    aggregates: ResourceAggregates
+    platform_stats: PlatformStats
+    frame: Optional[MetricsFrame] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.run.succeeded
+
+    def row(self) -> dict[str, Any]:
+        """Flat record for tables/CSV (one figure data point)."""
+        return {
+            "experiment": self.spec.experiment_id,
+            "paradigm": self.spec.paradigm_name,
+            "workflow": self.spec.application,
+            "size": self.spec.num_tasks,
+            "granularity": self.spec.granularity,
+            "succeeded": self.succeeded,
+            "error": self.run.error[:120],
+            **self.aggregates.as_dict(),
+            "cold_starts": self.platform_stats.cold_starts,
+            "peak_units": self.platform_stats.peak_units,
+        }
+
+
+class ExperimentRunner:
+    """Runs experiment specs on fresh simulated clusters."""
+
+    def __init__(
+        self,
+        cluster_spec: Optional[ClusterSpec] = None,
+        model: Optional[WfBenchModel] = None,
+        # The artifact's recipe directories are named e.g.
+        # ``BlastRecipe-250-100``: cpu-work 250 (~5 CPU-seconds per
+        # weight-1 task under the default model calibration).
+        base_cpu_work: float = 250.0,
+        manager_config: Optional[ManagerConfig] = None,
+        keep_frames: bool = False,
+        seed: int = 0,
+    ):
+        self.cluster_spec = cluster_spec
+        self.model = model or WfBenchModel()
+        self.base_cpu_work = float(base_cpu_work)
+        self.manager_config = manager_config
+        self.keep_frames = keep_frames
+        self.seed = int(seed)
+        self._workflow_cache: dict[tuple[str, int, int], Workflow] = {}
+
+    # ------------------------------------------------------------------
+    def workflow_for(self, application: str, num_tasks: int, seed: int) -> Workflow:
+        key = (application, num_tasks, seed)
+        if key not in self._workflow_cache:
+            recipe = recipe_for(application)(base_cpu_work=self.base_cpu_work)
+            generator = WorkflowGenerator(recipe, seed=derive_seed(seed, application))
+            self._workflow_cache[key] = generator.build_workflow(num_tasks)
+        return self._workflow_cache[key]
+
+    def _build_platform(
+        self,
+        par: Paradigm,
+        env: Environment,
+        cluster: Cluster,
+        drive: SimulatedSharedDrive,
+        rng: np.random.Generator,
+    ) -> Platform:
+        worker_spec = cluster.workers[0].spec if cluster.workers else \
+            cluster.nodes[0].spec
+        if par.is_serverless:
+            return KnativePlatform(
+                env, cluster, drive,
+                config=par.knative_config(
+                    node_cores=worker_spec.cores,
+                    node_memory_bytes=worker_spec.memory_bytes,
+                ),
+                model=self.model, rng=rng,
+            )
+        config = par.local_config(node_cores=worker_spec.cores)
+        config.node_name = worker_spec.name
+        return LocalContainerPlatform(
+            env, cluster, drive, config=config, model=self.model, rng=rng,
+        )
+
+    def _translate(self, par: Paradigm, workflow: Workflow) -> Workflow:
+        """Run the paradigm's translator and reload the emitted document.
+
+        This keeps the full paper pipeline honest: the manager executes
+        the *translated* JSON, with its key/value arguments and api_url.
+        """
+        if par.is_serverless:
+            doc = KnativeTranslator().translate(workflow)
+        else:
+            doc = LocalContainerTranslator().translate(workflow)
+        translated = Workflow.from_json(doc)
+        for name, task in translated.tasks.items():
+            task.command.api_url = doc["workflow"]["tasks"][name]["command"]["api_url"]
+        return translated
+
+    # ------------------------------------------------------------------
+    def run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
+        par = paradigm(spec.paradigm_name)
+        workflow = self.workflow_for(spec.application, spec.num_tasks,
+                                     spec.seed or self.seed)
+        translated = self._translate(par, workflow)
+
+        env = Environment()
+        cluster = Cluster(env, self.cluster_spec)
+        drive = SimulatedSharedDrive()
+        for f in workflow_input_files(translated):
+            drive.put(f.name, f.size_in_bytes)
+        rng = np.random.default_rng(
+            derive_seed(spec.seed or self.seed, spec.experiment_id)
+        )
+        platform = self._build_platform(par, env, cluster, drive, rng)
+        sampler = SimClusterSampler(env, cluster, platform=platform).start()
+
+        manager_config = self.manager_config or ManagerConfig()
+        manager_config = ManagerConfig(
+            **{**manager_config.__dict__, "keep_memory": par.persistent_memory}
+        )
+        invoker = SimulatedInvoker(platform)
+        manager = ServerlessWorkflowManager(invoker, drive, manager_config)
+
+        run = manager.execute(
+            translated,
+            platform_label=par.platform,
+            paradigm_label=par.name,
+        )
+        # Let scale-down/termination effects settle one sampling tick, then
+        # take the final sample so integrals cover the whole run.
+        sampler.sample()
+        platform.shutdown()
+
+        aggregates = ResourceAggregates.from_frame(
+            sampler.frame, run.started_at, run.finished_at
+        )
+        run.metrics.update(aggregates.as_dict())
+        return ExperimentResult(
+            spec=spec,
+            run=run,
+            aggregates=aggregates,
+            platform_stats=platform.stats,
+            frame=sampler.frame if self.keep_frames else None,
+        )
+
+    def run_many(self, specs: list[ExperimentSpec]) -> list[ExperimentResult]:
+        return [self.run_spec(spec) for spec in specs]

@@ -1,0 +1,141 @@
+"""Generic parameter sweeps over the experiment harness.
+
+The paper varies "the size of the workflows, the amount of CPU each
+function should stress, the choice of keeping or not keeping memory
+allocated ... and the granularity of the serverless processes" (§III).
+:class:`ParameterSweep` generalises that: a grid over arbitrary knobs —
+experiment-spec fields (``application``, ``num_tasks``, ``paradigm``),
+platform-config overrides (``knative.<field>``, ``local.<field>``), the
+WfBench scale (``cpu_work``) and manager fields (``manager.<field>``) —
+each cell executed on a fresh simulated cluster.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.core import ManagerConfig
+from repro.errors import ExperimentError
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.platform.cluster import ClusterSpec
+
+__all__ = ["SweepCell", "ParameterSweep"]
+
+_SPEC_KEYS = {"application", "num_tasks", "paradigm"}
+_SCALE_KEYS = {"cpu_work"}
+_PREFIXES = ("knative.", "local.", "manager.")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point and its result."""
+
+    parameters: Mapping[str, Any]
+    result: ExperimentResult
+
+    def row(self) -> dict[str, Any]:
+        return {**dict(self.parameters), **self.result.row()}
+
+
+class _OverridingRunner(ExperimentRunner):
+    """ExperimentRunner that applies per-cell config overrides."""
+
+    def __init__(self, overrides: Mapping[str, Any], **kw):
+        self._overrides = dict(overrides)
+        manager_fields = {
+            key.split(".", 1)[1]: value
+            for key, value in self._overrides.items()
+            if key.startswith("manager.")
+        }
+        manager_config = ManagerConfig(**manager_fields) if manager_fields else None
+        super().__init__(manager_config=manager_config, **kw)
+
+    def _build_platform(self, par, env, cluster, drive, rng):
+        platform = super()._build_platform(par, env, cluster, drive, rng)
+        prefix = "knative." if par.is_serverless else "local."
+        for key, value in self._overrides.items():
+            if key.startswith(prefix):
+                attr = key.split(".", 1)[1]
+                if not hasattr(platform.config, attr):
+                    raise ExperimentError(
+                        f"{type(platform.config).__name__} has no field {attr!r}"
+                    )
+                setattr(platform.config, attr, value)
+        return platform
+
+
+class ParameterSweep:
+    """Cartesian-product sweep executor."""
+
+    def __init__(
+        self,
+        axes: Mapping[str, Iterable[Any]],
+        base_application: str = "blast",
+        base_num_tasks: int = 100,
+        base_paradigm: str = "Kn10wNoPM",
+        cluster_spec: Optional[ClusterSpec] = None,
+        seed: int = 0,
+    ):
+        if not axes:
+            raise ExperimentError("sweep needs at least one axis")
+        for key in axes:
+            if (key not in _SPEC_KEYS and key not in _SCALE_KEYS
+                    and not key.startswith(_PREFIXES)):
+                raise ExperimentError(
+                    f"unknown sweep axis {key!r}; use one of {_SPEC_KEYS}, "
+                    f"{_SCALE_KEYS} or a '<knative|local|manager>.<field>' "
+                    f"override"
+                )
+        self.axes = {key: list(values) for key, values in axes.items()}
+        self.base = {
+            "application": base_application,
+            "num_tasks": base_num_tasks,
+            "paradigm": base_paradigm,
+        }
+        self.cluster_spec = cluster_spec
+        self.seed = seed
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def cells(self) -> list[dict[str, Any]]:
+        keys = list(self.axes)
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.axes[k] for k in keys))
+        ]
+
+    def run(self) -> list[SweepCell]:
+        results: list[SweepCell] = []
+        for cell in self.cells():
+            application = cell.get("application", self.base["application"])
+            num_tasks = int(cell.get("num_tasks", self.base["num_tasks"]))
+            paradigm_name = cell.get("paradigm", self.base["paradigm"])
+            overrides = {k: v for k, v in cell.items()
+                         if k.startswith(_PREFIXES)}
+            runner = _OverridingRunner(
+                overrides,
+                cluster_spec=self.cluster_spec,
+                base_cpu_work=float(cell.get("cpu_work", 250.0)),
+                seed=self.seed,
+            )
+            from repro.experiments.paradigms import paradigm as lookup
+
+            spec = ExperimentSpec(
+                experiment_id="sweep/" + "/".join(
+                    f"{k}={cell[k]}" for k in sorted(cell)),
+                paradigm_name=paradigm_name,
+                application=application,
+                num_tasks=num_tasks,
+                granularity=lookup(paradigm_name).granularity,
+                seed=self.seed,
+            )
+            results.append(SweepCell(parameters=cell,
+                                     result=runner.run_spec(spec)))
+        return results

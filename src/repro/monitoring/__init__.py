@@ -1,0 +1,30 @@
+"""Monitoring: the reproduction of the paper's PCP/`pmdumptext` pipeline.
+
+The paper samples ``kernel.all.cpu.user``, ``mem.util.used`` and two RAPL
+package power rates at 1 Hz on each node while a workflow runs, dumping
+CSVs that the analysis notebooks aggregate.  This package provides:
+
+* :mod:`~repro.monitoring.metrics` — time series containers + aggregates;
+* :mod:`~repro.monitoring.power` — the RAPL-style power model;
+* :mod:`~repro.monitoring.sampler` — a 1 Hz sampler over the simulated
+  cluster, plus a ``/proc``-based sampler for real-execution runs;
+* :mod:`~repro.monitoring.pcp` — `pmdumptext`-compatible CSV I/O.
+"""
+
+from repro.monitoring.metrics import MetricSeries, MetricsFrame, ResourceAggregates
+from repro.monitoring.power import PowerModel, RAPL_PACKAGES
+from repro.monitoring.sampler import SimClusterSampler, ProcSampler
+from repro.monitoring.pcp import PmdumptextWriter, read_pmdumptext, pmdumptext_command
+
+__all__ = [
+    "MetricSeries",
+    "MetricsFrame",
+    "ResourceAggregates",
+    "PowerModel",
+    "RAPL_PACKAGES",
+    "SimClusterSampler",
+    "ProcSampler",
+    "PmdumptextWriter",
+    "read_pmdumptext",
+    "pmdumptext_command",
+]

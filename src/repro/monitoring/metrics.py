@@ -1,0 +1,153 @@
+"""Time-series containers and the per-run resource aggregates.
+
+Metric naming follows PCP where an equivalent exists
+(``kernel.all.cpu.user``, ``mem.util.used``, ``denki.rapl.rate``); the
+simulation-only metrics (held cores, per-platform counters) get a
+``repro.`` prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["MetricSeries", "MetricsFrame", "ResourceAggregates"]
+
+
+class MetricSeries:
+    """One sampled metric: monotonically increasing times + values."""
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"{self.name}: non-monotonic sample time {time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def window(self, start: float, end: float) -> "MetricSeries":
+        """Sub-series with start <= t <= end."""
+        out = MetricSeries(self.name, self.unit)
+        for t, v in zip(self._times, self._values):
+            if start <= t <= end:
+                out.append(t, v)
+        return out
+
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def min(self) -> float:
+        return float(np.min(self._values)) if self._values else 0.0
+
+    def integral(self) -> float:
+        """Trapezoidal integral over time (e.g. watts → joules)."""
+        if len(self._times) < 2:
+            return 0.0
+        return float(np.trapezoid(self._values, self._times))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MetricSeries({self.name!r}, n={len(self)})"
+
+
+class MetricsFrame:
+    """A bundle of series sampled together (one per metric per node)."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, MetricSeries] = {}
+
+    def series(self, name: str, unit: str = "") -> MetricSeries:
+        if name not in self._series:
+            self._series[name] = MetricSeries(name, unit)
+        return self._series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __getitem__(self, name: str) -> MetricSeries:
+        return self._series[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def append_row(self, time: float, values: dict[str, float]) -> None:
+        for name, value in values.items():
+            self.series(name).append(time, value)
+
+
+@dataclass
+class ResourceAggregates:
+    """The per-run numbers the paper's figures plot.
+
+    * ``cpu_usage_cores`` — mean occupied cores (max of busy and
+      reserved/held at each sample): the capacity the run denied to
+      everyone else;
+    * ``cpu_busy_cores`` — mean cores actually burning (drives power);
+    * ``memory_gb`` — mean resident memory;
+    * ``power_watts`` — mean cluster draw; ``energy_joules`` its integral.
+    """
+
+    makespan_seconds: float = 0.0
+    cpu_usage_cores: float = 0.0
+    cpu_busy_cores: float = 0.0
+    cpu_usage_peak_cores: float = 0.0
+    memory_gb: float = 0.0
+    memory_peak_gb: float = 0.0
+    power_watts: float = 0.0
+    energy_joules: float = 0.0
+
+    @classmethod
+    def from_frame(cls, frame: MetricsFrame, start: float, end: float
+                   ) -> "ResourceAggregates":
+        def agg(name: str) -> MetricSeries:
+            if name in frame:
+                return frame[name].window(start, end)
+            return MetricSeries(name)
+
+        occupied = agg("repro.cluster.cpu.occupied")
+        busy = agg("kernel.all.cpu.user")
+        mem = agg("mem.util.used")
+        power = agg("repro.cluster.power")
+        return cls(
+            makespan_seconds=max(0.0, end - start),
+            cpu_usage_cores=occupied.mean(),
+            cpu_busy_cores=busy.mean(),
+            cpu_usage_peak_cores=occupied.max(),
+            memory_gb=mem.mean() / (1 << 30),
+            memory_peak_gb=mem.max() / (1 << 30),
+            power_watts=power.mean(),
+            energy_joules=power.integral(),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "makespan_seconds": round(self.makespan_seconds, 3),
+            "cpu_usage_cores": round(self.cpu_usage_cores, 3),
+            "cpu_busy_cores": round(self.cpu_busy_cores, 3),
+            "cpu_usage_peak_cores": round(self.cpu_usage_peak_cores, 3),
+            "memory_gb": round(self.memory_gb, 3),
+            "memory_peak_gb": round(self.memory_peak_gb, 3),
+            "power_watts": round(self.power_watts, 1),
+            "energy_joules": round(self.energy_joules, 1),
+        }

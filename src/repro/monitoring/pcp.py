@@ -1,0 +1,110 @@
+"""`pmdumptext`-compatible CSV I/O.
+
+The paper collects metrics with::
+
+    pmdumptext -d ',' -f '%d/%m/%y %H:%M:%S' -t 1sec \\
+        kernel.all.cpu.user mem.util.used \\
+        denki.rapl.rate["0-package-0"] denki.rapl.rate["1-package-1"] \\
+        > measurements.csv
+
+This module writes/reads CSVs with exactly that column layout so the
+experiment harness's outputs look like the paper artifact's
+``workflow_executions`` files, and exposes the equivalent command line
+for documentation parity.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import datetime, timedelta
+from pathlib import Path
+from typing import Optional
+
+from repro.monitoring.metrics import MetricsFrame
+from repro.monitoring.power import RAPL_PACKAGES
+
+__all__ = ["PmdumptextWriter", "read_pmdumptext", "pmdumptext_command", "PCP_COLUMNS"]
+
+#: Column order of the paper's dumps.
+PCP_COLUMNS = (
+    "kernel.all.cpu.user",
+    "mem.util.used",
+    f'denki.rapl.rate["{RAPL_PACKAGES[0]}"]',
+    f'denki.rapl.rate["{RAPL_PACKAGES[1]}"]',
+)
+
+_TIME_FORMAT = "%d/%m/%y %H:%M:%S"
+_EPOCH = datetime(2024, 7, 12, 17, 9, 21)
+
+
+def pmdumptext_command(output_file: str, interval: str = "1sec") -> list[str]:
+    """The argv the paper's manager shells out to (AD/AE appendix)."""
+    return [
+        "pmdumptext", "-d", ",", "-f", _TIME_FORMAT, "-t", interval,
+        *PCP_COLUMNS, ">", output_file,
+    ]
+
+
+class PmdumptextWriter:
+    """Writes a :class:`MetricsFrame` as a pmdumptext-style CSV."""
+
+    def __init__(self, epoch: Optional[datetime] = None):
+        self.epoch = epoch or _EPOCH
+
+    def write(self, frame: MetricsFrame, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        cpu = frame.series("kernel.all.cpu.user")
+        mem = frame.series("mem.util.used")
+        power = frame.series("repro.cluster.power")
+        with open(path, "w", newline="") as handle:
+            # pmdumptext emits bare (unquoted) headers, so plain joins —
+            # csv.writer would quote the bracketed RAPL metric names.
+            handle.write("Time," + ",".join(PCP_COLUMNS) + "\n")
+            for i in range(len(cpu)):
+                t = cpu.times[i]
+                stamp = (self.epoch + timedelta(seconds=float(t))).strftime(_TIME_FORMAT)
+                total_power = power.values[i] if i < len(power) else 0.0
+                per_package = total_power / len(RAPL_PACKAGES)
+                mem_value = mem.values[i] if i < len(mem) else 0.0
+                handle.write(
+                    ",".join(
+                        [
+                            stamp,
+                            f"{cpu.values[i]:.3f}",
+                            f"{mem_value:.0f}",
+                            f"{per_package:.2f}",
+                            f"{per_package:.2f}",
+                        ]
+                    )
+                    + "\n"
+                )
+        return path
+
+
+def read_pmdumptext(path: str | Path) -> MetricsFrame:
+    """Parse a pmdumptext CSV back into a :class:`MetricsFrame`."""
+    frame = MetricsFrame()
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        columns = header[1:]
+        t0: Optional[datetime] = None
+        for row in reader:
+            if not row:
+                continue
+            stamp = datetime.strptime(row[0], _TIME_FORMAT)
+            if t0 is None:
+                t0 = stamp
+            seconds = (stamp - t0).total_seconds()
+            values: dict[str, float] = {}
+            power_total = 0.0
+            for name, cell in zip(columns, row[1:]):
+                value = float(cell)
+                if name.startswith("denki.rapl.rate"):
+                    power_total += value
+                else:
+                    values[name] = value
+            values["repro.cluster.power"] = power_total
+            frame.append_row(seconds, values)
+    return frame

@@ -1,0 +1,48 @@
+"""RAPL-style power model.
+
+The paper reads ``denki.rapl.rate["0-package-0"]`` and
+``denki.rapl.rate["1-package-1"]`` through PCP — per-socket package power.
+Without RAPL access we model package draw as idle power plus a dynamic
+term linear in that socket's utilisation, with coefficients sized for the
+testbed's EPYC 7443 parts (TDP 200 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PowerModel", "RAPL_PACKAGES"]
+
+#: The two RAPL endpoints the paper's pmdumptext command reads.
+RAPL_PACKAGES = ("0-package-0", "1-package-1")
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-socket package power as a function of utilisation."""
+
+    sockets: int = 2
+    idle_watts_per_socket: float = 90.0
+    peak_watts_per_socket: float = 200.0
+    #: Exponent of the utilisation→power curve (1.0 = linear; DVFS-rich
+    #: parts are slightly sub-linear at high load).
+    exponent: float = 1.0
+
+    def socket_watts(self, utilisation: float) -> float:
+        """Draw of one socket at ``utilisation`` ∈ [0, 1]."""
+        u = min(1.0, max(0.0, utilisation)) ** self.exponent
+        return self.idle_watts_per_socket + (
+            self.peak_watts_per_socket - self.idle_watts_per_socket
+        ) * u
+
+    def node_watts(self, utilisation: float) -> float:
+        """Draw of a whole node, load spread evenly across sockets."""
+        return self.sockets * self.socket_watts(utilisation)
+
+    def package_rates(self, utilisation: float) -> dict[str, float]:
+        """Per-package rates keyed like the paper's RAPL endpoints."""
+        per_socket = self.socket_watts(utilisation)
+        return {pkg: per_socket for pkg in RAPL_PACKAGES[: self.sockets]}
+
+    def energy_joules(self, utilisation: float, seconds: float) -> float:
+        return self.node_watts(utilisation) * seconds

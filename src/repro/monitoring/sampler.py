@@ -1,0 +1,196 @@
+"""Metric samplers.
+
+:class:`SimClusterSampler` is a simulation process sampling the cluster's
+gauges every second (the paper's ``pmdumptext -t 1sec`` cadence);
+:class:`ProcSampler` does the same for *real* executions by reading
+``/proc/stat`` and ``/proc/meminfo`` from a background thread, so the
+real-service examples produce comparable CSVs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Generator, Optional
+
+from repro.monitoring.metrics import MetricsFrame
+from repro.platform.cluster import Cluster
+from repro.simulation import Environment
+
+__all__ = ["SimClusterSampler", "ProcSampler"]
+
+
+class SimClusterSampler:
+    """1 Hz sampler over a simulated :class:`Cluster`.
+
+    Optionally also samples a platform's control-plane state (live
+    serving units, activator queue depth, in-flight requests) into
+    ``repro.platform.*`` series — the pod-count timelines behind the
+    autoscaler analyses.
+    """
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 interval_seconds: float = 1.0, platform=None):
+        self.env = env
+        self.cluster = cluster
+        self.interval = float(interval_seconds)
+        self.platform = platform
+        self.frame = MetricsFrame()
+        self._proc = None
+
+    def start(self) -> "SimClusterSampler":
+        if self._proc is None:
+            self.sample()  # t=0 row
+            self._proc = self.env.process(self._loop())
+        return self
+
+    def _loop(self) -> Generator:
+        while True:
+            yield self.env.timeout(self.interval)
+            self.sample()
+
+    def sample(self) -> None:
+        """Record one row of cluster + per-node metrics."""
+        now = self.env.now
+        busy_total = 0.0
+        occupied_total = 0.0
+        mem_total = 0.0
+        power_total = 0.0
+        for node in self.cluster.nodes:
+            busy = node.cpu_busy.value
+            held = node.cpu_held.value
+            occupied = max(busy, held)
+            mem = node.mem_used.value
+            power = node.power_watts()
+            prefix = f"repro.node.{node.spec.name}"
+            self.frame.append_row(
+                now,
+                {
+                    f"{prefix}.cpu.busy": busy,
+                    f"{prefix}.cpu.held": held,
+                    f"{prefix}.cpu.occupied": occupied,
+                    f"{prefix}.mem.used": mem,
+                    f"{prefix}.power": power,
+                },
+            )
+            busy_total += busy
+            occupied_total += occupied
+            mem_total += mem
+            power_total += power
+        self.frame.append_row(
+            now,
+            {
+                "kernel.all.cpu.user": busy_total,
+                "repro.cluster.cpu.occupied": occupied_total,
+                "mem.util.used": mem_total,
+                "repro.cluster.power": power_total,
+            },
+        )
+        if self.platform is not None:
+            units = [u for u in self.platform._units if u.alive]
+            self.frame.append_row(
+                now,
+                {
+                    "repro.platform.units": float(len(units)),
+                    "repro.platform.queue": float(self.platform.queue_length()),
+                    "repro.platform.active": float(
+                        sum(u.active_requests for u in units)),
+                },
+            )
+
+
+class ProcSampler:
+    """Real-host sampler for the real-execution path (Linux ``/proc``).
+
+    Reports busy cores (user+sys jiffies delta), used memory, and a
+    modelled power figure derived from utilisation — mirroring what PCP's
+    ``kernel.all.cpu.user`` / ``mem.util.used`` / RAPL metrics provide on
+    the paper's testbed.
+    """
+
+    def __init__(self, interval_seconds: float = 1.0,
+                 proc_root: str | Path = "/proc"):
+        self.interval = float(interval_seconds)
+        self.proc_root = Path(proc_root)
+        self.frame = MetricsFrame()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._last_jiffies: Optional[tuple[float, float]] = None
+        self._t0 = 0.0
+
+    # -- /proc parsing --------------------------------------------------------
+    def _read_cpu_jiffies(self) -> tuple[float, float]:
+        """(busy, total) jiffies from the aggregate ``cpu`` line."""
+        line = (self.proc_root / "stat").read_text().splitlines()[0]
+        fields = [float(x) for x in line.split()[1:]]
+        idle = fields[3] + (fields[4] if len(fields) > 4 else 0.0)
+        total = sum(fields)
+        return total - idle, total
+
+    def _read_mem_used(self) -> float:
+        total = available = 0.0
+        for line in (self.proc_root / "meminfo").read_text().splitlines():
+            if line.startswith("MemTotal:"):
+                total = float(line.split()[1]) * 1024
+            elif line.startswith("MemAvailable:"):
+                available = float(line.split()[1]) * 1024
+        return max(0.0, total - available)
+
+    def _cpu_count(self) -> int:
+        import os
+
+        return os.cpu_count() or 1
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "ProcSampler":
+        if self._thread is not None:
+            return self
+        self._t0 = time.monotonic()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="proc-sampler")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "ProcSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        from repro.monitoring.power import PowerModel
+
+        power_model = PowerModel()
+        ncpu = self._cpu_count()
+        while not self._stop.is_set():
+            try:
+                busy, total = self._read_cpu_jiffies()
+                now = time.monotonic() - self._t0
+                if self._last_jiffies is not None:
+                    last_busy, last_total = self._last_jiffies
+                    d_total = max(1e-9, total - last_total)
+                    utilisation = max(0.0, (busy - last_busy) / d_total)
+                    busy_cores = utilisation * ncpu
+                    mem_used = self._read_mem_used()
+                    self.frame.append_row(
+                        now,
+                        {
+                            "kernel.all.cpu.user": busy_cores,
+                            "repro.cluster.cpu.occupied": busy_cores,
+                            "mem.util.used": mem_used,
+                            "repro.cluster.power": power_model.node_watts(utilisation),
+                        },
+                    )
+                self._last_jiffies = (busy, total)
+            except (OSError, IndexError, ValueError):
+                pass
+            self._stop.wait(self.interval)

@@ -1,0 +1,37 @@
+"""Execution platforms: a Knative-like serverless model and a Docker-like
+local-container baseline, both running on a simulated 2-node cluster.
+
+The platforms implement the same :class:`~repro.platform.base.Platform`
+API — ``deploy() → invoke() → shutdown()`` — so the workflow manager
+(:mod:`repro.core`) drives either transparently, exactly as the paper's
+manager targets "any serverless platform that handles HTTP requests".
+"""
+
+from repro.platform.base import (
+    InvocationOutcome,
+    Platform,
+    PlatformStats,
+)
+from repro.platform.cluster import Cluster, ClusterSpec, Node, NodeSpec
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.platform.localcontainer import LocalContainerPlatform, LocalContainerRuntimeConfig
+from repro.platform.gateway import HttpGateway
+from repro.platform.faults import FaultInjector
+from repro.platform.federation import FederatedGateway
+
+__all__ = [
+    "Platform",
+    "PlatformStats",
+    "InvocationOutcome",
+    "Cluster",
+    "ClusterSpec",
+    "Node",
+    "NodeSpec",
+    "KnativeConfig",
+    "KnativePlatform",
+    "LocalContainerPlatform",
+    "LocalContainerRuntimeConfig",
+    "HttpGateway",
+    "FaultInjector",
+    "FederatedGateway",
+]

@@ -1,0 +1,450 @@
+"""Platform API and the shared serving-unit execution machinery.
+
+Both platforms serve requests through *serving units* — a Knative pod or
+a local Docker container.  A unit owns:
+
+* ``worker_slots`` — gunicorn-style concurrency (Table II's "Nw" axis);
+* ``cpu_quota``    — an optional core-token pool (pod ``cpu limit``,
+  docker ``--cpus``); tasks additionally contend for the node's physical
+  cores;
+* ``mem_tokens``   — an optional byte-token pool (pod/container memory
+  limit); absent for the NoCR setups, which is why those "may consume
+  more memory" (paper §V-B).
+
+``execute_request`` is the one code path that turns a
+:class:`~repro.wfbench.spec.BenchRequest` into simulated time, CPU tokens,
+memory accounting and shared-drive files — shared verbatim by both
+platforms so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
+    from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import ResourceExhaustedError
+from repro.platform.cluster import Cluster, Node
+from repro.simulation import Container, Environment, Event, Resource, Store
+from repro.wfbench.model import TaskDemand, WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+__all__ = ["ServingUnit", "InvocationOutcome", "PlatformStats", "Platform"]
+
+
+@dataclass
+class InvocationOutcome:
+    """What one invocation did (the sim-side analogue of BenchResponse)."""
+
+    name: str
+    status: int = 200
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    cold_start: bool = False
+    node: str = ""
+    unit: str = ""
+    cpu_seconds: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def wait_seconds(self) -> float:
+        """Queueing + scheduling latency before service started."""
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def service_seconds(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+
+@dataclass
+class PlatformStats:
+    """Counters every platform reports after a run."""
+
+    invocations: int = 0
+    completed: int = 0
+    failed: int = 0
+    cold_starts: int = 0
+    units_created: int = 0
+    peak_units: int = 0
+    peak_concurrency: int = 0
+    scheduling_failures: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class ServingUnit:
+    """One pod or container: worker slots + optional quota pools.
+
+    The unit's *baseline* footprint (gunicorn master + copy-on-write
+    worker pages) is charged to its node's ``mem_used`` for as long as the
+    unit is alive — this is what makes always-resident local containers
+    expensive and scale-to-zero serverless cheap on the memory axis.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        node: Node,
+        workers: int,
+        cpu_quota_cores: Optional[float] = None,
+        memory_limit_bytes: Optional[int] = None,
+        baseline_bytes: int = 0,
+        held_cores: float = 0.0,
+        held_bytes: int = 0,
+        cpu_overhead: float = 0.0,
+        stress_residency: float = 1.0,
+    ):
+        self.env = env
+        self.name = name
+        self.node = node
+        self.workers = workers
+        self.worker_slots = Resource(env, capacity=workers)
+        self.cpu_quota: Optional[Container] = (
+            Container(env, capacity=cpu_quota_cores, init=cpu_quota_cores)
+            if cpu_quota_cores
+            else None
+        )
+        self.mem_tokens: Optional[Container] = (
+            Container(env, capacity=float(memory_limit_bytes), init=float(memory_limit_bytes))
+            if memory_limit_bytes
+            else None
+        )
+        self.baseline_bytes = int(baseline_bytes)
+        self.held_cores = float(held_cores)
+        self.held_bytes = int(held_bytes)
+        #: Extra busy-CPU fraction while computing (queue-proxy sidecar,
+        #: CFS quota enforcement).  Affects power, not wall time.
+        self.cpu_overhead = float(cpu_overhead)
+        #: Multiplier on resident stress memory; > 1 models unconstrained
+        #: (NoCR) containers whose allocator returns pages lazily.
+        self.stress_residency = float(stress_residency)
+        self.alive = False
+        self.active_requests = 0
+        self.total_served = 0
+        #: Slots promised to waiters that have not claimed them yet.
+        self.committed = 0
+        #: When the unit last became ready (cold-start attribution).
+        self.ready_at = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Charge the baseline footprint; the unit can now serve."""
+        if self.alive:
+            return
+        self.node.use_memory(self.baseline_bytes)
+        if self.held_cores:
+            self.node.cpu_held.add(self.held_cores)
+        if self.held_bytes:
+            self.node.mem_held.add(self.held_bytes)
+        self.alive = True
+        self.ready_at = self.env.now
+
+    def stop(self) -> None:
+        if not self.alive:
+            return
+        self.node.use_memory(-self.baseline_bytes)
+        if self.held_cores:
+            self.node.cpu_held.add(-self.held_cores)
+        if self.held_bytes:
+            self.node.mem_held.add(-self.held_bytes)
+        self.alive = False
+
+    @property
+    def free_slots(self) -> int:
+        return self.worker_slots.available if self.alive else 0
+
+    @property
+    def idle(self) -> bool:
+        return self.active_requests == 0
+
+
+def execute_request(
+    env: Environment,
+    unit: ServingUnit,
+    request: BenchRequest,
+    demand: TaskDemand,
+    drive: "SimulatedSharedDrive",
+    outcome: InvocationOutcome,
+) -> Generator:
+    """The worker-slot body: I/O in, stress, I/O out (paper §III-B).
+
+    Runs with a worker slot already held.  Raises
+    :class:`ResourceExhaustedError` out of the process on physical OOM —
+    the platform converts that into a failed run.
+    """
+    node = unit.node
+    outcome.started_at = env.now
+    outcome.node = node.spec.name
+    outcome.unit = unit.name
+
+    # 1. Read inputs from the shared drive (readiness contract, §III-C).
+    missing = [f for f in request.inputs if not drive.exists(f)]
+    if missing:
+        outcome.status = 409
+        outcome.error = f"inputs not on shared drive: {missing[:3]}"
+        outcome.finished_at = env.now
+        return outcome
+    io_total = demand.io_seconds
+    input_bytes = sum(drive.size(f) for f in request.inputs)
+    output_bytes = request.total_output_bytes
+    denom = max(1, input_bytes + output_bytes)
+    if io_total > 0 and input_bytes:
+        yield env.timeout(io_total * input_bytes / denom)
+
+    # 2. Memory stress: grab limit tokens (throttles at the cgroup limit),
+    #    then charge the node (raises on physical OOM).
+    stress = demand.memory_avg_bytes
+    granted = 0
+    tokens_taken = 0
+    if stress:
+        if unit.mem_tokens is not None:
+            tokens_taken = min(stress, int(unit.mem_tokens.capacity))
+            yield unit.mem_tokens.get(float(tokens_taken))
+            granted = tokens_taken
+        else:
+            granted = int(stress * unit.stress_residency)
+        node.use_memory(granted)
+
+    try:
+        # 3. CPU stress: claim percent-cpu cores from the unit quota (if
+        #    any) and the node's physical pool, then burn.
+        cores = request.percent_cpu * request.cores
+        busy_cores = cores * (1.0 + unit.cpu_overhead)
+        if unit.cpu_quota is not None:
+            yield unit.cpu_quota.get(cores)
+        try:
+            yield node.core_pool.get(cores)
+            node.use_cpu(busy_cores)
+            try:
+                compute_wall = demand.cpu_seconds / (
+                    request.percent_cpu * request.cores)
+                yield env.timeout(compute_wall)
+                outcome.cpu_seconds = demand.cpu_seconds
+            finally:
+                node.use_cpu(-busy_cores)
+                node.core_pool.put(cores)
+        finally:
+            if unit.cpu_quota is not None:
+                unit.cpu_quota.put(cores)
+    finally:
+        if granted:
+            node.use_memory(-granted)
+        if tokens_taken:
+            unit.mem_tokens.put(float(tokens_taken))
+
+    # 4. Write outputs to the shared drive.
+    if io_total > 0 and output_bytes:
+        yield env.timeout(io_total * output_bytes / denom)
+    for fname, size in request.out.items():
+        drive.put(fname, int(size))
+
+    outcome.status = 200
+    outcome.finished_at = env.now
+    return outcome
+
+
+class Platform(abc.ABC):
+    """Common skeleton: FIFO request queue dispatched onto serving units."""
+
+    #: Router/proxy latency added in front of every request.
+    routing_latency: float = 0.0
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        drive: "SimulatedSharedDrive",
+        model: Optional[WfBenchModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.drive = drive
+        self.model = model or WfBenchModel()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = PlatformStats()
+        self._pending: Store = Store(env)
+        self._slot_waiters: list[Event] = []
+        self._units: list[ServingUnit] = []
+        self._deployed = False
+        self._fatal: Optional[ResourceExhaustedError] = None
+        #: Optional transient-failure injection (repro.platform.faults).
+        self.fault_injector = None
+        #: Per-request queue-wait ceiling (Knative's revision timeout);
+        #: None = wait forever.  Expired requests fail with 504.
+        self.request_timeout: Optional[float] = None
+
+    # -- subclass hooks ---------------------------------------------------------
+    @abc.abstractmethod
+    def deploy(self) -> None:
+        """Bring the platform up (start containers / register the service)."""
+
+    def shutdown(self) -> None:
+        """Tear everything down (stop charging baselines)."""
+        for unit in self._units:
+            unit.stop()
+
+    def on_queue_changed(self) -> None:
+        """Hook for the autoscaler (queue length / concurrency changed)."""
+
+    # -- invocation ---------------------------------------------------------------
+    @property
+    def fatal_error(self) -> Optional[ResourceExhaustedError]:
+        """Set when the run hit a physical resource limit."""
+        return self._fatal
+
+    def in_flight(self) -> int:
+        """Requests queued or executing (the autoscaler's 'concurrency')."""
+        return (
+            len(self._slot_waiters)
+            + sum(u.active_requests + u.committed for u in self._units)
+        )
+
+    def invoke(self, request: BenchRequest) -> Event:
+        """Submit one request; the returned event succeeds with an
+        :class:`InvocationOutcome` (also on application-level failure)."""
+        if not self._deployed:
+            self.deploy()
+            self._deployed = True
+        done = self.env.event()
+        outcome = InvocationOutcome(name=request.name, submitted_at=self.env.now)
+        self.stats.invocations += 1
+        self.env.process(self._request_proc(request, outcome, done))
+        self.stats.peak_concurrency = max(self.stats.peak_concurrency, self.in_flight())
+        self.on_queue_changed()
+        return done
+
+    def _request_proc(self, request: BenchRequest, outcome: InvocationOutcome,
+                      done: Event) -> Generator:
+        if self.routing_latency > 0:
+            yield self.env.timeout(self.routing_latency)
+        if self._fatal is not None:
+            self._finish(outcome, done, status=503, error=str(self._fatal))
+            return
+        try:
+            acquired = yield from self._acquire_slot(timeout=self.request_timeout)
+        except ResourceExhaustedError as exc:
+            self._fatal = self._fatal or exc
+            self._finish(outcome, done, status=507, error=str(exc))
+            return
+        if acquired is None:
+            self._finish(
+                outcome, done, status=504,
+                error=f"request timed out after {self.request_timeout:.0f}s "
+                      "waiting for a worker slot",
+            )
+            return
+        unit, slot = acquired
+        outcome.cold_start = unit.ready_at > outcome.submitted_at
+        if self.fault_injector is not None:
+            injected = self.fault_injector.should_fail(request)
+            if injected is not None:
+                slot.release()
+                self._wake_dispatcher()
+                self._finish(outcome, done, status=injected,
+                             error="injected transient fault")
+                return
+        unit.active_requests += 1
+        self.on_queue_changed()
+        input_bytes = sum(self.drive.size(f) for f in request.inputs if self.drive.exists(f))
+        demand = self.model.demand_for_sizes(request, input_bytes, rng=self.rng)
+        try:
+            yield from execute_request(self.env, unit, request, demand, self.drive, outcome)
+            self.stats.completed += 1
+            if not outcome.ok:
+                self.stats.failed += 1
+        except ResourceExhaustedError as exc:
+            self._fatal = self._fatal or exc
+            self.stats.failed += 1
+            outcome.status = 507
+            outcome.error = str(exc)
+            outcome.finished_at = self.env.now
+        finally:
+            unit.active_requests -= 1
+            unit.total_served += 1
+            slot.release()
+            self._wake_dispatcher()
+            self.on_queue_changed()
+        done.succeed(outcome)
+
+    def _finish(self, outcome: InvocationOutcome, done: Event, status: int,
+                error: str) -> None:
+        outcome.status = status
+        outcome.error = error
+        outcome.finished_at = self.env.now
+        self.stats.failed += 1
+        done.succeed(outcome)
+
+    # -- slot acquisition ------------------------------------------------------------
+    def _pick_unit(self) -> Optional[ServingUnit]:
+        """Least-loaded alive unit with an uncommitted free worker slot."""
+        best: Optional[ServingUnit] = None
+        best_load = 0
+        for unit in self._units:
+            free = unit.free_slots - getattr(unit, "committed", 0)
+            if free <= 0:
+                continue
+            load = unit.active_requests + getattr(unit, "committed", 0)
+            if best is None or load < best_load:
+                best, best_load = unit, load
+        return best
+
+    def _acquire_slot(self, timeout: Optional[float] = None) -> Generator:
+        """FIFO acquisition of (unit, slot-request) across all units.
+
+        Returns ``None`` when ``timeout`` elapses before a slot is granted
+        (the 504 path).
+        """
+        ticket = self.env.event()
+        self._slot_waiters.append(ticket)
+        self.stats.peak_concurrency = max(self.stats.peak_concurrency,
+                                          self.in_flight())
+        self._wake_dispatcher()
+        if timeout is None:
+            yield ticket
+        else:
+            deadline = self.env.timeout(timeout)
+            yield self.env.any_of([ticket, deadline])
+            if not ticket.triggered:
+                try:
+                    self._slot_waiters.remove(ticket)
+                except ValueError:
+                    pass
+                self.on_queue_changed()
+                return None
+        unit: ServingUnit = ticket.value
+        slot = unit.worker_slots.request()
+        yield slot
+        unit.committed -= 1
+        return unit, slot
+
+    def _wake_dispatcher(self) -> None:
+        """Match waiting tickets to free slots, strictly FIFO."""
+        while self._slot_waiters:
+            unit = self._pick_unit()
+            if unit is None:
+                return
+            ticket = self._slot_waiters.pop(0)
+            unit.committed += 1
+            ticket.succeed(unit)
+
+    def queue_length(self) -> int:
+        return len(self._slot_waiters)
+
+    def abort_waiters(self, error: ResourceExhaustedError) -> None:
+        """Fail every queued request (cluster capacity exhausted)."""
+        self._fatal = self._fatal or error
+        waiters, self._slot_waiters = self._slot_waiters, []
+        for ticket in waiters:
+            ticket.fail(error)

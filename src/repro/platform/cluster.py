@@ -1,0 +1,251 @@
+"""Cluster capacity model (the paper's 2-node testbed by default).
+
+Each :class:`Node` tracks four quantities the monitoring layer samples:
+
+* ``cpu_busy``  — cores actually executing compute (drives power);
+* ``cpu_held``  — cores reserved by live workers/pods ("CPU usage" in the
+  paper's figures: the capacity other tenants cannot use);
+* ``mem_used``  — resident bytes (worker baselines + stress allocations);
+* ``mem_held``  — bytes reserved via requests/limits.
+
+Execution contention is modelled with a core token pool: a task's compute
+phase claims ``percent-cpu`` cores; when the node (or the pod/container
+quota above it) is out of cores the task waits.  Exceeding *physical*
+memory raises :class:`~repro.errors.ResourceExhaustedError` — this is the
+mechanism behind the paper's observation that large fine-grained runs
+"did not conclude their execution without reaching memory and CPU limits"
+(§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ResourceExhaustedError
+from repro.simulation import Container, Environment, Gauge
+
+__all__ = ["NodeSpec", "ClusterSpec", "Node", "Cluster", "PAPER_TESTBED"]
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one node."""
+
+    name: str
+    cores: int
+    memory_bytes: int
+    #: Whether the scheduler may place pods here (the master carries a
+    #: NoSchedule taint in a stock 2-node Kubernetes cluster; it hosts the
+    #: manager and the monitoring stack instead).
+    schedulable: bool = True
+    #: Cores kept back for the OS / kubelet / manager.
+    system_reserved_cores: float = 2.0
+    system_reserved_bytes: int = 8 * GB
+    #: RAPL power model: per-socket idle and peak draw (EPYC 7443-ish).
+    sockets: int = 2
+    idle_watts_per_socket: float = 90.0
+    peak_watts_per_socket: float = 200.0
+    #: Standing OS/kubelet/PCP footprint sampled by mem.util.used and
+    #: kernel.all.cpu.user even when no workload runs.
+    os_baseline_bytes: int = 2 * GB
+    os_busy_cores: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"node {self.name!r}: cores must be >= 1")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"node {self.name!r}: memory must be > 0")
+
+    @property
+    def allocatable_cores(self) -> float:
+        return max(0.0, self.cores - self.system_reserved_cores)
+
+    @property
+    def allocatable_bytes(self) -> int:
+        return max(0, self.memory_bytes - self.system_reserved_bytes)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of nodes; the first is the master (hosts the manager)."""
+
+    nodes: tuple[NodeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self.nodes)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(n.memory_bytes for n in self.nodes)
+
+
+#: The paper's testbed (AD/AE appendix): master and worker each have
+#: 2× AMD EPYC 7443 (24 cores / 48 threads per socket → 96 hardware
+#: threads per node; the artifact's ``local-container-96w`` results run
+#: one gunicorn worker per thread), 256 GB and 192 GB respectively.
+PAPER_TESTBED = ClusterSpec(
+    nodes=(
+        NodeSpec(name="master", cores=96, memory_bytes=256 * GB, schedulable=False),
+        NodeSpec(name="worker", cores=96, memory_bytes=192 * GB),
+    )
+)
+
+
+class Node:
+    """Runtime state of one node inside a simulation."""
+
+    def __init__(self, env: Environment, spec: NodeSpec):
+        self.env = env
+        self.spec = spec
+        #: Core tokens for actual execution (physical cores).
+        self.core_pool = Container(env, capacity=float(spec.cores), init=float(spec.cores))
+        # Scheduler bookkeeping for requests (Knative pods reserve these).
+        self._alloc_cpu = 0.0
+        self._alloc_mem = 0
+        # Monitoring gauges (primed with the node's standing OS footprint).
+        self.cpu_busy = Gauge(env, spec.os_busy_cores)
+        self.cpu_held = Gauge(env)
+        self.mem_used = Gauge(env, float(spec.os_baseline_bytes))
+        self.mem_held = Gauge(env)
+
+    # -- scheduling (requests) ---------------------------------------------
+    @property
+    def free_allocatable_cores(self) -> float:
+        return self.spec.allocatable_cores - self._alloc_cpu
+
+    @property
+    def free_allocatable_bytes(self) -> int:
+        return self.spec.allocatable_bytes - self._alloc_mem
+
+    def can_fit(self, cpu_request: float, mem_request: int) -> bool:
+        return (
+            cpu_request <= self.free_allocatable_cores + 1e-9
+            and mem_request <= self.free_allocatable_bytes
+        )
+
+    def reserve(self, cpu_request: float, mem_request: int) -> None:
+        """Claim allocatable capacity (a pod landing on this node)."""
+        if not self.can_fit(cpu_request, mem_request):
+            raise ResourceExhaustedError(
+                f"node {self.spec.name!r} cannot fit request "
+                f"(cpu={cpu_request}, mem={mem_request})",
+                resource="allocatable",
+                requested=cpu_request,
+                available=self.free_allocatable_cores,
+            )
+        self._alloc_cpu += cpu_request
+        self._alloc_mem += mem_request
+        self.cpu_held.add(cpu_request)
+        self.mem_held.add(mem_request)
+
+    def unreserve(self, cpu_request: float, mem_request: int) -> None:
+        self._alloc_cpu = max(0.0, self._alloc_cpu - cpu_request)
+        self._alloc_mem = max(0, self._alloc_mem - mem_request)
+        self.cpu_held.add(-cpu_request)
+        self.mem_held.add(-mem_request)
+
+    # -- usage accounting ----------------------------------------------------
+    def use_memory(self, delta_bytes: int) -> None:
+        """Adjust resident memory; raises on physical exhaustion (OOM)."""
+        new_level = self.mem_used.value + delta_bytes
+        if new_level > self.spec.memory_bytes:
+            raise ResourceExhaustedError(
+                f"node {self.spec.name!r} out of memory: "
+                f"{new_level / GB:.1f} GB needed, {self.spec.memory_bytes / GB:.1f} GB physical",
+                resource="memory",
+                requested=float(delta_bytes),
+                available=float(self.spec.memory_bytes - self.mem_used.value),
+            )
+        self.mem_used.add(delta_bytes)
+
+    def use_cpu(self, delta_cores: float) -> None:
+        self.cpu_busy.add(delta_cores)
+
+    # -- power ---------------------------------------------------------------
+    def power_watts(self) -> float:
+        """Instantaneous RAPL-style draw: idle + utilisation-linear dynamic."""
+        utilisation = min(1.0, max(0.0, self.cpu_busy.value / self.spec.cores))
+        idle = self.spec.idle_watts_per_socket * self.spec.sockets
+        peak = self.spec.peak_watts_per_socket * self.spec.sockets
+        return idle + (peak - idle) * utilisation
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Node({self.spec.name!r}, busy={self.cpu_busy.value:.1f}/"
+            f"{self.spec.cores}, mem={self.mem_used.value / GB:.1f}GB)"
+        )
+
+
+#: Pod placement strategies: pack onto the fullest node (kube-scheduler's
+#: MostAllocated), spread onto the emptiest (LeastAllocated), or first-fit
+#: in node order.
+PLACEMENT_POLICIES = ("best-fit", "spread", "first-fit")
+
+
+class Cluster:
+    """The simulated cluster: nodes plus cluster-level helpers."""
+
+    def __init__(self, env: Environment, spec: Optional[ClusterSpec] = None,
+                 placement: str = "best-fit"):
+        if placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {placement!r}; "
+                f"known: {PLACEMENT_POLICIES}"
+            )
+        self.env = env
+        self.spec = spec or PAPER_TESTBED
+        self.placement = placement
+        self.nodes = [Node(env, ns) for ns in self.spec.nodes]
+
+    @property
+    def master(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def workers(self) -> list[Node]:
+        """Nodes eligible for workload placement."""
+        return [n for n in self.nodes if n.spec.schedulable]
+
+    def node(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.spec.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def place(self, cpu_request: float, mem_request: int) -> Optional[Node]:
+        """Pick a node for a pod per the cluster's placement policy."""
+        candidates = [n for n in self.workers if n.can_fit(cpu_request, mem_request)]
+        if not candidates:
+            return None
+        if self.placement == "spread":
+            return max(candidates, key=lambda n: n.free_allocatable_cores)
+        if self.placement == "first-fit":
+            return candidates[0]
+        return min(candidates, key=lambda n: n.free_allocatable_cores)
+
+    # -- cluster-wide metrics --------------------------------------------------
+    def total_cpu_busy(self) -> float:
+        return sum(n.cpu_busy.value for n in self.nodes)
+
+    def total_cpu_held(self) -> float:
+        return sum(n.cpu_held.value for n in self.nodes)
+
+    def total_mem_used(self) -> int:
+        return int(sum(n.mem_used.value for n in self.nodes))
+
+    def total_mem_held(self) -> int:
+        return int(sum(n.mem_held.value for n in self.nodes))
+
+    def total_power_watts(self) -> float:
+        return sum(n.power_watts() for n in self.nodes)

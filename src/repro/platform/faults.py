@@ -1,0 +1,46 @@
+"""Fault injection for the simulated platforms.
+
+Real serverless runs see transient failures — OOM-killed pods, dropped
+connections, 5xx from overloaded queue-proxies.  A :class:`FaultInjector`
+attached to a platform makes a seeded fraction of invocations fail with a
+transient status, which is what the manager's retry machinery
+(``ManagerConfig.task_retries``) exists to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.wfbench.spec import BenchRequest
+
+__all__ = ["FaultInjector"]
+
+
+@dataclass
+class FaultInjector:
+    """Bernoulli per-invocation transient failures."""
+
+    failure_rate: float = 0.05
+    status: int = 503
+    seed: int = 0
+    #: Cap on total injected faults (0 = unlimited).
+    max_failures: int = 0
+    injected: int = field(default=0, init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def should_fail(self, request: BenchRequest) -> Optional[int]:
+        """The injected status for this request, or ``None`` to proceed."""
+        if self.max_failures and self.injected >= self.max_failures:
+            return None
+        if float(self._rng.random()) < self.failure_rate:
+            self.injected += 1
+            return self.status
+        return None

@@ -1,0 +1,129 @@
+"""Multi-cluster invocation (paper future work, §VII).
+
+"We also plan to study the impacts of serverless on multi-cluster
+invocation scenarios."  A :class:`FederatedGateway` fronts several
+platforms — typically one Knative service per cluster — and spreads
+invocations across them by policy.  All member platforms share one
+simulation environment and (per the paper's shared-storage follow-up)
+one shared drive, so cross-cluster data exchange "just works" through
+the common store.
+
+Satisfies the same interface :class:`~repro.core.invocation.SimulatedInvoker`
+expects from :class:`~repro.platform.gateway.HttpGateway`, so the
+unmodified workflow manager drives a federation transparently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import InvocationError
+from repro.platform.base import Platform
+from repro.simulation import Event
+from repro.wfbench.spec import BenchRequest
+
+__all__ = ["FederatedGateway"]
+
+_POLICIES = ("round-robin", "least-loaded", "first-fit")
+
+
+class FederatedGateway:
+    """Routes invocations across clusters.
+
+    Policies:
+
+    * ``round-robin``  — strict rotation (the baseline spreading policy);
+    * ``least-loaded`` — send to the member with the fewest in-flight
+      requests (greedy load balancing);
+    * ``first-fit``    — prefer the first member until its queue builds,
+      then spill over (models a home cluster plus burst capacity).
+    """
+
+    def __init__(self, policy: str = "least-loaded",
+                 spill_threshold: int = 0):
+        if policy not in _POLICIES:
+            raise InvocationError(
+                f"unknown federation policy {policy!r}; known: {_POLICIES}"
+            )
+        self.policy = policy
+        #: first-fit: queue length at which requests spill to the next
+        #: member (0 = spill as soon as anything queues).
+        self.spill_threshold = int(spill_threshold)
+        self._members: dict[str, Platform] = {}
+        self._rr = itertools.count()
+        self.dispatched: dict[str, int] = {}
+        # Requests handed to a member whose processing has not finished;
+        # platform.in_flight() only sees them once the simulation steps,
+        # so the balancer must count them itself.
+        self._outstanding: dict[str, int] = {}
+
+    # -- membership ----------------------------------------------------------
+    def register_cluster(self, name: str, platform: Platform) -> None:
+        if name in self._members:
+            raise InvocationError(f"cluster {name!r} already registered")
+        self._members[name] = platform
+        self.dispatched[name] = 0
+        self._outstanding[name] = 0
+
+    @property
+    def members(self) -> dict[str, Platform]:
+        return dict(self._members)
+
+    @property
+    def platforms(self) -> list[Platform]:
+        """HttpGateway-compatible view (for SimulatedInvoker)."""
+        return list(self._members.values())
+
+    # -- routing ----------------------------------------------------------
+    def _pick(self) -> tuple[str, Platform]:
+        if not self._members:
+            raise InvocationError("federation has no clusters registered")
+        names = list(self._members)
+        if self.policy == "round-robin":
+            name = names[next(self._rr) % len(names)]
+        elif self.policy == "least-loaded":
+            name = min(names, key=lambda n: self._outstanding[n])
+        else:  # first-fit
+            name = names[-1]
+            for candidate in names:
+                queued = max(self._members[candidate].queue_length(),
+                             self._outstanding[candidate]
+                             - self._capacity_estimate(candidate))
+                if queued <= self.spill_threshold:
+                    name = candidate
+                    break
+        return name, self._members[name]
+
+    def _capacity_estimate(self, name: str) -> int:
+        platform = self._members[name]
+        return sum(u.workers for u in platform._units) or 1
+
+    def invoke(self, url: str, request: BenchRequest) -> Event:
+        """Route one invocation (the ``url`` identifies the function, not
+        the cluster — the federation decides placement)."""
+        name, platform = self._pick()
+        self.dispatched[name] += 1
+        self._outstanding[name] += 1
+        done = platform.invoke(request)
+
+        def settle(_event) -> None:
+            self._outstanding[name] -= 1
+
+        if done.callbacks is not None:
+            done.callbacks.append(settle)
+        return done
+
+    def resolve(self, url: str) -> Platform:
+        return self._pick()[1]
+
+    # -- aggregate stats ----------------------------------------------------------
+    def total_in_flight(self) -> int:
+        return sum(self._outstanding.values())
+
+    def balance_ratio(self) -> float:
+        """max/min dispatched across members (1.0 = perfectly balanced)."""
+        counts = [c for c in self.dispatched.values()]
+        if not counts or min(counts) == 0:
+            return float("inf") if counts and max(counts) else 1.0
+        return max(counts) / min(counts)

@@ -1,0 +1,56 @@
+"""HTTP-style gateway: routes invocations to platforms by URL.
+
+The workflow manager only knows each task's ``api_url`` (what the
+Knative translator wrote into the document).  The gateway maps URL →
+platform, which also enables the *hybrid* execution the paper's
+conclusion proposes: different sub-workflows routed to different
+computational paradigms within one run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import InvocationError
+from repro.platform.base import Platform
+from repro.simulation import Event
+from repro.wfbench.spec import BenchRequest
+
+__all__ = ["HttpGateway"]
+
+
+class HttpGateway:
+    """URL-prefix router over simulated platforms."""
+
+    def __init__(self) -> None:
+        self._routes: dict[str, Platform] = {}
+        self._default: Optional[Platform] = None
+
+    def register(self, url: str, platform: Platform, default: bool = False) -> None:
+        """Route requests whose ``api_url`` starts with ``url``."""
+        self._routes[url] = platform
+        if default or self._default is None:
+            self._default = platform
+
+    def resolve(self, url: str) -> Platform:
+        for prefix, platform in sorted(
+            self._routes.items(), key=lambda kv: -len(kv[0])
+        ):
+            if url.startswith(prefix):
+                return platform
+        if self._default is not None:
+            return self._default
+        raise InvocationError(f"no platform registered for {url!r}", status=502)
+
+    def invoke(self, url: str, request: BenchRequest) -> Event:
+        return self.resolve(url).invoke(request)
+
+    @property
+    def platforms(self) -> list[Platform]:
+        seen: list[Platform] = []
+        for platform in self._routes.values():
+            if platform not in seen:
+                seen.append(platform)
+        if self._default is not None and self._default not in seen:
+            seen.append(self._default)
+        return seen

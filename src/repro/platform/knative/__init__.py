@@ -1,0 +1,8 @@
+"""Knative-like serverless platform model."""
+
+from repro.platform.knative.config import KnativeConfig
+from repro.platform.knative.pod import Pod
+from repro.platform.knative.autoscaler import KpaAutoscaler
+from repro.platform.knative.platform import KnativePlatform
+
+__all__ = ["KnativeConfig", "Pod", "KpaAutoscaler", "KnativePlatform"]

@@ -1,0 +1,136 @@
+"""KPA-style autoscaler.
+
+Implements the behaviour of Knative's Pod Autoscaler that the paper's
+results hinge on:
+
+* every tick, sample the observed concurrency (queued + executing);
+* *stable* mode: desired pods = ceil(stable-window average / target
+  concurrency per pod);
+* *panic* mode: entered when the panic-window average exceeds
+  ``panic_threshold ×`` the current ready capacity; scales straight to
+  the panic desire and never scales down while panicking;
+* scale-down only after the stable window consistently asks for less,
+  then scale-to-zero after a grace period — this delayed ramp-down (new
+  pods provisioned "in advance" that end up "empty or under-utilized")
+  is exactly the over-provisioning the paper's conclusion discusses.
+
+The autoscaler does not create pods itself; it reports a desired count
+and the platform reconciles.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from repro.platform.knative.config import KnativeConfig
+from repro.simulation import Environment
+
+__all__ = ["KpaAutoscaler"]
+
+
+class KpaAutoscaler:
+    """Desired-pod-count calculator fed by concurrency samples."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: KnativeConfig,
+        concurrency_fn: Callable[[], float],
+    ):
+        self.env = env
+        self.config = config
+        self._concurrency_fn = concurrency_fn
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self.panic_mode = False
+        self._panic_entered_at = 0.0
+        self._below_since: float | None = None
+        self._zero_since: float | None = None
+        self.last_desired = max(config.min_scale, 0)
+        #: Decision log: (time, observed concurrency, live pods, desired,
+        #: panic?).  Drives the autoscaler-behaviour analyses/tests.
+        self.history: list[tuple[float, float, int, int, bool]] = []
+
+    # ------------------------------------------------------------------
+    def _window_average(self, window: float) -> float:
+        cutoff = self.env.now - window
+        points = [c for (t, c) in self._samples if t >= cutoff]
+        if not points:
+            return 0.0
+        return sum(points) / len(points)
+
+    def observe(self) -> float:
+        """Record one concurrency sample and return it.
+
+        Samples landing at the same instant (bursts of invocations within
+        one event-loop step) collapse to the latest value, so window
+        averages stay time-weighted rather than call-weighted.
+        """
+        concurrency = float(self._concurrency_fn())
+        if self._samples and self._samples[-1][0] == self.env.now:
+            self._samples[-1] = (self.env.now, concurrency)
+        else:
+            self._samples.append((self.env.now, concurrency))
+        cutoff = self.env.now - max(
+            self.config.stable_window_seconds, self.config.panic_window_seconds
+        )
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+        return concurrency
+
+    def desired_pods(self, current_ready: int) -> int:
+        """Run one autoscaler evaluation (Knative's ``Scale`` decision)."""
+        self.observe()
+        cfg = self.config
+        target = cfg.target_concurrency_per_pod
+        stable_avg = self._window_average(cfg.stable_window_seconds)
+        panic_avg = self._window_average(cfg.panic_window_seconds)
+
+        desired_stable = math.ceil(stable_avg / target)
+        desired_panic = math.ceil(panic_avg / target)
+
+        # Panic entry/exit.
+        ready_capacity = max(1.0, current_ready * target)
+        if panic_avg / ready_capacity >= cfg.panic_threshold:
+            if not self.panic_mode:
+                self._panic_entered_at = self.env.now
+            self.panic_mode = True
+        elif (
+            self.panic_mode
+            and self.env.now - self._panic_entered_at >= cfg.stable_window_seconds
+        ):
+            self.panic_mode = False
+
+        if self.panic_mode:
+            desired = max(self.last_desired, desired_panic, current_ready)
+            self._below_since = None
+        else:
+            desired = desired_stable
+            # Delay scale-down until the stable window agrees for a while.
+            if desired < current_ready:
+                if self._below_since is None:
+                    self._below_since = self.env.now
+                if self.env.now - self._below_since < cfg.stable_window_seconds / 2:
+                    desired = current_ready
+            else:
+                self._below_since = None
+
+        # Scale-to-zero grace.
+        if desired == 0:
+            if self._zero_since is None:
+                self._zero_since = self.env.now
+            if self.env.now - self._zero_since < cfg.scale_to_zero_grace_seconds:
+                desired = min(max(current_ready, 1), max(1, current_ready))
+        else:
+            self._zero_since = None
+
+        desired = max(desired, cfg.min_scale)
+        if cfg.max_scale is not None:
+            desired = min(desired, cfg.max_scale)
+        self.last_desired = desired
+        self.history.append(
+            (self.env.now, self._samples[-1][1] if self._samples else 0.0,
+             current_ready, desired, self.panic_mode)
+        )
+        return desired

@@ -1,0 +1,120 @@
+"""Knative service + autoscaler configuration.
+
+Defaults mirror the paper's ``service.yaml`` (cpu request 1 / limit 2,
+memory request 2 Gi / limit 4 Gi) and Knative's KPA autoscaler defaults,
+with a shorter stable window so scale-down is visible within a single
+workflow run on the simulated testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["KnativeConfig"]
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+@dataclass
+class KnativeConfig:
+    """Everything that shapes one Knative service's behaviour."""
+
+    # -- pod shape (service.yaml) -------------------------------------------
+    #: gunicorn workers per pod == containerConcurrency (Table II's "Nw").
+    container_concurrency: int = 10
+    cpu_request_cores: float = 1.0
+    cpu_limit_cores: float = 4.0
+    memory_request_bytes: int = 2 * GB
+    memory_limit_bytes: int = 4 * GB
+    #: Pod baseline RSS: queue-proxy + gunicorn master.
+    pod_baseline_bytes: int = 150 * MB
+    #: Copy-on-write RSS per gunicorn worker.
+    worker_baseline_bytes: int = 25 * MB
+    #: queue-proxy sidecar CPU overhead while serving (fraction).
+    sidecar_cpu_overhead: float = 0.04
+
+    # -- latencies -------------------------------------------------------------
+    #: Pod cold start: scheduling + image (cached) + gunicorn boot.
+    cold_start_seconds: float = 2.0
+    cold_start_jitter: float = 0.5
+    #: How many pods the kubelet brings up concurrently; a scale-out to N
+    #: pods therefore ramps in ~ceil(N/parallelism) cold-start rounds.
+    #: This is why 1-worker pods (which need ~10x the pod count) start
+    #: slower than 10-worker pods (paper Fig. 4).
+    startup_parallelism: int = 5
+    #: Activator + queue-proxy routing latency per request.
+    routing_latency_seconds: float = 0.05
+
+    # -- KPA autoscaler -----------------------------------------------------------
+    autoscaler_tick_seconds: float = 2.0
+    #: Fraction of containerConcurrency the autoscaler targets.
+    target_utilization: float = 0.7
+    stable_window_seconds: float = 30.0
+    panic_window_seconds: float = 6.0
+    panic_threshold: float = 2.0
+    scale_to_zero_grace_seconds: float = 30.0
+    min_scale: int = 0
+    max_scale: Optional[int] = None
+    #: How long pods may stay unschedulable *while requests starve in the
+    #: activator queue* before the platform declares the cluster exhausted
+    #: (the paper's fine-grained failures at large sizes, §V-C/§VI).
+    scheduling_timeout_seconds: float = 60.0
+    fail_on_unplaceable: bool = True
+    #: Knative's revision request timeout: a request queued at the
+    #: activator longer than this 504s.  None disables.
+    request_timeout_seconds: Optional[float] = 300.0
+
+    def __post_init__(self) -> None:
+        if self.container_concurrency < 1:
+            raise ValueError("container_concurrency must be >= 1")
+        if self.cpu_limit_cores < self.cpu_request_cores:
+            raise ValueError("cpu limit below request")
+        if not 0 < self.target_utilization <= 1:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if self.min_scale < 0:
+            raise ValueError("min_scale must be >= 0")
+        if self.max_scale is not None and self.max_scale < max(1, self.min_scale):
+            raise ValueError("max_scale must be >= max(1, min_scale)")
+
+    @property
+    def pod_memory_footprint(self) -> int:
+        """Resident baseline of one ready pod."""
+        return (
+            self.pod_baseline_bytes
+            + self.container_concurrency * self.worker_baseline_bytes
+        )
+
+    @property
+    def target_concurrency_per_pod(self) -> float:
+        return max(1.0, self.container_concurrency * self.target_utilization)
+
+    @classmethod
+    def coarse_grained(cls, node_cores: int = 96,
+                       node_memory_bytes: int = 192 * GB) -> "KnativeConfig":
+        """The paper's coarse-grained scenario (§V-C): one pre-warmed pod
+        reserving essentially the whole machine, containerConcurrency 1000,
+        no autoscaling, hence no cold starts.
+
+        The pod's memory *limit* is sized below physical memory minus the
+        1000-worker baseline, so huge workflows throttle on the cgroup
+        limit instead of OOM-killing the node — which is why "bigger
+        workflows were successfully executed on coarse-grained scenarios"
+        (§VI) even though they run slowly (the paper's coarse Epigenomics
+        took 410 of the 510 minutes of Figure 6).
+        """
+        baseline = 150 * MB + 1000 * 25 * MB
+        safety = 6 * GB
+        limit = max(GB, int(node_memory_bytes * 0.9) - baseline - safety)
+        return cls(
+            container_concurrency=1000,
+            cpu_request_cores=float(node_cores - 2),
+            cpu_limit_cores=float(node_cores),
+            memory_request_bytes=int(node_memory_bytes * 0.8),
+            memory_limit_bytes=limit,
+            min_scale=1,
+            max_scale=1,
+            cold_start_seconds=0.0,
+            cold_start_jitter=0.0,
+        )

@@ -1,0 +1,195 @@
+"""The Knative platform: activator routing + KPA reconciliation loop."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
+    from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import ResourceExhaustedError
+from repro.platform.base import Platform
+from repro.platform.cluster import Cluster
+from repro.platform.knative.autoscaler import KpaAutoscaler
+from repro.platform.knative.config import KnativeConfig
+from repro.platform.knative.pod import Pod, PodState
+from repro.simulation import Environment
+from repro.wfbench.model import WfBenchModel
+
+__all__ = ["KnativePlatform"]
+
+
+class KnativePlatform(Platform):
+    """Knative service model (paper §II-C / §III).
+
+    Requests enter through the activator (the base class's FIFO queue);
+    pods are created and destroyed by the reconciliation loop following
+    the KPA's desired count.  When pods stay unschedulable longer than
+    the scheduling timeout while demand persists, the platform declares
+    the cluster exhausted — reproducing the paper's fine-grained failures
+    at large workflow sizes.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        drive: "SimulatedSharedDrive",
+        config: Optional[KnativeConfig] = None,
+        model: Optional[WfBenchModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(env, cluster, drive, model=model, rng=rng)
+        self.config = config or KnativeConfig()
+        self.routing_latency = self.config.routing_latency_seconds
+        self.request_timeout = self.config.request_timeout_seconds
+        self.autoscaler = KpaAutoscaler(env, self.config, self.in_flight)
+        from repro.simulation import Resource
+
+        self._startup_slots = Resource(
+            env, capacity=max(1, self.config.startup_parallelism)
+        )
+        self._pod_seq = 0
+        self._unplaceable_since: Optional[float] = None
+        self._reconciler = None
+
+    # -- pods ------------------------------------------------------------------
+    @property
+    def pods(self) -> list[Pod]:
+        return [u for u in self._units if isinstance(u, Pod)]
+
+    def ready_pods(self) -> list[Pod]:
+        return [p for p in self.pods if p.is_ready]
+
+    def live_pods(self) -> list[Pod]:
+        return [p for p in self.pods if p.state in (PodState.STARTING, PodState.READY)]
+
+    def _spawn_pod(self) -> bool:
+        """Try to place and start one pod; False when nothing fits."""
+        cfg = self.config
+        node = self.cluster.place(cfg.cpu_request_cores, cfg.memory_request_bytes)
+        if node is None:
+            return False
+        self._pod_seq += 1
+        pod = Pod(self.env, f"pod-{self._pod_seq:04d}", node, cfg)
+        pod.place()
+        self._units.append(pod)
+        self.stats.units_created += 1
+        self.env.process(self._pod_startup(pod))
+        return True
+
+    def _pod_startup(self, pod: Pod) -> Generator:
+        cfg = self.config
+        delay = cfg.cold_start_seconds
+        if cfg.cold_start_jitter > 0:
+            delay += float(self.rng.uniform(0.0, cfg.cold_start_jitter))
+        if delay > 0:
+            # The kubelet starts a bounded number of pods at once.
+            slot = self._startup_slots.request()
+            yield slot
+            try:
+                yield self.env.timeout(delay)
+            finally:
+                slot.release()
+        if pod.state == PodState.TERMINATED:
+            return
+        try:
+            pod.become_ready()
+        except ResourceExhaustedError as exc:
+            # The node ran out of physical memory for the pod baseline.
+            self._terminate_pod(pod)
+            self.abort_waiters(exc)
+            return
+        self.stats.cold_starts += 1
+        self.stats.peak_units = max(
+            self.stats.peak_units, len(self.ready_pods())
+        )
+        self._wake_dispatcher()
+
+    def _terminate_pod(self, pod: Pod) -> None:
+        pod.terminate()
+        self._units.remove(pod)
+
+    # -- lifecycle ------------------------------------------------------------
+    def deploy(self) -> None:
+        """Apply the service; pre-warm ``min_scale`` pods; start the KPA."""
+        for _ in range(self.config.min_scale):
+            if not self._spawn_pod():
+                raise ResourceExhaustedError(
+                    "cluster cannot fit the pre-warmed pods "
+                    f"(min_scale={self.config.min_scale})",
+                    resource="allocatable",
+                )
+        if self._reconciler is None:
+            self._reconciler = self.env.process(self._reconcile_loop())
+
+    def shutdown(self) -> None:
+        for pod in list(self.pods):
+            self._terminate_pod(pod)
+        super().shutdown()
+
+    # -- reconciliation ------------------------------------------------------------
+    def _reconcile_loop(self) -> Generator:
+        cfg = self.config
+        while True:
+            yield self.env.timeout(cfg.autoscaler_tick_seconds)
+            self._reconcile_once()
+
+    def _reconcile_once(self) -> None:
+        cfg = self.config
+        live = self.live_pods()
+        desired = self.autoscaler.desired_pods(len(live))
+
+        if desired > len(live):
+            placed_all = True
+            for _ in range(desired - len(live)):
+                if not self._spawn_pod():
+                    placed_all = False
+                    break
+            if not placed_all:
+                if self._unplaceable_since is None:
+                    self._unplaceable_since = self.env.now
+                self.stats.scheduling_failures += 1
+                waited = self.env.now - self._unplaceable_since
+                if (
+                    cfg.fail_on_unplaceable
+                    and waited >= cfg.scheduling_timeout_seconds
+                    and self.queue_length() > 0
+                ):
+                    self.abort_waiters(
+                        ResourceExhaustedError(
+                            "autoscaler cannot place required pods: cluster "
+                            f"CPU/memory allocatable exhausted (desired={desired}, "
+                            f"live={len(live)}, waited {waited:.0f}s)",
+                            resource="allocatable",
+                            requested=float(desired),
+                            available=float(len(live)),
+                        )
+                    )
+            else:
+                self._unplaceable_since = None
+        else:
+            self._unplaceable_since = None
+
+        if desired < len(live):
+            # Remove idle pods, newest first (Knative keeps the oldest).
+            removable = [p for p in self.ready_pods() if p.removable]
+            removable.sort(key=lambda p: p.created_at, reverse=True)
+            for pod in removable[: len(live) - desired]:
+                self._terminate_pod(pod)
+
+    # -- hooks ------------------------------------------------------------------
+    def on_queue_changed(self) -> None:
+        """Panic-path: big bursts trigger an immediate evaluation."""
+        for pod in self.pods:
+            if pod.active_requests > 0:
+                pod.note_activity()
+            else:
+                pod.note_idle()
+        live = self.live_pods()
+        capacity = len(live) * self.config.target_concurrency_per_pod
+        if self.in_flight() > self.config.panic_threshold * max(1.0, capacity):
+            self._reconcile_once()

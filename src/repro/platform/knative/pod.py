@@ -1,0 +1,95 @@
+"""Knative pod: a ServingUnit with a lifecycle.
+
+States: ``pending`` (no node fits the request) → ``starting`` (placed,
+cold-starting) → ``ready`` (serving) → ``terminated``.  Placement
+reserves the pod's CPU/memory *requests* on the node — that reservation
+is what the "CPU usage" metric charges for serverless, and what runs out
+when large fine-grained workflows demand more pods than the cluster
+allocates (paper §V-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.platform.base import ServingUnit
+from repro.platform.cluster import Node
+from repro.platform.knative.config import KnativeConfig
+from repro.simulation import Environment
+
+__all__ = ["PodState", "Pod"]
+
+
+class PodState(str, enum.Enum):
+    PENDING = "pending"
+    STARTING = "starting"
+    READY = "ready"
+    TERMINATED = "terminated"
+
+
+class Pod(ServingUnit):
+    """One revision pod."""
+
+    def __init__(self, env: Environment, name: str, node: Node, config: KnativeConfig):
+        super().__init__(
+            env,
+            name=name,
+            node=node,
+            workers=config.container_concurrency,
+            cpu_quota_cores=config.cpu_limit_cores,
+            memory_limit_bytes=config.memory_limit_bytes,
+            baseline_bytes=config.pod_memory_footprint,
+            # Held cores/bytes are accounted through node.reserve(), not
+            # through the unit, to avoid double counting.
+            held_cores=0.0,
+            held_bytes=0,
+            cpu_overhead=config.sidecar_cpu_overhead,
+        )
+        self.config = config
+        self.state = PodState.PENDING
+        self.created_at = env.now
+        self.placed_at: Optional[float] = None
+        self.idle_since: Optional[float] = env.now
+
+    def place(self) -> None:
+        """Reserve requests on the node; the pod starts cold-starting."""
+        self.node.reserve(self.config.cpu_request_cores, self.config.memory_request_bytes)
+        self.placed_at = self.env.now
+        self.state = PodState.STARTING
+
+    def become_ready(self) -> None:
+        self.start()
+        self.state = PodState.READY
+
+    def terminate(self) -> None:
+        if self.state == PodState.TERMINATED:
+            return
+        was_placed = self.state in (PodState.STARTING, PodState.READY)
+        self.stop()
+        if was_placed:
+            self.node.unreserve(
+                self.config.cpu_request_cores, self.config.memory_request_bytes
+            )
+        self.state = PodState.TERMINATED
+
+    @property
+    def is_ready(self) -> bool:
+        return self.state == PodState.READY
+
+    @property
+    def removable(self) -> bool:
+        """Safe to scale down: ready, idle, nothing committed to it."""
+        return self.is_ready and self.active_requests == 0 and self.committed == 0
+
+    def note_activity(self) -> None:
+        self.idle_since = None
+
+    def note_idle(self) -> None:
+        if self.idle_since is None:
+            self.idle_since = self.env.now
+
+    def idle_for(self) -> float:
+        if self.idle_since is None:
+            return 0.0
+        return self.env.now - self.idle_since

@@ -1,0 +1,11 @@
+"""Docker-like local-container baseline platform."""
+
+from repro.platform.localcontainer.config import LocalContainerRuntimeConfig
+from repro.platform.localcontainer.container import LocalContainer
+from repro.platform.localcontainer.platform import LocalContainerPlatform
+
+__all__ = [
+    "LocalContainerRuntimeConfig",
+    "LocalContainer",
+    "LocalContainerPlatform",
+]

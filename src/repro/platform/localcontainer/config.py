@@ -1,0 +1,65 @@
+"""Local-container runtime configuration.
+
+Models the paper's baseline (§III-D): one Docker container per run
+hosting the WfBench app behind gunicorn, started before the workflow and
+resident throughout.  The axes:
+
+* ``workers`` — gunicorn ``--workers``; the artifact's results use 96
+  (one per hardware thread) and 960 (10 per thread) — Table II's
+  "1w"/"10w" per-process labels;
+* ``cpu_quota_cores`` — docker ``--cpus``; ``None`` is the NoCR setup;
+* ``memory_limit_bytes`` — docker ``--memory``; enforced as a hard limit
+  when set (CR), unconstrained otherwise (which "may consume more
+  memory", §V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["LocalContainerRuntimeConfig"]
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+@dataclass
+class LocalContainerRuntimeConfig:
+    """One ``docker run`` of the WfBench-local image."""
+
+    workers: int = 96
+    #: docker --cpus; None = NoCR (no CPU requirement/reservation).
+    cpu_quota_cores: Optional[float] = 96.0
+    #: docker --memory; None = no hard limit.
+    memory_limit_bytes: Optional[int] = 64 * GB
+    #: Node hosting the container (the paper runs it on the worker node).
+    node_name: str = "worker"
+    #: gunicorn master RSS.
+    master_baseline_bytes: int = 150 * MB
+    #: Copy-on-write RSS per gunicorn worker.
+    worker_baseline_bytes: int = 25 * MB
+    #: Container boot (image already pulled; negligible next to pods).
+    startup_seconds: float = 0.5
+    #: Plain HTTP to a local port — no activator/queue-proxy in the path.
+    routing_latency_seconds: float = 0.005
+    #: CFS quota enforcement overhead while computing (CR only).
+    quota_cpu_overhead: float = 0.04
+    #: Resident-stress multiplier without a memory limit (NoCR): the
+    #: allocator returns pages lazily, so RSS overshoots.
+    uncapped_stress_residency: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.cpu_quota_cores is not None and self.cpu_quota_cores <= 0:
+            raise ValueError("cpu quota must be > 0 when set")
+
+    @property
+    def baseline_bytes(self) -> int:
+        return self.master_baseline_bytes + self.workers * self.worker_baseline_bytes
+
+    @property
+    def is_cr(self) -> bool:
+        """Resources requested in advance (Table II: everything but NoCR)."""
+        return self.cpu_quota_cores is not None

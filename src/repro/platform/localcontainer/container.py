@@ -1,0 +1,43 @@
+"""The local Docker container as a ServingUnit."""
+
+from __future__ import annotations
+
+from repro.platform.base import ServingUnit
+from repro.platform.cluster import Node
+from repro.platform.localcontainer.config import LocalContainerRuntimeConfig
+from repro.simulation import Environment
+
+__all__ = ["LocalContainer"]
+
+
+class LocalContainer(ServingUnit):
+    """One always-resident container hosting the WfBench app.
+
+    Under CR the container's CPU quota is *held* for the whole run (the
+    cores are pinned away from other tenants) and its memory limit caps
+    resident stress; under NoCR nothing is reserved, but resident memory
+    overshoots (no cgroup ceiling).
+    """
+
+    def __init__(self, env: Environment, name: str, node: Node,
+                 config: LocalContainerRuntimeConfig):
+        quota = config.cpu_quota_cores
+        if quota is not None:
+            quota = min(quota, float(node.spec.cores))
+        super().__init__(
+            env,
+            name=name,
+            node=node,
+            workers=config.workers,
+            cpu_quota_cores=quota,
+            memory_limit_bytes=config.memory_limit_bytes,
+            baseline_bytes=config.baseline_bytes,
+            held_cores=quota or 0.0,
+            held_bytes=config.memory_limit_bytes or 0,
+            cpu_overhead=config.quota_cpu_overhead if quota is not None else 0.0,
+            stress_residency=(
+                1.0 if config.memory_limit_bytes is not None
+                else config.uncapped_stress_residency
+            ),
+        )
+        self.config = config

@@ -1,0 +1,73 @@
+"""The bare-metal local-container baseline platform (paper §III-D)."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
+    from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import ResourceExhaustedError
+from repro.platform.base import Platform
+from repro.platform.cluster import Cluster
+from repro.platform.localcontainer.config import LocalContainerRuntimeConfig
+from repro.platform.localcontainer.container import LocalContainer
+from repro.simulation import Environment
+from repro.wfbench.model import WfBenchModel
+
+__all__ = ["LocalContainerPlatform"]
+
+
+class LocalContainerPlatform(Platform):
+    """Fixed-capacity baseline: the container(s) exist for the whole run.
+
+    No autoscaling, no cold starts per request — and therefore no
+    resource elasticity: worker baselines, quotas and limits are charged
+    from ``deploy()`` until ``shutdown()``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        drive: "SimulatedSharedDrive",
+        config: Optional[LocalContainerRuntimeConfig] = None,
+        replicas: int = 1,
+        model: Optional[WfBenchModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(env, cluster, drive, model=model, rng=rng)
+        self.config = config or LocalContainerRuntimeConfig()
+        self.replicas = int(replicas)
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.routing_latency = self.config.routing_latency_seconds
+
+    @property
+    def containers(self) -> list[LocalContainer]:
+        return [u for u in self._units if isinstance(u, LocalContainer)]
+
+    def deploy(self) -> None:
+        node = self.cluster.node(self.config.node_name)
+        for index in range(self.replicas):
+            container = LocalContainer(
+                self.env, f"wfbench-{index}", node, self.config
+            )
+            self._units.append(container)
+            self.stats.units_created += 1
+            self.env.process(self._container_startup(container))
+        self.stats.peak_units = self.replicas
+
+    def _container_startup(self, container: LocalContainer) -> Generator:
+        if self.config.startup_seconds > 0:
+            yield self.env.timeout(self.config.startup_seconds)
+        try:
+            container.start()
+        except ResourceExhaustedError as exc:
+            # Worker baselines alone exceed the node's physical memory.
+            self.abort_waiters(exc)
+            return
+        self._wake_dispatcher()

@@ -1,0 +1,61 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the substrate under every platform model in
+:mod:`repro.platform`.  It provides a small, dependency-free,
+generator-based discrete-event engine in the style popularised by SimPy:
+
+* :class:`~repro.simulation.kernel.Environment` — the simulation clock and
+  event queue.
+* :class:`~repro.simulation.kernel.Event`, :class:`~repro.simulation.kernel.Timeout`
+  — schedulable occurrences.
+* :class:`~repro.simulation.process.Process` — a coroutine (generator)
+  driven by the events it yields.
+* :mod:`~repro.simulation.resources` — counting resources, continuous
+  containers and item stores used to model worker slots, CPU cores, memory
+  capacity and request queues.
+* :mod:`~repro.simulation.rng` — named, seeded random streams so that every
+  experiment is exactly reproducible.
+
+The engine is deterministic: two runs with the same seed produce identical
+event orderings, which the test suite relies on heavily.
+"""
+
+from repro.simulation.kernel import (
+    Environment,
+    Event,
+    Timeout,
+    SimulationError,
+    StopSimulation,
+)
+from repro.simulation.process import Process, Interrupt, AllOf, AnyOf
+from repro.simulation.resources import (
+    Resource,
+    PriorityResource,
+    Container,
+    Store,
+    Gauge,
+    CapacityError,
+)
+from repro.simulation.rng import RandomStreams
+from repro.simulation.trace import TraceEntry, Tracer
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "Store",
+    "Gauge",
+    "CapacityError",
+    "RandomStreams",
+    "Tracer",
+    "TraceEntry",
+    "SimulationError",
+    "StopSimulation",
+]

@@ -1,0 +1,284 @@
+"""Event queue, simulation clock and the core :class:`Environment`.
+
+The kernel follows the classic event-driven design: a priority queue of
+``(time, priority, sequence, event)`` entries; :meth:`Environment.step`
+pops the earliest entry and runs the event's callbacks.  Determinism is
+guaranteed by the monotonically increasing ``sequence`` tiebreaker —
+events scheduled at the same instant fire in scheduling order.
+
+Only the features the platform models need are implemented; the goal is a
+small, auditable core rather than full SimPy parity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "SimulationError",
+    "StopSimulation",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Sentinel for an event value that has not been decided yet.
+PENDING = object()
+
+#: Scheduling priority for urgent (internal bookkeeping) events.
+URGENT = 0
+#: Scheduling priority for ordinary events.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (double triggers etc.)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early.
+
+    Carries the value of the event that stopped the run.
+    """
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    decides its value and schedules its callbacks.  Processes wait on
+    events by yielding them (see :class:`repro.simulation.process.Process`).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables invoked with this event once it has been processed.
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a decided value (scheduled or processed)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is in the past)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not decided yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception, if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event value not decided yet")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Decide the event successfully and schedule its callbacks."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Decide the event with an exception.
+
+        If no process "catches" the failure (by yielding the event) and the
+        event is not :meth:`defuse`-d, the exception propagates out of
+        :meth:`Environment.step`.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy another event's outcome into this one (callback helper)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` units of time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Environment:
+    """Simulation environment: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds by convention
+        throughout this code base).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a :class:`~repro.simulation.process.Process` from a generator."""
+        from repro.simulation.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> "Event":
+        from repro.simulation.process import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> "Event":
+        from repro.simulation.process import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue ``event`` to be processed ``delay`` time units from now."""
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        BaseException
+            The failure of an un-defused failed event with no callbacks
+            left to handle it.
+        """
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            # Nothing handled the failure: crash the simulation like SimPy.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run up to that simulated time) or an :class:`Event` (run until it
+        is processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            horizon = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            horizon = float("inf")
+            if stop_event.callbacks is not None:
+                stop_event.callbacks.append(self._stop_callback)
+            elif stop_event.triggered:
+                return stop_event.value
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} lies in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue and self.peek() <= horizon:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if horizon != float("inf"):
+            # Advance the clock to the horizon even if the queue drained.
+            self._now = max(self._now, horizon) if self._queue else horizon
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError("run(until=event) ended before event fired")
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value

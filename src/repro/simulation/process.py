@@ -1,0 +1,199 @@
+"""Generator-driven simulation processes and event combinators."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.simulation.kernel import (
+    Environment,
+    Event,
+    NORMAL,
+    PENDING,
+    SimulationError,
+    URGENT,
+)
+
+__all__ = ["Process", "Interrupt", "AllOf", "AnyOf", "Condition"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries whatever the interrupter passed in.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Initialize(Event):
+    """Immediate event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A process is both a running coroutine and an event (its completion).
+
+    The wrapped generator yields :class:`Event` instances; the process
+    suspends until each yielded event is processed, then resumes with the
+    event's value (or the event's exception thrown in, if it failed).
+    When the generator returns, the process-event succeeds with the
+    returned value.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: Environment, generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} already finished")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        # Remove us from the waited-on event's callbacks so we do not get
+        # resumed twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env.schedule(event, priority=URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Drive the generator with the outcome of ``event``."""
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self, priority=NORMAL)
+                return
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self, priority=NORMAL)
+                return
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self.env.schedule(self, priority=NORMAL)
+                    return
+                except BaseException as raised:
+                    self._ok = False
+                    self._value = raised
+                    self.env.schedule(self, priority=NORMAL)
+                    return
+                continue
+
+            if next_event.callbacks is not None:
+                # Event still pending or scheduled: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                return
+            # Event already processed: feed its outcome straight back in.
+            event = next_event
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` combinators.
+
+    Collects values only from events that have actually been *processed*
+    (a ``Timeout`` is "triggered" from creation, so triggered-ness alone
+    would leak future values into the result).
+    """
+
+    __slots__ = ("events", "_count", "_results")
+
+    def __init__(self, env: Environment, events: list[Event]):
+        super().__init__(env)
+        self.events = events
+        self._count = 0
+        self._results: dict[Event, Any] = {}
+        if not events:
+            self.succeed({})
+            return
+        for event in events:
+            if event.callbacks is None:
+                self._check(event)
+                if self.triggered:
+                    break
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        self._results[event] = event._value
+        if self._satisfied():
+            self.succeed(dict(self._results))
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Succeeds when every constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as any constituent event succeeds."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1

@@ -1,0 +1,359 @@
+"""Shared resources for simulation processes.
+
+Three families, mirroring what the platform models need:
+
+* :class:`Resource` / :class:`PriorityResource` — counting semaphores with
+  FIFO (or priority) queues.  Used for worker slots in pods and containers.
+* :class:`Container` — a continuous quantity with ``get``/``put``.  Used
+  for node CPU core and memory capacity.
+* :class:`Store` — a FIFO queue of items.  Used for request queues
+  (Knative activator buffering) and message passing.
+* :class:`Gauge` — a non-blocking utilisation tracker with a time-weighted
+  integral; the monitoring sampler reads these.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+from repro.simulation.kernel import Environment, Event, SimulationError
+
+__all__ = [
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Container",
+    "Store",
+    "Gauge",
+    "CapacityError",
+]
+
+
+class CapacityError(SimulationError):
+    """Raised when a request can never be satisfied (exceeds capacity)."""
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource`.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ...  # holding one slot
+    """
+
+    __slots__ = ("resource", "amount", "key")
+
+    def __init__(self, resource: "Resource", amount: int = 1, key: Any = 0):
+        super().__init__(resource.env)
+        if amount < 1:
+            raise ValueError("request amount must be >= 1")
+        if amount > resource.capacity:
+            raise CapacityError(
+                f"request for {amount} exceeds capacity {resource.capacity}"
+            )
+        self.resource = resource
+        self.amount = amount
+        self.key = key
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request."""
+        self.resource._cancel(self)
+
+    def release(self) -> None:
+        """Give the claimed slots back."""
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.triggered and self._ok:
+            self.release()
+        elif not self.triggered:
+            self.cancel()
+
+
+class Resource:
+    """Counting resource with a FIFO wait queue.
+
+    ``capacity`` slots; :meth:`request` returns an event that fires when the
+    requested number of slots are granted.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self._capacity = int(capacity)
+        self._in_use = 0
+        self._queue: list[Request] = []
+        self._granted: set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently claimed."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self._capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for slots."""
+        return len(self._queue)
+
+    def request(self, amount: int = 1) -> Request:
+        req = Request(self, amount)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        if id(request) not in self._granted:
+            raise SimulationError("releasing a request that was never granted")
+        self._granted.discard(id(request))
+        self._in_use -= request.amount
+        self._grant()
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity (used when pods are added/removed)."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._grant()
+
+    # ------------------------------------------------------------------
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self._queue:
+            head = self._queue[0]
+            if head.amount > self._capacity - self._in_use:
+                break
+            self._queue.pop(0)
+            self._in_use += head.amount
+            self._granted.add(id(head))
+            head.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by ``(priority, fifo)``."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list[tuple[Any, int, Request]] = []
+        self._pseq = 0
+
+    def request(self, amount: int = 1, priority: Any = 0) -> Request:  # type: ignore[override]
+        req = Request(self, amount, key=priority)
+        self._pseq += 1
+        heapq.heappush(self._heap, (priority, self._pseq, req))
+        self._grant()
+        return req
+
+    def _cancel(self, request: Request) -> None:
+        self._heap = [entry for entry in self._heap if entry[2] is not request]
+        heapq.heapify(self._heap)
+
+    def _grant(self) -> None:
+        if not hasattr(self, "_heap"):
+            # Called from the parent __init__ before our attributes exist.
+            return
+        while self._heap:
+            _, _, head = self._heap[0]
+            if head.amount > self._capacity - self._in_use:
+                break
+            heapq.heappop(self._heap)
+            self._in_use += head.amount
+            self._granted.add(id(head))
+            head.succeed()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+
+class Container:
+    """A continuous quantity between 0 and ``capacity``.
+
+    ``get`` blocks until the requested amount is available; ``put`` blocks
+    until there is room.  Used for cluster CPU-core and memory pools.
+    """
+
+    def __init__(self, env: Environment, capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self._capacity = float(capacity)
+        self._level = float(init)
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        if amount > self._capacity:
+            raise CapacityError(
+                f"get({amount}) exceeds container capacity {self._capacity}"
+            )
+        event = Event(self.env)
+        self._getters.append((float(amount), event))
+        self._settle()
+        return event
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        if amount > self._capacity:
+            raise CapacityError(
+                f"put({amount}) exceeds container capacity {self._capacity}"
+            )
+        event = Event(self.env)
+        self._putters.append((float(amount), event))
+        self._settle()
+        return event
+
+    def try_get(self, amount: float) -> bool:
+        """Non-blocking get; returns True when the amount was claimed."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        if self._level - amount < -1e-12:
+            return False
+        self._level -= amount
+        self._settle()
+        return True
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self._capacity + 1e-12:
+                    self._putters.pop(0)
+                    self._level = min(self._capacity, self._level + amount)
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if self._level >= amount - 1e-12:
+                    self._getters.pop(0)
+                    self._level = max(0.0, self._level - amount)
+                    event.succeed()
+                    progressed = True
+
+
+class Store:
+    """FIFO queue of arbitrary items with blocking ``get``."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        self.env = env
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Any, Event]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        self._putters.append((item, event))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and (
+                self.capacity is None or len(self._items) < self.capacity
+            ):
+                item, event = self._putters.pop(0)
+                self._items.append(item)
+                event.succeed()
+                progressed = True
+            while self._getters and self._items:
+                event = self._getters.pop(0)
+                event.succeed(self._items.pop(0))
+                progressed = True
+
+
+class Gauge:
+    """Time-weighted scalar used for utilisation accounting.
+
+    Tracks the current value plus the integral of value over time, so the
+    monitoring layer can report exact averages between samples.
+    """
+
+    def __init__(self, env: Environment, value: float = 0.0):
+        self.env = env
+        self._value = float(value)
+        self._integral = 0.0
+        self._last_time = env.now
+        self._peak = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def peak(self) -> float:
+        return self._peak
+
+    def _accumulate(self) -> None:
+        now = self.env.now
+        self._integral += self._value * (now - self._last_time)
+        self._last_time = now
+
+    def set(self, value: float) -> None:
+        self._accumulate()
+        self._value = float(value)
+        self._peak = max(self._peak, self._value)
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def integral(self) -> float:
+        """Integral of the gauge value from t=0 to now."""
+        self._accumulate()
+        return self._integral
+
+    def mean(self) -> float:
+        """Time-weighted mean over the whole run so far."""
+        self._accumulate()
+        if self._last_time <= 0:
+            return self._value
+        return self._integral / self._last_time

@@ -1,0 +1,122 @@
+"""Simulation tracing: structured event logs for debugging platforms.
+
+A :class:`Tracer` hooks an :class:`~repro.simulation.kernel.Environment`
+and records every processed event (time, kind, label) plus explicit
+application *marks* (pod ready, phase start, OOM...).  Traces answer the
+"why was this run slow" questions the paper's figures raise — what the
+autoscaler did when, how long requests queued, when pods churned —
+without a debugger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.simulation.kernel import Environment, Timeout
+
+__all__ = ["TraceEntry", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded occurrence."""
+
+    time: float
+    kind: str       # "event", "timeout", "process", or a mark category
+    label: str
+    data: Optional[dict[str, Any]] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f" {self.data}" if self.data else ""
+        return f"[{self.time:10.3f}] {self.kind:<10} {self.label}{suffix}"
+
+
+class Tracer:
+    """Environment instrumentation + application marks.
+
+    Usage::
+
+        env = Environment()
+        tracer = Tracer(env, capture_kernel=True)
+        ...
+        tracer.mark("pod-ready", pod.name)
+        print(tracer.render(kinds={"pod-ready"}))
+    """
+
+    def __init__(self, env: Environment, capture_kernel: bool = False,
+                 max_entries: int = 100_000):
+        self.env = env
+        self.entries: list[TraceEntry] = []
+        self.max_entries = int(max_entries)
+        self.dropped = 0
+        self._original_step: Optional[Callable[[], None]] = None
+        if capture_kernel:
+            self._install()
+
+    # -- kernel capture ------------------------------------------------------
+    def _install(self) -> None:
+        if self._original_step is not None:
+            return
+        original = self.env.step
+        queue = self.env._queue
+
+        def traced_step() -> None:
+            if queue:
+                _, _, _, event = queue[0]
+                kind = "timeout" if isinstance(event, Timeout) else (
+                    "process" if type(event).__name__ == "Process" else "event"
+                )
+                label = getattr(event, "name", "") or type(event).__name__
+                self._append(TraceEntry(self.env.peek(), kind, label))
+            original()
+
+        self.env.step = traced_step  # type: ignore[method-assign]
+        self._original_step = original
+
+    def uninstall(self) -> None:
+        if self._original_step is not None:
+            self.env.step = self._original_step  # type: ignore[method-assign]
+            self._original_step = None
+
+    # -- marks ------------------------------------------------------------
+    def mark(self, kind: str, label: str, **data: Any) -> None:
+        """Record an application-level occurrence at the current time."""
+        self._append(TraceEntry(self.env.now, kind, label, data or None))
+
+    def _append(self, entry: TraceEntry) -> None:
+        if len(self.entries) >= self.max_entries:
+            self.dropped += 1
+            return
+        self.entries.append(entry)
+
+    # -- queries ------------------------------------------------------------
+    def filter(self, kinds: Optional[Iterable[str]] = None,
+               start: float = 0.0, end: float = float("inf")
+               ) -> list[TraceEntry]:
+        wanted = set(kinds) if kinds is not None else None
+        return [
+            e for e in self.entries
+            if start <= e.time <= end and (wanted is None or e.kind in wanted)
+        ]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.kind] = out.get(entry.kind, 0) + 1
+        return out
+
+    def render(self, kinds: Optional[Iterable[str]] = None,
+               limit: int = 200) -> str:
+        selected = self.filter(kinds)[:limit]
+        lines = [str(e) for e in selected]
+        remaining = len(self.filter(kinds)) - len(selected)
+        if remaining > 0:
+            lines.append(f"... {remaining} more entries")
+        if self.dropped:
+            lines.append(f"... {self.dropped} entries dropped (max_entries)")
+        return "\n".join(lines) if lines else "(empty trace)"
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.dropped = 0

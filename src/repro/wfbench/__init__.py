@@ -1,0 +1,42 @@
+"""WfBench-as-a-Service substrate (paper §III-B, contribution C3).
+
+WfBench is WfCommons' benchmark executable: for each workflow function it
+performs *real* CPU stress (``cpu-work`` units at a ``percent-cpu`` duty
+cycle), memory stress (``--vm-bytes``, optionally ``--vm-keep`` — the
+paper's PM/NoPM axis) and file I/O against a shared work directory.  The
+paper containerises it and deploys it behind ``POST /wfbench``.
+
+This package provides:
+
+* :mod:`~repro.wfbench.spec` — the request/response schema of the service;
+* :mod:`~repro.wfbench.workload` — a real execution engine (burns CPU,
+  allocates memory, reads/writes files) with host calibration;
+* :mod:`~repro.wfbench.model` — the analytic service-time and footprint
+  model the discrete-event platforms use (same formulas, no burning);
+* :mod:`~repro.wfbench.app` — the WSGI-like application with
+  gunicorn-style ``--workers N`` semantics;
+* :mod:`~repro.wfbench.service` — an actual threaded HTTP server exposing
+  the app on localhost (used by the real-execution examples and tests);
+* :mod:`~repro.wfbench.data` — staging of workflow input datasets.
+"""
+
+from repro.wfbench.spec import BenchRequest, BenchResponse
+from repro.wfbench.workload import WorkloadEngine, CpuCalibration
+from repro.wfbench.model import WfBenchModel, TaskDemand
+from repro.wfbench.app import WfBenchApp, AppConfig
+from repro.wfbench.service import WfBenchService
+from repro.wfbench.data import stage_workflow_inputs, workflow_input_files
+
+__all__ = [
+    "BenchRequest",
+    "BenchResponse",
+    "WorkloadEngine",
+    "CpuCalibration",
+    "WfBenchModel",
+    "TaskDemand",
+    "WfBenchApp",
+    "AppConfig",
+    "WfBenchService",
+    "stage_workflow_inputs",
+    "workflow_input_files",
+]

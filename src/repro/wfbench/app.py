@@ -1,0 +1,121 @@
+"""The WfBench application with gunicorn-style worker semantics.
+
+The paper deploys WfBench behind ``gunicorn --workers N --threads 1``;
+``N`` is the Table-II "worker" axis (1w / 10w / 1000w).  Here the worker
+pool is a counting semaphore: at most ``workers`` requests execute
+concurrently, the rest queue (gunicorn's backlog).  The PM/NoPM axis is a
+*deployment-time* switch — the paper edits ``wfbench.py`` line 118 and
+rebuilds the image — so :class:`AppConfig` can force ``keep-memory`` for
+every request regardless of what the body says.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from dataclasses import replace as dc_replace
+from typing import Optional
+
+from repro.errors import SchemaError
+from repro.wfbench.spec import BenchRequest, BenchResponse
+from repro.wfbench.workload import WorkloadEngine
+
+__all__ = ["AppConfig", "WfBenchApp"]
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """Deployment configuration of one WfBench app instance."""
+
+    workers: int = 10
+    threads_per_worker: int = 1
+    #: Force the PM/NoPM axis: True = PM (``--vm-keep``), False = NoPM,
+    #: None = honour each request's own flag.
+    keep_memory: Optional[bool] = None
+    #: gunicorn ``--timeout``; 0 disables (the paper uses 0).
+    timeout_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.threads_per_worker < 1:
+            raise ValueError("threads_per_worker must be >= 1")
+
+    @property
+    def concurrency(self) -> int:
+        return self.workers * self.threads_per_worker
+
+
+class WfBenchApp:
+    """Thread-safe WfBench request handler."""
+
+    def __init__(self, engine: WorkloadEngine, config: Optional[AppConfig] = None):
+        self.engine = engine
+        self.config = config or AppConfig()
+        self._slots = threading.Semaphore(self.config.concurrency)
+        self._lock = threading.Lock()
+        self._active = 0
+        self._served = 0
+        self._failed = 0
+
+    # -- stats ---------------------------------------------------------------
+    @property
+    def active_requests(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def served_requests(self) -> int:
+        with self._lock:
+            return self._served
+
+    @property
+    def failed_requests(self) -> int:
+        with self._lock:
+            return self._failed
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "workers": self.config.workers,
+                "active": self._active,
+                "served": self._served,
+                "failed": self._failed,
+            }
+
+    # -- request handling ------------------------------------------------------
+    def apply_deployment_policy(self, request: BenchRequest) -> BenchRequest:
+        """Apply the deployment-time PM/NoPM override."""
+        if self.config.keep_memory is None:
+            return request
+        if request.keep_memory == self.config.keep_memory:
+            return request
+        return dc_replace(request, keep_memory=self.config.keep_memory)
+
+    def handle(self, body: str) -> BenchResponse:
+        """Parse and execute one request body, respecting the worker pool."""
+        try:
+            request = BenchRequest.loads(body)
+        except SchemaError as exc:
+            with self._lock:
+                self._failed += 1
+            return BenchResponse(name="", status=400, error=str(exc))
+        return self.handle_request(request)
+
+    def handle_request(self, request: BenchRequest) -> BenchResponse:
+        request = self.apply_deployment_policy(request)
+        self._slots.acquire()
+        with self._lock:
+            self._active += 1
+        try:
+            response = self.engine.execute(request)
+        except Exception as exc:  # defensive: engine bugs become 500s
+            response = BenchResponse(name=request.name, status=500, error=repr(exc))
+        finally:
+            with self._lock:
+                self._active -= 1
+                self._served += 1
+                if not response.ok:
+                    self._failed += 1
+            self._slots.release()
+        return response

@@ -1,0 +1,64 @@
+"""Workflow input dataset staging.
+
+Before a workflow runs, its *workflow inputs* — the files read by tasks
+but produced by no task — must exist on the shared drive (the paper's
+framework generates these datasets next to each workflow JSON).  This
+module finds and materialises them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.wfcommons.schema import FileLink, FileSpec, Workflow
+
+__all__ = ["workflow_input_files", "stage_workflow_inputs"]
+
+_CHUNK = 1 << 20
+
+
+def workflow_input_files(workflow: Workflow) -> list[FileSpec]:
+    """Input files of the workflow as a whole (produced by no task)."""
+    produced = {
+        f.name for task in workflow for f in task.files if f.link is FileLink.OUTPUT
+    }
+    seen: dict[str, FileSpec] = {}
+    for task in workflow:
+        for f in task.files:
+            if f.link is FileLink.INPUT and f.name not in produced:
+                seen.setdefault(f.name, f)
+    return list(seen.values())
+
+
+def stage_workflow_inputs(
+    workflow: Workflow,
+    workdir: str | Path,
+    real_bytes: bool = True,
+    max_file_bytes: int | None = None,
+) -> list[Path]:
+    """Create the workflow's input files under ``workdir``.
+
+    ``real_bytes=False`` creates empty placeholder files (enough for the
+    manager's readiness checks); ``max_file_bytes`` caps the size written
+    (tests stage kilobytes, not the declared hundreds of kilobytes).
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    staged: list[Path] = []
+    for spec in workflow_input_files(workflow):
+        path = workdir / spec.name
+        size = spec.size_in_bytes
+        if max_file_bytes is not None:
+            size = min(size, max_file_bytes)
+        if not real_bytes:
+            size = 0
+        with open(path, "wb") as handle:
+            remaining = size
+            payload = os.urandom(min(_CHUNK, max(remaining, 1)))
+            while remaining > 0:
+                chunk = payload[: min(len(payload), remaining)]
+                handle.write(chunk)
+                remaining -= len(chunk)
+        staged.append(path)
+    return staged

@@ -1,0 +1,129 @@
+"""WfBench as a real HTTP service.
+
+A stdlib threaded HTTP server exposing the paper's API:
+
+* ``POST /wfbench`` — execute one benchmark request (§III-B);
+* ``GET /healthz`` — liveness + worker-pool stats.
+
+Used by the real-execution examples and the end-to-end integration tests;
+the simulated platforms mount :class:`~repro.wfbench.app.WfBenchApp`
+directly without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional
+
+from repro.wfbench.app import AppConfig, WfBenchApp
+from repro.wfbench.workload import WorkloadEngine
+
+__all__ = ["WfBenchService"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning service's app."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt: str, *args) -> None:  # silence stderr
+        pass
+
+    def _reply(self, status: int, doc: dict) -> None:
+        payload = json.dumps(doc).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", **self.server.app.stats()})
+        else:
+            self._reply(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/wfbench":
+            self._reply(404, {"error": f"no route {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length).decode() if length else "{}"
+        response = self.server.app.handle(body)
+        self._reply(response.status, response.to_json())
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app: WfBenchApp):
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+class WfBenchService:
+    """Lifecycle wrapper: start/stop the HTTP server, expose its URL.
+
+    Usable as a context manager::
+
+        with WfBenchService(base_dir=tmpdir, config=AppConfig(workers=10)) as svc:
+            requests.post(svc.url, json=body)
+    """
+
+    def __init__(
+        self,
+        base_dir: str | Path = ".",
+        config: Optional[AppConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine: Optional[WorkloadEngine] = None,
+    ):
+        self.engine = engine or WorkloadEngine(base_dir=base_dir)
+        self.app = WfBenchApp(self.engine, config)
+        self._server = _Server((host, port), self.app)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The ``POST /wfbench`` endpoint."""
+        return f"http://{self.host}:{self.port}/wfbench"
+
+    @property
+    def health_url(self) -> str:
+        return f"http://{self.host}:{self.port}/healthz"
+
+    def start(self) -> "WfBenchService":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="wfbench-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "WfBenchService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,157 @@
+"""WfBench service request/response schema.
+
+The POST body follows the paper's §III-B example exactly::
+
+    {"name": "split_fasta_00000001", "percent-cpu": 0.6, "cpu-work": 100,
+     "out": {"split_fasta_00000001_output.txt": 204082},
+     "inputs": ["split_fasta_00000001_input.txt"],
+     "workdir": "../data/wfbench-knative"}
+
+plus the optional extensions this reproduction adds: ``memory`` (bytes of
+stress allocation) and ``keep-memory`` (the PM/NoPM axis — ``--vm-keep``
+in the paper's wfbench.py line 118).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import SchemaError
+
+__all__ = ["BenchRequest", "BenchResponse"]
+
+
+@dataclass(frozen=True)
+class BenchRequest:
+    """One WfBench invocation."""
+
+    name: str
+    percent_cpu: float = 0.9
+    cpu_work: float = 100.0
+    out: Mapping[str, int] = field(default_factory=dict)
+    inputs: tuple[str, ...] = ()
+    workdir: str = "."
+    memory_bytes: int = 0
+    keep_memory: bool = False
+    #: CPU threads of the stressor (WfBench's ``cpu-threads``); the task
+    #: occupies ``cores x percent-cpu`` cores while computing.
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("bench request needs a function name")
+        if not 0.0 < self.percent_cpu <= 1.0:
+            raise SchemaError(
+                f"{self.name}: percent-cpu {self.percent_cpu} not in (0, 1]"
+            )
+        if self.cpu_work < 0:
+            raise SchemaError(f"{self.name}: negative cpu-work")
+        if self.memory_bytes < 0:
+            raise SchemaError(f"{self.name}: negative memory")
+        if self.cores < 1:
+            raise SchemaError(f"{self.name}: cores must be >= 1")
+        for fname, size in self.out.items():
+            if size < 0:
+                raise SchemaError(f"{self.name}: output {fname!r} has negative size")
+
+    # -- JSON ---------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "percent-cpu": self.percent_cpu,
+            "cpu-work": self.cpu_work,
+            "out": dict(self.out),
+            "inputs": list(self.inputs),
+            "workdir": self.workdir,
+        }
+        if self.memory_bytes:
+            doc["memory"] = self.memory_bytes
+        if self.keep_memory:
+            doc["keep-memory"] = True
+        if self.cores != 1:
+            doc["cpu-threads"] = self.cores
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "BenchRequest":
+        try:
+            return cls(
+                name=doc["name"],
+                percent_cpu=float(doc.get("percent-cpu", 0.9)),
+                cpu_work=float(doc.get("cpu-work", 100.0)),
+                out=dict(doc.get("out", {})),
+                inputs=tuple(doc.get("inputs", ())),
+                workdir=str(doc.get("workdir", ".")),
+                memory_bytes=int(doc.get("memory", 0)),
+                keep_memory=bool(doc.get("keep-memory", False)),
+                cores=int(doc.get("cpu-threads", 1)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"malformed bench request: {exc}") from exc
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json())
+
+    @classmethod
+    def loads(cls, text: str) -> "BenchRequest":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"bench request is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise SchemaError("bench request body must be a JSON object")
+        return cls.from_json(doc)
+
+    @property
+    def total_output_bytes(self) -> int:
+        return sum(self.out.values())
+
+
+@dataclass(frozen=True)
+class BenchResponse:
+    """Outcome of one WfBench invocation."""
+
+    name: str
+    status: int = 200
+    duration_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    peak_memory_bytes: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def to_json(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "status": self.status,
+            "duration": self.duration_seconds,
+            "cpuSeconds": self.cpu_seconds,
+            "bytesRead": self.bytes_read,
+            "bytesWritten": self.bytes_written,
+            "peakMemory": self.peak_memory_bytes,
+        }
+        if self.error:
+            doc["error"] = self.error
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "BenchResponse":
+        return cls(
+            name=doc.get("name", ""),
+            status=int(doc.get("status", 200)),
+            duration_seconds=float(doc.get("duration", 0.0)),
+            cpu_seconds=float(doc.get("cpuSeconds", 0.0)),
+            bytes_read=int(doc.get("bytesRead", 0)),
+            bytes_written=int(doc.get("bytesWritten", 0)),
+            peak_memory_bytes=int(doc.get("peakMemory", 0)),
+            error=str(doc.get("error", "")),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json())

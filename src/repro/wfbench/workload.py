@@ -1,0 +1,272 @@
+"""Real WfBench workload execution.
+
+This is the engine behind the real (non-simulated) WfBench service: it
+actually reads the declared input files from the shared work directory,
+burns CPU for ``cpu-work`` units at the requested ``percent-cpu`` duty
+cycle, holds a memory allocation (kept for the whole stress phase under
+PM / ``--vm-keep``, re-allocated per iteration under NoPM) and writes the
+declared output files.
+
+``cpu-work`` units are host-independent: :class:`CpuCalibration` measures
+how long one unit takes on the current machine, mirroring how WfBench
+calibrates its CPU benchmark.  The unit kernel is a small dense matmul —
+per the HPC guides, numeric work goes through vectorised numpy rather
+than Python loops.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CalibrationError, InvocationError
+from repro.wfbench.spec import BenchRequest, BenchResponse
+
+__all__ = ["CpuCalibration", "WorkloadEngine"]
+
+#: Side of the square matrices multiplied by one inner kernel iteration.
+_KERNEL_SIZE = 64
+#: Write buffer chunk for output files.
+_IO_CHUNK = 1 << 20
+
+
+def _kernel_once(a: np.ndarray, b: np.ndarray) -> float:
+    """One unit of CPU work: a small matmul + reduction."""
+    return float((a @ b).trace())
+
+
+@dataclass(frozen=True)
+class CpuCalibration:
+    """Seconds of pure CPU time per ``cpu-work`` unit on this host."""
+
+    seconds_per_unit: float
+    kernel_iterations_per_unit: int
+
+    @classmethod
+    def measure(
+        cls,
+        target_unit_seconds: float = 0.002,
+        probe_iterations: int = 32,
+    ) -> "CpuCalibration":
+        """Measure the kernel rate and size a unit to ``target_unit_seconds``.
+
+        The default makes ``cpu-work = 100`` cost ~0.2 s of CPU — small
+        enough for tests, large enough to be measurable.
+        """
+        rng = np.random.default_rng(1234)
+        a = rng.random((_KERNEL_SIZE, _KERNEL_SIZE))
+        b = rng.random((_KERNEL_SIZE, _KERNEL_SIZE))
+        _kernel_once(a, b)  # warm-up
+        start = time.perf_counter()
+        for _ in range(probe_iterations):
+            _kernel_once(a, b)
+        elapsed = time.perf_counter() - start
+        if elapsed <= 0:
+            raise CalibrationError("CPU calibration probe measured zero time")
+        per_iteration = elapsed / probe_iterations
+        iterations = max(1, int(round(target_unit_seconds / per_iteration)))
+        return cls(
+            seconds_per_unit=iterations * per_iteration,
+            kernel_iterations_per_unit=iterations,
+        )
+
+
+class WorkloadEngine:
+    """Executes :class:`BenchRequest` objects for real.
+
+    Parameters
+    ----------
+    base_dir:
+        Root under which request ``workdir`` values are resolved (the
+        service's shared-drive mount, ``/data`` in the paper's manifests).
+    calibration:
+        Host CPU calibration; measured lazily when omitted.
+    max_stress_bytes:
+        Safety cap on real memory allocations (the declared footprint can
+        be hundreds of MB; tests don't need to really allocate that much).
+    """
+
+    def __init__(
+        self,
+        base_dir: str | Path = ".",
+        calibration: Optional[CpuCalibration] = None,
+        max_stress_bytes: int = 8 << 20,
+        parallel_stress: bool = False,
+    ):
+        self.base_dir = Path(base_dir)
+        self._calibration = calibration
+        self.max_stress_bytes = int(max_stress_bytes)
+        #: Run the memory stressor in its own thread alongside the CPU
+        #: stressor, like real WfBench (which launches stress-ng memory
+        #: workers concurrently with its CPU benchmark).
+        self.parallel_stress = bool(parallel_stress)
+
+    @property
+    def calibration(self) -> CpuCalibration:
+        if self._calibration is None:
+            self._calibration = CpuCalibration.measure()
+        return self._calibration
+
+    # ------------------------------------------------------------------
+    def resolve_workdir(self, request: BenchRequest) -> Path:
+        """Resolve and confine the request's workdir below ``base_dir``."""
+        workdir = (self.base_dir / request.workdir).resolve()
+        base = self.base_dir.resolve()
+        if not workdir.is_relative_to(base):
+            raise InvocationError(
+                f"workdir {request.workdir!r} escapes the shared drive", status=400
+            )
+        return workdir
+
+    def _read_inputs(self, request: BenchRequest, workdir: Path) -> int:
+        """Read every input file fully; missing inputs are a 409.
+
+        The 409 is what the manager's shared-drive readiness contract
+        (paper §III-C) turns into a retry/failure.
+        """
+        total = 0
+        for fname in request.inputs:
+            path = workdir / fname
+            if not path.exists():
+                raise InvocationError(
+                    f"{request.name}: input {fname!r} not on shared drive",
+                    status=409,
+                )
+            with open(path, "rb") as handle:
+                while True:
+                    chunk = handle.read(_IO_CHUNK)
+                    if not chunk:
+                        break
+                    total += len(chunk)
+        return total
+
+    def _stress(self, request: BenchRequest) -> tuple[float, int]:
+        """Burn CPU and exercise memory; returns (cpu_seconds, peak_bytes)."""
+        if self.parallel_stress and request.memory_bytes:
+            return self._stress_parallel(request)
+        return self._stress_interleaved(request)
+
+    def _stress_parallel(self, request: BenchRequest) -> tuple[float, int]:
+        """Memory stressor in a side thread, CPU stress in the caller —
+        the real WfBench topology (stress-ng VM workers + CPU benchmark)."""
+        import threading
+        from dataclasses import replace as dc_replace
+
+        stress_bytes = min(request.memory_bytes, self.max_stress_bytes)
+        stop = threading.Event()
+        peak_holder = {"peak": 0}
+
+        def memory_worker() -> None:
+            kept: Optional[np.ndarray] = None
+            while not stop.is_set():
+                scratch = np.zeros(stress_bytes, dtype=np.uint8)
+                scratch[::4096] = 1
+                peak_holder["peak"] = stress_bytes
+                if request.keep_memory:
+                    kept = scratch  # hold; keep touching below
+                    while not stop.is_set():
+                        kept[::8192] += 1
+                        stop.wait(0.002)
+                    return
+                del scratch
+                stop.wait(0.001)
+
+        thread = threading.Thread(target=memory_worker, daemon=True,
+                                  name="wfbench-vm")
+        thread.start()
+        try:
+            cpu_only = dc_replace(request, memory_bytes=0)
+            cpu_seconds, _ = self._stress_interleaved(cpu_only)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        return cpu_seconds, peak_holder["peak"]
+
+    def _stress_interleaved(self, request: BenchRequest) -> tuple[float, int]:
+        """Single-threaded stress: memory churn between CPU batches."""
+        cal = self.calibration
+        iterations = int(round(request.cpu_work * cal.kernel_iterations_per_unit))
+        rng = np.random.default_rng(0)
+        a = rng.random((_KERNEL_SIZE, _KERNEL_SIZE))
+        b = rng.random((_KERNEL_SIZE, _KERNEL_SIZE))
+
+        stress_bytes = min(request.memory_bytes, self.max_stress_bytes)
+        peak = 0
+        kept: Optional[np.ndarray] = None
+        if request.keep_memory and stress_bytes:
+            # PM (--vm-keep): one allocation held for the whole stress phase.
+            kept = np.zeros(stress_bytes, dtype=np.uint8)
+            kept[::4096] = 1  # touch pages
+            peak = stress_bytes
+
+        cpu_start = time.process_time()
+        wall_start = time.perf_counter()
+        sleep_ratio = (1.0 - request.percent_cpu) / request.percent_cpu
+        batch = max(1, cal.kernel_iterations_per_unit)
+        done = 0
+        while done < iterations:
+            step = min(batch, iterations - done)
+            t0 = time.perf_counter()
+            for _ in range(step):
+                _kernel_once(a, b)
+            busy = time.perf_counter() - t0
+            done += step
+            if not request.keep_memory and stress_bytes:
+                # NoPM: allocate, touch, release every iteration batch.
+                scratch = np.zeros(stress_bytes, dtype=np.uint8)
+                scratch[::4096] = 1
+                peak = max(peak, stress_bytes)
+                del scratch
+            if sleep_ratio > 0:
+                # percent-cpu < 1: idle to hit the requested duty cycle.
+                time.sleep(min(busy * sleep_ratio, 0.05))
+        cpu_seconds = time.process_time() - cpu_start
+        del kept
+        # Guard against a pathological clock; duration is reported by caller.
+        _ = time.perf_counter() - wall_start
+        return cpu_seconds, peak
+
+    def _write_outputs(self, request: BenchRequest, workdir: Path) -> int:
+        workdir.mkdir(parents=True, exist_ok=True)
+        total = 0
+        for fname, size in request.out.items():
+            path = workdir / fname
+            remaining = int(size)
+            with open(path, "wb") as handle:
+                payload = os.urandom(min(_IO_CHUNK, max(remaining, 1)))
+                while remaining > 0:
+                    chunk = payload[: min(len(payload), remaining)]
+                    handle.write(chunk)
+                    remaining -= len(chunk)
+            total += int(size)
+        return total
+
+    def execute(self, request: BenchRequest) -> BenchResponse:
+        """Run one bench request end to end."""
+        start = time.perf_counter()
+        try:
+            workdir = self.resolve_workdir(request)
+            bytes_read = self._read_inputs(request, workdir)
+            cpu_seconds, peak = self._stress(request)
+            bytes_written = self._write_outputs(request, workdir)
+        except InvocationError as exc:
+            return BenchResponse(
+                name=request.name,
+                status=exc.status,
+                duration_seconds=time.perf_counter() - start,
+                error=str(exc),
+            )
+        return BenchResponse(
+            name=request.name,
+            status=200,
+            duration_seconds=time.perf_counter() - start,
+            cpu_seconds=cpu_seconds,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            peak_memory_bytes=peak,
+        )

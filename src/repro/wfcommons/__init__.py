@@ -1,0 +1,65 @@
+"""WfCommons substrate: workflow schema, recipes, generation, translation.
+
+This package reimplements the parts of the WfCommons framework the paper
+relies on (paper Fig. 2):
+
+* **WfInstances** (:mod:`~repro.wfcommons.instances`) — distilled
+  statistics of real workflow executions for seven applications.
+* **WfChef recipes** (:mod:`~repro.wfcommons.recipes`) — per-application
+  generators that reproduce each workflow's characteristic DAG shape.
+* **WfGen** (:mod:`~repro.wfcommons.generator`) — turns a recipe plus a
+  target size into a concrete :class:`~repro.wfcommons.schema.Workflow`.
+* **WfBench translators** (:mod:`~repro.wfcommons.translators`) — convert
+  generated workflows into manager-specific descriptions.  The *Knative
+  translator* is the paper's contribution C3; Pegasus- and Nextflow-style
+  translators model the pre-existing WfCommons targets.
+"""
+
+from repro.wfcommons.schema import (
+    FileLink,
+    FileSpec,
+    Task,
+    TaskCommand,
+    Workflow,
+    WorkflowMeta,
+)
+from repro.wfcommons.generator import WorkflowGenerator, generate_suite
+from repro.wfcommons.recipes import (
+    RECIPES,
+    BlastRecipe,
+    BwaRecipe,
+    CyclesRecipe,
+    EpigenomicsRecipe,
+    GenomeRecipe,
+    SeismologyRecipe,
+    SrasearchRecipe,
+    WorkflowRecipe,
+    recipe_for,
+)
+from repro.wfcommons.analysis import WorkflowAnalyzer, WorkflowCharacterization
+from repro.wfcommons.wfchef import InferredRecipe, analyze_instance
+
+__all__ = [
+    "FileLink",
+    "FileSpec",
+    "Task",
+    "TaskCommand",
+    "Workflow",
+    "WorkflowMeta",
+    "WorkflowGenerator",
+    "generate_suite",
+    "WorkflowRecipe",
+    "RECIPES",
+    "recipe_for",
+    "BlastRecipe",
+    "BwaRecipe",
+    "CyclesRecipe",
+    "EpigenomicsRecipe",
+    "GenomeRecipe",
+    "SeismologyRecipe",
+    "SrasearchRecipe",
+    "WorkflowAnalyzer",
+    "WorkflowCharacterization",
+    "InferredRecipe",
+    "analyze_instance",
+]

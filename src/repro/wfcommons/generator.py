@@ -1,0 +1,89 @@
+"""WfGen: recipe + size → validated workflow instance.
+
+The generator is the user-facing entry point of the WfCommons substrate
+(paper Fig. 2, component "WfGen").  It seeds the recipe, validates the
+result, and can emit whole benchmark *suites* — one workflow per
+(application, size) pair — as used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.simulation.rng import derive_seed
+from repro.wfcommons.recipes import RECIPES, WorkflowRecipe, recipe_for
+from repro.wfcommons.schema import Workflow
+from repro.wfcommons.validation import validate_workflow
+
+__all__ = ["WorkflowGenerator", "generate_suite"]
+
+
+class WorkflowGenerator:
+    """Generates workflow instances from a recipe.
+
+    Mirrors ``wfcommons.WorkflowGenerator``: construct with a recipe
+    (class or instance), call :meth:`build_workflow` per instance.
+    """
+
+    def __init__(
+        self,
+        recipe: Union[WorkflowRecipe, type[WorkflowRecipe], str],
+        seed: int = 0,
+    ):
+        if isinstance(recipe, str):
+            recipe = recipe_for(recipe)
+        if isinstance(recipe, type):
+            recipe = recipe()
+        self.recipe: WorkflowRecipe = recipe
+        self.seed = int(seed)
+        self._built = 0
+
+    def build_workflow(self, num_tasks: int, validate: bool = True) -> Workflow:
+        """Build one instance with exactly ``num_tasks`` tasks.
+
+        Successive calls use distinct derived seeds, so a generator yields
+        a stream of distinct (but reproducible) instances.
+        """
+        stream_name = f"{self.recipe.display_name()}:{num_tasks}:{self._built}"
+        self._built += 1
+        rng = np.random.default_rng(derive_seed(self.seed, stream_name))
+        workflow = self.recipe.build(num_tasks, rng)
+        if validate:
+            validate_workflow(workflow)
+        return workflow
+
+    def build_workflows(self, sizes: Iterable[int]) -> list[Workflow]:
+        return [self.build_workflow(size) for size in sizes]
+
+
+def generate_suite(
+    sizes: Iterable[int],
+    applications: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    base_cpu_work: float = 100.0,
+    data_scale: float = 1.0,
+    output_dir: Optional[Union[str, Path]] = None,
+) -> dict[str, list[Workflow]]:
+    """Generate the full benchmark suite: every application at every size.
+
+    Returns ``{application: [workflow per size]}``; when ``output_dir`` is
+    given each workflow is also saved as
+    ``<dir>/<RecipeName>-<cpuwork>-<size>/<RecipeName>-<cpuwork>-<size>.json``
+    (the layout the paper's AD/AE appendix shows).
+    """
+    sizes = list(sizes)
+    suite: dict[str, list[Workflow]] = {}
+    for app in applications or RECIPES:
+        recipe_cls = recipe_for(app)
+        recipe = recipe_cls(base_cpu_work=base_cpu_work, data_scale=data_scale)
+        generator = WorkflowGenerator(recipe, seed=derive_seed(seed, app))
+        workflows = generator.build_workflows(sizes)
+        suite[app] = workflows
+        if output_dir is not None:
+            for workflow in workflows:
+                target = Path(output_dir) / workflow.name / f"{workflow.name}.json"
+                workflow.save(target)
+    return suite

@@ -1,0 +1,207 @@
+"""Distilled WfInstances statistics.
+
+WfCommons' WfInstances repository curates execution logs of real workflow
+runs; WfChef mines them for per-application structure and per-task-type
+resource statistics.  We cannot ship the corpus, so this module embeds the
+distilled numbers the recipes need: for each application, the task
+*categories* (function types), their reference output-file sizes, CPU
+fractions and relative compute weights.  Values follow the published
+WfInstances/WfBench characterisations (e.g. the ``blastall`` output of
+40161 bytes visible in the paper's listing).
+
+These are *statistical* descriptions — the recipes draw around them with
+per-run seeded noise — so generated workflows vary realistically while
+remaining reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CategoryStats", "ApplicationProfile", "APPLICATIONS", "profile_for"]
+
+
+@dataclass(frozen=True)
+class CategoryStats:
+    """Reference statistics for one function type of an application."""
+
+    name: str
+    #: Mean output file size in bytes (lognormal location).
+    output_bytes: int
+    #: Coefficient of variation of the output size.
+    output_cv: float
+    #: Default WfBench percent-cpu for this function type.
+    percent_cpu: float
+    #: Relative compute weight; cpu-work = base_cpu_work * weight.
+    cpu_weight: float
+    #: Resident memory in bytes while the function runs.
+    memory_bytes: int
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Everything WfChef distilled about one application."""
+
+    name: str
+    domain: str
+    #: Paper §V-D grouping: 1 = dense (Blast-like), 2 = multi-phase
+    #: (Cycles/Epigenomics-like).
+    behaviour_group: int
+    categories: dict[str, CategoryStats] = field(default_factory=dict)
+    description: str = ""
+
+    def stats(self, category: str) -> CategoryStats:
+        try:
+            return self.categories[category]
+        except KeyError:
+            raise KeyError(
+                f"application {self.name!r} has no category {category!r}; "
+                f"known: {sorted(self.categories)}"
+            )
+
+
+def _profile(name: str, domain: str, group: int, description: str,
+             cats: list[CategoryStats]) -> ApplicationProfile:
+    return ApplicationProfile(
+        name=name,
+        domain=domain,
+        behaviour_group=group,
+        categories={c.name: c for c in cats},
+        description=description,
+    )
+
+
+MB = 1 << 20
+KB = 1 << 10
+
+APPLICATIONS: dict[str, ApplicationProfile] = {
+    "blast": _profile(
+        "blast", "bioinformatics", 1,
+        "BLAST sequence alignment: split a FASTA database, run blastall in "
+        "parallel over the chunks, concatenate the matches.",
+        [
+            CategoryStats("split_fasta", 204_082, 0.10, 0.80, 0.6, 64 * MB),
+            CategoryStats("blastall", 40_161, 0.25, 0.90, 1.0, 128 * MB),
+            CategoryStats("cat_blast", 410_000, 0.15, 0.70, 0.4, 64 * MB),
+            CategoryStats("cat", 420_000, 0.15, 0.60, 0.3, 32 * MB),
+        ],
+    ),
+    "bwa": _profile(
+        "bwa", "bioinformatics", 1,
+        "Burrows-Wheeler Aligner: index the reference, split the reads, "
+        "align chunks in parallel, concatenate the alignments.",
+        [
+            CategoryStats("fastq_reduce", 150_000, 0.10, 0.75, 0.5, 64 * MB),
+            CategoryStats("bwa_index", 1_200_000, 0.10, 0.95, 0.8, 256 * MB),
+            CategoryStats("bwa", 95_000, 0.30, 0.95, 1.0, 192 * MB),
+            CategoryStats("cat_bwa", 900_000, 0.15, 0.65, 0.4, 64 * MB),
+            CategoryStats("cat", 950_000, 0.15, 0.60, 0.3, 32 * MB),
+        ],
+    ),
+    "cycles": _profile(
+        "cycles", "agroecosystems", 2,
+        "Cycles agroecosystem simulations: per-(crop, cell) baseline and "
+        "fertilizer-increase runs, output parsing, summaries and plots.",
+        [
+            CategoryStats("baseline_cycles", 650_000, 0.20, 0.85, 0.8, 96 * MB),
+            CategoryStats("cycles", 640_000, 0.20, 0.85, 0.8, 96 * MB),
+            CategoryStats("fertilizer_increase_output_parser", 80_000, 0.20, 0.60, 0.3, 48 * MB),
+            CategoryStats("cycles_fertilizer_increase_output_summary", 120_000, 0.15, 0.55, 0.4, 64 * MB),
+            CategoryStats("cycles_output_summary", 130_000, 0.15, 0.55, 0.4, 64 * MB),
+            CategoryStats("cycles_plots", 2_400_000, 0.15, 0.70, 0.6, 128 * MB),
+        ],
+    ),
+    "epigenomics": _profile(
+        "epigenomics", "bioinformatics", 2,
+        "USC Epigenome Center pipeline: split sequence lanes, filter, "
+        "convert, map, then merge/index/pileup — a deep chained pipeline.",
+        [
+            CategoryStats("fastqSplit", 280_000, 0.10, 0.70, 0.5, 64 * MB),
+            CategoryStats("filterContams", 270_000, 0.15, 0.80, 0.6, 64 * MB),
+            CategoryStats("sol2sanger", 260_000, 0.15, 0.70, 0.4, 48 * MB),
+            CategoryStats("fast2bfq", 120_000, 0.15, 0.70, 0.4, 48 * MB),
+            CategoryStats("map", 110_000, 0.25, 0.95, 1.0, 160 * MB),
+            CategoryStats("mapMerge", 450_000, 0.15, 0.70, 0.5, 96 * MB),
+            CategoryStats("maqIndex", 460_000, 0.10, 0.75, 0.6, 96 * MB),
+            CategoryStats("pileup", 520_000, 0.10, 0.80, 0.7, 128 * MB),
+        ],
+    ),
+    "genome": _profile(
+        "genome", "bioinformatics", 1,
+        "1000Genome: per-chromosome parallel 'individuals' extraction, "
+        "merge, sifting, then population mutation-overlap and frequency "
+        "analyses.",
+        [
+            CategoryStats("individuals", 220_000, 0.25, 0.90, 1.0, 192 * MB),
+            CategoryStats("individuals_merge", 1_800_000, 0.15, 0.70, 0.6, 256 * MB),
+            CategoryStats("sifting", 60_000, 0.20, 0.75, 0.4, 64 * MB),
+            CategoryStats("mutation_overlap", 150_000, 0.20, 0.85, 0.7, 128 * MB),
+            CategoryStats("frequency", 320_000, 0.20, 0.85, 0.7, 128 * MB),
+        ],
+    ),
+    "seismology": _profile(
+        "seismology", "seismology", 1,
+        "Seismic cross-correlation: one sG1IterDecon deconvolution per "
+        "station pair feeding a single misfit-sifting wrapper.",
+        [
+            CategoryStats("sG1IterDecon", 28_000, 0.30, 0.90, 1.0, 96 * MB),
+            CategoryStats("wrapper_siftSTFByMisfit", 95_000, 0.15, 0.70, 0.5, 64 * MB),
+        ],
+    ),
+    "srasearch": _profile(
+        "srasearch", "bioinformatics", 1,
+        "SRA search: parallel prefetch of sequence read archives, parallel "
+        "fasterq-dump extraction, final merge of the matches.",
+        [
+            CategoryStats("prefetch", 900_000, 0.25, 0.70, 0.6, 128 * MB),
+            CategoryStats("fasterq_dump", 1_100_000, 0.25, 0.85, 0.9, 160 * MB),
+            CategoryStats("merge", 2_000_000, 0.15, 0.60, 0.4, 96 * MB),
+        ],
+    ),
+    # -- extension workflows (WfInstances corpus, beyond the paper's 7) ----
+    "montage": _profile(
+        "montage", "astronomy", 1,
+        "Montage astronomy mosaics: parallel re-projections, overlap "
+        "fitting, background modelling and correction, final mosaic "
+        "assembly.",
+        [
+            CategoryStats("mProject", 4_200_000, 0.20, 0.90, 1.0, 256 * MB),
+            CategoryStats("mDiffFit", 350_000, 0.25, 0.80, 0.4, 96 * MB),
+            CategoryStats("mConcatFit", 120_000, 0.10, 0.70, 0.5, 64 * MB),
+            CategoryStats("mBgModel", 90_000, 0.10, 0.85, 0.8, 96 * MB),
+            CategoryStats("mBackground", 4_200_000, 0.20, 0.80, 0.6, 192 * MB),
+            CategoryStats("mImgtbl", 60_000, 0.10, 0.60, 0.3, 48 * MB),
+            CategoryStats("mAdd", 8_500_000, 0.15, 0.85, 1.0, 384 * MB),
+            CategoryStats("mShrink", 2_100_000, 0.15, 0.70, 0.4, 128 * MB),
+            CategoryStats("mJPEG", 1_500_000, 0.15, 0.65, 0.3, 96 * MB),
+        ],
+    ),
+    "soykb": _profile(
+        "soykb", "bioinformatics", 2,
+        "SoyKB soybean re-sequencing: a deep 7-stage per-sample GATK "
+        "pipeline merged into joint genotyping.",
+        [
+            CategoryStats("alignment_to_reference", 1_800_000, 0.20, 0.95, 1.0, 256 * MB),
+            CategoryStats("sort_sam", 1_700_000, 0.15, 0.75, 0.5, 192 * MB),
+            CategoryStats("dedup", 1_600_000, 0.15, 0.80, 0.6, 192 * MB),
+            CategoryStats("add_replace", 1_600_000, 0.15, 0.70, 0.4, 128 * MB),
+            CategoryStats("realign_target_creator", 200_000, 0.20, 0.85, 0.7, 192 * MB),
+            CategoryStats("indel_realign", 1_650_000, 0.15, 0.85, 0.8, 224 * MB),
+            CategoryStats("haplotype_caller", 900_000, 0.25, 0.95, 1.0, 256 * MB),
+            CategoryStats("merge_gvcfs", 2_400_000, 0.10, 0.70, 0.6, 192 * MB),
+            CategoryStats("genotype_gvcfs", 1_100_000, 0.15, 0.85, 0.8, 224 * MB),
+            CategoryStats("combine_variants", 1_300_000, 0.10, 0.65, 0.4, 128 * MB),
+        ],
+    ),
+}
+
+
+def profile_for(application: str) -> ApplicationProfile:
+    """Look up an :class:`ApplicationProfile` by (case-insensitive) name."""
+    key = application.lower()
+    if key not in APPLICATIONS:
+        raise KeyError(
+            f"unknown application {application!r}; known: {sorted(APPLICATIONS)}"
+        )
+    return APPLICATIONS[key]

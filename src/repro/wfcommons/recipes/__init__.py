@@ -1,0 +1,63 @@
+"""WfChef-style recipes for the seven applications evaluated in the paper."""
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+from repro.wfcommons.recipes.blast import BlastRecipe
+from repro.wfcommons.recipes.bwa import BwaRecipe
+from repro.wfcommons.recipes.cycles import CyclesRecipe
+from repro.wfcommons.recipes.epigenomics import EpigenomicsRecipe
+from repro.wfcommons.recipes.genome import GenomeRecipe
+from repro.wfcommons.recipes.montage import MontageRecipe
+from repro.wfcommons.recipes.seismology import SeismologyRecipe
+from repro.wfcommons.recipes.soykb import SoykbRecipe
+from repro.wfcommons.recipes.srasearch import SrasearchRecipe
+
+#: The paper's seven workflows, in the order §V-A lists them.
+RECIPES: dict[str, type[WorkflowRecipe]] = {
+    "blast": BlastRecipe,
+    "bwa": BwaRecipe,
+    "cycles": CyclesRecipe,
+    "epigenomics": EpigenomicsRecipe,
+    "genome": GenomeRecipe,
+    "seismology": SeismologyRecipe,
+    "srasearch": SrasearchRecipe,
+}
+
+#: Additional WfInstances-corpus workflows beyond the paper's evaluation
+#: ("additional workflows with similar structures could be generated",
+#: §V-A).
+EXTENSION_RECIPES: dict[str, type[WorkflowRecipe]] = {
+    "montage": MontageRecipe,
+    "soykb": SoykbRecipe,
+}
+
+#: Everything generatable.
+ALL_RECIPES: dict[str, type[WorkflowRecipe]] = {**RECIPES, **EXTENSION_RECIPES}
+
+
+def recipe_for(application: str) -> type[WorkflowRecipe]:
+    """Look up a recipe class by application name (case-insensitive)."""
+    key = application.lower()
+    if key not in ALL_RECIPES:
+        raise KeyError(
+            f"unknown application {application!r}; known: {sorted(ALL_RECIPES)}"
+        )
+    return ALL_RECIPES[key]
+
+
+__all__ = [
+    "WorkflowRecipe",
+    "RecipeBuilder",
+    "RECIPES",
+    "EXTENSION_RECIPES",
+    "ALL_RECIPES",
+    "recipe_for",
+    "BlastRecipe",
+    "BwaRecipe",
+    "CyclesRecipe",
+    "EpigenomicsRecipe",
+    "GenomeRecipe",
+    "MontageRecipe",
+    "SeismologyRecipe",
+    "SoykbRecipe",
+    "SrasearchRecipe",
+]

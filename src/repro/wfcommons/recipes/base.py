@@ -1,0 +1,207 @@
+"""Recipe base class and the :class:`RecipeBuilder` task-wiring helper.
+
+A recipe (WfChef's output) knows the *shape* of one application's DAG and
+how to instantiate it at any requested size.  Concrete recipes implement
+:meth:`WorkflowRecipe.structure`, calling :meth:`RecipeBuilder.add` for
+every task; the builder handles naming (``blastall_00000002``), stress
+parameters drawn from the :mod:`~repro.wfcommons.instances` statistics,
+and input/output file wiring (a child's inputs are its parents' outputs,
+exactly as in the paper's Knative listing).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.wfcommons.instances import ApplicationProfile, profile_for
+from repro.wfcommons.schema import (
+    FileLink,
+    FileSpec,
+    Task,
+    TaskCommand,
+    Workflow,
+    WorkflowMeta,
+)
+
+__all__ = ["WorkflowRecipe", "RecipeBuilder"]
+
+
+class RecipeBuilder:
+    """Incrementally assembles a :class:`Workflow` for a recipe.
+
+    Parameters
+    ----------
+    profile:
+        Application statistics driving file sizes and stress parameters.
+    rng:
+        Seeded generator; all randomness flows through it.
+    base_cpu_work:
+        WfBench ``cpu-work`` units for a weight-1.0 function (the paper's
+        listings use 100; recipe directory names use 250).
+    data_scale:
+        Multiplier on all file sizes (WfBench's "data footprint" knob).
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        profile: ApplicationProfile,
+        rng: np.random.Generator,
+        base_cpu_work: float = 100.0,
+        data_scale: float = 1.0,
+    ):
+        self.workflow = workflow
+        self.profile = profile
+        self.rng = rng
+        self.base_cpu_work = float(base_cpu_work)
+        self.data_scale = float(data_scale)
+        self._next_id = 0
+
+    @property
+    def count(self) -> int:
+        """Number of tasks added so far."""
+        return len(self.workflow)
+
+    def _draw_size(self, mean: int, cv: float) -> int:
+        """Lognormal draw with the given mean and coefficient of variation."""
+        mean_scaled = max(1.0, mean * self.data_scale)
+        if cv <= 0:
+            return int(round(mean_scaled))
+        sigma2 = np.log1p(cv * cv)
+        mu = np.log(mean_scaled) - sigma2 / 2.0
+        return max(1, int(round(self.rng.lognormal(mu, np.sqrt(sigma2)))))
+
+    def add(
+        self,
+        category: str,
+        parents: Optional[list[str]] = None,
+        outputs: int = 1,
+        workflow_input: bool = False,
+    ) -> str:
+        """Create one task of ``category`` and return its unique name.
+
+        ``parents`` are existing task names; the new task's input files are
+        the union of their output files.  Root tasks (``workflow_input``)
+        instead read a staged ``*_input.txt`` workflow input.
+        """
+        stats = self.profile.stats(category)
+        self._next_id += 1
+        task_id = f"{self._next_id:08d}"
+        name = f"{category}_{task_id}"
+
+        percent_cpu = float(
+            np.clip(stats.percent_cpu + self.rng.normal(0.0, 0.02), 0.1, 1.0)
+        )
+        cpu_work = float(
+            self.base_cpu_work * stats.cpu_weight * self.rng.uniform(0.9, 1.1)
+        )
+
+        files: list[FileSpec] = []
+        parents = list(parents or [])
+        if workflow_input or not parents:
+            files.append(
+                FileSpec(
+                    name=f"{name}_input.txt",
+                    size_in_bytes=self._draw_size(stats.output_bytes, stats.output_cv),
+                    link=FileLink.INPUT,
+                )
+            )
+        for parent in parents:
+            for parent_file in self.workflow[parent].output_files:
+                files.append(
+                    FileSpec(
+                        name=parent_file.name,
+                        size_in_bytes=parent_file.size_in_bytes,
+                        link=FileLink.INPUT,
+                    )
+                )
+        for out_index in range(outputs):
+            suffix = "" if out_index == 0 else f"_{out_index}"
+            files.append(
+                FileSpec(
+                    name=f"{name}_output{suffix}.txt",
+                    size_in_bytes=self._draw_size(stats.output_bytes, stats.output_cv),
+                    link=FileLink.OUTPUT,
+                )
+            )
+
+        task = Task(
+            name=name,
+            task_id=task_id,
+            category=category,
+            command=TaskCommand(program="wfbench.py", arguments=[]),
+            files=files,
+            percent_cpu=round(percent_cpu, 2),
+            cpu_work=round(cpu_work, 2),
+            memory_bytes=int(stats.memory_bytes * self.data_scale),
+        )
+        self.workflow.add_task(task)
+        for parent in parents:
+            self.workflow.add_edge(parent, name)
+        return name
+
+    def add_many(
+        self, category: str, count: int, parents: Optional[list[str]] = None
+    ) -> list[str]:
+        """Add ``count`` sibling tasks sharing the same parents."""
+        return [self.add(category, parents) for _ in range(count)]
+
+
+class WorkflowRecipe(abc.ABC):
+    """Base class of the per-application WfChef recipes."""
+
+    #: Application key into :data:`repro.wfcommons.instances.APPLICATIONS`.
+    application: str = ""
+    #: Smallest DAG the shape admits.
+    min_tasks: int = 1
+
+    def __init__(self, base_cpu_work: float = 100.0, data_scale: float = 1.0):
+        if not self.application:
+            raise TypeError("concrete recipes must set `application`")
+        self.profile = profile_for(self.application)
+        self.base_cpu_work = float(base_cpu_work)
+        self.data_scale = float(data_scale)
+
+    @classmethod
+    def display_name(cls) -> str:
+        """WfCommons-style recipe name, e.g. ``BlastRecipe``."""
+        return cls.__name__
+
+    def workflow_name(self, num_tasks: int) -> str:
+        """Directory-style name, e.g. ``BlastRecipe-250-100`` (paper AD/AE)."""
+        return f"{self.display_name()}-{int(self.base_cpu_work)}-{num_tasks}"
+
+    def build(self, num_tasks: int, rng: np.random.Generator) -> Workflow:
+        """Instantiate the recipe at ``num_tasks`` tasks exactly."""
+        if num_tasks < self.min_tasks:
+            raise GenerationError(
+                f"{self.display_name()} needs at least {self.min_tasks} tasks, "
+                f"got {num_tasks}"
+            )
+        meta = WorkflowMeta(
+            name=self.workflow_name(num_tasks),
+            description=self.profile.description,
+        )
+        workflow = Workflow(meta)
+        builder = RecipeBuilder(
+            workflow,
+            self.profile,
+            rng,
+            base_cpu_work=self.base_cpu_work,
+            data_scale=self.data_scale,
+        )
+        self.structure(builder, num_tasks)
+        if len(workflow) != num_tasks:
+            raise GenerationError(
+                f"{self.display_name()} produced {len(workflow)} tasks, "
+                f"expected exactly {num_tasks}"
+            )
+        return workflow
+
+    @abc.abstractmethod
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        """Emit exactly ``num_tasks`` tasks through ``builder``."""

@@ -1,0 +1,26 @@
+"""Blast recipe — group-1 (dense) shape: 1 → N → 1 → 1.
+
+``split_fasta`` partitions the query database; ``num_tasks - 3`` parallel
+``blastall`` alignments follow; ``cat_blast`` concatenates the raw matches
+and ``cat`` produces the final report.  Matches the paper's listing, where
+``blastall_00000002`` has parent ``split_fasta_00000001`` and children
+``cat_blast`` and ``cat``.
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["BlastRecipe"]
+
+
+class BlastRecipe(WorkflowRecipe):
+    application = "blast"
+    min_tasks = 4
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        split = builder.add("split_fasta", workflow_input=True)
+        blasts = builder.add_many("blastall", num_tasks - 3, parents=[split])
+        cat_blast = builder.add("cat_blast", parents=blasts)
+        # `cat` reads every blastall output plus the concatenated file.
+        builder.add("cat", parents=blasts + [cat_blast])

@@ -1,0 +1,24 @@
+"""BWA recipe — group-1 (dense) shape: 2 roots → N → 1 → 1.
+
+``bwa_index`` builds the reference index while ``fastq_reduce`` splits the
+reads; ``num_tasks - 4`` parallel ``bwa`` alignments consume both; the
+alignments are concatenated by ``cat_bwa`` and finalised by ``cat``.
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["BwaRecipe"]
+
+
+class BwaRecipe(WorkflowRecipe):
+    application = "bwa"
+    min_tasks = 5
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        reduce_reads = builder.add("fastq_reduce", workflow_input=True)
+        index = builder.add("bwa_index", workflow_input=True)
+        aligns = builder.add_many("bwa", num_tasks - 4, parents=[reduce_reads, index])
+        cat_bwa = builder.add("cat_bwa", parents=aligns)
+        builder.add("cat", parents=[cat_bwa])

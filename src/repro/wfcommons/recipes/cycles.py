@@ -1,0 +1,47 @@
+"""Cycles recipe — group-2 (multi-phase) shape: parallel 3-stage chains
+plus a 3-task aggregation tail.
+
+Per (crop, cell) unit: ``baseline_cycles`` → ``cycles`` (fertilizer-
+increase run) → ``fertilizer_increase_output_parser``.  Two summaries
+aggregate across units (one over the parsers, one over the cycles runs)
+and ``cycles_plots`` closes the workflow.  Leftover size slots extend some
+chains with an extra ``cycles`` stage, which deepens the DAG — the
+many-phases/fewer-per-phase profile the paper's Figure 3 shows.
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["CyclesRecipe"]
+
+_TAIL = 3       # two summaries + plots
+_CHAIN = 3      # baseline -> cycles -> parser
+
+
+class CyclesRecipe(WorkflowRecipe):
+    application = "cycles"
+    min_tasks = _CHAIN + _TAIL
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        units, leftover = divmod(num_tasks - _TAIL, _CHAIN)
+        # Leftover slots become extra fertilizer-increase stages, spread
+        # round-robin over the units (a unit may get several).
+        base_extra, remainder = divmod(leftover, units)
+        cycles_runs: list[str] = []
+        parsers: list[str] = []
+        for unit in range(units):
+            baseline = builder.add("baseline_cycles", workflow_input=True)
+            run = builder.add("cycles", parents=[baseline])
+            extras = base_extra + (1 if unit < remainder else 0)
+            for _ in range(extras):
+                run = builder.add("cycles", parents=[run])
+            cycles_runs.append(run)
+            parsers.append(
+                builder.add("fertilizer_increase_output_parser", parents=[run])
+            )
+        fert_summary = builder.add(
+            "cycles_fertilizer_increase_output_summary", parents=parsers
+        )
+        run_summary = builder.add("cycles_output_summary", parents=cycles_runs)
+        builder.add("cycles_plots", parents=[fert_summary, run_summary])

@@ -1,0 +1,67 @@
+"""Epigenomics recipe — the deepest group-2 shape: a 9-phase pipeline.
+
+Per sequence lane: ``fastqSplit`` fans out into chunk chains of
+``filterContams`` → ``sol2sanger`` → ``fast2bfq`` → ``map``, merged by a
+per-lane ``mapMerge``.  A global ``mapMerge`` → ``maqIndex`` → ``pileup``
+tail closes the workflow.  Leftover size slots become extra parallel
+``map`` tasks on existing chunk chains.
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["EpigenomicsRecipe"]
+
+_GLOBAL_TAIL = 3   # global mapMerge + maqIndex + pileup
+_PER_LANE = 2      # fastqSplit + per-lane mapMerge
+_PER_CHUNK = 4     # filterContams, sol2sanger, fast2bfq, map
+
+
+class EpigenomicsRecipe(WorkflowRecipe):
+    application = "epigenomics"
+    min_tasks = _GLOBAL_TAIL + _PER_LANE + _PER_CHUNK  # 9
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        lanes = self._lane_count(num_tasks)
+        chunk_budget = num_tasks - _GLOBAL_TAIL - lanes * _PER_LANE
+        chunks = chunk_budget // _PER_CHUNK
+        extra_maps = chunk_budget - chunks * _PER_CHUNK
+        chunk_split, chunk_rem = divmod(chunks, lanes)
+
+        lane_merges: list[str] = []
+        all_bfqs: list[tuple[str, str]] = []  # (fast2bfq name, lane merge slot)
+        lane_maps: list[list[str]] = []
+        for lane in range(lanes):
+            lane_chunks = chunk_split + (1 if lane < chunk_rem else 0)
+            split = builder.add("fastqSplit", workflow_input=True)
+            maps: list[str] = []
+            for _ in range(lane_chunks):
+                filt = builder.add("filterContams", parents=[split])
+                sanger = builder.add("sol2sanger", parents=[filt])
+                bfq = builder.add("fast2bfq", parents=[sanger])
+                maps.append(builder.add("map", parents=[bfq]))
+                all_bfqs.append((bfq, str(lane)))
+            lane_maps.append(maps)
+
+        # Distribute leftover slots as extra map tasks on existing chains.
+        for index in range(extra_maps):
+            bfq, lane_key = all_bfqs[index % len(all_bfqs)]
+            lane_maps[int(lane_key)].append(builder.add("map", parents=[bfq]))
+
+        for maps in lane_maps:
+            lane_merges.append(builder.add("mapMerge", parents=maps))
+        global_merge = builder.add("mapMerge", parents=lane_merges)
+        index_task = builder.add("maqIndex", parents=[global_merge])
+        builder.add("pileup", parents=[index_task])
+
+    @staticmethod
+    def _lane_count(num_tasks: int) -> int:
+        """1 lane for small workflows, up to 4 for large ones.
+
+        Every lane needs at least one full chunk chain.
+        """
+        for lanes in (4, 3, 2):
+            if num_tasks >= _GLOBAL_TAIL + lanes * (_PER_LANE + _PER_CHUNK) + lanes:
+                return lanes
+        return 1

@@ -1,0 +1,42 @@
+"""1000Genome recipe — group-1 shape: wide roots → per-chromosome merge →
+per-chromosome analyses.
+
+Per chromosome: many parallel ``individuals`` extractions plus one
+``sifting`` (both roots), one ``individuals_merge``, then a
+``mutation_overlap`` and a ``frequency`` analysis consuming merge +
+sifting.  Chromosome count grows slowly with workflow size (≤ 22
+autosomes, like the real application).
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["GenomeRecipe"]
+
+#: Fixed tasks per chromosome: merge + sifting + overlap + frequency.
+_PER_CHROMOSOME_FIXED = 4
+
+
+class GenomeRecipe(WorkflowRecipe):
+    application = "genome"
+    min_tasks = 5  # one chromosome with a single individuals task
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        chromosomes = self._chromosome_count(num_tasks)
+        individual_slots = num_tasks - chromosomes * _PER_CHROMOSOME_FIXED
+        base, extra = divmod(individual_slots, chromosomes)
+        for chromosome in range(chromosomes):
+            width = base + (1 if chromosome < extra else 0)
+            individuals = [
+                builder.add("individuals", workflow_input=True) for _ in range(width)
+            ]
+            sifting = builder.add("sifting", workflow_input=True)
+            merge = builder.add("individuals_merge", parents=individuals)
+            builder.add("mutation_overlap", parents=[merge, sifting])
+            builder.add("frequency", parents=[merge, sifting])
+
+    @staticmethod
+    def _chromosome_count(num_tasks: int) -> int:
+        """At least 1 individuals task per chromosome, at most 22 chromosomes."""
+        return max(1, min(22, num_tasks // 10, num_tasks // (_PER_CHROMOSOME_FIXED + 1)))

@@ -1,0 +1,53 @@
+"""Montage recipe — an *extension* workflow (not part of the paper's
+seven, but a staple of the WfInstances corpus the paper builds on;
+§V-A notes "additional workflows with similar structures could be
+generated").
+
+Classic astronomy mosaic pipeline: N parallel ``mProject`` re-projections
+feed overlap ``mDiffFit`` fits, a ``mConcatFit``/``mBgModel`` pair
+computes background corrections, N parallel ``mBackground`` corrections
+follow, and an ``mImgtbl`` → ``mAdd`` → ``mShrink`` → ``mJPEG`` tail
+assembles the mosaic.  Mixes a dense double-fan with a deep tail, sitting
+between the paper's two behaviour groups.
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["MontageRecipe"]
+
+_TAIL = 6  # mConcatFit, mBgModel, mImgtbl, mAdd, mShrink, mJPEG
+
+
+class MontageRecipe(WorkflowRecipe):
+    application = "montage"
+    min_tasks = _TAIL + 3  # 1 projection + 1 difffit + 1 background
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        budget = num_tasks - _TAIL
+        # Projections and backgrounds are paired per input image; diff-fits
+        # cover overlapping pairs (~one per projection at our granularity).
+        # images + diffs + images == budget, with diffs ~ images.
+        images = max(1, budget // 3)
+        diffs = budget - 2 * images
+
+        projections = [
+            builder.add("mProject", workflow_input=True) for _ in range(images)
+        ]
+        diff_fits = []
+        for index in range(diffs):
+            left = projections[index % images]
+            right = projections[(index + 1) % images]
+            parents = [left] if left == right else [left, right]
+            diff_fits.append(builder.add("mDiffFit", parents=parents))
+        concat = builder.add("mConcatFit", parents=diff_fits)
+        bg_model = builder.add("mBgModel", parents=[concat])
+        backgrounds = [
+            builder.add("mBackground", parents=[projections[i], bg_model])
+            for i in range(images)
+        ]
+        imgtbl = builder.add("mImgtbl", parents=backgrounds)
+        madd = builder.add("mAdd", parents=[imgtbl])
+        shrink = builder.add("mShrink", parents=[madd])
+        builder.add("mJPEG", parents=[shrink])

@@ -1,0 +1,24 @@
+"""Seismology recipe — the densest group-1 shape: N → 1.
+
+One ``sG1IterDecon`` iterative deconvolution per station pair, all feeding
+a single ``wrapper_siftSTFByMisfit`` that sifts the source time functions
+by misfit.
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["SeismologyRecipe"]
+
+
+class SeismologyRecipe(WorkflowRecipe):
+    application = "seismology"
+    min_tasks = 2
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        decons = [
+            builder.add("sG1IterDecon", workflow_input=True)
+            for _ in range(num_tasks - 1)
+        ]
+        builder.add("wrapper_siftSTFByMisfit", parents=decons)

@@ -1,0 +1,54 @@
+"""SoyKB recipe — an *extension* workflow from the WfInstances corpus
+(soybean genomics re-sequencing).
+
+Per sample: ``alignment_to_reference`` → ``sort_sam`` →
+``dedup`` → ``add_replace`` → ``realign_target_creator`` →
+``indel_realign`` → ``haplotype_caller`` — a deep 7-stage chain — then
+``merge_gvcfs`` (1) collects all samples and a
+``genotype_gvcfs`` → ``combine_variants`` tail finishes.  The deepest
+per-sample pipeline in the corpus: strongly group-2-shaped.
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["SoykbRecipe"]
+
+_CHAIN = (
+    "alignment_to_reference",
+    "sort_sam",
+    "dedup",
+    "add_replace",
+    "realign_target_creator",
+    "indel_realign",
+    "haplotype_caller",
+)
+_TAIL = 3  # merge_gvcfs, genotype_gvcfs, combine_variants
+
+
+class SoykbRecipe(WorkflowRecipe):
+    application = "soykb"
+    min_tasks = len(_CHAIN) + _TAIL
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        budget = num_tasks - _TAIL
+        samples, leftover = divmod(budget, len(_CHAIN))
+        # Leftover slots become extra haplotype-caller passes, spread
+        # round-robin over the samples (a sample may get several).
+        base_extra, remainder = divmod(leftover, samples)
+        callers = []
+        for sample in range(samples):
+            extras = base_extra + (1 if sample < remainder else 0)
+            stages = _CHAIN + ("haplotype_caller",) * extras
+            previous = None
+            for stage in stages:
+                previous = builder.add(
+                    stage,
+                    parents=[previous] if previous else None,
+                    workflow_input=previous is None,
+                )
+            callers.append(previous)
+        merge = builder.add("merge_gvcfs", parents=callers)
+        genotype = builder.add("genotype_gvcfs", parents=[merge])
+        builder.add("combine_variants", parents=[genotype])

@@ -1,0 +1,31 @@
+"""Srasearch recipe — group-1 shape: N → N → 1 (paired pipelines + merge).
+
+Each archive is ``prefetch``-ed then extracted with ``fasterq_dump``; a
+final ``merge`` aggregates all extracted reads.  When ``num_tasks - 1`` is
+odd the spare slot becomes one extra ``prefetch`` that feeds the merge
+directly (keeps the generated size exact).
+"""
+
+from __future__ import annotations
+
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+
+__all__ = ["SrasearchRecipe"]
+
+
+class SrasearchRecipe(WorkflowRecipe):
+    application = "srasearch"
+    min_tasks = 3
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        pipeline_slots = num_tasks - 1
+        pairs = pipeline_slots // 2
+        spare = pipeline_slots - 2 * pairs
+        dumps: list[str] = []
+        for _ in range(pairs):
+            fetch = builder.add("prefetch", workflow_input=True)
+            dumps.append(builder.add("fasterq_dump", parents=[fetch]))
+        merge_parents = list(dumps)
+        if spare:
+            merge_parents.append(builder.add("prefetch", workflow_input=True))
+        builder.add("merge", parents=merge_parents)

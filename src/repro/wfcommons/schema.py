@@ -1,0 +1,438 @@
+"""WfCommons workflow format (WfFormat) dataclasses and JSON I/O.
+
+The on-disk shape follows the WfFormat JSON schema used by WfCommons:
+
+.. code-block:: json
+
+    {
+      "name": "Blast-Benchmark",
+      "description": "...",
+      "createdAt": "...",
+      "schemaVersion": "1.4",
+      "workflow": {
+        "makespanInSeconds": 0,
+        "executedAt": "...",
+        "tasks": [ { "name": "...", "type": "compute", ... } ]
+      }
+    }
+
+Each task carries its ``command`` (program + arguments), ``parents`` /
+``children`` edges, ``files`` (inputs and outputs with sizes) and the
+WfBench stress parameters this reproduction needs (``percent-cpu``,
+``cpu-work``, memory).  The Knative translator
+(:mod:`repro.wfcommons.translators.knative`) rewrites ``command`` into the
+key/value + ``api_url`` form shown in the paper's listing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "FileLink",
+    "FileSpec",
+    "TaskCommand",
+    "Task",
+    "WorkflowMeta",
+    "Workflow",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = "1.4"
+
+#: Fixed timestamp used in generated documents so output is reproducible.
+DEFAULT_TIMESTAMP = "2024-07-12T17:09:21.522439+02:00"
+
+
+class FileLink(str, Enum):
+    """Direction of a file relative to a task."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """A file consumed or produced by a task."""
+
+    name: str
+    size_in_bytes: int
+    link: FileLink
+
+    def __post_init__(self) -> None:
+        if self.size_in_bytes < 0:
+            raise SchemaError(f"file {self.name!r} has negative size")
+        if not self.name:
+            raise SchemaError("file name must be non-empty")
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "link": self.link.value,
+            "name": self.name,
+            "sizeInBytes": self.size_in_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "FileSpec":
+        try:
+            return cls(
+                name=doc["name"],
+                size_in_bytes=int(doc["sizeInBytes"]),
+                link=FileLink(doc["link"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise SchemaError(f"malformed file spec: {doc!r}") from exc
+
+
+@dataclass
+class TaskCommand:
+    """The program a task runs plus its (translator-specific) arguments."""
+
+    program: str = "wfbench.py"
+    arguments: list[Any] = field(default_factory=list)
+    api_url: Optional[str] = None
+
+    def to_json(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"program": self.program, "arguments": self.arguments}
+        if self.api_url is not None:
+            doc["api_url"] = self.api_url
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "TaskCommand":
+        return cls(
+            program=doc.get("program", "wfbench.py"),
+            arguments=list(doc.get("arguments", [])),
+            api_url=doc.get("api_url"),
+        )
+
+
+@dataclass
+class Task:
+    """One node of the workflow DAG.
+
+    ``category`` is the application-level function type (``blastall``,
+    ``individuals`` …) used by the Figure-3 characterisation; ``name``
+    is the unique instance name (``blastall_00000002``).
+    """
+
+    name: str
+    task_id: str
+    category: str
+    command: TaskCommand = field(default_factory=TaskCommand)
+    parents: list[str] = field(default_factory=list)
+    children: list[str] = field(default_factory=list)
+    files: list[FileSpec] = field(default_factory=list)
+    runtime_in_seconds: float = 0.0
+    cores: int = 1
+    task_type: str = "compute"
+    percent_cpu: float = 0.9
+    cpu_work: float = 100.0
+    memory_bytes: int = 0
+    started_at: str = DEFAULT_TIMESTAMP
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("task name must be non-empty")
+        if self.cores < 1:
+            raise SchemaError(f"task {self.name!r}: cores must be >= 1")
+        if not 0.0 <= self.percent_cpu <= 1.0:
+            raise SchemaError(
+                f"task {self.name!r}: percent-cpu {self.percent_cpu} not in [0, 1]"
+            )
+        if self.cpu_work < 0:
+            raise SchemaError(f"task {self.name!r}: negative cpu-work")
+        if self.memory_bytes < 0:
+            raise SchemaError(f"task {self.name!r}: negative memory")
+
+    # -- convenience views -------------------------------------------------
+    @property
+    def input_files(self) -> list[FileSpec]:
+        return [f for f in self.files if f.link is FileLink.INPUT]
+
+    @property
+    def output_files(self) -> list[FileSpec]:
+        return [f for f in self.files if f.link is FileLink.OUTPUT]
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(f.size_in_bytes for f in self.input_files)
+
+    @property
+    def output_bytes(self) -> int:
+        return sum(f.size_in_bytes for f in self.output_files)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "type": self.task_type,
+            "command": self.command.to_json(),
+            "parents": list(self.parents),
+            "children": list(self.children),
+            "files": [f.to_json() for f in self.files],
+            "runtimeInSeconds": self.runtime_in_seconds,
+            "cores": self.cores,
+            "id": self.task_id,
+            "category": self.category,
+            "percentCpu": self.percent_cpu,
+            "cpuWork": self.cpu_work,
+            "memoryInBytes": self.memory_bytes,
+            "startedAt": self.started_at,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "Task":
+        # Knative-translated documents carry the stress parameters inside
+        # the command's key/value arguments record (paper listing); prefer
+        # the top-level keys, fall back to that record.
+        record: dict[str, Any] = {}
+        arguments = doc.get("command", {}).get("arguments", [])
+        if arguments and isinstance(arguments[0], dict):
+            record = arguments[0]
+        try:
+            return cls(
+                name=doc["name"],
+                task_id=str(doc.get("id", doc["name"])),
+                category=doc.get("category", doc["name"].rsplit("_", 1)[0]),
+                command=TaskCommand.from_json(doc.get("command", {})),
+                parents=list(doc.get("parents", [])),
+                children=list(doc.get("children", [])),
+                files=[FileSpec.from_json(f) for f in doc.get("files", [])],
+                runtime_in_seconds=float(doc.get("runtimeInSeconds", 0.0)),
+                cores=int(doc.get("cores", 1)),
+                task_type=doc.get("type", "compute"),
+                percent_cpu=float(
+                    doc.get("percentCpu", record.get("percent-cpu", 0.9))
+                ),
+                cpu_work=float(doc.get("cpuWork", record.get("cpu-work", 100.0))),
+                memory_bytes=int(doc.get("memoryInBytes", record.get("memory", 0))),
+                started_at=doc.get("startedAt", DEFAULT_TIMESTAMP),
+            )
+        except KeyError as exc:
+            raise SchemaError(f"task document missing key {exc}") from exc
+
+
+@dataclass
+class WorkflowMeta:
+    """Top-level document metadata."""
+
+    name: str
+    description: str = ""
+    created_at: str = DEFAULT_TIMESTAMP
+    schema_version: str = SCHEMA_VERSION
+    executed_at: str = DEFAULT_TIMESTAMP
+    makespan_in_seconds: float = 0.0
+
+
+class Workflow:
+    """A WfCommons workflow: metadata plus an ordered set of tasks.
+
+    Task order is preserved (insertion order == generation order), and the
+    name index is kept consistent with the ``parents``/``children`` edge
+    lists.  Structural queries (roots, leaves, levels) live in
+    :mod:`repro.core.dag`; this class is the serialisation boundary.
+    """
+
+    def __init__(self, meta: WorkflowMeta, tasks: Optional[Iterable[Task]] = None):
+        self.meta = meta
+        self._tasks: dict[str, Task] = {}
+        for task in tasks or ():
+            self.add_task(task)
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __getitem__(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise KeyError(f"no task named {name!r} in workflow {self.meta.name!r}")
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def tasks(self) -> dict[str, Task]:
+        """Read-only view of tasks keyed by name."""
+        return dict(self._tasks)
+
+    @property
+    def task_names(self) -> list[str]:
+        return list(self._tasks)
+
+    def add_task(self, task: Task) -> None:
+        if task.name in self._tasks:
+            raise SchemaError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Record a dependency ``parent -> child`` on both endpoints."""
+        if parent not in self._tasks:
+            raise SchemaError(f"unknown parent task {parent!r}")
+        if child not in self._tasks:
+            raise SchemaError(f"unknown child task {child!r}")
+        if parent == child:
+            raise SchemaError(f"self-edge on task {parent!r}")
+        if child not in self._tasks[parent].children:
+            self._tasks[parent].children.append(child)
+        if parent not in self._tasks[child].parents:
+            self._tasks[child].parents.append(parent)
+
+    def edges(self) -> list[tuple[str, str]]:
+        return [
+            (task.name, child) for task in self._tasks.values() for child in task.children
+        ]
+
+    def categories(self) -> dict[str, int]:
+        """Histogram of function types (Figure 3, third panel)."""
+        counts: dict[str, int] = {}
+        for task in self._tasks.values():
+            counts[task.category] = counts.get(task.category, 0) + 1
+        return counts
+
+    # -- JSON --------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.meta.name,
+            "description": self.meta.description,
+            "createdAt": self.meta.created_at,
+            "schemaVersion": self.meta.schema_version,
+            "workflow": {
+                "executedAt": self.meta.executed_at,
+                "makespanInSeconds": self.meta.makespan_in_seconds,
+                "tasks": [task.to_json() for task in self._tasks.values()],
+            },
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "Workflow":
+        if "workflow" not in doc:
+            raise SchemaError("document has no 'workflow' section")
+        wf_section = doc["workflow"]
+        if "specification" in wf_section:
+            # WfFormat >= 1.5 (the current WfInstances corpus layout).
+            return cls._from_json_v15(doc)
+        meta = WorkflowMeta(
+            name=doc.get("name", "workflow"),
+            description=doc.get("description", ""),
+            created_at=doc.get("createdAt", DEFAULT_TIMESTAMP),
+            schema_version=doc.get("schemaVersion", SCHEMA_VERSION),
+            executed_at=wf_section.get("executedAt", DEFAULT_TIMESTAMP),
+            makespan_in_seconds=float(wf_section.get("makespanInSeconds", 0.0)),
+        )
+        raw_tasks = wf_section.get("tasks", [])
+        if isinstance(raw_tasks, dict):
+            # Knative-translated documents key tasks by name (paper listing).
+            task_docs = list(raw_tasks.values())
+        else:
+            task_docs = list(raw_tasks)
+        return cls(meta, (Task.from_json(td) for td in task_docs))
+
+    @classmethod
+    def _from_json_v15(cls, doc: dict[str, Any]) -> "Workflow":
+        """Parse WfFormat 1.5: tasks/files split under
+        ``workflow.specification``, runtimes under ``workflow.execution``.
+
+        In 1.5 a task references file *ids* (``inputFiles``/``outputFiles``)
+        resolved against ``specification.files``, and per-task runtimes
+        live in ``execution.tasks``.
+        """
+        wf_section = doc["workflow"]
+        spec = wf_section["specification"]
+        execution = wf_section.get("execution", {})
+        files_by_id: dict[str, dict[str, Any]] = {
+            f["id"]: f for f in spec.get("files", [])
+        }
+        exec_by_id: dict[str, dict[str, Any]] = {
+            t.get("id", t.get("name", "")): t
+            for t in execution.get("tasks", [])
+        }
+
+        def resolve(file_id: str, link: FileLink) -> FileSpec:
+            file_doc = files_by_id.get(file_id)
+            if file_doc is None:
+                raise SchemaError(f"task references unknown file id {file_id!r}")
+            return FileSpec(
+                name=file_doc.get("name", file_id),
+                size_in_bytes=int(file_doc.get("sizeInBytes", 0)),
+                link=link,
+            )
+
+        meta = WorkflowMeta(
+            name=doc.get("name", "workflow"),
+            description=doc.get("description", ""),
+            created_at=doc.get("createdAt", DEFAULT_TIMESTAMP),
+            schema_version=doc.get("schemaVersion", "1.5"),
+            executed_at=execution.get("executedAt", DEFAULT_TIMESTAMP),
+            makespan_in_seconds=float(execution.get("makespanInSeconds", 0.0)),
+        )
+        workflow = cls(meta)
+        task_docs = spec.get("tasks", [])
+        for td in task_docs:
+            name = td.get("name") or td.get("id")
+            if not name:
+                raise SchemaError("v1.5 task without name or id")
+            task_id = str(td.get("id", name))
+            run_doc = exec_by_id.get(task_id, exec_by_id.get(name, {}))
+            files = [resolve(fid, FileLink.INPUT)
+                     for fid in td.get("inputFiles", [])]
+            files += [resolve(fid, FileLink.OUTPUT)
+                      for fid in td.get("outputFiles", [])]
+            workflow.add_task(Task(
+                name=name,
+                task_id=task_id,
+                category=td.get("category",
+                                name.rsplit("_", 1)[0]),
+                command=TaskCommand.from_json(td.get("command", {})),
+                files=files,
+                runtime_in_seconds=float(run_doc.get("runtimeInSeconds", 0.0)),
+                cores=int(run_doc.get("coreCount", td.get("cores", 1)) or 1),
+                percent_cpu=float(td.get("percentCpu", 0.9)),
+                cpu_work=float(td.get("cpuWork", 100.0)),
+                memory_bytes=int(run_doc.get("memoryInBytes",
+                                             td.get("memoryInBytes", 0)) or 0),
+            ))
+        # 1.5 edges: children/parents lists may live on spec tasks; ids.
+        by_id = {str(td.get("id", td.get("name"))): (td.get("name") or td["id"])
+                 for td in task_docs}
+        for td in task_docs:
+            name = td.get("name") or td.get("id")
+            for child in td.get("children", []):
+                workflow.add_edge(name, by_id.get(str(child), str(child)))
+            for parent in td.get("parents", []):
+                workflow.add_edge(by_id.get(str(parent), str(parent)), name)
+        return workflow
+
+    def dumps(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent)
+
+    @classmethod
+    def loads(cls, text: str) -> "Workflow":
+        return cls.from_json(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Workflow":
+        return cls.loads(Path(path).read_text())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Workflow({self.meta.name!r}, tasks={len(self)})"

@@ -1,0 +1,26 @@
+"""WfBench translators: WfCommons workflows → target-system descriptions."""
+
+from repro.wfcommons.translators.base import Translator
+from repro.wfcommons.translators.knative import KnativeTranslator, KnativeServiceConfig
+from repro.wfcommons.translators.local import LocalContainerTranslator, LocalContainerConfig
+from repro.wfcommons.translators.pegasus import PegasusTranslator
+from repro.wfcommons.translators.nextflow import NextflowTranslator
+
+#: Registry keyed by target name, mirroring WfCommons' translator table.
+TRANSLATORS: dict[str, type[Translator]] = {
+    "knative": KnativeTranslator,
+    "local": LocalContainerTranslator,
+    "pegasus": PegasusTranslator,
+    "nextflow": NextflowTranslator,
+}
+
+__all__ = [
+    "Translator",
+    "TRANSLATORS",
+    "KnativeTranslator",
+    "KnativeServiceConfig",
+    "LocalContainerTranslator",
+    "LocalContainerConfig",
+    "PegasusTranslator",
+    "NextflowTranslator",
+]

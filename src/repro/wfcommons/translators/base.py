@@ -1,0 +1,38 @@
+"""Translator base class.
+
+A WfCommons *Translator* converts a generated workflow into whatever a
+specific workflow manager consumes: Pegasus gets a transformation catalog
++ DAX, Nextflow gets a DSL script, and the paper's new Knative target gets
+a JSON document whose tasks carry HTTP invocation details (§III-A).
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Any, Union
+
+from repro.wfcommons.schema import Workflow
+
+__all__ = ["Translator"]
+
+
+class Translator(abc.ABC):
+    """Converts a :class:`Workflow` into a target-specific description."""
+
+    #: Registry key and human-readable target name.
+    target: str = ""
+
+    @abc.abstractmethod
+    def translate(self, workflow: Workflow) -> Any:
+        """Return the target-specific description of ``workflow``."""
+
+    @abc.abstractmethod
+    def render(self, workflow: Workflow) -> str:
+        """Render the translation as the text that would be written to disk."""
+
+    def translate_to_file(self, workflow: Workflow, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render(workflow))
+        return path

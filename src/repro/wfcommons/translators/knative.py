@@ -1,0 +1,200 @@
+"""The Knative translator — the paper's contribution C3 (§III-A).
+
+Two modifications relative to the stock WfCommons output (both visible in
+the paper's listing):
+
+1. ``command.arguments`` becomes a single key/value record — ``name``,
+   ``percent-cpu``, ``cpu-work``, ``out`` (output file → size) and
+   ``inputs`` — so the workflow manager can build the WfBench HTTP POST
+   body directly;
+2. ``command.api_url`` records the function's HTTP endpoint on the
+   serverless platform (``http://wfbench.<namespace>.<ip>.sslip.io/wfbench``).
+
+The translated document keys tasks by name (as in the paper's excerpt)
+and also carries the Knative ``Service`` manifest that
+``kubectl apply -f service.yaml`` would deploy, parameterised by
+:class:`KnativeServiceConfig` — the same knobs the AD/AE appendix lists as
+modifiable (service name/namespace, container image, volume mounts,
+CPU/memory requests and limits, PVC, data locality, function URL).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.wfcommons.schema import Workflow
+from repro.wfcommons.translators.base import Translator
+
+__all__ = ["KnativeServiceConfig", "KnativeTranslator"]
+
+
+@dataclass
+class KnativeServiceConfig:
+    """Deployment parameters of the WfBench Knative service."""
+
+    service_name: str = "wfbench"
+    namespace: str = "knative-functions"
+    container_image: str = "andersonandrei/wfbench-knative"
+    container_tag: str = "wfbench-local"
+    cluster_ip: str = "00.000.000.000"
+    volume_mount_name: str = "shared-data"
+    volume_mount_path: str = "/data"
+    volume_name: str = "shared-data"
+    pvc_name: str = "wfbench-pvc"
+    cpu_request: str = "1"
+    memory_request: str = "2Gi"
+    cpu_limit: str = "2"
+    memory_limit: str = "4Gi"
+    #: gunicorn workers per pod (containerConcurrency); Table II's "Nw".
+    workers_per_pod: int = 10
+    threads_per_worker: int = 1
+    #: Shared drive path seen by the functions ("workdir" in the POST body).
+    workflow_data_locality: str = "../data/wfbench-knative"
+    #: Shared drive path seen by the workflow manager.
+    manager_data_locality: str = "../data/wfbench-knative"
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def function_url(self) -> str:
+        """The endpoint written into every task's ``api_url``."""
+        return (
+            f"http://{self.service_name}.{self.namespace}."
+            f"{self.cluster_ip}.sslip.io/wfbench"
+        )
+
+    def service_manifest(self) -> dict[str, Any]:
+        """The Knative ``Service`` document (what ``service.yaml`` holds)."""
+        return {
+            "apiVersion": "serving.knative.dev/v1",
+            "kind": "Service",
+            "metadata": {
+                "name": self.service_name,
+                "namespace": self.namespace,
+            },
+            "spec": {
+                "template": {
+                    "metadata": {
+                        "annotations": {
+                            "autoscaling.knative.dev/target": str(self.workers_per_pod),
+                            **self.annotations,
+                        }
+                    },
+                    "spec": {
+                        "containerConcurrency": self.workers_per_pod,
+                        "containers": [
+                            {
+                                "image": f"{self.container_image}:{self.container_tag}",
+                                "command": [
+                                    "gunicorn",
+                                    "--bind", ":8080",
+                                    "--workers", str(self.workers_per_pod),
+                                    "--threads", str(self.threads_per_worker),
+                                    "--timeout", "0",
+                                    "app:app",
+                                ],
+                                "resources": {
+                                    "requests": {
+                                        "cpu": self.cpu_request,
+                                        "memory": self.memory_request,
+                                    },
+                                    "limits": {
+                                        "cpu": self.cpu_limit,
+                                        "memory": self.memory_limit,
+                                    },
+                                },
+                                "volumeMounts": [
+                                    {
+                                        "name": self.volume_mount_name,
+                                        "mountPath": self.volume_mount_path,
+                                    }
+                                ],
+                            }
+                        ],
+                        "volumes": [
+                            {
+                                "name": self.volume_name,
+                                "persistentVolumeClaim": {"claimName": self.pvc_name},
+                            }
+                        ],
+                    },
+                }
+            },
+        }
+
+
+class KnativeTranslator(Translator):
+    """Translate WfCommons workflows for execution on Knative."""
+
+    target = "knative"
+
+    def __init__(self, config: KnativeServiceConfig | None = None):
+        self.config = config or KnativeServiceConfig()
+
+    def translate_task(self, workflow: Workflow, name: str) -> dict[str, Any]:
+        """The per-task document shown in the paper's listing."""
+        task = workflow[name]
+        argument_record = {
+            "name": task.name,
+            "percent-cpu": task.percent_cpu,
+            "cpu-work": task.cpu_work,
+            "out": {f.name: f.size_in_bytes for f in task.output_files},
+            "inputs": [f.name for f in task.input_files],
+        }
+        return {
+            "name": task.name,
+            "type": task.task_type,
+            "command": {
+                "program": task.command.program,
+                "arguments": [argument_record],
+                "api_url": self.config.function_url,
+            },
+            "parents": list(task.parents),
+            "children": list(task.children),
+            "files": [f.to_json() for f in task.files],
+            "runtimeInSeconds": task.runtime_in_seconds,
+            "cores": task.cores,
+            "id": task.task_id,
+            "category": task.category,
+            "percentCpu": task.percent_cpu,
+            "cpuWork": task.cpu_work,
+            "memoryInBytes": task.memory_bytes,
+            "startedAt": task.started_at,
+        }
+
+    def translate(self, workflow: Workflow) -> dict[str, Any]:
+        """Full serverless-ready document (tasks keyed by name)."""
+        return {
+            "name": workflow.meta.name,
+            "description": workflow.meta.description,
+            "createdAt": workflow.meta.created_at,
+            "schemaVersion": workflow.meta.schema_version,
+            "platform": self.target,
+            "service": {
+                "name": self.config.service_name,
+                "namespace": self.config.namespace,
+                "url": self.config.function_url,
+                "workersPerPod": self.config.workers_per_pod,
+                "workflowDataLocality": self.config.workflow_data_locality,
+                "managerDataLocality": self.config.manager_data_locality,
+            },
+            "workflow": {
+                "executedAt": workflow.meta.executed_at,
+                "makespanInSeconds": workflow.meta.makespan_in_seconds,
+                "tasks": {
+                    name: self.translate_task(workflow, name)
+                    for name in workflow.task_names
+                },
+            },
+        }
+
+    def render(self, workflow: Workflow) -> str:
+        return json.dumps(self.translate(workflow), indent=2)
+
+    def build_request_body(self, workflow: Workflow, name: str,
+                           workdir: str | None = None) -> dict[str, Any]:
+        """The WfBench POST body for one task (§III-B request structure)."""
+        record = self.translate_task(workflow, name)["command"]["arguments"][0]
+        record["workdir"] = workdir or self.config.workflow_data_locality
+        return record

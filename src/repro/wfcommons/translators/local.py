@@ -1,0 +1,128 @@
+"""Local-container translator (the paper's bare-metal baseline, §III-D).
+
+Produces the same key/value + endpoint form as the Knative translator —
+the workflow manager treats both identically — but the ``api_url`` points
+at a locally published Docker container
+(``docker run -p 127.0.0.1:80:8080 ... wfbench-local``) instead of a
+Knative route, and the document carries the ``docker run`` parameters
+(CPU quota, bind mount, worker count).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.wfcommons.schema import Workflow
+from repro.wfcommons.translators.base import Translator
+
+__all__ = ["LocalContainerConfig", "LocalContainerTranslator"]
+
+
+@dataclass
+class LocalContainerConfig:
+    """``docker run`` parameters for the local WfBench container."""
+
+    container_image: str = "andersonandrei/wfbench-knative"
+    container_tag: str = "wfbench-local"
+    host: str = "localhost"
+    port: int = 80
+    container_port: int = 8080
+    #: ``--cpus`` quota; ``None`` models the NoCR (no CPU requirement) setups.
+    cpus: float | None = 2.0
+    memory_limit_bytes: int | None = None
+    workers: int = 10
+    threads_per_worker: int = 1
+    mount_host_path: str = "/mnt/data"
+    mount_container_path: str = "/data"
+    workflow_data_locality: str = "../data/wfbench-local"
+
+    @property
+    def function_url(self) -> str:
+        return f"http://{self.host}:{self.port}/wfbench"
+
+    def docker_run_command(self) -> list[str]:
+        """The equivalent ``docker run`` argv (paper AE appendix)."""
+        argv = [
+            "docker", "run", "-t",
+            "-v", f"{self.mount_host_path}:{self.mount_container_path}",
+            "--name", "wfbench",
+        ]
+        if self.cpus is not None:
+            argv += [f"--cpus={self.cpus:g}"]
+        if self.memory_limit_bytes is not None:
+            argv += [f"--memory={self.memory_limit_bytes}b"]
+        argv += [
+            "-p", f"127.0.0.1:{self.port}:{self.container_port}/tcp",
+            f"{self.container_image}:{self.container_tag}",
+        ]
+        return argv
+
+
+class LocalContainerTranslator(Translator):
+    """Translate WfCommons workflows for the local-container baseline."""
+
+    target = "local"
+
+    def __init__(self, config: LocalContainerConfig | None = None):
+        self.config = config or LocalContainerConfig()
+
+    def translate_task(self, workflow: Workflow, name: str) -> dict[str, Any]:
+        task = workflow[name]
+        return {
+            "name": task.name,
+            "type": task.task_type,
+            "command": {
+                "program": task.command.program,
+                "arguments": [
+                    {
+                        "name": task.name,
+                        "percent-cpu": task.percent_cpu,
+                        "cpu-work": task.cpu_work,
+                        "out": {f.name: f.size_in_bytes for f in task.output_files},
+                        "inputs": [f.name for f in task.input_files],
+                    }
+                ],
+                "api_url": self.config.function_url,
+            },
+            "parents": list(task.parents),
+            "children": list(task.children),
+            "files": [f.to_json() for f in task.files],
+            "runtimeInSeconds": task.runtime_in_seconds,
+            "cores": task.cores,
+            "id": task.task_id,
+            "category": task.category,
+            "percentCpu": task.percent_cpu,
+            "cpuWork": task.cpu_work,
+            "memoryInBytes": task.memory_bytes,
+            "startedAt": task.started_at,
+        }
+
+    def translate(self, workflow: Workflow) -> dict[str, Any]:
+        return {
+            "name": workflow.meta.name,
+            "description": workflow.meta.description,
+            "createdAt": workflow.meta.created_at,
+            "schemaVersion": workflow.meta.schema_version,
+            "platform": self.target,
+            "container": {
+                "image": f"{self.config.container_image}:{self.config.container_tag}",
+                "url": self.config.function_url,
+                "workers": self.config.workers,
+                "cpus": self.config.cpus,
+                "dockerRun": self.config.docker_run_command(),
+                "workflowDataLocality": self.config.workflow_data_locality,
+            },
+            "workflow": {
+                "executedAt": workflow.meta.executed_at,
+                "makespanInSeconds": workflow.meta.makespan_in_seconds,
+                "tasks": {
+                    name: self.translate_task(workflow, name)
+                    for name in workflow.task_names
+                },
+            },
+        }
+
+    def render(self, workflow: Workflow) -> str:
+        return json.dumps(self.translate(workflow), indent=2)

@@ -1,0 +1,86 @@
+"""Nextflow translator — models WfCommons' pre-existing Nextflow target.
+
+Renders a Nextflow DSL2 script: one ``process`` per function type (with
+the WfBench invocation as its script block) and a ``workflow`` block that
+wires task instances through named channels following the DAG edges.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.wfcommons.schema import Workflow
+from repro.wfcommons.translators.base import Translator
+from repro.wfcommons.validation import topological_order
+
+__all__ = ["NextflowTranslator"]
+
+
+def _proc_name(category: str) -> str:
+    return "p_" + "".join(ch if ch.isalnum() else "_" for ch in category)
+
+
+def _var(name: str) -> str:
+    return "t_" + "".join(ch if ch.isalnum() else "_" for ch in name)
+
+
+class NextflowTranslator(Translator):
+    target = "nextflow"
+
+    def translate(self, workflow: Workflow) -> dict[str, Any]:
+        """Structured form: processes (per category) + invocation order."""
+        return {
+            "processes": sorted({task.category for task in workflow}),
+            "invocations": [
+                {
+                    "task": name,
+                    "process": _proc_name(workflow[name].category),
+                    "parents": list(workflow[name].parents),
+                }
+                for name in topological_order(workflow)
+            ],
+        }
+
+    def render(self, workflow: Workflow) -> str:
+        lines = [
+            "#!/usr/bin/env nextflow",
+            "nextflow.enable.dsl = 2",
+            "",
+            f"// Generated from WfCommons workflow {workflow.meta.name!r}",
+            "",
+        ]
+        for category in sorted({task.category for task in workflow}):
+            lines += [
+                f"process {_proc_name(category)} {{",
+                "    input:",
+                "        val meta",
+                "    output:",
+                "        val meta",
+                "    script:",
+                '    """',
+                "    wfbench.py --name ${meta.name} \\",
+                "        --percent-cpu ${meta.percent_cpu} --cpu-work ${meta.cpu_work}",
+                '    """',
+                "}",
+                "",
+            ]
+        lines.append("workflow {")
+        for name in topological_order(workflow):
+            task = workflow[name]
+            meta = (
+                f"[name: '{task.name}', percent_cpu: {task.percent_cpu}, "
+                f"cpu_work: {task.cpu_work}]"
+            )
+            if task.parents:
+                deps = ", ".join(_var(p) for p in task.parents)
+                lines.append(
+                    f"    {_var(name)} = {_proc_name(task.category)}"
+                    f"(channel.of({meta}).combine({deps}).map {{ it[0] }})"
+                )
+            else:
+                lines.append(
+                    f"    {_var(name)} = {_proc_name(task.category)}"
+                    f"(channel.of({meta}))"
+                )
+        lines.append("}")
+        return "\n".join(lines) + "\n"

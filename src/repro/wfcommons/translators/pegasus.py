@@ -1,0 +1,96 @@
+"""Pegasus translator — models WfCommons' pre-existing Pegasus target.
+
+Emits a Pegasus 5.x "workflow" YAML-like document (rendered as JSON, which
+Pegasus also accepts): jobs with ``uses`` file declarations, a replica
+catalog for the staged inputs, and a transformation catalog entry for
+``wfbench.py``.  Included so the translator framework demonstrably covers
+WfCommons' traditional targets alongside the new serverless one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.wfcommons.schema import FileLink, Workflow
+from repro.wfcommons.translators.base import Translator
+
+__all__ = ["PegasusTranslator"]
+
+
+class PegasusTranslator(Translator):
+    target = "pegasus"
+
+    def translate(self, workflow: Workflow) -> dict[str, Any]:
+        produced = {
+            f.name
+            for task in workflow
+            for f in task.files
+            if f.link is FileLink.OUTPUT
+        }
+        staged_inputs = sorted(
+            {
+                f.name
+                for task in workflow
+                for f in task.files
+                if f.link is FileLink.INPUT and f.name not in produced
+            }
+        )
+        jobs = []
+        for task in workflow:
+            jobs.append(
+                {
+                    "type": "job",
+                    "id": task.task_id,
+                    "name": task.category,
+                    "arguments": [
+                        "--name", task.name,
+                        "--percent-cpu", str(task.percent_cpu),
+                        "--cpu-work", str(task.cpu_work),
+                    ],
+                    "uses": [
+                        {
+                            "lfn": f.name,
+                            "type": f.link.value,
+                            "stageOut": f.link is FileLink.OUTPUT,
+                            "registerReplica": False,
+                        }
+                        for f in task.files
+                    ],
+                }
+            )
+        dependencies = [
+            {"id": workflow[parent].task_id,
+             "children": [workflow[child].task_id for child in workflow[parent].children]}
+            for parent in workflow.task_names
+            if workflow[parent].children
+        ]
+        return {
+            "pegasus": "5.0",
+            "name": workflow.meta.name,
+            "replicaCatalog": {
+                "replicas": [
+                    {"lfn": name, "pfns": [{"site": "local", "pfn": f"/data/{name}"}]}
+                    for name in staged_inputs
+                ]
+            },
+            "transformationCatalog": {
+                "transformations": [
+                    {
+                        "name": "wfbench",
+                        "sites": [
+                            {
+                                "name": "condorpool",
+                                "pfn": "/usr/bin/wfbench.py",
+                                "type": "installed",
+                            }
+                        ],
+                    }
+                ]
+            },
+            "jobs": jobs,
+            "jobDependencies": dependencies,
+        }
+
+    def render(self, workflow: Workflow) -> str:
+        return json.dumps(self.translate(workflow), indent=2)

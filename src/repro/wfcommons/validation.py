@@ -1,0 +1,138 @@
+"""Structural validation of WfCommons workflows.
+
+``validate_workflow`` enforces the invariants every other layer assumes:
+
+* parent/child edge lists are symmetric;
+* every referenced task exists;
+* the task graph is a DAG (no cycles);
+* task names are unique (guaranteed by :class:`Workflow` but re-checked);
+* every non-root task's input files are produced by one of its parents or
+  are workflow-level inputs (the shared-drive contract the manager's
+  readiness check relies on, paper §III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ValidationError
+from repro.wfcommons.schema import FileLink, Workflow
+
+__all__ = ["validate_workflow", "topological_order", "find_cycle"]
+
+
+def _check_edge_symmetry(workflow: Workflow) -> list[str]:
+    problems: list[str] = []
+    for task in workflow:
+        for child in task.children:
+            if child not in workflow:
+                problems.append(f"task {task.name!r} lists unknown child {child!r}")
+            elif task.name not in workflow[child].parents:
+                problems.append(
+                    f"edge {task.name!r}->{child!r} missing from child's parents"
+                )
+        for parent in task.parents:
+            if parent not in workflow:
+                problems.append(f"task {task.name!r} lists unknown parent {parent!r}")
+            elif task.name not in workflow[parent].children:
+                problems.append(
+                    f"edge {parent!r}->{task.name!r} missing from parent's children"
+                )
+    return problems
+
+
+def topological_order(workflow: Workflow) -> list[str]:
+    """Kahn topological order of task names; raises on cycles."""
+    indegree = {task.name: len(task.parents) for task in workflow}
+    ready = [name for name, deg in indegree.items() if deg == 0]
+    order: list[str] = []
+    while ready:
+        name = ready.pop(0)
+        order.append(name)
+        for child in workflow[name].children:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+    if len(order) != len(workflow):
+        cycle = find_cycle(workflow)
+        raise ValidationError(
+            f"workflow {workflow.name!r} contains a cycle: {' -> '.join(cycle)}"
+        )
+    return order
+
+
+def find_cycle(workflow: Workflow) -> list[str]:
+    """Return one cycle (as a task-name path) if any exists, else []."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {task.name: WHITE for task in workflow}
+    stack: list[str] = []
+
+    def dfs(node: str) -> list[str]:
+        colour[node] = GREY
+        stack.append(node)
+        for child in workflow[node].children:
+            if child not in colour:
+                continue
+            if colour[child] == GREY:
+                return stack[stack.index(child):] + [child]
+            if colour[child] == WHITE:
+                found = dfs(child)
+                if found:
+                    return found
+        colour[node] = BLACK
+        stack.pop()
+        return []
+
+    for name in colour:
+        if colour[name] == WHITE:
+            found = dfs(name)
+            if found:
+                return found
+    return []
+
+
+def _check_file_lineage(workflow: Workflow) -> list[str]:
+    """Every input file must come from a parent's output or be a workflow input.
+
+    Workflow inputs are the inputs of root tasks plus any file nobody
+    produces (those are staged onto the shared drive before execution).
+    """
+    produced_by: dict[str, set[str]] = {}
+    for task in workflow:
+        for f in task.files:
+            if f.link is FileLink.OUTPUT:
+                produced_by.setdefault(f.name, set()).add(task.name)
+
+    problems: list[str] = []
+    for task in workflow:
+        parents = set(task.parents)
+        for f in task.files:
+            if f.link is not FileLink.INPUT:
+                continue
+            producers = produced_by.get(f.name)
+            if producers is None:
+                continue  # staged workflow input
+            if not producers & parents and task.name not in producers:
+                problems.append(
+                    f"task {task.name!r} reads {f.name!r} produced by "
+                    f"{sorted(producers)} none of which is a parent"
+                )
+    return problems
+
+
+def validate_workflow(workflow: Workflow, check_files: bool = True) -> None:
+    """Raise :class:`ValidationError` listing every structural problem."""
+    if len(workflow) == 0:
+        raise ValidationError(f"workflow {workflow.name!r} has no tasks")
+    problems = _check_edge_symmetry(workflow)
+    if problems:
+        raise ValidationError(
+            f"workflow {workflow.name!r}: " + "; ".join(problems[:10])
+        )
+    topological_order(workflow)  # raises on cycles
+    if check_files:
+        problems = _check_file_lineage(workflow)
+        if problems:
+            raise ValidationError(
+                f"workflow {workflow.name!r}: " + "; ".join(problems[:10])
+            )

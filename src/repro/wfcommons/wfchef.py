@@ -1,0 +1,351 @@
+"""WfChef: recipe *inference* from workflow instances.
+
+WfCommons' WfChef (paper Fig. 2) mines collections of real workflow
+instances and produces recipes that generate new, larger instances with
+the same structure.  This module implements that pipeline:
+
+1. :func:`analyze_instance` reduces one instance to a *pattern*: the
+   category-level DAG, per-category counts, and the link semantics of
+   every category edge (one-to-one chains, scatter, gather, all-to-all);
+2. :class:`InferredRecipe.from_instances` compares instances of different
+   sizes to split categories into **fixed** roles (aggregators, splits —
+   constant count) and **scaling** roles (the parallel work — count grows
+   with workflow size), and distils per-category resource statistics;
+3. :meth:`InferredRecipe.build` synthesises a workflow of any requested
+   size, compatible with :class:`~repro.wfcommons.generator.WorkflowGenerator`.
+
+Round-trip guarantee (tested): inferring from two instances of any
+hand-written recipe in :mod:`repro.wfcommons.recipes` and generating a
+new size reproduces that recipe's phase structure and category histogram
+shape.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.wfcommons.analysis import phase_levels
+from repro.wfcommons.instances import ApplicationProfile, CategoryStats
+from repro.wfcommons.recipes.base import RecipeBuilder
+from repro.wfcommons.schema import Workflow, WorkflowMeta
+from repro.wfcommons.validation import validate_workflow
+
+__all__ = ["LinkKind", "CategoryLink", "CategoryPattern", "InstancePattern",
+           "analyze_instance", "InferredRecipe"]
+
+
+class LinkKind(str, enum.Enum):
+    """Semantics of a category-level edge, judged from instance degrees."""
+
+    ONE_TO_ONE = "one-to-one"     # chains: i-th child follows i-th parent
+    SCATTER = "scatter"           # each parent fans out to many children
+    GATHER = "gather"             # children partition/collect many parents
+    ALL_TO_ALL = "all-to-all"     # every child reads every parent
+    GENERAL = "general"           # k parents per child, round-robin
+
+
+@dataclass(frozen=True)
+class CategoryLink:
+    parent: str
+    child: str
+    kind: LinkKind
+    #: Mean number of ``parent``-category parents per child task.
+    in_degree: float
+
+
+@dataclass
+class CategoryPattern:
+    """Everything inferred about one function type."""
+
+    category: str
+    count: int
+    level: float
+    stats: CategoryStats
+    #: Filled by InferredRecipe: "fixed" or "scaling".
+    role: str = "scaling"
+    share: float = 0.0
+
+
+@dataclass
+class InstancePattern:
+    """The category-level reduction of one instance."""
+
+    name: str
+    num_tasks: int
+    categories: dict[str, CategoryPattern]
+    links: list[CategoryLink]
+
+    @property
+    def category_order(self) -> list[str]:
+        """Categories by mean topological level (generation order)."""
+        return sorted(self.categories, key=lambda c: self.categories[c].level)
+
+
+def _category_stats(workflow: Workflow, category: str) -> CategoryStats:
+    """Distil resource statistics for one category from an instance."""
+    tasks = [t for t in workflow if t.category == category]
+    outputs = [f.size_in_bytes for t in tasks for f in t.output_files] or [1]
+    mean_out = statistics.fmean(outputs)
+    cv = (statistics.pstdev(outputs) / mean_out) if len(outputs) > 1 and mean_out else 0.0
+    return CategoryStats(
+        name=category,
+        output_bytes=max(1, int(mean_out)),
+        output_cv=round(min(cv, 2.0), 4),
+        percent_cpu=round(statistics.fmean(t.percent_cpu for t in tasks), 4),
+        cpu_weight=1.0,
+        memory_bytes=int(statistics.fmean(t.memory_bytes for t in tasks)),
+    )
+
+
+def _classify_link(workflow: Workflow, parent_cat: str, child_cat: str
+                   ) -> Optional[CategoryLink]:
+    parents = [t for t in workflow if t.category == parent_cat]
+    children = [t for t in workflow if t.category == child_cat]
+    in_degrees = []
+    for child in children:
+        count = sum(1 for p in child.parents
+                    if workflow[p].category == parent_cat)
+        if count:
+            in_degrees.append(count)
+    if not in_degrees:
+        return None
+    out_degrees = [
+        sum(1 for c in p.children if workflow[c].category == child_cat)
+        for p in parents
+    ]
+    mean_in = statistics.fmean(in_degrees)
+    mean_out = statistics.fmean(d for d in out_degrees if d) if any(out_degrees) else 0.0
+
+    if len(in_degrees) == len(children) and all(
+        d == len(parents) for d in in_degrees
+    ):
+        kind = LinkKind.ALL_TO_ALL
+    elif mean_in <= 1.001 and mean_out <= 1.001:
+        kind = LinkKind.ONE_TO_ONE
+    elif mean_in <= 1.001 and mean_out > 1.001:
+        kind = LinkKind.SCATTER
+    elif mean_in > 1.001 and mean_out <= 1.001:
+        kind = LinkKind.GATHER
+    else:
+        kind = LinkKind.GENERAL
+    return CategoryLink(parent=parent_cat, child=child_cat, kind=kind,
+                        in_degree=round(mean_in, 3))
+
+
+def analyze_instance(workflow: Workflow) -> InstancePattern:
+    """Reduce one instance to its category-level pattern."""
+    validate_workflow(workflow, check_files=False)
+    levels = phase_levels(workflow)
+    by_category: dict[str, list[str]] = {}
+    for task in workflow:
+        by_category.setdefault(task.category, []).append(task.name)
+
+    categories = {
+        category: CategoryPattern(
+            category=category,
+            count=len(names),
+            level=statistics.fmean(levels[n] for n in names),
+            stats=_category_stats(workflow, category),
+        )
+        for category, names in by_category.items()
+    }
+
+    category_edges = sorted({
+        (workflow[p].category, workflow[c].category)
+        for p, c in workflow.edges()
+    })
+    links = []
+    for parent_cat, child_cat in category_edges:
+        link = _classify_link(workflow, parent_cat, child_cat)
+        if link is not None:
+            links.append(link)
+    return InstancePattern(
+        name=workflow.name,
+        num_tasks=len(workflow),
+        categories=categories,
+        links=links,
+    )
+
+
+class InferredRecipe:
+    """A generative recipe mined from instances (WfChef's output).
+
+    Satisfies the :class:`~repro.wfcommons.generator.WorkflowGenerator`
+    recipe protocol (``build``, ``display_name``, ``workflow_name``).
+    """
+
+    def __init__(self, application: str, pattern: InstancePattern,
+                 base_cpu_work: float = 100.0, data_scale: float = 1.0):
+        self.application = application
+        self.pattern = pattern
+        self.base_cpu_work = float(base_cpu_work)
+        self.data_scale = float(data_scale)
+        self.profile = ApplicationProfile(
+            name=application,
+            domain="inferred",
+            behaviour_group=0,
+            categories={c: p.stats for c, p in pattern.categories.items()},
+            description=f"WfChef-inferred recipe for {application!r} "
+                        f"from {pattern.name!r}",
+        )
+        self.min_tasks = sum(
+            p.count if p.role == "fixed" else 1
+            for p in pattern.categories.values()
+        )
+
+    # -- inference ------------------------------------------------------------
+    @classmethod
+    def from_instances(cls, instances: Iterable[Workflow],
+                       application: str = "inferred",
+                       base_cpu_work: float = 100.0) -> "InferredRecipe":
+        """Mine a recipe from >= 2 instances of different sizes."""
+        patterns = [analyze_instance(wf) for wf in instances]
+        if len(patterns) < 2:
+            raise GenerationError(
+                "WfChef inference needs at least two instances of "
+                "different sizes to separate fixed from scaling roles"
+            )
+        sizes = {p.num_tasks for p in patterns}
+        if len(sizes) < 2:
+            raise GenerationError(
+                f"all instances have {sizes.pop()} tasks; need >= 2 sizes"
+            )
+        categories = {frozenset(p.categories) for p in patterns}
+        if len(categories) != 1:
+            raise GenerationError(
+                "instances disagree on the category set; are they the "
+                "same application?"
+            )
+
+        # The largest instance carries the structure; smaller ones vote on
+        # which categories scale.
+        reference = max(patterns, key=lambda p: p.num_tasks)
+        baseline = min(patterns, key=lambda p: p.num_tasks)
+        scaling_total = 0
+        for category, pat in reference.categories.items():
+            if baseline.categories[category].count == pat.count:
+                pat.role = "fixed"
+            else:
+                pat.role = "scaling"
+                scaling_total += pat.count
+        if scaling_total == 0:
+            raise GenerationError("no scaling categories found; the "
+                                  "instances may be identical")
+        for pat in reference.categories.values():
+            if pat.role == "scaling":
+                pat.share = pat.count / scaling_total
+        return cls(application, reference, base_cpu_work=base_cpu_work)
+
+    # -- recipe protocol ------------------------------------------------------
+    def display_name(self) -> str:
+        return f"{self.application.capitalize()}InferredRecipe"
+
+    def workflow_name(self, num_tasks: int) -> str:
+        return f"{self.display_name()}-{int(self.base_cpu_work)}-{num_tasks}"
+
+    def _allocate_counts(self, num_tasks: int) -> dict[str, int]:
+        """Exact per-category counts at the requested size."""
+        fixed = {c: p.count for c, p in self.pattern.categories.items()
+                 if p.role == "fixed"}
+        scaling = [p for p in self.pattern.categories.values()
+                   if p.role == "scaling"]
+        budget = num_tasks - sum(fixed.values())
+        if budget < len(scaling):
+            raise GenerationError(
+                f"{self.display_name()} needs at least "
+                f"{sum(fixed.values()) + len(scaling)} tasks, got {num_tasks}"
+            )
+        counts = dict(fixed)
+        raw = [(p.category, p.share * budget) for p in scaling]
+        floor = {c: max(1, int(v)) for c, v in raw}
+        remainder = budget - sum(floor.values())
+        # Largest-remainder apportionment (stable order for determinism).
+        order = sorted(raw, key=lambda cv: -(cv[1] - int(cv[1])))
+        index = 0
+        while remainder > 0 and order:
+            category = order[index % len(order)][0]
+            floor[category] += 1
+            remainder -= 1
+            index += 1
+        while remainder < 0:
+            # Over-floored (floors forced to 1): trim the largest.
+            category = max(floor, key=lambda c: floor[c])
+            if floor[category] <= 1:
+                raise GenerationError("cannot apportion scaling categories")
+            floor[category] -= 1
+            remainder += 1
+        counts.update(floor)
+        return counts
+
+    def build(self, num_tasks: int, rng: np.random.Generator) -> Workflow:
+        counts = self._allocate_counts(num_tasks)
+        workflow = Workflow(WorkflowMeta(
+            name=self.workflow_name(num_tasks),
+            description=self.profile.description,
+        ))
+        builder = RecipeBuilder(workflow, self.profile, rng,
+                                base_cpu_work=self.base_cpu_work,
+                                data_scale=self.data_scale)
+
+        links_by_child: dict[str, list[CategoryLink]] = {}
+        for link in self.pattern.links:
+            links_by_child.setdefault(link.child, []).append(link)
+
+        created: dict[str, list[str]] = {}
+        for category in self.pattern.category_order:
+            names: list[str] = []
+            for index in range(counts[category]):
+                parents = self._parents_for(
+                    category, index, counts[category],
+                    links_by_child.get(category, []), created,
+                )
+                names.append(
+                    builder.add(category, parents=parents,
+                                workflow_input=not parents)
+                )
+            created[category] = names
+
+        validate_workflow(workflow, check_files=False)
+        if len(workflow) != num_tasks:
+            raise GenerationError(
+                f"inferred recipe produced {len(workflow)} tasks, "
+                f"expected {num_tasks}"
+            )
+        return workflow
+
+    @staticmethod
+    def _parents_for(category: str, index: int, count: int,
+                     links: list[CategoryLink],
+                     created: dict[str, list[str]]) -> list[str]:
+        parents: list[str] = []
+        for link in links:
+            pool = created.get(link.parent, [])
+            if not pool:
+                continue
+            if link.kind is LinkKind.ALL_TO_ALL:
+                parents.extend(pool)
+            elif link.kind is LinkKind.ONE_TO_ONE:
+                parents.append(pool[index % len(pool)])
+            elif link.kind is LinkKind.SCATTER:
+                # children spread evenly over parents
+                parents.append(pool[index * len(pool) // max(1, count)])
+            elif link.kind is LinkKind.GATHER:
+                # parents partitioned over children
+                span = max(1, len(pool) // max(1, count))
+                start = index * span
+                chunk = pool[start:start + span] if index < count - 1 else pool[start:]
+                parents.extend(chunk or [pool[-1]])
+            else:  # GENERAL: k parents, round-robin
+                k = max(1, round(link.in_degree))
+                for j in range(k):
+                    parents.append(pool[(index * k + j) % len(pool)])
+        # Deduplicate, preserving order.
+        seen: set[str] = set()
+        unique = [p for p in parents if not (p in seen or seen.add(p))]
+        return unique

@@ -1,0 +1,104 @@
+"""Unit tests for the results store and aggregation."""
+
+import pytest
+
+from repro.analysis.aggregate import (
+    PARADIGM_DIRECTORIES,
+    ResultsStore,
+    RunRecord,
+    aggregate_cells,
+)
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=0, keep_frames=True)
+
+
+def run(runner, paradigm="LC10wNoPM", app="blast", size=20):
+    return runner.run_spec(ExperimentSpec(
+        experiment_id=f"store/{paradigm}/{app}/{size}",
+        paradigm_name=paradigm, application=app, num_tasks=size,
+        granularity="fine",
+    ))
+
+
+class TestResultsStore:
+    def test_save_uses_artifact_directory_names(self, tmp_path, runner):
+        store = ResultsStore(tmp_path)
+        path = store.save(run(runner, "Kn10wNoPM"))
+        assert path.parent.name == "knative-scaling-10w-novm"
+        assert path.with_suffix(".csv").exists()
+
+    def test_round_trip(self, tmp_path, runner):
+        store = ResultsStore(tmp_path)
+        result = run(runner)
+        store.save(result)
+        records = store.load()
+        assert len(records) == 1
+        record = records[0]
+        assert record.paradigm == "LC10wNoPM"
+        assert record.workflow == "blast"
+        assert record.size == 20
+        assert record.succeeded
+        assert record.metric("makespan_seconds") == pytest.approx(
+            result.run.makespan_seconds, rel=1e-3)
+        assert record.frame is not None
+        assert "kernel.all.cpu.user" in record.frame
+
+    def test_all_paradigms_have_directories(self):
+        from repro.experiments.paradigms import PARADIGMS
+
+        assert set(PARADIGM_DIRECTORIES) == set(PARADIGMS)
+
+    def test_multiple_runs_loaded(self, tmp_path, runner):
+        store = ResultsStore(tmp_path)
+        store.save(run(runner, "Kn10wNoPM"))
+        store.save(run(runner, "LC10wNoPM"))
+        assert len(store.load()) == 2
+
+
+class TestAggregateCells:
+    def make_record(self, paradigm, workflow, size, makespan, succeeded=True):
+        return RunRecord(
+            paradigm=paradigm, workflow=workflow, size=size,
+            summary={"succeeded": succeeded, "makespan_seconds": makespan,
+                     "cpu_usage_cores": 10.0, "memory_gb": 1.0,
+                     "power_watts": 400.0},
+        )
+
+    def test_repetitions_averaged(self):
+        records = [
+            self.make_record("Kn10wNoPM", "blast", 100, 10.0),
+            self.make_record("Kn10wNoPM", "blast", 100, 20.0),
+        ]
+        rows = aggregate_cells(records)
+        assert len(rows) == 1
+        assert rows[0]["runs"] == 2
+        assert rows[0]["makespan_seconds"] == pytest.approx(15.0)
+
+    def test_cells_keyed_by_triple(self):
+        records = [
+            self.make_record("Kn10wNoPM", "blast", 100, 10.0),
+            self.make_record("Kn10wNoPM", "blast", 250, 20.0),
+            self.make_record("LC10wNoPM", "blast", 100, 5.0),
+        ]
+        rows = aggregate_cells(records)
+        assert len(rows) == 3
+
+    def test_failed_runs_excluded_from_means(self):
+        records = [
+            self.make_record("Kn10wNoPM", "blast", 100, 10.0),
+            self.make_record("Kn10wNoPM", "blast", 100, 999.0, succeeded=False),
+        ]
+        rows = aggregate_cells(records)
+        assert rows[0]["makespan_seconds"] == pytest.approx(10.0)
+        assert rows[0]["succeeded"] is False
+
+    def test_all_failed_cell_reports_none(self):
+        records = [self.make_record("Kn10wNoPM", "blast", 100, 1.0,
+                                    succeeded=False)]
+        rows = aggregate_cells(records)
+        assert rows[0]["makespan_seconds"] is None

@@ -1,0 +1,73 @@
+"""Unit tests for the efficiency composites."""
+
+import pytest
+
+from repro.analysis.efficiency import compare_efficiency, efficiency_of
+from repro.monitoring.metrics import ResourceAggregates
+
+
+def aggregates(makespan=100.0, occupied=20.0, busy=10.0, mem=5.0,
+               energy=40000.0):
+    return ResourceAggregates(
+        makespan_seconds=makespan, cpu_usage_cores=occupied,
+        cpu_busy_cores=busy, memory_gb=mem, power_watts=energy / makespan,
+        energy_joules=energy,
+    )
+
+
+class TestEfficiencyOf:
+    def test_formulas(self):
+        eff = efficiency_of(aggregates())
+        assert eff.energy_delay_product == pytest.approx(40000.0 * 100.0)
+        assert eff.core_seconds == pytest.approx(2000.0)
+        assert eff.busy_core_seconds == pytest.approx(1000.0)
+        assert eff.gb_seconds == pytest.approx(500.0)
+        assert eff.utilisation_efficiency == pytest.approx(0.5)
+
+    def test_utilisation_clamped_to_one(self):
+        eff = efficiency_of(aggregates(occupied=5.0, busy=8.0))
+        assert eff.utilisation_efficiency == 1.0
+
+    def test_zero_occupied(self):
+        eff = efficiency_of(aggregates(occupied=0.0, busy=0.0))
+        assert eff.utilisation_efficiency == 0.0
+
+    def test_as_dict_keys(self):
+        doc = efficiency_of(aggregates()).as_dict()
+        assert set(doc) == {
+            "energy_delay_product", "core_seconds", "busy_core_seconds",
+            "gb_seconds", "utilisation_efficiency",
+        }
+
+
+class TestCompare:
+    def test_ratios(self):
+        kn = aggregates(makespan=200.0, occupied=10.0, busy=8.0, mem=4.0,
+                        energy=50000.0)
+        lc = aggregates(makespan=100.0, occupied=90.0, busy=20.0, mem=25.0,
+                        energy=45000.0)
+        comparison = compare_efficiency(kn, lc)
+        assert comparison["core_seconds_ratio"] == pytest.approx(
+            (10 * 200) / (90 * 100), rel=1e-3)
+        assert comparison["gb_seconds_ratio"] < 1.0
+        assert comparison["utilisation_gain"] > 0
+
+    def test_on_real_runs_serverless_wins_core_seconds(self):
+        """The paper's framing as a composite: serverless pins far fewer
+        core-seconds despite the longer makespan."""
+        from repro.experiments.design import ExperimentSpec
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(seed=0)
+
+        def run(paradigm):
+            return runner.run_spec(ExperimentSpec(
+                experiment_id=f"eff/{paradigm}/blast/60",
+                paradigm_name=paradigm, application="blast", num_tasks=60,
+                granularity="fine",
+            )).aggregates
+
+        comparison = compare_efficiency(run("Kn10wNoPM"), run("LC10wNoPM"))
+        assert comparison["core_seconds_ratio"] < 1.0
+        assert comparison["gb_seconds_ratio"] < 1.0
+        assert comparison["utilisation_gain"] > 0.2

@@ -1,0 +1,63 @@
+"""Unit tests for the workflow-description analyses."""
+
+import csv
+
+import pytest
+
+from repro.analysis import (
+    invocations_per_name,
+    invocations_per_phase,
+    write_workflow_descriptions,
+)
+
+from helpers import make_workflow
+
+
+class TestInvocationsPerPhase:
+    def test_blast_phases(self):
+        wf = make_workflow("blast", 23)
+        rows = invocations_per_phase(wf)
+        assert [r["invocations"] for r in rows] == [1, 20, 1, 1]
+        assert [r["phase"] for r in rows] == [0, 1, 2, 3]
+
+    def test_counts_sum_to_tasks(self):
+        wf = make_workflow("epigenomics", 40)
+        rows = invocations_per_phase(wf)
+        assert sum(r["invocations"] for r in rows) == 40
+
+    def test_workflow_name_on_each_row(self):
+        wf = make_workflow("blast", 10)
+        assert all(r["workflow"] == wf.name for r in invocations_per_phase(wf))
+
+
+class TestInvocationsPerName:
+    def test_sorted_by_frequency(self):
+        wf = make_workflow("blast", 23)
+        rows = invocations_per_name(wf)
+        assert rows[0]["function"] == "blastall"
+        assert rows[0]["invocations"] == 20
+        counts = [r["invocations"] for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_matches_categories(self):
+        wf = make_workflow("genome", 40)
+        rows = invocations_per_name(wf)
+        assert {r["function"]: r["invocations"] for r in rows} == wf.categories()
+
+
+class TestWriteWorkflowDescriptions:
+    def test_artifact_layout(self, tmp_path):
+        wf = make_workflow("blast", 15)
+        paths = write_workflow_descriptions(wf, tmp_path)
+        assert paths["functions_invocation"].parent.name == "functions_invocation"
+        assert paths["functions_invocation_name"].parent.name == \
+            "functions_invocation_name"
+        for path in paths.values():
+            assert path.exists()
+
+    def test_csv_contents_parse(self, tmp_path):
+        wf = make_workflow("cycles", 20)
+        paths = write_workflow_descriptions(wf, tmp_path)
+        with open(paths["functions_invocation"]) as handle:
+            rows = list(csv.DictReader(handle))
+        assert sum(int(r["invocations"]) for r in rows) == 20

@@ -1,0 +1,64 @@
+"""Unit tests for the terminal bar charts."""
+
+import pytest
+
+from repro.analysis import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart([("a", 10.0), ("bb", 20.0)], title="T", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert "20.0" in lines[2]
+
+    def test_longest_bar_fills_width(self):
+        text = bar_chart([("max", 100.0), ("half", 50.0)], width=10)
+        max_line, half_line = text.splitlines()
+        assert max_line.count("█") == 10
+        assert 4 <= half_line.count("█") <= 5
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], title="X")
+
+    def test_zero_values(self):
+        text = bar_chart([("z", 0.0)])
+        assert "0.0" in text
+
+    def test_unit_suffix(self):
+        assert "12.0s" in bar_chart([("a", 12.0)], unit="s")
+
+
+class TestGroupedBarChart:
+    ROWS = [
+        {"workflow": "blast", "paradigm": "Kn", "makespan": 40.0},
+        {"workflow": "blast", "paradigm": "LC", "makespan": 20.0},
+        {"workflow": "cycles", "paradigm": "Kn", "makespan": 60.0},
+        {"workflow": "cycles", "paradigm": "LC", "makespan": 35.0},
+    ]
+
+    def test_groups_and_series(self):
+        text = grouped_bar_chart(self.ROWS, "workflow", "paradigm",
+                                 "makespan", title="fig")
+        assert text.splitlines()[0] == "fig"
+        assert "blast:" in text
+        assert "cycles:" in text
+        assert text.count("Kn") == 2
+
+    def test_bars_scaled_to_global_max(self):
+        text = grouped_bar_chart(self.ROWS, "workflow", "paradigm",
+                                 "makespan", width=12)
+        lines = [l for l in text.splitlines() if "█" in l]
+        longest = max(lines, key=lambda l: l.count("█"))
+        assert "60.0" in longest
+
+    def test_failed_cells_marked(self):
+        rows = self.ROWS + [
+            {"workflow": "bwa", "paradigm": "Kn", "makespan": None}
+        ]
+        text = grouped_bar_chart(rows, "workflow", "paradigm", "makespan")
+        assert "(failed)" in text
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bar_chart([], "a", "b", "c")

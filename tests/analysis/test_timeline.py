@@ -1,0 +1,88 @@
+"""Unit tests for run timelines."""
+
+import pytest
+
+from repro.analysis.timeline import phase_gantt, run_timeline, series_sparkline
+from repro.core.results import PhaseResult, WorkflowRunResult
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.monitoring.metrics import MetricsFrame
+
+
+def fake_result():
+    result = WorkflowRunResult(workflow_name="wf", started_at=0.0,
+                               finished_at=20.0, succeeded=True)
+    result.phases = [
+        PhaseResult(0, 1, 0.0, 2.0),
+        PhaseResult(1, 50, 3.0, 15.0),
+        PhaseResult(2, 1, 16.0, 20.0, failures=1),
+    ]
+    return result
+
+
+class TestPhaseGantt:
+    def test_one_row_per_phase(self):
+        text = phase_gantt(fake_result())
+        assert text.count("\n") == 3
+        assert "p0" in text and "p2" in text
+
+    def test_failure_marker(self):
+        assert "✗" in phase_gantt(fake_result())
+
+    def test_bars_positioned_in_time(self):
+        lines = phase_gantt(fake_result(), width=20).splitlines()[1:]
+        first_bar = lines[0].index("█")
+        last_bar = lines[2].index("█")
+        assert first_bar < last_bar
+
+    def test_empty(self):
+        assert "(no phases" in phase_gantt(WorkflowRunResult(workflow_name="x"))
+
+
+class TestSparkline:
+    def make_frame(self):
+        frame = MetricsFrame()
+        for t in range(21):
+            frame.append_row(float(t), {"m": float(t % 7)})
+        return frame
+
+    def test_sparkline_renders(self):
+        text = series_sparkline(self.make_frame(), "m", 0.0, 20.0, width=10)
+        assert "peak 6" in text
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+    def test_missing_series(self):
+        assert "(series not sampled)" in series_sparkline(
+            MetricsFrame(), "nope", 0, 1)
+
+    def test_empty_window(self):
+        assert "(empty window)" in series_sparkline(
+            self.make_frame(), "m", 100.0, 200.0)
+
+
+class TestRunTimeline:
+    def test_from_real_run(self):
+        runner = ExperimentRunner(seed=0, keep_frames=True)
+        result = runner.run_spec(ExperimentSpec(
+            experiment_id="timeline/Kn10wNoPM/blast/60",
+            paradigm_name="Kn10wNoPM", application="blast", num_tasks=60,
+            granularity="fine",
+        ))
+        text = run_timeline(result.run, result.frame)
+        assert "phases" in text
+        assert "pods/units" in text
+        assert "busy cores" in text
+
+    def test_platform_series_sampled_by_runner(self):
+        runner = ExperimentRunner(seed=0, keep_frames=True)
+        result = runner.run_spec(ExperimentSpec(
+            experiment_id="timeline2/Kn10wNoPM/blast/60",
+            paradigm_name="Kn10wNoPM", application="blast", num_tasks=60,
+            granularity="fine",
+        ))
+        units = result.frame["repro.platform.units"]
+        assert units.max() >= 5  # pods scaled out during the burst
+
+    def test_without_frame(self):
+        text = run_timeline(fake_result(), None)
+        assert "pods/units" not in text

@@ -1,0 +1,74 @@
+"""Unit tests for DAG visualisation."""
+
+import pytest
+
+from repro.analysis.visualization import layered_text, to_dot, write_visualizations
+
+from helpers import make_workflow
+
+
+class TestToDot:
+    def test_all_nodes_and_edges_present(self):
+        wf = make_workflow("blast", 12)
+        dot = to_dot(wf)
+        for name in wf.task_names:
+            assert f'"{name}"' in dot
+        for parent, child in wf.edges():
+            assert f'"{parent}" -> "{child}";' in dot
+
+    def test_valid_digraph_syntax(self):
+        dot = to_dot(make_workflow("cycles", 15))
+        assert dot.startswith("digraph ")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_nodes_colored_by_category(self):
+        wf = make_workflow("blast", 12)
+        dot = to_dot(wf)
+        blastall_lines = [l for l in dot.splitlines()
+                          if '"blastall_' in l and "fillcolor" in l]
+        colors = {l.split('fillcolor="')[1].split('"')[0]
+                  for l in blastall_lines}
+        assert len(colors) == 1
+
+    def test_rank_groups_per_phase(self):
+        dot = to_dot(make_workflow("epigenomics", 20))
+        assert dot.count("rank=same") == 9
+
+
+class TestLayeredText:
+    def test_one_row_per_phase(self):
+        wf = make_workflow("epigenomics", 20)
+        text = layered_text(wf)
+        data_rows = [l for l in text.splitlines() if "│" in l and "▣" in l]
+        assert len(data_rows) == 9
+
+    def test_counts_in_labels(self):
+        wf = make_workflow("blast", 23)
+        text = layered_text(wf)
+        assert "blastall×20" in text
+
+    def test_wide_phases_truncated(self):
+        wf = make_workflow("seismology", 200)
+        text = layered_text(wf)
+        assert "…" in text
+
+    def test_header_mentions_name_and_counts(self):
+        wf = make_workflow("blast", 12)
+        first = layered_text(wf).splitlines()[0]
+        assert wf.name in first
+        assert "12 tasks" in first
+
+
+class TestBatchOutput:
+    def test_artifact_layout(self, tmp_path):
+        wfs = [make_workflow("blast", 10), make_workflow("cycles", 12)]
+        written = write_visualizations(wfs, tmp_path)
+        assert len(written["dot"]) == 2
+        assert len(written["txt"]) == 2
+        for path in written["dot"]:
+            assert path.parent.name == "dot"
+            assert path.read_text().startswith("digraph")
+        for path in written["txt"]:
+            assert path.parent.name == "txt"
+            assert path.stat().st_size > 0

@@ -1,0 +1,195 @@
+"""Tests for the command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.cli.experiments import main as experiments_main
+from repro.cli.wfgen import main as wfgen_main
+from repro.cli.wfm import main as wfm_main
+
+
+class TestWfgen:
+    def test_generates_and_translates(self, tmp_path, capsys):
+        rc = wfgen_main([
+            "-a", "blast", "-n", "10", "--seed", "1",
+            "-t", "knative", "local",
+            "-o", str(tmp_path),
+        ])
+        assert rc == 0
+        base = tmp_path / "BlastRecipe-100-10"
+        assert (base / "BlastRecipe-100-10.json").exists()
+        assert (base / "BlastRecipe-100-10.knative.json").exists()
+        assert (base / "BlastRecipe-100-10.local.json").exists()
+        doc = json.loads((base / "BlastRecipe-100-10.knative.json").read_text())
+        assert doc["platform"] == "knative"
+
+    def test_nextflow_extension(self, tmp_path):
+        wfgen_main(["-a", "seismology", "-n", "5", "-t", "nextflow",
+                    "-o", str(tmp_path)])
+        assert (tmp_path / "SeismologyRecipe-100-5" /
+                "SeismologyRecipe-100-5.nf").exists()
+
+    def test_multiple_sizes(self, tmp_path):
+        wfgen_main(["-a", "blast", "-n", "10", "20", "-t",
+                    "-o", str(tmp_path)])
+        assert (tmp_path / "BlastRecipe-100-10").exists()
+        assert (tmp_path / "BlastRecipe-100-20").exists()
+
+    def test_visualize_flag(self, tmp_path):
+        rc = wfgen_main(["-a", "blast", "-n", "10", "-t",
+                         "-o", str(tmp_path), "--visualize"])
+        assert rc == 0
+        assert (tmp_path / "visualizations" / "dot" /
+                "BlastRecipe-100-10.dot").exists()
+        assert (tmp_path / "visualizations" / "txt" /
+                "BlastRecipe-100-10.txt").exists()
+        assert (tmp_path / "workflows_descriptions" / "functions_invocation" /
+                "BlastRecipe-100-10.csv").exists()
+
+    def test_report_target(self, tmp_path):
+        rc = experiments_main(["report", "--sizes", "30",
+                               "-o", str(tmp_path)])
+        assert rc == 0
+        report = (tmp_path / "report.md").read_text()
+        assert "# Reproduction report" in report
+        assert "78.11" in report
+
+
+class TestWfbenchOnce:
+    def test_single_execution(self, tmp_path, capsys):
+        from repro.cli.wfbench import main as wfbench_main
+
+        body = json.dumps({
+            "name": "solo", "percent-cpu": 0.9, "cpu-work": 1,
+            "out": {"solo_out.txt": 32}, "inputs": [], "workdir": ".",
+        })
+        rc = wfbench_main(["--once", body, "--data-dir", str(tmp_path)])
+        assert rc == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["status"] == 200
+        assert (tmp_path / "solo_out.txt").stat().st_size == 32
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        from repro.cli.wfbench import main as wfbench_main
+
+        body = json.dumps({"name": "solo", "cpu-work": 1,
+                           "inputs": ["missing.txt"], "workdir": "."})
+        rc = wfbench_main(["--once", body, "--data-dir", str(tmp_path)])
+        assert rc == 1
+        assert json.loads(capsys.readouterr().out)["status"] == 409
+
+
+class TestWfm:
+    @pytest.fixture
+    def workflow_file(self, tmp_path):
+        from helpers import make_workflow
+
+        wf = make_workflow("blast", 12)
+        return wf.save(tmp_path / "wf.json")
+
+    def test_simulated_run_outputs_summary(self, workflow_file, tmp_path, capsys):
+        rc = wfm_main([
+            str(workflow_file), "--paradigm", "LC10wNoPM",
+            "--csv", str(tmp_path / "metrics.csv"),
+            "--summary-json", str(tmp_path / "summary.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["succeeded"] is True
+        assert summary["paradigm"] == "LC10wNoPM"
+        assert (tmp_path / "metrics.csv").exists()
+        assert "makespan_seconds" in out
+
+    def test_knative_paradigm(self, workflow_file, capsys):
+        rc = wfm_main([str(workflow_file), "--paradigm", "Kn10wNoPM"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["cold_starts"] > 0
+
+    def test_eager_mode_flag(self, workflow_file, capsys):
+        rc = wfm_main([str(workflow_file), "--paradigm", "LC10wNoPM",
+                       "--mode", "eager"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["succeeded"] is True
+
+    def test_real_url_mode(self, tmp_path, capsys):
+        """The CLI against a real WfBench HTTP service end to end."""
+        from helpers import make_workflow
+
+        from repro.wfbench import AppConfig, WfBenchService
+        from repro.wfbench.data import stage_workflow_inputs
+        from repro.wfbench.workload import CpuCalibration, WorkloadEngine
+        from repro.wfcommons import WorkflowGenerator, recipe_for
+
+        recipe = recipe_for("blast")(base_cpu_work=2.0, data_scale=0.001)
+        wf = WorkflowGenerator(recipe, seed=0).build_workflow(6)
+        path = wf.save(tmp_path / "wf.json")
+        workdir = tmp_path / "shared"
+        stage_workflow_inputs(wf, workdir, max_file_bytes=256)
+        engine = WorkloadEngine(
+            base_dir=workdir,
+            calibration=CpuCalibration.measure(target_unit_seconds=0.0003),
+            max_stress_bytes=1 << 14,
+        )
+        with WfBenchService(base_dir=workdir, config=AppConfig(workers=8),
+                            engine=engine) as service:
+            rc = wfm_main([str(path), "--url", service.url,
+                           "--workdir", str(workdir),
+                           "--phase-delay", "0.05"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["succeeded"] is True
+        assert summary["platform"] == "http"
+
+    def test_failed_run_exits_nonzero(self, tmp_path, capsys):
+        """A very large dense workflow starves the fine-grained
+        autoscaler's queue and the CLI reports the failure."""
+        from helpers import make_workflow
+
+        wf = make_workflow("seismology", 4000)
+        for task in wf:
+            task.cpu_work *= 2.5  # the harness's cpu-work-250 scale
+        path = wf.save(tmp_path / "big.json")
+        rc = wfm_main([str(path), "--paradigm", "Kn10wNoPM"])
+        assert rc == 1
+
+
+class TestExperimentsCli:
+    def test_design_target_runs_everything(self, tmp_path, capsys):
+        rc = experiments_main([
+            "design", "-o", str(tmp_path / "csv"),
+            "--store", str(tmp_path / "store"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "140 experiments" in out
+        assert "(0 failed)" in out
+        assert (tmp_path / "csv" / "design.csv").exists()
+        # The store uses the artifact's per-paradigm directory layout.
+        assert (tmp_path / "store" / "knative-scaling-10w-novm").is_dir()
+        assert (tmp_path / "store" / "local-container-960w-novm").is_dir()
+
+
+    def test_table_targets(self, capsys):
+        rc = experiments_main(["table1", "table2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "140" in out
+        assert "Kn10wNoPM" in out
+
+    def test_fig3_target(self, capsys):
+        rc = experiments_main(["fig3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "epigenomics" in out
+
+    def test_fig7_with_headline_and_csv(self, tmp_path, capsys):
+        rc = experiments_main([
+            "fig7", "headline", "--sizes", "30", "-o", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max CPU reduction" in out
+        assert (tmp_path / "fig7.csv").exists()
+        assert (tmp_path / "headline.csv").exists()

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SimulatedSharedDrive
+from repro.platform.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfcommons import WorkflowGenerator, recipe_for
+
+GB = 1 << 30
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env: Environment) -> Cluster:
+    return Cluster(env)
+
+
+@pytest.fixture
+def small_cluster(env: Environment) -> Cluster:
+    """A tiny 1-node cluster that makes resource limits easy to hit."""
+    spec = ClusterSpec(
+        nodes=(
+            NodeSpec(name="master", cores=8, memory_bytes=16 * GB,
+                     schedulable=False, system_reserved_cores=1.0,
+                     system_reserved_bytes=1 * GB, os_baseline_bytes=0,
+                     os_busy_cores=0.0),
+            NodeSpec(name="worker", cores=8, memory_bytes=16 * GB,
+                     system_reserved_cores=1.0, system_reserved_bytes=1 * GB,
+                     os_baseline_bytes=0, os_busy_cores=0.0),
+        )
+    )
+    return Cluster(env, spec)
+
+
+@pytest.fixture
+def drive() -> SimulatedSharedDrive:
+    return SimulatedSharedDrive()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+from helpers import make_workflow  # noqa: E402  (pytest pythonpath)
+
+
+@pytest.fixture
+def blast_workflow():
+    return make_workflow("blast", 20)
+
+
+@pytest.fixture
+def epigenomics_workflow():
+    return make_workflow("epigenomics", 30)
+
+
+@pytest.fixture
+def staged_drive(blast_workflow) -> SimulatedSharedDrive:
+    """A drive with the blast workflow's inputs already staged."""
+    drive = SimulatedSharedDrive()
+    for f in workflow_input_files(blast_workflow):
+        drive.put(f.name, f.size_in_bytes)
+    return drive

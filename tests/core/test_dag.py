@@ -1,0 +1,120 @@
+"""Unit tests for the manager's DAG / phase decomposition."""
+
+import pytest
+
+from repro.core.dag import HEADER_NAME, TAIL_NAME, WorkflowDAG
+from repro.errors import ValidationError
+from repro.wfcommons.schema import Task, Workflow, WorkflowMeta
+
+from helpers import make_workflow
+
+
+def simple_workflow():
+    wf = Workflow(WorkflowMeta(name="simple"))
+    for n in ("a_1", "b_1", "b_2", "c_1"):
+        wf.add_task(Task(name=n, task_id=n, category=n.split("_")[0]))
+    wf.add_edge("a_1", "b_1")
+    wf.add_edge("a_1", "b_2")
+    wf.add_edge("b_1", "c_1")
+    wf.add_edge("b_2", "c_1")
+    return wf
+
+
+class TestHeaderTail:
+    def test_markers_injected(self):
+        dag = WorkflowDAG(simple_workflow())
+        assert HEADER_NAME in dag.task_names
+        assert TAIL_NAME in dag.task_names
+        assert len(dag) == 6
+
+    def test_header_parents_all_roots(self):
+        dag = WorkflowDAG(simple_workflow())
+        assert dag.children(HEADER_NAME) == ["a_1"]
+        assert dag.parents(TAIL_NAME) == ["c_1"]
+
+    def test_markers_are_first_and_last_phases(self):
+        dag = WorkflowDAG(simple_workflow())
+        assert dag.phases[0].tasks == (HEADER_NAME,)
+        assert dag.phases[-1].tasks == (TAIL_NAME,)
+
+    def test_markers_optional(self):
+        dag = WorkflowDAG(simple_workflow(), inject_markers=False)
+        assert HEADER_NAME not in dag.task_names
+        assert len(dag) == 4
+
+    def test_is_marker(self):
+        dag = WorkflowDAG(simple_workflow())
+        assert dag.is_marker(HEADER_NAME)
+        assert dag.is_marker(TAIL_NAME)
+        assert not dag.is_marker("a_1")
+
+    def test_marker_tasks_are_cheap(self):
+        dag = WorkflowDAG(simple_workflow())
+        header = dag.task(HEADER_NAME)
+        assert header.cpu_work <= 1.0
+        assert not header.files
+
+
+class TestPhases:
+    def test_phase_partition(self):
+        dag = WorkflowDAG(simple_workflow(), inject_markers=False)
+        assert [p.tasks for p in dag.phases] == [
+            ("a_1",), ("b_1", "b_2"), ("c_1",),
+        ]
+
+    def test_phases_cover_all_tasks_once(self):
+        dag = WorkflowDAG(make_workflow("epigenomics", 30))
+        names = [t for p in dag.phases for t in p.tasks]
+        assert sorted(names) == sorted(dag.task_names)
+
+    def test_parents_in_earlier_phases(self):
+        dag = WorkflowDAG(make_workflow("cycles", 33))
+        phase_of = {t: p.index for p in dag.phases for t in p.tasks}
+        for name in dag.task_names:
+            for parent in dag.parents(name):
+                assert phase_of[parent] < phase_of[name]
+
+    def test_num_phases_with_markers(self):
+        dag = WorkflowDAG(make_workflow("blast", 10))
+        # blast: 4 phases + header + tail.
+        assert dag.num_phases == 6
+
+    def test_phase_len(self):
+        dag = WorkflowDAG(simple_workflow(), inject_markers=False)
+        assert len(dag.phases[1]) == 2
+
+
+class TestQueries:
+    def test_task_lookup(self):
+        dag = WorkflowDAG(simple_workflow())
+        assert dag.task("a_1").name == "a_1"
+        with pytest.raises(KeyError):
+            dag.task("ghost")
+
+    def test_phase_inputs_skip_markers(self):
+        dag = WorkflowDAG(make_workflow("blast", 10))
+        header_phase = dag.phases[0]
+        assert dag.phase_inputs(header_phase) == []
+        first_real = dag.phases[1]
+        inputs = dag.phase_inputs(first_real)
+        assert inputs == ["split_fasta_00000001_input.txt"]
+
+    def test_phase_inputs_deduplicated(self):
+        dag = WorkflowDAG(make_workflow("blast", 10))
+        blast_phase = dag.phases[2]
+        inputs = dag.phase_inputs(blast_phase)
+        assert len(inputs) == len(set(inputs))
+
+    def test_critical_path_spans_all_phases(self):
+        dag = WorkflowDAG(make_workflow("epigenomics", 30))
+        path = dag.critical_path()
+        assert len(path) == dag.num_phases
+        assert path[0] == HEADER_NAME
+        assert path[-1] == TAIL_NAME
+
+    def test_cycle_rejected(self):
+        wf = simple_workflow()
+        wf["c_1"].children.append("a_1")
+        wf["a_1"].parents.append("c_1")
+        with pytest.raises(ValidationError):
+            WorkflowDAG(wf)

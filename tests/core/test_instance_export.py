@@ -1,0 +1,106 @@
+"""Unit tests for executed-instance export."""
+
+import json
+
+import pytest
+
+from repro.core import export_instance, instance_document
+from repro.core.dag import HEADER_NAME, TAIL_NAME
+from repro.core.results import TaskExecution, WorkflowRunResult, PhaseResult
+from repro.errors import SchemaError
+from repro.wfcommons.schema import Workflow
+
+from helpers import make_workflow
+
+
+def fake_result(workflow, platform="knative", paradigm="Kn10wNoPM"):
+    result = WorkflowRunResult(
+        workflow_name=workflow.name, platform=platform, paradigm=paradigm,
+        started_at=0.0, finished_at=42.0, succeeded=True,
+    )
+    start = 1.0
+    for i, name in enumerate([HEADER_NAME, *workflow.task_names, TAIL_NAME]):
+        result.tasks.append(TaskExecution(
+            name=name, phase=i % 3, submitted_at=start,
+            started_at=start + 0.5, finished_at=start + 2.5,
+            node="worker",
+        ))
+        start += 1.0
+    result.phases = [PhaseResult(0, len(result.tasks), 0.0, 42.0)]
+    return result
+
+
+class TestExportInstance:
+    def test_runtimes_copied(self):
+        wf = make_workflow("blast", 10)
+        executed = export_instance(wf, fake_result(wf))
+        for task in executed:
+            assert task.runtime_in_seconds == pytest.approx(2.0)
+
+    def test_makespan_recorded(self):
+        wf = make_workflow("blast", 10)
+        executed = export_instance(wf, fake_result(wf))
+        assert executed.meta.makespan_in_seconds == pytest.approx(42.0)
+
+    def test_markers_excluded(self):
+        wf = make_workflow("blast", 10)
+        executed = export_instance(wf, fake_result(wf))
+        assert HEADER_NAME not in executed
+        assert TAIL_NAME not in executed
+        assert len(executed) == len(wf)
+
+    def test_structure_preserved(self):
+        wf = make_workflow("cycles", 20)
+        executed = export_instance(wf, fake_result(wf))
+        assert sorted(executed.edges()) == sorted(wf.edges())
+
+    def test_mismatched_result_rejected(self):
+        wf = make_workflow("blast", 10)
+        other = make_workflow("bwa", 10)
+        with pytest.raises(SchemaError, match="does not cover"):
+            export_instance(wf, fake_result(other))
+
+    def test_exported_instance_is_valid_wfformat(self):
+        from repro.wfcommons.validation import validate_workflow
+
+        wf = make_workflow("epigenomics", 20)
+        executed = export_instance(wf, fake_result(wf))
+        validate_workflow(executed)
+        # And survives a JSON round trip.
+        restored = Workflow.loads(executed.dumps())
+        assert restored.meta.makespan_in_seconds == pytest.approx(42.0)
+
+
+class TestInstanceDocument:
+    def test_document_sections(self):
+        wf = make_workflow("blast", 10)
+        doc = instance_document(wf, fake_result(wf))
+        assert doc["runtimeSystem"]["name"] == "repro-serverless-wfm"
+        assert doc["runtimeSystem"]["paradigm"] == "Kn10wNoPM"
+        assert doc["workflow"]["machines"] == [
+            {"nodeName": "worker", "system": "linux"}
+        ]
+        execution = doc["workflow"]["execution"]
+        assert execution["succeeded"] is True
+        assert execution["phases"]
+
+    def test_document_is_json_serialisable(self):
+        wf = make_workflow("blast", 10)
+        doc = instance_document(wf, fake_result(wf))
+        assert json.loads(json.dumps(doc))
+
+    def test_from_real_simulated_run(self):
+        from repro.experiments.design import ExperimentSpec
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(seed=0)
+        result = runner.run_spec(ExperimentSpec(
+            experiment_id="export/Kn10wNoPM/blast/30",
+            paradigm_name="Kn10wNoPM", application="blast", num_tasks=30,
+            granularity="fine",
+        ))
+        workflow = runner.workflow_for("blast", 30, 0)
+        executed = export_instance(workflow, result.run)
+        assert all(t.runtime_in_seconds > 0 for t in executed)
+        assert executed.meta.makespan_in_seconds == pytest.approx(
+            result.run.makespan_seconds, rel=1e-3)

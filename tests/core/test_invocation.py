@@ -1,0 +1,132 @@
+"""Unit tests for the invokers (simulated and real HTTP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.invocation import HttpInvoker, InvocationRecord, SimulatedInvoker
+from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import InvocationError
+from repro.platform.cluster import Cluster
+from repro.platform.gateway import HttpGateway
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.simulation import Environment
+from repro.wfbench import AppConfig, WfBenchService
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+from repro.wfbench.workload import CpuCalibration, WorkloadEngine
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return CpuCalibration.measure(target_unit_seconds=0.0005)
+
+
+def lc_platform(env):
+    return LocalContainerPlatform(
+        env, Cluster(env), SimulatedSharedDrive(),
+        config=LocalContainerRuntimeConfig(),
+        model=WfBenchModel(noise_sigma=0.0), rng=np.random.default_rng(0),
+    )
+
+
+class TestSimulatedInvoker:
+    def test_submit_and_gather(self, env):
+        invoker = SimulatedInvoker(lc_platform(env))
+        handles = [
+            invoker.submit("http://x", BenchRequest(name=f"t{i}", cpu_work=10.0,
+                                                    out={}))
+            for i in range(3)
+        ]
+        records = invoker.gather(handles)
+        assert [r.name for r in records] == ["t0", "t1", "t2"]
+        assert all(r.ok for r in records)
+
+    def test_sleep_advances_sim_clock(self, env):
+        invoker = SimulatedInvoker(lc_platform(env))
+        t0 = invoker.now()
+        invoker.sleep(5.0)
+        assert invoker.now() == pytest.approx(t0 + 5.0)
+
+    def test_now_is_sim_time(self, env):
+        invoker = SimulatedInvoker(lc_platform(env))
+        assert invoker.now() == env.now
+
+    def test_gateway_target(self, env):
+        platform = lc_platform(env)
+        gateway = HttpGateway()
+        gateway.register("http://localhost", platform)
+        invoker = SimulatedInvoker(gateway)
+        handle = invoker.submit("http://localhost/wfbench",
+                                BenchRequest(name="t", cpu_work=5.0, out={}))
+        records = invoker.gather([handle])
+        assert records[0].ok
+
+    def test_empty_gateway_rejected(self):
+        with pytest.raises(InvocationError):
+            SimulatedInvoker(HttpGateway())
+
+    def test_gather_preserves_submit_order(self, env):
+        invoker = SimulatedInvoker(lc_platform(env))
+        handles = [
+            invoker.submit("u", BenchRequest(name=f"t{i}",
+                                             cpu_work=10.0 * (3 - i), out={}))
+            for i in range(3)
+        ]
+        records = invoker.gather(handles)
+        assert [r.name for r in records] == ["t0", "t1", "t2"]
+
+
+class TestHttpInvoker:
+    def test_against_real_service(self, tmp_path, calibration):
+        engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+        with WfBenchService(base_dir=tmp_path, config=AppConfig(workers=4),
+                            engine=engine) as service:
+            invoker = HttpInvoker(max_parallel=4)
+            handles = [
+                invoker.submit(service.url,
+                               BenchRequest(name=f"t{i}", cpu_work=1.0,
+                                            out={f"t{i}.txt": 16}, workdir="."))
+                for i in range(4)
+            ]
+            records = invoker.gather(handles)
+            invoker.close()
+        assert all(r.ok for r in records)
+        for i in range(4):
+            assert (tmp_path / f"t{i}.txt").exists()
+
+    def test_http_error_mapped_to_status(self, tmp_path, calibration):
+        engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+        with WfBenchService(base_dir=tmp_path, engine=engine) as service:
+            invoker = HttpInvoker()
+            handle = invoker.submit(
+                service.url,
+                BenchRequest(name="t", inputs=("missing.txt",), workdir="."),
+            )
+            record = invoker.gather([handle])[0]
+            invoker.close()
+        assert record.status == 409
+
+    def test_connection_refused_is_503(self):
+        invoker = HttpInvoker(timeout_seconds=2.0)
+        handle = invoker.submit("http://127.0.0.1:9/wfbench",
+                                BenchRequest(name="t"))
+        record = invoker.gather([handle])[0]
+        invoker.close()
+        assert record.status == 503
+        assert record.error
+
+    def test_clock_is_monotonic_wall(self):
+        invoker = HttpInvoker()
+        t0 = invoker.now()
+        invoker.sleep(0.01)
+        assert invoker.now() > t0
+        invoker.close()
+
+
+class TestInvocationRecord:
+    def test_ok_property(self):
+        assert InvocationRecord("t", 200, 0, 0, 1).ok
+        assert not InvocationRecord("t", 507, 0, 0, 1).ok

@@ -1,0 +1,218 @@
+"""Unit tests for the serverless workflow manager (paper §III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.core.dag import HEADER_NAME, TAIL_NAME
+from repro.platform.cluster import Cluster
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons.translators import KnativeTranslator
+
+from helpers import make_workflow
+
+
+def setup_run(env, workflow, platform_cls=LocalContainerPlatform,
+              stage=True, config=None, manager_config=None):
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    if stage:
+        for f in workflow_input_files(workflow):
+            drive.put(f.name, f.size_in_bytes)
+    if platform_cls is LocalContainerPlatform:
+        platform = platform_cls(env, cluster, drive,
+                                config=config or LocalContainerRuntimeConfig(),
+                                model=WfBenchModel(noise_sigma=0.0),
+                                rng=np.random.default_rng(0))
+    else:
+        platform = platform_cls(env, cluster, drive,
+                                config=config or KnativeConfig(),
+                                model=WfBenchModel(noise_sigma=0.0),
+                                rng=np.random.default_rng(0))
+    invoker = SimulatedInvoker(platform)
+    manager = ServerlessWorkflowManager(invoker, drive,
+                                        manager_config or ManagerConfig())
+    return manager, platform, drive
+
+
+class TestExecution:
+    def test_successful_run(self, env):
+        wf = make_workflow("blast", 15)
+        manager, platform, drive = setup_run(env, wf)
+        result = manager.execute(wf, platform_label="local",
+                                 paradigm_label="LC10wNoPM")
+        assert result.succeeded
+        assert result.error == ""
+        assert result.platform == "local"
+        assert result.paradigm == "LC10wNoPM"
+        assert result.makespan_seconds > 0
+
+    def test_every_task_executed_including_markers(self, env):
+        wf = make_workflow("blast", 15)
+        manager, _, _ = setup_run(env, wf)
+        result = manager.execute(wf)
+        names = {t.name for t in result.tasks}
+        assert names == set(wf.task_names) | {HEADER_NAME, TAIL_NAME}
+
+    def test_phase_results_cover_dag(self, env):
+        wf = make_workflow("epigenomics", 30)
+        manager, _, _ = setup_run(env, wf)
+        result = manager.execute(wf)
+        assert len(result.phases) == 11  # 9 app phases + header + tail
+        assert sum(p.num_tasks for p in result.phases) == len(result.tasks)
+
+    def test_phase_delay_applied_between_phases(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, _ = setup_run(
+            env, wf, manager_config=ManagerConfig(phase_delay_seconds=5.0)
+        )
+        result = manager.execute(wf)
+        for earlier, later in zip(result.phases, result.phases[1:]):
+            assert later.started_at >= earlier.finished_at + 5.0
+
+    def test_outputs_appear_on_shared_drive(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, drive = setup_run(env, wf)
+        manager.execute(wf)
+        for task in wf:
+            for f in task.output_files:
+                assert drive.exists(f.name)
+                assert drive.size(f.name) == f.size_in_bytes
+
+    def test_tasks_in_phase_run_concurrently(self, env):
+        wf = make_workflow("seismology", 20)
+        manager, _, _ = setup_run(env, wf)
+        result = manager.execute(wf)
+        decons = [t for t in result.tasks if t.name.startswith("sG1IterDecon")]
+        starts = {round(t.submitted_at, 3) for t in decons}
+        assert len(starts) == 1  # all fired simultaneously
+
+    def test_runs_on_knative_platform_too(self, env):
+        wf = make_workflow("blast", 15)
+        manager, platform, _ = setup_run(env, wf, platform_cls=KnativePlatform)
+        result = manager.execute(wf)
+        assert result.succeeded
+        assert platform.stats.cold_starts > 0
+
+    def test_translated_document_executes(self, env):
+        wf = make_workflow("blast", 12)
+        doc = KnativeTranslator().translate(wf)
+        manager, _, _ = setup_run(env, wf, platform_cls=KnativePlatform)
+        result = manager.execute(doc)
+        assert result.succeeded
+        assert result.num_tasks == len(wf) + 2
+
+    def test_summary_shape(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, _ = setup_run(env, wf)
+        summary = manager.execute(wf).summary()
+        for key in ("workflow", "succeeded", "makespan_seconds", "num_tasks",
+                    "num_phases", "failed_tasks", "cold_starts"):
+            assert key in summary
+
+
+class TestReadiness:
+    def test_missing_staged_inputs_fail_the_run(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, _ = setup_run(
+            env, wf, stage=False,
+            manager_config=ManagerConfig(readiness_retries=1,
+                                         readiness_retry_delay_seconds=0.5),
+        )
+        result = manager.execute(wf)
+        assert not result.succeeded
+        assert "never appeared" in result.error
+
+    def test_readiness_retries_wait_for_late_files(self, env):
+        wf = make_workflow("blast", 10)
+        manager, platform, drive = setup_run(
+            env, wf, stage=False,
+            manager_config=ManagerConfig(readiness_retries=5,
+                                         readiness_retry_delay_seconds=1.0),
+        )
+
+        def stage_late():
+            yield env.timeout(2.5)
+            for f in workflow_input_files(wf):
+                drive.put(f.name, f.size_in_bytes)
+
+        env.process(stage_late())
+        result = manager.execute(wf)
+        assert result.succeeded
+
+    def test_readiness_check_can_be_disabled(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, _ = setup_run(
+            env, wf, stage=False,
+            manager_config=ManagerConfig(readiness_check=False,
+                                         abort_on_failure=True),
+        )
+        result = manager.execute(wf)
+        # Functions themselves then fail server-side with 409.
+        assert not result.succeeded
+        assert any(t.status == 409 for t in result.failed_tasks)
+
+
+class TestFailureHandling:
+    def test_abort_on_failure_stops_later_phases(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, _ = setup_run(
+            env, wf, stage=False,
+            manager_config=ManagerConfig(readiness_check=False,
+                                         abort_on_failure=True),
+        )
+        result = manager.execute(wf)
+        executed_phases = {t.phase for t in result.tasks}
+        assert max(executed_phases) < 5  # stopped before the tail
+
+    def test_continue_on_failure_runs_everything(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, _ = setup_run(
+            env, wf, stage=False,
+            manager_config=ManagerConfig(readiness_check=False,
+                                         abort_on_failure=False),
+        )
+        result = manager.execute(wf)
+        assert result.succeeded  # completed all phases, with failures noted
+        assert result.failed_tasks
+
+
+class TestRequests:
+    def test_build_request_mirrors_task(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, _ = setup_run(
+            env, wf, manager_config=ManagerConfig(workdir="/data/x",
+                                                  keep_memory=True),
+        )
+        task = wf[next(n for n in wf.task_names if "blastall" in n)]
+        request = manager.build_request(task)
+        assert request.name == task.name
+        assert request.percent_cpu == task.percent_cpu
+        assert request.cpu_work == task.cpu_work
+        assert request.workdir == "/data/x"
+        assert request.keep_memory is True
+        assert set(request.out) == {f.name for f in task.output_files}
+        assert set(request.inputs) == {f.name for f in task.input_files}
+
+    def test_api_url_fallback(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _, _ = setup_run(
+            env, wf,
+            manager_config=ManagerConfig(default_api_url="http://fallback/wfbench"),
+        )
+        task = wf[wf.task_names[0]]
+        assert manager.api_url_for(task) == "http://fallback/wfbench"
+        task.command.api_url = "http://explicit/wfbench"
+        assert manager.api_url_for(task) == "http://explicit/wfbench"

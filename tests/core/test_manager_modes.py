@@ -1,0 +1,242 @@
+"""Tests for the manager's execution modes and retry machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.platform.cluster import Cluster
+from repro.platform.faults import FaultInjector
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+
+from helpers import make_workflow
+
+
+def setup(env, workflow, manager_config=None, fault_injector=None):
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    for f in workflow_input_files(workflow):
+        drive.put(f.name, f.size_in_bytes)
+    platform = LocalContainerPlatform(
+        env, cluster, drive, config=LocalContainerRuntimeConfig(),
+        model=WfBenchModel(noise_sigma=0.0), rng=np.random.default_rng(0),
+    )
+    platform.fault_injector = fault_injector
+    invoker = SimulatedInvoker(platform)
+    manager = ServerlessWorkflowManager(invoker, drive,
+                                        manager_config or ManagerConfig())
+    return manager, platform
+
+
+class TestConfigValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(execution_mode="random")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(task_retries=-1)
+
+
+class TestSequentialMode:
+    def test_sequential_run_succeeds(self, env):
+        wf = make_workflow("blast", 12)
+        manager, _ = setup(env, wf, ManagerConfig(execution_mode="sequential"))
+        result = manager.execute(wf)
+        assert result.succeeded
+        assert result.num_tasks == 14
+
+    def test_sequential_serialises_submissions(self, env):
+        wf = make_workflow("seismology", 12)
+        manager, _ = setup(env, wf, ManagerConfig(execution_mode="sequential"))
+        result = manager.execute(wf)
+        decons = sorted(
+            (t.submitted_at for t in result.tasks
+             if t.name.startswith("sG1IterDecon")),
+        )
+        # Strictly increasing submit times: one function at a time.
+        assert all(b > a for a, b in zip(decons, decons[1:]))
+
+    def test_sequential_slower_than_level(self):
+        wf = make_workflow("seismology", 20)
+        env_a = Environment()
+        level, _ = setup(env_a, wf, ManagerConfig(execution_mode="level"))
+        t_level = level.execute(wf).makespan_seconds
+
+        env_b = Environment()
+        seq, _ = setup(env_b, wf, ManagerConfig(execution_mode="sequential"))
+        t_seq = seq.execute(wf).makespan_seconds
+        assert t_seq > t_level * 2
+
+
+class TestEagerMode:
+    def test_eager_run_succeeds_with_all_tasks(self, env):
+        wf = make_workflow("epigenomics", 30)
+        manager, _ = setup(env, wf, ManagerConfig(execution_mode="eager"))
+        result = manager.execute(wf)
+        assert result.succeeded
+        assert result.num_tasks == 32
+        names = {t.name for t in result.tasks}
+        assert set(wf.task_names) <= names
+
+    def test_eager_respects_dependencies(self, env):
+        wf = make_workflow("epigenomics", 30)
+        manager, _ = setup(env, wf, ManagerConfig(execution_mode="eager"))
+        result = manager.execute(wf)
+        finished = {t.name: t.finished_at for t in result.tasks}
+        submitted = {t.name: t.submitted_at for t in result.tasks}
+        for parent, child in wf.edges():
+            assert submitted[child] >= finished[parent] - 1e-9, (parent, child)
+
+    def test_eager_faster_than_level_on_deep_workflows(self):
+        """No phase barriers and no 1 s delays: the whole point."""
+        wf = make_workflow("epigenomics", 40)
+
+        def run(mode):
+            env = Environment()
+            manager, _ = setup(env, wf, ManagerConfig(execution_mode=mode))
+            return manager.execute(wf).makespan_seconds
+
+        assert run("eager") < run("level")
+
+    def test_eager_outputs_still_reach_drive(self, env):
+        wf = make_workflow("blast", 15)
+        manager, platform = setup(env, wf, ManagerConfig(execution_mode="eager"))
+        manager.execute(wf)
+        for task in wf:
+            for f in task.output_files:
+                assert platform.drive.exists(f.name)
+
+    def test_eager_abort_on_failure(self, env):
+        wf = make_workflow("blast", 15)
+        injector = FaultInjector(failure_rate=1.0, status=400, seed=0,
+                                 max_failures=1)
+        manager, _ = setup(env, wf, ManagerConfig(execution_mode="eager"),
+                           fault_injector=injector)
+        result = manager.execute(wf)
+        assert not result.succeeded
+        assert "aborting eager run" in result.error
+
+    def test_eager_continue_on_failure_counts_failures(self, env):
+        wf = make_workflow("blast", 15)
+        injector = FaultInjector(failure_rate=1.0, status=503, seed=0,
+                                 max_failures=2)
+        manager, _ = setup(
+            env, wf,
+            ManagerConfig(execution_mode="eager", abort_on_failure=False),
+            fault_injector=injector,
+        )
+        result = manager.execute(wf)
+        assert not result.succeeded
+        # Two injected 503s, plus the 409 cascade of their descendants
+        # whose inputs never reached the shared drive.
+        injected_failures = [t for t in result.failed_tasks if t.status == 503]
+        cascade = [t for t in result.failed_tasks if t.status == 409]
+        assert len(injected_failures) == 2
+        assert cascade, "descendants of failed tasks should 409"
+
+
+class TestRetries:
+    def test_transient_faults_absorbed_by_retries(self, env):
+        wf = make_workflow("blast", 20)
+        injector = FaultInjector(failure_rate=0.3, status=503, seed=1)
+        manager, platform = setup(
+            env, wf,
+            ManagerConfig(task_retries=5, retry_delay_seconds=0.2),
+            fault_injector=injector,
+        )
+        result = manager.execute(wf)
+        assert injector.injected > 0, "no faults were injected; weak test"
+        assert result.succeeded, result.error
+
+    def test_without_retries_faults_fail_the_run(self, env):
+        wf = make_workflow("blast", 20)
+        injector = FaultInjector(failure_rate=0.3, status=503, seed=1)
+        manager, _ = setup(env, wf, ManagerConfig(task_retries=0),
+                           fault_injector=injector)
+        result = manager.execute(wf)
+        assert not result.succeeded
+
+    def test_permanent_failures_not_retried(self, env):
+        wf = make_workflow("blast", 10)
+        injector = FaultInjector(failure_rate=1.0, status=400, seed=0,
+                                 max_failures=1)
+        manager, _ = setup(env, wf, ManagerConfig(task_retries=3),
+                           fault_injector=injector)
+        result = manager.execute(wf)
+        # 400 is permanent: one injected fault, no retries spent on it.
+        assert not result.succeeded
+        assert injector.injected == 1
+
+    def test_retry_budget_bounded(self, env):
+        wf = make_workflow("blast", 10)
+        injector = FaultInjector(failure_rate=1.0, status=503, seed=0)
+        manager, platform = setup(env, wf, ManagerConfig(task_retries=2),
+                                  fault_injector=injector)
+        result = manager.execute(wf)
+        assert not result.succeeded
+        # Header fired once + retried twice = 3 invocations for phase 0.
+        assert platform.stats.invocations == 3
+
+
+class TestMaxParallelRequests:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(max_parallel_requests=-1)
+
+    def test_windowed_fire_limits_outstanding_requests(self, env):
+        wf = make_workflow("seismology", 30)
+        manager, platform = setup(
+            env, wf, ManagerConfig(max_parallel_requests=5))
+        result = manager.execute(wf)
+        assert result.succeeded
+        assert platform.stats.peak_concurrency <= 5
+
+    def test_unbounded_by_default(self, env):
+        wf = make_workflow("seismology", 30)
+        manager, platform = setup(env, wf, ManagerConfig())
+        result = manager.execute(wf)
+        assert result.succeeded
+        assert platform.stats.peak_concurrency >= 29
+
+    def test_all_tasks_still_executed(self, env):
+        wf = make_workflow("blast", 25)
+        manager, _ = setup(env, wf, ManagerConfig(max_parallel_requests=4))
+        result = manager.execute(wf)
+        assert result.num_tasks == 27
+        assert not result.failed_tasks
+
+
+class TestFaultInjector:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(failure_rate=1.5)
+
+    def test_max_failures_cap(self):
+        from repro.wfbench.spec import BenchRequest
+
+        injector = FaultInjector(failure_rate=1.0, max_failures=2, seed=0)
+        req = BenchRequest(name="x")
+        results = [injector.should_fail(req) for _ in range(5)]
+        assert results[:2] == [503, 503]
+        assert results[2:] == [None, None, None]
+
+    def test_deterministic_given_seed(self):
+        from repro.wfbench.spec import BenchRequest
+
+        req = BenchRequest(name="x")
+        a = [FaultInjector(failure_rate=0.5, seed=3).should_fail(req)
+             for _ in range(1)]
+        b = [FaultInjector(failure_rate=0.5, seed=3).should_fail(req)
+             for _ in range(1)]
+        assert a == b

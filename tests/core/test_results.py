@@ -1,0 +1,71 @@
+"""Unit tests for run result records."""
+
+import pytest
+
+from repro.core.results import PhaseResult, TaskExecution, WorkflowRunResult
+
+
+class TestTaskExecution:
+    def test_timing_properties(self):
+        t = TaskExecution(name="t", phase=1, submitted_at=10.0,
+                          started_at=12.0, finished_at=15.0)
+        assert t.wait_seconds == pytest.approx(2.0)
+        assert t.duration_seconds == pytest.approx(5.0)
+
+    def test_negative_clamped(self):
+        t = TaskExecution(name="t", phase=0, submitted_at=5.0,
+                          started_at=4.0, finished_at=3.0)
+        assert t.wait_seconds == 0.0
+        assert t.duration_seconds == 0.0
+
+    def test_ok(self):
+        assert TaskExecution(name="t", phase=0, status=200).ok
+        assert not TaskExecution(name="t", phase=0, status=503).ok
+
+
+class TestPhaseResult:
+    def test_duration(self):
+        p = PhaseResult(index=0, num_tasks=3, started_at=1.0, finished_at=4.0)
+        assert p.duration_seconds == pytest.approx(3.0)
+
+
+class TestWorkflowRunResult:
+    def make(self):
+        result = WorkflowRunResult(workflow_name="wf", platform="knative",
+                                   paradigm="Kn10wNoPM", started_at=0.0,
+                                   finished_at=30.0, succeeded=True)
+        result.tasks = [
+            TaskExecution(name="a", phase=0, submitted_at=0, started_at=1,
+                          finished_at=2, cold_start=True),
+            TaskExecution(name="b", phase=1, status=507, submitted_at=3,
+                          started_at=3, finished_at=4),
+        ]
+        result.phases = [PhaseResult(0, 1, 0.0, 2.0),
+                         PhaseResult(1, 1, 3.0, 4.0, failures=1)]
+        return result
+
+    def test_makespan(self):
+        assert self.make().makespan_seconds == pytest.approx(30.0)
+
+    def test_failed_tasks(self):
+        result = self.make()
+        assert [t.name for t in result.failed_tasks] == ["b"]
+
+    def test_cold_start_count(self):
+        assert self.make().cold_start_count == 1
+
+    def test_mean_wait(self):
+        assert self.make().mean_wait_seconds() == pytest.approx(0.5)
+
+    def test_mean_wait_empty(self):
+        result = WorkflowRunResult(workflow_name="x")
+        assert result.mean_wait_seconds() == 0.0
+
+    def test_summary_includes_scalar_metrics_only(self):
+        result = self.make()
+        result.metrics["cpu_usage_cores"] = 12.0
+        result.metrics["series"] = [1, 2, 3]
+        summary = result.summary()
+        assert summary["cpu_usage_cores"] == 12.0
+        assert "series" not in summary
+        assert summary["failed_tasks"] == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the shared-drive abstraction."""
+
+import pytest
+
+from repro.core.shared_drive import LocalSharedDrive, SimulatedSharedDrive
+
+
+class TestSimulatedSharedDrive:
+    def test_put_exists_size(self):
+        drive = SimulatedSharedDrive()
+        assert not drive.exists("f")
+        drive.put("f", 100)
+        assert drive.exists("f")
+        assert drive.size("f") == 100
+
+    def test_size_of_missing_is_zero(self):
+        assert SimulatedSharedDrive().size("nope") == 0
+
+    def test_overwrite(self):
+        drive = SimulatedSharedDrive()
+        drive.put("f", 1)
+        drive.put("f", 2)
+        assert drive.size("f") == 2
+
+    def test_missing_subset(self):
+        drive = SimulatedSharedDrive()
+        drive.put("a", 1)
+        assert drive.missing(["a", "b", "c"]) == ["b", "c"]
+
+    def test_stage(self):
+        drive = SimulatedSharedDrive()
+        drive.stage({"a": 1, "b": 2})
+        assert drive.list_files() == ["a", "b"]
+        assert drive.total_bytes() == 3
+
+    def test_clear(self):
+        drive = SimulatedSharedDrive()
+        drive.put("a", 1)
+        drive.clear()
+        assert drive.list_files() == []
+
+
+class TestLocalSharedDrive:
+    def test_put_creates_sparse_file(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("f.txt", 1000)
+        assert drive.exists("f.txt")
+        assert drive.size("f.txt") == 1000
+        assert (tmp_path / "f.txt").stat().st_size == 1000
+
+    def test_zero_byte_file(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("empty.txt", 0)
+        assert drive.exists("empty.txt")
+        assert drive.size("empty.txt") == 0
+
+    def test_nested_name(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("sub/dir/f.txt", 5)
+        assert drive.exists("sub/dir/f.txt")
+
+    def test_escape_rejected(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path / "root")
+        with pytest.raises(ValueError):
+            drive.put("../outside.txt", 1)
+        with pytest.raises(ValueError):
+            drive.exists("../../etc/passwd")
+
+    def test_list_files(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("b.txt", 1)
+        drive.put("a.txt", 1)
+        assert drive.list_files() == ["a.txt", "b.txt"]
+
+    def test_missing(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("a.txt", 1)
+        assert drive.missing(["a.txt", "z.txt"]) == ["z.txt"]
+
+    def test_root_created(self, tmp_path):
+        target = tmp_path / "new" / "root"
+        LocalSharedDrive(target)
+        assert target.is_dir()

@@ -1,0 +1,81 @@
+"""Unit tests for the Table-I experiment design."""
+
+import pytest
+
+from repro.experiments.design import (
+    APPLICATIONS_ORDER,
+    COARSE_SIZES,
+    FINE_SIZES,
+    build_design,
+)
+
+
+class TestPaperCounts:
+    def test_total_is_140(self):
+        design = build_design()
+        assert design.total == 140
+
+    def test_fine_block_is_98(self):
+        """Paper Table I: 98 = 7 paradigms x 7 workflows x 2 sizes."""
+        design = build_design()
+        assert len(design.fine) == 98
+
+    def test_coarse_block_is_42(self):
+        """Paper Table I: 42 = 2 paradigms x 7 workflows x 3 sizes."""
+        design = build_design()
+        assert len(design.coarse) == 42
+
+    def test_seven_applications_in_paper_order(self):
+        assert APPLICATIONS_ORDER == (
+            "blast", "bwa", "cycles", "epigenomics",
+            "genome", "seismology", "srasearch",
+        )
+
+    def test_sizes(self):
+        assert FINE_SIZES == (100, 250)
+        assert COARSE_SIZES == (100, 250, 1000)
+
+    def test_table1_rows(self):
+        rows = build_design().table1_rows()
+        assert [r["block"] for r in rows] == ["fine-grained", "coarse-grained",
+                                              "total"]
+        assert rows[0]["experiments"] == 98
+        assert rows[1]["experiments"] == 42
+        assert rows[2]["experiments"] == 140
+
+
+class TestSpecs:
+    def test_unique_experiment_ids(self):
+        design = build_design()
+        ids = [s.experiment_id for s in design.all_specs]
+        assert len(ids) == len(set(ids))
+
+    def test_granularity_consistent(self):
+        design = build_design()
+        assert all(s.granularity == "fine" for s in design.fine)
+        assert all(s.granularity == "coarse" for s in design.coarse)
+
+    def test_coarse_includes_1000_tasks(self):
+        design = build_design()
+        assert any(s.num_tasks == 1000 for s in design.coarse)
+        assert all(s.num_tasks <= 250 for s in design.fine)
+
+    def test_spec_key(self):
+        spec = build_design().fine[0]
+        assert spec.key == (spec.paradigm_name, spec.application, spec.num_tasks)
+
+
+class TestFiltering:
+    def test_subset_applications(self):
+        design = build_design(applications=["blast"])
+        assert len(design.fine) == 7 * 1 * 2
+        assert len(design.coarse) == 2 * 1 * 3
+
+    def test_custom_sizes(self):
+        design = build_design(fine_sizes=[10], coarse_sizes=[10, 20])
+        assert len(design.fine) == 7 * 7 * 1
+        assert len(design.coarse) == 2 * 7 * 2
+
+    def test_seed_propagated(self):
+        design = build_design(seed=11)
+        assert all(s.seed == 11 for s in design.all_specs)

@@ -1,0 +1,95 @@
+"""Unit tests for the figure data generators (small sizes for speed)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    EXEMPLAR_WORKFLOWS,
+    GROUP_1,
+    GROUP_2,
+    fig3_characterization,
+    fig4_knative_setups,
+    fig5_local_container_setups,
+    fig7_best_setups,
+    headline_reductions,
+)
+from repro.experiments.runner import ExperimentRunner
+
+SIZES = (30,)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=0)
+
+
+class TestFig3:
+    def test_rows_for_all_seven_workflows(self):
+        rows = fig3_characterization(sizes=(40,))
+        assert len(rows) == 7
+        assert {r["workflow"] for r in rows} == set(GROUP_1) | set(GROUP_2)
+
+    def test_groups_annotated(self):
+        rows = fig3_characterization(sizes=(40,))
+        for row in rows:
+            expected = 1 if row["workflow"] in GROUP_1 else 2
+            assert row["group"] == expected
+
+    def test_phase_density_sums_to_size(self):
+        rows = fig3_characterization(sizes=(40,))
+        for row in rows:
+            assert sum(row["phase_density"]) == 40
+            assert sum(row["category_counts"].values()) == 40
+
+
+class TestFig4:
+    def test_three_knative_setups(self, runner):
+        rows = fig4_knative_setups(runner, sizes=SIZES)
+        assert {r["paradigm"] for r in rows} == {"Kn1wPM", "Kn1wNoPM", "Kn10wNoPM"}
+        assert {r["workflow"] for r in rows} == set(EXEMPLAR_WORKFLOWS)
+        assert len(rows) == 3 * 2 * len(SIZES)
+
+    def test_rows_have_all_four_metrics(self, runner):
+        rows = fig4_knative_setups(runner, sizes=SIZES,
+                                   applications=("blast",))
+        for row in rows:
+            for key in ("makespan_seconds", "cpu_usage_cores", "memory_gb",
+                        "power_watts"):
+                assert key in row
+
+
+class TestFig5:
+    def test_four_lc_setups(self, runner):
+        rows = fig5_local_container_setups(runner, sizes=SIZES,
+                                           applications=("blast",))
+        assert {r["paradigm"] for r in rows} == {
+            "LC1wPM", "LC1wNoPM", "LC10wNoPM", "LC10wNoPMNoCR",
+        }
+
+
+class TestFig7AndHeadline:
+    def test_best_setups_cells(self, runner):
+        rows = fig7_best_setups(runner, applications=("blast", "cycles"),
+                                sizes=SIZES)
+        assert {r["paradigm"] for r in rows} == {"Kn10wNoPM", "LC10wNoPM"}
+        assert len(rows) == 4
+
+    def test_headline_reductions_computed(self, runner):
+        rows = fig7_best_setups(runner, applications=("blast",), sizes=SIZES)
+        summary = headline_reductions(rows)
+        assert summary["cpu_reduction_percent"] > 0
+        assert summary["memory_reduction_percent"] > 0
+        assert summary["cpu_reduction_cell"] == ("blast", 30)
+        assert len(summary["per_cell"]) == 1
+
+    def test_headline_skips_failed_cells(self):
+        rows = [
+            {"workflow": "blast", "size": 10, "paradigm": "Kn10wNoPM",
+             "succeeded": False, "cpu_usage_cores": 1, "memory_gb": 1,
+             "makespan_seconds": 1, "power_watts": 1},
+            {"workflow": "blast", "size": 10, "paradigm": "LC10wNoPM",
+             "succeeded": True, "cpu_usage_cores": 2, "memory_gb": 2,
+             "makespan_seconds": 1, "power_watts": 1},
+        ]
+        summary = headline_reductions(rows)
+        assert summary["per_cell"] == []
+        assert summary["cpu_reduction_cell"] is None

@@ -1,0 +1,59 @@
+"""Unit tests for hybrid-paradigm execution (paper future work)."""
+
+import pytest
+
+from repro.experiments.hybrid import (
+    KNATIVE_URL,
+    LOCAL_URL,
+    dense_phase_policy,
+    run_hybrid,
+)
+
+from helpers import make_workflow
+
+
+class TestDensePhasePolicy:
+    def test_wide_phases_go_serverless(self):
+        wf = make_workflow("blast", 60)
+        policy = dense_phase_policy(threshold=32)
+        blastall = next(n for n in wf.task_names if "blastall" in n)
+        split = next(n for n in wf.task_names if "split_fasta" in n)
+        assert policy(wf, blastall) == "knative"
+        assert policy(wf, split) == "local"
+
+    def test_threshold_boundary(self):
+        wf = make_workflow("blast", 35)  # 32 blastall tasks
+        assert dense_phase_policy(threshold=32)(wf, "blastall_00000002") == "knative"
+        assert dense_phase_policy(threshold=33)(wf, "blastall_00000002") == "local"
+
+
+class TestRunHybrid:
+    def test_hybrid_run_succeeds(self):
+        wf = make_workflow("blast", 40)
+        run, aggregates = run_hybrid(wf)
+        assert run.succeeded
+        assert run.paradigm == "Hybrid"
+        assert aggregates.makespan_seconds > 0
+
+    def test_tasks_routed_by_policy(self):
+        wf = make_workflow("blast", 40)
+        run_hybrid(wf)
+        urls = {t.command.api_url for t in wf}
+        assert urls == {KNATIVE_URL, LOCAL_URL}
+
+    def test_all_local_policy(self):
+        wf = make_workflow("cycles", 20)
+        run, _ = run_hybrid(wf, policy=lambda w, n: "local")
+        assert run.succeeded
+        assert all(t.command.api_url == LOCAL_URL for t in wf)
+
+    def test_all_serverless_policy(self):
+        wf = make_workflow("seismology", 20)
+        run, _ = run_hybrid(wf, policy=lambda w, n: "knative")
+        assert run.succeeded
+        assert all(t.command.api_url == KNATIVE_URL for t in wf)
+
+    def test_deterministic(self):
+        a, agg_a = run_hybrid(make_workflow("blast", 30), seed=5)
+        b, agg_b = run_hybrid(make_workflow("blast", 30), seed=5)
+        assert agg_a.as_dict() == agg_b.as_dict()

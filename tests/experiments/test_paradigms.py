@@ -1,0 +1,94 @@
+"""Unit tests for the Table-II paradigm catalogue."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.paradigms import (
+    COARSE_PARADIGMS,
+    FINE_PARADIGMS,
+    PARADIGMS,
+    Paradigm,
+    paradigm,
+)
+
+GB = 1 << 30
+
+
+class TestCatalogue:
+    def test_table2_has_nine_rows(self):
+        assert len(PARADIGMS) == 9
+
+    def test_paper_names_present(self):
+        expected = {
+            "Kn1wPM", "Kn1wNoPM", "Kn10wNoPM", "Kn1000wPM",
+            "LC1wPM", "LC1wNoPM", "LC10wNoPM", "LC10wNoPMNoCR", "LC1000wPM",
+        }
+        assert set(PARADIGMS) == expected
+
+    def test_fine_and_coarse_partition(self):
+        assert len(FINE_PARADIGMS) == 7
+        assert len(COARSE_PARADIGMS) == 2
+        assert set(FINE_PARADIGMS) | set(COARSE_PARADIGMS) == set(PARADIGMS)
+
+    def test_lookup(self):
+        assert paradigm("Kn10wNoPM").is_serverless
+        with pytest.raises(ExperimentError):
+            paradigm("Kn5wPM")
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            Paradigm("X", "mainframe", "1w", True, True, "fine")
+        with pytest.raises(ExperimentError):
+            Paradigm("X", "knative", "1w", True, True, "medium")
+
+
+class TestKnativeResolution:
+    def test_worker_counts(self):
+        assert paradigm("Kn1wPM").knative_config().container_concurrency == 1
+        assert paradigm("Kn10wNoPM").knative_config().container_concurrency == 10
+
+    def test_coarse_resolution(self):
+        config = paradigm("Kn1000wPM").knative_config()
+        assert config.container_concurrency == 1000
+        assert config.min_scale == config.max_scale == 1
+
+    def test_lc_paradigm_rejects_knative_config(self):
+        with pytest.raises(ExperimentError):
+            paradigm("LC1wPM").knative_config()
+
+
+class TestLocalResolution:
+    def test_one_worker_per_thread(self):
+        assert paradigm("LC1wPM").local_config().workers == 96
+
+    def test_ten_workers_per_thread(self):
+        assert paradigm("LC10wNoPM").local_config().workers == 960
+
+    def test_coarse_worker_count(self):
+        assert paradigm("LC1000wPM").local_config().workers == 1000
+
+    def test_cr_sets_quota_and_memory_limit(self):
+        config = paradigm("LC10wNoPM").local_config()
+        assert config.cpu_quota_cores == 96.0
+        assert config.memory_limit_bytes == 64 * GB
+
+    def test_nocr_unbounded(self):
+        config = paradigm("LC10wNoPMNoCR").local_config()
+        assert config.cpu_quota_cores is None
+        assert config.memory_limit_bytes is None
+
+    def test_kn_paradigm_rejects_local_config(self):
+        with pytest.raises(ExperimentError):
+            paradigm("Kn10wNoPM").local_config()
+
+
+class TestPmAxis:
+    def test_pm_flags_match_names(self):
+        for name, par in PARADIGMS.items():
+            assert par.persistent_memory == ("NoPM" not in name), name
+
+    def test_nopm_paradigms(self):
+        assert not paradigm("Kn10wNoPM").persistent_memory
+        assert not paradigm("LC10wNoPMNoCR").persistent_memory
+        assert paradigm("Kn1wPM").persistent_memory
+        assert paradigm("LC1000wPM").persistent_memory

@@ -1,0 +1,82 @@
+"""Unit tests for repeated runs and dispersion statistics."""
+
+import pytest
+
+from repro.experiments.repetitions import (
+    MetricSummary,
+    run_repetitions,
+    significant_difference,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_repetitions("LC10wNoPM", "blast", 30, repetitions=4)
+
+
+class TestRunRepetitions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_repetitions("LC10wNoPM", "blast", 30, repetitions=0)
+
+    def test_all_repetitions_executed(self, report):
+        assert report.n == 4
+        assert report.all_succeeded
+
+    def test_distinct_seeds_produce_distinct_runs(self, report):
+        makespans = {r.aggregates.makespan_seconds for r in report.results}
+        assert len(makespans) > 1, "repetitions are identical; seeds not applied"
+
+    def test_summary_statistics_consistent(self, report):
+        summary = report.summary("makespan_seconds")
+        assert summary.n == 4
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.stdev >= 0
+        low, high = summary.ci95
+        assert low <= summary.mean <= high
+
+    def test_noise_is_moderate(self, report):
+        """Run-to-run noise (recipe sizes + service noise) stays small."""
+        assert report.summary("makespan_seconds").cv < 0.25
+
+    def test_all_four_metrics_summarised(self, report):
+        for metric in ("makespan_seconds", "cpu_usage_cores", "memory_gb",
+                       "power_watts"):
+            assert report.summary(metric).mean > 0
+
+
+class TestMetricSummary:
+    def test_single_sample_has_zero_ci(self):
+        s = MetricSummary("m", mean=10.0, stdev=0.0, minimum=10.0,
+                          maximum=10.0, n=1)
+        assert s.ci95_halfwidth == 0.0
+
+    def test_ci_shrinks_with_n(self):
+        small = MetricSummary("m", 10.0, 2.0, 8.0, 12.0, n=4)
+        large = MetricSummary("m", 10.0, 2.0, 8.0, 12.0, n=16)
+        assert large.ci95_halfwidth < small.ci95_halfwidth
+
+    def test_cv_zero_mean(self):
+        assert MetricSummary("m", 0.0, 1.0, 0, 0, 2).cv == 0.0
+
+
+class TestSignificance:
+    def test_disjoint_intervals_significant(self):
+        a = MetricSummary("m", 10.0, 0.5, 9, 11, n=10)
+        b = MetricSummary("m", 20.0, 0.5, 19, 21, n=10)
+        assert significant_difference(a, b)
+        assert significant_difference(b, a)
+
+    def test_overlapping_intervals_not_significant(self):
+        a = MetricSummary("m", 10.0, 5.0, 5, 15, n=4)
+        b = MetricSummary("m", 12.0, 5.0, 7, 17, n=4)
+        assert not significant_difference(a, b)
+
+    def test_paradigm_gap_exceeds_noise(self):
+        """The paper's central claim survives repetition noise: the
+        serverless CPU-usage reduction is statistically significant."""
+        kn = run_repetitions("Kn10wNoPM", "blast", 30, repetitions=4)
+        lc = run_repetitions("LC10wNoPM", "blast", 30, repetitions=4)
+        assert significant_difference(
+            kn.summary("cpu_usage_cores"), lc.summary("cpu_usage_cores")
+        )

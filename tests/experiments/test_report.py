@@ -1,0 +1,42 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import build_report
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(ExperimentRunner(seed=0), sizes=(30,))
+
+
+class TestBuildReport:
+    def test_headline_section_with_paper_numbers(self, report_text):
+        assert "# Reproduction report" in report_text
+        assert "78.11 %" in report_text
+        assert "73.92 %" in report_text
+
+    def test_per_cell_table_covers_all_workflows(self, report_text):
+        for app in ("blast", "bwa", "cycles", "epigenomics", "genome",
+                    "seismology", "srasearch"):
+            assert app in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        lines = report_text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|") and set(line) <= {"|", "-", " "}:
+                header = lines[i - 1]
+                assert header.count("|") == line.count("|")
+
+    def test_composites_present(self, report_text):
+        assert "EDP ratio" in report_text
+        assert "cost savings" in report_text
+
+    def test_interpretation_section(self, report_text):
+        assert "Group 1 (dense) mean slowdown" in report_text
+
+    def test_coarse_section_optional(self):
+        text = build_report(ExperimentRunner(seed=0), sizes=(30,),
+                            include_coarse=False)
+        assert "Coarse-grained" not in text

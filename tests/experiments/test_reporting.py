@@ -1,0 +1,50 @@
+"""Unit tests for the text/CSV reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_table, rows_to_csv, write_rows_csv
+
+ROWS = [
+    {"name": "a", "value": 1, "nested": [1, 2]},
+    {"name": "bb", "value": 22, "nested": [3]},
+]
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(ROWS, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].split() == ["name", "value"]
+        assert "a" in lines[3]
+
+    def test_nested_columns_skipped_by_default(self):
+        assert "nested" not in format_table(ROWS)
+
+    def test_explicit_columns(self):
+        text = format_table(ROWS, columns=["value"])
+        assert "name" not in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="X")
+
+    def test_missing_cell_rendered_empty(self):
+        text = format_table([{"a": 1}, {"a": None}])
+        assert text.splitlines()[-1].strip() == ""
+
+
+class TestCsv:
+    def test_rows_to_csv(self):
+        text = rows_to_csv(ROWS, columns=["name", "value"])
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_write_rows_csv(self, tmp_path):
+        path = write_rows_csv(ROWS, tmp_path / "sub" / "out.csv",
+                              columns=["name", "value"])
+        assert path.exists()
+        assert path.read_text().startswith("name,value")

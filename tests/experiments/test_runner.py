@@ -1,0 +1,106 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.runner import ExperimentRunner
+
+
+def spec(paradigm="LC10wNoPM", app="blast", size=30, granularity="fine", seed=0):
+    return ExperimentSpec(
+        experiment_id=f"test/{paradigm}/{app}/{size}",
+        paradigm_name=paradigm,
+        application=app,
+        num_tasks=size,
+        granularity=granularity,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=0)
+
+
+class TestRunSpec:
+    def test_local_run_succeeds_with_metrics(self, runner):
+        result = runner.run_spec(spec())
+        assert result.succeeded
+        assert result.aggregates.makespan_seconds > 0
+        assert result.aggregates.cpu_usage_cores > 0
+        assert result.aggregates.memory_gb > 0
+        assert result.aggregates.power_watts > 0
+
+    def test_knative_run_succeeds(self, runner):
+        result = runner.run_spec(spec(paradigm="Kn10wNoPM"))
+        assert result.succeeded
+        assert result.platform_stats.cold_starts > 0
+
+    def test_coarse_run(self, runner):
+        result = runner.run_spec(spec(paradigm="Kn1000wPM", granularity="coarse"))
+        assert result.succeeded
+        assert result.platform_stats.units_created == 1
+
+    def test_pm_flag_reaches_manager(self, runner):
+        result = runner.run_spec(spec(paradigm="LC1wPM"))
+        assert result.succeeded
+
+    def test_row_is_flat(self, runner):
+        row = runner.run_spec(spec()).row()
+        assert row["paradigm"] == "LC10wNoPM"
+        assert row["workflow"] == "blast"
+        assert row["size"] == 30
+        assert isinstance(row["makespan_seconds"], float)
+        assert all(not isinstance(v, (list, dict)) for v in row.values())
+
+    def test_metrics_attached_to_run(self, runner):
+        result = runner.run_spec(spec())
+        assert "cpu_usage_cores" in result.run.metrics
+
+    def test_frames_kept_on_request(self):
+        runner = ExperimentRunner(keep_frames=True)
+        result = runner.run_spec(spec(size=20))
+        assert result.frame is not None
+        assert "kernel.all.cpu.user" in result.frame
+
+    def test_frames_dropped_by_default(self, runner):
+        assert runner.run_spec(spec(size=20)).frame is None
+
+
+class TestDeterminism:
+    def test_same_spec_same_results(self):
+        a = ExperimentRunner(seed=0).run_spec(spec())
+        b = ExperimentRunner(seed=0).run_spec(spec())
+        assert a.aggregates.as_dict() == b.aggregates.as_dict()
+
+    def test_workflow_cache_reused(self, runner):
+        wf1 = runner.workflow_for("blast", 30, 0)
+        wf2 = runner.workflow_for("blast", 30, 0)
+        assert wf1 is wf2
+
+
+class TestTranslationPath:
+    def test_translated_workflow_has_api_urls(self, runner):
+        from repro.experiments.paradigms import paradigm
+
+        wf = runner.workflow_for("blast", 20, 0)
+        translated = runner._translate(paradigm("Kn10wNoPM"), wf)
+        for task in translated:
+            assert task.command.api_url
+            assert "sslip.io" in task.command.api_url
+
+    def test_local_translation_uses_localhost(self, runner):
+        from repro.experiments.paradigms import paradigm
+
+        wf = runner.workflow_for("blast", 20, 0)
+        translated = runner._translate(paradigm("LC10wNoPM"), wf)
+        assert all("localhost" in t.command.api_url for t in translated)
+
+
+class TestRunMany:
+    def test_runs_a_small_slice(self, runner):
+        specs = [spec(paradigm=p, size=20)
+                 for p in ("Kn10wNoPM", "LC10wNoPM")]
+        results = runner.run_many(specs)
+        assert len(results) == 2
+        assert all(r.succeeded for r in results)

@@ -1,0 +1,93 @@
+"""Unit tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.sweeps import ParameterSweep
+
+
+class TestValidation:
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParameterSweep({})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParameterSweep({"flux_capacitor": [1]})
+
+    def test_unknown_config_field_fails_at_run(self):
+        sweep = ParameterSweep({"knative.not_a_field": [1]},
+                               base_num_tasks=20)
+        with pytest.raises(ExperimentError, match="no field"):
+            sweep.run()
+
+
+class TestGrid:
+    def test_cell_count_is_product(self):
+        sweep = ParameterSweep({
+            "num_tasks": [20, 30],
+            "paradigm": ["Kn10wNoPM", "LC10wNoPM"],
+        })
+        assert len(sweep) == 4
+        assert len(sweep.cells()) == 4
+
+    def test_cells_cover_combinations(self):
+        sweep = ParameterSweep({"num_tasks": [20, 30],
+                                "application": ["blast", "cycles"]})
+        cells = sweep.cells()
+        assert {(c["num_tasks"], c["application"]) for c in cells} == {
+            (20, "blast"), (20, "cycles"), (30, "blast"), (30, "cycles"),
+        }
+
+
+class TestExecution:
+    def test_size_sweep_runs(self):
+        sweep = ParameterSweep({"num_tasks": [20, 40]})
+        results = sweep.run()
+        assert len(results) == 2
+        assert all(c.result.succeeded for c in results)
+        small, big = results
+        assert big.result.aggregates.makespan_seconds >= \
+            small.result.aggregates.makespan_seconds * 0.8
+
+    def test_paradigm_sweep_switches_platform(self):
+        sweep = ParameterSweep({"paradigm": ["Kn10wNoPM", "LC10wNoPM"]},
+                               base_num_tasks=30)
+        by_paradigm = {c.parameters["paradigm"]: c.result for c in sweep.run()}
+        assert by_paradigm["Kn10wNoPM"].platform_stats.cold_starts > 0
+        assert by_paradigm["LC10wNoPM"].platform_stats.cold_starts == 0
+
+    def test_knative_config_override_applies(self):
+        sweep = ParameterSweep(
+            {"knative.cold_start_seconds": [0.0, 10.0]},
+            base_num_tasks=40,
+        )
+        cells = sweep.run()
+        cold = {c.parameters["knative.cold_start_seconds"]:
+                c.result.aggregates.makespan_seconds for c in cells}
+        assert cold[10.0] > cold[0.0]
+
+    def test_cpu_work_scales_runtime(self):
+        sweep = ParameterSweep({"cpu_work": [50.0, 500.0]},
+                               base_num_tasks=30,
+                               base_paradigm="LC10wNoPM")
+        cells = sweep.run()
+        times = {c.parameters["cpu_work"]:
+                 c.result.aggregates.makespan_seconds for c in cells}
+        assert times[500.0] > times[50.0] * 1.5
+
+    def test_manager_override_applies(self):
+        sweep = ParameterSweep({"manager.phase_delay_seconds": [0.0, 5.0]},
+                               base_num_tasks=20,
+                               base_paradigm="LC10wNoPM")
+        cells = sweep.run()
+        times = {c.parameters["manager.phase_delay_seconds"]:
+                 c.result.aggregates.makespan_seconds for c in cells}
+        assert times[5.0] > times[0.0] + 10.0
+
+    def test_rows_merge_parameters_and_metrics(self):
+        sweep = ParameterSweep({"num_tasks": [20]})
+        row = sweep.run()[0].row()
+        assert row["num_tasks"] == 20
+        assert "makespan_seconds" in row
+        assert "cpu_usage_cores" in row

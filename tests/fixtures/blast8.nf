@@ -1,0 +1,63 @@
+#!/usr/bin/env nextflow
+nextflow.enable.dsl = 2
+
+// Generated from WfCommons workflow 'BlastRecipe-250-8'
+
+process p_blastall {
+    input:
+        val meta
+    output:
+        val meta
+    script:
+    """
+    wfbench.py --name ${meta.name} \
+        --percent-cpu ${meta.percent_cpu} --cpu-work ${meta.cpu_work}
+    """
+}
+
+process p_cat {
+    input:
+        val meta
+    output:
+        val meta
+    script:
+    """
+    wfbench.py --name ${meta.name} \
+        --percent-cpu ${meta.percent_cpu} --cpu-work ${meta.cpu_work}
+    """
+}
+
+process p_cat_blast {
+    input:
+        val meta
+    output:
+        val meta
+    script:
+    """
+    wfbench.py --name ${meta.name} \
+        --percent-cpu ${meta.percent_cpu} --cpu-work ${meta.cpu_work}
+    """
+}
+
+process p_split_fasta {
+    input:
+        val meta
+    output:
+        val meta
+    script:
+    """
+    wfbench.py --name ${meta.name} \
+        --percent-cpu ${meta.percent_cpu} --cpu-work ${meta.cpu_work}
+    """
+}
+
+workflow {
+    t_split_fasta_00000001 = p_split_fasta(channel.of([name: 'split_fasta_00000001', percent_cpu: 0.85, cpu_work: 162.23]))
+    t_blastall_00000002 = p_blastall(channel.of([name: 'blastall_00000002', percent_cpu: 0.86, cpu_work: 255.4]).combine(t_split_fasta_00000001).map { it[0] })
+    t_blastall_00000003 = p_blastall(channel.of([name: 'blastall_00000003', percent_cpu: 0.92, cpu_work: 225.46]).combine(t_split_fasta_00000001).map { it[0] })
+    t_blastall_00000004 = p_blastall(channel.of([name: 'blastall_00000004', percent_cpu: 0.89, cpu_work: 261.87]).combine(t_split_fasta_00000001).map { it[0] })
+    t_blastall_00000005 = p_blastall(channel.of([name: 'blastall_00000005', percent_cpu: 0.91, cpu_work: 226.72]).combine(t_split_fasta_00000001).map { it[0] })
+    t_blastall_00000006 = p_blastall(channel.of([name: 'blastall_00000006', percent_cpu: 0.9, cpu_work: 234.29]).combine(t_split_fasta_00000001).map { it[0] })
+    t_cat_blast_00000007 = p_cat_blast(channel.of([name: 'cat_blast_00000007', percent_cpu: 0.72, cpu_work: 107.01]).combine(t_blastall_00000002, t_blastall_00000003, t_blastall_00000004, t_blastall_00000005, t_blastall_00000006).map { it[0] })
+    t_cat_00000008 = p_cat(channel.of([name: 'cat_00000008', percent_cpu: 0.59, cpu_work: 67.79]).combine(t_blastall_00000002, t_blastall_00000003, t_blastall_00000004, t_blastall_00000005, t_blastall_00000006, t_cat_blast_00000007).map { it[0] })
+}

@@ -1,0 +1,12 @@
+"""Helpers shared across test modules (importable via pytest pythonpath)."""
+
+from __future__ import annotations
+
+from repro.wfcommons import WorkflowGenerator, recipe_for
+
+
+def make_workflow(application: str = "blast", num_tasks: int = 20, seed: int = 7):
+    """A small generated workflow for tests."""
+    return WorkflowGenerator(recipe_for(application)(), seed=seed).build_workflow(
+        num_tasks
+    )

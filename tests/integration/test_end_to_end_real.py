@@ -1,0 +1,179 @@
+"""End-to-end integration over REAL sockets: generate a workflow, stage its
+inputs on a real shared directory, serve WfBench over HTTP, and drive it
+with the workflow manager — the paper's full pipeline, miniaturised."""
+
+import pytest
+
+from repro.core import (
+    HttpInvoker,
+    LocalSharedDrive,
+    ManagerConfig,
+    ServerlessWorkflowManager,
+)
+from repro.wfbench import AppConfig, WfBenchService
+from repro.wfbench.data import stage_workflow_inputs
+from repro.wfbench.workload import CpuCalibration, WorkloadEngine
+from repro.wfcommons import WorkflowGenerator, recipe_for
+from repro.wfcommons.translators import KnativeTranslator
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return CpuCalibration.measure(target_unit_seconds=0.0003)
+
+
+def tiny_workflow(application, num_tasks):
+    recipe = recipe_for(application)(base_cpu_work=2.0, data_scale=0.001)
+    return WorkflowGenerator(recipe, seed=0).build_workflow(num_tasks)
+
+
+@pytest.mark.parametrize("application,num_tasks", [
+    ("blast", 8),
+    ("epigenomics", 9),
+])
+def test_real_http_end_to_end(tmp_path, calibration, application, num_tasks):
+    workflow = tiny_workflow(application, num_tasks)
+    drive = LocalSharedDrive(tmp_path)
+    stage_workflow_inputs(workflow, tmp_path, max_file_bytes=512)
+
+    engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration,
+                            max_stress_bytes=1 << 16)
+    with WfBenchService(base_dir=tmp_path, config=AppConfig(workers=8),
+                        engine=engine) as service:
+        invoker = HttpInvoker(max_parallel=8)
+        config = ManagerConfig(
+            phase_delay_seconds=0.05,
+            readiness_retry_delay_seconds=0.05,
+            workdir=".",
+            default_api_url=service.url,
+        )
+        manager = ServerlessWorkflowManager(invoker, drive, config)
+        result = manager.execute(workflow, platform_label="http")
+        invoker.close()
+
+    assert result.succeeded, result.error
+    # Every declared output materialised on the real shared drive.
+    for task in workflow:
+        for f in task.output_files:
+            assert drive.exists(f.name)
+            assert drive.size(f.name) == f.size_in_bytes
+    # Header + tail executed too.
+    assert result.num_tasks == num_tasks + 2
+
+
+def test_real_run_with_translated_document(tmp_path, calibration):
+    """Execute the Knative-translated JSON against a real local service,
+    overriding api_url via the manager's default (the paper's local
+    baseline does exactly this)."""
+    workflow = tiny_workflow("blast", 6)
+    doc = KnativeTranslator().translate(workflow)
+    drive = LocalSharedDrive(tmp_path)
+    stage_workflow_inputs(workflow, tmp_path, max_file_bytes=256)
+
+    engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration,
+                            max_stress_bytes=1 << 16)
+    with WfBenchService(base_dir=tmp_path, config=AppConfig(workers=4),
+                        engine=engine) as service:
+        from repro.wfcommons.schema import Workflow
+
+        translated = Workflow.from_json(doc)
+        for task in translated:
+            task.command.api_url = service.url  # local deployment of the service
+        invoker = HttpInvoker(max_parallel=8)
+        manager = ServerlessWorkflowManager(
+            invoker, drive,
+            # default_api_url covers the injected header/tail markers,
+            # which carry no api_url of their own.
+            ManagerConfig(phase_delay_seconds=0.05, workdir=".",
+                          default_api_url=service.url),
+        )
+        result = manager.execute(translated)
+        invoker.close()
+    assert result.succeeded, result.error
+
+
+def test_real_eager_execution(tmp_path, calibration):
+    """The eager (dependency-driven) mode over real sockets: wait_any on
+    concurrent HTTP futures, submissions the moment parents finish."""
+    workflow = tiny_workflow("epigenomics", 9)
+    drive = LocalSharedDrive(tmp_path)
+    stage_workflow_inputs(workflow, tmp_path, max_file_bytes=256)
+    engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration,
+                            max_stress_bytes=1 << 16)
+    with WfBenchService(base_dir=tmp_path, config=AppConfig(workers=8),
+                        engine=engine) as service:
+        invoker = HttpInvoker(max_parallel=8)
+        manager = ServerlessWorkflowManager(
+            invoker, drive,
+            ManagerConfig(execution_mode="eager", workdir=".",
+                          default_api_url=service.url),
+        )
+        result = manager.execute(workflow)
+        invoker.close()
+    assert result.succeeded, result.error
+    # Dependencies held over real sockets too.
+    finished = {t.name: t.finished_at for t in result.tasks}
+    submitted = {t.name: t.submitted_at for t in result.tasks}
+    for parent, child in workflow.edges():
+        assert submitted[child] >= finished[parent] - 0.05
+
+
+def test_real_retries_absorb_flaky_service(tmp_path, calibration):
+    """Kill-and-retry over real HTTP: a service that 500s once per task
+    still yields a successful run when the manager retries."""
+    import itertools
+    import threading
+
+    workflow = tiny_workflow("blast", 6)
+    drive = LocalSharedDrive(tmp_path)
+    stage_workflow_inputs(workflow, tmp_path, max_file_bytes=256)
+    engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration,
+                            max_stress_bytes=1 << 16)
+
+    flaky_lock = threading.Lock()
+    seen: set[str] = set()
+    original_execute = engine.execute
+
+    def flaky_execute(request):
+        with flaky_lock:
+            first_time = request.name not in seen
+            seen.add(request.name)
+        if first_time:
+            from repro.wfbench.spec import BenchResponse
+
+            return BenchResponse(name=request.name, status=503,
+                                 error="transient flake (injected)")
+        return original_execute(request)
+
+    engine.execute = flaky_execute
+    with WfBenchService(base_dir=tmp_path, config=AppConfig(workers=8),
+                        engine=engine) as service:
+        invoker = HttpInvoker(max_parallel=8)
+        manager = ServerlessWorkflowManager(
+            invoker, drive,
+            ManagerConfig(task_retries=2, retry_delay_seconds=0.05,
+                          phase_delay_seconds=0.05, workdir=".",
+                          default_api_url=service.url),
+        )
+        result = manager.execute(workflow)
+        invoker.close()
+    assert result.succeeded, result.error
+
+
+def test_real_failure_aborts_run(tmp_path, calibration):
+    """Without staged inputs the first compute phase 409s and the manager
+    reports a failed run (readiness disabled to reach the service)."""
+    workflow = tiny_workflow("blast", 6)
+    drive = LocalSharedDrive(tmp_path)
+    engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+    with WfBenchService(base_dir=tmp_path, engine=engine) as service:
+        invoker = HttpInvoker()
+        manager = ServerlessWorkflowManager(
+            invoker, drive,
+            ManagerConfig(phase_delay_seconds=0.05, readiness_check=False,
+                          workdir=".", default_api_url=service.url),
+        )
+        result = manager.execute(workflow)
+        invoker.close()
+    assert not result.succeeded
+    assert any(t.status == 409 for t in result.failed_tasks)

@@ -1,0 +1,69 @@
+"""Simulated end-to-end integration: every workflow on both platforms."""
+
+import pytest
+
+from repro.experiments.design import APPLICATIONS_ORDER, ExperimentSpec
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=0)
+
+
+def spec(paradigm, app, size=40, granularity="fine"):
+    return ExperimentSpec(
+        experiment_id=f"e2e/{paradigm}/{app}/{size}",
+        paradigm_name=paradigm,
+        application=app,
+        num_tasks=size,
+        granularity=granularity,
+    )
+
+
+@pytest.mark.parametrize("application", APPLICATIONS_ORDER)
+class TestEveryWorkflow:
+    def test_knative(self, runner, application):
+        result = runner.run_spec(spec("Kn10wNoPM", application))
+        assert result.succeeded, result.run.error
+        assert not result.run.failed_tasks
+        assert result.aggregates.cpu_usage_cores > 0
+
+    def test_local_container(self, runner, application):
+        result = runner.run_spec(spec("LC10wNoPM", application))
+        assert result.succeeded, result.run.error
+
+    def test_coarse_grained(self, runner, application):
+        result = runner.run_spec(spec("Kn1000wPM", application,
+                                      granularity="coarse"))
+        assert result.succeeded, result.run.error
+
+
+class TestAllFineParadigms:
+    @pytest.mark.parametrize("paradigm", [
+        "Kn1wPM", "Kn1wNoPM", "Kn10wNoPM",
+        "LC1wPM", "LC1wNoPM", "LC10wNoPM", "LC10wNoPMNoCR",
+    ])
+    def test_blast_on_every_paradigm(self, runner, paradigm):
+        result = runner.run_spec(spec(paradigm, "blast"))
+        assert result.succeeded, result.run.error
+
+
+class TestCrossPlatformConsistency:
+    def test_same_tasks_executed_on_both(self, runner):
+        kn = runner.run_spec(spec("Kn10wNoPM", "cycles"))
+        lc = runner.run_spec(spec("LC10wNoPM", "cycles"))
+        assert {t.name for t in kn.run.tasks} == {t.name for t in lc.run.tasks}
+
+    def test_same_phase_structure_on_both(self, runner):
+        kn = runner.run_spec(spec("Kn10wNoPM", "epigenomics"))
+        lc = runner.run_spec(spec("LC10wNoPM", "epigenomics"))
+        assert [p.num_tasks for p in kn.run.phases] == \
+            [p.num_tasks for p in lc.run.phases]
+
+    def test_energy_within_factor_between_platforms(self, runner):
+        """Same total compute -> energies within a small factor."""
+        kn = runner.run_spec(spec("Kn10wNoPM", "blast", size=60))
+        lc = runner.run_spec(spec("LC10wNoPM", "blast", size=60))
+        ratio = kn.aggregates.energy_joules / lc.aggregates.energy_joules
+        assert 0.5 < ratio < 4.0

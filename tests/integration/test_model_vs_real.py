@@ -1,0 +1,165 @@
+"""Cross-backend consistency: the analytic model and the real engine
+must agree on *relative* behaviour (that is the claim DESIGN.md's
+substitution table rests on)."""
+
+import pytest
+
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+from repro.wfbench.workload import CpuCalibration, WorkloadEngine
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return CpuCalibration.measure(target_unit_seconds=0.001)
+
+
+@pytest.fixture(scope="module")
+def engine(tmp_path_factory, calibration):
+    return WorkloadEngine(base_dir=tmp_path_factory.mktemp("xcheck"),
+                          calibration=calibration)
+
+
+def model_for(calibration):
+    """An analytic model calibrated to this host's measured unit cost."""
+    return WfBenchModel(seconds_per_unit=calibration.seconds_per_unit,
+                        noise_sigma=0.0)
+
+
+class TestCpuWorkScaling:
+    def test_cpu_seconds_ratio_matches_model(self, engine, calibration):
+        """Doubling cpu-work doubles measured CPU time, as the model says."""
+        low = engine.execute(BenchRequest(name="lo", cpu_work=8.0,
+                                          percent_cpu=1.0, out={}))
+        high = engine.execute(BenchRequest(name="hi", cpu_work=16.0,
+                                           percent_cpu=1.0, out={}))
+        measured_ratio = high.cpu_seconds / low.cpu_seconds
+        assert measured_ratio == pytest.approx(2.0, rel=0.35)
+
+    def test_absolute_cpu_seconds_near_calibration(self, engine, calibration):
+        work = 16.0
+        response = engine.execute(BenchRequest(name="abs", cpu_work=work,
+                                               percent_cpu=1.0, out={}))
+        model = model_for(calibration)
+        predicted = model.demand_for_sizes(
+            BenchRequest(name="abs", cpu_work=work, percent_cpu=1.0, out={}),
+            0).cpu_seconds
+        assert response.cpu_seconds == pytest.approx(predicted, rel=0.5)
+
+
+class TestDutyCycle:
+    def test_lower_percent_cpu_stretches_wall_both_backends(self, engine,
+                                                            calibration):
+        full = engine.execute(BenchRequest(name="f", cpu_work=12.0,
+                                           percent_cpu=1.0, out={}))
+        half = engine.execute(BenchRequest(name="h", cpu_work=12.0,
+                                           percent_cpu=0.5, out={}))
+        assert half.duration_seconds > full.duration_seconds
+
+        model = model_for(calibration)
+        d_full = model.demand_for_sizes(
+            BenchRequest(name="f", cpu_work=12.0, percent_cpu=1.0, out={}), 0)
+        d_half = model.demand_for_sizes(
+            BenchRequest(name="h", cpu_work=12.0, percent_cpu=0.5, out={}), 0)
+        assert d_half.wall_seconds > d_full.wall_seconds
+
+
+class TestMemorySemantics:
+    def test_pm_holds_nopm_releases_in_both(self, engine, calibration):
+        """Peak is identical; the *average* differs — the model's NoPM
+        residency factor is the analytic stand-in for the engine's
+        allocate/release churn."""
+        pm = engine.execute(BenchRequest(name="pm", cpu_work=4.0,
+                                         memory_bytes=1 << 20,
+                                         keep_memory=True, out={}))
+        nopm = engine.execute(BenchRequest(name="nopm", cpu_work=4.0,
+                                           memory_bytes=1 << 20,
+                                           keep_memory=False, out={}))
+        assert pm.peak_memory_bytes == nopm.peak_memory_bytes
+
+        model = model_for(calibration)
+        d_pm = model.demand_for_sizes(
+            BenchRequest(name="pm", cpu_work=4.0, memory_bytes=1 << 20,
+                         keep_memory=True, out={}), 0)
+        d_nopm = model.demand_for_sizes(
+            BenchRequest(name="nopm", cpu_work=4.0, memory_bytes=1 << 20,
+                         keep_memory=False, out={}), 0)
+        assert d_pm.memory_peak_bytes == d_nopm.memory_peak_bytes
+        assert d_pm.memory_avg_bytes > d_nopm.memory_avg_bytes
+
+
+class TestWorkflowShapeConsistency:
+    def test_per_category_runtime_ordering_matches(self, calibration,
+                                                   tmp_path):
+        """Execute a tiny Blast for real and in simulation; the per-category
+        mean runtimes must rank the same way (the cpu-weight ordering)."""
+        from repro.core import (
+            HttpInvoker,
+            LocalSharedDrive,
+            ManagerConfig,
+            ServerlessWorkflowManager,
+            SimulatedInvoker,
+            SimulatedSharedDrive,
+        )
+        from repro.platform.cluster import Cluster
+        from repro.platform.localcontainer import (
+            LocalContainerPlatform,
+            LocalContainerRuntimeConfig,
+        )
+        from repro.simulation import Environment
+        from repro.wfbench import AppConfig, WfBenchService
+        from repro.wfbench.data import stage_workflow_inputs, workflow_input_files
+        from repro.wfcommons import WorkflowGenerator, recipe_for
+
+        recipe = recipe_for("blast")(base_cpu_work=10.0, data_scale=0.001)
+        workflow = WorkflowGenerator(recipe, seed=0).build_workflow(8)
+
+        def category_means(result):
+            sums, counts = {}, {}
+            for t in result.tasks:
+                cat = t.name.rsplit("_", 1)[0]
+                if cat in ("header", "tail"):
+                    continue
+                sums[cat] = sums.get(cat, 0.0) + (t.finished_at - t.started_at)
+                counts[cat] = counts.get(cat, 0) + 1
+            return {c: sums[c] / counts[c] for c in sums}
+
+        # Real run.
+        drive = LocalSharedDrive(tmp_path)
+        stage_workflow_inputs(workflow, tmp_path, max_file_bytes=256)
+        real_engine = WorkloadEngine(base_dir=tmp_path,
+                                     calibration=calibration,
+                                     max_stress_bytes=1 << 14)
+        with WfBenchService(base_dir=tmp_path, config=AppConfig(workers=8),
+                            engine=real_engine) as service:
+            invoker = HttpInvoker(max_parallel=8)
+            manager = ServerlessWorkflowManager(
+                invoker, drive,
+                ManagerConfig(phase_delay_seconds=0.02, workdir=".",
+                              default_api_url=service.url))
+            real = manager.execute(workflow)
+            invoker.close()
+        assert real.succeeded
+
+        # Simulated run.
+        env = Environment()
+        sim_drive = SimulatedSharedDrive()
+        for f in workflow_input_files(workflow):
+            sim_drive.put(f.name, f.size_in_bytes)
+        platform = LocalContainerPlatform(
+            env, Cluster(env), sim_drive,
+            config=LocalContainerRuntimeConfig(),
+            model=WfBenchModel(seconds_per_unit=calibration.seconds_per_unit,
+                               noise_sigma=0.0))
+        sim_manager = ServerlessWorkflowManager(
+            SimulatedInvoker(platform), sim_drive, ManagerConfig())
+        sim = sim_manager.execute(workflow)
+        assert sim.succeeded
+
+        real_means = category_means(real)
+        sim_means = category_means(sim)
+        assert set(real_means) == set(sim_means)
+        real_order = sorted(real_means, key=real_means.get)
+        sim_order = sorted(sim_means, key=sim_means.get)
+        # blastall (weight 1.0) must be the heaviest category in both.
+        assert real_order[-1] == sim_order[-1] == "blastall"

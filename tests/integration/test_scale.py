@@ -1,0 +1,82 @@
+"""Scale guards: the substrates stay fast at sizes well beyond the
+paper's largest (1000-task) workflows."""
+
+import time
+
+import pytest
+
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.wfcommons import WorkflowAnalyzer, WorkflowGenerator, recipe_for
+from repro.wfcommons.translators import KnativeTranslator
+from repro.wfcommons.validation import validate_workflow
+
+
+class TestGenerationScale:
+    def test_5000_task_generation_under_five_seconds(self):
+        start = time.perf_counter()
+        wf = WorkflowGenerator(recipe_for("epigenomics")(),
+                               seed=0).build_workflow(5000)
+        elapsed = time.perf_counter() - start
+        assert len(wf) == 5000
+        assert elapsed < 5.0, f"generation took {elapsed:.1f}s"
+
+    def test_5000_task_characterization_fast(self):
+        wf = WorkflowGenerator(recipe_for("cycles")(), seed=0).build_workflow(5000)
+        start = time.perf_counter()
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_tasks == 5000
+        assert time.perf_counter() - start < 5.0
+
+    def test_2000_task_translation_fast(self):
+        wf = WorkflowGenerator(recipe_for("cycles")(), seed=0).build_workflow(2000)
+        start = time.perf_counter()
+        doc = KnativeTranslator().translate(wf)
+        assert len(doc["workflow"]["tasks"]) == 2000
+        assert time.perf_counter() - start < 5.0
+
+    def test_large_json_roundtrip(self):
+        from repro.wfcommons.schema import Workflow
+
+        wf = WorkflowGenerator(recipe_for("genome")(), seed=0).build_workflow(2000)
+        restored = Workflow.loads(wf.dumps())
+        assert len(restored) == 2000
+        validate_workflow(restored)
+
+
+class TestSimulationScale:
+    def test_2000_task_coarse_run_under_30_seconds(self):
+        runner = ExperimentRunner(seed=0)
+        start = time.perf_counter()
+        result = runner.run_spec(ExperimentSpec(
+            experiment_id="scale/Kn1000wPM/cycles/2000",
+            paradigm_name="Kn1000wPM", application="cycles", num_tasks=2000,
+            granularity="coarse",
+        ))
+        elapsed = time.perf_counter() - start
+        assert result.succeeded, result.run.error
+        assert elapsed < 30.0, f"simulation took {elapsed:.1f}s"
+
+    def test_1000_task_fine_cycles_run_fast(self):
+        runner = ExperimentRunner(seed=0)
+        start = time.perf_counter()
+        result = runner.run_spec(ExperimentSpec(
+            experiment_id="scale/Kn10wNoPM/cycles/1000",
+            paradigm_name="Kn10wNoPM", application="cycles", num_tasks=1000,
+            granularity="fine",
+        ))
+        elapsed = time.perf_counter() - start
+        assert result.succeeded
+        assert elapsed < 30.0
+
+    def test_metrics_bounded_at_scale(self):
+        """Samplers and result records stay O(makespan), not O(tasks^2)."""
+        runner = ExperimentRunner(seed=0, keep_frames=True)
+        result = runner.run_spec(ExperimentSpec(
+            experiment_id="scale/LC1000wPM/seismology/1000",
+            paradigm_name="LC1000wPM", application="seismology",
+            num_tasks=1000, granularity="coarse",
+        ))
+        assert result.succeeded
+        series = result.frame["kernel.all.cpu.user"]
+        assert len(series) <= result.aggregates.makespan_seconds + 5

@@ -1,0 +1,111 @@
+"""Unit tests for metric series and aggregates."""
+
+import pytest
+
+from repro.monitoring.metrics import MetricSeries, MetricsFrame, ResourceAggregates
+
+GB = 1 << 30
+
+
+class TestMetricSeries:
+    def test_append_and_stats(self):
+        s = MetricSeries("m")
+        for t, v in [(0, 1.0), (1, 3.0), (2, 5.0)]:
+            s.append(t, v)
+        assert len(s) == 3
+        assert s.mean() == pytest.approx(3.0)
+        assert s.max() == 5.0
+        assert s.min() == 1.0
+
+    def test_non_monotonic_time_rejected(self):
+        s = MetricSeries("m")
+        s.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.append(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        s = MetricSeries("m")
+        s.append(1.0, 1.0)
+        s.append(1.0, 2.0)
+        assert len(s) == 2
+
+    def test_window(self):
+        s = MetricSeries("m")
+        for t in range(10):
+            s.append(float(t), float(t))
+        w = s.window(2.0, 5.0)
+        assert list(w.times) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_integral_trapezoid(self):
+        s = MetricSeries("w")
+        s.append(0.0, 100.0)
+        s.append(10.0, 100.0)
+        assert s.integral() == pytest.approx(1000.0)
+
+    def test_empty_stats(self):
+        s = MetricSeries("m")
+        assert s.mean() == 0.0
+        assert s.max() == 0.0
+        assert s.integral() == 0.0
+
+
+class TestMetricsFrame:
+    def test_series_created_on_demand(self):
+        frame = MetricsFrame()
+        s = frame.series("a")
+        assert frame.series("a") is s
+        assert "a" in frame
+        assert frame.names() == ["a"]
+
+    def test_append_row(self):
+        frame = MetricsFrame()
+        frame.append_row(0.0, {"a": 1.0, "b": 2.0})
+        frame.append_row(1.0, {"a": 3.0, "b": 4.0})
+        assert frame["a"].mean() == 2.0
+        assert frame["b"].max() == 4.0
+
+
+class TestResourceAggregates:
+    def make_frame(self):
+        frame = MetricsFrame()
+        for t in range(11):
+            frame.append_row(float(t), {
+                "repro.cluster.cpu.occupied": 10.0,
+                "kernel.all.cpu.user": 8.0,
+                "mem.util.used": float(4 * GB),
+                "repro.cluster.power": 500.0,
+            })
+        return frame
+
+    def test_from_frame(self):
+        agg = ResourceAggregates.from_frame(self.make_frame(), 0.0, 10.0)
+        assert agg.makespan_seconds == 10.0
+        assert agg.cpu_usage_cores == pytest.approx(10.0)
+        assert agg.cpu_busy_cores == pytest.approx(8.0)
+        assert agg.memory_gb == pytest.approx(4.0)
+        assert agg.power_watts == pytest.approx(500.0)
+        assert agg.energy_joules == pytest.approx(5000.0)
+
+    def test_window_restriction(self):
+        frame = self.make_frame()
+        frame.append_row(20.0, {
+            "repro.cluster.cpu.occupied": 1000.0,
+            "kernel.all.cpu.user": 1000.0,
+            "mem.util.used": 0.0,
+            "repro.cluster.power": 0.0,
+        })
+        agg = ResourceAggregates.from_frame(frame, 0.0, 10.0)
+        assert agg.cpu_usage_cores == pytest.approx(10.0)
+
+    def test_missing_series_tolerated(self):
+        agg = ResourceAggregates.from_frame(MetricsFrame(), 0.0, 10.0)
+        assert agg.cpu_usage_cores == 0.0
+
+    def test_as_dict_keys(self):
+        agg = ResourceAggregates.from_frame(self.make_frame(), 0.0, 10.0)
+        doc = agg.as_dict()
+        assert set(doc) == {
+            "makespan_seconds", "cpu_usage_cores", "cpu_busy_cores",
+            "cpu_usage_peak_cores", "memory_gb", "memory_peak_gb",
+            "power_watts", "energy_joules",
+        }

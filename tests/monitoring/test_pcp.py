@@ -1,0 +1,72 @@
+"""Unit tests for pmdumptext-compatible CSV I/O."""
+
+import pytest
+
+from repro.monitoring.metrics import MetricsFrame
+from repro.monitoring.pcp import (
+    PCP_COLUMNS,
+    PmdumptextWriter,
+    pmdumptext_command,
+    read_pmdumptext,
+)
+
+GB = 1 << 30
+
+
+def sample_frame():
+    frame = MetricsFrame()
+    for t in range(5):
+        frame.append_row(float(t), {
+            "kernel.all.cpu.user": 10.0 + t,
+            "mem.util.used": float(2 * GB),
+            "repro.cluster.power": 400.0,
+        })
+    return frame
+
+
+class TestWriter:
+    def test_header_matches_paper_columns(self, tmp_path):
+        path = PmdumptextWriter().write(sample_frame(), tmp_path / "m.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "Time," + ",".join(PCP_COLUMNS)
+
+    def test_row_count(self, tmp_path):
+        path = PmdumptextWriter().write(sample_frame(), tmp_path / "m.csv")
+        assert len(path.read_text().splitlines()) == 6
+
+    def test_power_split_across_packages(self, tmp_path):
+        path = PmdumptextWriter().write(sample_frame(), tmp_path / "m.csv")
+        first_row = path.read_text().splitlines()[1].split(",")
+        assert float(first_row[-1]) == pytest.approx(200.0)
+        assert float(first_row[-2]) == pytest.approx(200.0)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = PmdumptextWriter().write(sample_frame(),
+                                        tmp_path / "a" / "b" / "m.csv")
+        assert path.exists()
+
+
+class TestRoundTrip:
+    def test_read_back(self, tmp_path):
+        path = PmdumptextWriter().write(sample_frame(), tmp_path / "m.csv")
+        frame = read_pmdumptext(path)
+        cpu = frame["kernel.all.cpu.user"]
+        assert len(cpu) == 5
+        assert cpu.values[0] == pytest.approx(10.0)
+        power = frame["repro.cluster.power"]
+        assert power.values[0] == pytest.approx(400.0)
+
+    def test_times_relative_to_first_sample(self, tmp_path):
+        path = PmdumptextWriter().write(sample_frame(), tmp_path / "m.csv")
+        frame = read_pmdumptext(path)
+        assert frame["kernel.all.cpu.user"].times[0] == 0.0
+
+
+class TestCommand:
+    def test_equivalent_command_line(self):
+        argv = pmdumptext_command("out.csv")
+        assert argv[0] == "pmdumptext"
+        assert "-t" in argv and "1sec" in argv
+        assert "kernel.all.cpu.user" in argv
+        assert argv[-1] == "out.csv"
+        assert any("denki.rapl.rate" in a for a in argv)

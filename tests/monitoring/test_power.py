@@ -1,0 +1,39 @@
+"""Unit tests for the RAPL-style power model."""
+
+import pytest
+
+from repro.monitoring.power import PowerModel, RAPL_PACKAGES
+
+
+class TestPowerModel:
+    def test_idle_draw(self):
+        model = PowerModel()
+        assert model.socket_watts(0.0) == 90.0
+        assert model.node_watts(0.0) == 180.0
+
+    def test_peak_draw(self):
+        model = PowerModel()
+        assert model.socket_watts(1.0) == 200.0
+        assert model.node_watts(1.0) == 400.0
+
+    def test_clamping(self):
+        model = PowerModel()
+        assert model.socket_watts(-1.0) == 90.0
+        assert model.socket_watts(2.0) == 200.0
+
+    def test_linear_midpoint(self):
+        model = PowerModel()
+        assert model.socket_watts(0.5) == pytest.approx(145.0)
+
+    def test_sublinear_exponent(self):
+        model = PowerModel(exponent=0.5)
+        assert model.socket_watts(0.25) == pytest.approx(90.0 + 110.0 * 0.5)
+
+    def test_package_rates_keyed_like_paper(self):
+        rates = PowerModel().package_rates(0.5)
+        assert set(rates) == set(RAPL_PACKAGES)
+        assert all(v == pytest.approx(145.0) for v in rates.values())
+
+    def test_energy(self):
+        model = PowerModel()
+        assert model.energy_joules(0.0, 10.0) == pytest.approx(1800.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the metric samplers."""
+
+import time
+
+import pytest
+
+from repro.monitoring.sampler import ProcSampler, SimClusterSampler
+from repro.platform.cluster import Cluster
+from repro.simulation import Environment
+
+GB = 1 << 30
+
+
+class TestSimClusterSampler:
+    def test_one_hz_sampling(self, env, cluster):
+        sampler = SimClusterSampler(env, cluster).start()
+        env.run(until=10.0)
+        series = sampler.frame["kernel.all.cpu.user"]
+        # t=0 row plus one per second.
+        assert len(series) == 11
+        assert list(series.times) == [float(t) for t in range(11)]
+
+    def test_start_idempotent(self, env, cluster):
+        sampler = SimClusterSampler(env, cluster)
+        sampler.start()
+        sampler.start()
+        env.run(until=3.0)
+        assert len(sampler.frame["kernel.all.cpu.user"]) == 4
+
+    def test_tracks_gauge_changes(self, env, cluster):
+        sampler = SimClusterSampler(env, cluster).start()
+
+        def load():
+            yield env.timeout(2.0)
+            cluster.node("worker").use_cpu(10.0)
+            yield env.timeout(3.0)
+            cluster.node("worker").use_cpu(-10.0)
+
+        env.process(load())
+        env.run(until=10.0)
+        values = sampler.frame["kernel.all.cpu.user"].values
+        baseline = sum(n.os_busy_cores for n in cluster.spec.nodes)
+        assert values[1] == pytest.approx(baseline)
+        assert values[3] == pytest.approx(baseline + 10.0)
+        assert values[8] == pytest.approx(baseline)
+
+    def test_per_node_series_present(self, env, cluster):
+        sampler = SimClusterSampler(env, cluster).start()
+        env.run(until=2.0)
+        names = sampler.frame.names()
+        for node in ("master", "worker"):
+            assert f"repro.node.{node}.cpu.busy" in names
+            assert f"repro.node.{node}.mem.used" in names
+            assert f"repro.node.{node}.power" in names
+
+    def test_occupied_is_max_of_busy_and_held(self, env, cluster):
+        node = cluster.node("worker")
+        node.cpu_held.add(20.0)
+        node.use_cpu(5.0)
+        sampler = SimClusterSampler(env, cluster)
+        sampler.sample()
+        occ = sampler.frame["repro.node.worker.cpu.occupied"].values[-1]
+        assert occ == pytest.approx(20.0)
+
+    def test_custom_interval(self, env, cluster):
+        sampler = SimClusterSampler(env, cluster, interval_seconds=2.0).start()
+        env.run(until=10.0)
+        assert len(sampler.frame["kernel.all.cpu.user"]) == 6
+
+
+class TestProcSampler:
+    def make_fake_proc(self, tmp_path, busy=100.0, total=1000.0):
+        (tmp_path / "stat").write_text(
+            f"cpu {busy:.0f} 0 0 {total - busy:.0f} 0 0 0 0 0 0\n"
+        )
+        (tmp_path / "meminfo").write_text(
+            "MemTotal: 16000000 kB\nMemAvailable: 8000000 kB\n"
+        )
+
+    def test_reads_fake_proc(self, tmp_path):
+        self.make_fake_proc(tmp_path)
+        sampler = ProcSampler(interval_seconds=0.05, proc_root=tmp_path)
+        with sampler:
+            time.sleep(0.3)
+            self.make_fake_proc(tmp_path, busy=200.0, total=1100.0)
+            time.sleep(0.3)
+        frame = sampler.frame
+        assert "kernel.all.cpu.user" in frame
+        assert len(frame["kernel.all.cpu.user"]) >= 1
+        mem = frame["mem.util.used"].values[-1]
+        assert mem == pytest.approx(8000000 * 1024)
+
+    def test_stop_idempotent(self, tmp_path):
+        self.make_fake_proc(tmp_path)
+        sampler = ProcSampler(interval_seconds=0.05, proc_root=tmp_path)
+        sampler.start()
+        sampler.stop()
+        sampler.stop()
+
+    def test_real_proc_if_linux(self):
+        import sys
+
+        if not sys.platform.startswith("linux"):
+            pytest.skip("needs /proc")
+        sampler = ProcSampler(interval_seconds=0.05)
+        with sampler:
+            time.sleep(0.25)
+        assert len(sampler.frame["kernel.all.cpu.user"]) >= 1

@@ -1,0 +1,191 @@
+"""Unit tests for the cluster capacity model."""
+
+import pytest
+
+from repro.errors import ResourceExhaustedError
+from repro.platform.cluster import (
+    Cluster,
+    ClusterSpec,
+    Node,
+    NodeSpec,
+    PAPER_TESTBED,
+)
+from repro.simulation import Environment
+
+GB = 1 << 30
+
+
+def node_spec(**kw):
+    defaults = dict(name="n", cores=8, memory_bytes=16 * GB,
+                    system_reserved_cores=1.0, system_reserved_bytes=1 * GB,
+                    os_baseline_bytes=0, os_busy_cores=0.0)
+    defaults.update(kw)
+    return NodeSpec(**defaults)
+
+
+class TestNodeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            node_spec(cores=0)
+        with pytest.raises(ValueError):
+            node_spec(memory_bytes=0)
+
+    def test_allocatable_excludes_system_reserved(self):
+        spec = node_spec(cores=8, system_reserved_cores=2.0)
+        assert spec.allocatable_cores == 6.0
+        assert spec.allocatable_bytes == 15 * GB
+
+    def test_paper_testbed_shape(self):
+        assert len(PAPER_TESTBED.nodes) == 2
+        master, worker = PAPER_TESTBED.nodes
+        assert master.name == "master" and not master.schedulable
+        assert worker.name == "worker" and worker.schedulable
+        assert master.cores == worker.cores == 96
+        assert master.memory_bytes == 256 * GB
+        assert worker.memory_bytes == 192 * GB
+
+
+class TestClusterSpec:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=(node_spec(name="a"), node_spec(name="a")))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=())
+
+    def test_totals(self):
+        spec = ClusterSpec(nodes=(node_spec(name="a"), node_spec(name="b")))
+        assert spec.total_cores == 16
+        assert spec.total_memory_bytes == 32 * GB
+
+
+class TestNodeReservations:
+    def test_reserve_and_unreserve(self, env):
+        node = Node(env, node_spec())
+        node.reserve(2.0, 1 * GB)
+        assert node.free_allocatable_cores == pytest.approx(5.0)
+        assert node.cpu_held.value == pytest.approx(2.0)
+        node.unreserve(2.0, 1 * GB)
+        assert node.free_allocatable_cores == pytest.approx(7.0)
+        assert node.cpu_held.value == pytest.approx(0.0)
+
+    def test_overcommit_raises(self, env):
+        node = Node(env, node_spec())
+        with pytest.raises(ResourceExhaustedError):
+            node.reserve(100.0, 0)
+
+    def test_can_fit_respects_memory(self, env):
+        node = Node(env, node_spec())
+        assert node.can_fit(1.0, 10 * GB)
+        assert not node.can_fit(1.0, 20 * GB)
+
+
+class TestNodeUsage:
+    def test_memory_accounting(self, env):
+        node = Node(env, node_spec())
+        node.use_memory(4 * GB)
+        assert node.mem_used.value == 4 * GB
+        node.use_memory(-4 * GB)
+        assert node.mem_used.value == 0
+
+    def test_physical_oom_raises(self, env):
+        node = Node(env, node_spec())
+        with pytest.raises(ResourceExhaustedError, match="out of memory"):
+            node.use_memory(17 * GB)
+
+    def test_oom_error_carries_details(self, env):
+        node = Node(env, node_spec())
+        with pytest.raises(ResourceExhaustedError) as info:
+            node.use_memory(17 * GB)
+        assert info.value.resource == "memory"
+
+    def test_cpu_busy_gauge(self, env):
+        node = Node(env, node_spec())
+        node.use_cpu(3.0)
+        assert node.cpu_busy.value == pytest.approx(3.0)
+
+    def test_os_baseline_primes_gauges(self, env):
+        node = Node(env, node_spec(os_baseline_bytes=2 * GB, os_busy_cores=0.5))
+        assert node.mem_used.value == 2 * GB
+        assert node.cpu_busy.value == 0.5
+
+
+class TestPower:
+    def test_idle_power(self, env):
+        node = Node(env, node_spec())
+        assert node.power_watts() == pytest.approx(2 * 90.0)
+
+    def test_full_load_power(self, env):
+        node = Node(env, node_spec())
+        node.use_cpu(8.0)
+        assert node.power_watts() == pytest.approx(2 * 200.0)
+
+    def test_power_monotonic_in_load(self, env):
+        node = Node(env, node_spec())
+        p0 = node.power_watts()
+        node.use_cpu(4.0)
+        p1 = node.power_watts()
+        node.use_cpu(4.0)
+        p2 = node.power_watts()
+        assert p0 < p1 < p2
+
+    def test_power_clamped_at_capacity(self, env):
+        node = Node(env, node_spec())
+        node.use_cpu(100.0)
+        assert node.power_watts() == pytest.approx(2 * 200.0)
+
+
+class TestCluster:
+    def test_default_is_paper_testbed(self, env):
+        cluster = Cluster(env)
+        assert [n.spec.name for n in cluster.nodes] == ["master", "worker"]
+
+    def test_master_not_schedulable(self, env):
+        cluster = Cluster(env)
+        assert cluster.master.spec.name == "master"
+        assert cluster.master not in cluster.workers
+
+    def test_node_lookup(self, env):
+        cluster = Cluster(env)
+        assert cluster.node("worker").spec.name == "worker"
+        with pytest.raises(KeyError):
+            cluster.node("ghost")
+
+    def test_place_best_fit(self, env):
+        spec = ClusterSpec(nodes=(node_spec(name="big", cores=16),
+                                  node_spec(name="small", cores=4)))
+        cluster = Cluster(env, spec)
+        chosen = cluster.place(2.0, 1 * GB)
+        assert chosen.spec.name == "small"
+
+    def test_place_spread_prefers_emptiest(self, env):
+        spec = ClusterSpec(nodes=(node_spec(name="big", cores=16),
+                                  node_spec(name="small", cores=4)))
+        cluster = Cluster(env, spec, placement="spread")
+        assert cluster.place(2.0, 1 * GB).spec.name == "big"
+
+    def test_place_first_fit_follows_node_order(self, env):
+        spec = ClusterSpec(nodes=(node_spec(name="a", cores=4),
+                                  node_spec(name="b", cores=16)))
+        cluster = Cluster(env, spec, placement="first-fit")
+        assert cluster.place(2.0, 1 * GB).spec.name == "a"
+        # Fill node a (3 allocatable cores); first-fit moves on.
+        cluster.node("a").reserve(2.0, 0)
+        assert cluster.place(2.0, 1 * GB).spec.name == "b"
+
+    def test_unknown_placement_rejected(self, env):
+        with pytest.raises(ValueError):
+            Cluster(env, placement="roulette")
+
+    def test_place_returns_none_when_nothing_fits(self, env):
+        cluster = Cluster(env, ClusterSpec(nodes=(node_spec(),)))
+        assert cluster.place(100.0, 0) is None
+
+    def test_cluster_totals(self, env):
+        cluster = Cluster(env)
+        base_mem = sum(n.os_baseline_bytes for n in cluster.spec.nodes)
+        assert cluster.total_mem_used() == base_mem
+        cluster.nodes[0].use_cpu(2.0)
+        assert cluster.total_cpu_busy() >= 2.0
+        assert cluster.total_power_watts() > 0

@@ -1,0 +1,141 @@
+"""Tests for multi-cluster federation (paper future work §VII)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.errors import InvocationError
+from repro.platform.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.platform.federation import FederatedGateway
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+from helpers import make_workflow
+
+GB = 1 << 30
+
+
+def small_cluster(env, name):
+    return Cluster(env, ClusterSpec(nodes=(
+        NodeSpec(name=f"{name}-worker", cores=16, memory_bytes=32 * GB,
+                 system_reserved_cores=1.0, system_reserved_bytes=1 * GB,
+                 os_baseline_bytes=0, os_busy_cores=0.0),
+    )))
+
+
+def federation(env, drive, n_clusters=2, policy="least-loaded", **kw):
+    gateway = FederatedGateway(policy=policy, **kw)
+    for i in range(n_clusters):
+        platform = KnativePlatform(
+            env, small_cluster(env, f"c{i}"), drive,
+            config=KnativeConfig(container_concurrency=10),
+            model=WfBenchModel(noise_sigma=0.0),
+            rng=np.random.default_rng(i),
+        )
+        gateway.register_cluster(f"cluster-{i}", platform)
+    return gateway
+
+
+class TestRegistration:
+    def test_duplicate_cluster_rejected(self, env, drive):
+        gateway = federation(env, drive, 1)
+        with pytest.raises(InvocationError):
+            gateway.register_cluster(
+                "cluster-0", gateway.platforms[0])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InvocationError):
+            FederatedGateway(policy="chaos")
+
+    def test_empty_federation_cannot_route(self):
+        with pytest.raises(InvocationError):
+            FederatedGateway()._pick()
+
+
+class TestPolicies:
+    def invoke_n(self, env, gateway, n):
+        handles = [
+            gateway.invoke("http://fn", BenchRequest(name=f"t{i}",
+                                                     cpu_work=50.0, out={}))
+            for i in range(n)
+        ]
+        env.run(until=env.all_of(handles))
+        return [h.value for h in handles]
+
+    def test_round_robin_alternates(self, env, drive):
+        gateway = federation(env, drive, 2, policy="round-robin")
+        outcomes = self.invoke_n(env, gateway, 10)
+        assert all(o.ok for o in outcomes)
+        assert gateway.dispatched == {"cluster-0": 5, "cluster-1": 5}
+        assert gateway.balance_ratio() == 1.0
+
+    def test_least_loaded_balances(self, env, drive):
+        gateway = federation(env, drive, 2, policy="least-loaded")
+        outcomes = self.invoke_n(env, gateway, 40)
+        assert all(o.ok for o in outcomes)
+        assert gateway.balance_ratio() < 1.5
+
+    def test_first_fit_prefers_home_cluster(self, env, drive):
+        gateway = federation(env, drive, 2, policy="first-fit",
+                             spill_threshold=1000)
+        outcomes = self.invoke_n(env, gateway, 10)
+        assert all(o.ok for o in outcomes)
+        assert gateway.dispatched["cluster-0"] == 10
+        assert gateway.dispatched["cluster-1"] == 0
+
+    def test_first_fit_spills_under_pressure(self, env, drive):
+        gateway = federation(env, drive, 2, policy="first-fit",
+                             spill_threshold=0)
+        # Long tasks on a small home cluster: the queue builds, later
+        # requests spill to cluster 1.
+        handles = [
+            gateway.invoke("http://fn", BenchRequest(name=f"t{i}",
+                                                     cpu_work=500.0, out={}))
+            for i in range(60)
+        ]
+        env.run(until=env.all_of(handles))
+        assert gateway.dispatched["cluster-1"] > 0
+
+    def test_tasks_land_on_distinct_cluster_nodes(self, env, drive):
+        gateway = federation(env, drive, 2, policy="round-robin")
+        outcomes = self.invoke_n(env, gateway, 10)
+        nodes = {o.node for o in outcomes}
+        assert nodes == {"c0-worker", "c1-worker"}
+
+
+class TestManagerOverFederation:
+    def test_workflow_executes_across_clusters(self, env, drive):
+        wf = make_workflow("blast", 40)
+        for f in workflow_input_files(wf):
+            drive.put(f.name, f.size_in_bytes)
+        gateway = federation(env, drive, 2, policy="least-loaded")
+        manager = ServerlessWorkflowManager(
+            SimulatedInvoker(gateway), drive, ManagerConfig())
+        result = manager.execute(wf, platform_label="federated")
+        assert result.succeeded, result.error
+        nodes = {t.node for t in result.tasks if t.node}
+        assert len(nodes) == 2, "work never spread across both clusters"
+
+    def test_federation_beats_single_small_cluster(self, drive):
+        """Two 16-core clusters finish a dense burst faster than one."""
+        wf = make_workflow("seismology", 60)
+
+        def run(n_clusters):
+            env = Environment()
+            local_drive = SimulatedSharedDrive()
+            for f in workflow_input_files(wf):
+                local_drive.put(f.name, f.size_in_bytes)
+            gateway = federation(env, local_drive, n_clusters)
+            manager = ServerlessWorkflowManager(
+                SimulatedInvoker(gateway), local_drive, ManagerConfig())
+            return manager.execute(wf).makespan_seconds
+
+        assert run(2) < run(1)

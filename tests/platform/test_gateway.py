@@ -1,0 +1,82 @@
+"""Unit tests for the HTTP gateway (routing, hybrid support)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import InvocationError
+from repro.platform.cluster import Cluster
+from repro.platform.gateway import HttpGateway
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+
+@pytest.fixture
+def platforms(env):
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    kn = KnativePlatform(env, cluster, drive, config=KnativeConfig(),
+                         model=WfBenchModel(noise_sigma=0.0),
+                         rng=np.random.default_rng(0))
+    lc = LocalContainerPlatform(env, cluster, drive,
+                                config=LocalContainerRuntimeConfig(),
+                                model=WfBenchModel(noise_sigma=0.0),
+                                rng=np.random.default_rng(1))
+    return kn, lc
+
+
+class TestRouting:
+    def test_prefix_routing(self, platforms):
+        kn, lc = platforms
+        gateway = HttpGateway()
+        gateway.register("http://wfbench.knative", kn)
+        gateway.register("http://localhost", lc)
+        assert gateway.resolve("http://wfbench.knative.x/wfbench") is kn
+        assert gateway.resolve("http://localhost:80/wfbench") is lc
+
+    def test_longest_prefix_wins(self, platforms):
+        kn, lc = platforms
+        gateway = HttpGateway()
+        gateway.register("http://svc", lc)
+        gateway.register("http://svc.knative", kn)
+        assert gateway.resolve("http://svc.knative/wfbench") is kn
+
+    def test_default_fallback(self, platforms):
+        kn, lc = platforms
+        gateway = HttpGateway()
+        gateway.register("http://a", kn)
+        gateway.register("http://b", lc, default=True)
+        assert gateway.resolve("http://unknown/x") is lc
+
+    def test_first_registered_is_default(self, platforms):
+        kn, lc = platforms
+        gateway = HttpGateway()
+        gateway.register("http://a", kn)
+        assert gateway.resolve("http://zzz") is kn
+
+    def test_empty_gateway_raises(self):
+        with pytest.raises(InvocationError):
+            HttpGateway().resolve("http://x")
+
+    def test_platforms_deduplicated(self, platforms):
+        kn, _ = platforms
+        gateway = HttpGateway()
+        gateway.register("http://a", kn)
+        gateway.register("http://b", kn)
+        assert gateway.platforms == [kn]
+
+    def test_invoke_routes_to_platform(self, env, platforms):
+        kn, lc = platforms
+        gateway = HttpGateway()
+        gateway.register("http://local", lc)
+        handle = gateway.invoke("http://local/wfbench",
+                                BenchRequest(name="t", cpu_work=10.0, out={}))
+        env.run()
+        assert handle.value.ok
+        assert lc.stats.invocations == 1
+        assert kn.stats.invocations == 0

@@ -1,0 +1,341 @@
+"""Unit tests for the Knative platform model (pods, KPA, activator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import ResourceExhaustedError
+from repro.platform.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.platform.knative.autoscaler import KpaAutoscaler
+from repro.platform.knative.pod import Pod, PodState
+from repro.simulation import Environment
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+GB = 1 << 30
+
+
+def make_platform(env, cluster=None, **cfg_kw):
+    cluster = cluster or Cluster(env)
+    drive = SimulatedSharedDrive()
+    config = KnativeConfig(**cfg_kw)
+    platform = KnativePlatform(
+        env, cluster, drive, config=config,
+        model=WfBenchModel(noise_sigma=0.0),
+        rng=np.random.default_rng(0),
+    )
+    return platform, cluster, drive
+
+
+
+def run_all(env, handles, extra: float = 0.0):
+    """Advance the simulation until every handle completes.
+
+    A bare ``env.run()`` would never return: the KPA reconciler keeps
+    scheduling ticks forever.
+    """
+    if handles:
+        env.run(until=env.all_of(handles))
+    if extra > 0:
+        env.run(until=env.now + extra)
+    return [h.value for h in handles]
+
+def invoke_n(platform, n, cpu_work=50.0, prefix="t"):
+    return [
+        platform.invoke(BenchRequest(name=f"{prefix}{i}", cpu_work=cpu_work, out={}))
+        for i in range(n)
+    ]
+
+
+class TestKnativeConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnativeConfig(container_concurrency=0)
+        with pytest.raises(ValueError):
+            KnativeConfig(cpu_request_cores=4.0, cpu_limit_cores=2.0)
+        with pytest.raises(ValueError):
+            KnativeConfig(target_utilization=0.0)
+        with pytest.raises(ValueError):
+            KnativeConfig(min_scale=2, max_scale=1)
+
+    def test_pod_memory_footprint_scales_with_workers(self):
+        small = KnativeConfig(container_concurrency=1).pod_memory_footprint
+        big = KnativeConfig(container_concurrency=10).pod_memory_footprint
+        assert big > small
+
+    def test_coarse_grained_shape(self):
+        config = KnativeConfig.coarse_grained(node_cores=96,
+                                              node_memory_bytes=192 * GB)
+        assert config.container_concurrency == 1000
+        assert config.min_scale == config.max_scale == 1
+        assert config.cold_start_seconds == 0.0
+        # Limit leaves room for the 1000-worker baseline.
+        assert (config.memory_limit_bytes + config.pod_memory_footprint
+                < 192 * GB)
+
+
+class TestScaleUp:
+    def test_burst_scales_out_pods(self, env):
+        platform, cluster, _ = make_platform(env, container_concurrency=10)
+        handles = invoke_n(platform, 80)
+        run_all(env, handles)
+        assert all(h.value.ok for h in handles)
+        assert platform.stats.units_created >= 8
+
+    def test_single_request_single_pod(self, env):
+        platform, _, _ = make_platform(env, container_concurrency=10)
+        handles = invoke_n(platform, 1)
+        run_all(env, handles)
+        assert platform.stats.units_created == 1
+        assert handles[0].value.ok
+
+    def test_cold_start_delays_first_request(self, env):
+        platform, _, _ = make_platform(
+            env, container_concurrency=1, cold_start_jitter=0.0
+        )
+        handle = platform.invoke(BenchRequest(name="t", cpu_work=50.0, out={}))
+        run_all(env, [handle])
+        outcome = handle.value
+        assert outcome.cold_start
+        # >= cold_start (2 s) + routing latency.
+        assert outcome.wait_seconds >= 2.0
+
+    def test_warm_pod_serves_without_cold_start(self, env):
+        platform, _, _ = make_platform(env, container_concurrency=10)
+        warmup = invoke_n(platform, 1, prefix="warmup")
+        run_all(env, warmup)
+        handle = platform.invoke(BenchRequest(name="warm", cpu_work=10.0, out={}))
+        run_all(env, [handle])
+        outcome = handle.value
+        assert not outcome.cold_start
+        assert outcome.wait_seconds < 1.0
+
+    def test_max_scale_caps_pods(self, env):
+        platform, _, _ = make_platform(env, container_concurrency=1, max_scale=3)
+        handles = invoke_n(platform, 30)
+        run_all(env, handles)
+        assert platform.stats.peak_units <= 3
+
+    def test_min_scale_prewarms(self, env):
+        platform, _, _ = make_platform(env, container_concurrency=10, min_scale=2)
+        platform.deploy()
+        env.run(until=10.0)
+        assert len(platform.ready_pods()) == 2
+
+
+class TestScaleDown:
+    def test_idle_pods_removed_after_stable_window(self, env):
+        platform, _, _ = make_platform(
+            env, container_concurrency=10,
+            stable_window_seconds=10.0, scale_to_zero_grace_seconds=5.0,
+        )
+        handles = invoke_n(platform, 40)
+        run_all(env, handles)
+        busy_pods = platform.stats.peak_units
+        env.run(until=env.now + 60.0)
+        assert len(platform.live_pods()) < busy_pods
+
+    def test_scale_to_zero(self, env):
+        platform, _, _ = make_platform(
+            env, container_concurrency=10,
+            stable_window_seconds=6.0, scale_to_zero_grace_seconds=4.0,
+        )
+        handles = invoke_n(platform, 10)
+        run_all(env, handles, extra=120.0)
+        assert len(platform.live_pods()) == 0
+
+    def test_min_scale_respected_on_scale_down(self, env):
+        platform, _, _ = make_platform(
+            env, container_concurrency=10, min_scale=1,
+            stable_window_seconds=6.0, scale_to_zero_grace_seconds=4.0,
+        )
+        handles = invoke_n(platform, 30)
+        run_all(env, handles, extra=120.0)
+        assert len(platform.live_pods()) == 1
+
+    def test_active_pods_never_terminated(self, env):
+        platform, _, _ = make_platform(env, container_concurrency=1)
+        handles = invoke_n(platform, 5, cpu_work=4000.0)
+        env.run(until=50.0)
+        # Long tasks still running: each occupies a live pod (the
+        # autoscaler may have over-provisioned extra idle pods — the
+        # over-provisioning the paper's conclusion describes — but it must
+        # never terminate a serving pod).
+        assert all(not h.processed for h in handles)
+        assert sum(p.active_requests for p in platform.ready_pods()) == 5
+
+
+class TestResourceExhaustion:
+    def small_cluster(self, env):
+        return Cluster(env, ClusterSpec(nodes=(
+            NodeSpec(name="master", cores=4, memory_bytes=16 * GB,
+                     schedulable=False, os_baseline_bytes=0, os_busy_cores=0),
+            NodeSpec(name="worker", cores=4, memory_bytes=16 * GB,
+                     system_reserved_cores=1.0, system_reserved_bytes=1 * GB,
+                     os_baseline_bytes=0, os_busy_cores=0),
+        )))
+
+    def test_unplaceable_pods_fail_the_run(self, env):
+        cluster = self.small_cluster(env)
+        platform, _, _ = make_platform(
+            env, cluster=cluster, container_concurrency=1,
+            scheduling_timeout_seconds=5.0,
+        )
+        # 3 allocatable cores -> 3 pods; demand wants 50.
+        handles = invoke_n(platform, 50, cpu_work=2000.0)
+        run_all(env, handles)
+        failed = [h.value for h in handles if not h.value.ok]
+        assert failed, "expected 507 failures when pods cannot be placed"
+        assert any(f.status == 507 for f in failed)
+        assert platform.fatal_error is not None
+        assert platform.stats.scheduling_failures > 0
+
+    def test_fail_on_unplaceable_can_be_disabled(self, env):
+        cluster = self.small_cluster(env)
+        platform, _, _ = make_platform(
+            env, cluster=cluster, container_concurrency=1,
+            scheduling_timeout_seconds=5.0, fail_on_unplaceable=False,
+        )
+        handles = invoke_n(platform, 20, cpu_work=100.0)
+        run_all(env, handles)
+        assert all(h.value.ok for h in handles)
+
+
+class TestAutoscalerUnit:
+    def test_desired_tracks_concurrency(self, env):
+        config = KnativeConfig(container_concurrency=10)
+        concurrency = {"value": 0.0}
+        kpa = KpaAutoscaler(env, config, lambda: concurrency["value"])
+        concurrency["value"] = 70.0
+        env.timeout(1.0)
+        env.run()
+        desired = kpa.desired_pods(current_ready=0)
+        # target = 7/pod -> 70 concurrent -> 10 pods.
+        assert desired == 10
+
+    def test_panic_mode_on_burst(self, env):
+        config = KnativeConfig(container_concurrency=10)
+        kpa = KpaAutoscaler(env, config, lambda: 100.0)
+        kpa.desired_pods(current_ready=1)
+        assert kpa.panic_mode
+
+    def test_no_panic_under_capacity(self, env):
+        config = KnativeConfig(container_concurrency=10)
+        kpa = KpaAutoscaler(env, config, lambda: 5.0)
+        kpa.desired_pods(current_ready=2)
+        assert not kpa.panic_mode
+
+    def test_same_time_samples_deduplicated(self, env):
+        config = KnativeConfig(container_concurrency=10)
+        values = iter([1.0, 50.0, 100.0])
+        kpa = KpaAutoscaler(env, config, lambda: next(values))
+        for _ in range(3):
+            kpa.observe()
+        assert len(kpa._samples) == 1
+        assert kpa._samples[0][1] == 100.0
+
+    def test_scale_down_is_delayed(self, env):
+        config = KnativeConfig(container_concurrency=10,
+                               stable_window_seconds=10.0)
+        concurrency = {"value": 100.0}
+        kpa = KpaAutoscaler(env, config, lambda: concurrency["value"])
+        for _ in range(10):
+            env.timeout(2.0)
+            env.run()
+            kpa.desired_pods(current_ready=14)
+        concurrency["value"] = 0.0
+        env.timeout(2.0)
+        env.run()
+        # Immediately after load vanishes, desired must not collapse.
+        assert kpa.desired_pods(current_ready=14) == 14
+
+    def test_max_scale_enforced(self, env):
+        config = KnativeConfig(container_concurrency=1, max_scale=5)
+        kpa = KpaAutoscaler(env, config, lambda: 1000.0)
+        assert kpa.desired_pods(current_ready=0) <= 5
+
+
+class TestAutoscalerHistory:
+    def test_history_records_decisions(self, env):
+        platform, _, _ = make_platform(env, container_concurrency=10)
+        handles = invoke_n(platform, 50)
+        run_all(env, handles)
+        history = platform.autoscaler.history
+        assert history, "autoscaler made no decisions"
+        times = [h[0] for h in history]
+        assert times == sorted(times)
+        # Scale-up visible: desired grows past 1 during the burst.
+        assert max(h[3] for h in history) >= 5
+
+    def test_history_shows_scale_down_after_burst(self, env):
+        platform, _, _ = make_platform(
+            env, container_concurrency=10,
+            stable_window_seconds=8.0, scale_to_zero_grace_seconds=5.0,
+        )
+        handles = invoke_n(platform, 40)
+        run_all(env, handles, extra=90.0)
+        desired = [h[3] for h in platform.autoscaler.history]
+        assert desired[-1] < max(desired)
+
+    def test_panic_flag_recorded(self, env):
+        platform, _, _ = make_platform(env, container_concurrency=1)
+        handles = invoke_n(platform, 60)
+        run_all(env, handles)
+        assert any(h[4] for h in platform.autoscaler.history), \
+            "a 60-request burst on an empty service must panic"
+
+
+class TestPodLifecycle:
+    def test_pod_states(self, env):
+        cluster = Cluster(env)
+        config = KnativeConfig()
+        pod = Pod(env, "p1", cluster.node("worker"), config)
+        assert pod.state == PodState.PENDING
+        pod.place()
+        assert pod.state == PodState.STARTING
+        pod.become_ready()
+        assert pod.state == PodState.READY
+        pod.terminate()
+        assert pod.state == PodState.TERMINATED
+
+    def test_terminate_releases_reservation(self, env):
+        cluster = Cluster(env)
+        node = cluster.node("worker")
+        config = KnativeConfig()
+        free_before = node.free_allocatable_cores
+        pod = Pod(env, "p1", node, config)
+        pod.place()
+        assert node.free_allocatable_cores < free_before
+        pod.terminate()
+        assert node.free_allocatable_cores == pytest.approx(free_before)
+
+    def test_terminate_idempotent(self, env):
+        cluster = Cluster(env)
+        pod = Pod(env, "p1", cluster.node("worker"), KnativeConfig())
+        pod.place()
+        pod.become_ready()
+        pod.terminate()
+        pod.terminate()
+
+    def test_pending_pod_terminate_releases_nothing(self, env):
+        cluster = Cluster(env)
+        node = cluster.node("worker")
+        free = node.free_allocatable_cores
+        pod = Pod(env, "p1", node, KnativeConfig())
+        pod.terminate()
+        assert node.free_allocatable_cores == pytest.approx(free)
+
+
+class TestCoarseGrained:
+    def test_single_prewarmed_pod_serves_everything(self, env):
+        platform, _, _ = make_platform(
+            env,
+            **KnativeConfig.coarse_grained().__dict__,
+        )
+        handles = invoke_n(platform, 200, cpu_work=20.0)
+        run_all(env, handles)
+        assert all(h.value.ok for h in handles)
+        assert platform.stats.units_created == 1
+        assert all(not h.value.cold_start or h.value.wait_seconds < 1.0
+                   for h in handles)

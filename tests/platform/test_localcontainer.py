@@ -1,0 +1,210 @@
+"""Unit tests for the local-container baseline platform."""
+
+import numpy as np
+import pytest
+
+from repro.core.shared_drive import SimulatedSharedDrive
+from repro.platform.cluster import Cluster
+from repro.platform.localcontainer import (
+    LocalContainer,
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.simulation import Environment
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+def make_platform(env, **cfg_kw):
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    config = LocalContainerRuntimeConfig(**cfg_kw)
+    platform = LocalContainerPlatform(
+        env, cluster, drive, config=config,
+        model=WfBenchModel(noise_sigma=0.0), rng=np.random.default_rng(0),
+    )
+    return platform, cluster, drive
+
+
+def invoke_n(platform, n, **req_kw):
+    defaults = dict(cpu_work=50.0, out={})
+    defaults.update(req_kw)
+    return [
+        platform.invoke(BenchRequest(name=f"t{i}", **defaults)) for i in range(n)
+    ]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalContainerRuntimeConfig(workers=0)
+        with pytest.raises(ValueError):
+            LocalContainerRuntimeConfig(cpu_quota_cores=0.0)
+
+    def test_baseline_scales_with_workers(self):
+        small = LocalContainerRuntimeConfig(workers=96).baseline_bytes
+        big = LocalContainerRuntimeConfig(workers=960).baseline_bytes
+        assert big > small
+        assert big == 150 * MB + 960 * 25 * MB
+
+    def test_cr_flag(self):
+        assert LocalContainerRuntimeConfig(cpu_quota_cores=96.0).is_cr
+        assert not LocalContainerRuntimeConfig(cpu_quota_cores=None).is_cr
+
+
+class TestDeployment:
+    def test_container_resident_from_deploy(self, env):
+        platform, cluster, _ = make_platform(env, workers=96)
+        platform.deploy()
+        env.run(until=5.0)
+        node = cluster.node("worker")
+        expected = platform.config.baseline_bytes + node.spec.os_baseline_bytes
+        assert node.mem_used.value == expected
+
+    def test_cr_holds_quota_cores(self, env):
+        platform, cluster, _ = make_platform(env, cpu_quota_cores=96.0)
+        platform.deploy()
+        env.run(until=5.0)
+        assert cluster.node("worker").cpu_held.value == pytest.approx(96.0)
+
+    def test_nocr_holds_nothing(self, env):
+        platform, cluster, _ = make_platform(env, cpu_quota_cores=None,
+                                             memory_limit_bytes=None)
+        platform.deploy()
+        env.run(until=5.0)
+        assert cluster.node("worker").cpu_held.value == pytest.approx(0.0)
+
+    def test_quota_capped_at_node_cores(self, env):
+        platform, cluster, _ = make_platform(env, cpu_quota_cores=500.0)
+        platform.deploy()
+        env.run(until=5.0)
+        assert cluster.node("worker").cpu_held.value == pytest.approx(96.0)
+
+    def test_replicas(self, env):
+        cluster = Cluster(env)
+        platform = LocalContainerPlatform(
+            env, cluster, SimulatedSharedDrive(),
+            config=LocalContainerRuntimeConfig(workers=10), replicas=3,
+        )
+        platform.deploy()
+        env.run(until=5.0)
+        assert len(platform.containers) == 3
+
+    def test_invalid_replicas(self, env):
+        with pytest.raises(ValueError):
+            LocalContainerPlatform(env, Cluster(env), SimulatedSharedDrive(),
+                                   replicas=0)
+
+    def test_shutdown_releases_baseline(self, env):
+        platform, cluster, _ = make_platform(env, workers=96)
+        platform.deploy()
+        env.run(until=5.0)
+        platform.shutdown()
+        node = cluster.node("worker")
+        assert node.mem_used.value == node.spec.os_baseline_bytes
+
+
+class TestServing:
+    def test_all_requests_served(self, env):
+        platform, _, drive = make_platform(env, workers=96)
+        handles = invoke_n(platform, 50, out={"o.txt": 10})
+        env.run()
+        assert all(h.value.ok for h in handles)
+        assert platform.stats.completed == 50
+
+    def test_no_cold_start_after_boot(self, env):
+        platform, _, _ = make_platform(env, workers=96)
+        first = invoke_n(platform, 1)
+        env.run()
+        more = invoke_n(platform, 3)
+        env.run()
+        assert all(not h.value.cold_start for h in more)
+
+    def test_worker_pool_limits_concurrency(self, env):
+        platform, _, _ = make_platform(env, workers=2, cpu_quota_cores=None,
+                                       memory_limit_bytes=None)
+        handles = invoke_n(platform, 4, cpu_work=100.0)
+        env.run()
+        # 2 workers, ~2.2 s/task -> two waves.
+        finish = sorted(h.value.finished_at for h in handles)
+        assert finish[2] >= finish[0] + 2.0
+
+    def test_outputs_reach_shared_drive(self, env):
+        platform, _, drive = make_platform(env, workers=96)
+        handles = invoke_n(platform, 2, out={"x.txt": 77})
+        env.run()
+        assert drive.exists("x.txt")
+
+    def test_routing_latency_is_small(self, env):
+        platform, _, _ = make_platform(env, workers=96)
+        handles = invoke_n(platform, 1)
+        env.run()
+        # Container boots in 0.5 s; request waits boot + tiny routing.
+        assert handles[0].value.wait_seconds < 1.0
+
+
+class TestQuotaAndMemory:
+    def test_quota_slows_compute(self, env):
+        fast, _, _ = make_platform(env, workers=96, cpu_quota_cores=None,
+                                   memory_limit_bytes=None)
+        handles_fast = invoke_n(fast, 30, cpu_work=200.0)
+        env.run()
+        t_fast = max(h.value.finished_at for h in handles_fast)
+
+        env2 = Environment()
+        slow, _, _ = make_platform(env2, workers=96, cpu_quota_cores=4.0)
+        handles_slow = [
+            slow.invoke(BenchRequest(name=f"t{i}", cpu_work=200.0, out={}))
+            for i in range(30)
+        ]
+        env2.run()
+        t_slow = max(h.value.finished_at for h in handles_slow)
+        assert t_slow > t_fast * 2
+
+    def test_memory_limit_caps_node_usage(self, env):
+        platform, cluster, _ = make_platform(
+            env, workers=96, memory_limit_bytes=1 * GB
+        )
+        handles = invoke_n(platform, 20, cpu_work=50.0,
+                           memory_bytes=200 * MB, keep_memory=True)
+        env.run()
+        node = cluster.node("worker")
+        stress_peak = (node.mem_used.peak - platform.config.baseline_bytes
+                       - node.spec.os_baseline_bytes)
+        assert stress_peak <= 1 * GB
+        assert all(h.value.ok for h in handles)
+
+    def test_nocr_memory_overshoots(self, env):
+        capped, cluster_a, _ = make_platform(env, workers=96,
+                                             memory_limit_bytes=64 * GB)
+        handles = invoke_n(capped, 10, memory_bytes=100 * MB, keep_memory=True)
+        env.run()
+        peak_capped = cluster_a.node("worker").mem_used.peak
+
+        env2 = Environment()
+        uncapped, cluster_b, _ = make_platform(env2, workers=96,
+                                               cpu_quota_cores=None,
+                                               memory_limit_bytes=None)
+        handles2 = [
+            uncapped.invoke(BenchRequest(name=f"t{i}", cpu_work=50.0, out={},
+                                         memory_bytes=100 * MB, keep_memory=True))
+            for i in range(10)
+        ]
+        env2.run()
+        peak_uncapped = cluster_b.node("worker").mem_used.peak
+        assert peak_uncapped > peak_capped
+
+    def test_cr_busy_cpu_carries_quota_overhead(self, env):
+        platform, cluster, _ = make_platform(env, workers=96,
+                                             cpu_quota_cores=96.0)
+        handles = invoke_n(platform, 1, cpu_work=100.0)
+        env.run()
+        node = cluster.node("worker")
+        base = node.spec.os_busy_cores
+        overhead = platform.config.quota_cpu_overhead
+        # peak busy = baseline + percent_cpu * (1 + overhead)
+        expected = base + 0.9 * (1.0 + overhead)
+        assert node.cpu_busy.peak == pytest.approx(expected, rel=0.01)

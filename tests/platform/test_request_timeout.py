@@ -1,0 +1,115 @@
+"""Tests for the per-request timeout (Knative revision timeout)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shared_drive import SimulatedSharedDrive
+from repro.platform.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.simulation import Environment
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+GB = 1 << 30
+
+
+def tiny_cluster(env):
+    return Cluster(env, ClusterSpec(nodes=(
+        NodeSpec(name="worker", cores=4, memory_bytes=16 * GB,
+                 system_reserved_cores=1.0, system_reserved_bytes=1 * GB,
+                 os_baseline_bytes=0, os_busy_cores=0.0),
+    )))
+
+
+def run_all(env, handles):
+    env.run(until=env.all_of(handles))
+    return [h.value for h in handles]
+
+
+class TestKnativeRequestTimeout:
+    def test_queued_requests_expire_with_504(self, env):
+        platform = KnativePlatform(
+            env, tiny_cluster(env), SimulatedSharedDrive(),
+            config=KnativeConfig(container_concurrency=1, max_scale=1,
+                                 request_timeout_seconds=10.0,
+                                 fail_on_unplaceable=False),
+            model=WfBenchModel(noise_sigma=0.0),
+            rng=np.random.default_rng(0),
+        )
+        # One pod, one slot; tasks take ~12 s each -> the queue starves.
+        handles = [
+            platform.invoke(BenchRequest(name=f"t{i}", cpu_work=500.0, out={}))
+            for i in range(5)
+        ]
+        outcomes = run_all(env, handles)
+        expired = [o for o in outcomes if o.status == 504]
+        served = [o for o in outcomes if o.ok]
+        assert served, "at least the first request must be served"
+        assert expired, "queued requests beyond the timeout must 504"
+        for outcome in expired:
+            assert "timed out" in outcome.error
+            # 504 arrives at ~timeout, not at the natural service time.
+            assert outcome.finished_at - outcome.submitted_at == \
+                pytest.approx(10.0, abs=0.5)
+
+    def test_no_timeouts_when_capacity_suffices(self, env):
+        platform = KnativePlatform(
+            env, Cluster(env), SimulatedSharedDrive(),
+            config=KnativeConfig(container_concurrency=10,
+                                 request_timeout_seconds=60.0),
+            model=WfBenchModel(noise_sigma=0.0),
+            rng=np.random.default_rng(0),
+        )
+        handles = [
+            platform.invoke(BenchRequest(name=f"t{i}", cpu_work=50.0, out={}))
+            for i in range(30)
+        ]
+        outcomes = run_all(env, handles)
+        assert all(o.ok for o in outcomes)
+
+    def test_timeout_disabled_waits_forever(self, env):
+        platform = KnativePlatform(
+            env, tiny_cluster(env), SimulatedSharedDrive(),
+            config=KnativeConfig(container_concurrency=1, max_scale=1,
+                                 request_timeout_seconds=None,
+                                 fail_on_unplaceable=False),
+            model=WfBenchModel(noise_sigma=0.0),
+            rng=np.random.default_rng(0),
+        )
+        handles = [
+            platform.invoke(BenchRequest(name=f"t{i}", cpu_work=200.0, out={}))
+            for i in range(4)
+        ]
+        outcomes = run_all(env, handles)
+        assert all(o.ok for o in outcomes)
+
+    def test_expired_requests_leave_queue_consistent(self, env):
+        platform = KnativePlatform(
+            env, tiny_cluster(env), SimulatedSharedDrive(),
+            config=KnativeConfig(container_concurrency=1, max_scale=1,
+                                 request_timeout_seconds=5.0,
+                                 fail_on_unplaceable=False),
+            model=WfBenchModel(noise_sigma=0.0),
+            rng=np.random.default_rng(0),
+        )
+        handles = [
+            platform.invoke(BenchRequest(name=f"t{i}", cpu_work=800.0, out={}))
+            for i in range(6)
+        ]
+        run_all(env, handles)
+        assert platform.queue_length() == 0
+        assert platform.in_flight() == 0
+
+
+class TestLocalContainerDefault:
+    def test_lc_has_no_request_timeout(self, env):
+        """The paper's local deployment runs gunicorn --timeout 0."""
+        platform = LocalContainerPlatform(
+            env, Cluster(env), SimulatedSharedDrive(),
+            config=LocalContainerRuntimeConfig(),
+        )
+        assert platform.request_timeout is None

@@ -1,0 +1,201 @@
+"""Unit tests for ServingUnit and the shared execute_request path."""
+
+import pytest
+
+from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import ResourceExhaustedError
+from repro.platform.base import InvocationOutcome, ServingUnit, execute_request
+from repro.platform.cluster import Node, NodeSpec
+from repro.simulation import Environment
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+GB = 1 << 30
+
+
+@pytest.fixture
+def node(env):
+    return Node(env, NodeSpec(name="n", cores=8, memory_bytes=8 * GB,
+                              os_baseline_bytes=0, os_busy_cores=0.0))
+
+
+def unit_for(env, node, **kw):
+    defaults = dict(name="u", workers=4)
+    defaults.update(kw)
+    return ServingUnit(env, node=node, **defaults)
+
+
+def run_request(env, unit, node, request, drive=None):
+    drive = drive or SimulatedSharedDrive()
+    model = WfBenchModel(noise_sigma=0.0)
+    demand = model.demand_for_sizes(
+        request, input_bytes=sum(drive.size(f) for f in request.inputs)
+    )
+    outcome = InvocationOutcome(name=request.name, submitted_at=env.now)
+    proc = env.process(
+        execute_request(env, unit, request, demand, drive, outcome)
+    )
+    env.run()
+    return outcome, drive
+
+
+class TestLifecycle:
+    def test_start_charges_baseline(self, env, node):
+        unit = unit_for(env, node, baseline_bytes=1 * GB, held_cores=2.0,
+                        held_bytes=2 * GB)
+        unit.start()
+        assert node.mem_used.value == 1 * GB
+        assert node.cpu_held.value == 2.0
+        assert node.mem_held.value == 2 * GB
+
+    def test_stop_releases_baseline(self, env, node):
+        unit = unit_for(env, node, baseline_bytes=1 * GB, held_cores=2.0)
+        unit.start()
+        unit.stop()
+        assert node.mem_used.value == 0
+        assert node.cpu_held.value == 0.0
+
+    def test_start_stop_idempotent(self, env, node):
+        unit = unit_for(env, node, baseline_bytes=1 * GB)
+        unit.start()
+        unit.start()
+        unit.stop()
+        unit.stop()
+        assert node.mem_used.value == 0
+
+    def test_free_slots_zero_while_dead(self, env, node):
+        unit = unit_for(env, node, workers=4)
+        assert unit.free_slots == 0
+        unit.start()
+        assert unit.free_slots == 4
+
+
+class TestExecuteRequest:
+    def test_successful_execution_writes_outputs(self, env, node):
+        unit = unit_for(env, node)
+        unit.start()
+        request = BenchRequest(name="t", cpu_work=10.0, out={"o.txt": 500})
+        outcome, drive = run_request(env, unit, node, request)
+        assert outcome.ok
+        assert drive.exists("o.txt")
+        assert drive.size("o.txt") == 500
+        assert outcome.cpu_seconds > 0
+
+    def test_missing_input_is_409_and_no_output(self, env, node):
+        unit = unit_for(env, node)
+        unit.start()
+        request = BenchRequest(name="t", inputs=("nope.txt",), out={"o.txt": 5})
+        outcome, drive = run_request(env, unit, node, request)
+        assert outcome.status == 409
+        assert not drive.exists("o.txt")
+
+    def test_compute_time_follows_model(self, env, node):
+        unit = unit_for(env, node)
+        unit.start()
+        request = BenchRequest(name="t", cpu_work=100.0, percent_cpu=0.8, out={})
+        outcome, _ = run_request(env, unit, node, request)
+        # 2 cpu-seconds at 0.8 duty -> 2.5 s wall.
+        assert outcome.service_seconds == pytest.approx(2.5, rel=0.01)
+
+    def test_cpu_gauge_rises_and_falls(self, env, node):
+        unit = unit_for(env, node)
+        unit.start()
+        request = BenchRequest(name="t", cpu_work=100.0, percent_cpu=0.8, out={})
+        run_request(env, unit, node, request)
+        assert node.cpu_busy.value == pytest.approx(0.0)
+        assert node.cpu_busy.peak == pytest.approx(0.8)
+
+    def test_cpu_overhead_inflates_busy_not_wall(self, env, node):
+        plain = unit_for(env, node)
+        plain.start()
+        request = BenchRequest(name="t", cpu_work=100.0, percent_cpu=0.5, out={})
+        outcome_plain, _ = run_request(env, plain, node, request)
+        peak_plain = node.cpu_busy.peak
+
+        node2 = Node(env, NodeSpec(name="n2", cores=8, memory_bytes=8 * GB,
+                                   os_baseline_bytes=0, os_busy_cores=0.0))
+        taxed = ServingUnit(env, "u2", node2, workers=4, cpu_overhead=0.10)
+        taxed.start()
+        outcome_taxed, _ = run_request(env, taxed, node2, request)
+        assert node2.cpu_busy.peak == pytest.approx(peak_plain * 1.10)
+        assert outcome_taxed.service_seconds == pytest.approx(
+            outcome_plain.service_seconds
+        )
+
+    def test_memory_charged_and_released(self, env, node):
+        unit = unit_for(env, node)
+        unit.start()
+        request = BenchRequest(name="t", cpu_work=10.0, memory_bytes=1 * GB,
+                               keep_memory=True, out={})
+        run_request(env, unit, node, request)
+        assert node.mem_used.value == 0
+        assert node.mem_used.peak == 1 * GB
+
+    def test_nocr_residency_multiplier(self, env, node):
+        unit = unit_for(env, node, stress_residency=1.5)
+        unit.start()
+        request = BenchRequest(name="t", cpu_work=10.0, memory_bytes=1 * GB,
+                               keep_memory=True, out={})
+        run_request(env, unit, node, request)
+        assert node.mem_used.peak == pytest.approx(1.5 * GB)
+
+    def test_memory_limit_caps_residency(self, env, node):
+        unit = unit_for(env, node, memory_limit_bytes=int(0.5 * GB))
+        unit.start()
+        request = BenchRequest(name="t", cpu_work=10.0, memory_bytes=1 * GB,
+                               keep_memory=True, out={})
+        outcome, _ = run_request(env, unit, node, request)
+        assert outcome.ok
+        assert node.mem_used.peak <= 0.5 * GB
+
+    def test_physical_oom_propagates(self, env, node):
+        unit = unit_for(env, node)
+        unit.start()
+        request = BenchRequest(name="t", cpu_work=10.0, memory_bytes=9 * GB,
+                               keep_memory=True, out={})
+        model = WfBenchModel(noise_sigma=0.0)
+        demand = model.demand_for_sizes(request, input_bytes=0)
+        outcome = InvocationOutcome(name="t")
+        env.process(execute_request(env, unit, request, demand,
+                                    SimulatedSharedDrive(), outcome))
+        with pytest.raises(ResourceExhaustedError):
+            env.run()
+
+    def test_quota_serialises_compute(self, env, node):
+        """Two 0.8-core tasks on a 1-core quota cannot overlap compute."""
+        unit = unit_for(env, node, cpu_quota_cores=1.0)
+        unit.start()
+        model = WfBenchModel(noise_sigma=0.0)
+        drive = SimulatedSharedDrive()
+        outcomes = []
+        for i in range(2):
+            request = BenchRequest(name=f"t{i}", cpu_work=100.0,
+                                   percent_cpu=0.8, out={})
+            demand = model.demand_for_sizes(request, input_bytes=0)
+            outcome = InvocationOutcome(name=request.name, submitted_at=0.0)
+            outcomes.append(outcome)
+            env.process(execute_request(env, unit, request, demand, drive, outcome))
+        env.run()
+        # Each task takes 2.5 s; serialised -> total 5 s.
+        assert max(o.finished_at for o in outcomes) == pytest.approx(5.0, rel=0.01)
+
+    def test_node_pool_limits_parallelism(self, env):
+        tiny = Node(env, NodeSpec(name="tiny", cores=1, memory_bytes=8 * GB,
+                                  os_baseline_bytes=0, os_busy_cores=0.0))
+        unit = ServingUnit(env, "u", tiny, workers=8)
+        unit.start()
+        model = WfBenchModel(noise_sigma=0.0)
+        drive = SimulatedSharedDrive()
+        outcomes = []
+        for i in range(3):
+            request = BenchRequest(name=f"t{i}", cpu_work=50.0,
+                                   percent_cpu=0.9, out={})
+            demand = model.demand_for_sizes(request, input_bytes=0)
+            outcome = InvocationOutcome(name=request.name)
+            outcomes.append(outcome)
+            env.process(execute_request(env, unit, request, demand, drive, outcome))
+        env.run()
+        # 1 core, 0.9-core tasks -> strictly serialised.
+        finish_times = sorted(o.finished_at for o in outcomes)
+        assert finish_times[1] >= finish_times[0] + 1.0
+        assert finish_times[2] >= finish_times[1] + 1.0

@@ -1,0 +1,99 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Environment
+
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=30,
+)
+
+
+class TestTimeoutProperties:
+    @given(delays)
+    @settings(max_examples=60)
+    def test_events_fire_in_time_order(self, ds):
+        env = Environment()
+        fired = []
+        for d in ds:
+            t = env.timeout(d, value=d)
+            t.callbacks.append(lambda e: fired.append((env.now, e.value)))
+        env.run()
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(ds)
+
+    @given(delays)
+    @settings(max_examples=60)
+    def test_clock_ends_at_max_delay(self, ds):
+        env = Environment()
+        for d in ds:
+            env.timeout(d)
+        env.run()
+        assert env.now == max(ds)
+
+    @given(delays, st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    @settings(max_examples=60)
+    def test_run_until_never_overshoots(self, ds, horizon):
+        env = Environment()
+        for d in ds:
+            env.timeout(d)
+        env.run(until=horizon)
+        assert env.now <= max(horizon, 0.0) + 1e-9
+
+
+class TestProcessProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1,
+                    max_size=10))
+    @settings(max_examples=40)
+    def test_sequential_process_time_is_sum(self, ds):
+        env = Environment()
+
+        def proc():
+            for d in ds:
+                yield env.timeout(d)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert abs(p.value - sum(ds)) < 1e-6
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1,
+                    max_size=10))
+    @settings(max_examples=40)
+    def test_parallel_processes_time_is_max(self, ds):
+        env = Environment()
+
+        def proc(d):
+            yield env.timeout(d)
+
+        for d in ds:
+            env.process(proc(d))
+        env.run()
+        assert abs(env.now - max(ds)) < 1e-6
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0,
+                                                               max_value=2**31))
+    @settings(max_examples=40)
+    def test_determinism_under_interleaving(self, n, seed):
+        import numpy as np
+
+        def trace():
+            rng = np.random.default_rng(seed)
+            env = Environment()
+            log = []
+
+            def proc(tag):
+                for _ in range(3):
+                    yield env.timeout(float(rng.integers(1, 10)))
+                    log.append((env.now, tag))
+
+            for i in range(n):
+                env.process(proc(i))
+            env.run()
+            return log
+
+        assert trace() == trace()

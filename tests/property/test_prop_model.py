@@ -1,0 +1,117 @@
+"""Property-based tests on the analytic demand model and gauges."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitoring.power import PowerModel
+from repro.simulation import Environment, Gauge
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+
+def request(cpu_work, percent_cpu, memory=0, keep=False):
+    return BenchRequest(name="t", cpu_work=cpu_work, percent_cpu=percent_cpu,
+                        memory_bytes=memory, keep_memory=keep, out={})
+
+
+class TestDemandProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=80)
+    def test_wall_at_least_cpu_time(self, work, pct):
+        model = WfBenchModel(noise_sigma=0.0)
+        demand = model.demand_for_sizes(request(work, pct), input_bytes=0)
+        assert demand.wall_seconds >= demand.cpu_seconds - 1e-12
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_cpu_seconds_monotone_in_work(self, w1, w2, pct):
+        model = WfBenchModel(noise_sigma=0.0)
+        lo, hi = sorted((w1, w2))
+        d_lo = model.demand_for_sizes(request(lo, pct), 0)
+        d_hi = model.demand_for_sizes(request(hi, pct), 0)
+        assert d_hi.cpu_seconds >= d_lo.cpu_seconds
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.05, max_value=0.99),
+    )
+    @settings(max_examples=60)
+    def test_lower_duty_cycle_never_faster(self, work, pct):
+        model = WfBenchModel(noise_sigma=0.0)
+        slow = model.demand_for_sizes(request(work, pct), 0)
+        fast = model.demand_for_sizes(request(work, 1.0), 0)
+        assert slow.wall_seconds >= fast.wall_seconds
+
+    @given(
+        st.integers(min_value=0, max_value=10**10),
+        st.booleans(),
+    )
+    @settings(max_examples=60)
+    def test_resident_memory_bounded_by_peak(self, memory, keep):
+        model = WfBenchModel(noise_sigma=0.0)
+        demand = model.demand_for_sizes(request(10.0, 0.9, memory, keep), 0)
+        assert 0 <= demand.memory_avg_bytes <= demand.memory_peak_bytes
+        if keep:
+            assert demand.memory_avg_bytes == demand.memory_peak_bytes
+
+
+class TestPowerProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_monotone_in_utilisation(self, u1, u2):
+        model = PowerModel()
+        lo, hi = sorted((u1, u2))
+        assert model.node_watts(hi) >= model.node_watts(lo)
+
+    @given(st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+    @settings(max_examples=60)
+    def test_bounded_by_idle_and_peak(self, u):
+        model = PowerModel()
+        w = model.socket_watts(u)
+        assert model.idle_watts_per_socket <= w <= model.peak_watts_per_socket
+
+
+class TestGaugeProperties:
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0.01, max_value=10.0),
+                  st.floats(min_value=-50.0, max_value=50.0)),
+        min_size=1, max_size=20,
+    ))
+    @settings(max_examples=60)
+    def test_mean_within_value_range(self, steps):
+        env = Environment()
+        gauge = Gauge(env, 0.0)
+        values = [0.0]
+        for dt, value in steps:
+            env.timeout(dt)
+            env.run()
+            gauge.set(value)
+            values.append(value)
+        env.timeout(1.0)
+        env.run()
+        assert min(values) - 1e-9 <= gauge.mean() <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=1,
+                    max_size=20))
+    @settings(max_examples=60)
+    def test_peak_is_max_seen(self, deltas):
+        env = Environment()
+        gauge = Gauge(env, 0.0)
+        running = 0.0
+        peak = 0.0
+        for d in deltas:
+            gauge.add(d)
+            running += d
+            peak = max(peak, running)
+        assert gauge.peak == max(peak, 0.0)

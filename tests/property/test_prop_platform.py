@@ -1,0 +1,130 @@
+"""Property-based conservation invariants on the platforms.
+
+After *any* workflow finishes and the platform shuts down, every
+accounting quantity must return exactly to its baseline: no leaked CPU
+tokens, no resident memory, no held reservations — across random
+applications, sizes, paradigms and seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.platform.cluster import Cluster
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons import WorkflowGenerator
+from repro.wfcommons.recipes import ALL_RECIPES
+
+apps = st.sampled_from(sorted(ALL_RECIPES))
+sizes = st.integers(min_value=12, max_value=60)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+platforms = st.sampled_from(["knative", "local"])
+pm = st.booleans()
+
+
+def run_workflow(app, size, seed, platform_kind, keep_memory):
+    recipe_cls = ALL_RECIPES[app]
+    size = max(size, recipe_cls.min_tasks)
+    wf = WorkflowGenerator(recipe_cls(), seed=seed).build_workflow(size)
+    env = Environment()
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    for f in workflow_input_files(wf):
+        drive.put(f.name, f.size_in_bytes)
+    if platform_kind == "knative":
+        platform = KnativePlatform(
+            env, cluster, drive, config=KnativeConfig(container_concurrency=10),
+            model=WfBenchModel(noise_sigma=0.0),
+            rng=np.random.default_rng(seed),
+        )
+    else:
+        platform = LocalContainerPlatform(
+            env, cluster, drive, config=LocalContainerRuntimeConfig(),
+            model=WfBenchModel(noise_sigma=0.0),
+            rng=np.random.default_rng(seed),
+        )
+    manager = ServerlessWorkflowManager(
+        SimulatedInvoker(platform), drive,
+        ManagerConfig(keep_memory=keep_memory),
+    )
+    result = manager.execute(wf)
+    # Let pending scale-downs settle, then tear everything down.
+    env.run(until=env.now + 120.0)
+    platform.shutdown()
+    return wf, result, cluster, platform
+
+
+class TestConservation:
+    @given(apps, sizes, seeds, platforms, pm)
+    @settings(max_examples=20, deadline=None)
+    def test_run_succeeds_and_resources_return_to_baseline(
+            self, app, size, seed, platform_kind, keep_memory):
+        wf, result, cluster, platform = run_workflow(
+            app, size, seed, platform_kind, keep_memory)
+        assert result.succeeded, result.error
+
+        for node in cluster.nodes:
+            spec = node.spec
+            # Busy CPU back to the OS baseline.
+            assert node.cpu_busy.value == pytest.approx(spec.os_busy_cores,
+                                                        abs=1e-9)
+            # All physical core tokens returned.
+            assert node.core_pool.level == pytest.approx(float(spec.cores))
+            # Resident memory back to the OS baseline.
+            assert node.mem_used.value == pytest.approx(
+                float(spec.os_baseline_bytes), abs=1.0)
+            # No reservations leaked.
+            assert node.cpu_held.value == pytest.approx(0.0, abs=1e-9)
+            assert node.mem_held.value == pytest.approx(0.0, abs=1.0)
+            assert node.free_allocatable_cores == pytest.approx(
+                spec.allocatable_cores)
+
+    @given(apps, sizes, seeds, platforms)
+    @settings(max_examples=15, deadline=None)
+    def test_every_declared_output_lands_on_the_drive(self, app, size, seed,
+                                                      platform_kind):
+        wf, result, cluster, platform = run_workflow(
+            app, size, seed, platform_kind, keep_memory=False)
+        drive = platform.drive
+        for task in wf:
+            for f in task.output_files:
+                assert drive.exists(f.name)
+                assert drive.size(f.name) == f.size_in_bytes
+
+    @given(apps, sizes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_invocation_accounting_balances(self, app, size, seed):
+        wf, result, cluster, platform = run_workflow(
+            app, size, seed, "knative", keep_memory=False)
+        stats = platform.stats
+        # header + tail + tasks, all completed, none in flight.
+        assert stats.invocations == len(wf) + 2
+        assert stats.completed == stats.invocations
+        assert stats.failed == 0
+        assert platform.in_flight() == 0
+        assert platform.queue_length() == 0
+
+    @given(apps, sizes, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_task_timings_are_sane(self, app, size, seed):
+        wf, result, cluster, platform = run_workflow(
+            app, size, seed, "local", keep_memory=False)
+        for task in result.tasks:
+            assert task.submitted_at <= task.started_at + 1e-9
+            assert task.started_at <= task.finished_at + 1e-9
+        assert result.makespan_seconds >= max(
+            t.finished_at for t in result.tasks) - result.started_at - 1e-6

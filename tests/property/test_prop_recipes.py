@@ -1,0 +1,90 @@
+"""Property-based tests on recipe/DAG invariants: any recipe at any valid
+size must produce a structurally sound, exactly-sized, phase-decomposable
+workflow."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import WorkflowDAG
+from repro.wfcommons.analysis import phase_levels
+from repro.wfcommons.recipes import ALL_RECIPES as RECIPES
+from repro.wfcommons.schema import Workflow
+from repro.wfcommons.validation import topological_order, validate_workflow
+
+recipe_names = st.sampled_from(sorted(RECIPES))
+sizes = st.integers(min_value=0, max_value=300)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def build(name, size, seed):
+    recipe_cls = RECIPES[name]
+    size = max(size, recipe_cls.min_tasks)
+    return recipe_cls().build(size, np.random.default_rng(seed)), size
+
+
+class TestRecipeProperties:
+    @given(recipe_names, sizes, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_size_and_valid(self, name, size, seed):
+        wf, size = build(name, size, seed)
+        assert len(wf) == size
+        validate_workflow(wf)
+
+    @given(recipe_names, sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_single_weakly_connected_component_or_genome(self, name, size, seed):
+        import networkx as nx
+
+        wf, _ = build(name, size, seed)
+        g = nx.DiGraph(wf.edges())
+        g.add_nodes_from(wf.task_names)
+        components = nx.number_weakly_connected_components(g)
+        if name == "genome":
+            # one component per chromosome by construction
+            assert components == wf.categories()["individuals_merge"]
+        else:
+            assert components == 1
+
+    @given(recipe_names, sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_phase_levels_monotone_along_edges(self, name, size, seed):
+        wf, _ = build(name, size, seed)
+        levels = phase_levels(wf)
+        for parent, child in wf.edges():
+            assert levels[parent] < levels[child]
+
+    @given(recipe_names, sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_json_roundtrip_identity(self, name, size, seed):
+        wf, _ = build(name, size, seed)
+        restored = Workflow.loads(wf.dumps())
+        assert restored.dumps() == wf.dumps()
+
+    @given(recipe_names, sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order_is_a_permutation(self, name, size, seed):
+        wf, _ = build(name, size, seed)
+        order = topological_order(wf)
+        assert sorted(order) == sorted(wf.task_names)
+
+    @given(recipe_names, sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_dag_with_markers_has_unique_entry_exit(self, name, size, seed):
+        wf, _ = build(name, size, seed)
+        dag = WorkflowDAG(wf)
+        roots = [n for n in dag.task_names if not dag.parents(n)]
+        leaves = [n for n in dag.task_names if not dag.children(n)]
+        assert len(roots) == 1
+        assert len(leaves) == 1
+
+    @given(recipe_names, sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_stress_parameters_in_range(self, name, size, seed):
+        wf, _ = build(name, size, seed)
+        for task in wf:
+            assert 0.1 <= task.percent_cpu <= 1.0
+            assert task.cpu_work > 0
+            assert task.memory_bytes >= 0
+            for f in task.files:
+                assert f.size_in_bytes >= 1

@@ -1,0 +1,124 @@
+"""Property-based tests for simulation resources."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Container, Environment, Resource, Store
+
+
+class TestResourceInvariants:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1,
+                 max_size=25),
+    )
+    @settings(max_examples=40)
+    def test_concurrency_never_exceeds_capacity(self, capacity, durations):
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        active = {"now": 0, "peak": 0}
+
+        def worker(d):
+            with res.request() as req:
+                yield req
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+                yield env.timeout(d)
+                active["now"] -= 1
+
+        for d in durations:
+            env.process(worker(d))
+        env.run()
+        assert active["peak"] <= capacity
+        assert active["now"] == 0
+        assert res.count == 0
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=40)
+    def test_all_requests_eventually_served(self, capacity, n):
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        served = []
+
+        def worker(i):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+                served.append(i)
+
+        for i in range(n):
+            env.process(worker(i))
+        env.run()
+        assert sorted(served) == list(range(n))
+
+
+class TestContainerInvariants:
+    @given(
+        st.floats(min_value=1.0, max_value=100.0),
+        st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                 max_size=20),
+    )
+    @settings(max_examples=40)
+    def test_level_stays_in_bounds(self, capacity, amounts):
+        env = Environment()
+        box = Container(env, capacity=capacity, init=capacity)
+        amounts = [min(a, capacity) for a in amounts]
+        levels = []
+
+        def worker(a):
+            yield box.get(a)
+            levels.append(box.level)
+            yield env.timeout(0.5)
+            yield box.put(a)
+            levels.append(box.level)
+
+        for a in amounts:
+            env.process(worker(a))
+        env.run()
+        assert all(-1e-9 <= level <= capacity + 1e-9 for level in levels)
+        assert abs(box.level - capacity) < 1e-6
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1,
+                    max_size=15))
+    @settings(max_examples=40)
+    def test_conservation(self, amounts):
+        env = Environment()
+        total = sum(amounts) + 1.0
+        box = Container(env, capacity=total, init=total)
+
+        def worker(a):
+            yield box.get(a)
+            yield env.timeout(1.0)
+            yield box.put(a)
+
+        for a in amounts:
+            env.process(worker(a))
+        env.run()
+        assert abs(box.level - total) < 1e-6
+
+
+class TestStoreInvariants:
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_fifo_preserves_order_and_items(self, items):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+                yield env.timeout(0.1)
+
+        def consumer():
+            for _ in items:
+                value = yield store.get()
+                out.append(value)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert out == items

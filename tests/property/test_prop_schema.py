@@ -1,0 +1,94 @@
+"""Property-based round-trip tests on the schema layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wfbench.spec import BenchRequest, BenchResponse
+from repro.wfcommons.schema import FileLink, FileSpec, Task
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters="_-."),
+    min_size=1, max_size=30,
+)
+sizes = st.integers(min_value=0, max_value=10**12)
+
+
+class TestFileSpecRoundTrip:
+    @given(names, sizes, st.sampled_from(list(FileLink)))
+    @settings(max_examples=60)
+    def test_roundtrip(self, name, size, link):
+        spec = FileSpec(name, size, link)
+        assert FileSpec.from_json(spec.to_json()) == spec
+
+
+bench_requests = st.builds(
+    BenchRequest,
+    name=names,
+    percent_cpu=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    cpu_work=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    out=st.dictionaries(names, st.integers(min_value=0, max_value=10**9),
+                        max_size=5),
+    inputs=st.lists(names, max_size=5).map(tuple),
+    workdir=names,
+    memory_bytes=st.integers(min_value=0, max_value=10**12),
+    keep_memory=st.booleans(),
+)
+
+
+class TestBenchRequestRoundTrip:
+    @given(bench_requests)
+    @settings(max_examples=80)
+    def test_roundtrip(self, request):
+        assert BenchRequest.loads(request.dumps()) == request
+
+    @given(bench_requests)
+    @settings(max_examples=40)
+    def test_total_output_bytes_matches_out(self, request):
+        assert request.total_output_bytes == sum(request.out.values())
+
+
+bench_responses = st.builds(
+    BenchResponse,
+    name=names,
+    status=st.sampled_from([200, 400, 409, 500, 503, 507]),
+    duration_seconds=st.floats(min_value=0, max_value=1e5, allow_nan=False),
+    cpu_seconds=st.floats(min_value=0, max_value=1e5, allow_nan=False),
+    bytes_read=sizes,
+    bytes_written=sizes,
+    peak_memory_bytes=sizes,
+    error=st.text(max_size=40),
+)
+
+
+class TestBenchResponseRoundTrip:
+    @given(bench_responses)
+    @settings(max_examples=60)
+    def test_roundtrip(self, response):
+        import json
+
+        restored = BenchResponse.from_json(json.loads(response.dumps()))
+        assert restored == response
+
+    @given(bench_responses)
+    @settings(max_examples=40)
+    def test_ok_iff_2xx(self, response):
+        assert response.ok == (200 <= response.status < 300)
+
+
+class TestTaskRoundTrip:
+    @given(
+        names,
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        st.integers(min_value=0, max_value=10**11),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip(self, name, pct, work, mem):
+        task = Task(name=name, task_id="1", category="c",
+                    percent_cpu=max(pct, 0.0), cpu_work=work, memory_bytes=mem)
+        restored = Task.from_json(task.to_json())
+        assert restored.name == task.name
+        assert restored.percent_cpu == task.percent_cpu
+        assert restored.cpu_work == task.cpu_work
+        assert restored.memory_bytes == task.memory_bytes

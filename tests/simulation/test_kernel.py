@@ -1,0 +1,195 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simulation import Environment, Event, SimulationError, Timeout
+from repro.simulation.kernel import NORMAL, URGENT
+
+
+class TestEvent:
+    def test_fresh_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_decision_raises(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_succeed_sets_value(self, env):
+        event = env.event().succeed(123)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 123
+
+    def test_double_succeed_raises(self, env):
+        event = env.event().succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_failed_event_value_is_exception(self, env):
+        event = env.event()
+        exc = ValueError("boom")
+        event.fail(exc)
+        assert not event.ok
+        assert event.value is exc
+
+    def test_succeed_after_fail_raises(self, env):
+        event = env.event()
+        event.fail(ValueError("x"))
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_undefused_failure_crashes_the_run(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_defused_failure_does_not_crash(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        event.defuse()
+        env.run()  # no raise
+
+    def test_callbacks_fire_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("v")
+        env.run()
+        assert seen == ["v"]
+        assert event.processed
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            Timeout(env, -1.0)
+
+    def test_timeout_advances_clock(self, env):
+        env.timeout(5.0)
+        env.run()
+        assert env.now == pytest.approx(5.0)
+
+    def test_timeout_carries_value(self, env):
+        t = env.timeout(1.0, value="done")
+        env.run()
+        assert t.value == "done"
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            t = env.timeout(delay, value=delay)
+            t.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo_by_schedule_order(self, env):
+        order = []
+        for tag in "abc":
+            t = env.timeout(1.0, value=tag)
+            t.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_urgent_priority_precedes_normal(self, env):
+        order = []
+        normal = env.event()
+        urgent = env.event()
+        normal._ok = True
+        normal._value = "normal"
+        urgent._ok = True
+        urgent._value = "urgent"
+        normal.callbacks.append(lambda e: order.append(e.value))
+        urgent.callbacks.append(lambda e: order.append(e.value))
+        env.schedule(normal, priority=NORMAL)
+        env.schedule(urgent, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+
+class TestEnvironmentRun:
+    def test_run_empty_queue_is_noop(self, env):
+        env.run()
+        assert env.now == 0.0
+
+    def test_run_until_time_stops_clock_there(self, env):
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == pytest.approx(4.0)
+        env.run(until=20.0)
+        assert env.now == pytest.approx(20.0)
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(1.0)
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=2.0)
+
+    def test_run_until_event_returns_its_value(self, env):
+        t = env.timeout(2.0, value="finished")
+        assert env.run(until=t) == "finished"
+        assert env.now == pytest.approx(2.0)
+
+    def test_run_until_already_processed_event(self, env):
+        t = env.timeout(1.0, value="v")
+        env.run()
+        assert env.run(until=t) == "v"
+
+    def test_run_until_event_that_never_fires_raises(self, env):
+        pending = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=pending)
+
+    def test_step_on_empty_queue_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_reports_next_event_time(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(7.0)
+        assert env.peek() == pytest.approx(7.0)
+
+    def test_double_schedule_raises(self, env):
+        event = env.event()
+        event._ok = True
+        event._value = None
+        env.schedule(event)
+        with pytest.raises(SimulationError):
+            env.schedule(event)
+
+    def test_initial_time_respected(self):
+        env = Environment(initial_time=100.0)
+        assert env.now == 100.0
+        env.timeout(5.0)
+        env.run()
+        assert env.now == pytest.approx(105.0)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def trace():
+            env = Environment()
+            out = []
+
+            def proc(tag):
+                for i in range(3):
+                    yield env.timeout(0.5 * (i + 1))
+                    out.append((env.now, tag, i))
+
+            env.process(proc("a"))
+            env.process(proc("b"))
+            env.run()
+            return out
+
+        assert trace() == trace()

@@ -1,0 +1,226 @@
+"""Unit tests for simulation processes and combinators."""
+
+import pytest
+
+from repro.simulation import AllOf, AnyOf, Environment, Interrupt, SimulationError
+
+
+class TestProcess:
+    def test_process_return_value_is_event_value(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return "result"
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "result"
+
+    def test_process_is_alive_until_done(self, env):
+        def proc():
+            yield env.timeout(2.0)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run(until=1.0)
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_process_waits_for_yielded_events(self, env):
+        gate = env.event()
+        log = []
+
+        def proc():
+            log.append(("start", env.now))
+            yield gate
+            log.append(("resumed", env.now))
+
+        env.process(proc())
+
+        def opener():
+            yield env.timeout(3.0)
+            gate.succeed()
+
+        env.process(opener())
+        env.run()
+        assert log == [("start", 0.0), ("resumed", 3.0)]
+
+    def test_yield_received_value(self, env):
+        def proc():
+            value = yield env.timeout(1.0, value="payload")
+            return value
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "payload"
+
+    def test_process_exception_propagates_to_waiter(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise RuntimeError("inner")
+
+        def waiter():
+            try:
+                yield env.process(failing())
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = env.process(waiter())
+        env.run()
+        assert p.value == "caught inner"
+
+    def test_unhandled_process_exception_crashes_run(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        env.process(failing())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_yielding_non_event_raises_inside_process(self, env):
+        def proc():
+            try:
+                yield 42
+            except SimulationError:
+                return "caught"
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "caught"
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_nested_processes(self, env):
+        def child(n):
+            yield env.timeout(n)
+            return n * 2
+
+        def parent():
+            a = yield env.process(child(1.0))
+            b = yield env.process(child(2.0))
+            return a + b
+
+        p = env.process(parent())
+        env.run()
+        assert p.value == 6.0
+        assert env.now == pytest.approx(3.0)
+
+    def test_process_chain_already_processed_event(self, env):
+        t = env.timeout(0.5, value="early")
+        env.run()
+
+        def proc():
+            value = yield t  # already processed
+            return value
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "early"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def proc():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as stop:
+                return ("interrupted", stop.cause, env.now)
+
+        p = env.process(proc())
+
+        def killer():
+            yield env.timeout(2.0)
+            p.interrupt("because")
+
+        env.process(killer())
+        env.run()
+        assert p.value == ("interrupted", "because", 2.0)
+
+    def test_interrupt_finished_process_raises(self, env):
+        def proc():
+            yield env.timeout(1.0)
+
+        p = env.process(proc())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self, env):
+        def proc():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            return env.now
+
+        p = env.process(proc())
+
+        def killer():
+            yield env.timeout(2.0)
+            p.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert p.value == pytest.approx(3.0)
+
+
+class TestCombinators:
+    def test_all_of_waits_for_everything(self, env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+
+        def proc():
+            results = yield env.all_of([t1, t2])
+            return (env.now, sorted(results.values()))
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (3.0, ["a", "b"])
+
+    def test_any_of_returns_at_first(self, env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+
+        def proc():
+            results = yield env.any_of([t1, t2])
+            return (env.now, list(results.values()))
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (1.0, ["fast"])
+
+    def test_all_of_empty_fires_immediately(self, env):
+        cond = AllOf(env, [])
+        env.run()
+        assert cond.triggered
+        assert cond.value == {}
+
+    def test_all_of_failure_propagates(self, env):
+        bad = env.event()
+
+        def proc():
+            try:
+                yield env.all_of([env.timeout(1.0), bad])
+            except ValueError:
+                return "failed"
+
+        p = env.process(proc())
+
+        def failer():
+            yield env.timeout(0.5)
+            bad.fail(ValueError("member failed"))
+
+        env.process(failer())
+        env.run()
+        assert p.value == "failed"
+
+    def test_any_of_with_already_triggered_member(self, env):
+        t = env.timeout(0.1, value="done")
+        env.run()
+        cond = AnyOf(env, [t])
+        env.run()
+        assert cond.triggered

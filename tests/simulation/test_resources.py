@@ -1,0 +1,266 @@
+"""Unit tests for simulation resources (semaphores, containers, stores)."""
+
+import pytest
+
+from repro.simulation import (
+    CapacityError,
+    Container,
+    Environment,
+    Gauge,
+    PriorityResource,
+    Resource,
+    Store,
+)
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self, env):
+        res = Resource(env, capacity=2)
+        req = res.request()
+        env.run()
+        assert req.triggered
+        assert res.count == 1
+        assert res.available == 1
+
+    def test_requests_queue_beyond_capacity(self, env):
+        res = Resource(env, capacity=1)
+        first = res.request()
+        second = res.request()
+        env.run()
+        assert first.triggered
+        assert not second.triggered
+        assert res.queue_length == 1
+        first.release()
+        env.run()
+        assert second.triggered
+
+    def test_fifo_ordering(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(tag):
+            with res.request() as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1.0)
+
+        for tag in "abc":
+            env.process(worker(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_over_capacity_request_rejected(self, env):
+        res = Resource(env, capacity=2)
+        with pytest.raises(CapacityError):
+            res.request(amount=3)
+
+    def test_multi_slot_request(self, env):
+        res = Resource(env, capacity=3)
+        req = res.request(amount=3)
+        env.run()
+        assert req.triggered
+        assert res.available == 0
+
+    def test_release_unknown_request_raises(self, env):
+        res = Resource(env, capacity=1)
+        req = res.request()
+        env.run()
+        res.release(req)
+        with pytest.raises(Exception):
+            res.release(req)
+
+    def test_cancel_removes_from_queue(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        waiting = res.request()
+        waiting.cancel()
+        assert res.queue_length == 0
+
+    def test_context_manager_releases(self, env):
+        res = Resource(env, capacity=1)
+
+        def worker():
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        env.process(worker())
+        env.run()
+        assert res.count == 0
+
+    def test_resize_grants_waiters(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        waiting = res.request()
+        env.run()
+        assert not waiting.triggered
+        res.resize(2)
+        env.run()
+        assert waiting.triggered
+
+
+class TestPriorityResource:
+    def test_priority_order_beats_fifo(self, env):
+        res = PriorityResource(env, capacity=1)
+        hold = res.request(priority=0)
+        env.run()
+        low = res.request(priority=5)
+        high = res.request(priority=1)
+        env.run()
+        res.release(hold)
+        env.run()
+        assert high.triggered
+        assert not low.triggered
+
+    def test_equal_priority_is_fifo(self, env):
+        res = PriorityResource(env, capacity=1)
+        hold = res.request(priority=0)
+        env.run()
+        first = res.request(priority=1)
+        second = res.request(priority=1)
+        res.release(hold)
+        env.run()
+        assert first.triggered
+        assert not second.triggered
+
+
+class TestContainer:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=1.0, init=2.0)
+
+    def test_get_blocks_until_put(self, env):
+        box = Container(env, capacity=10.0, init=0.0)
+        got = box.get(4.0)
+        env.run()
+        assert not got.triggered
+        box.put(5.0)
+        env.run()
+        assert got.triggered
+        assert box.level == pytest.approx(1.0)
+
+    def test_put_blocks_at_capacity(self, env):
+        box = Container(env, capacity=5.0, init=5.0)
+        put = box.put(1.0)
+        env.run()
+        assert not put.triggered
+        box.get(2.0)
+        env.run()
+        assert put.triggered
+        assert box.level == pytest.approx(4.0)
+
+    def test_get_more_than_capacity_rejected(self, env):
+        box = Container(env, capacity=5.0)
+        with pytest.raises(CapacityError):
+            box.get(6.0)
+
+    def test_try_get_success_and_failure(self, env):
+        box = Container(env, capacity=5.0, init=3.0)
+        assert box.try_get(2.0)
+        assert box.level == pytest.approx(1.0)
+        assert not box.try_get(2.0)
+        assert box.level == pytest.approx(1.0)
+
+    def test_negative_amount_rejected(self, env):
+        box = Container(env, capacity=5.0)
+        with pytest.raises(ValueError):
+            box.get(-1.0)
+        with pytest.raises(ValueError):
+            box.put(-1.0)
+
+    def test_fifo_getters(self, env):
+        box = Container(env, capacity=10.0, init=0.0)
+        first = box.get(3.0)
+        second = box.get(1.0)
+        box.put(1.0)
+        env.run()
+        # Head-of-line blocking: second must wait for first.
+        assert not first.triggered
+        assert not second.triggered
+        box.put(2.0)
+        env.run()
+        assert first.triggered
+        assert not second.triggered
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("item")
+        got = store.get()
+        env.run()
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = store.get()
+        env.run()
+        assert not got.triggered
+        store.put(99)
+        env.run()
+        assert got.value == 99
+
+    def test_fifo_item_order(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        values = [store.get() for _ in range(3)]
+        env.run()
+        assert [v.value for v in values] == [0, 1, 2]
+
+    def test_capacity_blocks_puts(self, env):
+        store = Store(env, capacity=1)
+        store.put("a")
+        blocked = store.put("b")
+        env.run()
+        assert not blocked.triggered
+        store.get()
+        env.run()
+        assert blocked.triggered
+
+    def test_len_reflects_items(self, env):
+        store = Store(env)
+        assert len(store) == 0
+        store.put("x")
+        env.run()
+        assert len(store) == 1
+
+
+class TestGauge:
+    def test_initial_value(self, env):
+        g = Gauge(env, 5.0)
+        assert g.value == 5.0
+        assert g.peak == 5.0
+
+    def test_add_and_set(self, env):
+        g = Gauge(env)
+        g.add(3.0)
+        g.set(1.0)
+        assert g.value == 1.0
+        assert g.peak == 3.0
+
+    def test_time_weighted_mean(self, env):
+        g = Gauge(env, 0.0)
+        env.timeout(10.0)
+        env.run()
+        g.set(10.0)
+        env.timeout(10.0)
+        env.run()
+        # 10s at 0 then 10s at 10 -> mean 5.
+        assert g.mean() == pytest.approx(5.0)
+
+    def test_integral(self, env):
+        g = Gauge(env, 2.0)
+        env.timeout(5.0)
+        env.run()
+        assert g.integral() == pytest.approx(10.0)
+
+    def test_mean_at_time_zero(self, env):
+        g = Gauge(env, 7.0)
+        assert g.mean() == pytest.approx(7.0)

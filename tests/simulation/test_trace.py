@@ -1,0 +1,132 @@
+"""Unit tests for simulation tracing."""
+
+import pytest
+
+from repro.simulation import Environment
+from repro.simulation.trace import TraceEntry, Tracer
+
+
+class TestMarks:
+    def test_mark_records_time_and_data(self, env):
+        tracer = Tracer(env)
+        env.timeout(5.0)
+        env.run()
+        tracer.mark("pod-ready", "pod-0001", node="worker")
+        assert tracer.entries == [
+            TraceEntry(5.0, "pod-ready", "pod-0001", {"node": "worker"})
+        ]
+
+    def test_counts(self, env):
+        tracer = Tracer(env)
+        tracer.mark("a", "x")
+        tracer.mark("a", "y")
+        tracer.mark("b", "z")
+        assert tracer.counts() == {"a": 2, "b": 1}
+
+    def test_filter_by_kind_and_window(self, env):
+        tracer = Tracer(env)
+        tracer.mark("a", "early")
+        env.timeout(10.0)
+        env.run()
+        tracer.mark("a", "late")
+        tracer.mark("b", "other")
+        assert [e.label for e in tracer.filter(kinds={"a"})] == ["early", "late"]
+        assert [e.label for e in tracer.filter(start=5.0)] == ["late", "other"]
+
+    def test_max_entries_drops_and_counts(self, env):
+        tracer = Tracer(env, max_entries=2)
+        for i in range(5):
+            tracer.mark("m", str(i))
+        assert len(tracer.entries) == 2
+        assert tracer.dropped == 3
+        assert "3 entries dropped" in tracer.render()
+
+    def test_clear(self, env):
+        tracer = Tracer(env)
+        tracer.mark("m", "x")
+        tracer.clear()
+        assert tracer.entries == []
+        assert "(empty trace)" in tracer.render()
+
+
+class TestKernelCapture:
+    def test_captures_timeouts_and_processes(self):
+        env = Environment()
+        tracer = Tracer(env, capture_kernel=True)
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+
+        env.process(proc())
+        env.run()
+        counts = tracer.counts()
+        assert counts.get("timeout", 0) == 2
+        assert counts.get("process", 0) >= 1
+
+    def test_uninstall_stops_capture(self):
+        env = Environment()
+        tracer = Tracer(env, capture_kernel=True)
+        env.timeout(1.0)
+        env.run()
+        captured = len(tracer.entries)
+        tracer.uninstall()
+        env.timeout(1.0)
+        env.run()
+        assert len(tracer.entries) == captured
+
+    def test_capture_does_not_change_outcomes(self):
+        def run(capture):
+            env = Environment()
+            tracer = Tracer(env, capture_kernel=capture)
+            out = []
+
+            def proc(tag):
+                for i in range(3):
+                    yield env.timeout(0.5 + i)
+                    out.append((env.now, tag))
+
+            env.process(proc("a"))
+            env.process(proc("b"))
+            env.run()
+            return out
+
+        assert run(True) == run(False)
+
+    def test_render_limit(self, env):
+        tracer = Tracer(env)
+        for i in range(10):
+            tracer.mark("m", str(i))
+        text = tracer.render(limit=3)
+        assert "... 7 more entries" in text
+
+
+class TestPlatformIntegration:
+    def test_trace_a_knative_burst(self):
+        """Marks + kernel capture around a real platform run."""
+        import numpy as np
+
+        from repro.core.shared_drive import SimulatedSharedDrive
+        from repro.platform.cluster import Cluster
+        from repro.platform.knative import KnativeConfig, KnativePlatform
+        from repro.wfbench.spec import BenchRequest
+
+        env = Environment()
+        tracer = Tracer(env)
+        platform = KnativePlatform(
+            env, Cluster(env), SimulatedSharedDrive(),
+            config=KnativeConfig(container_concurrency=10),
+            rng=np.random.default_rng(0),
+        )
+        original = platform._pod_startup
+
+        def traced_startup(pod):
+            tracer.mark("pod-start", pod.name)
+            return original(pod)
+
+        platform._pod_startup = traced_startup
+        handles = [platform.invoke(BenchRequest(name=f"t{i}", cpu_work=50.0,
+                                                out={})) for i in range(30)]
+        env.run(until=env.all_of(handles))
+        pod_starts = tracer.filter(kinds={"pod-start"})
+        assert len(pod_starts) == platform.stats.units_created

@@ -1,0 +1,59 @@
+"""Package-level sanity: version, public exports, quick_run."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.simulation",
+    "repro.wfcommons",
+    "repro.wfcommons.recipes",
+    "repro.wfcommons.translators",
+    "repro.wfbench",
+    "repro.platform",
+    "repro.platform.knative",
+    "repro.platform.localcontainer",
+    "repro.core",
+    "repro.monitoring",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists {symbol}"
+
+    def test_quick_run_serverless(self):
+        result = repro.quick_run("blast", num_tasks=20, paradigm="Kn10wNoPM")
+        assert result.succeeded
+        assert result.spec.paradigm_name == "Kn10wNoPM"
+        assert result.aggregates.makespan_seconds > 0
+
+    def test_quick_run_resolves_coarse_granularity(self):
+        result = repro.quick_run("blast", num_tasks=20, paradigm="Kn1000wPM")
+        assert result.succeeded
+        assert result.spec.granularity == "coarse"
+
+    def test_quick_run_unknown_paradigm(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            repro.quick_run("blast", paradigm="Kn5w")
+
+    def test_docstring_mentions_paper(self):
+        assert "SC 2024" in repro.__doc__

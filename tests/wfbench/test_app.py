@@ -1,0 +1,103 @@
+"""Unit tests for the gunicorn-style WfBench app."""
+
+import threading
+
+import pytest
+
+from repro.wfbench.app import AppConfig, WfBenchApp
+from repro.wfbench.spec import BenchRequest
+from repro.wfbench.workload import CpuCalibration, WorkloadEngine
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return CpuCalibration.measure(target_unit_seconds=0.0005)
+
+
+@pytest.fixture
+def app(tmp_path, calibration):
+    engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+    return WfBenchApp(engine, AppConfig(workers=2))
+
+
+class TestAppConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppConfig(workers=0)
+        with pytest.raises(ValueError):
+            AppConfig(threads_per_worker=0)
+
+    def test_concurrency(self):
+        assert AppConfig(workers=4, threads_per_worker=2).concurrency == 8
+
+
+class TestHandle:
+    def test_valid_request_succeeds(self, app):
+        body = BenchRequest(name="t", cpu_work=1.0, out={"o.txt": 10}).dumps()
+        resp = app.handle(body)
+        assert resp.ok
+        assert app.served_requests == 1
+        assert app.failed_requests == 0
+
+    def test_malformed_body_is_400(self, app):
+        resp = app.handle("{broken")
+        assert resp.status == 400
+        assert app.failed_requests == 1
+
+    def test_application_failure_counted(self, app):
+        body = BenchRequest(name="t", inputs=("missing.txt",)).dumps()
+        resp = app.handle(body)
+        assert resp.status == 409
+        assert app.failed_requests == 1
+
+    def test_stats_shape(self, app):
+        stats = app.stats()
+        assert set(stats) == {"workers", "active", "served", "failed"}
+
+
+class TestDeploymentPolicy:
+    def test_pm_forced_on(self, tmp_path, calibration):
+        engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+        app = WfBenchApp(engine, AppConfig(workers=1, keep_memory=True))
+        req = BenchRequest(name="t", keep_memory=False)
+        assert app.apply_deployment_policy(req).keep_memory is True
+
+    def test_pm_forced_off(self, tmp_path, calibration):
+        engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+        app = WfBenchApp(engine, AppConfig(workers=1, keep_memory=False))
+        req = BenchRequest(name="t", keep_memory=True)
+        assert app.apply_deployment_policy(req).keep_memory is False
+
+    def test_policy_none_honours_request(self, app):
+        req = BenchRequest(name="t", keep_memory=True)
+        assert app.apply_deployment_policy(req) is req
+
+
+class TestWorkerPool:
+    def test_concurrency_capped_at_workers(self, tmp_path, calibration):
+        engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+        app = WfBenchApp(engine, AppConfig(workers=2))
+        peak = []
+        lock = threading.Lock()
+
+        original = engine.execute
+
+        def spying_execute(request):
+            with lock:
+                peak.append(app.active_requests)
+            return original(request)
+
+        engine.execute = spying_execute
+        threads = [
+            threading.Thread(
+                target=app.handle,
+                args=(BenchRequest(name=f"t{i}", cpu_work=4.0).dumps(),),
+            )
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert app.served_requests == 6
+        assert max(peak) <= 2

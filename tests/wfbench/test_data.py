@@ -1,0 +1,55 @@
+"""Unit tests for workflow input staging."""
+
+import pytest
+
+from repro.wfbench.data import stage_workflow_inputs, workflow_input_files
+from repro.wfcommons.schema import FileLink
+
+from helpers import make_workflow
+
+
+class TestWorkflowInputFiles:
+    def test_only_unproduced_inputs(self):
+        wf = make_workflow("blast", 10)
+        inputs = workflow_input_files(wf)
+        produced = {f.name for t in wf for f in t.output_files}
+        assert inputs
+        for spec in inputs:
+            assert spec.link is FileLink.INPUT
+            assert spec.name not in produced
+
+    def test_blast_has_one_staged_input(self):
+        wf = make_workflow("blast", 10)
+        names = [f.name for f in workflow_input_files(wf)]
+        assert names == ["split_fasta_00000001_input.txt"]
+
+    def test_no_duplicates(self):
+        wf = make_workflow("genome", 40)
+        names = [f.name for f in workflow_input_files(wf)]
+        assert len(names) == len(set(names))
+
+
+class TestStageWorkflowInputs:
+    def test_real_bytes(self, tmp_path):
+        wf = make_workflow("blast", 8)
+        staged = stage_workflow_inputs(wf, tmp_path)
+        assert len(staged) == 1
+        spec = workflow_input_files(wf)[0]
+        assert staged[0].stat().st_size == spec.size_in_bytes
+
+    def test_max_file_bytes_cap(self, tmp_path):
+        wf = make_workflow("blast", 8)
+        staged = stage_workflow_inputs(wf, tmp_path, max_file_bytes=100)
+        assert staged[0].stat().st_size == 100
+
+    def test_placeholders(self, tmp_path):
+        wf = make_workflow("seismology", 8)
+        staged = stage_workflow_inputs(wf, tmp_path, real_bytes=False)
+        assert all(p.stat().st_size == 0 for p in staged)
+        assert len(staged) == 7  # one per sG1IterDecon root
+
+    def test_creates_workdir(self, tmp_path):
+        wf = make_workflow("blast", 8)
+        target = tmp_path / "deep" / "dir"
+        stage_workflow_inputs(wf, target)
+        assert target.is_dir()

@@ -1,0 +1,76 @@
+"""Unit tests for the analytic WfBench demand model."""
+
+import numpy as np
+import pytest
+
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+
+@pytest.fixture
+def model():
+    return WfBenchModel(noise_sigma=0.0)
+
+
+def request(**kw):
+    defaults = dict(name="t", percent_cpu=0.8, cpu_work=100.0,
+                    out={"o.txt": 1000}, inputs=("i.txt",))
+    defaults.update(kw)
+    return BenchRequest(**defaults)
+
+
+class TestDemandFormulas:
+    def test_cpu_seconds_linear_in_cpu_work(self, model):
+        d1 = model.demand(request(cpu_work=100.0))
+        d2 = model.demand(request(cpu_work=200.0))
+        assert d2.cpu_seconds == pytest.approx(2 * d1.cpu_seconds)
+
+    def test_default_unit_calibration(self, model):
+        # cpu-work 100 at 0.02 s/unit -> 2 CPU-seconds.
+        assert model.demand(request(cpu_work=100.0)).cpu_seconds == pytest.approx(2.0)
+
+    def test_wall_includes_duty_cycle(self, model):
+        demand = model.demand_for_sizes(request(percent_cpu=0.5), input_bytes=0)
+        assert demand.wall_seconds == pytest.approx(
+            demand.cpu_seconds / 0.5 + demand.io_seconds
+        )
+
+    def test_io_seconds_from_bandwidth(self, model):
+        demand = model.demand_for_sizes(request(), input_bytes=100_000_000)
+        expected = (100_000_000 + 1000) / model.shared_drive_bandwidth
+        assert demand.io_seconds == pytest.approx(expected)
+
+    def test_pm_memory_fully_resident(self, model):
+        demand = model.demand(request(memory_bytes=1000, keep_memory=True))
+        assert demand.memory_avg_bytes == 1000
+        assert demand.memory_peak_bytes == 1000
+
+    def test_nopm_memory_partially_resident(self, model):
+        demand = model.demand(request(memory_bytes=1000, keep_memory=False))
+        assert demand.memory_avg_bytes == int(1000 * model.no_keep_residency)
+        assert demand.memory_peak_bytes == 1000
+
+    def test_cpu_utilisation_equals_percent_cpu(self, model):
+        assert model.demand(request(percent_cpu=0.7)).cpu_utilisation == 0.7
+
+    def test_busy_core_seconds_alias(self, model):
+        demand = model.demand(request())
+        assert demand.busy_core_seconds == demand.cpu_seconds
+
+
+class TestNoise:
+    def test_noise_reproducible_with_seeded_rng(self):
+        model = WfBenchModel(noise_sigma=0.1)
+        a = model.demand(request(), rng=np.random.default_rng(1)).cpu_seconds
+        b = model.demand(request(), rng=np.random.default_rng(1)).cpu_seconds
+        assert a == b
+
+    def test_noise_zero_without_rng(self):
+        model = WfBenchModel(noise_sigma=0.1)
+        assert model.demand(request()).cpu_seconds == pytest.approx(2.0)
+
+    def test_noise_perturbs(self):
+        model = WfBenchModel(noise_sigma=0.2)
+        rng = np.random.default_rng(2)
+        values = {model.demand(request(), rng=rng).cpu_seconds for _ in range(5)}
+        assert len(values) == 5

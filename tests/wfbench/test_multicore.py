@@ -1,0 +1,93 @@
+"""Tests for multi-core task support (WfBench cpu-threads)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import SchemaError
+from repro.platform.base import InvocationOutcome, ServingUnit, execute_request
+from repro.platform.cluster import Node, NodeSpec
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+GB = 1 << 30
+
+
+class TestSpec:
+    def test_cores_validated(self):
+        with pytest.raises(SchemaError):
+            BenchRequest(name="x", cores=0)
+
+    def test_cores_roundtrip(self):
+        req = BenchRequest(name="x", cores=4)
+        assert BenchRequest.loads(req.dumps()).cores == 4
+
+    def test_cores_omitted_when_default(self):
+        assert "cpu-threads" not in BenchRequest(name="x").to_json()
+        assert BenchRequest(name="x", cores=2).to_json()["cpu-threads"] == 2
+
+
+class TestModel:
+    def test_multicore_shrinks_wall_not_cpu(self):
+        model = WfBenchModel(noise_sigma=0.0)
+        single = model.demand_for_sizes(
+            BenchRequest(name="x", cpu_work=100.0, percent_cpu=1.0), 0)
+        quad = model.demand_for_sizes(
+            BenchRequest(name="x", cpu_work=100.0, percent_cpu=1.0, cores=4), 0)
+        assert quad.cpu_seconds == single.cpu_seconds
+        assert quad.wall_seconds == pytest.approx(single.wall_seconds / 4)
+        assert quad.cpu_utilisation == pytest.approx(4.0)
+
+
+class TestExecution:
+    def test_multicore_task_claims_more_cores(self, env):
+        node = Node(env, NodeSpec(name="n", cores=8, memory_bytes=8 * GB,
+                                  os_baseline_bytes=0, os_busy_cores=0.0))
+        unit = ServingUnit(env, "u", node, workers=4)
+        unit.start()
+        request = BenchRequest(name="t", cpu_work=100.0, percent_cpu=1.0,
+                               cores=4, out={})
+        model = WfBenchModel(noise_sigma=0.0)
+        demand = model.demand_for_sizes(request, 0)
+        outcome = InvocationOutcome(name="t")
+        env.process(execute_request(env, unit, request, demand,
+                                    SimulatedSharedDrive(), outcome))
+        env.run()
+        assert node.cpu_busy.peak == pytest.approx(4.0)
+        # 2 cpu-seconds over 4 cores -> 0.5 s wall.
+        assert outcome.service_seconds == pytest.approx(0.5, rel=0.01)
+
+    def test_multicore_tasks_contend_for_node(self, env):
+        """Two 4-core tasks on a 4-core node serialise."""
+        node = Node(env, NodeSpec(name="n", cores=4, memory_bytes=8 * GB,
+                                  os_baseline_bytes=0, os_busy_cores=0.0))
+        unit = ServingUnit(env, "u", node, workers=4)
+        unit.start()
+        model = WfBenchModel(noise_sigma=0.0)
+        outcomes = []
+        for i in range(2):
+            request = BenchRequest(name=f"t{i}", cpu_work=100.0,
+                                   percent_cpu=1.0, cores=4, out={})
+            demand = model.demand_for_sizes(request, 0)
+            outcome = InvocationOutcome(name=request.name)
+            outcomes.append(outcome)
+            env.process(execute_request(env, unit, request, demand,
+                                        SimulatedSharedDrive(), outcome))
+        env.run()
+        assert max(o.finished_at for o in outcomes) == pytest.approx(1.0,
+                                                                     rel=0.01)
+
+    def test_manager_propagates_task_cores(self, env):
+        from repro.core import ManagerConfig, ServerlessWorkflowManager
+        from repro.core.invocation import SimulatedInvoker
+
+        from helpers import make_workflow
+
+        wf = make_workflow("blast", 10)
+        for task in wf:
+            task.cores = 2
+        drive = SimulatedSharedDrive()
+        manager = ServerlessWorkflowManager.__new__(ServerlessWorkflowManager)
+        manager.config = ManagerConfig()
+        request = manager.build_request(wf[wf.task_names[1]])
+        assert request.cores == 2

@@ -1,0 +1,107 @@
+"""Integration tests for the real WfBench HTTP service."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.wfbench import AppConfig, WfBenchService
+from repro.wfbench.workload import CpuCalibration, WorkloadEngine
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return CpuCalibration.measure(target_unit_seconds=0.0005)
+
+
+@pytest.fixture
+def service(tmp_path, calibration):
+    engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+    with WfBenchService(base_dir=tmp_path, config=AppConfig(workers=4),
+                        engine=engine) as svc:
+        yield svc
+
+
+def post(url, doc):
+    body = json.dumps(doc).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+class TestService:
+    def test_post_wfbench_executes(self, service, tmp_path):
+        status, doc = post(service.url, {
+            "name": "t1", "percent-cpu": 0.9, "cpu-work": 1,
+            "out": {"t1_out.txt": 64}, "inputs": [], "workdir": ".",
+        })
+        assert status == 200
+        assert doc["name"] == "t1"
+        assert (tmp_path / "t1_out.txt").stat().st_size == 64
+
+    def test_missing_input_is_409(self, service):
+        status, doc = post(service.url, {
+            "name": "t2", "inputs": ["never_staged.txt"], "workdir": ".",
+            "cpu-work": 1,
+        })
+        assert status == 409
+        assert "never_staged" in doc["error"]
+
+    def test_malformed_body_is_400(self, service):
+        request = urllib.request.Request(
+            service.url, data=b"{nope", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_healthz(self, service):
+        with urllib.request.urlopen(service.health_url, timeout=10) as resp:
+            doc = json.loads(resp.read())
+        assert doc["status"] == "ok"
+        assert doc["workers"] == 4
+
+    def test_unknown_route_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(service.url.replace("/wfbench", "/nope"),
+                                   timeout=10)
+        assert info.value.code == 404
+
+    def test_unknown_post_route_404(self, service):
+        status, _ = post(service.url.replace("/wfbench", "/other"), {"name": "x"})
+        assert status == 404
+
+    def test_concurrent_posts_all_served(self, service):
+        results = []
+
+        def worker(i):
+            status, _ = post(service.url, {
+                "name": f"c{i}", "cpu-work": 1, "out": {}, "inputs": [],
+                "workdir": ".",
+            })
+            results.append(status)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [200] * 8
+
+    def test_start_stop_idempotent(self, tmp_path):
+        service = WfBenchService(base_dir=tmp_path)
+        service.start()
+        service.start()
+        service.stop()
+        service.stop()
+
+    def test_url_contains_bound_port(self, service):
+        assert service.url.startswith("http://127.0.0.1:")
+        assert service.port != 0

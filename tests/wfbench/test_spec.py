@@ -1,0 +1,102 @@
+"""Unit tests for the WfBench request/response schema."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.wfbench.spec import BenchRequest, BenchResponse
+
+
+class TestBenchRequest:
+    def test_paper_example_parses(self):
+        """The exact POST body from paper §III-B."""
+        body = json.dumps(
+            {
+                "name": "split_fasta_00000001",
+                "percent-cpu": 0.6,
+                "cpu-work": 100,
+                "out": {"split_fasta_00000001_output.txt": 204082},
+                "inputs": ["split_fasta_00000001_input.txt"],
+                "workdir": "../data/wfbench-knative",
+            }
+        )
+        request = BenchRequest.loads(body)
+        assert request.name == "split_fasta_00000001"
+        assert request.percent_cpu == 0.6
+        assert request.cpu_work == 100
+        assert request.out == {"split_fasta_00000001_output.txt": 204082}
+        assert request.inputs == ("split_fasta_00000001_input.txt",)
+        assert request.workdir == "../data/wfbench-knative"
+
+    def test_roundtrip(self):
+        req = BenchRequest(name="t", percent_cpu=0.8, cpu_work=5.0,
+                           out={"o.txt": 10}, inputs=("i.txt",),
+                           memory_bytes=100, keep_memory=True)
+        restored = BenchRequest.loads(req.dumps())
+        assert restored == req
+
+    def test_defaults(self):
+        req = BenchRequest.from_json({"name": "x"})
+        assert req.percent_cpu == 0.9
+        assert req.cpu_work == 100.0
+        assert not req.keep_memory
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            BenchRequest(name="")
+
+    def test_percent_cpu_bounds(self):
+        with pytest.raises(SchemaError):
+            BenchRequest(name="x", percent_cpu=0.0)
+        with pytest.raises(SchemaError):
+            BenchRequest(name="x", percent_cpu=1.2)
+
+    def test_negative_cpu_work_rejected(self):
+        with pytest.raises(SchemaError):
+            BenchRequest(name="x", cpu_work=-1)
+
+    def test_negative_output_size_rejected(self):
+        with pytest.raises(SchemaError):
+            BenchRequest(name="x", out={"f": -1})
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(SchemaError):
+            BenchRequest(name="x", memory_bytes=-5)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SchemaError):
+            BenchRequest.loads("{not json")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(SchemaError):
+            BenchRequest.loads("[1, 2]")
+
+    def test_total_output_bytes(self):
+        req = BenchRequest(name="x", out={"a": 10, "b": 32})
+        assert req.total_output_bytes == 42
+
+    def test_keep_memory_serialized_only_when_set(self):
+        assert "keep-memory" not in BenchRequest(name="x").to_json()
+        assert BenchRequest(name="x", keep_memory=True).to_json()["keep-memory"]
+
+
+class TestBenchResponse:
+    def test_ok_range(self):
+        assert BenchResponse(name="x", status=200).ok
+        assert BenchResponse(name="x", status=204).ok
+        assert not BenchResponse(name="x", status=409).ok
+        assert not BenchResponse(name="x", status=500).ok
+
+    def test_roundtrip(self):
+        resp = BenchResponse(name="x", status=200, duration_seconds=1.5,
+                             cpu_seconds=1.0, bytes_read=10, bytes_written=20,
+                             peak_memory_bytes=30)
+        restored = BenchResponse.from_json(json.loads(resp.dumps()))
+        assert restored == resp
+
+    def test_error_field_optional(self):
+        doc = BenchResponse(name="x").to_json()
+        assert "error" not in doc
+        doc = BenchResponse(name="x", status=500, error="boom").to_json()
+        assert doc["error"] == "boom"

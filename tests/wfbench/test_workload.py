@@ -1,0 +1,140 @@
+"""Unit tests for the real WfBench workload engine."""
+
+import pytest
+
+from repro.wfbench.spec import BenchRequest
+from repro.wfbench.workload import CpuCalibration, WorkloadEngine
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return CpuCalibration.measure(target_unit_seconds=0.0005)
+
+
+@pytest.fixture
+def engine(tmp_path, calibration):
+    return WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+
+
+def request_for(tmp_path, name="t1", **kw):
+    defaults = dict(percent_cpu=0.9, cpu_work=1.0, workdir=".")
+    defaults.update(kw)
+    return BenchRequest(name=name, **defaults)
+
+
+class TestCalibration:
+    def test_measure_positive(self, calibration):
+        assert calibration.seconds_per_unit > 0
+        assert calibration.kernel_iterations_per_unit >= 1
+
+    def test_unit_seconds_near_target(self):
+        cal = CpuCalibration.measure(target_unit_seconds=0.002)
+        assert 0.0001 < cal.seconds_per_unit < 0.05
+
+
+class TestExecution:
+    def test_writes_declared_outputs(self, engine, tmp_path):
+        req = request_for(tmp_path, out={"a.txt": 100, "b.txt": 3000})
+        resp = engine.execute(req)
+        assert resp.ok
+        assert (tmp_path / "a.txt").stat().st_size == 100
+        assert (tmp_path / "b.txt").stat().st_size == 3000
+        assert resp.bytes_written == 3100
+
+    def test_reads_inputs(self, engine, tmp_path):
+        (tmp_path / "in.txt").write_bytes(b"z" * 512)
+        req = request_for(tmp_path, inputs=("in.txt",), out={"o.txt": 10})
+        resp = engine.execute(req)
+        assert resp.ok
+        assert resp.bytes_read == 512
+
+    def test_missing_input_gives_409(self, engine):
+        req = request_for(None, inputs=("absent.txt",))
+        resp = engine.execute(req)
+        assert resp.status == 409
+        assert "absent.txt" in resp.error
+
+    def test_workdir_escape_gives_400(self, engine):
+        req = request_for(None, workdir="../../etc")
+        resp = engine.execute(req)
+        assert resp.status == 400
+
+    def test_nested_workdir_created(self, engine, tmp_path):
+        req = request_for(tmp_path, workdir="runs/a", out={"o.txt": 5})
+        resp = engine.execute(req)
+        assert resp.ok
+        assert (tmp_path / "runs" / "a" / "o.txt").exists()
+
+    def test_cpu_work_scales_cpu_seconds(self, engine):
+        light = engine.execute(request_for(None, cpu_work=1.0))
+        heavy = engine.execute(request_for(None, cpu_work=8.0))
+        assert heavy.cpu_seconds > light.cpu_seconds
+
+    def test_memory_stress_reported(self, engine):
+        resp = engine.execute(request_for(None, memory_bytes=1 << 20))
+        assert resp.peak_memory_bytes == 1 << 20
+
+    def test_memory_capped_by_engine_limit(self, tmp_path, calibration):
+        engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration,
+                                max_stress_bytes=1024)
+        resp = engine.execute(request_for(None, memory_bytes=1 << 30))
+        assert resp.peak_memory_bytes == 1024
+
+    def test_keep_memory_path(self, engine):
+        resp = engine.execute(
+            request_for(None, memory_bytes=1 << 16, keep_memory=True)
+        )
+        assert resp.ok
+        assert resp.peak_memory_bytes == 1 << 16
+
+    def test_zero_cpu_work_is_fast_and_ok(self, engine):
+        resp = engine.execute(request_for(None, cpu_work=0.0))
+        assert resp.ok
+        assert resp.duration_seconds < 1.0
+
+    def test_duty_cycle_sleeps(self, engine):
+        """percent-cpu < 1 must yield wall time > cpu time."""
+        resp = engine.execute(request_for(None, cpu_work=4.0, percent_cpu=0.5))
+        assert resp.duration_seconds > resp.cpu_seconds
+
+    def test_lazy_calibration(self, tmp_path):
+        engine = WorkloadEngine(base_dir=tmp_path)
+        assert engine.calibration.seconds_per_unit > 0
+
+
+class TestParallelStress:
+    """The real-WfBench topology: VM worker thread + CPU benchmark."""
+
+    def make_engine(self, tmp_path, calibration):
+        return WorkloadEngine(base_dir=tmp_path, calibration=calibration,
+                              parallel_stress=True, max_stress_bytes=1 << 16)
+
+    def test_pm_parallel_execution(self, tmp_path, calibration):
+        engine = self.make_engine(tmp_path, calibration)
+        resp = engine.execute(request_for(
+            None, cpu_work=4.0, memory_bytes=1 << 20, keep_memory=True,
+            out={"o.txt": 8}))
+        assert resp.ok
+        assert resp.peak_memory_bytes == 1 << 16  # capped
+        assert (tmp_path / "o.txt").exists()
+
+    def test_nopm_parallel_execution(self, tmp_path, calibration):
+        engine = self.make_engine(tmp_path, calibration)
+        resp = engine.execute(request_for(
+            None, cpu_work=4.0, memory_bytes=1 << 20, keep_memory=False))
+        assert resp.ok
+        assert resp.peak_memory_bytes == 1 << 16
+
+    def test_no_memory_request_skips_thread(self, tmp_path, calibration):
+        engine = self.make_engine(tmp_path, calibration)
+        resp = engine.execute(request_for(None, cpu_work=2.0, memory_bytes=0))
+        assert resp.ok
+        assert resp.peak_memory_bytes == 0
+
+    def test_cpu_work_still_scales(self, tmp_path, calibration):
+        engine = self.make_engine(tmp_path, calibration)
+        light = engine.execute(request_for(None, cpu_work=1.0,
+                                           memory_bytes=1 << 16))
+        heavy = engine.execute(request_for(None, cpu_work=8.0,
+                                           memory_bytes=1 << 16))
+        assert heavy.cpu_seconds > light.cpu_seconds

@@ -1,0 +1,79 @@
+"""Unit tests for the Figure-3 workflow characterisation."""
+
+import pytest
+
+from repro.wfcommons import WorkflowAnalyzer, WorkflowGenerator
+from repro.wfcommons.analysis import phase_levels
+from repro.wfcommons.recipes import RECIPES
+
+from helpers import make_workflow
+
+
+class TestPhaseLevels:
+    def test_levels_respect_edges(self, blast_workflow):
+        levels = phase_levels(blast_workflow)
+        for parent, child in blast_workflow.edges():
+            assert levels[parent] < levels[child]
+
+    def test_roots_are_level_zero(self, blast_workflow):
+        levels = phase_levels(blast_workflow)
+        for task in blast_workflow:
+            if not task.parents:
+                assert levels[task.name] == 0
+
+
+class TestCharacterization:
+    def test_density_sums_to_task_count(self, epigenomics_workflow):
+        char = WorkflowAnalyzer().characterize(epigenomics_workflow)
+        assert sum(char.phase_density) == char.num_tasks == len(epigenomics_workflow)
+
+    def test_edge_count(self, blast_workflow):
+        char = WorkflowAnalyzer().characterize(blast_workflow)
+        assert char.num_edges == len(blast_workflow.edges())
+
+    def test_paper_grouping_is_recovered(self):
+        """Group 1 (dense) vs group 2 (multi-phase) as in paper §V-D."""
+        analyzer = WorkflowAnalyzer()
+        dense = {}
+        for app in RECIPES:
+            wf = make_workflow(app, 100)
+            dense[app] = analyzer.characterize(wf).is_dense
+        assert dense["blast"] and dense["bwa"] and dense["genome"]
+        assert dense["seismology"] and dense["srasearch"]
+        assert not dense["cycles"] and not dense["epigenomics"]
+
+    def test_group2_has_more_phases_than_group1(self):
+        analyzer = WorkflowAnalyzer()
+        phases = {
+            app: analyzer.characterize(make_workflow(app, 100)).num_phases
+            for app in RECIPES
+        }
+        group1_max = max(phases[a] for a in
+                         ("blast", "bwa", "genome", "seismology", "srasearch"))
+        group2_min = min(phases[a] for a in ("cycles", "epigenomics"))
+        assert group2_min > group1_max
+
+    def test_characterize_many(self):
+        analyzer = WorkflowAnalyzer()
+        out = analyzer.characterize_many(
+            {"b": make_workflow("blast", 20), "s": make_workflow("seismology", 20)}
+        )
+        assert set(out) == {"b", "s"}
+
+    def test_to_rows(self, blast_workflow):
+        char = WorkflowAnalyzer().characterize(blast_workflow)
+        rows = char.to_rows()
+        assert len(rows) == char.num_phases
+        assert all(r[0] == char.name for r in rows)
+
+    def test_ascii_dag_renders_every_phase(self, blast_workflow):
+        analyzer = WorkflowAnalyzer()
+        text = analyzer.ascii_dag(blast_workflow)
+        char = analyzer.characterize(blast_workflow)
+        assert text.count("\n  phase") == char.num_phases
+
+    def test_ascii_dag_truncates_wide_phases(self):
+        analyzer = WorkflowAnalyzer()
+        wf = make_workflow("seismology", 200)
+        text = analyzer.ascii_dag(wf, max_width=10)
+        assert "(+189)" in text

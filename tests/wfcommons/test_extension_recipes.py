@@ -1,0 +1,144 @@
+"""Tests for the extension recipes (Montage, SoyKB)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.wfcommons.analysis import WorkflowAnalyzer, phase_levels
+from repro.wfcommons.recipes import (
+    ALL_RECIPES,
+    EXTENSION_RECIPES,
+    RECIPES,
+    MontageRecipe,
+    SoykbRecipe,
+    recipe_for,
+)
+from repro.wfcommons.validation import validate_workflow
+
+
+def build(recipe_cls, n, seed=0):
+    return recipe_cls().build(n, np.random.default_rng(seed))
+
+
+class TestRegistry:
+    def test_paper_set_unchanged(self):
+        assert sorted(RECIPES) == [
+            "blast", "bwa", "cycles", "epigenomics",
+            "genome", "seismology", "srasearch",
+        ]
+
+    def test_extensions_registered(self):
+        assert sorted(EXTENSION_RECIPES) == ["montage", "soykb"]
+        assert set(ALL_RECIPES) == set(RECIPES) | set(EXTENSION_RECIPES)
+
+    def test_recipe_for_resolves_extensions(self):
+        assert recipe_for("montage") is MontageRecipe
+        assert recipe_for("SoyKB") is SoykbRecipe
+
+
+@pytest.mark.parametrize("recipe_cls", [MontageRecipe, SoykbRecipe])
+class TestExtensionInvariants:
+    def test_exact_size_and_valid(self, recipe_cls):
+        for n in (recipe_cls.min_tasks, 47, 150):
+            wf = build(recipe_cls, n)
+            assert len(wf) == n
+            validate_workflow(wf)
+
+    def test_below_min_rejected(self, recipe_cls):
+        with pytest.raises(GenerationError):
+            build(recipe_cls, recipe_cls.min_tasks - 1)
+
+    def test_deterministic(self, recipe_cls):
+        assert build(recipe_cls, 60, seed=4).dumps() == \
+            build(recipe_cls, 60, seed=4).dumps()
+
+
+class TestMontageShape:
+    def test_double_fan_plus_tail(self):
+        wf = build(MontageRecipe, 69)  # 22 images, 19 diffs
+        counts = wf.categories()
+        assert counts["mProject"] == counts["mBackground"]
+        for tail in ("mConcatFit", "mBgModel", "mImgtbl", "mAdd",
+                     "mShrink", "mJPEG"):
+            assert counts[tail] == 1
+
+    def test_nine_logical_stages(self):
+        wf = build(MontageRecipe, 60)
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_phases == 9
+
+    def test_background_reads_projection_and_model(self):
+        wf = build(MontageRecipe, 30)
+        bg = next(t for t in wf if t.category == "mBackground")
+        parent_cats = {wf[p].category for p in bg.parents}
+        assert parent_cats == {"mProject", "mBgModel"}
+
+
+class TestSoykbShape:
+    def test_deep_chains(self):
+        wf = build(SoykbRecipe, 73)  # 10 samples
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_phases >= 10  # 7-stage chains + 3-stage tail
+        assert not char.is_dense  # group-2 shaped
+
+    def test_chain_order(self):
+        wf = build(SoykbRecipe, 24)  # 3 samples
+        levels = phase_levels(wf)
+        by_cat = {}
+        for t in wf:
+            by_cat.setdefault(t.category, []).append(levels[t.name])
+        assert max(by_cat["alignment_to_reference"]) < min(by_cat["sort_sam"])
+        assert max(by_cat["indel_realign"]) < min(by_cat["haplotype_caller"])
+        assert max(by_cat["haplotype_caller"]) < min(by_cat["merge_gvcfs"])
+
+    def test_merge_collects_all_samples(self):
+        wf = build(SoykbRecipe, 38)  # 5 samples
+        merge = next(t for t in wf if t.category == "merge_gvcfs")
+        assert len(merge.parents) == 5
+
+    def test_leftover_extends_some_chains(self):
+        base = build(SoykbRecipe, 24)   # 3 samples exactly
+        extended = build(SoykbRecipe, 25)
+        assert extended.categories()["haplotype_caller"] == \
+            base.categories()["haplotype_caller"] + 1
+
+
+class TestExtensionsEndToEnd:
+    @pytest.mark.parametrize("app", ["montage", "soykb"])
+    def test_runs_on_both_platforms(self, app):
+        """Extensions execute through the whole stack like the paper's 7."""
+        from repro.core import (
+            ManagerConfig,
+            ServerlessWorkflowManager,
+            SimulatedInvoker,
+            SimulatedSharedDrive,
+        )
+        from repro.platform.cluster import Cluster
+        from repro.platform.knative import KnativeConfig, KnativePlatform
+        from repro.simulation import Environment
+        from repro.wfbench.data import workflow_input_files
+        from repro.wfcommons import WorkflowGenerator
+
+        wf = WorkflowGenerator(recipe_for(app)(), seed=1).build_workflow(40)
+        env = Environment()
+        cluster = Cluster(env)
+        drive = SimulatedSharedDrive()
+        for f in workflow_input_files(wf):
+            drive.put(f.name, f.size_in_bytes)
+        platform = KnativePlatform(env, cluster, drive, config=KnativeConfig())
+        manager = ServerlessWorkflowManager(SimulatedInvoker(platform), drive,
+                                            ManagerConfig())
+        result = manager.execute(wf)
+        assert result.succeeded, result.error
+
+    @pytest.mark.parametrize("app", ["montage", "soykb"])
+    def test_wfchef_inference_roundtrip(self, app):
+        from repro.wfcommons import WorkflowGenerator
+        from repro.wfcommons.wfchef import InferredRecipe
+
+        gen = WorkflowGenerator(recipe_for(app)(), seed=2)
+        recipe = InferredRecipe.from_instances(
+            [gen.build_workflow(40), gen.build_workflow(100)], application=app)
+        wf = recipe.build(150, np.random.default_rng(0))
+        assert len(wf) == 150
+        validate_workflow(wf, check_files=False)

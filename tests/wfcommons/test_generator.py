@@ -1,0 +1,65 @@
+"""Unit tests for WfGen (the workflow generator)."""
+
+import pytest
+
+from repro.wfcommons import BlastRecipe, WorkflowGenerator, generate_suite
+from repro.wfcommons.recipes import RECIPES
+
+
+class TestWorkflowGenerator:
+    def test_accepts_class_instance_or_name(self):
+        for recipe in (BlastRecipe, BlastRecipe(), "blast"):
+            wf = WorkflowGenerator(recipe, seed=0).build_workflow(10)
+            assert len(wf) == 10
+
+    def test_generator_is_deterministic(self):
+        a = WorkflowGenerator("blast", seed=9).build_workflow(25)
+        b = WorkflowGenerator("blast", seed=9).build_workflow(25)
+        assert a.dumps() == b.dumps()
+
+    def test_successive_builds_differ(self):
+        gen = WorkflowGenerator("blast", seed=9)
+        a = gen.build_workflow(25)
+        b = gen.build_workflow(25)
+        sizes_a = [f.size_in_bytes for t in a for f in t.files]
+        sizes_b = [f.size_in_bytes for t in b for f in t.files]
+        assert sizes_a != sizes_b
+
+    def test_different_seeds_differ(self):
+        a = WorkflowGenerator("blast", seed=1).build_workflow(25)
+        b = WorkflowGenerator("blast", seed=2).build_workflow(25)
+        assert a.dumps() != b.dumps()
+
+    def test_build_workflows_multiple_sizes(self):
+        gen = WorkflowGenerator("seismology", seed=0)
+        wfs = gen.build_workflows([10, 20, 30])
+        assert [len(w) for w in wfs] == [10, 20, 30]
+
+
+class TestGenerateSuite:
+    def test_full_suite_covers_all_applications(self):
+        suite = generate_suite(sizes=[12], seed=0)
+        assert sorted(suite) == sorted(RECIPES)
+        for workflows in suite.values():
+            assert len(workflows) == 1
+            assert len(workflows[0]) == 12
+
+    def test_subset_of_applications(self):
+        suite = generate_suite(sizes=[10, 15], applications=["blast", "bwa"], seed=0)
+        assert sorted(suite) == ["blast", "bwa"]
+        assert [len(w) for w in suite["blast"]] == [10, 15]
+
+    def test_suite_written_to_disk_with_paper_layout(self, tmp_path):
+        generate_suite(sizes=[10], applications=["blast"], seed=0,
+                       base_cpu_work=250.0, output_dir=tmp_path)
+        expected = tmp_path / "BlastRecipe-250-10" / "BlastRecipe-250-10.json"
+        assert expected.exists()
+
+    def test_data_scale_shrinks_files(self):
+        small = generate_suite(sizes=[10], applications=["blast"], seed=0,
+                               data_scale=0.1)["blast"][0]
+        big = generate_suite(sizes=[10], applications=["blast"], seed=0,
+                             data_scale=1.0)["blast"][0]
+        small_bytes = sum(f.size_in_bytes for t in small for f in t.files)
+        big_bytes = sum(f.size_in_bytes for t in big for f in t.files)
+        assert small_bytes < big_bytes / 2

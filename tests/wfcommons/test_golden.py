@@ -1,0 +1,91 @@
+"""Golden-fixture regression tests.
+
+`tests/fixtures/` pins the exact serialised output of the generator and
+every translator for one fixed-seed workflow (Blast, 8 tasks, cpu-work
+250, seed 12345).  Any unintended change to naming, stress parameters,
+file wiring or translation layout fails here first.
+
+To intentionally update the fixtures after a deliberate format change::
+
+    python - <<'PY'
+    # (see tests/wfcommons/test_golden.py docstring)
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.wfcommons import WorkflowGenerator, BlastRecipe
+from repro.wfcommons.schema import Workflow
+from repro.wfcommons.translators import (
+    KnativeTranslator,
+    LocalContainerTranslator,
+    NextflowTranslator,
+    PegasusTranslator,
+)
+
+FIXTURES = Path(__file__).parent.parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return WorkflowGenerator(BlastRecipe(base_cpu_work=250.0),
+                             seed=12345).build_workflow(8)
+
+
+class TestGoldenGeneration:
+    def test_wfformat_document_stable(self, workflow):
+        expected = (FIXTURES / "blast8.wfformat.json").read_text()
+        assert workflow.dumps() == expected
+
+    def test_fixture_round_trips(self):
+        wf = Workflow.loads((FIXTURES / "blast8.wfformat.json").read_text())
+        assert len(wf) == 8
+        assert wf.name == "BlastRecipe-250-8"
+
+
+class TestGoldenTranslations:
+    def test_knative_stable(self, workflow):
+        expected = (FIXTURES / "blast8.knative.json").read_text()
+        assert KnativeTranslator().render(workflow) == expected
+
+    def test_local_stable(self, workflow):
+        expected = (FIXTURES / "blast8.local.json").read_text()
+        assert LocalContainerTranslator().render(workflow) == expected
+
+    def test_pegasus_stable(self, workflow):
+        expected = (FIXTURES / "blast8.pegasus.json").read_text()
+        assert PegasusTranslator().render(workflow) == expected
+
+    def test_nextflow_stable(self, workflow):
+        expected = (FIXTURES / "blast8.nf").read_text()
+        assert NextflowTranslator().render(workflow) == expected
+
+
+class TestGoldenSemantics:
+    """Spot-check load-bearing values inside the pinned knative fixture."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return json.loads((FIXTURES / "blast8.knative.json").read_text())
+
+    def test_api_url(self, doc):
+        task = next(iter(doc["workflow"]["tasks"].values()))
+        assert task["command"]["api_url"] == (
+            "http://wfbench.knative-functions.00.000.000.000.sslip.io/wfbench"
+        )
+
+    def test_arguments_record_keys(self, doc):
+        task = doc["workflow"]["tasks"]["blastall_00000002"]
+        record = task["command"]["arguments"][0]
+        assert set(record) == {"name", "percent-cpu", "cpu-work", "out",
+                               "inputs"}
+        assert record["cpu-work"] == task["cpuWork"]
+
+    def test_edges_consistent(self, doc):
+        tasks = doc["workflow"]["tasks"]
+        for name, task in tasks.items():
+            for child in task["children"]:
+                assert name in tasks[child]["parents"]

@@ -1,0 +1,56 @@
+"""Unit tests for the distilled WfInstances statistics."""
+
+import pytest
+
+from repro.wfcommons.instances import APPLICATIONS, profile_for
+
+
+#: The paper's seven applications (extension profiles live alongside).
+PAPER_APPS = {"blast", "bwa", "cycles", "epigenomics", "genome",
+              "seismology", "srasearch"}
+
+
+class TestProfiles:
+    def test_paper_applications_plus_extensions(self):
+        assert PAPER_APPS <= set(APPLICATIONS)
+        assert {"montage", "soykb"} <= set(APPLICATIONS)
+
+    def test_lookup_case_insensitive(self):
+        assert profile_for("Blast") is APPLICATIONS["blast"]
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(KeyError):
+            profile_for("quantum")
+
+    def test_groups_match_paper(self):
+        group1 = {"blast", "bwa", "genome", "seismology", "srasearch"}
+        group2 = {"cycles", "epigenomics"}
+        for name in PAPER_APPS:
+            expected = 1 if name in group1 else 2
+            assert APPLICATIONS[name].behaviour_group == expected, name
+
+    def test_stats_lookup(self):
+        blast = profile_for("blast")
+        stats = blast.stats("blastall")
+        assert stats.output_bytes > 0
+        assert 0 < stats.percent_cpu <= 1.0
+        assert stats.cpu_weight > 0
+        assert stats.memory_bytes > 0
+
+    def test_unknown_category_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="known"):
+            profile_for("blast").stats("unknown_thing")
+
+    def test_all_category_stats_sane(self):
+        for profile in APPLICATIONS.values():
+            for stats in profile.categories.values():
+                assert stats.output_bytes > 0
+                assert stats.output_cv >= 0
+                assert 0 < stats.percent_cpu <= 1.0
+                assert 0 < stats.cpu_weight <= 2.0
+                assert stats.memory_bytes >= 0
+
+    def test_blastall_output_matches_paper_listing(self):
+        """The paper's listing shows a ~40161-byte blastall output."""
+        stats = profile_for("blast").stats("blastall")
+        assert stats.output_bytes == pytest.approx(40161, rel=0.05)

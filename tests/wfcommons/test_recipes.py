@@ -1,0 +1,237 @@
+"""Per-recipe shape tests: each recipe must reproduce its application's
+characteristic DAG structure at exactly the requested size."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.wfcommons.analysis import WorkflowAnalyzer, phase_levels
+from repro.wfcommons.recipes import (
+    RECIPES,
+    BlastRecipe,
+    BwaRecipe,
+    CyclesRecipe,
+    EpigenomicsRecipe,
+    GenomeRecipe,
+    SeismologyRecipe,
+    SrasearchRecipe,
+    recipe_for,
+)
+from repro.wfcommons.validation import validate_workflow
+
+
+def build(recipe_cls, n, seed=0):
+    return recipe_cls().build(n, np.random.default_rng(seed))
+
+
+ALL_RECIPES = sorted(RECIPES.items())
+
+
+class TestAllRecipes:
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_exact_size(self, name, recipe_cls):
+        for n in (recipe_cls.min_tasks, 50, 137):
+            wf = build(recipe_cls, n)
+            assert len(wf) == n, f"{name} at {n}"
+
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_structurally_valid(self, name, recipe_cls):
+        validate_workflow(build(recipe_cls, 60))
+
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_below_min_tasks_rejected(self, name, recipe_cls):
+        with pytest.raises(GenerationError):
+            build(recipe_cls, recipe_cls.min_tasks - 1)
+
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_categories_match_profile(self, name, recipe_cls):
+        wf = build(recipe_cls, 60)
+        recipe = recipe_cls()
+        assert set(wf.categories()) <= set(recipe.profile.categories)
+
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_task_naming_convention(self, name, recipe_cls):
+        wf = build(recipe_cls, 40)
+        for task in wf:
+            category, _, task_id = task.name.rpartition("_")
+            assert category == task.category
+            assert task_id == task.task_id
+            assert len(task_id) == 8 and task_id.isdigit()
+
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_deterministic_given_seed(self, name, recipe_cls):
+        a = build(recipe_cls, 45, seed=3)
+        b = build(recipe_cls, 45, seed=3)
+        assert a.dumps() == b.dumps()
+
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_seed_changes_sizes_not_structure(self, name, recipe_cls):
+        a = build(recipe_cls, 45, seed=1)
+        b = build(recipe_cls, 45, seed=2)
+        assert a.task_names == b.task_names
+        assert sorted(a.edges()) == sorted(b.edges())
+        sizes_a = [f.size_in_bytes for t in a for f in t.files]
+        sizes_b = [f.size_in_bytes for t in b for f in t.files]
+        assert sizes_a != sizes_b
+
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_children_inputs_are_parent_outputs(self, name, recipe_cls):
+        wf = build(recipe_cls, 50)
+        for task in wf:
+            parent_outputs = {
+                f.name for p in task.parents for f in wf[p].output_files
+            }
+            for f in task.input_files:
+                if f.name.endswith(f"{task.name}_input.txt"):
+                    continue  # staged workflow input
+                assert f.name in parent_outputs
+
+    @pytest.mark.parametrize("name,recipe_cls", ALL_RECIPES)
+    def test_workflow_name_pattern(self, name, recipe_cls):
+        recipe = recipe_cls(base_cpu_work=250.0)
+        wf = recipe.build(50, np.random.default_rng(0))
+        assert wf.name == f"{recipe_cls.__name__}-250-50"
+
+
+class TestBlastShape:
+    def test_phase_structure(self):
+        wf = build(BlastRecipe, 53)
+        analyzer = WorkflowAnalyzer()
+        char = analyzer.characterize(wf)
+        assert char.num_phases == 4
+        assert char.phase_density == [1, 50, 1, 1]
+        assert char.category_counts["blastall"] == 50
+
+    def test_blastall_children_are_cat_blast_and_cat(self):
+        wf = build(BlastRecipe, 10)
+        blast = next(t for t in wf if t.category == "blastall")
+        child_categories = {wf[c].category for c in blast.children}
+        assert child_categories == {"cat_blast", "cat"}
+
+
+class TestBwaShape:
+    def test_two_roots(self):
+        wf = build(BwaRecipe, 20)
+        roots = [t for t in wf if not t.parents]
+        assert {t.category for t in roots} == {"fastq_reduce", "bwa_index"}
+
+    def test_phase_structure(self):
+        wf = build(BwaRecipe, 24)
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_phases == 4
+        assert char.phase_density == [2, 20, 1, 1]
+
+
+class TestSeismologyShape:
+    def test_two_levels_only(self):
+        wf = build(SeismologyRecipe, 30)
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_phases == 2
+        assert char.phase_density == [29, 1]
+
+    def test_min_is_two_tasks(self):
+        wf = build(SeismologyRecipe, 2)
+        assert len(wf) == 2
+
+
+class TestSrasearchShape:
+    def test_paired_pipelines(self):
+        wf = build(SrasearchRecipe, 21)  # 10 pairs + merge
+        counts = wf.categories()
+        assert counts["prefetch"] == 10
+        assert counts["fasterq_dump"] == 10
+        assert counts["merge"] == 1
+
+    def test_odd_budget_adds_spare_prefetch(self):
+        wf = build(SrasearchRecipe, 22)
+        counts = wf.categories()
+        assert counts["prefetch"] == 11
+        assert counts["fasterq_dump"] == 10
+
+
+class TestGenomeShape:
+    def test_three_phases(self):
+        wf = build(GenomeRecipe, 60)
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_phases == 3
+
+    def test_per_chromosome_structure(self):
+        wf = build(GenomeRecipe, 60)
+        counts = wf.categories()
+        chroms = counts["individuals_merge"]
+        assert counts["sifting"] == chroms
+        assert counts["mutation_overlap"] == chroms
+        assert counts["frequency"] == chroms
+
+    def test_overlap_reads_merge_and_sifting(self):
+        wf = build(GenomeRecipe, 30)
+        overlap = next(t for t in wf if t.category == "mutation_overlap")
+        parent_cats = {wf[p].category for p in overlap.parents}
+        assert parent_cats == {"individuals_merge", "sifting"}
+
+    def test_chromosomes_capped_at_22(self):
+        wf = build(GenomeRecipe, 2000)
+        assert wf.categories()["individuals_merge"] <= 22
+
+
+class TestCyclesShape:
+    def test_multi_phase_group2(self):
+        wf = build(CyclesRecipe, 63)  # 20 units exactly
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_phases >= 5
+        assert not char.is_dense
+
+    def test_aggregation_tail(self):
+        wf = build(CyclesRecipe, 33)
+        counts = wf.categories()
+        assert counts["cycles_fertilizer_increase_output_summary"] == 1
+        assert counts["cycles_output_summary"] == 1
+        assert counts["cycles_plots"] == 1
+
+    def test_leftover_deepens_some_chains(self):
+        wf = build(CyclesRecipe, 34)  # leftover 1 -> one extra cycles stage
+        counts = wf.categories()
+        assert counts["cycles"] == counts["baseline_cycles"] + 1
+
+
+class TestEpigenomicsShape:
+    def test_nine_phases(self):
+        wf = build(EpigenomicsRecipe, 30)
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_phases == 9
+
+    def test_chain_order(self):
+        wf = build(EpigenomicsRecipe, 15)
+        levels = phase_levels(wf)
+        by_cat = {}
+        for t in wf:
+            by_cat.setdefault(t.category, []).append(levels[t.name])
+        assert max(by_cat["fastqSplit"]) < min(by_cat["filterContams"])
+        assert max(by_cat["filterContams"]) < min(by_cat["sol2sanger"])
+        assert max(by_cat["fast2bfq"]) < min(by_cat["map"])
+        assert max(by_cat["maqIndex"]) < min(by_cat["pileup"])
+
+    def test_extra_budget_becomes_parallel_maps(self):
+        base = build(EpigenomicsRecipe, 9)
+        bigger = build(EpigenomicsRecipe, 12)
+        assert bigger.categories()["map"] == base.categories()["map"] + 3
+
+    def test_multiple_lanes_at_scale(self):
+        wf = build(EpigenomicsRecipe, 120)
+        assert wf.categories()["fastqSplit"] >= 2
+
+
+class TestRecipeRegistry:
+    def test_recipe_for_lookup(self):
+        assert recipe_for("blast") is BlastRecipe
+        assert recipe_for("BLAST") is BlastRecipe
+
+    def test_unknown_recipe_raises(self):
+        with pytest.raises(KeyError):
+            recipe_for("nope")
+
+    def test_registry_has_the_seven_paper_workflows(self):
+        assert sorted(RECIPES) == [
+            "blast", "bwa", "cycles", "epigenomics",
+            "genome", "seismology", "srasearch",
+        ]

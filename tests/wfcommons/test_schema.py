@@ -1,0 +1,214 @@
+"""Unit tests for the WfFormat schema layer."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.wfcommons.schema import (
+    FileLink,
+    FileSpec,
+    Task,
+    TaskCommand,
+    Workflow,
+    WorkflowMeta,
+)
+
+
+def make_task(name="t1", **kw):
+    defaults = dict(task_id="00000001", category="cat")
+    defaults.update(kw)
+    return Task(name=name, **defaults)
+
+
+class TestFileSpec:
+    def test_roundtrip(self):
+        spec = FileSpec("out.txt", 1234, FileLink.OUTPUT)
+        doc = spec.to_json()
+        assert doc == {"link": "output", "name": "out.txt", "sizeInBytes": 1234}
+        assert FileSpec.from_json(doc) == spec
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SchemaError):
+            FileSpec("f", -1, FileLink.INPUT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FileSpec("", 1, FileLink.INPUT)
+
+    def test_malformed_doc_rejected(self):
+        with pytest.raises(SchemaError):
+            FileSpec.from_json({"name": "x"})
+
+    def test_bad_link_rejected(self):
+        with pytest.raises(SchemaError):
+            FileSpec.from_json({"name": "x", "sizeInBytes": 1, "link": "sideways"})
+
+
+class TestTask:
+    def test_minimal_task(self):
+        task = make_task()
+        assert task.task_type == "compute"
+        assert task.cores == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            make_task(name="")
+
+    def test_percent_cpu_bounds(self):
+        with pytest.raises(SchemaError):
+            make_task(percent_cpu=1.5)
+        with pytest.raises(SchemaError):
+            make_task(percent_cpu=-0.1)
+
+    def test_negative_cpu_work_rejected(self):
+        with pytest.raises(SchemaError):
+            make_task(cpu_work=-1.0)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(SchemaError):
+            make_task(memory_bytes=-1)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SchemaError):
+            make_task(cores=0)
+
+    def test_input_output_views(self):
+        task = make_task(
+            files=[
+                FileSpec("in.txt", 10, FileLink.INPUT),
+                FileSpec("out.txt", 20, FileLink.OUTPUT),
+                FileSpec("out2.txt", 30, FileLink.OUTPUT),
+            ]
+        )
+        assert [f.name for f in task.input_files] == ["in.txt"]
+        assert [f.name for f in task.output_files] == ["out.txt", "out2.txt"]
+        assert task.input_bytes == 10
+        assert task.output_bytes == 50
+
+    def test_json_roundtrip(self):
+        task = make_task(
+            parents=["p"], children=["c"],
+            files=[FileSpec("in.txt", 10, FileLink.INPUT)],
+            percent_cpu=0.75, cpu_work=42.0, memory_bytes=1024,
+        )
+        restored = Task.from_json(task.to_json())
+        assert restored.name == task.name
+        assert restored.parents == ["p"]
+        assert restored.children == ["c"]
+        assert restored.percent_cpu == 0.75
+        assert restored.cpu_work == 42.0
+        assert restored.memory_bytes == 1024
+        assert restored.files == task.files
+
+    def test_from_json_missing_name_raises(self):
+        with pytest.raises(SchemaError):
+            Task.from_json({"id": "1"})
+
+    def test_category_derived_from_name_when_absent(self):
+        task = Task.from_json({"name": "blastall_00000002"})
+        assert task.category == "blastall"
+
+
+class TestTaskCommand:
+    def test_roundtrip_with_api_url(self):
+        cmd = TaskCommand(program="wfbench.py", arguments=[{"a": 1}],
+                          api_url="http://x/wfbench")
+        doc = cmd.to_json()
+        assert doc["api_url"] == "http://x/wfbench"
+        assert TaskCommand.from_json(doc).api_url == "http://x/wfbench"
+
+    def test_api_url_omitted_when_none(self):
+        assert "api_url" not in TaskCommand().to_json()
+
+
+class TestWorkflow:
+    def make(self):
+        wf = Workflow(WorkflowMeta(name="wf"))
+        wf.add_task(make_task("a", task_id="1"))
+        wf.add_task(make_task("b", task_id="2"))
+        wf.add_edge("a", "b")
+        return wf
+
+    def test_container_protocol(self):
+        wf = self.make()
+        assert len(wf) == 2
+        assert "a" in wf
+        assert wf["a"].name == "a"
+        assert [t.name for t in wf] == ["a", "b"]
+
+    def test_missing_task_keyerror(self):
+        with pytest.raises(KeyError):
+            self.make()["zzz"]
+
+    def test_duplicate_task_rejected(self):
+        wf = self.make()
+        with pytest.raises(SchemaError):
+            wf.add_task(make_task("a"))
+
+    def test_edges_symmetric(self):
+        wf = self.make()
+        assert wf.edges() == [("a", "b")]
+        assert wf["b"].parents == ["a"]
+        assert wf["a"].children == ["b"]
+
+    def test_edge_idempotent(self):
+        wf = self.make()
+        wf.add_edge("a", "b")
+        assert wf.edges() == [("a", "b")]
+
+    def test_self_edge_rejected(self):
+        wf = self.make()
+        with pytest.raises(SchemaError):
+            wf.add_edge("a", "a")
+
+    def test_edge_to_unknown_task_rejected(self):
+        wf = self.make()
+        with pytest.raises(SchemaError):
+            wf.add_edge("a", "nope")
+        with pytest.raises(SchemaError):
+            wf.add_edge("nope", "a")
+
+    def test_categories_histogram(self):
+        wf = Workflow(WorkflowMeta(name="wf"))
+        wf.add_task(make_task("x1", category="x"))
+        wf.add_task(make_task("x2", category="x"))
+        wf.add_task(make_task("y1", category="y"))
+        assert wf.categories() == {"x": 2, "y": 1}
+
+    def test_json_roundtrip_preserves_structure(self):
+        wf = self.make()
+        restored = Workflow.loads(wf.dumps())
+        assert restored.name == "wf"
+        assert restored.task_names == ["a", "b"]
+        assert restored.edges() == [("a", "b")]
+
+    def test_from_json_accepts_dict_keyed_tasks(self):
+        # The Knative-translated form keys tasks by name (paper listing).
+        doc = {
+            "name": "translated",
+            "workflow": {
+                "tasks": {
+                    "a": make_task("a").to_json(),
+                    "b": make_task("b").to_json(),
+                }
+            },
+        }
+        wf = Workflow.from_json(doc)
+        assert set(wf.task_names) == {"a", "b"}
+
+    def test_from_json_without_workflow_section_raises(self):
+        with pytest.raises(SchemaError):
+            Workflow.from_json({"name": "x"})
+
+    def test_save_and_load(self, tmp_path):
+        wf = self.make()
+        path = wf.save(tmp_path / "sub" / "wf.json")
+        assert path.exists()
+        loaded = Workflow.load(path)
+        assert loaded.task_names == wf.task_names
+
+    def test_dumps_is_valid_json(self):
+        doc = json.loads(self.make().dumps())
+        assert doc["schemaVersion"]
+        assert isinstance(doc["workflow"]["tasks"], list)

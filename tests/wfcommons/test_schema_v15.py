@@ -1,0 +1,130 @@
+"""Tests for WfFormat 1.5 interoperability (the current WfInstances
+corpus layout: specification/execution split, file ids)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.wfcommons.schema import FileLink, Workflow
+from repro.wfcommons.validation import validate_workflow
+
+
+def v15_document():
+    """A miniature 1.5 instance: split -> 2x work -> merge."""
+    return {
+        "name": "mini-blast",
+        "schemaVersion": "1.5",
+        "workflow": {
+            "specification": {
+                "tasks": [
+                    {
+                        "name": "split_1", "id": "0001",
+                        "category": "split",
+                        "inputFiles": ["f_in"],
+                        "outputFiles": ["f_a", "f_b"],
+                        "children": ["0002", "0003"],
+                        "parents": [],
+                    },
+                    {
+                        "name": "work_1", "id": "0002",
+                        "category": "work",
+                        "inputFiles": ["f_a"],
+                        "outputFiles": ["f_wa"],
+                        "children": ["0004"], "parents": ["0001"],
+                    },
+                    {
+                        "name": "work_2", "id": "0003",
+                        "category": "work",
+                        "inputFiles": ["f_b"],
+                        "outputFiles": ["f_wb"],
+                        "children": ["0004"], "parents": ["0001"],
+                    },
+                    {
+                        "name": "merge_1", "id": "0004",
+                        "category": "merge",
+                        "inputFiles": ["f_wa", "f_wb"],
+                        "outputFiles": ["f_out"],
+                        "children": [], "parents": ["0002", "0003"],
+                    },
+                ],
+                "files": [
+                    {"id": "f_in", "name": "input.fasta", "sizeInBytes": 1000},
+                    {"id": "f_a", "name": "chunk_a.fasta", "sizeInBytes": 500},
+                    {"id": "f_b", "name": "chunk_b.fasta", "sizeInBytes": 500},
+                    {"id": "f_wa", "name": "match_a.txt", "sizeInBytes": 100},
+                    {"id": "f_wb", "name": "match_b.txt", "sizeInBytes": 120},
+                    {"id": "f_out", "name": "result.txt", "sizeInBytes": 220},
+                ],
+            },
+            "execution": {
+                "makespanInSeconds": 42.5,
+                "executedAt": "2024-07-12T00:00:00Z",
+                "tasks": [
+                    {"id": "0001", "runtimeInSeconds": 3.0, "coreCount": 1},
+                    {"id": "0002", "runtimeInSeconds": 10.0, "coreCount": 2,
+                     "memoryInBytes": 1024},
+                    {"id": "0003", "runtimeInSeconds": 11.0, "coreCount": 2},
+                    {"id": "0004", "runtimeInSeconds": 2.0, "coreCount": 1},
+                ],
+            },
+        },
+    }
+
+
+class TestV15Parsing:
+    def test_tasks_and_edges(self):
+        wf = Workflow.from_json(v15_document())
+        assert len(wf) == 4
+        assert sorted(wf.edges()) == [
+            ("split_1", "work_1"), ("split_1", "work_2"),
+            ("work_1", "merge_1"), ("work_2", "merge_1"),
+        ]
+        validate_workflow(wf)
+
+    def test_file_ids_resolved_to_names_and_sizes(self):
+        wf = Workflow.from_json(v15_document())
+        split = wf["split_1"]
+        assert [f.name for f in split.input_files] == ["input.fasta"]
+        assert [f.name for f in split.output_files] == [
+            "chunk_a.fasta", "chunk_b.fasta"]
+        assert split.output_files[0].size_in_bytes == 500
+
+    def test_execution_section_merged(self):
+        wf = Workflow.from_json(v15_document())
+        assert wf.meta.makespan_in_seconds == pytest.approx(42.5)
+        assert wf["work_1"].runtime_in_seconds == pytest.approx(10.0)
+        assert wf["work_1"].cores == 2
+        assert wf["work_1"].memory_bytes == 1024
+
+    def test_unknown_file_id_rejected(self):
+        doc = v15_document()
+        doc["workflow"]["specification"]["tasks"][0]["inputFiles"] = ["ghost"]
+        with pytest.raises(SchemaError, match="unknown file id"):
+            Workflow.from_json(doc)
+
+    def test_missing_execution_tolerated(self):
+        doc = v15_document()
+        del doc["workflow"]["execution"]
+        wf = Workflow.from_json(doc)
+        assert wf["work_1"].runtime_in_seconds == 0.0
+
+    def test_task_without_name_uses_id(self):
+        doc = v15_document()
+        del doc["workflow"]["specification"]["tasks"][0]["name"]
+        wf = Workflow.from_json(doc)
+        assert "0001" in wf
+
+    def test_wfchef_accepts_v15_instances(self):
+        """1.5 instances flow into the inference pipeline untouched."""
+        from repro.wfcommons.wfchef import analyze_instance
+
+        wf = Workflow.from_json(v15_document())
+        pattern = analyze_instance(wf)
+        assert pattern.categories["work"].count == 2
+
+    def test_characterization_of_v15(self):
+        from repro.wfcommons import WorkflowAnalyzer
+
+        wf = Workflow.from_json(v15_document())
+        char = WorkflowAnalyzer().characterize(wf)
+        assert char.num_phases == 3
+        assert char.phase_density == [1, 2, 1]

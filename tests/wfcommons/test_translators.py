@@ -1,0 +1,165 @@
+"""Unit tests for the WfBench translators (Knative = paper contribution)."""
+
+import json
+
+import pytest
+
+from repro.wfcommons.schema import Workflow
+from repro.wfcommons.translators import (
+    KnativeServiceConfig,
+    KnativeTranslator,
+    LocalContainerConfig,
+    LocalContainerTranslator,
+    NextflowTranslator,
+    PegasusTranslator,
+    TRANSLATORS,
+)
+
+from helpers import make_workflow
+
+
+@pytest.fixture
+def workflow():
+    return make_workflow("blast", 12)
+
+
+class TestKnativeTranslator:
+    def test_tasks_keyed_by_name(self, workflow):
+        doc = KnativeTranslator().translate(workflow)
+        tasks = doc["workflow"]["tasks"]
+        assert isinstance(tasks, dict)
+        assert set(tasks) == set(workflow.task_names)
+
+    def test_arguments_become_key_value_record(self, workflow):
+        """Paper modification 1: arguments list -> single key/value record."""
+        doc = KnativeTranslator().translate(workflow)
+        name = next(n for n in workflow.task_names if "blastall" in n)
+        record = doc["workflow"]["tasks"][name]["command"]["arguments"][0]
+        assert record["name"] == name
+        assert set(record) == {"name", "percent-cpu", "cpu-work", "out", "inputs"}
+        assert isinstance(record["out"], dict)
+        assert isinstance(record["inputs"], list)
+
+    def test_api_url_added(self, workflow):
+        """Paper modification 2: per-task HTTP endpoint."""
+        config = KnativeServiceConfig(cluster_ip="10.0.0.1")
+        doc = KnativeTranslator(config).translate(workflow)
+        for task_doc in doc["workflow"]["tasks"].values():
+            assert task_doc["command"]["api_url"] == (
+                "http://wfbench.knative-functions.10.0.0.1.sslip.io/wfbench"
+            )
+
+    def test_out_maps_filenames_to_sizes(self, workflow):
+        doc = KnativeTranslator().translate(workflow)
+        for name, task_doc in doc["workflow"]["tasks"].items():
+            record = task_doc["command"]["arguments"][0]
+            for fname, size in record["out"].items():
+                assert fname.startswith(name)
+                assert size > 0
+
+    def test_translated_doc_loads_back_as_workflow(self, workflow):
+        doc = KnativeTranslator().translate(workflow)
+        restored = Workflow.from_json(doc)
+        assert set(restored.task_names) == set(workflow.task_names)
+        assert sorted(restored.edges()) == sorted(workflow.edges())
+
+    def test_render_is_json(self, workflow):
+        text = KnativeTranslator().render(workflow)
+        assert json.loads(text)["platform"] == "knative"
+
+    def test_service_manifest_matches_config(self):
+        config = KnativeServiceConfig(workers_per_pod=10, cpu_limit="2")
+        manifest = config.service_manifest()
+        assert manifest["kind"] == "Service"
+        spec = manifest["spec"]["template"]["spec"]
+        assert spec["containerConcurrency"] == 10
+        command = spec["containers"][0]["command"]
+        assert "--workers" in command and "10" in command
+        assert spec["containers"][0]["resources"]["limits"]["cpu"] == "2"
+
+    def test_build_request_body_includes_workdir(self, workflow):
+        translator = KnativeTranslator()
+        name = workflow.task_names[0]
+        body = translator.build_request_body(workflow, name, workdir="/data/x")
+        assert body["workdir"] == "/data/x"
+        assert body["name"] == name
+
+    def test_translate_to_file(self, workflow, tmp_path):
+        path = KnativeTranslator().translate_to_file(workflow, tmp_path / "w.json")
+        assert json.loads(path.read_text())["name"] == workflow.name
+
+
+class TestLocalContainerTranslator:
+    def test_api_url_is_local(self, workflow):
+        config = LocalContainerConfig(host="localhost", port=80)
+        doc = LocalContainerTranslator(config).translate(workflow)
+        for task_doc in doc["workflow"]["tasks"].values():
+            assert task_doc["command"]["api_url"] == "http://localhost:80/wfbench"
+
+    def test_docker_run_command_matches_paper(self):
+        config = LocalContainerConfig(cpus=2.0)
+        argv = config.docker_run_command()
+        assert argv[:3] == ["docker", "run", "-t"]
+        assert "--cpus=2" in argv
+        assert argv[-1].endswith("wfbench-local")
+
+    def test_nocr_omits_cpus_flag(self):
+        argv = LocalContainerConfig(cpus=None).docker_run_command()
+        assert not any(a.startswith("--cpus") for a in argv)
+
+    def test_round_trip(self, workflow):
+        doc = LocalContainerTranslator().translate(workflow)
+        restored = Workflow.from_json(doc)
+        assert len(restored) == len(workflow)
+
+
+class TestPegasusTranslator:
+    def test_jobs_and_dependencies(self, workflow):
+        doc = PegasusTranslator().translate(workflow)
+        assert doc["pegasus"] == "5.0"
+        assert len(doc["jobs"]) == len(workflow)
+        dep_parents = {d["id"] for d in doc["jobDependencies"]}
+        expected = {workflow[p].task_id for p, _ in workflow.edges()}
+        assert dep_parents == expected
+
+    def test_replica_catalog_lists_staged_inputs_only(self, workflow):
+        doc = PegasusTranslator().translate(workflow)
+        lfns = {r["lfn"] for r in doc["replicaCatalog"]["replicas"]}
+        produced = {
+            f.name for t in workflow for f in t.output_files
+        }
+        assert lfns and not (lfns & produced)
+
+    def test_render_parses(self, workflow):
+        assert json.loads(PegasusTranslator().render(workflow))
+
+
+class TestNextflowTranslator:
+    def test_one_process_per_category(self, workflow):
+        doc = NextflowTranslator().translate(workflow)
+        assert len(doc["processes"]) == len(workflow.categories())
+
+    def test_invocations_in_topological_order(self, workflow):
+        doc = NextflowTranslator().translate(workflow)
+        seen = set()
+        for inv in doc["invocations"]:
+            for parent in inv["parents"]:
+                assert parent in seen
+            seen.add(inv["task"])
+
+    def test_render_is_dsl2(self, workflow):
+        text = NextflowTranslator().render(workflow)
+        assert "nextflow.enable.dsl = 2" in text
+        assert text.count("process ") == len(workflow.categories())
+        assert "workflow {" in text
+
+
+class TestRegistry:
+    def test_targets(self):
+        assert sorted(TRANSLATORS) == ["knative", "local", "nextflow", "pegasus"]
+
+    def test_every_translator_renders_every_recipe(self):
+        for app in ("blast", "cycles"):
+            wf = make_workflow(app, 15)
+            for cls in TRANSLATORS.values():
+                assert cls().render(wf)

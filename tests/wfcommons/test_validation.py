@@ -1,0 +1,118 @@
+"""Unit tests for workflow structural validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.wfcommons.schema import FileLink, FileSpec, Task, Workflow, WorkflowMeta
+from repro.wfcommons.validation import find_cycle, topological_order, validate_workflow
+
+
+def task(name, files=(), **kw):
+    return Task(name=name, task_id=name, category=name.split("_")[0],
+                files=list(files), **kw)
+
+
+def chain(*names):
+    wf = Workflow(WorkflowMeta(name="chain"))
+    for n in names:
+        wf.add_task(task(n))
+    for parent, child in zip(names, names[1:]):
+        wf.add_edge(parent, child)
+    return wf
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self):
+        wf = chain("a", "b", "c")
+        assert topological_order(wf) == ["a", "b", "c"]
+
+    def test_diamond_order_is_valid(self):
+        wf = chain("a")
+        for n in ("b", "c", "d"):
+            wf.add_task(task(n))
+        wf.add_edge("a", "b")
+        wf.add_edge("a", "c")
+        wf.add_edge("b", "d")
+        wf.add_edge("c", "d")
+        order = topological_order(wf)
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        wf = chain("a", "b", "c")
+        # Force a cycle directly in the task lists.
+        wf["c"].children.append("a")
+        wf["a"].parents.append("c")
+        with pytest.raises(ValidationError, match="cycle"):
+            topological_order(wf)
+
+    def test_find_cycle_returns_path(self):
+        wf = chain("a", "b")
+        wf["b"].children.append("a")
+        wf["a"].parents.append("b")
+        cycle = find_cycle(wf)
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b"}
+
+    def test_find_cycle_empty_on_dag(self):
+        assert find_cycle(chain("a", "b", "c")) == []
+
+
+class TestValidateWorkflow:
+    def test_valid_workflow_passes(self):
+        validate_workflow(chain("a", "b"))
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValidationError, match="no tasks"):
+            validate_workflow(Workflow(WorkflowMeta(name="empty")))
+
+    def test_asymmetric_edge_rejected(self):
+        wf = chain("a", "b")
+        wf["a"].children.append("ghost")
+        with pytest.raises(ValidationError, match="unknown child"):
+            validate_workflow(wf)
+
+    def test_missing_backedge_rejected(self):
+        wf = chain("a", "b")
+        wf["b"].parents.clear()
+        with pytest.raises(ValidationError, match="missing"):
+            validate_workflow(wf)
+
+    def test_unknown_parent_rejected(self):
+        wf = chain("a", "b")
+        wf["b"].parents.append("ghost")
+        with pytest.raises(ValidationError, match="unknown parent"):
+            validate_workflow(wf)
+
+    def test_file_lineage_violation_rejected(self):
+        wf = Workflow(WorkflowMeta(name="files"))
+        wf.add_task(task("producer_1",
+                         files=[FileSpec("data.txt", 5, FileLink.OUTPUT)]))
+        wf.add_task(task("reader_1",
+                         files=[FileSpec("data.txt", 5, FileLink.INPUT)]))
+        # reader is NOT a child of producer -> lineage violation.
+        with pytest.raises(ValidationError, match="none of which is a parent"):
+            validate_workflow(wf)
+
+    def test_file_lineage_ok_when_parent_produces(self):
+        wf = Workflow(WorkflowMeta(name="files"))
+        wf.add_task(task("producer_1",
+                         files=[FileSpec("data.txt", 5, FileLink.OUTPUT)]))
+        wf.add_task(task("reader_1",
+                         files=[FileSpec("data.txt", 5, FileLink.INPUT)]))
+        wf.add_edge("producer_1", "reader_1")
+        validate_workflow(wf)
+
+    def test_staged_workflow_input_allowed(self):
+        wf = Workflow(WorkflowMeta(name="staged"))
+        wf.add_task(task("root_1",
+                         files=[FileSpec("staged.txt", 5, FileLink.INPUT)]))
+        validate_workflow(wf)
+
+    def test_check_files_can_be_disabled(self):
+        wf = Workflow(WorkflowMeta(name="files"))
+        wf.add_task(task("producer_1",
+                         files=[FileSpec("data.txt", 5, FileLink.OUTPUT)]))
+        wf.add_task(task("reader_1",
+                         files=[FileSpec("data.txt", 5, FileLink.INPUT)]))
+        validate_workflow(wf, check_files=False)

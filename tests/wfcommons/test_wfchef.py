@@ -1,0 +1,160 @@
+"""Unit tests for WfChef recipe inference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.wfcommons import WorkflowAnalyzer, WorkflowGenerator, recipe_for
+from repro.wfcommons.validation import validate_workflow
+from repro.wfcommons.wfchef import (
+    InferredRecipe,
+    LinkKind,
+    analyze_instance,
+)
+
+from helpers import make_workflow
+
+
+def instances(app, sizes=(40, 120), seed=3):
+    gen = WorkflowGenerator(recipe_for(app)(), seed=seed)
+    return [gen.build_workflow(size) for size in sizes]
+
+
+class TestAnalyzeInstance:
+    def test_blast_pattern(self):
+        pattern = analyze_instance(make_workflow("blast", 23))
+        assert pattern.num_tasks == 23
+        assert pattern.categories["blastall"].count == 20
+        assert pattern.categories["split_fasta"].count == 1
+        # split -> blastall fans out (with a single split, scatter and
+        # all-to-all are indistinguishable and equivalent); blastall ->
+        # cat_blast collects everything.
+        kinds = {(l.parent, l.child): l.kind for l in pattern.links}
+        assert kinds[("split_fasta", "blastall")] in (LinkKind.SCATTER,
+                                                      LinkKind.ALL_TO_ALL)
+        assert kinds[("blastall", "cat_blast")] in (LinkKind.GATHER,
+                                                    LinkKind.ALL_TO_ALL)
+
+    def test_category_order_follows_levels(self):
+        pattern = analyze_instance(make_workflow("epigenomics", 30))
+        order = pattern.category_order
+        assert order.index("fastqSplit") < order.index("filterContams")
+        assert order.index("map") < order.index("pileup")
+
+    def test_one_to_one_chain_detected(self):
+        pattern = analyze_instance(make_workflow("srasearch", 21))
+        kinds = {(l.parent, l.child): l.kind for l in pattern.links}
+        assert kinds[("prefetch", "fasterq_dump")] == LinkKind.ONE_TO_ONE
+
+    def test_stats_distilled_from_instance(self):
+        wf = make_workflow("blast", 23)
+        pattern = analyze_instance(wf)
+        stats = pattern.categories["blastall"].stats
+        measured = [t.percent_cpu for t in wf if t.category == "blastall"]
+        assert stats.percent_cpu == pytest.approx(sum(measured) / len(measured))
+        assert stats.output_bytes > 0
+
+
+class TestInference:
+    def test_requires_two_instances(self):
+        with pytest.raises(GenerationError, match="at least two"):
+            InferredRecipe.from_instances([make_workflow("blast", 20)])
+
+    def test_requires_distinct_sizes(self):
+        wfs = [make_workflow("blast", 20, seed=1),
+               make_workflow("blast", 20, seed=2)]
+        with pytest.raises(GenerationError, match="sizes"):
+            InferredRecipe.from_instances(wfs)
+
+    def test_rejects_mixed_applications(self):
+        wfs = [make_workflow("blast", 20), make_workflow("bwa", 30)]
+        with pytest.raises(GenerationError, match="category set"):
+            InferredRecipe.from_instances(wfs)
+
+    def test_roles_identified(self):
+        recipe = InferredRecipe.from_instances(instances("blast"))
+        categories = recipe.pattern.categories
+        assert categories["blastall"].role == "scaling"
+        assert categories["split_fasta"].role == "fixed"
+        assert categories["cat"].role == "fixed"
+
+    def test_min_tasks_counts_fixed_plus_one_per_scaling(self):
+        recipe = InferredRecipe.from_instances(instances("blast"))
+        assert recipe.min_tasks == 4  # 3 fixed + 1 scaling
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("app", [
+        "blast", "bwa", "cycles", "epigenomics", "genome",
+        "seismology", "srasearch",
+    ])
+    def test_roundtrip_preserves_phase_structure(self, app):
+        recipe = InferredRecipe.from_instances(instances(app), application=app)
+        generated = recipe.build(200, np.random.default_rng(0))
+        assert len(generated) == 200
+        validate_workflow(generated, check_files=False)
+
+        analyzer = WorkflowAnalyzer()
+        original = WorkflowGenerator(recipe_for(app)(), seed=5).build_workflow(200)
+        char_orig = analyzer.characterize(original)
+        char_gen = analyzer.characterize(generated)
+        assert abs(char_gen.num_phases - char_orig.num_phases) <= 1
+        assert abs(char_gen.max_width - char_orig.max_width) <= \
+            max(4, char_orig.max_width // 10)
+
+    def test_exact_size_across_range(self):
+        recipe = InferredRecipe.from_instances(instances("genome"),
+                                               application="genome")
+        for size in (recipe.min_tasks, 77, 150):
+            wf = recipe.build(size, np.random.default_rng(1))
+            assert len(wf) == size
+
+    def test_below_min_rejected(self):
+        recipe = InferredRecipe.from_instances(instances("blast"))
+        with pytest.raises(GenerationError):
+            recipe.build(recipe.min_tasks - 1, np.random.default_rng(0))
+
+    def test_generator_protocol(self):
+        recipe = InferredRecipe.from_instances(instances("blast"),
+                                               application="blast",
+                                               base_cpu_work=250.0)
+        wf = WorkflowGenerator(recipe, seed=0).build_workflow(50)
+        assert wf.name == "BlastInferredRecipe-250-50"
+        assert len(wf) == 50
+
+    def test_deterministic(self):
+        recipe = InferredRecipe.from_instances(instances("cycles"),
+                                               application="cycles")
+        a = recipe.build(80, np.random.default_rng(7))
+        b = recipe.build(80, np.random.default_rng(7))
+        assert a.dumps() == b.dumps()
+
+    def test_category_histogram_scales_proportionally(self):
+        recipe = InferredRecipe.from_instances(instances("seismology"))
+        wf = recipe.build(300, np.random.default_rng(0))
+        counts = wf.categories()
+        assert counts["sG1IterDecon"] == 299
+        assert counts["wrapper_siftSTFByMisfit"] == 1
+
+
+class TestInferredFromExecutedInstances:
+    def test_full_loop_execution_to_recipe(self):
+        """The Figure-2 loop: execute -> export instance -> infer -> generate."""
+        from repro.core import export_instance
+        from repro.experiments.design import ExperimentSpec
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(seed=0)
+        executed = []
+        for size in (30, 60):
+            result = runner.run_spec(ExperimentSpec(
+                experiment_id=f"loop/LC10wNoPM/blast/{size}",
+                paradigm_name="LC10wNoPM", application="blast",
+                num_tasks=size, granularity="fine",
+            ))
+            workflow = runner.workflow_for("blast", size, 0)
+            executed.append(export_instance(workflow, result.run))
+        recipe = InferredRecipe.from_instances(executed, application="blast")
+        wf = recipe.build(100, np.random.default_rng(0))
+        assert len(wf) == 100
+        assert "blastall" in wf.categories()
