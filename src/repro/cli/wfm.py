@@ -34,7 +34,7 @@ from repro.simulation import Environment
 from repro.wfbench.data import workflow_input_files
 from repro.wfcommons.schema import Workflow
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_submit_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,7 +65,99 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wfm submit",
+        description="Feed N generated workflows through the multi-tenant "
+        "workflow service and print service-level metrics.",
+    )
+    parser.add_argument(
+        "--tenants", default="default:1",
+        help="comma-separated name:weight list, e.g. astro:2,bio:1",
+    )
+    parser.add_argument("--num-workflows", "-n", type=int, default=8,
+                        help="total workflows, split across tenants")
+    parser.add_argument("--apps", default="blast,montage",
+                        help="comma-separated recipe names, cycled per tenant")
+    parser.add_argument("--size", type=int, default=10,
+                        help="tasks per generated workflow")
+    parser.add_argument(
+        "--paradigm", "-p", default="Kn10wNoPM", choices=sorted(PARADIGMS),
+        help="computational paradigm (simulated platforms)",
+    )
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="workflows the service runs interleaved")
+    parser.add_argument("--spacing", type=float, default=0.0,
+                        help="seconds between arrivals (0 = burst)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-submission deadline offset in seconds")
+    parser.add_argument("--max-queue-depth", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", type=Path, default=None,
+                        help="write the per-workflow rows CSV here")
+    parser.add_argument("--summary-json", type=Path, default=None)
+    return parser
+
+
+def _parse_tenants(spec: str, total: int, apps: tuple, size: int,
+                   deadline: float | None) -> tuple:
+    from repro.experiments.multitenant import TenantSpec
+
+    names: list[tuple[str, float]] = []
+    for part in spec.split(","):
+        name, _, weight = part.partition(":")
+        names.append((name.strip(), float(weight) if weight else 1.0))
+    base, extra = divmod(total, len(names))
+    return tuple(
+        TenantSpec(
+            name=name, weight=weight, applications=apps,
+            num_workflows=base + (1 if i < extra else 0),
+            num_tasks=size, deadline_seconds=deadline,
+        )
+        for i, (name, weight) in enumerate(names)
+    )
+
+
+def submit_main(argv: list[str] | None = None) -> int:
+    from repro.experiments.multitenant import (
+        MultiTenantScenario,
+        run_multitenant,
+    )
+    from repro.experiments.reporting import format_table, write_rows_csv
+    from repro.scheduler import AdmissionPolicy
+
+    args = build_submit_parser().parse_args(argv)
+    apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    scenario = MultiTenantScenario(
+        tenants=_parse_tenants(args.tenants, args.num_workflows, apps,
+                               args.size, args.deadline),
+        paradigm_name=args.paradigm,
+        max_concurrent_workflows=args.concurrency,
+        arrival_spacing_seconds=args.spacing,
+        admission_policy=AdmissionPolicy(max_queue_depth=args.max_queue_depth),
+        seed=args.seed,
+    )
+    report = run_multitenant(scenario)
+    print(format_table(report.rows(), title="workflows"))
+    print()
+    print(format_table(report.tenant_rows, title="tenants"))
+    print()
+    print(json.dumps(report.summary, indent=2))
+    if args.csv is not None:
+        write_rows_csv(report.rows(), args.csv)
+        print(f"rows CSV: {args.csv}")
+    if args.summary_json is not None:
+        args.summary_json.parent.mkdir(parents=True, exist_ok=True)
+        args.summary_json.write_text(json.dumps(report.summary, indent=2))
+    failures = sum(1 for h in report.handles if h.status == "failed")
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
     args = build_parser().parse_args(argv)
     workflow = Workflow.load(args.workflow)
 

@@ -150,7 +150,8 @@ class SimulatedInvoker(Invoker):
     simulation clock.
     """
 
-    def __init__(self, target: Union[Platform, HttpGateway], env: Optional[Environment] = None):
+    def __init__(self, target: Union[Platform, HttpGateway], env: Optional[Environment] = None,
+                 tenant: str = ""):
         # Gateway-likes (HttpGateway, FederatedGateway) expose `platforms`;
         # anything else is treated as a single platform.
         if hasattr(target, "platforms"):
@@ -163,6 +164,9 @@ class SimulatedInvoker(Invoker):
             self.gateway = None
             self._platform = target
             self.env = env or target.env
+        #: Multi-tenant attribution: a non-empty tenant is forwarded to
+        #: gateways that account per tenant (FederatedGateway, HttpGateway).
+        self.tenant = tenant
 
     def now(self) -> float:
         return self.env.now
@@ -173,8 +177,14 @@ class SimulatedInvoker(Invoker):
 
     def submit(self, url: str, request: BenchRequest) -> Event:
         if self.gateway is not None:
+            if self.tenant:
+                return self.gateway.invoke(url, request, tenant=self.tenant)
             return self.gateway.invoke(url, request)
         return self._platform.invoke(request)
+
+    def record(self, outcome: InvocationOutcome) -> InvocationRecord:
+        """Public conversion used by the manager's coroutine execution."""
+        return self._record(outcome)
 
     @staticmethod
     def _record(outcome: InvocationOutcome) -> InvocationRecord:

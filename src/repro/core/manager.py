@@ -21,7 +21,7 @@ serverless (or container) platform that accepts HTTP requests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Generator, Mapping, Optional, Union
 
 from repro.core.dag import Phase, WorkflowDAG
 from repro.core.invocation import InvocationRecord, Invoker
@@ -248,6 +248,243 @@ class ServerlessWorkflowManager:
                 for leftover, drained in zip(
                     list(flight_names), self.invoker.gather(list(in_flight))
                 ):
+                    result.tasks.append(
+                        TaskExecution(
+                            name=drained.name, phase=phase_of[leftover],
+                            status=drained.status,
+                            submitted_at=drained.submitted_at,
+                            started_at=drained.started_at,
+                            finished_at=drained.finished_at,
+                            cold_start=drained.cold_start,
+                            node=drained.node, error=drained.error,
+                        )
+                    )
+                raise WorkflowExecutionError(
+                    f"function {record.name} failed "
+                    f"({record.status} {record.error}); aborting eager run"
+                )
+            for child in dag.children(name):
+                remaining[child] -= 1
+                if remaining[child] == 0:
+                    submit(child)
+        result.succeeded = failures == 0
+
+    # ------------------------------------------------------------------
+    # Coroutine execution (the multi-tenant service's engine).
+    #
+    # ``execute()`` blocks: its ``gather``/``sleep`` calls advance the
+    # simulation until *this* workflow finishes, so two managers can only
+    # run back to back.  ``execute_process()`` is the same algorithm
+    # expressed as a simulation process — it yields kernel events instead
+    # of blocking, so any number of managers interleave on one
+    # :class:`~repro.simulation.Environment` (the paper's §VII "multiple
+    # concurrent functions by different workflows").
+    # ------------------------------------------------------------------
+    def execute_process(
+        self,
+        workflow: Union[Workflow, Mapping[str, Any]],
+        platform_label: str = "",
+        paradigm_label: str = "",
+    ) -> Generator[Any, Any, WorkflowRunResult]:
+        """Run one workflow as a simulation process.
+
+        Pass the returned generator to ``env.process(...)``; the process
+        event's value is the :class:`WorkflowRunResult`.  Requires a
+        :class:`~repro.core.invocation.SimulatedInvoker` (the invoker must
+        expose the simulation environment and event-valued ``submit``).
+        """
+        env = getattr(self.invoker, "env", None)
+        if env is None:
+            raise WorkflowExecutionError(
+                "execute_process requires a SimulatedInvoker "
+                "(coroutine execution runs on the simulation kernel)"
+            )
+        if not isinstance(workflow, Workflow):
+            workflow = Workflow.from_json(dict(workflow))
+        dag = WorkflowDAG(workflow, inject_markers=self.config.inject_header_tail)
+        result = WorkflowRunResult(
+            workflow_name=workflow.name,
+            platform=platform_label,
+            paradigm=paradigm_label,
+            started_at=env.now,
+        )
+        try:
+            if self.config.execution_mode == "eager":
+                yield from self._eager_proc(env, dag, result)
+            else:
+                yield from self._phases_proc(env, dag, result)
+        except WorkflowExecutionError as exc:
+            result.succeeded = False
+            result.error = str(exc)
+        result.finished_at = env.now
+        return result
+
+    def _phases_proc(self, env, dag: WorkflowDAG, result: WorkflowRunResult
+                     ) -> Generator:
+        """Generator twin of :meth:`_execute_phases`."""
+        phases = dag.phases
+        for phase in phases:
+            if self.config.readiness_check:
+                needed = dag.phase_inputs(phase)
+                missing = self.drive.missing(needed)
+                retries = self.config.readiness_retries
+                while missing and retries > 0:
+                    yield env.timeout(self.config.readiness_retry_delay_seconds)
+                    missing = self.drive.missing(needed)
+                    retries -= 1
+                if missing:
+                    raise WorkflowExecutionError(
+                        f"phase {phase.index}: inputs never appeared on the "
+                        f"shared drive: {missing[:5]}"
+                    )
+
+            phase_start = env.now
+            records = yield from self._run_phase_proc(env, dag, phase)
+            if self.config.task_retries > 0:
+                records = yield from self._retry_failures_proc(env, dag, records)
+            failures = self._record_phase(result, phase, records)
+            result.phases.append(
+                PhaseResult(
+                    index=phase.index,
+                    num_tasks=len(phase),
+                    started_at=phase_start,
+                    finished_at=env.now,
+                    failures=failures,
+                )
+            )
+            if failures and self.config.abort_on_failure:
+                bad = [r for r in records if not r.ok]
+                raise WorkflowExecutionError(
+                    f"phase {phase.index}: {failures} function(s) failed "
+                    f"(first: {bad[0].name}: {bad[0].status} {bad[0].error})"
+                )
+            if phase is not phases[-1]:
+                yield env.timeout(self.config.phase_delay_seconds)
+        result.succeeded = True
+
+    def _run_phase_proc(self, env, dag: WorkflowDAG, phase: Phase) -> Generator:
+        """Fire one phase without blocking the kernel; returns records."""
+        record = self.invoker.record
+        if self.config.execution_mode == "sequential":
+            records: list[InvocationRecord] = []
+            for name in phase.tasks:
+                task = dag.task(name)
+                handle = self.invoker.submit(
+                    self.api_url_for(task), self.build_request(task)
+                )
+                yield handle
+                records.append(record(handle.value))
+            return records
+        cap = self.config.max_parallel_requests
+        if cap and len(phase.tasks) > cap:
+            records = []
+            for start in range(0, len(phase.tasks), cap):
+                window = phase.tasks[start:start + cap]
+                handles = [
+                    self.invoker.submit(
+                        self.api_url_for(dag.task(name)),
+                        self.build_request(dag.task(name)),
+                    )
+                    for name in window
+                ]
+                yield env.all_of(handles)
+                records.extend(record(h.value) for h in handles)
+            return records
+        handles = [
+            self.invoker.submit(
+                self.api_url_for(dag.task(name)),
+                self.build_request(dag.task(name)),
+            )
+            for name in phase.tasks
+        ]
+        if handles:
+            yield env.all_of(handles)
+        return [record(h.value) for h in handles]
+
+    def _retry_failures_proc(
+        self, env, dag: WorkflowDAG, records: list[InvocationRecord]
+    ) -> Generator:
+        """Generator twin of :meth:`_retry_failures`."""
+        final = list(records)
+        for _ in range(self.config.task_retries):
+            retry_indices = [
+                i for i, r in enumerate(final)
+                if not r.ok and r.status in self._RETRYABLE
+            ]
+            if not retry_indices:
+                break
+            yield env.timeout(self.config.retry_delay_seconds)
+            handles = []
+            for i in retry_indices:
+                task = dag.task(final[i].name)
+                handles.append(
+                    self.invoker.submit(
+                        self.api_url_for(task), self.build_request(task)
+                    )
+                )
+            yield env.all_of(handles)
+            for i, handle in zip(retry_indices, handles):
+                final[i] = self.invoker.record(handle.value)
+        return final
+
+    def _eager_proc(self, env, dag: WorkflowDAG, result: WorkflowRunResult
+                    ) -> Generator:
+        """Generator twin of :meth:`_execute_eager`."""
+        phase_of = {name: p.index for p in dag.phases for name in p.tasks}
+        remaining = {name: len(dag.parents(name)) for name in dag.task_names}
+        in_flight: list = []
+        flight_names: list[str] = []
+        failures = 0
+
+        def submit(name: str) -> None:
+            task = dag.task(name)
+            in_flight.append(
+                self.invoker.submit(self.api_url_for(task),
+                                    self.build_request(task))
+            )
+            flight_names.append(name)
+
+        for name, missing in remaining.items():
+            if missing == 0:
+                submit(name)
+
+        completed = 0
+        total = len(dag.task_names)
+        while completed < total:
+            if not in_flight:
+                raise WorkflowExecutionError(
+                    f"eager executor stalled with {total - completed} "
+                    f"function(s) unscheduled (cyclic or failed dependencies)"
+                )
+            pending = [h for h in in_flight if not h.processed]
+            if len(pending) == len(in_flight):
+                yield env.any_of(pending)
+            index = next(
+                i for i, h in enumerate(in_flight) if h.processed
+            )
+            record = self.invoker.record(in_flight.pop(index).value)
+            name = flight_names.pop(index)
+            completed += 1
+            if not record.ok:
+                failures += 1
+            result.tasks.append(
+                TaskExecution(
+                    name=record.name,
+                    phase=phase_of[name],
+                    status=record.status,
+                    submitted_at=record.submitted_at,
+                    started_at=record.started_at,
+                    finished_at=record.finished_at,
+                    cold_start=record.cold_start,
+                    node=record.node,
+                    error=record.error,
+                )
+            )
+            if not record.ok and self.config.abort_on_failure:
+                if in_flight:
+                    yield env.all_of(in_flight)
+                for leftover, handle in zip(list(flight_names), in_flight):
+                    drained = self.invoker.record(handle.value)
                     result.tasks.append(
                         TaskExecution(
                             name=drained.name, phase=phase_of[leftover],

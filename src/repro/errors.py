@@ -14,6 +14,8 @@ __all__ = [
     "WorkflowExecutionError",
     "CalibrationError",
     "ExperimentError",
+    "SchedulerError",
+    "QuotaExceededError",
 ]
 
 
@@ -70,3 +72,11 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment harness misconfiguration."""
+
+
+class SchedulerError(ReproError):
+    """Workflow service misuse (bad quota, unknown tenant, ...)."""
+
+
+class QuotaExceededError(SchedulerError):
+    """A tenant's queue or concurrency quota was exceeded."""

@@ -1,0 +1,199 @@
+"""Multi-tenant service scenarios: many workflows through one platform.
+
+The paper's experiment harness runs one workflow per fresh cluster; this
+module runs a *stream* of workflows from several tenants through a
+single simulated platform via the
+:class:`~repro.scheduler.service.WorkflowService`, measuring service-
+level behaviour — throughput, queue wait, rejection rate, per-tenant
+fairness — under the paper's paradigms (Table II).  This is the
+workload the scheduler subsystem exists for: the "multiple concurrent
+functions by different workflows" case the paper defers to future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core import ManagerConfig, SimulatedSharedDrive
+from repro.experiments.paradigms import Paradigm, paradigm
+from repro.monitoring.metrics import MetricsFrame
+from repro.monitoring.sampler import SimClusterSampler
+from repro.platform.cluster import Cluster, ClusterSpec
+from repro.platform.knative import KnativePlatform
+from repro.platform.localcontainer import LocalContainerPlatform
+from repro.scheduler import AdmissionPolicy, ServiceConfig, WorkflowService
+from repro.scheduler.service import WorkflowHandle
+from repro.simulation import Environment
+from repro.simulation.rng import derive_seed
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons import WorkflowGenerator, recipe_for
+from repro.wfcommons.schema import Workflow
+
+__all__ = ["TenantSpec", "MultiTenantScenario", "MultiTenantReport",
+           "run_multitenant"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload and quota in a scenario."""
+
+    name: str
+    weight: float = 1.0
+    #: Recipes cycled over for this tenant's submissions.
+    applications: tuple = ("blast",)
+    num_workflows: int = 2
+    num_tasks: int = 10
+    priority: int = 0
+    #: Deadline offset from submission time (None = no deadline).
+    deadline_seconds: Optional[float] = None
+    max_queued: Optional[int] = None
+    max_running: Optional[int] = None
+
+
+@dataclass
+class MultiTenantScenario:
+    """A full multi-tenant service experiment."""
+
+    tenants: tuple = (
+        TenantSpec("astro", weight=2.0,
+                   applications=("montage", "seismology")),
+        TenantSpec("bio", weight=1.0,
+                   applications=("blast", "epigenomics")),
+    )
+    paradigm_name: str = "Kn10wNoPM"
+    max_concurrent_workflows: int = 4
+    #: Seconds between successive submissions (0 = burst at t=0).
+    arrival_spacing_seconds: float = 0.0
+    admission_policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    cluster_spec: Optional[ClusterSpec] = None
+    base_cpu_work: float = 100.0
+    seed: int = 0
+
+
+@dataclass
+class MultiTenantReport:
+    """What one scenario run produced."""
+
+    scenario: MultiTenantScenario
+    handles: list
+    summary: dict
+    tenant_rows: list
+    frame: Optional[MetricsFrame] = None
+
+    def rows(self) -> list[dict[str, Any]]:
+        return [h.row() for h in self.handles]
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for h in self.handles if h.status == "succeeded")
+
+
+def _build_platform(par: Paradigm, env: Environment, cluster: Cluster,
+                    drive: SimulatedSharedDrive, model: WfBenchModel,
+                    rng: np.random.Generator):
+    worker_spec = cluster.workers[0].spec if cluster.workers else \
+        cluster.nodes[0].spec
+    if par.is_serverless:
+        return KnativePlatform(
+            env, cluster, drive,
+            config=par.knative_config(
+                node_cores=worker_spec.cores,
+                node_memory_bytes=worker_spec.memory_bytes,
+            ),
+            model=model, rng=rng,
+        )
+    config = par.local_config(node_cores=worker_spec.cores)
+    config.node_name = worker_spec.name
+    return LocalContainerPlatform(env, cluster, drive, config=config,
+                                  model=model, rng=rng)
+
+
+def _generate(scenario: MultiTenantScenario
+              ) -> list[tuple[TenantSpec, Workflow]]:
+    """(tenant, workflow) submission list, round-robin across tenants so
+    arrivals interleave instead of batching per tenant."""
+    per_tenant: list[list[tuple[TenantSpec, Workflow]]] = []
+    for spec in scenario.tenants:
+        batch = []
+        for i in range(spec.num_workflows):
+            app = spec.applications[i % len(spec.applications)]
+            recipe = recipe_for(app)(base_cpu_work=scenario.base_cpu_work)
+            generator = WorkflowGenerator(
+                recipe, seed=derive_seed(scenario.seed, f"{spec.name}-{i}"))
+            batch.append((spec, generator.build_workflow(spec.num_tasks)))
+        per_tenant.append(batch)
+    submissions = []
+    for layer in range(max(len(b) for b in per_tenant)):
+        for batch in per_tenant:
+            if layer < len(batch):
+                submissions.append(batch[layer])
+    return submissions
+
+
+def run_multitenant(scenario: MultiTenantScenario,
+                    keep_frame: bool = False) -> MultiTenantReport:
+    """Run one scenario to completion and report service metrics."""
+    par = paradigm(scenario.paradigm_name)
+    env = Environment()
+    cluster = Cluster(env, scenario.cluster_spec)
+    drive = SimulatedSharedDrive()
+    model = WfBenchModel(noise_sigma=0.0)
+    rng = np.random.default_rng(derive_seed(scenario.seed, "multitenant"))
+    platform = _build_platform(par, env, cluster, drive, model, rng)
+
+    manager_config = ManagerConfig(keep_memory=par.persistent_memory)
+    service = WorkflowService(
+        platform, drive,
+        config=ServiceConfig(
+            max_concurrent_workflows=scenario.max_concurrent_workflows,
+            admission_policy=scenario.admission_policy,
+        ),
+        manager_config=manager_config,
+        model=model,
+        platform_label=par.platform,
+    )
+    for spec in scenario.tenants:
+        service.configure_tenant(spec.name, weight=spec.weight,
+                                 max_queued=spec.max_queued,
+                                 max_running=spec.max_running)
+    sampler = SimClusterSampler(env, cluster, platform=platform,
+                                service=service).start()
+
+    submissions = _generate(scenario)
+    for _, workflow in submissions:
+        for f in workflow_input_files(workflow):
+            drive.put(f.name, f.size_in_bytes)
+
+    handles: list[WorkflowHandle] = []
+    spacing = max(0.0, scenario.arrival_spacing_seconds)
+    if spacing == 0.0:
+        for spec, workflow in submissions:
+            handles.append(service.submit(
+                workflow, tenant=spec.name, priority=spec.priority,
+                deadline=(None if spec.deadline_seconds is None
+                          else env.now + spec.deadline_seconds)))
+    else:
+        def arrivals():
+            for spec, workflow in submissions:
+                handles.append(service.submit(
+                    workflow, tenant=spec.name, priority=spec.priority,
+                    deadline=(None if spec.deadline_seconds is None
+                              else env.now + spec.deadline_seconds)))
+                yield env.timeout(spacing)
+
+        env.run(until=env.process(arrivals()))
+    service.drain()
+    sampler.sample()
+    platform.shutdown()
+
+    return MultiTenantReport(
+        scenario=scenario,
+        handles=handles,
+        summary=service.summary(),
+        tenant_rows=service.metrics.tenant_rows(),
+        frame=sampler.frame if keep_frame else None,
+    )

@@ -31,11 +31,14 @@ class SimClusterSampler:
     """
 
     def __init__(self, env: Environment, cluster: Cluster,
-                 interval_seconds: float = 1.0, platform=None):
+                 interval_seconds: float = 1.0, platform=None, service=None):
         self.env = env
         self.cluster = cluster
         self.interval = float(interval_seconds)
         self.platform = platform
+        #: Optional :class:`~repro.scheduler.service.WorkflowService`:
+        #: scheduler state lands in the same frames as cluster state.
+        self.service = service
         self.frame = MetricsFrame()
         self._proc = None
 
@@ -96,6 +99,18 @@ class SimClusterSampler:
                     "repro.platform.queue": float(self.platform.queue_length()),
                     "repro.platform.active": float(
                         sum(u.active_requests for u in units)),
+                },
+            )
+        if self.service is not None:
+            metrics = self.service.metrics
+            self.frame.append_row(
+                now,
+                {
+                    "repro.service.queue": float(self.service.queue_depth()),
+                    "repro.service.running": float(
+                        self.service.running_count()),
+                    "repro.service.completed": float(metrics.completed),
+                    "repro.service.rejected": float(metrics.rejected),
                 },
             )
 

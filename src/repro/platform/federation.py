@@ -53,6 +53,9 @@ class FederatedGateway:
         self._members: dict[str, Platform] = {}
         self._rr = itertools.count()
         self.dispatched: dict[str, int] = {}
+        #: tenant -> {cluster -> count}: who sent what where (multi-tenant
+        #: submissions through the workflow service carry a tenant tag).
+        self.dispatched_by_tenant: dict[str, dict[str, int]] = {}
         # Requests handed to a member whose processing has not finished;
         # platform.in_flight() only sees them once the simulation steps,
         # so the balancer must count them itself.
@@ -99,11 +102,14 @@ class FederatedGateway:
         platform = self._members[name]
         return sum(u.workers for u in platform._units) or 1
 
-    def invoke(self, url: str, request: BenchRequest) -> Event:
+    def invoke(self, url: str, request: BenchRequest, tenant: str = "") -> Event:
         """Route one invocation (the ``url`` identifies the function, not
         the cluster — the federation decides placement)."""
         name, platform = self._pick()
         self.dispatched[name] += 1
+        if tenant:
+            per_cluster = self.dispatched_by_tenant.setdefault(tenant, {})
+            per_cluster[name] = per_cluster.get(name, 0) + 1
         self._outstanding[name] += 1
         done = platform.invoke(request)
 
@@ -123,7 +129,16 @@ class FederatedGateway:
 
     def balance_ratio(self) -> float:
         """max/min dispatched across members (1.0 = perfectly balanced)."""
-        counts = [c for c in self.dispatched.values()]
+        return self._ratio(list(self.dispatched.values()))
+
+    def tenant_balance_ratio(self, tenant: str) -> float:
+        """Balance of one tenant's own invocations across members."""
+        per_cluster = self.dispatched_by_tenant.get(tenant, {})
+        counts = [per_cluster.get(name, 0) for name in self._members]
+        return self._ratio(counts)
+
+    @staticmethod
+    def _ratio(counts: list[int]) -> float:
         if not counts or min(counts) == 0:
             return float("inf") if counts and max(counts) else 1.0
         return max(counts) / min(counts)

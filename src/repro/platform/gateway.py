@@ -25,6 +25,8 @@ class HttpGateway:
     def __init__(self) -> None:
         self._routes: dict[str, Platform] = {}
         self._default: Optional[Platform] = None
+        #: Per-tenant invocation counts (multi-tenant service attribution).
+        self.dispatched_by_tenant: dict[str, int] = {}
 
     def register(self, url: str, platform: Platform, default: bool = False) -> None:
         """Route requests whose ``api_url`` starts with ``url``."""
@@ -42,7 +44,11 @@ class HttpGateway:
             return self._default
         raise InvocationError(f"no platform registered for {url!r}", status=502)
 
-    def invoke(self, url: str, request: BenchRequest) -> Event:
+    def invoke(self, url: str, request: BenchRequest, tenant: str = "") -> Event:
+        if tenant:
+            self.dispatched_by_tenant[tenant] = (
+                self.dispatched_by_tenant.get(tenant, 0) + 1
+            )
         return self.resolve(url).invoke(request)
 
     @property

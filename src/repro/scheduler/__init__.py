@@ -1,0 +1,58 @@
+"""Multi-tenant workflow service above the workflow manager.
+
+The paper's WFM runs one workflow at a time; this package is the
+serving layer the paper's future work calls for: a submission API with
+per-tenant quotas, priority + weighted-fair-share queueing, admission
+control metered against cluster capacity, and truly concurrent manager
+execution — coroutine processes on the simulation kernel
+(:class:`WorkflowService`) or a bounded thread pool for real HTTP
+platforms (:class:`ThreadedWorkflowService`).  See ``docs/scheduler.md``.
+"""
+
+from repro.scheduler.admission import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.scheduler.estimate import WorkflowEstimate, estimate_workflow
+from repro.scheduler.metrics import ServiceMetrics, TenantUsage
+from repro.scheduler.queue import FairShareQueue, QueueEntry, TenantQuota
+from repro.scheduler.service import (
+    FAILED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    SUCCEEDED,
+    ServiceConfig,
+    WorkflowHandle,
+    WorkflowService,
+)
+from repro.scheduler.threaded import ThreadedWorkflowService
+
+__all__ = [
+    "ADMIT",
+    "QUEUE",
+    "REJECT",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "FAILED",
+    "REJECTED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "WorkflowEstimate",
+    "estimate_workflow",
+    "ServiceMetrics",
+    "TenantUsage",
+    "FairShareQueue",
+    "QueueEntry",
+    "TenantQuota",
+    "ServiceConfig",
+    "WorkflowHandle",
+    "WorkflowService",
+    "ThreadedWorkflowService",
+]

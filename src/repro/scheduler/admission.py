@@ -1,0 +1,165 @@
+"""Admission control: who gets in, who waits, who is turned away.
+
+Three gates, in the order the service applies them:
+
+1. **Feasibility** (submit time) — a workflow whose *own* peak demand
+   exceeds the cluster's allocatable capacity can never run; reject it
+   immediately instead of letting it starve in the queue (the paper's
+   §V-C failure mode — large fine-grained runs dying on CPU/memory
+   limits — caught before a single function fires).
+2. **Backpressure** (submit time) — a bounded global queue: submissions
+   beyond ``max_queue_depth`` are shed with an explicit rejection, so a
+   traffic burst degrades into fast-failing rejects rather than
+   unbounded queue growth.  Deadline-impossible submissions (estimated
+   service alone exceeds the time remaining) are shed here too.
+3. **Capacity metering** (dispatch time) — a workflow starts only while
+   the peak demand already committed to running workflows leaves room
+   for its own, scaled by ``start_load_fraction`` (> 1.0 deliberately
+   oversubscribes and lets the platform's own queueing absorb it).  To
+   stay deadlock-free the service always lets work start on an idle
+   cluster regardless of this gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.platform.cluster import Cluster
+from repro.scheduler.estimate import WorkflowEstimate
+
+__all__ = [
+    "ADMIT",
+    "QUEUE",
+    "REJECT",
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AdmissionController",
+]
+
+ADMIT = "admit"
+QUEUE = "queue"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of the admission controller."""
+
+    #: Global backlog bound; submissions beyond it are shed.
+    max_queue_depth: int = 64
+    #: A single workflow may need at most this fraction of capacity.
+    cpu_fit_fraction: float = 1.0
+    memory_fit_fraction: float = 1.0
+    #: Dispatch gate: committed peak cores/bytes of running workflows may
+    #: reach this fraction of capacity (values > 1 oversubscribe).
+    start_load_fraction: float = 1.0
+    #: Shed submissions whose deadline cannot be met even uncontended.
+    enforce_deadlines: bool = True
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    action: str  # ADMIT | QUEUE | REJECT
+    reason: str = ""
+
+    @property
+    def rejected(self) -> bool:
+        return self.action == REJECT
+
+
+class AdmissionController:
+    """Meters workflow demand against live cluster capacity."""
+
+    def __init__(self, capacity_cores: float, capacity_bytes: float,
+                 policy: Optional[AdmissionPolicy] = None):
+        self.capacity_cores = float(capacity_cores)
+        self.capacity_bytes = float(capacity_bytes)
+        self.policy = policy or AdmissionPolicy()
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_cluster(cls, cluster: Cluster,
+                     policy: Optional[AdmissionPolicy] = None
+                     ) -> "AdmissionController":
+        return cls.from_clusters([cluster], policy)
+
+    @classmethod
+    def from_clusters(cls, clusters: Iterable[Cluster],
+                      policy: Optional[AdmissionPolicy] = None
+                      ) -> "AdmissionController":
+        """Aggregate allocatable capacity over schedulable nodes."""
+        cores = 0.0
+        mem = 0.0
+        for cluster in clusters:
+            nodes = cluster.workers or cluster.nodes
+            cores += sum(n.spec.allocatable_cores for n in nodes)
+            mem += sum(n.spec.allocatable_bytes for n in nodes)
+        return cls(cores, mem, policy)
+
+    @classmethod
+    def unlimited(cls, policy: Optional[AdmissionPolicy] = None
+                  ) -> "AdmissionController":
+        """No capacity model (the threaded/HTTP service default): only
+        queue-depth, quota and deadline gates apply."""
+        return cls(float("inf"), float("inf"), policy)
+
+    # -- submit-time gates ---------------------------------------------------
+    def feasible(self, estimate: WorkflowEstimate) -> AdmissionDecision:
+        if estimate.peak_cores > self.capacity_cores * self.policy.cpu_fit_fraction:
+            return AdmissionDecision(
+                REJECT,
+                f"infeasible: peak demand {estimate.peak_cores:.1f} cores "
+                f"exceeds {self.capacity_cores * self.policy.cpu_fit_fraction:.1f} "
+                f"allocatable",
+            )
+        if estimate.peak_memory_bytes > (
+            self.capacity_bytes * self.policy.memory_fit_fraction
+        ):
+            return AdmissionDecision(
+                REJECT,
+                f"infeasible: peak demand "
+                f"{estimate.peak_memory_bytes / (1 << 30):.1f} GB exceeds "
+                f"allocatable memory",
+            )
+        return AdmissionDecision(ADMIT)
+
+    def on_submit(
+        self,
+        estimate: WorkflowEstimate,
+        queue_depth: int,
+        now: float = 0.0,
+        deadline: Optional[float] = None,
+    ) -> AdmissionDecision:
+        """Full submit-time decision: feasibility, deadline, backpressure."""
+        decision = self.feasible(estimate)
+        if decision.rejected:
+            return decision
+        if (
+            self.policy.enforce_deadlines
+            and deadline is not None
+            and now + estimate.service_seconds > deadline
+        ):
+            return AdmissionDecision(
+                REJECT,
+                f"deadline: needs >= {estimate.service_seconds:.1f}s but only "
+                f"{max(0.0, deadline - now):.1f}s remain",
+            )
+        if queue_depth >= self.policy.max_queue_depth:
+            return AdmissionDecision(
+                REJECT,
+                f"backpressure: queue depth {queue_depth} at the "
+                f"max_queue_depth={self.policy.max_queue_depth} bound",
+            )
+        return AdmissionDecision(QUEUE)
+
+    # -- dispatch-time gate --------------------------------------------------
+    def may_start(self, estimate: WorkflowEstimate, live_cores: float,
+                  live_bytes: float) -> bool:
+        """Does the committed load leave room for this workflow's peak?"""
+        budget_cores = self.capacity_cores * self.policy.start_load_fraction
+        budget_bytes = self.capacity_bytes * self.policy.start_load_fraction
+        return (
+            live_cores + estimate.peak_cores <= budget_cores + 1e-9
+            and live_bytes + estimate.peak_memory_bytes <= budget_bytes + 1e-9
+        )

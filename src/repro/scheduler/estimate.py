@@ -1,0 +1,110 @@
+"""Peak-demand estimation for admission control.
+
+The admission controller must know, *before* a workflow runs, roughly
+what it will cost the cluster.  The DAG already tells us the shape —
+phase widths and the critical path — and :class:`~repro.wfbench.model.
+WfBenchModel` tells us what each task costs (the same analytic formulas
+the simulated platforms consume), so the estimate is just the phase-wise
+sum/max of per-task demands:
+
+* ``peak_cores``        — max over phases of Σ ``percent-cpu × cores``
+  (the paper fires each phase simultaneously, so a phase's tasks are
+  concurrent by construction);
+* ``peak_memory_bytes`` — max over phases of Σ (resident stress + worker
+  baseline);
+* ``service_seconds``   — uncontended level-mode makespan: Σ per-phase
+  max wall time, plus the manager's inter-phase delays.
+
+Estimates are deliberately optimistic (no queueing, no cold starts) —
+they are a lower bound used to reject the impossible and meter the
+plausible, not a predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.dag import WorkflowDAG
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+from repro.wfcommons.schema import Task, Workflow
+
+__all__ = ["WorkflowEstimate", "estimate_workflow"]
+
+
+@dataclass(frozen=True)
+class WorkflowEstimate:
+    """What one workflow is expected to ask of the cluster."""
+
+    num_tasks: int
+    num_phases: int
+    max_width: int
+    #: Peak simultaneously-occupied cores (widest phase).
+    peak_cores: float
+    #: Peak resident bytes (stress residency + worker baselines).
+    peak_memory_bytes: int
+    #: Total CPU-seconds across all tasks (the fair-share cost unit).
+    total_cpu_seconds: float
+    #: Uncontended level-mode makespan lower bound.
+    service_seconds: float
+
+
+def _request_for(task: Task, keep_memory: bool) -> BenchRequest:
+    """The same POST body the manager would build (sans workdir)."""
+    return BenchRequest(
+        name=task.name,
+        percent_cpu=task.percent_cpu,
+        cpu_work=task.cpu_work,
+        out={f.name: f.size_in_bytes for f in task.output_files},
+        inputs=tuple(f.name for f in task.input_files),
+        memory_bytes=task.memory_bytes,
+        keep_memory=keep_memory,
+        cores=task.cores,
+    )
+
+
+def estimate_workflow(
+    workflow: Union[Workflow, Mapping[str, Any]],
+    model: Optional[WfBenchModel] = None,
+    *,
+    keep_memory: bool = False,
+    phase_delay_seconds: float = 1.0,
+    inject_markers: bool = True,
+) -> WorkflowEstimate:
+    """Estimate a workflow's peak demand from its DAG and the task model."""
+    if not isinstance(workflow, Workflow):
+        workflow = Workflow.from_json(dict(workflow))
+    model = model or WfBenchModel()
+    dag = WorkflowDAG(workflow, inject_markers=inject_markers)
+
+    peak_cores = 0.0
+    peak_memory = 0
+    total_cpu = 0.0
+    critical_wall = 0.0
+    max_width = 0
+    for phase in dag.phases:
+        phase_cores = 0.0
+        phase_memory = 0
+        phase_wall = 0.0
+        for name in phase.tasks:
+            demand = model.demand(_request_for(dag.task(name), keep_memory))
+            phase_cores += demand.cpu_utilisation
+            phase_memory += demand.memory_avg_bytes + model.worker_baseline_bytes
+            phase_wall = max(phase_wall, demand.wall_seconds)
+            total_cpu += demand.cpu_seconds
+        peak_cores = max(peak_cores, phase_cores)
+        peak_memory = max(peak_memory, phase_memory)
+        critical_wall += phase_wall
+        max_width = max(max_width, len(phase))
+
+    delays = max(0, dag.num_phases - 1) * max(0.0, phase_delay_seconds)
+    return WorkflowEstimate(
+        num_tasks=len(dag),
+        num_phases=dag.num_phases,
+        max_width=max_width,
+        peak_cores=peak_cores,
+        peak_memory_bytes=peak_memory,
+        total_cpu_seconds=total_cpu,
+        service_seconds=critical_wall + delays,
+    )

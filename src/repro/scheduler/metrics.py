@@ -1,0 +1,163 @@
+"""Service-level metrics: the numbers a traffic-serving scheduler lives by.
+
+Workflow-manager results measure one run; the service measures the
+*stream*: queue wait, time in system, throughput, goodput (completions
+that met their deadline), rejection rate, and per-tenant fairness
+(Jain's index over weight-normalised service received).  The live
+counters also feed the 1 Hz :class:`~repro.monitoring.sampler.
+SimClusterSampler` as ``repro.service.*`` series so scheduler state
+lands in the same frames as cluster state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TenantUsage", "ServiceMetrics"]
+
+
+@dataclass
+class TenantUsage:
+    """What one tenant asked for and received."""
+
+    tenant: str
+    weight: float = 1.0
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Makespan-seconds of completed runs (the fairness unit).
+    service_seconds: float = 0.0
+
+    def row(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "weight": self.weight,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "service_seconds": round(self.service_seconds, 3),
+        }
+
+
+class ServiceMetrics:
+    """Accumulates service-level observations across a submission stream."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.started = 0
+        self.completed = 0
+        self.failed = 0
+        self.goodput = 0
+        self.rejected_by_reason: dict[str, int] = {}
+        self.queue_waits: list[float] = []
+        self.times_in_system: list[float] = []
+        self._tenants: dict[str, TenantUsage] = {}
+
+    # -- observation hooks ----------------------------------------------------
+    def _tenant(self, tenant: str, weight: float = 1.0) -> TenantUsage:
+        if tenant not in self._tenants:
+            self._tenants[tenant] = TenantUsage(tenant=tenant, weight=weight)
+        usage = self._tenants[tenant]
+        usage.weight = weight
+        return usage
+
+    def observe_submitted(self, tenant: str, weight: float = 1.0) -> None:
+        self.submitted += 1
+        self._tenant(tenant, weight).submitted += 1
+
+    def observe_rejected(self, tenant: str, reason: str,
+                         weight: float = 1.0) -> None:
+        key = reason.split(":", 1)[0] or "rejected"
+        self.rejected_by_reason[key] = self.rejected_by_reason.get(key, 0) + 1
+        self._tenant(tenant, weight).rejected += 1
+
+    def observe_started(self, tenant: str, queue_wait_seconds: float) -> None:
+        self.started += 1
+        self.queue_waits.append(max(0.0, queue_wait_seconds))
+
+    def observe_finished(
+        self,
+        tenant: str,
+        ok: bool,
+        time_in_system_seconds: float,
+        service_seconds: float,
+        deadline_met: Optional[bool] = None,
+        weight: float = 1.0,
+    ) -> None:
+        usage = self._tenant(tenant, weight)
+        self.times_in_system.append(max(0.0, time_in_system_seconds))
+        if ok:
+            self.completed += 1
+            usage.completed += 1
+            usage.service_seconds += max(0.0, service_seconds)
+            if deadline_met is None or deadline_met:
+                self.goodput += 1
+        else:
+            self.failed += 1
+            usage.failed += 1
+
+    # -- derived numbers ------------------------------------------------------
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejected_by_reason.values())
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+    def mean_queue_wait(self) -> float:
+        waits = self.queue_waits
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def mean_time_in_system(self) -> float:
+        times = self.times_in_system
+        return sum(times) / len(times) if times else 0.0
+
+    def throughput_per_minute(self, horizon_seconds: float) -> float:
+        if horizon_seconds <= 0:
+            return 0.0
+        return self.completed / horizon_seconds * 60.0
+
+    def fairness_index(self) -> float:
+        """Jain's index over weight-normalised service received.
+
+        1.0 = every tenant got service proportional to its weight; the
+        floor is ``1/n``.  Tenants that received nothing count, so a
+        starved tenant drags the index down.
+        """
+        shares = [
+            u.service_seconds / u.weight
+            for u in self._tenants.values()
+            if u.submitted > 0
+        ]
+        if not shares:
+            return 1.0
+        total = sum(shares)
+        squares = sum(s * s for s in shares)
+        if squares == 0:
+            return 1.0
+        return (total * total) / (len(shares) * squares)
+
+    # -- export ---------------------------------------------------------------
+    def tenant_rows(self) -> list[dict]:
+        return [self._tenants[t].row() for t in sorted(self._tenants)]
+
+    def summary(self, horizon_seconds: float) -> dict:
+        return {
+            "submitted": self.submitted,
+            "started": self.started,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "rejection_rate": round(self.rejection_rate, 4),
+            "goodput": self.goodput,
+            "throughput_per_minute": round(
+                self.throughput_per_minute(horizon_seconds), 3),
+            "mean_queue_wait_seconds": round(self.mean_queue_wait(), 3),
+            "mean_time_in_system_seconds": round(self.mean_time_in_system(), 3),
+            "fairness_index": round(self.fairness_index(), 4),
+            "horizon_seconds": round(max(0.0, horizon_seconds), 3),
+        }

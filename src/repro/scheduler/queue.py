@@ -1,0 +1,187 @@
+"""Priority + weighted-fair-share queue with per-tenant quotas.
+
+The service's runnable backlog.  Selection is two-level:
+
+1. **Across tenants** — start-time weighted fair queueing: each tenant
+   accumulates ``consumed`` cost (estimated CPU-seconds of the work it
+   has started); the next start goes to the eligible tenant with the
+   smallest ``consumed / weight`` (its *virtual time*).  A tenant is
+   eligible while it has queued work and is below its ``max_running``
+   quota.
+2. **Within a tenant** — highest ``priority`` first, FIFO among equals.
+
+``max_queued`` is enforced at :meth:`push` time (the over-quota
+submission raises :class:`~repro.errors.QuotaExceededError`, which the
+service reports as a rejection) — that is the per-tenant backpressure
+that keeps one chatty tenant from monopolising the global queue budget.
+
+The queue never reads a clock; callers stamp entries, which keeps it
+reusable from both the simulated service (sim time) and the threaded
+service (wall time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import QuotaExceededError, SchedulerError
+
+__all__ = ["TenantQuota", "QueueEntry", "FairShareQueue"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant scheduling parameters."""
+
+    #: Fair-share weight: a tenant with weight 2 receives twice the
+    #: service of a weight-1 tenant under contention.
+    weight: float = 1.0
+    #: Cap on queued (not yet started) submissions; None = unlimited.
+    max_queued: Optional[int] = None
+    #: Cap on simultaneously running workflows; None = unlimited.
+    max_running: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise SchedulerError(f"tenant weight must be > 0, got {self.weight}")
+        if self.max_queued is not None and self.max_queued < 0:
+            raise SchedulerError("max_queued must be >= 0")
+        if self.max_running is not None and self.max_running < 1:
+            raise SchedulerError("max_running must be >= 1")
+
+
+@dataclass
+class QueueEntry:
+    """One queued submission (payload is service-defined)."""
+
+    tenant: str
+    priority: int = 0
+    #: Fair-share cost charged to the tenant when this entry starts
+    #: (estimated CPU-seconds; 1.0 makes fair share count-based).
+    cost: float = 1.0
+    deadline: Optional[float] = None
+    enqueued_at: float = 0.0
+    payload: Any = None
+    #: Arrival sequence number (assigned by the queue; FIFO tiebreaker).
+    seq: int = field(default=0, compare=False)
+
+
+class _TenantState:
+    __slots__ = ("name", "quota", "queued", "running", "consumed")
+
+    def __init__(self, name: str, quota: TenantQuota):
+        self.name = name
+        self.quota = quota
+        self.queued: list[QueueEntry] = []
+        self.running = 0
+        self.consumed = 0.0
+
+    @property
+    def virtual_time(self) -> float:
+        return self.consumed / self.quota.weight
+
+    def head(self) -> QueueEntry:
+        return min(self.queued, key=lambda e: (-e.priority, e.seq))
+
+
+class FairShareQueue:
+    """Weighted fair-share backlog over named tenants."""
+
+    def __init__(self, default_quota: Optional[TenantQuota] = None):
+        self.default_quota = default_quota or TenantQuota()
+        self._tenants: dict[str, _TenantState] = {}
+        self._seq = itertools.count()
+
+    # -- tenants ------------------------------------------------------------
+    def configure(self, tenant: str, quota: TenantQuota) -> None:
+        """Set (or replace) a tenant's quota; keeps its backlog/accounting."""
+        state = self._state(tenant)
+        state.quota = quota
+
+    def _state(self, tenant: str) -> _TenantState:
+        if tenant not in self._tenants:
+            self._tenants[tenant] = _TenantState(tenant, self.default_quota)
+        return self._tenants[tenant]
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def weight_of(self, tenant: str) -> float:
+        return self._state(tenant).quota.weight
+
+    # -- enqueue ------------------------------------------------------------
+    def push(self, entry: QueueEntry) -> None:
+        """Enqueue; raises :class:`QuotaExceededError` over ``max_queued``."""
+        state = self._state(entry.tenant)
+        quota = state.quota
+        if quota.max_queued is not None and len(state.queued) >= quota.max_queued:
+            raise QuotaExceededError(
+                f"tenant {entry.tenant!r} already has {len(state.queued)} "
+                f"queued submission(s) (max_queued={quota.max_queued})"
+            )
+        entry.seq = next(self._seq)
+        state.queued.append(entry)
+
+    # -- selection ----------------------------------------------------------
+    def select(self) -> Optional[QueueEntry]:
+        """The entry fair share would start next; no state change."""
+        eligible = [
+            s for s in self._tenants.values()
+            if s.queued and (s.quota.max_running is None
+                             or s.running < s.quota.max_running)
+        ]
+        if not eligible:
+            return None
+        # Smallest virtual time wins; oldest head entry breaks ties so the
+        # order stays deterministic across runs.
+        state = min(eligible,
+                    key=lambda s: (s.virtual_time, s.head().seq))
+        return state.head()
+
+    def remove(self, entry: QueueEntry) -> None:
+        """Take an entry out of the backlog (dispatch or shed)."""
+        state = self._state(entry.tenant)
+        try:
+            state.queued.remove(entry)
+        except ValueError:
+            raise SchedulerError(
+                f"entry seq={entry.seq} not queued for tenant {entry.tenant!r}"
+            ) from None
+
+    def start(self, entry: QueueEntry) -> None:
+        """Account a dispatched entry against its tenant's fair share."""
+        state = self._state(entry.tenant)
+        state.running += 1
+        state.consumed += max(0.0, entry.cost)
+
+    def finish(self, tenant: str) -> None:
+        """Release one running slot of ``tenant``."""
+        state = self._state(tenant)
+        if state.running <= 0:
+            raise SchedulerError(f"tenant {tenant!r} has nothing running")
+        state.running -= 1
+
+    # -- introspection ------------------------------------------------------
+    def depth(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return len(self._state(tenant).queued)
+        return sum(len(s.queued) for s in self._tenants.values())
+
+    def running(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return self._state(tenant).running
+        return sum(s.running for s in self._tenants.values())
+
+    def consumed(self, tenant: str) -> float:
+        return self._state(tenant).consumed
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FairShareQueue(depth={self.depth()}, running={self.running()}, "
+            f"tenants={self.tenants()})"
+        )

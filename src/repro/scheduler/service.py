@@ -1,0 +1,415 @@
+"""The multi-tenant workflow service (scheduler above the WFM).
+
+The paper's manager runs *one* workflow and blocks until it finishes;
+its §VII future work names "invocation of multiple concurrent functions
+by different workflows" as the next step.  :class:`WorkflowService` is
+that step: a submission API over a priority + weighted-fair-share queue
+(:mod:`repro.scheduler.queue`), an admission controller that meters
+estimated peak demand against cluster capacity
+(:mod:`repro.scheduler.admission`), and a concurrency engine that runs
+up to ``max_concurrent_workflows`` managers *interleaved* as coroutine
+processes on the simulation kernel
+(:meth:`~repro.core.manager.ServerlessWorkflowManager.execute_process`).
+
+Clients get a :class:`WorkflowHandle` back immediately; terminal states
+are ``succeeded`` / ``failed`` / ``rejected``.  Drive the simulation
+with :meth:`WorkflowService.drain` (or your own ``env.run``) to make
+progress.  For real HTTP platforms use
+:class:`~repro.scheduler.threaded.ThreadedWorkflowService`, which runs
+the same queue/admission logic on a bounded thread pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.invocation import SimulatedInvoker
+from repro.core.manager import ManagerConfig, ServerlessWorkflowManager
+from repro.core.results import WorkflowRunResult
+from repro.core.shared_drive import SharedDrive
+from repro.errors import QuotaExceededError, SchedulerError
+from repro.scheduler.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+)
+from repro.scheduler.estimate import WorkflowEstimate, estimate_workflow
+from repro.scheduler.metrics import ServiceMetrics
+from repro.scheduler.queue import FairShareQueue, QueueEntry, TenantQuota
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons.schema import Workflow
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "FAILED",
+    "REJECTED",
+    "ServiceConfig",
+    "WorkflowHandle",
+    "WorkflowService",
+]
+
+#: Handle lifecycle: QUEUED -> RUNNING -> SUCCEEDED | FAILED, or
+#: QUEUED/submit -> REJECTED (admission, quota, deadline shed).
+QUEUED = "queued"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+REJECTED = "rejected"
+
+_TERMINAL = frozenset({SUCCEEDED, FAILED, REJECTED})
+
+
+@dataclass
+class ServiceConfig:
+    """Service-level knobs (queueing and concurrency, not per-run)."""
+
+    #: Managers running interleaved at once (the service's own bound;
+    #: the admission controller's capacity gate may hold work below it).
+    max_concurrent_workflows: int = 4
+    #: Quota applied to tenants without an explicit configure_tenant().
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    #: Admission policy (queue depth, fit fractions, deadline shedding).
+    admission_policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_workflows < 1:
+            raise SchedulerError("max_concurrent_workflows must be >= 1")
+
+
+@dataclass
+class WorkflowHandle:
+    """What a tenant holds after submitting a workflow."""
+
+    id: int
+    workflow_name: str
+    tenant: str
+    priority: int
+    deadline: Optional[float]
+    submitted_at: float
+    estimate: WorkflowEstimate
+    status: str = QUEUED
+    #: Rejection/failure reason (admission gate or run error).
+    reason: str = ""
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[WorkflowRunResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status in _TERMINAL
+
+    @property
+    def queue_wait_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def time_in_system_seconds(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return max(0.0, self.finished_at - self.submitted_at)
+
+    def row(self) -> dict:
+        """Flat record for the service-level tables/CSVs."""
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "workflow": self.workflow_name,
+            "priority": self.priority,
+            "status": self.status,
+            "queue_wait_seconds": (
+                None if self.queue_wait_seconds is None
+                else round(self.queue_wait_seconds, 3)),
+            "service_seconds": (
+                None if self.result is None
+                else round(self.result.makespan_seconds, 3)),
+            "time_in_system_seconds": (
+                None if self.time_in_system_seconds is None
+                else round(self.time_in_system_seconds, 3)),
+            "reason": self.reason[:80],
+        }
+
+
+class WorkflowService:
+    """Multi-tenant workflow scheduler over one simulated platform,
+    gateway or federation."""
+
+    def __init__(
+        self,
+        target: Any,
+        drive: SharedDrive,
+        *,
+        config: Optional[ServiceConfig] = None,
+        manager_config: Optional[ManagerConfig] = None,
+        model: Optional[WfBenchModel] = None,
+        admission: Optional[AdmissionController] = None,
+        platform_label: str = "",
+    ):
+        self.target = target
+        self.drive = drive
+        self.config = config or ServiceConfig()
+        self.manager_config = manager_config or ManagerConfig()
+        self.model = model or getattr(target, "model", None) or WfBenchModel()
+        self.platform_label = platform_label
+        self.env = self._resolve_env(target)
+        self.admission = admission or AdmissionController.from_clusters(
+            self._clusters_of(target), self.config.admission_policy
+        )
+        self.queue = FairShareQueue(self.config.default_quota)
+        self.metrics = ServiceMetrics()
+        self.handles: list[WorkflowHandle] = []
+        self._ids = itertools.count(1)
+        self._workflows: dict[int, Workflow] = {}
+        self._running: dict[int, WorkflowHandle] = {}
+        self._outstanding = 0
+        self._t0: Optional[float] = None
+        self._wake = None
+        self._drain_event = None
+        self.env.process(self._dispatch_loop())
+
+    # -- wiring ---------------------------------------------------------------
+    @staticmethod
+    def _resolve_env(target: Any):
+        if hasattr(target, "platforms"):
+            platforms = target.platforms
+            if not platforms:
+                raise SchedulerError("gateway has no platforms registered")
+            return platforms[0].env
+        return target.env
+
+    @staticmethod
+    def _clusters_of(target: Any) -> list:
+        platforms = target.platforms if hasattr(target, "platforms") else [target]
+        clusters: list = []
+        for platform in platforms:
+            cluster = getattr(platform, "cluster", None)
+            if cluster is not None and all(c is not cluster for c in clusters):
+                clusters.append(cluster)
+        if not clusters:
+            raise SchedulerError(
+                "cannot derive cluster capacity from target; pass an "
+                "explicit AdmissionController via admission="
+            )
+        return clusters
+
+    def configure_tenant(
+        self,
+        tenant: str,
+        weight: float = 1.0,
+        max_queued: Optional[int] = None,
+        max_running: Optional[int] = None,
+    ) -> None:
+        self.queue.configure(tenant, TenantQuota(
+            weight=weight, max_queued=max_queued, max_running=max_running))
+
+    # -- submission API -------------------------------------------------------
+    def submit(
+        self,
+        workflow: Union[Workflow, Mapping[str, Any]],
+        tenant: str = "default",
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> WorkflowHandle:
+        """Submit one workflow on behalf of ``tenant``.
+
+        ``priority`` orders work *within* the tenant (higher first);
+        ``deadline`` is an absolute simulation time by which the run must
+        finish — submissions that cannot make it are shed.
+        Returns immediately with a :class:`WorkflowHandle`.
+        """
+        if not isinstance(workflow, Workflow):
+            workflow = Workflow.from_json(dict(workflow))
+        now = self.env.now
+        if self._t0 is None:
+            self._t0 = now
+        estimate = estimate_workflow(
+            workflow,
+            self.model,
+            keep_memory=self.manager_config.keep_memory,
+            phase_delay_seconds=self.manager_config.phase_delay_seconds,
+            inject_markers=self.manager_config.inject_header_tail,
+        )
+        handle = WorkflowHandle(
+            id=next(self._ids),
+            workflow_name=workflow.name,
+            tenant=tenant,
+            priority=priority,
+            deadline=deadline,
+            submitted_at=now,
+            estimate=estimate,
+        )
+        self.handles.append(handle)
+        weight = self.queue.weight_of(tenant)
+        self.metrics.observe_submitted(tenant, weight)
+
+        decision = self.admission.on_submit(
+            estimate, self.queue.depth(), now=now, deadline=deadline
+        )
+        if decision.rejected:
+            self._reject(handle, decision.reason)
+            return handle
+
+        entry = QueueEntry(
+            tenant=tenant,
+            priority=priority,
+            cost=max(1.0, estimate.total_cpu_seconds),
+            deadline=deadline,
+            enqueued_at=now,
+            payload=handle,
+        )
+        try:
+            self.queue.push(entry)
+        except QuotaExceededError as exc:
+            self._reject(handle, f"tenant-quota: {exc}")
+            return handle
+        self._workflows[handle.id] = workflow
+        self._outstanding += 1
+        # Dispatch eagerly so a submission into free capacity is RUNNING
+        # the moment submit() returns (even before the env advances); the
+        # wake loop only needs to cover completion-driven dispatch.
+        self._try_dispatch()
+        return handle
+
+    # -- progress -------------------------------------------------------------
+    def drain(self) -> "WorkflowService":
+        """Advance the simulation until every submission is terminal."""
+        while self._outstanding:
+            self._drain_event = self.env.event()
+            self.env.run(until=self._drain_event)
+        return self
+
+    def queue_depth(self) -> int:
+        return self.queue.depth()
+
+    def running_count(self) -> int:
+        return len(self._running)
+
+    def summary(self) -> dict:
+        horizon = self.env.now - (self._t0 if self._t0 is not None else self.env.now)
+        return self.metrics.summary(horizon)
+
+    def rows(self) -> list[dict]:
+        return [h.row() for h in self.handles]
+
+    # -- scheduler internals --------------------------------------------------
+    def _dispatch_loop(self):
+        while True:
+            self._try_dispatch()
+            self._wake = self.env.event()
+            yield self._wake
+
+    def _kick(self) -> None:
+        wake = self._wake
+        if wake is not None and not wake.triggered:
+            wake.succeed()
+
+    def _live_demand(self) -> tuple[float, float]:
+        cores = sum(h.estimate.peak_cores for h in self._running.values())
+        mem = float(sum(h.estimate.peak_memory_bytes
+                        for h in self._running.values()))
+        return cores, mem
+
+    def _try_dispatch(self) -> None:
+        while len(self._running) < self.config.max_concurrent_workflows:
+            entry = self.queue.select()
+            if entry is None:
+                return
+            handle: WorkflowHandle = entry.payload
+            now = self.env.now
+            if (
+                self.admission.policy.enforce_deadlines
+                and entry.deadline is not None
+                and now + handle.estimate.service_seconds > entry.deadline
+            ):
+                self.queue.remove(entry)
+                self._workflows.pop(handle.id, None)
+                self._outstanding -= 1
+                self._reject(
+                    handle,
+                    f"deadline: shed after {now - entry.enqueued_at:.1f}s of "
+                    f"queue wait",
+                )
+                self._maybe_finish_drain()
+                continue
+            live_cores, live_bytes = self._live_demand()
+            if self._running and not self.admission.may_start(
+                handle.estimate, live_cores, live_bytes
+            ):
+                # Strict fair share: when the chosen head does not fit we
+                # wait for capacity rather than skipping ahead (no
+                # starvation of wide workflows by narrow ones).
+                return
+            self.queue.remove(entry)
+            self.queue.start(entry)
+            self._start(handle)
+
+    def _start(self, handle: WorkflowHandle) -> None:
+        now = self.env.now
+        handle.status = RUNNING
+        handle.started_at = now
+        self.metrics.observe_started(handle.tenant, now - handle.submitted_at)
+        workflow = self._workflows.pop(handle.id)
+        invoker = SimulatedInvoker(self.target, tenant=handle.tenant)
+        manager = ServerlessWorkflowManager(invoker, self.drive,
+                                            self.manager_config)
+        proc = self.env.process(
+            manager.execute_process(
+                workflow,
+                platform_label=self.platform_label,
+                paradigm_label=handle.tenant,
+            )
+        )
+        self._running[handle.id] = handle
+        proc.callbacks.append(lambda event, h=handle: self._on_done(h, event))
+
+    def _on_done(self, handle: WorkflowHandle, event) -> None:
+        self._running.pop(handle.id, None)
+        self.queue.finish(handle.tenant)
+        handle.finished_at = self.env.now
+        if event.ok:
+            result: WorkflowRunResult = event.value
+            handle.result = result
+            handle.status = SUCCEEDED if result.succeeded else FAILED
+            handle.reason = result.error
+            service_seconds = result.makespan_seconds
+            ok = result.succeeded
+        else:
+            # The manager process died on an unexpected error (bad
+            # document, platform bug): contain it in the handle instead
+            # of crashing the whole service simulation.
+            event.defuse()
+            handle.status = FAILED
+            handle.reason = str(event.value)
+            service_seconds = 0.0
+            ok = False
+        deadline_met = (
+            None if handle.deadline is None
+            else handle.finished_at <= handle.deadline
+        )
+        self.metrics.observe_finished(
+            handle.tenant,
+            ok=ok,
+            time_in_system_seconds=handle.finished_at - handle.submitted_at,
+            service_seconds=service_seconds,
+            deadline_met=deadline_met,
+            weight=self.queue.weight_of(handle.tenant),
+        )
+        self._outstanding -= 1
+        self._maybe_finish_drain()
+        self._kick()
+
+    def _reject(self, handle: WorkflowHandle, reason: str) -> None:
+        handle.status = REJECTED
+        handle.reason = reason
+        handle.finished_at = self.env.now
+        self.metrics.observe_rejected(
+            handle.tenant, reason, self.queue.weight_of(handle.tenant))
+
+    def _maybe_finish_drain(self) -> None:
+        if self._outstanding == 0 and self._drain_event is not None \
+                and not self._drain_event.triggered:
+            self._drain_event.succeed()

@@ -1,0 +1,290 @@
+"""Thread-pool workflow service for real (HTTP) platforms.
+
+Same queue/admission/metrics stack as the simulated
+:class:`~repro.scheduler.service.WorkflowService`, but progress comes
+from a bounded :class:`~concurrent.futures.ThreadPoolExecutor` and the
+wall clock instead of the simulation kernel: each dispatched workflow
+runs a blocking :meth:`~repro.core.manager.ServerlessWorkflowManager.
+execute` on its own worker thread (the manager's HTTP invoker already
+fans each phase out over its own request pool, so one thread per
+*workflow* suffices for interleaving).
+
+Because there is no capacity model for a remote cluster by default, the
+admission controller is :meth:`~repro.scheduler.admission.
+AdmissionController.unlimited` — queue depth, per-tenant quotas and
+deadlines still apply; pass an explicit controller to meter against a
+known cluster size.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Mapping, Optional, Union
+
+from repro.core.manager import ManagerConfig, ServerlessWorkflowManager
+from repro.core.shared_drive import SharedDrive
+from repro.errors import QuotaExceededError
+from repro.scheduler.admission import AdmissionController
+from repro.scheduler.estimate import estimate_workflow
+from repro.scheduler.metrics import ServiceMetrics
+from repro.scheduler.queue import FairShareQueue, QueueEntry, TenantQuota
+from repro.scheduler.service import (
+    FAILED,
+    REJECTED,
+    RUNNING,
+    SUCCEEDED,
+    ServiceConfig,
+    WorkflowHandle,
+)
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons.schema import Workflow
+
+__all__ = ["ThreadedWorkflowService"]
+
+
+class ThreadedWorkflowService:
+    """Multi-tenant scheduler driving blocking managers on a thread pool.
+
+    ``invoker_factory(tenant)`` must return a fresh invoker per started
+    workflow (e.g. an :class:`~repro.core.invocation.HttpInvoker` bound
+    to the tenant's namespace) — managers run concurrently and must not
+    share per-run invoker state.
+    """
+
+    def __init__(
+        self,
+        invoker_factory: Callable[[str], Any],
+        drive: SharedDrive,
+        *,
+        config: Optional[ServiceConfig] = None,
+        manager_config: Optional[ManagerConfig] = None,
+        model: Optional[WfBenchModel] = None,
+        admission: Optional[AdmissionController] = None,
+        clock: Callable[[], float] = time.monotonic,
+        platform_label: str = "",
+    ):
+        self.invoker_factory = invoker_factory
+        self.drive = drive
+        self.config = config or ServiceConfig()
+        self.manager_config = manager_config or ManagerConfig()
+        self.model = model or WfBenchModel()
+        self.admission = admission or AdmissionController.unlimited(
+            self.config.admission_policy)
+        self.clock = clock
+        self.platform_label = platform_label
+        self.queue = FairShareQueue(self.config.default_quota)
+        self.metrics = ServiceMetrics()
+        self.handles: list[WorkflowHandle] = []
+        self._ids = itertools.count(1)
+        self._workflows: dict[int, Workflow] = {}
+        self._running: dict[int, WorkflowHandle] = {}
+        self._lock = threading.RLock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._outstanding = 0
+        self._t0: Optional[float] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent_workflows,
+            thread_name_prefix="wf-service",
+        )
+        self._closed = False
+
+    # -- tenants --------------------------------------------------------------
+    def configure_tenant(
+        self,
+        tenant: str,
+        weight: float = 1.0,
+        max_queued: Optional[int] = None,
+        max_running: Optional[int] = None,
+    ) -> None:
+        with self._lock:
+            self.queue.configure(tenant, TenantQuota(
+                weight=weight, max_queued=max_queued,
+                max_running=max_running))
+
+    # -- submission API -------------------------------------------------------
+    def submit(
+        self,
+        workflow: Union[Workflow, Mapping[str, Any]],
+        tenant: str = "default",
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> WorkflowHandle:
+        """Submit one workflow; ``deadline`` is absolute ``clock()`` time."""
+        if not isinstance(workflow, Workflow):
+            workflow = Workflow.from_json(dict(workflow))
+        estimate = estimate_workflow(
+            workflow,
+            self.model,
+            keep_memory=self.manager_config.keep_memory,
+            phase_delay_seconds=self.manager_config.phase_delay_seconds,
+            inject_markers=self.manager_config.inject_header_tail,
+        )
+        with self._lock:
+            now = self.clock()
+            if self._t0 is None:
+                self._t0 = now
+            handle = WorkflowHandle(
+                id=next(self._ids),
+                workflow_name=workflow.name,
+                tenant=tenant,
+                priority=priority,
+                deadline=deadline,
+                submitted_at=now,
+                estimate=estimate,
+            )
+            self.handles.append(handle)
+            self.metrics.observe_submitted(tenant, self.queue.weight_of(tenant))
+            decision = self.admission.on_submit(
+                estimate, self.queue.depth(), now=now, deadline=deadline)
+            if decision.rejected:
+                self._reject(handle, decision.reason)
+                return handle
+            entry = QueueEntry(
+                tenant=tenant,
+                priority=priority,
+                cost=max(1.0, estimate.total_cpu_seconds),
+                deadline=deadline,
+                enqueued_at=now,
+                payload=handle,
+            )
+            try:
+                self.queue.push(entry)
+            except QuotaExceededError as exc:
+                self._reject(handle, f"tenant-quota: {exc}")
+                return handle
+            self._workflows[handle.id] = workflow
+            self._outstanding += 1
+            self._idle.clear()
+            self._dispatch_locked()
+        return handle
+
+    # -- progress -------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submission is terminal (or ``timeout``)."""
+        return self._idle.wait(timeout)
+
+    def close(self) -> None:
+        """Stop accepting dispatches and release the worker threads."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedWorkflowService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self.queue.depth()
+
+    def running_count(self) -> int:
+        with self._lock:
+            return len(self._running)
+
+    def summary(self) -> dict:
+        with self._lock:
+            horizon = 0.0 if self._t0 is None else self.clock() - self._t0
+            return self.metrics.summary(horizon)
+
+    def rows(self) -> list[dict]:
+        with self._lock:
+            return [h.row() for h in self.handles]
+
+    # -- scheduler internals --------------------------------------------------
+    def _dispatch_locked(self) -> None:
+        """Start queued work while slots remain; caller holds the lock."""
+        if self._closed:
+            return
+        while len(self._running) < self.config.max_concurrent_workflows:
+            entry = self.queue.select()
+            if entry is None:
+                return
+            handle: WorkflowHandle = entry.payload
+            now = self.clock()
+            if (
+                self.admission.policy.enforce_deadlines
+                and entry.deadline is not None
+                and now + handle.estimate.service_seconds > entry.deadline
+            ):
+                self.queue.remove(entry)
+                self._workflows.pop(handle.id, None)
+                self._outstanding -= 1
+                self._reject(
+                    handle,
+                    f"deadline: shed after {now - entry.enqueued_at:.1f}s "
+                    f"of queue wait",
+                )
+                if self._outstanding == 0:
+                    self._idle.set()
+                continue
+            live_cores = sum(h.estimate.peak_cores
+                             for h in self._running.values())
+            live_bytes = float(sum(h.estimate.peak_memory_bytes
+                                   for h in self._running.values()))
+            if self._running and not self.admission.may_start(
+                handle.estimate, live_cores, live_bytes
+            ):
+                return
+            self.queue.remove(entry)
+            self.queue.start(entry)
+            handle.status = RUNNING
+            handle.started_at = now
+            self.metrics.observe_started(
+                handle.tenant, now - handle.submitted_at)
+            workflow = self._workflows.pop(handle.id)
+            self._running[handle.id] = handle
+            self._pool.submit(self._run_one, handle, workflow)
+
+    def _run_one(self, handle: WorkflowHandle, workflow: Workflow) -> None:
+        try:
+            invoker = self.invoker_factory(handle.tenant)
+            manager = ServerlessWorkflowManager(
+                invoker, self.drive, self.manager_config)
+            result = manager.execute(
+                workflow,
+                platform_label=self.platform_label,
+                paradigm_label=handle.tenant,
+            )
+            ok = result.succeeded
+            reason = result.error
+            service_seconds = result.makespan_seconds
+        except Exception as exc:  # contain worker crashes in the handle
+            result = None
+            ok = False
+            reason = str(exc)
+            service_seconds = 0.0
+        with self._lock:
+            self._running.pop(handle.id, None)
+            self.queue.finish(handle.tenant)
+            now = self.clock()
+            handle.finished_at = now
+            handle.result = result
+            handle.status = SUCCEEDED if ok else FAILED
+            handle.reason = reason
+            deadline_met = (
+                None if handle.deadline is None else now <= handle.deadline)
+            self.metrics.observe_finished(
+                handle.tenant,
+                ok=ok,
+                time_in_system_seconds=now - handle.submitted_at,
+                service_seconds=service_seconds,
+                deadline_met=deadline_met,
+                weight=self.queue.weight_of(handle.tenant),
+            )
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._idle.set()
+            self._dispatch_locked()
+
+    def _reject(self, handle: WorkflowHandle, reason: str) -> None:
+        handle.status = REJECTED
+        handle.reason = reason
+        handle.finished_at = self.clock()
+        self.metrics.observe_rejected(
+            handle.tenant, reason, self.queue.weight_of(handle.tenant))

@@ -155,6 +155,36 @@ class TestWfm:
         assert rc == 1
 
 
+class TestWfmSubmit:
+    def test_batch_mode_prints_service_tables(self, tmp_path, capsys):
+        rc = wfm_main([
+            "submit", "--tenants", "astro:2,bio:1", "-n", "3",
+            "--apps", "blast", "--size", "10", "--concurrency", "2",
+            "--csv", str(tmp_path / "rows.csv"),
+            "--summary-json", str(tmp_path / "summary.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workflows" in out and "tenants" in out
+        assert "astro" in out and "bio" in out
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["completed"] == 3
+        assert summary["rejected"] == 0
+        csv_text = (tmp_path / "rows.csv").read_text()
+        assert "tenant" in csv_text.splitlines()[0]
+        assert len(csv_text.splitlines()) == 4
+
+    def test_deadline_rejections_still_exit_zero(self, capsys):
+        """Rejected (not failed) workflows are reported, not fatal."""
+        rc = wfm_main([
+            "submit", "--tenants", "solo", "-n", "2", "--apps", "blast",
+            "--size", "10", "--concurrency", "1", "--deadline", "0.001",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"rejected": 2' in out
+
+
 class TestExperimentsCli:
     def test_design_target_runs_everything(self, tmp_path, capsys):
         rc = experiments_main([

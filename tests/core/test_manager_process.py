@@ -1,0 +1,101 @@
+"""Tests for the manager's coroutine execution path (execute_process).
+
+The generator-based path must match the blocking ``execute()`` result
+for every execution mode — it is the same manager, driven by the kernel
+instead of by blocking ``env.run`` calls — and it is what lets many
+managers interleave under the workflow service.
+"""
+
+import pytest
+
+from repro.core import ManagerConfig
+from repro.core.invocation import HttpInvoker
+from repro.core.manager import ServerlessWorkflowManager
+from repro.core.shared_drive import SimulatedSharedDrive
+from repro.errors import WorkflowExecutionError
+from repro.simulation import Environment
+
+from helpers import make_workflow
+from test_manager import setup_run
+
+
+MODES = ("level", "sequential", "eager")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_process_matches_blocking_execute(mode):
+    wf = make_workflow("blast", 15)
+    config = ManagerConfig(execution_mode=mode)
+
+    env_a = Environment()
+    manager_a, _, _ = setup_run(env_a, wf, manager_config=config)
+    blocking = manager_a.execute(wf, platform_label="local",
+                                 paradigm_label="X")
+
+    env_b = Environment()
+    manager_b, _, _ = setup_run(env_b, wf, manager_config=config)
+    proc = env_b.process(manager_b.execute_process(
+        wf, platform_label="local", paradigm_label="X"))
+    env_b.run(until=proc)
+    coroutine = proc.value
+
+    assert coroutine.succeeded == blocking.succeeded is True
+    assert coroutine.platform == "local"
+    assert coroutine.paradigm == "X"
+    assert {t.name for t in coroutine.tasks} == {t.name for t in blocking.tasks}
+    assert coroutine.makespan_seconds == pytest.approx(
+        blocking.makespan_seconds)
+    if mode != "eager":
+        assert len(coroutine.phases) == len(blocking.phases)
+
+
+def test_process_failure_is_reported_not_raised():
+    wf = make_workflow("blast", 10)
+    env = Environment()
+    # No staged inputs: readiness fails.
+    manager, _, _ = setup_run(env, wf, stage=False)
+    proc = env.process(manager.execute_process(wf))
+    env.run(until=proc)
+    result = proc.value
+    assert result.succeeded is False
+    assert "never appeared" in result.error
+
+
+def test_process_respects_max_parallel_requests():
+    wf = make_workflow("seismology", 20)
+    env = Environment()
+    manager, _, _ = setup_run(
+        env, wf, manager_config=ManagerConfig(max_parallel_requests=5))
+    proc = env.process(manager.execute_process(wf))
+    env.run(until=proc)
+    result = proc.value
+    assert result.succeeded
+    # The wide phase fires in windows of five: >1 distinct submit time.
+    decons = [t for t in result.tasks if t.name.startswith("sG1IterDecon")]
+    assert len({round(t.submitted_at, 3) for t in decons}) > 1
+
+
+def test_process_requires_simulated_invoker():
+    wf = make_workflow("blast", 10)
+    drive = SimulatedSharedDrive()
+    manager = ServerlessWorkflowManager(HttpInvoker(), drive, ManagerConfig())
+    with pytest.raises(WorkflowExecutionError, match="SimulatedInvoker"):
+        next(manager.execute_process(wf))
+
+
+def test_two_processes_interleave_on_one_env():
+    wf_a = make_workflow("blast", 10, seed=1)
+    wf_b = make_workflow("blast", 10, seed=2)
+    env = Environment()
+    manager, platform, drive = setup_run(env, wf_a)
+    from repro.wfbench.data import workflow_input_files
+
+    for f in workflow_input_files(wf_b):
+        drive.put(f.name, f.size_in_bytes)
+    proc_a = env.process(manager.execute_process(wf_a))
+    proc_b = env.process(manager.execute_process(wf_b))
+    env.run(until=env.all_of([proc_a, proc_b]))
+    ra, rb = proc_a.value, proc_b.value
+    assert ra.succeeded and rb.succeeded
+    # Both ran over the same window on one platform.
+    assert ra.started_at == rb.started_at == 0.0

@@ -1,0 +1,123 @@
+"""Unit tests for demand estimation and admission control."""
+
+import pytest
+
+from repro.scheduler.admission import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from repro.scheduler.estimate import WorkflowEstimate, estimate_workflow
+from repro.wfbench.model import WfBenchModel
+
+from helpers import make_workflow
+
+
+def make_estimate(peak_cores=4.0, peak_memory_gb=2.0, service_seconds=30.0):
+    return WorkflowEstimate(
+        num_tasks=10, num_phases=3, max_width=4,
+        peak_cores=peak_cores,
+        peak_memory_bytes=int(peak_memory_gb * (1 << 30)),
+        total_cpu_seconds=40.0,
+        service_seconds=service_seconds,
+    )
+
+
+class TestEstimate:
+    def test_shape_matches_dag(self):
+        wf = make_workflow("blast", 20)
+        est = estimate_workflow(wf)
+        # header + 20 app tasks + tail
+        assert est.num_tasks == 22
+        assert est.num_phases == 6  # header + 4 app levels + tail
+        assert est.max_width >= 15  # the blastall layer dominates
+
+    def test_peaks_are_positive_and_widest_phase_dominates(self):
+        wf = make_workflow("blast", 20)
+        est = estimate_workflow(wf)
+        assert est.peak_cores > 1.0
+        assert est.peak_memory_bytes > 0
+        assert est.total_cpu_seconds > 0
+        assert est.service_seconds > 0
+
+    def test_deterministic(self):
+        wf = make_workflow("seismology", 20)
+        model = WfBenchModel()
+        assert estimate_workflow(wf, model) == estimate_workflow(wf, model)
+
+    def test_phase_delay_adds_to_service_time(self):
+        wf = make_workflow("blast", 10)
+        fast = estimate_workflow(wf, phase_delay_seconds=0.0)
+        slow = estimate_workflow(wf, phase_delay_seconds=5.0)
+        gaps = fast.num_phases - 1
+        assert slow.service_seconds == pytest.approx(
+            fast.service_seconds + 5.0 * gaps)
+
+
+class TestAdmission:
+    def test_feasible_workflow_queues(self):
+        ctrl = AdmissionController(capacity_cores=16, capacity_bytes=8 << 30)
+        decision = ctrl.on_submit(make_estimate(), queue_depth=0)
+        assert decision.action == QUEUE
+        assert not decision.rejected
+
+    def test_infeasible_cpu_rejected(self):
+        ctrl = AdmissionController(capacity_cores=2, capacity_bytes=64 << 30)
+        decision = ctrl.on_submit(make_estimate(peak_cores=10.0), queue_depth=0)
+        assert decision.rejected
+        assert decision.reason.startswith("infeasible")
+
+    def test_infeasible_memory_rejected(self):
+        ctrl = AdmissionController(capacity_cores=64, capacity_bytes=1 << 30)
+        decision = ctrl.on_submit(make_estimate(peak_memory_gb=8.0),
+                                  queue_depth=0)
+        assert decision.rejected
+        assert "memory" in decision.reason
+
+    def test_impossible_deadline_rejected(self):
+        ctrl = AdmissionController(capacity_cores=64, capacity_bytes=64 << 30)
+        decision = ctrl.on_submit(make_estimate(service_seconds=100.0),
+                                  queue_depth=0, now=0.0, deadline=10.0)
+        assert decision.rejected
+        assert decision.reason.startswith("deadline")
+
+    def test_deadline_ignored_when_disabled(self):
+        ctrl = AdmissionController(
+            64, 64 << 30, AdmissionPolicy(enforce_deadlines=False))
+        decision = ctrl.on_submit(make_estimate(service_seconds=100.0),
+                                  queue_depth=0, now=0.0, deadline=10.0)
+        assert decision.action == QUEUE
+
+    def test_backpressure_at_queue_bound(self):
+        ctrl = AdmissionController(
+            64, 64 << 30, AdmissionPolicy(max_queue_depth=2))
+        assert ctrl.on_submit(make_estimate(), queue_depth=1).action == QUEUE
+        decision = ctrl.on_submit(make_estimate(), queue_depth=2)
+        assert decision.rejected
+        assert decision.reason.startswith("backpressure")
+
+    def test_may_start_meters_committed_peaks(self):
+        ctrl = AdmissionController(capacity_cores=8, capacity_bytes=64 << 30)
+        est = make_estimate(peak_cores=4.0)
+        assert ctrl.may_start(est, live_cores=0.0, live_bytes=0.0)
+        assert ctrl.may_start(est, live_cores=4.0, live_bytes=0.0)
+        assert not ctrl.may_start(est, live_cores=5.0, live_bytes=0.0)
+
+    def test_start_load_fraction_oversubscribes(self):
+        ctrl = AdmissionController(
+            8, 64 << 30, AdmissionPolicy(start_load_fraction=2.0))
+        est = make_estimate(peak_cores=4.0)
+        assert ctrl.may_start(est, live_cores=10.0, live_bytes=0.0)
+
+    def test_unlimited_controller_admits_everything(self):
+        ctrl = AdmissionController.unlimited()
+        decision = ctrl.on_submit(make_estimate(peak_cores=1e9), queue_depth=0)
+        assert decision.action == QUEUE
+
+    def test_from_cluster_uses_allocatable(self, small_cluster):
+        ctrl = AdmissionController.from_cluster(small_cluster)
+        # Only the schedulable worker counts: 8 cores - 1 reserved.
+        assert ctrl.capacity_cores == pytest.approx(7.0)
+        assert ctrl.capacity_bytes == pytest.approx(15 * (1 << 30))

@@ -1,0 +1,130 @@
+"""Unit tests for the weighted-fair-share queue and tenant quotas."""
+
+import pytest
+
+from repro.errors import QuotaExceededError, SchedulerError
+from repro.scheduler.queue import FairShareQueue, QueueEntry, TenantQuota
+
+
+def entry(tenant, priority=0, cost=1.0):
+    return QueueEntry(tenant=tenant, priority=priority, cost=cost)
+
+
+class TestQuota:
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            TenantQuota(weight=0.0)
+        with pytest.raises(SchedulerError):
+            TenantQuota(max_queued=-1)
+        with pytest.raises(SchedulerError):
+            TenantQuota(max_running=0)
+
+    def test_max_queued_enforced_at_push(self):
+        queue = FairShareQueue(TenantQuota(max_queued=2))
+        queue.push(entry("a"))
+        queue.push(entry("a"))
+        with pytest.raises(QuotaExceededError):
+            queue.push(entry("a"))
+        # Other tenants are unaffected by a's quota.
+        queue.push(entry("b"))
+        assert queue.depth() == 3
+
+    def test_max_running_blocks_selection(self):
+        queue = FairShareQueue(TenantQuota(max_running=1))
+        first, second = entry("a"), entry("a")
+        queue.push(first)
+        queue.push(second)
+        chosen = queue.select()
+        queue.remove(chosen)
+        queue.start(chosen)
+        assert queue.select() is None  # tenant a is at max_running
+        queue.finish("a")
+        assert queue.select() is second
+
+    def test_configure_replaces_quota(self):
+        queue = FairShareQueue(TenantQuota(max_queued=1))
+        queue.push(entry("a"))
+        with pytest.raises(QuotaExceededError):
+            queue.push(entry("a"))
+        queue.configure("a", TenantQuota(max_queued=5))
+        queue.push(entry("a"))
+        assert queue.depth("a") == 2
+
+
+class TestPriority:
+    def test_priority_orders_within_tenant(self):
+        queue = FairShareQueue()
+        low = entry("a", priority=0)
+        high = entry("a", priority=5)
+        queue.push(low)
+        queue.push(high)
+        assert queue.select() is high
+
+    def test_fifo_among_equal_priority(self):
+        queue = FairShareQueue()
+        first = entry("a")
+        second = entry("a")
+        queue.push(first)
+        queue.push(second)
+        assert queue.select() is first
+
+
+class TestFairShare:
+    def drain_order(self, queue):
+        order = []
+        while True:
+            chosen = queue.select()
+            if chosen is None:
+                break
+            queue.remove(chosen)
+            queue.start(chosen)
+            queue.finish(chosen.tenant)
+            order.append(chosen.tenant)
+        return order
+
+    def test_round_robin_between_equal_tenants(self):
+        queue = FairShareQueue()
+        for _ in range(3):
+            queue.push(entry("a", cost=10.0))
+            queue.push(entry("b", cost=10.0))
+        assert self.drain_order(queue) == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weighted_tenant_gets_proportional_service(self):
+        queue = FairShareQueue()
+        queue.configure("heavy", TenantQuota(weight=2.0))
+        queue.configure("light", TenantQuota(weight=1.0))
+        for _ in range(6):
+            queue.push(entry("heavy", cost=10.0))
+            queue.push(entry("light", cost=10.0))
+        order = self.drain_order(queue)
+        # In any prefix the weight-2 tenant stays ~2x ahead.
+        heavy_in_first_six = order[:6].count("heavy")
+        assert heavy_in_first_six == 4
+
+    def test_consumed_tracks_cost(self):
+        queue = FairShareQueue()
+        item = entry("a", cost=12.5)
+        queue.push(item)
+        queue.remove(item)
+        queue.start(item)
+        assert queue.consumed("a") == 12.5
+
+
+class TestBookkeeping:
+    def test_remove_unknown_entry_raises(self):
+        queue = FairShareQueue()
+        with pytest.raises(SchedulerError):
+            queue.remove(entry("a"))
+
+    def test_finish_without_running_raises(self):
+        queue = FairShareQueue()
+        with pytest.raises(SchedulerError):
+            queue.finish("a")
+
+    def test_depth_and_len(self):
+        queue = FairShareQueue()
+        queue.push(entry("a"))
+        queue.push(entry("b"))
+        assert queue.depth() == len(queue) == 2
+        assert queue.depth("a") == 1
+        assert queue.tenants() == ["a", "b"]

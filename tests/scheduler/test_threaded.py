@@ -1,0 +1,182 @@
+"""Tests for the thread-pool service (real-platform execution path).
+
+Uses a fake wall-clock invoker instead of real HTTP: each submit
+performs the "function" inline (tiny sleep + writes outputs to the
+shared drive), so blocking managers on different service threads
+genuinely interleave in wall time.
+"""
+
+import time
+
+import pytest
+
+from repro.core import ManagerConfig, SimulatedSharedDrive
+from repro.core.invocation import InvocationRecord, Invoker
+from repro.scheduler import (
+    AdmissionPolicy,
+    ServiceConfig,
+    ThreadedWorkflowService,
+)
+from repro.wfbench.data import workflow_input_files
+
+from helpers import make_workflow
+
+
+class FakeInvoker(Invoker):
+    """Wall-clock invoker: sleeps a little, writes outputs, succeeds."""
+
+    def __init__(self, drive, delay=0.002):
+        self.drive = drive
+        self.delay = delay
+
+    def now(self):
+        return time.monotonic()
+
+    def sleep(self, seconds):
+        time.sleep(min(seconds, 0.005))
+
+    def submit(self, url, request):
+        submitted = self.now()
+        time.sleep(self.delay)
+        for name, size in request.out.items():
+            self.drive.put(name, size)
+        return InvocationRecord(
+            name=request.name, status=200, submitted_at=submitted,
+            started_at=submitted, finished_at=self.now(),
+        )
+
+    def gather(self, handles):
+        return list(handles)
+
+    def wait_any(self, handles):
+        return 0, handles[0]
+
+
+FAST = ManagerConfig(phase_delay_seconds=0.0,
+                     readiness_retry_delay_seconds=0.01)
+
+
+def make_service(drive, **config_kw):
+    return ThreadedWorkflowService(
+        lambda tenant: FakeInvoker(drive),
+        drive,
+        config=ServiceConfig(**config_kw) if config_kw else None,
+        manager_config=FAST,
+    )
+
+
+def stage(drive, *workflows):
+    for wf in workflows:
+        for f in workflow_input_files(wf):
+            drive.put(f.name, f.size_in_bytes)
+
+
+class TestThreadedService:
+    def test_single_workflow_completes(self):
+        drive = SimulatedSharedDrive()
+        wf = make_workflow("blast", 10)
+        stage(drive, wf)
+        with make_service(drive) as service:
+            handle = service.submit(wf, tenant="alice")
+            assert service.drain(timeout=30)
+        assert handle.status == "succeeded"
+        assert handle.result.succeeded
+        assert handle.time_in_system_seconds > 0
+
+    def test_workflows_interleave_in_wall_time(self):
+        drive = SimulatedSharedDrive()
+        wfs = [make_workflow("blast", 10, seed=i) for i in (1, 2)]
+        stage(drive, *wfs)
+        with make_service(drive, max_concurrent_workflows=2) as service:
+            handles = [service.submit(wf, tenant=f"t{i}")
+                       for i, wf in enumerate(wfs)]
+            assert service.drain(timeout=30)
+        a, b = handles
+        assert a.status == b.status == "succeeded"
+        assert a.started_at < b.finished_at
+        assert b.started_at < a.finished_at
+
+    def test_concurrency_bound_serialises(self):
+        drive = SimulatedSharedDrive()
+        wfs = [make_workflow("blast", 10, seed=i) for i in (1, 2)]
+        stage(drive, *wfs)
+        with make_service(drive, max_concurrent_workflows=1) as service:
+            first = service.submit(wfs[0])
+            second = service.submit(wfs[1])
+            assert second.status == "queued"
+            assert service.drain(timeout=30)
+        assert second.started_at >= first.finished_at
+
+    def test_quota_rejection(self):
+        drive = SimulatedSharedDrive()
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(4)]
+        stage(drive, *wfs)
+        with make_service(drive, max_concurrent_workflows=1) as service:
+            service.configure_tenant("alice", max_queued=1)
+            handles = [service.submit(wf, tenant="alice") for wf in wfs]
+            assert service.drain(timeout=30)
+        statuses = [h.status for h in handles]
+        assert statuses.count("rejected") == 2
+        rejected = [h for h in handles if h.status == "rejected"]
+        assert all(h.reason.startswith("tenant-quota") for h in rejected)
+        assert service.summary()["completed"] == 2
+
+    def test_impossible_deadline_rejected(self):
+        drive = SimulatedSharedDrive()
+        wf = make_workflow("blast", 10)
+        stage(drive, wf)
+        with make_service(drive) as service:
+            # Estimated service time dwarfs 1 ms of slack.
+            handle = service.submit(wf, deadline=time.monotonic() + 0.001)
+        assert handle.status == "rejected"
+        assert handle.reason.startswith("deadline")
+
+    def test_invoker_crash_contained(self):
+        drive = SimulatedSharedDrive()
+        wf = make_workflow("blast", 10)
+        stage(drive, wf)
+
+        def broken_factory(tenant):
+            raise RuntimeError("invoker exploded")
+
+        service = ThreadedWorkflowService(broken_factory, drive,
+                                          manager_config=FAST)
+        handle = service.submit(wf)
+        assert service.drain(timeout=30)
+        service.close()
+        assert handle.status == "failed"
+        assert "invoker exploded" in handle.reason
+        assert service.summary()["failed"] == 1
+
+    def test_summary_and_metrics(self):
+        drive = SimulatedSharedDrive()
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(3)]
+        stage(drive, *wfs)
+        with make_service(drive, max_concurrent_workflows=2) as service:
+            for i, wf in enumerate(wfs):
+                service.submit(wf, tenant=f"t{i % 2}")
+            assert service.drain(timeout=30)
+        summary = service.summary()
+        assert summary["submitted"] == 3
+        assert summary["completed"] == 3
+        assert summary["rejection_rate"] == 0.0
+        assert summary["mean_queue_wait_seconds"] >= 0.0
+        assert 0.0 < summary["fairness_index"] <= 1.0
+
+    def test_backpressure_applies(self):
+        drive = SimulatedSharedDrive()
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(5)]
+        stage(drive, *wfs)
+        service = ThreadedWorkflowService(
+            lambda tenant: FakeInvoker(drive, delay=0.01), drive,
+            config=ServiceConfig(
+                max_concurrent_workflows=1,
+                admission_policy=AdmissionPolicy(max_queue_depth=2)),
+            manager_config=FAST,
+        )
+        handles = [service.submit(wf) for wf in wfs]
+        assert service.drain(timeout=30)
+        service.close()
+        rejected = [h for h in handles if h.status == "rejected"]
+        assert rejected
+        assert all(h.reason.startswith("backpressure") for h in rejected)

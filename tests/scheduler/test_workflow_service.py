@@ -1,0 +1,309 @@
+"""Integration tests for the simulated multi-tenant WorkflowService."""
+
+import numpy as np
+import pytest
+
+from repro.core import ManagerConfig, SimulatedSharedDrive
+from repro.monitoring.sampler import SimClusterSampler
+from repro.platform.cluster import Cluster
+from repro.platform.federation import FederatedGateway
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.scheduler import (
+    AdmissionPolicy,
+    ServiceConfig,
+    WorkflowService,
+)
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+
+from helpers import make_workflow
+
+
+def make_platform(env, cluster=None, drive=None, seed=0, **cfg_kw):
+    cluster = cluster or Cluster(env)
+    drive = drive or SimulatedSharedDrive()
+    platform = KnativePlatform(
+        env, cluster, drive,
+        config=KnativeConfig(container_concurrency=10, **cfg_kw),
+        model=WfBenchModel(noise_sigma=0.0),
+        rng=np.random.default_rng(seed),
+    )
+    return platform, drive
+
+
+def stage(drive, *workflows):
+    for wf in workflows:
+        for f in workflow_input_files(wf):
+            drive.put(f.name, f.size_in_bytes)
+
+
+def make_service(env, config=None, **kwargs):
+    platform, drive = make_platform(env)
+    service = WorkflowService(platform, drive, config=config, **kwargs)
+    return service, drive
+
+
+class TestSubmission:
+    def test_handle_reflects_lifecycle(self, env):
+        service, drive = make_service(env)
+        wf = make_workflow("blast", 10)
+        stage(drive, wf)
+        handle = service.submit(wf, tenant="alice")
+        # Free capacity: dispatched eagerly at submit time.
+        assert handle.status == "running"
+        assert not handle.done
+        service.drain()
+        assert handle.status == "succeeded"
+        assert handle.done
+        assert handle.result.succeeded
+        assert handle.queue_wait_seconds == 0.0
+        assert handle.time_in_system_seconds == pytest.approx(
+            handle.result.makespan_seconds)
+
+    def test_two_workflows_interleave_on_one_platform(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=2))
+        wf_a = make_workflow("blast", 10, seed=1)
+        wf_b = make_workflow("blast", 10, seed=2)
+        stage(drive, wf_a, wf_b)
+        ha = service.submit(wf_a, tenant="a")
+        hb = service.submit(wf_b, tenant="b")
+        service.drain()
+        assert ha.status == hb.status == "succeeded"
+        # Overlapping execution windows: truly concurrent, not serialised.
+        assert ha.started_at < hb.finished_at
+        assert hb.started_at < ha.finished_at
+        # And overlapping *invocations*, not just manager bookkeeping.
+        overlap = [
+            (ta, tb)
+            for ta in ha.result.tasks
+            for tb in hb.result.tasks
+            if ta.submitted_at < tb.finished_at
+            and tb.submitted_at < ta.finished_at
+        ]
+        assert overlap
+
+    def test_concurrency_bound_respected(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=1))
+        wf_a = make_workflow("blast", 10, seed=1)
+        wf_b = make_workflow("blast", 10, seed=2)
+        stage(drive, wf_a, wf_b)
+        ha = service.submit(wf_a)
+        hb = service.submit(wf_b)
+        service.drain()
+        # One at a time: the second starts only after the first finishes.
+        assert hb.started_at >= ha.finished_at
+        assert hb.queue_wait_seconds > 0
+
+    def test_accepts_raw_json_documents(self, env):
+        service, drive = make_service(env)
+        wf = make_workflow("blast", 10)
+        stage(drive, wf)
+        handle = service.submit(wf.to_json())
+        service.drain()
+        assert handle.status == "succeeded"
+
+    def test_failed_run_is_contained(self, env):
+        service, drive = make_service(env)
+        wf = make_workflow("blast", 10)
+        # No staged inputs: readiness check fails, run errors out.
+        handle = service.submit(wf)
+        service.drain()
+        assert handle.status == "failed"
+        assert handle.reason
+        assert service.summary()["failed"] == 1
+
+
+class TestQuotasAndPriorities:
+    def test_over_quota_submission_rejected(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=2))
+        service.configure_tenant("alice", max_queued=1)
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(4)]
+        stage(drive, *wfs)
+        # Fill the run slots so further submissions stay queued.
+        running = [service.submit(wfs[0], tenant="alice"),
+                   service.submit(wfs[1], tenant="alice")]
+        del running
+        queued = service.submit(wfs[2], tenant="alice")
+        over = service.submit(wfs[3], tenant="alice")
+        assert queued.status == "queued"
+        assert over.status == "rejected"
+        assert over.reason.startswith("tenant-quota")
+        assert service.summary()["rejected"] == 1
+        service.drain()  # the admitted three still complete
+        assert service.summary()["completed"] == 3
+
+    def test_max_running_quota_serialises_tenant(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=4))
+        service.configure_tenant("alice", max_running=1)
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(3)]
+        stage(drive, *wfs)
+        handles = [service.submit(wf, tenant="alice") for wf in wfs]
+        service.drain()
+        windows = sorted((h.started_at, h.finished_at) for h in handles)
+        for (_, end), (start, _) in zip(windows, windows[1:]):
+            assert start >= end  # never two alice runs at once
+
+    def test_priority_orders_within_tenant(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=1))
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(3)]
+        stage(drive, *wfs)
+        blocker = service.submit(wfs[0], tenant="alice")
+        low = service.submit(wfs[1], tenant="alice", priority=0)
+        high = service.submit(wfs[2], tenant="alice", priority=9)
+        service.drain()
+        assert blocker.started_at <= high.started_at <= low.started_at
+
+    def test_fair_share_alternates_tenants(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=1))
+        wfs_a = [make_workflow("blast", 10, seed=i) for i in (1, 2)]
+        wfs_b = [make_workflow("blast", 10, seed=i) for i in (3, 4)]
+        stage(drive, *wfs_a, *wfs_b)
+        handles = [service.submit(w, tenant="a") for w in wfs_a]
+        handles += [service.submit(w, tenant="b") for w in wfs_b]
+        service.drain()
+        order = [h.tenant for h in sorted(handles,
+                                          key=lambda h: h.started_at)]
+        assert order[:2] in (["a", "b"], ["b", "a"])  # not a, a first
+
+
+class TestAdmissionGates:
+    def test_infeasible_workflow_rejected_at_submit(self, env, small_cluster):
+        platform, drive = make_platform(env, cluster=small_cluster)
+        service = WorkflowService(platform, drive)
+        wf = make_workflow("seismology", 60)  # far wider than 7 cores
+        stage(drive, wf)
+        handle = service.submit(wf)
+        assert handle.status == "rejected"
+        assert handle.reason.startswith("infeasible")
+        service.drain()  # no-op: nothing outstanding
+
+    def test_backpressure_rejects_burst(self, env):
+        service, drive = make_service(
+            env,
+            config=ServiceConfig(
+                max_concurrent_workflows=1,
+                admission_policy=AdmissionPolicy(max_queue_depth=2)))
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(5)]
+        stage(drive, *wfs)
+        handles = [service.submit(wf) for wf in wfs]
+        rejected = [h for h in handles if h.status == "rejected"]
+        assert len(rejected) == 2
+        assert all(h.reason.startswith("backpressure") for h in rejected)
+        service.drain()
+        assert service.summary()["completed"] == 3
+
+    def test_impossible_deadline_rejected_at_submit(self, env):
+        service, drive = make_service(env)
+        wf = make_workflow("blast", 10)
+        stage(drive, wf)
+        handle = service.submit(wf, deadline=1.0)
+        assert handle.status == "rejected"
+        assert handle.reason.startswith("deadline")
+
+    def test_stale_deadline_shed_at_dispatch(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=1))
+        blocker = make_workflow("blast", 10, seed=1)
+        urgent = make_workflow("blast", 10, seed=2)
+        stage(drive, blocker, urgent)
+        hb = service.submit(blocker)
+        # Feasible at submit time, but the blocker eats the slack.
+        hu = service.submit(urgent, deadline=25.0)
+        service.drain()
+        assert hb.status == "succeeded"
+        assert hu.status == "rejected"
+        assert hu.reason.startswith("deadline")
+        summary = service.summary()
+        assert summary["rejected"] == 1
+        assert summary["goodput"] == 1
+
+    def test_capacity_gate_serialises_wide_workflows(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=2))
+        wf_a = make_workflow("seismology", 100, seed=1)
+        wf_b = make_workflow("seismology", 100, seed=2)
+        stage(drive, wf_a, wf_b)
+        ha = service.submit(wf_a)
+        hb = service.submit(wf_b)
+        assert ha.status == "running"
+        assert hb.status == "queued"  # gate: no room for a second peak
+        service.drain()
+        assert ha.status == hb.status == "succeeded"
+        # Each ~98-wide phase nearly fills the default cluster: the gate
+        # keeps the second from starting until the first finishes.
+        assert hb.started_at >= ha.finished_at
+
+
+class TestMetricsAndSampler:
+    def test_summary_counts_add_up(self, env):
+        service, drive = make_service(
+            env, config=ServiceConfig(max_concurrent_workflows=2))
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(3)]
+        stage(drive, *wfs)
+        for i, wf in enumerate(wfs):
+            service.submit(wf, tenant=f"t{i}")
+        service.drain()
+        summary = service.summary()
+        assert summary["submitted"] == 3
+        assert summary["completed"] == 3
+        assert summary["rejected"] == 0
+        assert summary["throughput_per_minute"] > 0
+        assert 0.5 < summary["fairness_index"] <= 1.0
+
+    def test_sampler_records_service_series(self, env):
+        platform, drive = make_platform(env)
+        service = WorkflowService(
+            platform, drive, config=ServiceConfig(max_concurrent_workflows=1))
+        sampler = SimClusterSampler(env, platform.cluster,
+                                    service=service).start()
+        wfs = [make_workflow("blast", 10, seed=i) for i in range(2)]
+        stage(drive, *wfs)
+        for wf in wfs:
+            service.submit(wf)
+        service.drain()
+        sampler.sample()
+        frame = sampler.frame
+        for name in ("repro.service.queue", "repro.service.running",
+                     "repro.service.completed", "repro.service.rejected"):
+            assert name in frame
+        assert frame["repro.service.queue"].max() >= 1.0
+        assert frame["repro.service.running"].max() == 1.0
+        assert frame["repro.service.completed"].values[-1] == 2.0
+
+
+class TestFederationMultiTenant:
+    def test_balance_stays_bounded_under_concurrent_submission(self, env):
+        drive = SimulatedSharedDrive()
+        gateway = FederatedGateway(policy="least-loaded")
+        for i in range(2):
+            platform, _ = make_platform(env, drive=drive, seed=i)
+            gateway.register_cluster(f"c{i}", platform)
+        service = WorkflowService(
+            gateway, drive, config=ServiceConfig(max_concurrent_workflows=4))
+        wfs = {
+            "astro": [make_workflow("seismology", 20, seed=i) for i in (1, 2)],
+            "bio": [make_workflow("blast", 20, seed=i) for i in (3, 4)],
+        }
+        for batch in wfs.values():
+            stage(drive, *batch)
+        handles = [
+            service.submit(wf, tenant=tenant)
+            for tenant, batch in wfs.items()
+            for wf in batch
+        ]
+        service.drain()
+        assert all(h.status == "succeeded" for h in handles)
+        # Global balance and *per-tenant* balance both stay bounded: no
+        # tenant's traffic all lands on one cluster.
+        assert gateway.balance_ratio() < 1.5
+        for tenant in wfs:
+            assert gateway.tenant_balance_ratio(tenant) < 2.0
+            per_cluster = gateway.dispatched_by_tenant[tenant]
+            assert all(count > 0 for count in per_cluster.values())
