@@ -32,7 +32,7 @@ from repro.experiments.reporting import write_rows_csv
 __all__ = ["main", "build_parser"]
 
 _TARGETS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "headline", "design", "report", "all")
+            "headline", "design", "report", "chaos", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="for the 'design' target: persist per-run summaries + "
         "pmdumptext CSVs in the paper artifact's directory layout",
     )
+    parser.add_argument(
+        "--chaos-tasks", type=int, default=20,
+        help="workflow size for the 'chaos' target")
+    parser.add_argument(
+        "--chaos-repeats", type=int, default=3,
+        help="repeats per (fault, policy) cell for the 'chaos' target")
     parser.add_argument(
         "--plot", action="store_true",
         help="render figure series as terminal bar charts (the artifact's "
@@ -179,6 +185,20 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print()
             print(text)
+    if "chaos" in targets:
+        from repro.experiments.chaos import ChaosScenario, run_chaos
+
+        report = run_chaos(ChaosScenario(
+            num_tasks=args.chaos_tasks, repeats=args.chaos_repeats,
+            seed=args.seed,
+        ))
+        print()
+        print(format_table(
+            report.aggregates,
+            title="Chaos sweep: fault scenario × resilience policy"))
+        out_dir = args.output if args.output is not None else Path("results")
+        path = write_rows_csv(report.rows, out_dir / "chaos.csv")
+        print(f"[csv] {path}")
     if "headline" in targets:
         summary = headline_reductions(runner=runner, seed=args.seed)
         _emit("headline", summary["per_cell"], args.output,

@@ -59,10 +59,83 @@ def build_parser() -> argparse.ArgumentParser:
                         default="level", help="execution mode")
     parser.add_argument("--retries", type=int, default=0,
                         help="per-function retry budget for transient failures")
+    parser.add_argument(
+        "--retry-jitter", choices=("none", "full", "decorrelated"),
+        default=None,
+        help="retry backoff jitter; enables the policy-driven retry loop "
+        "(exponential backoff) instead of the fixed-delay legacy loop",
+    )
+    parser.add_argument("--retry-base-delay", type=float, default=0.5,
+                        help="base retry delay in seconds (with --retry-jitter)")
+    parser.add_argument(
+        "--hedge-quantile", type=float, default=None,
+        help="arm a speculative duplicate request at this latency quantile "
+        "(e.g. 0.95); omit to disable hedging",
+    )
+    parser.add_argument(
+        "--hedge-fallback", type=float, default=None,
+        help="hedge delay in seconds while the latency tracker is cold",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=0,
+        help="consecutive failures that open a per-endpoint circuit "
+        "breaker (0 = disabled)",
+    )
+    parser.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="persist completed tasks to this JSON file after every phase",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="load --checkpoint and re-execute only unfinished tasks",
+    )
     parser.add_argument("--csv", type=Path, default=None,
                         help="write a pmdumptext-style metrics CSV here")
     parser.add_argument("--summary-json", type=Path, default=None)
     return parser
+
+
+def _resilience_from_args(args) -> "ResiliencePolicy | None":
+    """Build a ResiliencePolicy when any resilience flag is set."""
+    from repro.resilience import (
+        BreakerConfig,
+        HedgePolicy,
+        ResiliencePolicy,
+        RetryPolicy,
+    )
+
+    wants = (args.retry_jitter is not None or args.hedge_quantile is not None
+             or args.breaker_threshold > 0)
+    if not wants:
+        return None
+    if args.retry_jitter is not None:
+        retry = RetryPolicy(max_attempts=max(1, args.retries + 1),
+                            base_delay_seconds=args.retry_base_delay,
+                            jitter=args.retry_jitter)
+    else:
+        retry = RetryPolicy.fixed(args.retries, 1.0)
+    hedge = None
+    if args.hedge_quantile is not None:
+        hedge = HedgePolicy(quantile=args.hedge_quantile,
+                            fallback_delay_seconds=args.hedge_fallback)
+    breaker = None
+    if args.breaker_threshold > 0:
+        breaker = BreakerConfig(failure_threshold=args.breaker_threshold)
+    return ResiliencePolicy(retry=retry, hedge=hedge, breaker=breaker)
+
+
+def _checkpoint_from_args(args, parser) -> "WorkflowCheckpoint | None":
+    from repro.resilience import WorkflowCheckpoint
+
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
+    if args.checkpoint is None:
+        return None
+    if args.resume:
+        return WorkflowCheckpoint.load(args.checkpoint)
+    checkpoint = WorkflowCheckpoint(args.checkpoint)
+    checkpoint.clear()  # a fresh (non-resume) run starts a fresh record
+    return checkpoint
 
 
 def build_submit_parser() -> argparse.ArgumentParser:
@@ -158,8 +231,13 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "submit":
         return submit_main(argv[1:])
-    args = build_parser().parse_args(argv)
+    if argv and argv[0] == "run":  # optional subcommand alias
+        argv = argv[1:]
+    parser = build_parser()
+    args = parser.parse_args(argv)
     workflow = Workflow.load(args.workflow)
+    resilience = _resilience_from_args(args)
+    checkpoint = _checkpoint_from_args(args, parser)
 
     if args.url is not None:
         drive = LocalSharedDrive(Path(args.workdir))
@@ -170,10 +248,12 @@ def main(argv: list[str] | None = None) -> int:
             default_api_url=args.url,
             execution_mode=args.mode,
             task_retries=args.retries,
+            resilience=resilience,
         )
         for task in workflow:
             task.command.api_url = args.url
-        manager = ServerlessWorkflowManager(invoker, drive, config)
+        manager = ServerlessWorkflowManager(invoker, drive, config,
+                                            checkpoint=checkpoint)
         result = manager.execute(workflow, platform_label="http")
         invoker.close()
         sampler_frame = None
@@ -197,8 +277,10 @@ def main(argv: list[str] | None = None) -> int:
             keep_memory=par.persistent_memory,
             execution_mode=args.mode,
             task_retries=args.retries,
+            resilience=resilience,
         )
-        manager = ServerlessWorkflowManager(invoker, drive, config)
+        manager = ServerlessWorkflowManager(invoker, drive, config,
+                                            checkpoint=checkpoint)
         result = manager.execute(workflow, platform_label=par.platform,
                                  paradigm_label=par.name)
         sampler.sample()

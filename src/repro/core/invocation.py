@@ -15,19 +15,23 @@ from __future__ import annotations
 
 import abc
 import json
+import socket
 import time
 import urllib.error
 import urllib.request
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
 from repro.errors import InvocationError
 from repro.platform.base import InvocationOutcome, Platform
 from repro.platform.gateway import HttpGateway
 from repro.simulation import Environment, Event
 from repro.wfbench.spec import BenchRequest
+
+if TYPE_CHECKING:
+    from repro.resilience.state import ResilienceState
 
 __all__ = ["InvocationRecord", "Invoker", "HttpInvoker", "SimulatedInvoker"]
 
@@ -74,6 +78,25 @@ class Invoker(abc.ABC):
         """Block until at least one handle completes; return its index and
         outcome.  Powers the eager (dependency-driven) execution mode."""
 
+    def submit_hedged(
+        self,
+        url: str,
+        request: BenchRequest,
+        hedge_delay_seconds: float,
+        state: Optional["ResilienceState"] = None,
+    ) -> Any:
+        """Like :meth:`submit`, but issue a speculative duplicate if the
+        primary is still outstanding after ``hedge_delay_seconds``; the
+        handle resolves with the first completion.  Invokers without
+        hedging support fall back to a plain submit."""
+        return self.submit(url, request)
+
+    def resolved(self, record: InvocationRecord) -> Any:
+        """An already-completed handle carrying ``record`` — lets callers
+        short-circuit a submission (circuit breaker open) while keeping
+        the submit/gather call shape."""
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release resources (thread pools etc.)."""
 
@@ -84,6 +107,11 @@ class HttpInvoker(Invoker):
     def __init__(self, max_parallel: int = 64, timeout_seconds: float = 300.0):
         self._pool = ThreadPoolExecutor(max_workers=max_parallel,
                                         thread_name_prefix="wfm-http")
+        #: Hedge wrappers wait on ``_pool`` futures, so they need their own
+        #: workers — sharing one pool could deadlock when every worker is a
+        #: wrapper waiting for a POST that cannot be scheduled.
+        self._hedge_pool = ThreadPoolExecutor(max_workers=max_parallel,
+                                              thread_name_prefix="wfm-hedge")
         self.timeout_seconds = timeout_seconds
 
     def now(self) -> float:
@@ -111,9 +139,21 @@ class HttpInvoker(Invoker):
             status = exc.code
         except (urllib.error.URLError, TimeoutError, OSError) as exc:
             finished = self.now()
+            # Timeouts are 504 (gateway timeout: the function may still be
+            # running), connection failures are 503 (unavailable) — retry
+            # and hedge decisions need to tell them apart.
+            reason = getattr(exc, "reason", exc)
+            if isinstance(reason, (TimeoutError, socket.timeout)):
+                return InvocationRecord(
+                    name=request.name, status=504, submitted_at=submitted,
+                    started_at=submitted, finished_at=finished,
+                    error=f"request timed out after "
+                          f"{self.timeout_seconds:.0f}s: {reason}",
+                )
             return InvocationRecord(
                 name=request.name, status=503, submitted_at=submitted,
-                started_at=submitted, finished_at=finished, error=str(exc),
+                started_at=submitted, finished_at=finished,
+                error=f"connection failed: {exc}",
             )
         finished = self.now()
         return InvocationRecord(
@@ -128,6 +168,45 @@ class HttpInvoker(Invoker):
     def submit(self, url: str, request: BenchRequest) -> Future:
         return self._pool.submit(self._post, url, request)
 
+    def submit_hedged(
+        self,
+        url: str,
+        request: BenchRequest,
+        hedge_delay_seconds: float,
+        state: Optional["ResilienceState"] = None,
+    ) -> Future:
+        return self._hedge_pool.submit(
+            self._hedged_post, url, request, hedge_delay_seconds, state
+        )
+
+    def _hedged_post(self, url: str, request: BenchRequest,
+                     delay: float, state) -> InvocationRecord:
+        submitted = self.now()
+        primary = self._pool.submit(self._post, url, request)
+        done, _ = futures_wait([primary], timeout=max(0.0, delay))
+        if done:
+            return primary.result()
+        if state is not None:
+            state.note_hedge()
+        hedge = self._pool.submit(self._post, url, request)
+        done, _ = futures_wait([primary, hedge], return_when=FIRST_COMPLETED)
+        winner = hedge if hedge in done else primary
+        record = winner.result()
+        if winner is hedge:
+            if state is not None:
+                state.note_hedge_win()
+            # Report end-to-end latency from the original submission, not
+            # from when the duplicate was fired.
+            record.submitted_at = submitted
+        # The loser keeps running to completion and is ignored — WfBench
+        # functions are idempotent by task name.
+        return record
+
+    def resolved(self, record: InvocationRecord) -> Future:
+        future: Future = Future()
+        future.set_result(record)
+        return future
+
     def gather(self, handles: Sequence[Future]) -> list[InvocationRecord]:
         return [h.result() for h in handles]
 
@@ -140,6 +219,7 @@ class HttpInvoker(Invoker):
 
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
+        self._hedge_pool.shutdown(wait=False, cancel_futures=True)
 
 
 class SimulatedInvoker(Invoker):
@@ -181,6 +261,59 @@ class SimulatedInvoker(Invoker):
                 return self.gateway.invoke(url, request, tenant=self.tenant)
             return self.gateway.invoke(url, request)
         return self._platform.invoke(request)
+
+    def submit_hedged(
+        self,
+        url: str,
+        request: BenchRequest,
+        hedge_delay_seconds: float,
+        state: Optional["ResilienceState"] = None,
+    ) -> Event:
+        done = self.env.event()
+        self.env.process(
+            self._hedge_proc(url, request, hedge_delay_seconds, state, done)
+        )
+        return done
+
+    def _hedge_proc(self, url: str, request: BenchRequest, delay: float,
+                    state, done: Event):
+        submitted = self.env.now
+        primary = self.submit(url, request)
+        timer = self.env.timeout(max(0.0, delay))
+        yield self.env.any_of([primary, timer])
+        if primary.processed:
+            done.succeed(primary.value)
+            return
+        if state is not None:
+            state.note_hedge()
+        hedge = self.submit(url, request)
+        yield self.env.any_of([primary, hedge])
+        if primary.processed:
+            winner = primary
+        else:
+            winner = hedge
+            if state is not None:
+                state.note_hedge_win()
+            # Report end-to-end latency from the original submission, not
+            # from when the duplicate was fired.
+            winner.value.submitted_at = submitted
+        # The loser's process keeps running; its completion is ignored.
+        done.succeed(winner.value)
+
+    def resolved(self, record: InvocationRecord) -> Event:
+        outcome = InvocationOutcome(
+            name=record.name,
+            status=record.status,
+            submitted_at=record.submitted_at,
+            started_at=record.started_at,
+            finished_at=record.finished_at,
+            cold_start=record.cold_start,
+            node=record.node,
+            error=record.error,
+        )
+        event = self.env.event()
+        event.succeed(outcome)
+        return event
 
     def record(self, outcome: InvocationOutcome) -> InvocationRecord:
         """Public conversion used by the manager's coroutine execution."""

@@ -16,6 +16,13 @@ Execution algorithm, exactly as described in the paper:
 
 The manager is deliberately thin — per the paper, it works against any
 serverless (or container) platform that accepts HTTP requests.
+
+On top of the paper's algorithm sits the fault-tolerance layer
+(:mod:`repro.resilience`): policy-driven retries with exponential
+backoff and jitter, per-endpoint circuit breakers, hedged requests
+against stragglers, and per-phase checkpointing for crash/resume — all
+honoured identically by the blocking (real HTTP) and coroutine
+(simulated kernel) execution paths.
 """
 
 from __future__ import annotations
@@ -28,6 +35,9 @@ from repro.core.invocation import InvocationRecord, Invoker
 from repro.core.results import PhaseResult, TaskExecution, WorkflowRunResult
 from repro.core.shared_drive import SharedDrive
 from repro.errors import WorkflowExecutionError
+from repro.resilience.checkpoint import WorkflowCheckpoint
+from repro.resilience.retry import RETRYABLE_STATUSES, RetryPolicy
+from repro.resilience.state import ResiliencePolicy, ResilienceState
 from repro.wfbench.spec import BenchRequest
 from repro.wfcommons.schema import Task, Workflow
 
@@ -65,13 +75,22 @@ class ManagerConfig:
     execution_mode: str = "level"
     #: Re-submit a failed function up to this many times before counting
     #: it as a phase failure (0 = the paper's fire-once behaviour).
+    #: Superseded by ``resilience`` when that is set.
     task_retries: int = 0
-    #: Delay before each retry.
+    #: Delay before each retry (the legacy fixed-delay loop).
     retry_delay_seconds: float = 1.0
     #: Cap on simultaneously outstanding requests in level mode (0 = the
     #: paper's unbounded simultaneous fire).  Useful when the client's
     #: own socket/thread budget — not the platform — is the bottleneck.
     max_parallel_requests: int = 0
+    #: Fault-tolerance policies (retry backoff + jitter, hedging, circuit
+    #: breakers).  When set, it replaces the fixed ``task_retries`` /
+    #: ``retry_delay_seconds`` loop.
+    resilience: Optional[ResiliencePolicy] = None
+    #: Execute at most this many phases, then abort with an
+    #: injected-crash error (0 = unlimited).  The chaos harness uses this
+    #: to emulate a manager crash mid-run for checkpoint/resume studies.
+    max_phases: int = 0
 
     def __post_init__(self) -> None:
         if self.execution_mode not in ("level", "sequential", "eager"):
@@ -83,6 +102,8 @@ class ManagerConfig:
             raise ValueError("task_retries must be >= 0")
         if self.max_parallel_requests < 0:
             raise ValueError("max_parallel_requests must be >= 0")
+        if self.max_phases < 0:
+            raise ValueError("max_phases must be >= 0")
 
 
 class ServerlessWorkflowManager:
@@ -93,10 +114,29 @@ class ServerlessWorkflowManager:
         invoker: Invoker,
         drive: SharedDrive,
         config: Optional[ManagerConfig] = None,
+        checkpoint: Optional[WorkflowCheckpoint] = None,
+        resilience_state: Optional[ResilienceState] = None,
     ):
         self.invoker = invoker
         self.drive = drive
         self.config = config or ManagerConfig()
+        #: Optional per-phase checkpoint (crash/resume).
+        self.checkpoint = checkpoint
+        #: Runtime fault-tolerance state.  Pass a shared instance so
+        #: breakers and latency estimates span many managers (the
+        #: workflow services do); otherwise the manager owns a private
+        #: one whenever a resilience policy is configured.
+        if resilience_state is not None:
+            self._state: Optional[ResilienceState] = resilience_state
+        elif self.config.resilience is not None:
+            self._state = ResilienceState(self.config.resilience)
+        else:
+            self._state = None
+        self._run_retries = 0
+
+    @property
+    def resilience_state(self) -> Optional[ResilienceState]:
+        return self._state
 
     # ------------------------------------------------------------------
     def build_request(self, task: Task) -> BenchRequest:
@@ -128,6 +168,132 @@ class ServerlessWorkflowManager:
         return missing
 
     # ------------------------------------------------------------------
+    # Fault-tolerance plumbing shared by every execution path.
+    # ------------------------------------------------------------------
+    def _effective_retry_policy(self) -> Optional[RetryPolicy]:
+        if self.config.resilience is not None:
+            policy = self.config.resilience.retry
+            return policy if policy.max_attempts > 1 else None
+        if self.config.task_retries > 0:
+            return RetryPolicy.fixed(self.config.task_retries,
+                                     self.config.retry_delay_seconds)
+        return None
+
+    def _fire(self, task: Task) -> Any:
+        """Submit one task honouring breaker and hedge policies.
+
+        Always returns a handle: a breaker-shed submission resolves
+        immediately to a synthetic 503 without touching the platform.
+        """
+        url = self.api_url_for(task)
+        state = self._state
+        if state is not None:
+            now = self.invoker.now()
+            if not state.allow(url, now):
+                state.note_short_circuit()
+                return self.invoker.resolved(InvocationRecord(
+                    name=task.name, status=503, submitted_at=now,
+                    started_at=now, finished_at=now,
+                    error=f"circuit open: {url}",
+                ))
+            hedge_delay = state.hedge_delay(url)
+            if hedge_delay is not None:
+                return self.invoker.submit_hedged(
+                    url, self.build_request(task), hedge_delay, state=state
+                )
+        return self.invoker.submit(url, self.build_request(task))
+
+    def _observe(self, dag: WorkflowDAG, records: list[InvocationRecord]
+                 ) -> None:
+        """Feed completed invocations into breakers + latency tracker."""
+        state = self._state
+        if state is None:
+            return
+        now = self.invoker.now()
+        for record in records:
+            if record.error.startswith("circuit open"):
+                continue  # never reached the endpoint
+            url = self.api_url_for(dag.task(record.name))
+            state.observe(
+                url, record.ok,
+                max(0.0, record.finished_at - record.submitted_at), now,
+            )
+
+    def _run_snapshot(self) -> dict[str, int]:
+        return self._state.counters() if self._state is not None else {}
+
+    def _attach_run_metrics(self, result: WorkflowRunResult,
+                            before: dict[str, int]) -> None:
+        """Per-run resilience counters (deltas against the shared state;
+        exact when the manager owns its state, approximate attribution
+        when several interleaved managers share one)."""
+        result.metrics.setdefault("retries", self._run_retries)
+        if self._state is None:
+            return
+        after = self._state.counters()
+        for key in ("hedges", "hedge_wins", "breaker_short_circuits"):
+            result.metrics[key] = after[key] - before.get(key, 0)
+
+    # -- checkpointing -------------------------------------------------
+    def _resume_setup(self, dag: WorkflowDAG) -> frozenset:
+        """Validate + restage the checkpoint; returns completed task names."""
+        if self.checkpoint is None:
+            return frozenset()
+        if self.config.execution_mode == "eager":
+            raise WorkflowExecutionError(
+                "checkpointing requires phase-based execution "
+                "(level or sequential mode)"
+            )
+        self.checkpoint.restage(self.drive)
+        return frozenset(
+            n for n in self.checkpoint.completed_tasks()
+            if n in dag.task_names
+        )
+
+    def _replay_phase(self, result: WorkflowRunResult, phase: Phase,
+                      completed: frozenset) -> list[str]:
+        """Append replayed records for checkpointed tasks; returns the
+        names still to execute."""
+        todo: list[str] = []
+        for name in phase.tasks:
+            if name not in completed:
+                todo.append(name)
+                continue
+            entry = self.checkpoint.entry(name)
+            at = float(entry.get("finished_at", 0.0))
+            result.tasks.append(TaskExecution(
+                name=name, phase=phase.index, status=int(entry["status"]),
+                submitted_at=at, started_at=at, finished_at=at,
+                replayed=True,
+            ))
+        return todo
+
+    def _checkpoint_phase(self, dag: WorkflowDAG, phase: Phase,
+                          records: list[InvocationRecord]) -> None:
+        if self.checkpoint is None:
+            return
+        for record in records:
+            if not record.ok:
+                continue
+            task = dag.task(record.name)
+            self.checkpoint.mark(
+                record.name, phase.index, record.status, record.finished_at,
+                outputs={f.name: f.size_in_bytes for f in task.output_files},
+            )
+        self.checkpoint.flush()
+
+    def _crash_check(self, phase: Phase, phases: list[Phase]) -> None:
+        if (
+            self.config.max_phases
+            and phase.index + 1 >= self.config.max_phases
+            and phase is not phases[-1]
+        ):
+            raise WorkflowExecutionError(
+                f"injected crash after phase {phase.index} "
+                f"(max_phases={self.config.max_phases})"
+            )
+
+    # ------------------------------------------------------------------
     def execute(
         self,
         workflow: Union[Workflow, Mapping[str, Any]],
@@ -138,6 +304,8 @@ class ServerlessWorkflowManager:
         if not isinstance(workflow, Workflow):
             workflow = Workflow.from_json(dict(workflow))
         dag = WorkflowDAG(workflow, inject_markers=self.config.inject_header_tail)
+        if self.checkpoint is not None:
+            self.checkpoint.bind(workflow.name)
 
         result = WorkflowRunResult(
             workflow_name=workflow.name,
@@ -145,8 +313,15 @@ class ServerlessWorkflowManager:
             paradigm=paradigm_label,
             started_at=self.invoker.now(),
         )
+        self._run_retries = 0
+        before = self._run_snapshot()
         try:
             if self.config.execution_mode == "eager":
+                if self.checkpoint is not None:
+                    raise WorkflowExecutionError(
+                        "checkpointing requires phase-based execution "
+                        "(level or sequential mode)"
+                    )
                 self._execute_eager(dag, result)
             else:
                 self._execute_phases(dag, result)
@@ -154,11 +329,23 @@ class ServerlessWorkflowManager:
             result.succeeded = False
             result.error = str(exc)
         result.finished_at = self.invoker.now()
+        self._attach_run_metrics(result, before)
         return result
 
     def _execute_phases(self, dag: WorkflowDAG, result: WorkflowRunResult) -> None:
         phases = dag.phases
+        completed = self._resume_setup(dag)
+        retry_policy = self._effective_retry_policy()
         for phase in phases:
+            todo = (self._replay_phase(result, phase, completed)
+                    if completed else list(phase.tasks))
+            if not todo:
+                result.phases.append(PhaseResult(
+                    index=phase.index, num_tasks=len(phase),
+                    started_at=self.invoker.now(),
+                    finished_at=self.invoker.now(), failures=0,
+                ))
+                continue
             if self.config.readiness_check:
                 missing = self._check_readiness(dag, phase)
                 if missing:
@@ -168,9 +355,10 @@ class ServerlessWorkflowManager:
                     )
 
             phase_start = self.invoker.now()
-            records = self._run_phase(dag, phase)
-            if self.config.task_retries > 0:
-                records = self._retry_failures(dag, records)
+            records = self._run_phase(dag, todo)
+            if retry_policy is not None:
+                records = self._retry_failures(dag, records, retry_policy)
+            self._checkpoint_phase(dag, phase, records)
             failures = self._record_phase(result, phase, records)
             result.phases.append(
                 PhaseResult(
@@ -187,6 +375,7 @@ class ServerlessWorkflowManager:
                     f"phase {phase.index}: {failures} function(s) failed "
                     f"(first: {bad[0].name}: {bad[0].status} {bad[0].error})"
                 )
+            self._crash_check(phase, phases)
             if phase is not phases[-1]:
                 self.invoker.sleep(self.config.phase_delay_seconds)
         result.succeeded = True
@@ -205,11 +394,7 @@ class ServerlessWorkflowManager:
         failures = 0
 
         def submit(name: str) -> None:
-            task = dag.task(name)
-            in_flight.append(
-                self.invoker.submit(self.api_url_for(task),
-                                    self.build_request(task))
-            )
+            in_flight.append(self._fire(dag.task(name)))
             flight_names.append(name)
 
         for name, missing in remaining.items():
@@ -228,6 +413,7 @@ class ServerlessWorkflowManager:
             name = flight_names.pop(index)
             in_flight.pop(index)
             completed += 1
+            self._observe(dag, [record])
             if not record.ok:
                 failures += 1
             result.tasks.append(
@@ -302,14 +488,23 @@ class ServerlessWorkflowManager:
         if not isinstance(workflow, Workflow):
             workflow = Workflow.from_json(dict(workflow))
         dag = WorkflowDAG(workflow, inject_markers=self.config.inject_header_tail)
+        if self.checkpoint is not None:
+            self.checkpoint.bind(workflow.name)
         result = WorkflowRunResult(
             workflow_name=workflow.name,
             platform=platform_label,
             paradigm=paradigm_label,
             started_at=env.now,
         )
+        self._run_retries = 0
+        before = self._run_snapshot()
         try:
             if self.config.execution_mode == "eager":
+                if self.checkpoint is not None:
+                    raise WorkflowExecutionError(
+                        "checkpointing requires phase-based execution "
+                        "(level or sequential mode)"
+                    )
                 yield from self._eager_proc(env, dag, result)
             else:
                 yield from self._phases_proc(env, dag, result)
@@ -317,13 +512,24 @@ class ServerlessWorkflowManager:
             result.succeeded = False
             result.error = str(exc)
         result.finished_at = env.now
+        self._attach_run_metrics(result, before)
         return result
 
     def _phases_proc(self, env, dag: WorkflowDAG, result: WorkflowRunResult
                      ) -> Generator:
         """Generator twin of :meth:`_execute_phases`."""
         phases = dag.phases
+        completed = self._resume_setup(dag)
+        retry_policy = self._effective_retry_policy()
         for phase in phases:
+            todo = (self._replay_phase(result, phase, completed)
+                    if completed else list(phase.tasks))
+            if not todo:
+                result.phases.append(PhaseResult(
+                    index=phase.index, num_tasks=len(phase),
+                    started_at=env.now, finished_at=env.now, failures=0,
+                ))
+                continue
             if self.config.readiness_check:
                 needed = dag.phase_inputs(phase)
                 missing = self.drive.missing(needed)
@@ -339,9 +545,11 @@ class ServerlessWorkflowManager:
                     )
 
             phase_start = env.now
-            records = yield from self._run_phase_proc(env, dag, phase)
-            if self.config.task_retries > 0:
-                records = yield from self._retry_failures_proc(env, dag, records)
+            records = yield from self._run_phase_proc(env, dag, todo)
+            if retry_policy is not None:
+                records = yield from self._retry_failures_proc(
+                    env, dag, records, retry_policy)
+            self._checkpoint_phase(dag, phase, records)
             failures = self._record_phase(result, phase, records)
             result.phases.append(
                 PhaseResult(
@@ -358,73 +566,73 @@ class ServerlessWorkflowManager:
                     f"phase {phase.index}: {failures} function(s) failed "
                     f"(first: {bad[0].name}: {bad[0].status} {bad[0].error})"
                 )
+            self._crash_check(phase, phases)
             if phase is not phases[-1]:
                 yield env.timeout(self.config.phase_delay_seconds)
         result.succeeded = True
 
-    def _run_phase_proc(self, env, dag: WorkflowDAG, phase: Phase) -> Generator:
+    def _run_phase_proc(self, env, dag: WorkflowDAG, names: list[str]
+                        ) -> Generator:
         """Fire one phase without blocking the kernel; returns records."""
         record = self.invoker.record
         if self.config.execution_mode == "sequential":
             records: list[InvocationRecord] = []
-            for name in phase.tasks:
-                task = dag.task(name)
-                handle = self.invoker.submit(
-                    self.api_url_for(task), self.build_request(task)
-                )
+            for name in names:
+                handle = self._fire(dag.task(name))
                 yield handle
                 records.append(record(handle.value))
+            self._observe(dag, records)
             return records
         cap = self.config.max_parallel_requests
-        if cap and len(phase.tasks) > cap:
+        if cap and len(names) > cap:
             records = []
-            for start in range(0, len(phase.tasks), cap):
-                window = phase.tasks[start:start + cap]
-                handles = [
-                    self.invoker.submit(
-                        self.api_url_for(dag.task(name)),
-                        self.build_request(dag.task(name)),
-                    )
-                    for name in window
-                ]
+            for start in range(0, len(names), cap):
+                window = names[start:start + cap]
+                handles = [self._fire(dag.task(name)) for name in window]
                 yield env.all_of(handles)
                 records.extend(record(h.value) for h in handles)
+            self._observe(dag, records)
             return records
-        handles = [
-            self.invoker.submit(
-                self.api_url_for(dag.task(name)),
-                self.build_request(dag.task(name)),
-            )
-            for name in phase.tasks
-        ]
+        handles = [self._fire(dag.task(name)) for name in names]
         if handles:
             yield env.all_of(handles)
-        return [record(h.value) for h in handles]
+        records = [record(h.value) for h in handles]
+        self._observe(dag, records)
+        return records
 
     def _retry_failures_proc(
-        self, env, dag: WorkflowDAG, records: list[InvocationRecord]
+        self, env, dag: WorkflowDAG, records: list[InvocationRecord],
+        policy: RetryPolicy,
     ) -> Generator:
         """Generator twin of :meth:`_retry_failures`."""
         final = list(records)
-        for _ in range(self.config.task_retries):
+        attempts = {r.name: 1 for r in final}
+        rng = self._state.rng if self._state is not None else None
+        prev_delay: Optional[float] = None
+        round_number = 0
+        while True:
             retry_indices = [
                 i for i, r in enumerate(final)
-                if not r.ok and r.status in self._RETRYABLE
+                if not r.ok and policy.should_retry(r.status, attempts[r.name])
             ]
             if not retry_indices:
                 break
-            yield env.timeout(self.config.retry_delay_seconds)
-            handles = []
-            for i in retry_indices:
-                task = dag.task(final[i].name)
-                handles.append(
-                    self.invoker.submit(
-                        self.api_url_for(task), self.build_request(task)
-                    )
-                )
+            round_number += 1
+            delay = policy.next_delay(round_number, rng=rng,
+                                      prev_delay=prev_delay)
+            prev_delay = delay
+            if delay > 0:
+                yield env.timeout(delay)
+            handles = [
+                self._fire(dag.task(final[i].name)) for i in retry_indices
+            ]
             yield env.all_of(handles)
-            for i, handle in zip(retry_indices, handles):
-                final[i] = self.invoker.record(handle.value)
+            self._note_retries(len(retry_indices))
+            new_records = [self.invoker.record(h.value) for h in handles]
+            self._observe(dag, new_records)
+            for i, record in zip(retry_indices, new_records):
+                attempts[record.name] += 1
+                final[i] = record
         return final
 
     def _eager_proc(self, env, dag: WorkflowDAG, result: WorkflowRunResult
@@ -437,11 +645,7 @@ class ServerlessWorkflowManager:
         failures = 0
 
         def submit(name: str) -> None:
-            task = dag.task(name)
-            in_flight.append(
-                self.invoker.submit(self.api_url_for(task),
-                                    self.build_request(task))
-            )
+            in_flight.append(self._fire(dag.task(name)))
             flight_names.append(name)
 
         for name, missing in remaining.items():
@@ -465,6 +669,7 @@ class ServerlessWorkflowManager:
             record = self.invoker.record(in_flight.pop(index).value)
             name = flight_names.pop(index)
             completed += 1
+            self._observe(dag, [record])
             if not record.ok:
                 failures += 1
             result.tasks.append(
@@ -506,67 +711,73 @@ class ServerlessWorkflowManager:
                     submit(child)
         result.succeeded = failures == 0
 
-    def _run_phase(self, dag: WorkflowDAG, phase: Phase) -> list[InvocationRecord]:
+    def _run_phase(self, dag: WorkflowDAG, names: list[str]
+                   ) -> list[InvocationRecord]:
         """Fire one phase's functions per the configured execution mode."""
         if self.config.execution_mode == "sequential":
             records: list[InvocationRecord] = []
-            for name in phase.tasks:
-                task = dag.task(name)
-                handle = self.invoker.submit(
-                    self.api_url_for(task), self.build_request(task)
-                )
+            for name in names:
+                handle = self._fire(dag.task(name))
                 records.extend(self.invoker.gather([handle]))
+            self._observe(dag, records)
             return records
         cap = self.config.max_parallel_requests
-        if cap and len(phase.tasks) > cap:
+        if cap and len(names) > cap:
             # Windowed fire: keep at most `cap` requests outstanding.
-            records: list[InvocationRecord] = []
-            for start in range(0, len(phase.tasks), cap):
-                window = phase.tasks[start:start + cap]
-                handles = [
-                    self.invoker.submit(
-                        self.api_url_for(dag.task(name)),
-                        self.build_request(dag.task(name)),
-                    )
-                    for name in window
-                ]
+            records = []
+            for start in range(0, len(names), cap):
+                window = names[start:start + cap]
+                handles = [self._fire(dag.task(name)) for name in window]
                 records.extend(self.invoker.gather(handles))
+            self._observe(dag, records)
             return records
-        handles = [
-            self.invoker.submit(
-                self.api_url_for(dag.task(name)),
-                self.build_request(dag.task(name)),
-            )
-            for name in phase.tasks
-        ]
-        return self.invoker.gather(handles)
+        handles = [self._fire(dag.task(name)) for name in names]
+        records = self.invoker.gather(handles)
+        self._observe(dag, records)
+        return records
 
-    #: Statuses worth retrying: conflict (inputs late), server errors,
-    #: unavailability.  Client errors (400) are permanent.
-    _RETRYABLE = frozenset({409, 500, 502, 503, 507})
+    #: Statuses worth retrying: conflict (inputs late), rate limiting
+    #: (429), server errors, gateway timeout (504), unavailability.
+    #: Client errors (400) are permanent.
+    _RETRYABLE = RETRYABLE_STATUSES
+
+    def _note_retries(self, count: int) -> None:
+        self._run_retries += count
+        if self._state is not None:
+            self._state.note_retries(count)
 
     def _retry_failures(
-        self, dag: WorkflowDAG, records: list[InvocationRecord]
+        self, dag: WorkflowDAG, records: list[InvocationRecord],
+        policy: RetryPolicy,
     ) -> list[InvocationRecord]:
-        """Re-submit retryable failures up to ``task_retries`` times."""
+        """Re-submit retryable failures following the backoff policy,
+        respecting the per-task attempt budget."""
         final = list(records)
-        for _ in range(self.config.task_retries):
+        attempts = {r.name: 1 for r in final}
+        rng = self._state.rng if self._state is not None else None
+        prev_delay: Optional[float] = None
+        round_number = 0
+        while True:
             retry_indices = [
                 i for i, r in enumerate(final)
-                if not r.ok and r.status in self._RETRYABLE
+                if not r.ok and policy.should_retry(r.status, attempts[r.name])
             ]
             if not retry_indices:
                 break
-            self.invoker.sleep(self.config.retry_delay_seconds)
-            handles = []
-            for i in retry_indices:
-                task = dag.task(final[i].name)
-                handles.append(
-                    self.invoker.submit(
-                        self.api_url_for(task), self.build_request(task)
-                    )
-                )
-            for i, record in zip(retry_indices, self.invoker.gather(handles)):
+            round_number += 1
+            delay = policy.next_delay(round_number, rng=rng,
+                                      prev_delay=prev_delay)
+            prev_delay = delay
+            if delay > 0:
+                self.invoker.sleep(delay)
+            handles = [
+                self._fire(dag.task(final[i].name)) for i in retry_indices
+            ]
+            self._note_retries(len(retry_indices))
+            new_records = self.invoker.gather(handles)
+            self._observe(dag, new_records)
+            for i, record in zip(retry_indices, new_records):
+                attempts[record.name] += 1
                 final[i] = record
         return final
 

@@ -21,6 +21,9 @@ class TaskExecution:
     cold_start: bool = False
     node: str = ""
     error: str = ""
+    #: True when the record was replayed from a checkpoint instead of
+    #: re-executing the function (``repro-wfm run --resume``).
+    replayed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -82,6 +85,10 @@ class WorkflowRunResult:
     def cold_start_count(self) -> int:
         return sum(1 for t in self.tasks if t.cold_start)
 
+    @property
+    def replayed_count(self) -> int:
+        return sum(1 for t in self.tasks if t.replayed)
+
     def mean_wait_seconds(self) -> float:
         if not self.tasks:
             return 0.0
@@ -98,6 +105,7 @@ class WorkflowRunResult:
             "num_phases": len(self.phases),
             "failed_tasks": len(self.failed_tasks),
             "cold_starts": self.cold_start_count,
+            "replayed_tasks": self.replayed_count,
             "mean_wait_seconds": round(self.mean_wait_seconds(), 3),
             **{k: v for k, v in self.metrics.items() if not isinstance(v, (list, dict))},
         }

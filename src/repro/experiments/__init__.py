@@ -25,6 +25,12 @@ from repro.experiments.figures import (
     headline_reductions,
 )
 from repro.experiments.reporting import format_table, rows_to_csv
+from repro.experiments.chaos import (
+    ChaosReport,
+    ChaosScenario,
+    FaultScenario,
+    run_chaos,
+)
 from repro.experiments.sweeps import ParameterSweep, SweepCell
 from repro.experiments.repetitions import (
     MetricSummary,
@@ -55,6 +61,10 @@ __all__ = [
     "headline_reductions",
     "format_table",
     "rows_to_csv",
+    "ChaosReport",
+    "ChaosScenario",
+    "FaultScenario",
+    "run_chaos",
     "ParameterSweep",
     "SweepCell",
     "MetricSummary",

@@ -1,0 +1,344 @@
+"""Chaos evaluation harness: fault scenarios × resilience policies.
+
+Sweeps the fault shapes of :class:`~repro.platform.faults.ChaosInjector`
+(transient failures, stragglers, correlated bursts, cold-start storms,
+manager crash-mid-phase) against resilience policies ("none", "retry",
+"retry+hedge") over the paper's paradigms, and reports per cell:
+
+* **success rate** — fraction of repeats that completed;
+* **makespan inflation** — makespan relative to a fault-free baseline
+  of the same cell;
+* **wasted work** — platform invocations beyond one per DAG task
+  (failed attempts, retries, losing hedge duplicates, re-executions);
+* **retries per task** and hedge counts;
+* **p99 task latency** — the tail the hedging policy is meant to cut.
+
+``repro-experiments chaos`` writes the sweep to ``results/chaos.csv``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core import ManagerConfig, ServerlessWorkflowManager, \
+    SimulatedSharedDrive
+from repro.core.invocation import SimulatedInvoker
+from repro.core.results import WorkflowRunResult
+from repro.experiments.multitenant import _build_platform
+from repro.experiments.paradigms import paradigm
+from repro.platform.cluster import Cluster
+from repro.platform.faults import ChaosInjector
+from repro.resilience import (
+    BreakerConfig,
+    HedgePolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    WorkflowCheckpoint,
+)
+from repro.simulation import Environment
+from repro.simulation.rng import derive_seed
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons import WorkflowGenerator, recipe_for
+from repro.wfcommons.schema import Workflow
+
+__all__ = [
+    "FaultScenario",
+    "ChaosScenario",
+    "ChaosReport",
+    "DEFAULT_FAULTS",
+    "POLICIES",
+    "run_chaos",
+]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One fault shape the sweep injects."""
+
+    name: str
+    #: Bernoulli transient-failure probability per invocation.
+    transient_rate: float = 0.0
+    transient_status: int = 503
+    #: Straggler probability and extra latency.
+    straggler_rate: float = 0.0
+    straggler_delay_seconds: float = 8.0
+    #: ``(start, duration)`` correlated-failure windows.
+    burst_windows: tuple = ()
+    burst_failure_rate: float = 0.8
+    #: ``(start, duration)`` cold-start-storm windows.
+    cold_start_windows: tuple = ()
+    cold_penalty_seconds: float = 2.0
+    #: Crash the manager after this many phases (0 = no crash), then
+    #: resume from the checkpoint — exercises checkpoint/resume.
+    crash_after_phase: int = 0
+
+    def injector(self, seed: int) -> Optional[ChaosInjector]:
+        if (self.transient_rate == 0 and self.straggler_rate == 0
+                and not self.burst_windows and not self.cold_start_windows):
+            return None
+        return ChaosInjector(
+            failure_rate=self.transient_rate,
+            status=self.transient_status,
+            seed=seed,
+            straggler_rate=self.straggler_rate,
+            straggler_delay_seconds=self.straggler_delay_seconds,
+            burst_windows=self.burst_windows,
+            burst_failure_rate=self.burst_failure_rate,
+            cold_start_windows=self.cold_start_windows,
+            cold_penalty_seconds=self.cold_penalty_seconds,
+        )
+
+
+#: The ISSUE's default chaos (5 % transients + 2 % stragglers) plus one
+#: scenario per remaining fault shape.
+DEFAULT_FAULTS: tuple = (
+    FaultScenario("default", transient_rate=0.05, straggler_rate=0.02),
+    FaultScenario("stragglers", straggler_rate=0.15,
+                  straggler_delay_seconds=30.0),
+    FaultScenario("burst", transient_rate=0.02,
+                  burst_windows=((5.0, 4.0),), burst_failure_rate=0.9),
+    FaultScenario("cold-storm", transient_rate=0.02,
+                  cold_start_windows=((0.0, 6.0),),
+                  cold_penalty_seconds=3.0),
+    FaultScenario("crash-mid-phase", transient_rate=0.05,
+                  crash_after_phase=2),
+)
+
+#: Resilience policies compared per fault scenario.
+POLICIES: tuple = ("none", "retry", "retry+hedge")
+
+
+@dataclass
+class ChaosScenario:
+    """A full chaos sweep."""
+
+    application: str = "blast"
+    num_tasks: int = 20
+    paradigm_name: str = "Kn10wNoPM"
+    faults: tuple = DEFAULT_FAULTS
+    policies: tuple = POLICIES
+    repeats: int = 3
+    base_cpu_work: float = 100.0
+    seed: int = 0
+
+
+@dataclass
+class ChaosReport:
+    """Per-run rows plus per-(fault, policy) aggregates."""
+
+    scenario: ChaosScenario
+    rows: list = field(default_factory=list)
+    aggregates: list = field(default_factory=list)
+
+    def cell(self, fault: str, policy: str) -> dict:
+        for row in self.aggregates:
+            if row["fault"] == fault and row["policy"] == policy:
+                return row
+        raise KeyError(f"no aggregate for ({fault}, {policy})")
+
+
+def _resilience_for(policy: str, hedge_fallback_seconds: float,
+                    seed: int) -> Optional[ResiliencePolicy]:
+    retry = RetryPolicy(max_attempts=5, base_delay_seconds=0.5,
+                        max_delay_seconds=10.0, jitter="decorrelated")
+    breaker = BreakerConfig(failure_threshold=5, recovery_seconds=5.0)
+    if policy == "none":
+        return None
+    if policy == "retry":
+        return ResiliencePolicy(retry=retry, breaker=breaker, seed=seed)
+    if policy == "retry+hedge":
+        # p80, not p95: with straggler rates in the 10-15 % range a higher
+        # quantile of the observed (contaminated) latencies converges on
+        # the straggler latency itself and the hedge never fires.
+        hedge = HedgePolicy(
+            quantile=0.8, min_samples=4,
+            fallback_delay_seconds=max(0.1, hedge_fallback_seconds),
+        )
+        return ResiliencePolicy(retry=retry, hedge=hedge, breaker=breaker,
+                                seed=seed)
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def _generate(scenario: ChaosScenario) -> Workflow:
+    recipe = recipe_for(scenario.application)(
+        base_cpu_work=scenario.base_cpu_work)
+    generator = WorkflowGenerator(
+        recipe, seed=derive_seed(scenario.seed, "chaos-workflow"))
+    return generator.build_workflow(scenario.num_tasks)
+
+
+def _execute_cell(
+    scenario: ChaosScenario,
+    workflow: Workflow,
+    fault: FaultScenario,
+    resilience: Optional[ResiliencePolicy],
+    seed: int,
+    checkpoint_dir: Optional[Path],
+    fault_seed: Optional[int] = None,
+) -> tuple[WorkflowRunResult, int, dict]:
+    """One run of the cell; returns (result, invocations, injector stats).
+
+    ``crash_after_phase`` cells run twice on the same platform: a first
+    attempt that aborts mid-run, then a checkpoint resume; the returned
+    result is the resumed run and invocations count both attempts.
+    """
+    par = paradigm(scenario.paradigm_name)
+    env = Environment()
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    model = WfBenchModel(noise_sigma=0.0)
+    rng = np.random.default_rng(
+        derive_seed(fault_seed if fault_seed is not None else seed,
+                    "chaos-platform"))
+    platform = _build_platform(par, env, cluster, drive, model, rng)
+    # The injector's seed is shared across policies (same fault draws),
+    # so the policy comparison is paired, not independent.
+    injector = fault.injector(
+        derive_seed(fault_seed if fault_seed is not None else seed,
+                    "chaos-faults"))
+    platform.fault_injector = injector
+    for f in workflow_input_files(workflow):
+        drive.put(f.name, f.size_in_bytes)
+
+    def run(config: ManagerConfig,
+            checkpoint: Optional[WorkflowCheckpoint]) -> WorkflowRunResult:
+        invoker = SimulatedInvoker(platform)
+        manager = ServerlessWorkflowManager(invoker, drive, config,
+                                            checkpoint=checkpoint)
+        return manager.execute(workflow, platform_label=par.platform,
+                               paradigm_label=scenario.paradigm_name)
+
+    base_config = dict(keep_memory=par.persistent_memory,
+                       resilience=resilience)
+    if fault.crash_after_phase > 0 and checkpoint_dir is not None:
+        ckpt_path = checkpoint_dir / f"chaos-{fault.name}-{seed}.json"
+        crashed = run(
+            ManagerConfig(max_phases=fault.crash_after_phase, **base_config),
+            WorkflowCheckpoint(ckpt_path, workflow.name),
+        )
+        assert not crashed.succeeded
+        result = run(ManagerConfig(**base_config),
+                     WorkflowCheckpoint.load(ckpt_path))
+        # Retries and makespan across both attempts.
+        result.metrics["retries"] += crashed.metrics.get("retries", 0)
+        result.metrics["combined_makespan_seconds"] = (
+            crashed.makespan_seconds + result.makespan_seconds)
+    else:
+        result = run(ManagerConfig(**base_config), None)
+
+    stats = {
+        "injected_faults": injector.injected if injector else 0,
+        "stragglers": getattr(injector, "stragglers", 0) if injector else 0,
+    }
+    platform.shutdown()
+    return result, platform.stats.invocations, stats
+
+
+def _baseline(scenario: ChaosScenario, workflow: Workflow
+              ) -> tuple[float, float]:
+    """(makespan, p95 task latency) of a fault-free, policy-free run."""
+    clean = FaultScenario("baseline")
+    result, _, _ = _execute_cell(scenario, workflow, clean, None,
+                                 derive_seed(scenario.seed, "baseline"), None)
+    if not result.succeeded:
+        raise RuntimeError(f"fault-free baseline failed: {result.error}")
+    durations = sorted(t.duration_seconds for t in result.tasks)
+    p95 = durations[min(len(durations) - 1,
+                        round(0.95 * (len(durations) - 1)))]
+    return result.makespan_seconds, p95
+
+
+def _quantile(values: list, q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))]
+
+
+def run_chaos(scenario: Optional[ChaosScenario] = None) -> ChaosReport:
+    """Run the sweep and aggregate per (fault, policy) cell."""
+    scenario = scenario or ChaosScenario()
+    workflow = _generate(scenario)
+    baseline_makespan, baseline_p95 = _baseline(scenario, workflow)
+    report = ChaosReport(scenario=scenario)
+    num_unique = len(workflow.tasks) + 2  # + header/tail markers
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        checkpoint_dir = Path(tmp)
+        for fault in scenario.faults:
+            for policy in scenario.policies:
+                for repeat in range(scenario.repeats):
+                    seed = derive_seed(scenario.seed,
+                                       f"{fault.name}/{policy}/{repeat}")
+                    fault_seed = derive_seed(scenario.seed,
+                                             f"{fault.name}/{repeat}")
+                    resilience = _resilience_for(
+                        policy, hedge_fallback_seconds=baseline_p95 * 1.5,
+                        seed=seed)
+                    result, invocations, stats = _execute_cell(
+                        scenario, workflow, fault, resilience, seed,
+                        checkpoint_dir, fault_seed=fault_seed)
+                    executed = [t for t in result.tasks if not t.replayed]
+                    durations = [t.duration_seconds for t in executed]
+                    makespan = result.metrics.get(
+                        "combined_makespan_seconds", result.makespan_seconds)
+                    report.rows.append({
+                        "fault": fault.name,
+                        "policy": policy,
+                        "repeat": repeat,
+                        "paradigm": scenario.paradigm_name,
+                        "workflow": workflow.name,
+                        "succeeded": result.succeeded,
+                        "makespan_seconds": round(makespan, 3),
+                        "makespan_inflation": round(
+                            makespan / baseline_makespan, 3)
+                            if baseline_makespan else 0.0,
+                        "invocations": invocations,
+                        "wasted_invocations": max(0,
+                                                  invocations - num_unique),
+                        "retries": result.metrics.get("retries", 0),
+                        "retries_per_task": round(
+                            result.metrics.get("retries", 0) / num_unique, 3),
+                        "hedges": result.metrics.get("hedges", 0),
+                        "hedge_wins": result.metrics.get("hedge_wins", 0),
+                        "replayed_tasks": result.replayed_count,
+                        "p99_task_latency_seconds": round(
+                            _quantile(durations, 0.99), 3),
+                        "p95_task_latency_seconds": round(
+                            _quantile(durations, 0.95), 3),
+                        "injected_faults": stats["injected_faults"],
+                        "stragglers": stats["stragglers"],
+                    })
+
+    for fault in scenario.faults:
+        for policy in scenario.policies:
+            cell = [r for r in report.rows
+                    if r["fault"] == fault.name and r["policy"] == policy]
+            if not cell:
+                continue
+            n = len(cell)
+            report.aggregates.append({
+                "fault": fault.name,
+                "policy": policy,
+                "runs": n,
+                "success_rate": round(
+                    sum(1 for r in cell if r["succeeded"]) / n, 3),
+                "mean_makespan_inflation": round(
+                    sum(r["makespan_inflation"] for r in cell) / n, 3),
+                "mean_wasted_invocations": round(
+                    sum(r["wasted_invocations"] for r in cell) / n, 3),
+                "mean_retries_per_task": round(
+                    sum(r["retries_per_task"] for r in cell) / n, 3),
+                "mean_hedges": round(sum(r["hedges"] for r in cell) / n, 3),
+                "p99_task_latency_seconds": round(
+                    sum(r["p99_task_latency_seconds"] for r in cell) / n, 3),
+                "p95_task_latency_seconds": round(
+                    sum(r["p95_task_latency_seconds"] for r in cell) / n, 3),
+            })
+    return report

@@ -103,16 +103,21 @@ class SimClusterSampler:
             )
         if self.service is not None:
             metrics = self.service.metrics
-            self.frame.append_row(
-                now,
-                {
-                    "repro.service.queue": float(self.service.queue_depth()),
-                    "repro.service.running": float(
-                        self.service.running_count()),
-                    "repro.service.completed": float(metrics.completed),
-                    "repro.service.rejected": float(metrics.rejected),
-                },
-            )
+            row = {
+                "repro.service.queue": float(self.service.queue_depth()),
+                "repro.service.running": float(
+                    self.service.running_count()),
+                "repro.service.completed": float(metrics.completed),
+                "repro.service.rejected": float(metrics.rejected),
+            }
+            state = getattr(self.service, "resilience_state", None)
+            if state is not None:
+                counters = state.counters()
+                row["repro.service.retries"] = float(counters["retries"])
+                row["repro.service.hedges"] = float(counters["hedges"])
+                row["repro.service.breaker_opens"] = float(
+                    counters["breaker_opens"])
+            self.frame.append_row(now, row)
 
 
 class ProcSampler:

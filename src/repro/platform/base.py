@@ -347,16 +347,25 @@ class Platform(abc.ABC):
             return
         unit, slot = acquired
         outcome.cold_start = unit.ready_at > outcome.submitted_at
+        extra_delay = 0.0
         if self.fault_injector is not None:
-            injected = self.fault_injector.should_fail(request)
+            injected = self.fault_injector.should_fail(request, self.env.now)
             if injected is not None:
                 slot.release()
                 self._wake_dispatcher()
                 self._finish(outcome, done, status=injected,
                              error="injected transient fault")
                 return
+            extra_delay, forced_cold = self.fault_injector.extra_delay(
+                request, self.env.now)
+            if forced_cold:
+                outcome.cold_start = True
         unit.active_requests += 1
         self.on_queue_changed()
+        if extra_delay > 0:
+            # Straggler / cold-start-storm penalty: the request holds its
+            # worker slot while it stalls, exactly like a real slow pod.
+            yield self.env.timeout(extra_delay)
         input_bytes = sum(self.drive.size(f) for f in request.inputs if self.drive.exists(f))
         demand = self.model.demand_for_sizes(request, input_bytes, rng=self.rng)
         try:

@@ -3,20 +3,36 @@
 Real serverless runs see transient failures — OOM-killed pods, dropped
 connections, 5xx from overloaded queue-proxies.  A :class:`FaultInjector`
 attached to a platform makes a seeded fraction of invocations fail with a
-transient status, which is what the manager's retry machinery
-(``ManagerConfig.task_retries``) exists to absorb.
+transient status, which is what the manager's retry machinery exists to
+absorb.
+
+:class:`ChaosInjector` extends the Bernoulli model with the fault
+shapes the chaos harness (``repro.experiments.chaos``) sweeps:
+
+* **stragglers** — a seeded fraction of invocations take an extra
+  multiple of their nominal latency (the tail the hedging policy cuts);
+* **correlated bursts** — during configured time windows the failure
+  probability jumps to a much higher rate (a node dying, a network
+  partition), which is what trips circuit breakers;
+* **cold-start storms** — during a window every invocation pays an
+  extra cold-start penalty and is reported cold (mass pod eviction /
+  scale-from-zero stampede).
+
+Crash-mid-phase — the fourth fault shape — is a *manager* fault, not a
+platform fault: ``ManagerConfig.max_phases`` aborts the run after N
+phases so checkpoint/resume can be exercised.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.wfbench.spec import BenchRequest
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "ChaosInjector"]
 
 
 @dataclass
@@ -36,11 +52,76 @@ class FaultInjector:
             raise ValueError("failure_rate must be in [0, 1]")
         self._rng = np.random.default_rng(self.seed)
 
-    def should_fail(self, request: BenchRequest) -> Optional[int]:
+    def _rate_at(self, now: float) -> float:
+        return self.failure_rate
+
+    def should_fail(self, request: BenchRequest, now: float = 0.0
+                    ) -> Optional[int]:
         """The injected status for this request, or ``None`` to proceed."""
         if self.max_failures and self.injected >= self.max_failures:
             return None
-        if float(self._rng.random()) < self.failure_rate:
+        if float(self._rng.random()) < self._rate_at(now):
             self.injected += 1
             return self.status
         return None
+
+    def extra_delay(self, request: BenchRequest, now: float = 0.0
+                    ) -> tuple[float, bool]:
+        """Extra seconds of service latency for this request and whether
+        to force-report it as a cold start.  The base injector adds none."""
+        return 0.0, False
+
+
+@dataclass
+class ChaosInjector(FaultInjector):
+    """Transient failures + stragglers + bursts + cold-start storms."""
+
+    #: Fraction of invocations that straggle.
+    straggler_rate: float = 0.0
+    #: Extra latency a straggler pays, in seconds.
+    straggler_delay_seconds: float = 10.0
+    #: ``(start, duration)`` windows of correlated failures.
+    burst_windows: Sequence[tuple[float, float]] = ()
+    #: Failure probability inside a burst window.
+    burst_failure_rate: float = 0.8
+    #: ``(start, duration)`` windows during which every invocation pays
+    #: ``cold_penalty_seconds`` and is reported as a cold start.
+    cold_start_windows: Sequence[tuple[float, float]] = ()
+    cold_penalty_seconds: float = 2.0
+    stragglers: int = field(default=0, init=False)
+    forced_cold_starts: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise ValueError("straggler_rate must be in [0, 1]")
+        if not 0.0 <= self.burst_failure_rate <= 1.0:
+            raise ValueError("burst_failure_rate must be in [0, 1]")
+        if self.straggler_delay_seconds < 0:
+            raise ValueError("straggler_delay_seconds must be >= 0")
+        if self.cold_penalty_seconds < 0:
+            raise ValueError("cold_penalty_seconds must be >= 0")
+
+    @staticmethod
+    def _in_window(windows: Sequence[tuple[float, float]], now: float) -> bool:
+        return any(start <= now < start + duration
+                   for start, duration in windows)
+
+    def _rate_at(self, now: float) -> float:
+        if self._in_window(self.burst_windows, now):
+            return self.burst_failure_rate
+        return self.failure_rate
+
+    def extra_delay(self, request: BenchRequest, now: float = 0.0
+                    ) -> tuple[float, bool]:
+        delay = 0.0
+        forced_cold = False
+        if self._in_window(self.cold_start_windows, now):
+            delay += self.cold_penalty_seconds
+            forced_cold = True
+            self.forced_cold_starts += 1
+        if (self.straggler_rate > 0.0
+                and float(self._rng.random()) < self.straggler_rate):
+            delay += self.straggler_delay_seconds
+            self.stragglers += 1
+        return delay, forced_cold

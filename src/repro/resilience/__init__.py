@@ -1,0 +1,48 @@
+"""Fault-tolerant execution layer (the ``repro.resilience`` subsystem).
+
+The paper's manager assumes every invocation eventually succeeds; real
+serverless platforms see OOM-killed pods, cold-start storms, stragglers
+and overload 5xx.  This package provides the policies the manager,
+invokers and scheduler thread through every execution path:
+
+* :class:`RetryPolicy` — exponential backoff with (decorrelated) jitter,
+  per-task attempt budgets and retryable-status classification;
+* :class:`CircuitBreaker` / :class:`BreakerRegistry` — per-endpoint
+  closed/open/half-open breakers that shed load to failing functions;
+* :class:`HedgePolicy` / :class:`LatencyTracker` — speculative duplicate
+  POSTs once an invocation exceeds an observed latency quantile, first
+  completion wins (WfBench functions are idempotent by task name);
+* :class:`WorkflowCheckpoint` — per-phase persistence of completed
+  invocations so ``repro-wfm --resume`` re-executes only unfinished
+  tasks after a crash or abort;
+* :class:`ResiliencePolicy` / :class:`ResilienceState` — the bundle the
+  manager and the workflow services share (breaker registry, latency
+  tracker and retry/hedge/short-circuit counters).
+
+Evaluated by :mod:`repro.experiments.chaos`, which sweeps fault
+scenarios x paradigms x policies and reports success rate, makespan
+inflation, wasted work and tail latency.
+"""
+
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerRegistry,
+    CircuitBreaker,
+)
+from repro.resilience.checkpoint import WorkflowCheckpoint
+from repro.resilience.hedge import HedgePolicy, LatencyTracker
+from repro.resilience.retry import RETRYABLE_STATUSES, RetryPolicy
+from repro.resilience.state import ResiliencePolicy, ResilienceState
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "HedgePolicy",
+    "LatencyTracker",
+    "ResiliencePolicy",
+    "ResilienceState",
+    "RETRYABLE_STATUSES",
+    "RetryPolicy",
+    "WorkflowCheckpoint",
+]

@@ -1,0 +1,126 @@
+"""Per-endpoint circuit breakers (closed / open / half-open).
+
+A function whose endpoint keeps failing (crashed revision, exhausted
+node, misconfigured route) should not receive further traffic until it
+shows signs of life: retrying into a dead endpoint wastes the retry
+budget and prolongs the outage for everyone behind the same activator.
+The breaker is clock-agnostic — every transition takes ``now`` from the
+caller, so the same implementation serves the simulated kernel and the
+wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "BreakerRegistry",
+           "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Breaker thresholds."""
+
+    #: Consecutive failures that trip the breaker open.
+    failure_threshold: int = 5
+    #: Seconds the breaker stays open before probing (half-open).
+    recovery_seconds: float = 30.0
+    #: Trial requests allowed through while half-open.
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.recovery_seconds < 0:
+            raise ValueError("recovery_seconds must be >= 0")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+class CircuitBreaker:
+    """One endpoint's breaker state machine."""
+
+    def __init__(self, config: BreakerConfig):
+        self.config = config
+        self._consecutive_failures = 0
+        self._opened_at: float = 0.0
+        self._open = False
+        self._probes_in_flight = 0
+        #: Times the breaker tripped open (observability).
+        self.opened_count = 0
+
+    # -- state ----------------------------------------------------------------
+    def state(self, now: float) -> str:
+        if not self._open:
+            return CLOSED
+        if now - self._opened_at >= self.config.recovery_seconds:
+            return HALF_OPEN
+        return OPEN
+
+    def allow(self, now: float) -> bool:
+        """May a request be sent to this endpoint right now?
+
+        While half-open, at most ``half_open_probes`` requests pass; a
+        success closes the breaker, a failure re-opens it.
+        """
+        state = self.state(now)
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probes_in_flight >= self.config.half_open_probes:
+            return False
+        self._probes_in_flight += 1
+        return True
+
+    # -- observations ---------------------------------------------------------
+    def on_success(self, now: float) -> None:
+        self._consecutive_failures = 0
+        self._open = False
+        self._probes_in_flight = 0
+
+    def on_failure(self, now: float) -> None:
+        if self._open:
+            # A half-open probe failed: re-open and restart the clock.
+            self._opened_at = now
+            self._probes_in_flight = 0
+            self.opened_count += 1
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.config.failure_threshold:
+            self._open = True
+            self._opened_at = now
+            self._probes_in_flight = 0
+            self.opened_count += 1
+
+
+class BreakerRegistry:
+    """One :class:`CircuitBreaker` per endpoint URL."""
+
+    def __init__(self, config: BreakerConfig):
+        self.config = config
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, url: str) -> CircuitBreaker:
+        if url not in self._breakers:
+            self._breakers[url] = CircuitBreaker(self.config)
+        return self._breakers[url]
+
+    def allow(self, url: str, now: float) -> bool:
+        return self.breaker(url).allow(now)
+
+    def on_success(self, url: str, now: float) -> None:
+        self.breaker(url).on_success(now)
+
+    def on_failure(self, url: str, now: float) -> None:
+        self.breaker(url).on_failure(now)
+
+    def opened_count(self) -> int:
+        return sum(b.opened_count for b in self._breakers.values())
+
+    def states(self, now: float) -> dict[str, str]:
+        return {url: b.state(now) for url, b in self._breakers.items()}

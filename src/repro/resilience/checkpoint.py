@@ -1,0 +1,122 @@
+"""Workflow checkpoint/resume.
+
+The manager persists every completed invocation — per phase, atomically
+— to a JSON file on the shared drive.  After a crash or abort,
+``repro-wfm --resume`` loads the checkpoint, re-stages the recorded
+output files (they are already on the shared drive in a real
+deployment; re-staging makes the readiness contract hold for simulated
+drives too) and re-executes only the tasks that never completed.
+
+Checkpoint format (version 1)::
+
+    {"version": 1,
+     "workflow": "blast-20",
+     "completed": {
+        "task_name": {"phase": 0, "status": 200, "finished_at": 12.3,
+                      "outputs": {"file.txt": 2048}},
+        ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.core.shared_drive import SharedDrive
+from repro.errors import WorkflowExecutionError
+
+__all__ = ["WorkflowCheckpoint"]
+
+_VERSION = 1
+
+
+class WorkflowCheckpoint:
+    """Persistent record of which tasks a workflow run has completed."""
+
+    def __init__(self, path: str | Path, workflow_name: str = ""):
+        self.path = Path(path)
+        self.workflow_name = workflow_name
+        self.completed: dict[str, dict] = {}
+
+    # -- persistence ----------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkflowCheckpoint":
+        """Load an existing checkpoint (empty when the file is absent)."""
+        checkpoint = cls(path)
+        if not checkpoint.path.is_file():
+            return checkpoint
+        doc = json.loads(checkpoint.path.read_text())
+        if doc.get("version") != _VERSION:
+            raise WorkflowExecutionError(
+                f"checkpoint {checkpoint.path}: unsupported version "
+                f"{doc.get('version')!r}"
+            )
+        checkpoint.workflow_name = doc.get("workflow", "")
+        checkpoint.completed = dict(doc.get("completed", {}))
+        return checkpoint
+
+    def flush(self) -> None:
+        """Write atomically (tmp + rename) so a crash mid-write never
+        leaves a truncated checkpoint behind."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "version": _VERSION,
+            "workflow": self.workflow_name,
+            "completed": self.completed,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        self.completed.clear()
+        if self.path.is_file():
+            self.path.unlink()
+
+    # -- bookkeeping ----------------------------------------------------------
+    def bind(self, workflow_name: str) -> None:
+        """Attach to a workflow; refuses to resume a different one."""
+        if self.workflow_name and self.workflow_name != workflow_name:
+            raise WorkflowExecutionError(
+                f"checkpoint {self.path} belongs to workflow "
+                f"{self.workflow_name!r}, not {workflow_name!r}"
+            )
+        self.workflow_name = workflow_name
+
+    def is_completed(self, name: str) -> bool:
+        return name in self.completed
+
+    def completed_tasks(self) -> frozenset:
+        return frozenset(self.completed)
+
+    def mark(
+        self,
+        name: str,
+        phase: int,
+        status: int,
+        finished_at: float,
+        outputs: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.completed[name] = {
+            "phase": phase,
+            "status": status,
+            "finished_at": finished_at,
+            "outputs": dict(outputs or {}),
+        }
+
+    def entry(self, name: str) -> dict:
+        return self.completed[name]
+
+    # -- resume ---------------------------------------------------------------
+    def restage(self, drive: SharedDrive) -> int:
+        """Put every checkpointed output back on the drive; returns the
+        number of files staged."""
+        staged = 0
+        for entry in self.completed.values():
+            for fname, size in entry.get("outputs", {}).items():
+                if not drive.exists(fname):
+                    drive.put(fname, int(size))
+                    staged += 1
+        return staged

@@ -1,0 +1,87 @@
+"""Hedged requests: speculative duplicates against straggling functions.
+
+The tail-at-scale defence: once a request has been outstanding longer
+than a high quantile of that endpoint's observed latency, POST an
+identical duplicate and take whichever completes first.  WfBench
+functions are idempotent by task name — both copies write the same
+output files with the same sizes — so the loser is simply ignored (its
+cost is accounted as wasted work by the chaos harness).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["HedgePolicy", "LatencyTracker"]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to issue the speculative duplicate."""
+
+    #: Latency quantile that arms the hedge timer.
+    quantile: float = 0.95
+    #: Observations per endpoint before the quantile is trusted.
+    min_samples: int = 8
+    #: Clamp on the hedge delay (floor avoids hedging everything when the
+    #: endpoint is very fast; ceiling keeps the timer meaningful).
+    min_delay_seconds: float = 0.05
+    max_delay_seconds: float = 300.0
+    #: Hedge delay used while the tracker is cold (fewer than
+    #: ``min_samples`` observations); ``None`` disables cold hedging.
+    fallback_delay_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.min_delay_seconds < 0:
+            raise ValueError("min_delay_seconds must be >= 0")
+        if self.max_delay_seconds < self.min_delay_seconds:
+            raise ValueError("max_delay_seconds must be >= min_delay_seconds")
+        if (self.fallback_delay_seconds is not None
+                and self.fallback_delay_seconds < 0):
+            raise ValueError("fallback_delay_seconds must be >= 0")
+
+    def clamp(self, delay: float) -> float:
+        return min(self.max_delay_seconds, max(self.min_delay_seconds, delay))
+
+
+class LatencyTracker:
+    """Sliding window of per-endpoint request latencies."""
+
+    def __init__(self, window: int = 256):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._samples: dict[str, deque] = {}
+
+    def observe(self, url: str, seconds: float) -> None:
+        if url not in self._samples:
+            self._samples[url] = deque(maxlen=self.window)
+        self._samples[url].append(max(0.0, float(seconds)))
+
+    def count(self, url: str) -> int:
+        return len(self._samples.get(url, ()))
+
+    def quantile(self, url: str, q: float) -> Optional[float]:
+        samples = self._samples.get(url)
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def hedge_delay(self, url: str, policy: HedgePolicy) -> Optional[float]:
+        """The hedge timer for ``url``, or ``None`` to not hedge."""
+        if self.count(url) < policy.min_samples:
+            if policy.fallback_delay_seconds is None:
+                return None
+            return policy.clamp(policy.fallback_delay_seconds)
+        quantile = self.quantile(url, policy.quantile)
+        if quantile is None:
+            return None
+        return policy.clamp(quantile)

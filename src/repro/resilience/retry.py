@@ -1,0 +1,108 @@
+"""Retry policies: how often and how long to wait before re-POSTing.
+
+The manager's original behaviour was a fixed-count/fixed-delay loop
+(``task_retries`` x ``retry_delay_seconds``).  :class:`RetryPolicy`
+generalises it to the standard exponential-backoff family — capped
+exponential growth with optional full or decorrelated jitter (the
+AWS-architecture-blog variant: each delay is drawn from
+``[base, 3 x previous]``, which decorrelates synchronised retry storms
+far better than full jitter under correlated bursts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "RETRYABLE_STATUSES"]
+
+#: Statuses worth retrying: conflict (inputs late), rate limiting,
+#: server errors, gateway timeouts, unavailability, storage exhaustion.
+#: Client errors (4xx other than 409/429) are permanent.
+RETRYABLE_STATUSES = frozenset({409, 429, 500, 502, 503, 504, 507})
+
+_JITTER_MODES = ("none", "full", "decorrelated")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule + retryable-status classification."""
+
+    #: Total attempts per task, including the first (1 = fire once).
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.5
+    max_delay_seconds: float = 30.0
+    #: Exponential growth factor between successive delays.
+    multiplier: float = 2.0
+    #: ``none`` | ``full`` | ``decorrelated``.
+    jitter: str = "decorrelated"
+    retryable_statuses: frozenset = RETRYABLE_STATUSES
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_seconds < 0:
+            raise ValueError("base_delay_seconds must be >= 0")
+        if self.max_delay_seconds < self.base_delay_seconds:
+            raise ValueError("max_delay_seconds must be >= base_delay_seconds")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter not in _JITTER_MODES:
+            raise ValueError(f"jitter must be one of {_JITTER_MODES}")
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Fire once, never retry (the paper's behaviour)."""
+        return cls(max_attempts=1, jitter="none")
+
+    @classmethod
+    def fixed(cls, retries: int, delay_seconds: float) -> "RetryPolicy":
+        """The legacy fixed-count/fixed-delay loop, as a policy."""
+        delay = max(0.0, delay_seconds)
+        return cls(
+            max_attempts=retries + 1,
+            base_delay_seconds=delay,
+            max_delay_seconds=delay,
+            multiplier=1.0,
+            jitter="none",
+        )
+
+    # -- classification -------------------------------------------------------
+    def retryable(self, status: int) -> bool:
+        return status in self.retryable_statuses
+
+    def should_retry(self, status: int, attempts_made: int) -> bool:
+        """Retry after ``attempts_made`` attempts ended with ``status``?"""
+        return attempts_made < self.max_attempts and self.retryable(status)
+
+    # -- backoff schedule -----------------------------------------------------
+    def next_delay(
+        self,
+        attempt: int,
+        rng: Optional[np.random.Generator] = None,
+        prev_delay: Optional[float] = None,
+    ) -> float:
+        """Delay before retry number ``attempt`` (1-based).
+
+        ``prev_delay`` chains decorrelated jitter: pass the value returned
+        by the previous call (or ``None`` for the first retry).
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        cap = self.max_delay_seconds
+        base = self.base_delay_seconds
+        if self.jitter == "decorrelated":
+            if rng is None:
+                rng = np.random.default_rng(0)
+            prev = base if prev_delay is None else max(base, prev_delay)
+            high = max(base, 3.0 * prev)
+            return min(cap, base + float(rng.random()) * (high - base))
+        delay = min(cap, base * self.multiplier ** (attempt - 1))
+        if self.jitter == "full":
+            if rng is None:
+                rng = np.random.default_rng(0)
+            return float(rng.random()) * delay
+        return delay

@@ -1,0 +1,110 @@
+"""The policy bundle and the shared runtime state.
+
+:class:`ResiliencePolicy` is pure configuration (hashable, reusable
+across runs); :class:`ResilienceState` is the mutable side — breaker
+registry, latency tracker, RNG for jitter and the
+retry/hedge/short-circuit counters.  One state instance can be shared
+by many managers (the workflow services do exactly that, so breakers
+and latency estimates span concurrent workflows); all mutation goes
+through a lock because the threaded service's managers run on worker
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.resilience.breaker import BreakerConfig, BreakerRegistry
+from repro.resilience.hedge import HedgePolicy, LatencyTracker
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ResiliencePolicy", "ResilienceState"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything the fault-tolerance layer needs to know."""
+
+    retry: RetryPolicy = RetryPolicy()
+    #: ``None`` disables hedging.
+    hedge: Optional[HedgePolicy] = None
+    #: ``None`` disables circuit breaking.
+    breaker: Optional[BreakerConfig] = None
+    #: Seed for backoff jitter.
+    seed: int = 0
+
+
+class ResilienceState:
+    """Mutable runtime companion of a :class:`ResiliencePolicy`."""
+
+    def __init__(self, policy: ResiliencePolicy):
+        self.policy = policy
+        self.breakers: Optional[BreakerRegistry] = (
+            BreakerRegistry(policy.breaker) if policy.breaker else None
+        )
+        self.latency = LatencyTracker()
+        self.rng = np.random.default_rng(policy.seed)
+        self._lock = threading.Lock()
+        self.retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.breaker_short_circuits = 0
+
+    # -- counters -------------------------------------------------------------
+    def note_retries(self, count: int) -> None:
+        with self._lock:
+            self.retries += count
+
+    def note_hedge(self) -> None:
+        with self._lock:
+            self.hedges += 1
+
+    def note_hedge_win(self) -> None:
+        with self._lock:
+            self.hedge_wins += 1
+
+    def note_short_circuit(self) -> None:
+        with self._lock:
+            self.breaker_short_circuits += 1
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "breaker_short_circuits": self.breaker_short_circuits,
+                "breaker_opens": (
+                    self.breakers.opened_count() if self.breakers else 0
+                ),
+            }
+
+    # -- decisions ------------------------------------------------------------
+    def allow(self, url: str, now: float) -> bool:
+        """Breaker gate (True when breaking is disabled)."""
+        if self.breakers is None:
+            return True
+        with self._lock:
+            return self.breakers.allow(url, now)
+
+    def hedge_delay(self, url: str) -> Optional[float]:
+        """Hedge timer for ``url`` or ``None`` (hedging off / tracker cold)."""
+        if self.policy.hedge is None:
+            return None
+        with self._lock:
+            return self.latency.hedge_delay(url, self.policy.hedge)
+
+    def observe(self, url: str, ok: bool, latency_seconds: float,
+                now: float) -> None:
+        """Feed one completed invocation back into breaker + tracker."""
+        with self._lock:
+            if ok:
+                self.latency.observe(url, latency_seconds)
+                if self.breakers is not None:
+                    self.breakers.on_success(url, now)
+            elif self.breakers is not None:
+                self.breakers.on_failure(url, now)

@@ -55,6 +55,9 @@ class ServiceMetrics:
         self.queue_waits: list[float] = []
         self.times_in_system: list[float] = []
         self._tenants: dict[str, TenantUsage] = {}
+        #: Snapshot of the shared resilience-state counters (retries,
+        #: hedges, breaker activity) — synced by the owning service.
+        self.resilience: dict[str, int] = {}
 
     # -- observation hooks ----------------------------------------------------
     def _tenant(self, tenant: str, weight: float = 1.0) -> TenantUsage:
@@ -98,6 +101,12 @@ class ServiceMetrics:
         else:
             self.failed += 1
             usage.failed += 1
+
+    def sync_resilience(self, counters: dict) -> None:
+        """Absorb a cumulative counter snapshot from a
+        :class:`~repro.resilience.state.ResilienceState` (absolute
+        values, not increments)."""
+        self.resilience = dict(counters)
 
     # -- derived numbers ------------------------------------------------------
     @property
@@ -160,4 +169,10 @@ class ServiceMetrics:
             "mean_time_in_system_seconds": round(self.mean_time_in_system(), 3),
             "fairness_index": round(self.fairness_index(), 4),
             "horizon_seconds": round(max(0.0, horizon_seconds), 3),
+            "retries": self.resilience.get("retries", 0),
+            "hedges": self.resilience.get("hedges", 0),
+            "hedge_wins": self.resilience.get("hedge_wins", 0),
+            "breaker_opens": self.resilience.get("breaker_opens", 0),
+            "breaker_short_circuits": self.resilience.get(
+                "breaker_short_circuits", 0),
         }

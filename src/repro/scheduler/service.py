@@ -30,6 +30,7 @@ from repro.core.manager import ManagerConfig, ServerlessWorkflowManager
 from repro.core.results import WorkflowRunResult
 from repro.core.shared_drive import SharedDrive
 from repro.errors import QuotaExceededError, SchedulerError
+from repro.resilience.state import ResilienceState
 from repro.scheduler.admission import (
     AdmissionController,
     AdmissionPolicy,
@@ -148,11 +149,21 @@ class WorkflowService:
         model: Optional[WfBenchModel] = None,
         admission: Optional[AdmissionController] = None,
         platform_label: str = "",
+        resilience_state: Optional[ResilienceState] = None,
     ):
         self.target = target
         self.drive = drive
         self.config = config or ServiceConfig()
         self.manager_config = manager_config or ManagerConfig()
+        #: Shared across every manager the service starts, so circuit
+        #: breakers and latency estimates span concurrent workflows.
+        if resilience_state is not None:
+            self.resilience_state: Optional[ResilienceState] = resilience_state
+        elif self.manager_config.resilience is not None:
+            self.resilience_state = ResilienceState(
+                self.manager_config.resilience)
+        else:
+            self.resilience_state = None
         self.model = model or getattr(target, "model", None) or WfBenchModel()
         self.platform_label = platform_label
         self.env = self._resolve_env(target)
@@ -290,6 +301,8 @@ class WorkflowService:
 
     def summary(self) -> dict:
         horizon = self.env.now - (self._t0 if self._t0 is not None else self.env.now)
+        if self.resilience_state is not None:
+            self.metrics.sync_resilience(self.resilience_state.counters())
         return self.metrics.summary(horizon)
 
     def rows(self) -> list[dict]:
@@ -354,8 +367,9 @@ class WorkflowService:
         self.metrics.observe_started(handle.tenant, now - handle.submitted_at)
         workflow = self._workflows.pop(handle.id)
         invoker = SimulatedInvoker(self.target, tenant=handle.tenant)
-        manager = ServerlessWorkflowManager(invoker, self.drive,
-                                            self.manager_config)
+        manager = ServerlessWorkflowManager(
+            invoker, self.drive, self.manager_config,
+            resilience_state=self.resilience_state)
         proc = self.env.process(
             manager.execute_process(
                 workflow,
@@ -398,6 +412,8 @@ class WorkflowService:
             deadline_met=deadline_met,
             weight=self.queue.weight_of(handle.tenant),
         )
+        if self.resilience_state is not None:
+            self.metrics.sync_resilience(self.resilience_state.counters())
         self._outstanding -= 1
         self._maybe_finish_drain()
         self._kick()

@@ -27,6 +27,7 @@ from typing import Any, Callable, Mapping, Optional, Union
 from repro.core.manager import ManagerConfig, ServerlessWorkflowManager
 from repro.core.shared_drive import SharedDrive
 from repro.errors import QuotaExceededError
+from repro.resilience.state import ResilienceState
 from repro.scheduler.admission import AdmissionController
 from repro.scheduler.estimate import estimate_workflow
 from repro.scheduler.metrics import ServiceMetrics
@@ -65,11 +66,21 @@ class ThreadedWorkflowService:
         admission: Optional[AdmissionController] = None,
         clock: Callable[[], float] = time.monotonic,
         platform_label: str = "",
+        resilience_state: Optional[ResilienceState] = None,
     ):
         self.invoker_factory = invoker_factory
         self.drive = drive
         self.config = config or ServiceConfig()
         self.manager_config = manager_config or ManagerConfig()
+        #: Shared across worker-thread managers (ResilienceState is
+        #: lock-protected), so breakers span concurrent workflows.
+        if resilience_state is not None:
+            self.resilience_state: Optional[ResilienceState] = resilience_state
+        elif self.manager_config.resilience is not None:
+            self.resilience_state = ResilienceState(
+                self.manager_config.resilience)
+        else:
+            self.resilience_state = None
         self.model = model or WfBenchModel()
         self.admission = admission or AdmissionController.unlimited(
             self.config.admission_policy)
@@ -190,6 +201,9 @@ class ThreadedWorkflowService:
     def summary(self) -> dict:
         with self._lock:
             horizon = 0.0 if self._t0 is None else self.clock() - self._t0
+            if self.resilience_state is not None:
+                self.metrics.sync_resilience(
+                    self.resilience_state.counters())
             return self.metrics.summary(horizon)
 
     def rows(self) -> list[dict]:
@@ -245,7 +259,8 @@ class ThreadedWorkflowService:
         try:
             invoker = self.invoker_factory(handle.tenant)
             manager = ServerlessWorkflowManager(
-                invoker, self.drive, self.manager_config)
+                invoker, self.drive, self.manager_config,
+                resilience_state=self.resilience_state)
             result = manager.execute(
                 workflow,
                 platform_label=self.platform_label,
@@ -277,6 +292,9 @@ class ThreadedWorkflowService:
                 deadline_met=deadline_met,
                 weight=self.queue.weight_of(handle.tenant),
             )
+            if self.resilience_state is not None:
+                self.metrics.sync_resilience(
+                    self.resilience_state.counters())
             self._outstanding -= 1
             if self._outstanding == 0:
                 self._idle.set()

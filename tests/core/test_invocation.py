@@ -125,6 +125,52 @@ class TestHttpInvoker:
         assert invoker.now() > t0
         invoker.close()
 
+    def test_timeout_is_504_with_distinct_error(self, monkeypatch):
+        import socket
+        import urllib.error
+        import urllib.request
+
+        def slow_urlopen(*args, **kwargs):
+            raise urllib.error.URLError(socket.timeout("timed out"))
+
+        monkeypatch.setattr(urllib.request, "urlopen", slow_urlopen)
+        invoker = HttpInvoker(timeout_seconds=1.0)
+        record = invoker._post("http://example.invalid/wfbench",
+                               BenchRequest(name="t"))
+        invoker.close()
+        assert record.status == 504
+        assert "timed out" in record.error
+        assert "connection failed" not in record.error
+
+    def test_bare_timeout_error_is_504(self, monkeypatch):
+        import urllib.request
+
+        def slow_urlopen(*args, **kwargs):
+            raise TimeoutError("the read timed out")
+
+        monkeypatch.setattr(urllib.request, "urlopen", slow_urlopen)
+        invoker = HttpInvoker(timeout_seconds=1.0)
+        record = invoker._post("http://example.invalid/wfbench",
+                               BenchRequest(name="t"))
+        invoker.close()
+        assert record.status == 504
+
+    def test_resolved_handle_completes_immediately(self):
+        invoker = HttpInvoker()
+        record = InvocationRecord("t", 503, 0, 0, 0, error="circuit open: u")
+        assert invoker.gather([invoker.resolved(record)]) == [record]
+        invoker.close()
+
+
+class TestResolvedSimHandle:
+    def test_resolved_event_round_trips_the_record(self, env):
+        platform = lc_platform(env)
+        invoker = SimulatedInvoker(platform)
+        record = InvocationRecord("t", 503, 1.0, 1.0, 1.0,
+                                  error="circuit open: u")
+        handle = invoker.resolved(record)
+        assert invoker.gather([handle]) == [record]
+
 
 class TestInvocationRecord:
     def test_ok_property(self):

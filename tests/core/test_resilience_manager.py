@@ -1,0 +1,356 @@
+"""The fault-tolerance layer threaded through the manager.
+
+Covers policy-driven retries, circuit breakers, hedged requests and the
+checkpoint/resume contract (a resumed run re-executes *zero* completed
+tasks, asserted against the platform's invocation counter).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.platform.cluster import Cluster
+from repro.platform.faults import ChaosInjector, FaultInjector
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.resilience import (
+    BreakerConfig,
+    HedgePolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    WorkflowCheckpoint,
+)
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+
+from helpers import make_workflow
+
+
+def setup(env, workflow, manager_config=None, fault_injector=None,
+          checkpoint=None):
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    for f in workflow_input_files(workflow):
+        drive.put(f.name, f.size_in_bytes)
+    platform = LocalContainerPlatform(
+        env, cluster, drive, config=LocalContainerRuntimeConfig(),
+        model=WfBenchModel(noise_sigma=0.0), rng=np.random.default_rng(0),
+    )
+    platform.fault_injector = fault_injector
+    invoker = SimulatedInvoker(platform)
+    manager = ServerlessWorkflowManager(invoker, drive,
+                                        manager_config or ManagerConfig(),
+                                        checkpoint=checkpoint)
+    return manager, platform
+
+
+RETRY = RetryPolicy(max_attempts=5, base_delay_seconds=0.2,
+                    max_delay_seconds=2.0, jitter="decorrelated")
+
+
+class TestPolicyRetries:
+    def test_policy_absorbs_transient_faults(self, env):
+        wf = make_workflow("blast", 20)
+        injector = FaultInjector(failure_rate=0.3, status=503, seed=1)
+        manager, _ = setup(
+            env, wf, ManagerConfig(resilience=ResiliencePolicy(retry=RETRY)),
+            fault_injector=injector)
+        result = manager.execute(wf)
+        assert injector.injected > 0
+        assert result.succeeded, result.error
+        assert result.metrics["retries"] >= injector.injected
+
+    def test_policy_absorbs_faults_in_coroutine_execution(self, env):
+        wf = make_workflow("blast", 20)
+        injector = FaultInjector(failure_rate=0.3, status=503, seed=1)
+        manager, _ = setup(
+            env, wf, ManagerConfig(resilience=ResiliencePolicy(retry=RETRY)),
+            fault_injector=injector)
+        proc = env.process(manager.execute_process(wf))
+        env.run(until=proc)
+        result = proc.value
+        assert injector.injected > 0
+        assert result.succeeded, result.error
+        assert result.metrics["retries"] >= injector.injected
+
+    def test_policy_supersedes_legacy_task_retries(self, env):
+        # Everything always fails: attempts per task come from the policy
+        # (3), not from task_retries (never = 1 attempt).
+        wf = make_workflow("blast", 10)
+        injector = FaultInjector(failure_rate=1.0, status=503, seed=0)
+        manager, platform = setup(
+            env, wf,
+            ManagerConfig(
+                task_retries=9,
+                resilience=ResiliencePolicy(retry=RetryPolicy(
+                    max_attempts=3, base_delay_seconds=0.1,
+                    max_delay_seconds=0.1, jitter="none")),
+            ),
+            fault_injector=injector)
+        result = manager.execute(wf)
+        assert not result.succeeded
+        # Header fired once + retried twice = 3 invocations for phase 0.
+        assert platform.stats.invocations == 3
+
+    def test_permanent_statuses_not_retried(self, env):
+        wf = make_workflow("blast", 10)
+        injector = FaultInjector(failure_rate=1.0, status=400, seed=0,
+                                 max_failures=1)
+        manager, platform = setup(
+            env, wf, ManagerConfig(resilience=ResiliencePolicy(retry=RETRY)),
+            fault_injector=injector)
+        result = manager.execute(wf)
+        assert not result.succeeded
+        assert platform.stats.invocations == 1
+
+    def test_single_attempt_policy_disables_retries(self, env):
+        wf = make_workflow("blast", 10)
+        injector = FaultInjector(failure_rate=1.0, status=503, seed=0)
+        manager, platform = setup(
+            env, wf,
+            ManagerConfig(resilience=ResiliencePolicy(
+                retry=RetryPolicy.none())),
+            fault_injector=injector)
+        result = manager.execute(wf)
+        assert not result.succeeded
+        assert platform.stats.invocations == 1
+
+
+class TestCircuitBreaker:
+    def test_breaker_sheds_traffic_to_a_dead_endpoint(self, env):
+        wf = make_workflow("blast", 20)
+        injector = FaultInjector(failure_rate=1.0, status=503, seed=0)
+        manager, _ = setup(
+            env, wf,
+            ManagerConfig(
+                abort_on_failure=False,
+                resilience=ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=2, base_delay_seconds=0.1,
+                                      max_delay_seconds=0.1, jitter="none"),
+                    breaker=BreakerConfig(failure_threshold=3,
+                                          recovery_seconds=1e6),
+                ),
+            ),
+            fault_injector=injector)
+        result = manager.execute(wf)
+        counters = manager.resilience_state.counters()
+        assert counters["breaker_opens"] >= 1
+        assert counters["breaker_short_circuits"] > 0
+        assert result.metrics["breaker_short_circuits"] > 0
+        shed = [t for t in result.tasks if t.error.startswith("circuit open")]
+        assert shed, "expected some submissions to be short-circuited"
+        assert all(t.status == 503 for t in shed)
+
+    def test_short_circuited_requests_never_reach_the_platform(self, env):
+        wf = make_workflow("blast", 20)
+        injector = FaultInjector(failure_rate=1.0, status=503, seed=0)
+        manager, platform = setup(
+            env, wf,
+            ManagerConfig(
+                abort_on_failure=False,
+                resilience=ResiliencePolicy(
+                    retry=RetryPolicy.none(),
+                    breaker=BreakerConfig(failure_threshold=3,
+                                          recovery_seconds=1e6),
+                ),
+            ),
+            fault_injector=injector)
+        result = manager.execute(wf)
+        shed = sum(1 for t in result.tasks
+                   if t.error.startswith("circuit open"))
+        assert platform.stats.invocations == len(result.tasks) - shed
+
+    def test_healthy_endpoint_keeps_the_breaker_closed(self, env):
+        wf = make_workflow("blast", 15)
+        manager, _ = setup(
+            env, wf,
+            ManagerConfig(resilience=ResiliencePolicy(
+                retry=RETRY, breaker=BreakerConfig(failure_threshold=2))))
+        result = manager.execute(wf)
+        assert result.succeeded
+        assert manager.resilience_state.counters()["breaker_opens"] == 0
+
+
+class TestHedging:
+    def hedge_config(self):
+        return ManagerConfig(resilience=ResiliencePolicy(
+            retry=RetryPolicy.none(),
+            hedge=HedgePolicy(quantile=0.8, min_samples=4,
+                              fallback_delay_seconds=5.0),
+        ))
+
+    def test_hedges_fire_and_win_against_stragglers(self, env):
+        wf = make_workflow("blast", 20)
+        injector = ChaosInjector(failure_rate=0.0, straggler_rate=0.3,
+                                 straggler_delay_seconds=60.0, seed=2)
+        manager, _ = setup(env, wf, self.hedge_config(),
+                           fault_injector=injector)
+        result = manager.execute(wf)
+        assert result.succeeded
+        assert injector.stragglers > 0
+        assert result.metrics["hedges"] > 0
+        assert result.metrics["hedge_wins"] > 0
+
+    def test_hedging_cuts_the_straggler_tail(self):
+        wf = make_workflow("blast", 20)
+
+        def run(config):
+            env = Environment()
+            injector = ChaosInjector(failure_rate=0.0, straggler_rate=0.3,
+                                     straggler_delay_seconds=60.0, seed=2)
+            manager, _ = setup(env, wf, config, fault_injector=injector)
+            return manager.execute(wf)
+
+        plain = run(ManagerConfig())
+        hedged = run(self.hedge_config())
+        assert hedged.makespan_seconds < plain.makespan_seconds
+
+    def test_hedge_win_keeps_end_to_end_latency(self, env):
+        # A won hedge's record spans original submit -> duplicate finish.
+        wf = make_workflow("blast", 20)
+        injector = ChaosInjector(failure_rate=0.0, straggler_rate=0.3,
+                                 straggler_delay_seconds=60.0, seed=2)
+        manager, _ = setup(env, wf, self.hedge_config(),
+                           fault_injector=injector)
+        result = manager.execute(wf)
+        assert result.metrics["hedge_wins"] > 0
+        hedged_durations = [t.duration_seconds for t in result.tasks]
+        # Winning duplicates still pay at least the 5 s hedge delay.
+        assert any(d >= 5.0 for d in hedged_durations)
+        assert all(t.finished_at >= t.submitted_at for t in result.tasks)
+
+    def test_no_faults_means_no_metrics_noise(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _ = setup(env, wf, ManagerConfig(
+            resilience=ResiliencePolicy(retry=RETRY)))
+        result = manager.execute(wf)
+        assert result.succeeded
+        assert result.metrics["retries"] == 0
+        assert result.metrics["hedges"] == 0
+
+
+class TestCheckpointResume:
+    def test_resume_reexecutes_zero_completed_tasks(self, env, tmp_path):
+        wf = make_workflow("blast", 20)
+        path = tmp_path / "ck.json"
+
+        crashed_manager, platform = setup(
+            env, wf, ManagerConfig(max_phases=2),
+            checkpoint=WorkflowCheckpoint(path, wf.name))
+        crashed = crashed_manager.execute(wf)
+        assert not crashed.succeeded
+        assert "injected crash" in crashed.error
+        first_invocations = platform.stats.invocations
+        completed = WorkflowCheckpoint.load(path).completed_tasks()
+        assert completed, "the crashed run should have checkpointed phases"
+        assert first_invocations == len(completed)
+
+        resumed_manager = ServerlessWorkflowManager(
+            SimulatedInvoker(platform), platform.drive, ManagerConfig(),
+            checkpoint=WorkflowCheckpoint.load(path))
+        result = resumed_manager.execute(wf)
+        assert result.succeeded, result.error
+        # Zero completed tasks re-executed: the platform only saw the
+        # remaining tasks of the DAG.
+        total = len(wf.tasks) + 2  # + header/tail markers
+        assert platform.stats.invocations == total
+        assert result.replayed_count == len(completed)
+        executed = {t.name for t in result.tasks if not t.replayed}
+        assert not executed & completed
+
+    def test_resumed_result_still_covers_the_whole_dag(self, env, tmp_path):
+        wf = make_workflow("blast", 15)
+        path = tmp_path / "ck.json"
+        crashed_manager, platform = setup(
+            env, wf, ManagerConfig(max_phases=2),
+            checkpoint=WorkflowCheckpoint(path, wf.name))
+        crashed_manager.execute(wf)
+        resumed = ServerlessWorkflowManager(
+            SimulatedInvoker(platform), platform.drive, ManagerConfig(),
+            checkpoint=WorkflowCheckpoint.load(path)).execute(wf)
+        names = {t.name for t in resumed.tasks}
+        assert set(wf.task_names) <= names
+        assert resumed.summary()["replayed_tasks"] == resumed.replayed_count
+
+    def test_fresh_drive_resume_restages_outputs(self, tmp_path):
+        # A resume on a *new* platform (real crash: memory gone) works
+        # because the checkpoint restages recorded outputs.
+        wf = make_workflow("blast", 15)
+        path = tmp_path / "ck.json"
+        env_a = Environment()
+        crashed_manager, _ = setup(
+            env_a, wf, ManagerConfig(max_phases=2),
+            checkpoint=WorkflowCheckpoint(path, wf.name))
+        assert not crashed_manager.execute(wf).succeeded
+
+        env_b = Environment()
+        manager, platform = setup(
+            env_b, wf, ManagerConfig(),
+            checkpoint=WorkflowCheckpoint.load(path))
+        result = manager.execute(wf)
+        assert result.succeeded, result.error
+        assert platform.stats.invocations < len(wf.tasks) + 2
+
+    def test_resume_in_coroutine_execution(self, env, tmp_path):
+        wf = make_workflow("blast", 15)
+        path = tmp_path / "ck.json"
+        crashed_manager, platform = setup(
+            env, wf, ManagerConfig(max_phases=2),
+            checkpoint=WorkflowCheckpoint(path, wf.name))
+        proc = env.process(crashed_manager.execute_process(wf))
+        env.run(until=proc)
+        assert not proc.value.succeeded
+        completed = WorkflowCheckpoint.load(path).completed_tasks()
+
+        resumed_manager = ServerlessWorkflowManager(
+            SimulatedInvoker(platform), platform.drive, ManagerConfig(),
+            checkpoint=WorkflowCheckpoint.load(path))
+        proc = env.process(resumed_manager.execute_process(wf))
+        env.run(until=proc)
+        result = proc.value
+        assert result.succeeded, result.error
+        assert result.replayed_count == len(completed)
+        assert platform.stats.invocations == len(wf.tasks) + 2
+
+    def test_checkpoint_refuses_eager_mode(self, env, tmp_path):
+        wf = make_workflow("blast", 10)
+        manager, _ = setup(
+            env, wf, ManagerConfig(execution_mode="eager"),
+            checkpoint=WorkflowCheckpoint(tmp_path / "ck.json", wf.name))
+        result = manager.execute(wf)
+        assert not result.succeeded
+        assert "phase-based" in result.error
+
+    def test_checkpoint_refuses_a_different_workflow(self, env, tmp_path):
+        wf = make_workflow("blast", 10)
+        checkpoint = WorkflowCheckpoint(tmp_path / "ck.json", "some-other-wf")
+        manager, _ = setup(env, wf, ManagerConfig(), checkpoint=checkpoint)
+        with pytest.raises(Exception, match="belongs to workflow"):
+            manager.execute(wf)
+
+
+class TestCrashInjection:
+    def test_max_phases_validation(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(max_phases=-1)
+
+    def test_unlimited_by_default(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _ = setup(env, wf, ManagerConfig())
+        assert manager.execute(wf).succeeded
+
+    def test_crash_preserves_completed_phase_results(self, env):
+        wf = make_workflow("blast", 10)
+        manager, _ = setup(env, wf, ManagerConfig(max_phases=2))
+        result = manager.execute(wf)
+        assert not result.succeeded
+        assert len(result.phases) == 2
+        assert all(p.failures == 0 for p in result.phases)

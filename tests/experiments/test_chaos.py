@@ -1,0 +1,111 @@
+"""The chaos harness: fault scenarios × resilience policies."""
+
+import pytest
+
+from repro.experiments.chaos import (
+    DEFAULT_FAULTS,
+    ChaosScenario,
+    FaultScenario,
+    run_chaos,
+)
+
+
+@pytest.fixture(scope="module")
+def default_report():
+    """One small sweep of the ISSUE's default chaos, shared by the
+    acceptance assertions below."""
+    scenario = ChaosScenario(
+        num_tasks=12, repeats=2, seed=0,
+        faults=(FaultScenario("default", transient_rate=0.05,
+                              straggler_rate=0.02),),
+    )
+    return run_chaos(scenario)
+
+
+class TestDefaultChaos:
+    def test_retry_policies_reach_full_success(self, default_report):
+        # Acceptance criterion: 5 % transients + 2 % stragglers and every
+        # workflow completes under the retrying policies.
+        assert default_report.cell("default", "retry")["success_rate"] == 1.0
+        assert default_report.cell(
+            "default", "retry+hedge")["success_rate"] == 1.0
+
+    def test_rows_carry_the_sweep_schema(self, default_report):
+        assert default_report.rows
+        row = default_report.rows[0]
+        for key in ("fault", "policy", "repeat", "succeeded",
+                    "makespan_seconds", "makespan_inflation", "invocations",
+                    "wasted_invocations", "retries", "retries_per_task",
+                    "hedges", "hedge_wins", "replayed_tasks",
+                    "p99_task_latency_seconds", "p95_task_latency_seconds",
+                    "injected_faults", "stragglers"):
+            assert key in row, key
+
+    def test_aggregates_one_cell_per_fault_policy_pair(self, default_report):
+        scenario = default_report.scenario
+        assert len(default_report.aggregates) == (
+            len(scenario.faults) * len(scenario.policies))
+        assert all(a["runs"] == scenario.repeats
+                   for a in default_report.aggregates)
+
+    def test_unknown_cell_raises(self, default_report):
+        with pytest.raises(KeyError):
+            default_report.cell("default", "nope")
+
+
+class TestStragglerCell:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scenario = ChaosScenario(
+            num_tasks=12, repeats=2, seed=0,
+            faults=(FaultScenario("stragglers", straggler_rate=0.15,
+                                  straggler_delay_seconds=30.0),),
+            policies=("retry", "retry+hedge"),
+        )
+        return run_chaos(scenario)
+
+    def test_hedging_cuts_tail_latency_vs_retry_only(self, report):
+        # Acceptance criterion: the speculative duplicates convert 30 s
+        # stragglers into ~p80 completions.
+        retry = report.cell("stragglers", "retry")
+        hedged = report.cell("stragglers", "retry+hedge")
+        assert hedged["mean_hedges"] > 0
+        assert (hedged["p99_task_latency_seconds"]
+                < retry["p99_task_latency_seconds"])
+        assert (hedged["p95_task_latency_seconds"]
+                <= retry["p95_task_latency_seconds"])
+
+    def test_hedge_duplicates_count_as_wasted_work(self, report):
+        hedged = report.cell("stragglers", "retry+hedge")
+        assert hedged["mean_wasted_invocations"] > 0
+
+
+class TestCrashCell:
+    def test_crash_cell_resumes_from_the_checkpoint(self):
+        scenario = ChaosScenario(
+            num_tasks=12, repeats=1, seed=0,
+            faults=(FaultScenario("crash-mid-phase", crash_after_phase=2),),
+            policies=("retry",),
+        )
+        report = run_chaos(scenario)
+        (row,) = report.rows
+        assert row["succeeded"]
+        assert row["replayed_tasks"] > 0
+        assert report.cell("crash-mid-phase", "retry")["success_rate"] == 1.0
+
+
+class TestFaultCatalogue:
+    def test_default_faults_cover_every_shape(self):
+        names = {f.name for f in DEFAULT_FAULTS}
+        assert names == {"default", "stragglers", "burst", "cold-storm",
+                         "crash-mid-phase"}
+
+    def test_clean_scenario_has_no_injector(self):
+        assert FaultScenario("baseline").injector(0) is None
+
+    def test_faulty_scenario_builds_a_seeded_injector(self):
+        injector = FaultScenario("f", transient_rate=0.1,
+                                 straggler_rate=0.05).injector(7)
+        assert injector is not None
+        assert injector.failure_rate == 0.1
+        assert injector.straggler_rate == 0.05

@@ -1,0 +1,142 @@
+"""Direct unit tests for FaultInjector and ChaosInjector."""
+
+import numpy as np
+import pytest
+
+from repro.core import ManagerConfig, SimulatedSharedDrive
+from repro.core.invocation import SimulatedInvoker
+from repro.core.manager import ServerlessWorkflowManager
+from repro.platform.cluster import Cluster
+from repro.platform.faults import ChaosInjector, FaultInjector
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfbench.spec import BenchRequest
+
+from helpers import make_workflow
+
+REQ = BenchRequest(name="t")
+
+
+class TestFaultInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(failure_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultInjector(failure_rate=1.1)
+
+    def test_zero_rate_never_fails(self):
+        injector = FaultInjector(failure_rate=0.0, seed=0)
+        assert all(injector.should_fail(REQ) is None for _ in range(200))
+        assert injector.injected == 0
+
+    def test_unit_rate_always_fails_with_the_configured_status(self):
+        injector = FaultInjector(failure_rate=1.0, status=507, seed=0)
+        assert [injector.should_fail(REQ) for _ in range(3)] == [507] * 3
+        assert injector.injected == 3
+
+    def test_empirical_rate_tracks_the_configured_rate(self):
+        injector = FaultInjector(failure_rate=0.2, seed=11)
+        failures = sum(injector.should_fail(REQ) is not None
+                       for _ in range(2000))
+        assert 300 < failures < 500  # ~400 expected
+
+    def test_max_failures_caps_injection(self):
+        injector = FaultInjector(failure_rate=1.0, max_failures=3, seed=0)
+        results = [injector.should_fail(REQ) for _ in range(6)]
+        assert results == [503, 503, 503, None, None, None]
+
+    def test_deterministic_given_seed(self):
+        draws_a = [FaultInjector(failure_rate=0.5, seed=4).should_fail(REQ)
+                   for _ in range(1)]
+        draws_b = [FaultInjector(failure_rate=0.5, seed=4).should_fail(REQ)
+                   for _ in range(1)]
+        assert draws_a == draws_b
+
+    def test_base_injector_adds_no_delay(self):
+        assert FaultInjector().extra_delay(REQ, now=5.0) == (0.0, False)
+
+
+class TestChaosInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosInjector(straggler_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosInjector(burst_failure_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosInjector(straggler_delay_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ChaosInjector(cold_penalty_seconds=-1.0)
+
+    def test_burst_window_raises_the_failure_rate(self):
+        injector = ChaosInjector(failure_rate=0.0, burst_failure_rate=1.0,
+                                 burst_windows=((10.0, 5.0),), seed=0)
+        assert injector.should_fail(REQ, now=5.0) is None    # before
+        assert injector.should_fail(REQ, now=10.0) == 503    # inside
+        assert injector.should_fail(REQ, now=14.9) == 503    # inside
+        assert injector.should_fail(REQ, now=15.0) is None   # half-open end
+
+    def test_stragglers_add_the_configured_delay(self):
+        injector = ChaosInjector(failure_rate=0.0, straggler_rate=1.0,
+                                 straggler_delay_seconds=7.0, seed=0)
+        delay, forced_cold = injector.extra_delay(REQ)
+        assert delay == 7.0
+        assert not forced_cold
+        assert injector.stragglers == 1
+
+    def test_straggler_rate_zero_never_straggles(self):
+        injector = ChaosInjector(failure_rate=0.0, straggler_rate=0.0, seed=0)
+        assert all(injector.extra_delay(REQ) == (0.0, False)
+                   for _ in range(100))
+        assert injector.stragglers == 0
+
+    def test_cold_window_forces_cold_starts(self):
+        injector = ChaosInjector(failure_rate=0.0,
+                                 cold_start_windows=((0.0, 6.0),),
+                                 cold_penalty_seconds=2.5, seed=0)
+        assert injector.extra_delay(REQ, now=1.0) == (2.5, True)
+        assert injector.extra_delay(REQ, now=6.0) == (0.0, False)
+        assert injector.forced_cold_starts == 1
+
+    def test_cold_window_and_straggler_delays_stack(self):
+        injector = ChaosInjector(failure_rate=0.0, straggler_rate=1.0,
+                                 straggler_delay_seconds=4.0,
+                                 cold_start_windows=((0.0, 10.0),),
+                                 cold_penalty_seconds=2.0, seed=0)
+        assert injector.extra_delay(REQ, now=1.0) == (6.0, True)
+
+
+class TestPlatformIntegration:
+    """The platform honours the injector's timing hooks end to end."""
+
+    def _run(self, env, injector):
+        wf = make_workflow("blast", 10)
+        cluster = Cluster(env)
+        drive = SimulatedSharedDrive()
+        for f in workflow_input_files(wf):
+            drive.put(f.name, f.size_in_bytes)
+        platform = LocalContainerPlatform(
+            env, cluster, drive, config=LocalContainerRuntimeConfig(),
+            model=WfBenchModel(noise_sigma=0.0), rng=np.random.default_rng(0),
+        )
+        platform.fault_injector = injector
+        manager = ServerlessWorkflowManager(
+            SimulatedInvoker(platform), drive, ManagerConfig())
+        return manager.execute(wf)
+
+    def test_stragglers_inflate_task_latency(self, env):
+        result = self._run(env, ChaosInjector(
+            failure_rate=0.0, straggler_rate=1.0,
+            straggler_delay_seconds=20.0, seed=0))
+        assert result.succeeded
+        assert all(t.duration_seconds >= 20.0 for t in result.tasks)
+
+    def test_cold_storm_marks_invocations_cold(self, env):
+        result = self._run(env, ChaosInjector(
+            failure_rate=0.0, cold_start_windows=((0.0, 1e9),),
+            cold_penalty_seconds=1.0, seed=0))
+        assert result.succeeded
+        assert all(t.cold_start for t in result.tasks)

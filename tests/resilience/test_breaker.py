@@ -1,0 +1,111 @@
+"""Unit tests for the circuit breaker state machine and registry."""
+
+import pytest
+
+from repro.resilience import BreakerConfig
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerRegistry,
+    CircuitBreaker,
+)
+
+
+def make(threshold=3, recovery=10.0, probes=1):
+    return CircuitBreaker(BreakerConfig(
+        failure_threshold=threshold, recovery_seconds=recovery,
+        half_open_probes=probes,
+    ))
+
+
+class TestConfigValidation:
+    def test_threshold_min(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+
+    def test_negative_recovery(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(recovery_seconds=-1.0)
+
+    def test_probes_min(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(half_open_probes=0)
+
+
+class TestStateMachine:
+    def test_starts_closed(self):
+        breaker = make()
+        assert breaker.state(0.0) == CLOSED
+        assert breaker.allow(0.0)
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = make(threshold=3)
+        for t in (1.0, 2.0):
+            breaker.on_failure(t)
+            assert breaker.state(t) == CLOSED
+        breaker.on_failure(3.0)
+        assert breaker.state(3.0) == OPEN
+        assert not breaker.allow(3.0)
+        assert breaker.opened_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make(threshold=3)
+        breaker.on_failure(1.0)
+        breaker.on_failure(2.0)
+        breaker.on_success(3.0)
+        breaker.on_failure(4.0)
+        breaker.on_failure(5.0)
+        assert breaker.state(5.0) == CLOSED
+
+    def test_half_open_after_recovery_window(self):
+        breaker = make(threshold=1, recovery=10.0)
+        breaker.on_failure(0.0)
+        assert breaker.state(5.0) == OPEN
+        assert breaker.state(10.0) == HALF_OPEN
+
+    def test_half_open_admits_limited_probes(self):
+        breaker = make(threshold=1, recovery=10.0, probes=1)
+        breaker.on_failure(0.0)
+        assert breaker.allow(10.0)       # the probe
+        assert not breaker.allow(10.0)   # budget spent
+
+    def test_probe_success_closes(self):
+        breaker = make(threshold=1, recovery=10.0)
+        breaker.on_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.on_success(11.0)
+        assert breaker.state(11.0) == CLOSED
+        assert breaker.allow(11.0)
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self):
+        breaker = make(threshold=1, recovery=10.0)
+        breaker.on_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.on_failure(11.0)
+        assert breaker.state(12.0) == OPEN
+        assert breaker.state(20.0) == OPEN       # clock restarted at 11.0
+        assert breaker.state(21.0) == HALF_OPEN
+        assert breaker.opened_count == 2
+
+
+class TestRegistry:
+    def test_one_breaker_per_url(self):
+        registry = BreakerRegistry(BreakerConfig(failure_threshold=1))
+        registry.on_failure("http://a", 0.0)
+        assert not registry.allow("http://a", 0.0)
+        assert registry.allow("http://b", 0.0)
+
+    def test_opened_count_sums_across_endpoints(self):
+        registry = BreakerRegistry(BreakerConfig(failure_threshold=1))
+        registry.on_failure("http://a", 0.0)
+        registry.on_failure("http://b", 0.0)
+        assert registry.opened_count() == 2
+
+    def test_states_snapshot(self):
+        registry = BreakerRegistry(
+            BreakerConfig(failure_threshold=1, recovery_seconds=5.0))
+        registry.on_failure("http://a", 0.0)
+        registry.on_success("http://b", 0.0)
+        assert registry.states(1.0) == {"http://a": OPEN, "http://b": CLOSED}
+        assert registry.states(6.0)["http://a"] == HALF_OPEN

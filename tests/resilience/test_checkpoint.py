@@ -1,0 +1,89 @@
+"""Unit tests for the workflow checkpoint file format and resume helpers."""
+
+import json
+
+import pytest
+
+from repro.core import SimulatedSharedDrive
+from repro.errors import WorkflowExecutionError
+from repro.resilience import WorkflowCheckpoint
+
+
+def make(tmp_path, name="wf"):
+    return WorkflowCheckpoint(tmp_path / "ck.json", workflow_name=name)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        checkpoint = make(tmp_path)
+        checkpoint.mark("t1", phase=0, status=200, finished_at=3.5,
+                        outputs={"out.txt": 1024})
+        checkpoint.flush()
+
+        loaded = WorkflowCheckpoint.load(tmp_path / "ck.json")
+        assert loaded.workflow_name == "wf"
+        assert loaded.completed_tasks() == frozenset({"t1"})
+        assert loaded.entry("t1") == {
+            "phase": 0, "status": 200, "finished_at": 3.5,
+            "outputs": {"out.txt": 1024},
+        }
+
+    def test_load_absent_file_is_empty(self, tmp_path):
+        loaded = WorkflowCheckpoint.load(tmp_path / "missing.json")
+        assert loaded.completed_tasks() == frozenset()
+
+    def test_flush_leaves_no_tmp_file(self, tmp_path):
+        checkpoint = make(tmp_path)
+        checkpoint.mark("t1", 0, 200, 1.0)
+        checkpoint.flush()
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 99, "completed": {}}))
+        with pytest.raises(WorkflowExecutionError):
+            WorkflowCheckpoint.load(path)
+
+    def test_clear_removes_file_and_entries(self, tmp_path):
+        checkpoint = make(tmp_path)
+        checkpoint.mark("t1", 0, 200, 1.0)
+        checkpoint.flush()
+        checkpoint.clear()
+        assert not (tmp_path / "ck.json").exists()
+        assert not checkpoint.completed
+
+
+class TestBookkeeping:
+    def test_bind_refuses_a_different_workflow(self, tmp_path):
+        checkpoint = make(tmp_path, name="blast-20")
+        with pytest.raises(WorkflowExecutionError):
+            checkpoint.bind("montage-50")
+
+    def test_bind_adopts_a_name_when_unset(self, tmp_path):
+        checkpoint = WorkflowCheckpoint(tmp_path / "ck.json")
+        checkpoint.bind("blast-20")
+        assert checkpoint.workflow_name == "blast-20"
+        checkpoint.bind("blast-20")  # idempotent
+
+    def test_mark_overwrites(self, tmp_path):
+        checkpoint = make(tmp_path)
+        checkpoint.mark("t1", 0, 503, 1.0)
+        checkpoint.mark("t1", 0, 200, 2.0)
+        assert checkpoint.entry("t1")["status"] == 200
+        assert checkpoint.is_completed("t1")
+
+
+class TestRestage:
+    def test_restages_recorded_outputs(self, tmp_path):
+        checkpoint = make(tmp_path)
+        checkpoint.mark("t1", 0, 200, 1.0, outputs={"a.dat": 100, "b.dat": 200})
+        drive = SimulatedSharedDrive()
+        assert checkpoint.restage(drive) == 2
+        assert drive.exists("a.dat") and drive.exists("b.dat")
+
+    def test_restage_skips_files_already_on_the_drive(self, tmp_path):
+        checkpoint = make(tmp_path)
+        checkpoint.mark("t1", 0, 200, 1.0, outputs={"a.dat": 100})
+        drive = SimulatedSharedDrive()
+        drive.put("a.dat", 100)
+        assert checkpoint.restage(drive) == 0

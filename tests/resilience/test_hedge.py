@@ -1,0 +1,97 @@
+"""Unit tests for HedgePolicy and the per-endpoint LatencyTracker."""
+
+import pytest
+
+from repro.resilience import HedgePolicy
+from repro.resilience.hedge import LatencyTracker
+
+URL = "http://fn/wfbench"
+
+
+class TestPolicyValidation:
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(quantile=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(quantile=1.0)
+
+    def test_min_samples(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(min_samples=0)
+
+    def test_delay_clamp_ordering(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(min_delay_seconds=10.0, max_delay_seconds=1.0)
+
+    def test_negative_fallback(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(fallback_delay_seconds=-1.0)
+
+    def test_clamp(self):
+        policy = HedgePolicy(min_delay_seconds=0.5, max_delay_seconds=10.0)
+        assert policy.clamp(0.01) == 0.5
+        assert policy.clamp(99.0) == 10.0
+        assert policy.clamp(3.0) == 3.0
+
+
+class TestLatencyTracker:
+    def test_quantile_of_observations(self):
+        tracker = LatencyTracker()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            tracker.observe(URL, value)
+        assert tracker.quantile(URL, 0.5) == 3.0
+        assert tracker.quantile(URL, 0.99) == 5.0
+
+    def test_quantile_none_without_samples(self):
+        assert LatencyTracker().quantile(URL, 0.9) is None
+
+    def test_sliding_window_evicts_old_samples(self):
+        tracker = LatencyTracker(window=4)
+        for value in (100.0, 1.0, 1.0, 1.0, 1.0):
+            tracker.observe(URL, value)
+        assert tracker.count(URL) == 4
+        assert tracker.quantile(URL, 0.99) == 1.0
+
+    def test_negative_latency_clamped(self):
+        tracker = LatencyTracker()
+        tracker.observe(URL, -5.0)
+        assert tracker.quantile(URL, 0.5) == 0.0
+
+    def test_per_url_isolation(self):
+        tracker = LatencyTracker()
+        tracker.observe("http://a", 1.0)
+        assert tracker.count("http://b") == 0
+
+
+class TestHedgeDelay:
+    def test_cold_tracker_without_fallback_disables_hedging(self):
+        tracker = LatencyTracker()
+        policy = HedgePolicy(min_samples=4)
+        tracker.observe(URL, 1.0)
+        assert tracker.hedge_delay(URL, policy) is None
+
+    def test_cold_tracker_uses_fallback(self):
+        tracker = LatencyTracker()
+        policy = HedgePolicy(min_samples=4, fallback_delay_seconds=2.5)
+        assert tracker.hedge_delay(URL, policy) == 2.5
+
+    def test_fallback_clamped(self):
+        tracker = LatencyTracker()
+        policy = HedgePolicy(min_samples=4, fallback_delay_seconds=0.0,
+                             min_delay_seconds=0.2)
+        assert tracker.hedge_delay(URL, policy) == 0.2
+
+    def test_warm_tracker_arms_at_the_quantile(self):
+        tracker = LatencyTracker()
+        policy = HedgePolicy(quantile=0.8, min_samples=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            tracker.observe(URL, value)
+        # round(0.8 * 4) = index 3 of the sorted samples.
+        assert tracker.hedge_delay(URL, policy) == 4.0
+
+    def test_warm_delay_clamped_to_policy_ceiling(self):
+        tracker = LatencyTracker()
+        policy = HedgePolicy(quantile=0.9, min_samples=1,
+                             max_delay_seconds=2.0)
+        tracker.observe(URL, 50.0)
+        assert tracker.hedge_delay(URL, policy) == 2.0

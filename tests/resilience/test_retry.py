@@ -1,0 +1,123 @@
+"""Unit tests for RetryPolicy: classification and backoff schedules."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import RETRYABLE_STATUSES, RetryPolicy
+
+
+class TestValidation:
+    def test_min_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_negative_base_delay(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_seconds=-1.0)
+
+    def test_cap_below_base(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_seconds=5.0, max_delay_seconds=1.0)
+
+    def test_bad_jitter_mode(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter="gaussian")
+
+    def test_multiplier_below_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestClassification:
+    def test_retryable_statuses_cover_the_transient_family(self):
+        # 429 (rate limiting) and 504 (gateway timeout) are retryable.
+        for status in (409, 429, 500, 502, 503, 504, 507):
+            assert status in RETRYABLE_STATUSES
+
+    def test_client_errors_are_permanent(self):
+        policy = RetryPolicy()
+        for status in (400, 401, 403, 404, 422):
+            assert not policy.retryable(status)
+
+    def test_success_not_retryable(self):
+        assert not RetryPolicy().retryable(200)
+
+    def test_should_retry_respects_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(503, attempts_made=1)
+        assert policy.should_retry(503, attempts_made=2)
+        assert not policy.should_retry(503, attempts_made=3)
+
+    def test_should_retry_rejects_permanent_statuses(self):
+        assert not RetryPolicy(max_attempts=10).should_retry(400, 1)
+
+
+class TestConstructors:
+    def test_none_fires_once(self):
+        policy = RetryPolicy.none()
+        assert policy.max_attempts == 1
+        assert not policy.should_retry(503, 1)
+
+    def test_fixed_matches_legacy_loop(self):
+        # task_retries=2 with a 1 s delay: 3 attempts, constant 1 s waits.
+        policy = RetryPolicy.fixed(2, 1.0)
+        assert policy.max_attempts == 3
+        assert policy.next_delay(1) == 1.0
+        assert policy.next_delay(5) == 1.0
+
+    def test_fixed_clamps_negative_delay(self):
+        assert RetryPolicy.fixed(1, -3.0).next_delay(1) == 0.0
+
+
+class TestBackoff:
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().next_delay(0)
+
+    def test_plain_exponential_growth(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, max_delay_seconds=100.0,
+                             multiplier=2.0, jitter="none")
+        assert [policy.next_delay(n) for n in (1, 2, 3, 4)] == \
+            [1.0, 2.0, 4.0, 8.0]
+
+    def test_exponential_capped(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, max_delay_seconds=5.0,
+                             multiplier=2.0, jitter="none")
+        assert policy.next_delay(10) == 5.0
+
+    def test_full_jitter_bounded_by_exponential(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, max_delay_seconds=30.0,
+                             multiplier=2.0, jitter="full")
+        rng = np.random.default_rng(7)
+        for attempt in range(1, 8):
+            delay = policy.next_delay(attempt, rng=rng)
+            assert 0.0 <= delay <= min(30.0, 2.0 ** (attempt - 1))
+
+    def test_decorrelated_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay_seconds=0.5, max_delay_seconds=20.0,
+                             jitter="decorrelated")
+        rng = np.random.default_rng(3)
+        prev = None
+        for attempt in range(1, 20):
+            delay = policy.next_delay(attempt, rng=rng, prev_delay=prev)
+            low = 0.5
+            high = min(20.0, 3.0 * max(0.5, prev if prev is not None else 0.5))
+            assert low <= delay <= high
+            prev = delay
+
+    def test_decorrelated_never_exceeds_cap(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, max_delay_seconds=4.0,
+                             jitter="decorrelated")
+        rng = np.random.default_rng(0)
+        prev = None
+        for attempt in range(1, 50):
+            prev = policy.next_delay(attempt, rng=rng, prev_delay=prev)
+            assert prev <= 4.0
+
+    def test_jitter_deterministic_given_rng_seed(self):
+        policy = RetryPolicy(jitter="decorrelated")
+        a = [policy.next_delay(n, rng=np.random.default_rng(5))
+             for n in range(1, 5)]
+        b = [policy.next_delay(n, rng=np.random.default_rng(5))
+             for n in range(1, 5)]
+        assert a == b

@@ -1,0 +1,80 @@
+"""Unit tests for ResilienceState: counters, breaker gate, hedge timers."""
+
+from repro.resilience import (
+    BreakerConfig,
+    HedgePolicy,
+    ResiliencePolicy,
+    ResilienceState,
+    RetryPolicy,
+)
+
+URL = "http://fn/wfbench"
+
+
+class TestCounters:
+    def test_counter_notes_accumulate(self):
+        state = ResilienceState(ResiliencePolicy())
+        state.note_retries(3)
+        state.note_retries(2)
+        state.note_hedge()
+        state.note_hedge_win()
+        state.note_short_circuit()
+        counters = state.counters()
+        assert counters["retries"] == 5
+        assert counters["hedges"] == 1
+        assert counters["hedge_wins"] == 1
+        assert counters["breaker_short_circuits"] == 1
+        assert counters["breaker_opens"] == 0
+
+
+class TestBreakerGate:
+    def test_allow_always_true_without_breaker(self):
+        state = ResilienceState(ResiliencePolicy(breaker=None))
+        for _ in range(10):
+            state.observe(URL, ok=False, latency_seconds=1.0, now=0.0)
+        assert state.allow(URL, 0.0)
+
+    def test_failures_trip_the_breaker(self):
+        state = ResilienceState(ResiliencePolicy(
+            breaker=BreakerConfig(failure_threshold=2, recovery_seconds=60.0)))
+        state.observe(URL, ok=False, latency_seconds=1.0, now=1.0)
+        assert state.allow(URL, 1.5)
+        state.observe(URL, ok=False, latency_seconds=1.0, now=2.0)
+        assert not state.allow(URL, 3.0)
+        assert state.counters()["breaker_opens"] == 1
+
+    def test_success_keeps_the_breaker_closed(self):
+        state = ResilienceState(ResiliencePolicy(
+            breaker=BreakerConfig(failure_threshold=2)))
+        for now in range(10):
+            state.observe(URL, ok=False, latency_seconds=1.0, now=float(now))
+            state.observe(URL, ok=True, latency_seconds=1.0, now=float(now))
+        assert state.allow(URL, 10.0)
+
+
+class TestHedgeTimers:
+    def test_no_hedge_policy_means_no_delay(self):
+        state = ResilienceState(ResiliencePolicy(hedge=None))
+        state.observe(URL, ok=True, latency_seconds=1.0, now=0.0)
+        assert state.hedge_delay(URL) is None
+
+    def test_only_successes_feed_the_latency_tracker(self):
+        state = ResilienceState(ResiliencePolicy(
+            hedge=HedgePolicy(quantile=0.5, min_samples=2)))
+        for _ in range(5):
+            state.observe(URL, ok=False, latency_seconds=100.0, now=0.0)
+        assert state.hedge_delay(URL) is None  # tracker still cold
+        state.observe(URL, ok=True, latency_seconds=2.0, now=0.0)
+        state.observe(URL, ok=True, latency_seconds=2.0, now=0.0)
+        assert state.hedge_delay(URL) == 2.0
+
+    def test_jitter_rng_seeded_from_policy(self):
+        a = ResilienceState(ResiliencePolicy(seed=9)).rng.random()
+        b = ResilienceState(ResiliencePolicy(seed=9)).rng.random()
+        assert a == b
+
+
+class TestRetryPassThrough:
+    def test_policy_carries_the_retry_schedule(self):
+        policy = ResiliencePolicy(retry=RetryPolicy(max_attempts=7))
+        assert ResilienceState(policy).policy.retry.max_attempts == 7

@@ -1,0 +1,110 @@
+"""Resilience counters surfaced through the workflow services."""
+
+import numpy as np
+
+from repro.core import ManagerConfig, SimulatedSharedDrive
+from repro.monitoring.sampler import SimClusterSampler
+from repro.platform.cluster import Cluster
+from repro.platform.faults import FaultInjector
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.resilience import ResiliencePolicy, ResilienceState, RetryPolicy
+from repro.scheduler import WorkflowService
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+
+from helpers import make_workflow
+
+RESILIENCE = ResiliencePolicy(retry=RetryPolicy(
+    max_attempts=5, base_delay_seconds=0.2, max_delay_seconds=2.0,
+    jitter="decorrelated"))
+
+
+def make_service(env, fault_injector=None, manager_config=None):
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    platform = KnativePlatform(
+        env, cluster, drive,
+        config=KnativeConfig(container_concurrency=10),
+        model=WfBenchModel(noise_sigma=0.0),
+        rng=np.random.default_rng(0),
+    )
+    platform.fault_injector = fault_injector
+    service = WorkflowService(
+        platform, drive,
+        manager_config=manager_config or ManagerConfig(resilience=RESILIENCE))
+    return service, drive
+
+
+def stage(drive, *workflows):
+    for wf in workflows:
+        for f in workflow_input_files(wf):
+            drive.put(f.name, f.size_in_bytes)
+
+
+class TestServiceCounters:
+    def test_service_creates_a_shared_state_from_the_policy(self, env):
+        service, _ = make_service(env)
+        assert isinstance(service.resilience_state, ResilienceState)
+
+    def test_no_policy_means_no_state(self, env):
+        service, _ = make_service(env, manager_config=ManagerConfig())
+        assert service.resilience_state is None
+        summary = service.summary()
+        assert summary["retries"] == 0
+        assert summary["breaker_opens"] == 0
+
+    def test_retry_counters_reach_the_summary(self, env):
+        injector = FaultInjector(failure_rate=0.3, status=503, seed=1)
+        service, drive = make_service(env, fault_injector=injector)
+        wf = make_workflow("blast", 12)
+        stage(drive, wf)
+        handle = service.submit(wf, tenant="alice")
+        service.drain()
+        assert handle.status == "succeeded"
+        summary = service.summary()
+        assert injector.injected > 0
+        assert summary["retries"] >= injector.injected
+        assert summary["hedges"] == 0
+        assert summary["breaker_short_circuits"] == 0
+
+    def test_state_is_shared_across_concurrent_workflows(self, env):
+        injector = FaultInjector(failure_rate=0.3, status=503, seed=1)
+        service, drive = make_service(env, fault_injector=injector)
+        wf_a = make_workflow("blast", 10, seed=1)
+        wf_b = make_workflow("blast", 10, seed=2)
+        stage(drive, wf_a, wf_b)
+        service.submit(wf_a, tenant="a")
+        service.submit(wf_b, tenant="b")
+        service.drain()
+        # One shared state accumulated both workflows' retries.
+        assert (service.resilience_state.counters()["retries"]
+                == service.summary()["retries"] > 0)
+
+
+class TestSamplerSeries:
+    def test_sampler_exports_resilience_series(self, env):
+        injector = FaultInjector(failure_rate=0.3, status=503, seed=1)
+        service, drive = make_service(env, fault_injector=injector)
+        sampler = SimClusterSampler(env, service.target.cluster,
+                                    service=service).start()
+        wf = make_workflow("blast", 12)
+        stage(drive, wf)
+        service.submit(wf, tenant="alice")
+        service.drain()
+        sampler.sample()
+        frame = sampler.frame
+        for series in ("repro.service.retries", "repro.service.hedges",
+                       "repro.service.breaker_opens"):
+            assert series in frame
+        assert frame["repro.service.retries"].values[-1] > 0
+
+    def test_no_resilience_series_without_a_state(self, env):
+        service, drive = make_service(env, manager_config=ManagerConfig())
+        sampler = SimClusterSampler(env, service.target.cluster,
+                                    service=service).start()
+        wf = make_workflow("blast", 10)
+        stage(drive, wf)
+        service.submit(wf, tenant="alice")
+        service.drain()
+        sampler.sample()
+        assert "repro.service.retries" not in sampler.frame
