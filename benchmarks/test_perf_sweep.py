@@ -1,0 +1,123 @@
+"""Sweep-scaling harness: parallel determinism + speedup recording.
+
+Asserts the fan-out engine's two contracts —
+
+* **determinism**: ``--jobs N`` produces exactly the rows of ``--jobs 1``
+  for the same specs (always checked, any host);
+* **scaling**: the fan-out actually speeds the sweep up (only checked on
+  hosts with enough cores; single-core CI still validates correctness)
+
+— and records wall-clock / throughput baselines into
+``BENCH_sweep.json`` so perf regressions show up as history.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.bench import (
+    bench_specs,
+    kernel_bench,
+    run_bench,
+    sampler_bench,
+    write_bench,
+)
+from repro.experiments.parallel import ParallelExperimentRunner
+
+#: Where the CI job picks the record up (repo root / cwd).
+BENCH_PATH = Path(os.environ.get("REPRO_BENCH_PATH", "BENCH_sweep.json"))
+
+
+def _rows(runner, specs):
+    return [r.row() for r in runner.run_many(specs)]
+
+
+def test_parallel_rows_match_serial(tmp_path):
+    """jobs=2 must reproduce the serial sweep byte-for-byte."""
+    specs = bench_specs(sizes=(30, 60))
+    serial = ParallelExperimentRunner(jobs=1, seed=0,
+                                      cache_dir=str(tmp_path))
+    parallel = ParallelExperimentRunner(jobs=2, seed=0,
+                                        cache_dir=str(tmp_path))
+    assert _rows(parallel, specs) == _rows(serial, specs)
+
+
+def test_failed_spec_does_not_poison_pool(tmp_path):
+    """A bad spec comes back as a failed row; the rest still run."""
+    specs = bench_specs(sizes=(30,))
+    bad = specs[0].__class__(
+        experiment_id="bench/bad", paradigm_name="Kn10wNoPM",
+        application="no-such-app", num_tasks=30, granularity="fine",
+    )
+    runner = ParallelExperimentRunner(jobs=2, seed=0,
+                                      cache_dir=str(tmp_path))
+    results = runner.run_many([bad] + specs)
+    assert not results[0].succeeded
+    assert "no-such-app" in results[0].run.error
+    assert all(r.succeeded for r in results[1:])
+
+
+def test_bench_record(tmp_path):
+    """The bench harness produces a complete, sane BENCH_sweep.json."""
+    payload = run_bench(
+        jobs_levels=(2,), kernel_events=50_000, sampler_ticks=5_000,
+        cache_dir=str(tmp_path),
+    )
+    assert payload["kernel"]["events_per_second"] > 0
+    assert payload["sampler"]["ticks_per_second"] > 0
+    assert payload["sweep"]["all_succeeded"]
+    assert payload["sweep"]["jobs"]["2"]["rows_equal"]
+    path = write_bench(payload, BENCH_PATH)
+    assert path.exists()
+    print(f"\n[bench] kernel {payload['kernel']['events_per_second']:,} ev/s"
+          f" | sampler {payload['sampler']['ticks_per_second']:,} ticks/s"
+          f" | sweep serial {payload['sweep']['serial_seconds']}s"
+          f" | jobs2 speedup {payload['sweep']['jobs']['2']['speedup']}x")
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup assertion needs >= 4 cores")
+def test_parallel_speedup_on_multicore(tmp_path):
+    """On a 4-core host the fan-out must reach >= 3x (ISSUE acceptance).
+
+    The grid is repeated across seeds so serial wall-clock dominates
+    pool startup by a wide margin.
+    """
+    import time
+
+    specs = [s for seed in (0, 1, 2) for s in bench_specs(seed=seed)]
+    jobs = min(os.cpu_count() or 1, 8)
+    serial = ParallelExperimentRunner(jobs=1, seed=0,
+                                      cache_dir=str(tmp_path))
+    serial.warm_cache(specs)
+    start = time.perf_counter()
+    serial_rows = _rows(serial, specs)
+    serial_seconds = time.perf_counter() - start
+
+    parallel = ParallelExperimentRunner(jobs=jobs, seed=0,
+                                        cache_dir=str(tmp_path))
+    start = time.perf_counter()
+    parallel_rows = _rows(parallel, specs)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel_rows == serial_rows
+    speedup = serial_seconds / parallel_seconds
+    print(f"\n[bench] --jobs {jobs}: {speedup:.2f}x "
+          f"({serial_seconds:.2f}s -> {parallel_seconds:.2f}s)")
+    assert speedup >= 3.0
+
+
+def test_kernel_microbench_floor():
+    """The kernel fast path should comfortably clear 100k events/s on
+    any host this suite runs on (pre-optimization baseline was ~1.1M
+    on the dev box; this floor only catches order-of-magnitude
+    regressions, not noise)."""
+    assert kernel_bench(50_000)["events_per_second"] > 100_000
+
+
+def test_sampler_microbench_floor():
+    """Same order-of-magnitude guard for the 1 Hz sampler."""
+    assert sampler_bench(5_000)["ticks_per_second"] > 20_000

@@ -16,8 +16,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.experiments import (
-    ExperimentRunner,
     PARADIGMS,
+    ParallelExperimentRunner,
     build_design,
     fig3_characterization,
     fig4_knative_setups,
@@ -32,7 +32,8 @@ from repro.experiments.reporting import write_rows_csv
 __all__ = ["main", "build_parser"]
 
 _TARGETS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "headline", "design", "report", "chaos", "all")
+            "headline", "design", "report", "chaos", "multitenant",
+            "bench", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +64,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="render figure series as terminal bar charts (the artifact's "
         "png panels, as text)",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for sweep targets (fig4-7, headline, "
+        "design, chaos, multitenant, bench); results are identical to "
+        "--jobs 1")
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="on-disk generate/translate artifact cache (default: "
+        "$REPRO_CACHE_DIR or the user cache dir); pass an empty tmpdir "
+        "for a cold run")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the selected targets under cProfile and print the top "
+        "cumulative-time entries")
+    parser.add_argument(
+        "--bench-output", type=Path, default=Path("BENCH_sweep.json"),
+        help="where the 'bench' target writes its JSON record")
     return parser
 
 #: Metrics plotted per figure panel (the paper's y-axes).
@@ -93,10 +111,27 @@ def _emit(name: str, rows: list[dict[str, Any]], output: Path | None,
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if not args.profile:
+        return _run(args)
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(_run, args)
+    finally:
+        print("\n--- cProfile (top 25 by cumulative time) ---")
+        pstats.Stats(profiler, stream=sys.stdout) \
+            .sort_stats("cumulative").print_stats(25)
+
+
+def _run(args: argparse.Namespace) -> int:
     targets = set(args.targets)
     if "all" in targets:
         targets = set(_TARGETS) - {"all"}
-    runner = ExperimentRunner(seed=args.seed)
+    cache_dir = str(args.cache_dir) if args.cache_dir is not None else None
+    runner = ParallelExperimentRunner(jobs=args.jobs, seed=args.seed,
+                                      cache_dir=cache_dir)
     sizes = tuple(args.sizes) if args.sizes else None
 
     if "table1" in targets:
@@ -151,12 +186,13 @@ def main(argv: list[str] | None = None) -> int:
 
         design = build_design(seed=args.seed)
         store = ResultsStore(args.store) if args.store is not None else None
-        design_runner = ExperimentRunner(seed=args.seed,
-                                         keep_frames=store is not None)
+        design_runner = ParallelExperimentRunner(
+            jobs=args.jobs, seed=args.seed,
+            keep_frames=store is not None, cache_dir=cache_dir)
         records = []
         failed = 0
-        for spec in design.all_specs:
-            result = design_runner.run_spec(spec)
+        for spec, result in zip(design.all_specs,
+                                design_runner.run_many(design.all_specs)):
             if not result.succeeded:
                 failed += 1
                 print(f"  FAILED {spec.experiment_id}: {result.run.error[:80]}")
@@ -191,7 +227,7 @@ def main(argv: list[str] | None = None) -> int:
         report = run_chaos(ChaosScenario(
             num_tasks=args.chaos_tasks, repeats=args.chaos_repeats,
             seed=args.seed,
-        ))
+        ), jobs=args.jobs)
         print()
         print(format_table(
             report.aggregates,
@@ -199,6 +235,31 @@ def main(argv: list[str] | None = None) -> int:
         out_dir = args.output if args.output is not None else Path("results")
         path = write_rows_csv(report.rows, out_dir / "chaos.csv")
         print(f"[csv] {path}")
+    if "multitenant" in targets:
+        from repro.experiments.multitenant import run_multitenant_sweep
+
+        rows = run_multitenant_sweep(jobs=args.jobs, seed=args.seed)
+        _emit("multitenant", rows, args.output,
+              "Multi-tenant service: paradigm × concurrency limit")
+    if "bench" in targets:
+        from repro.experiments.bench import run_bench, write_bench
+
+        jobs_levels = (args.jobs,) if args.jobs > 1 else (2,)
+        payload = run_bench(jobs_levels=jobs_levels, seed=args.seed,
+                            cache_dir=cache_dir)
+        path = write_bench(payload, args.bench_output)
+        kernel = payload["kernel"]
+        sampler = payload["sampler"]
+        sweep = payload["sweep"]
+        print(f"\nkernel : {kernel['events_per_second']:>12,} events/s")
+        print(f"sampler: {sampler['ticks_per_second']:>12,} ticks/s")
+        print(f"sweep  : {sweep['specs']} specs, serial "
+              f"{sweep['serial_seconds']:.2f}s")
+        for jobs, level in sweep["jobs"].items():
+            print(f"  --jobs {jobs}: {level['seconds']:.2f}s "
+                  f"(speedup {level['speedup']:.2f}x, rows_equal="
+                  f"{level['rows_equal']})")
+        print(f"[bench] {path}")
     if "headline" in targets:
         summary = headline_reductions(runner=runner, seed=args.seed)
         _emit("headline", summary["per_cell"], args.output,

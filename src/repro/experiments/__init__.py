@@ -16,6 +16,8 @@ from repro.experiments.design import (
     APPLICATIONS_ORDER,
 )
 from repro.experiments.runner import ExperimentRunner, ExperimentResult
+from repro.experiments.artifacts import ArtifactCache, default_cache_root
+from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.figures import (
     fig3_characterization,
     fig4_knative_setups,
@@ -53,6 +55,9 @@ __all__ = [
     "APPLICATIONS_ORDER",
     "ExperimentRunner",
     "ExperimentResult",
+    "ArtifactCache",
+    "default_cache_root",
+    "ParallelExperimentRunner",
     "fig3_characterization",
     "fig4_knative_setups",
     "fig5_local_container_setups",

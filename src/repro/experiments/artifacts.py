@@ -1,0 +1,177 @@
+"""Content-keyed artifact cache for the generate → translate stages.
+
+Every experiment spec needs a generated WfCommons workflow and its
+platform translation, but the sweep grids reuse the same few workflows
+across many specs: Figure 4 runs three Knative paradigms over identical
+(application, size, seed) cells, the 140-experiment design reuses each
+workflow up to nine times.  The cache keys both artifacts by everything
+that determines their content —
+
+* ``generated``  : (application, num_tasks, seed, base_cpu_work)
+* ``translated`` : the above + the translator target (knative / local)
+
+— plus a *recipe fingerprint*: a hash of the source of the recipe,
+generator and schema modules (and the translator modules for translated
+documents).  Editing any of those files invalidates the affected entries
+automatically, so a stale cache can never leak an old workflow shape
+into new results.
+
+With a ``root`` directory the cache is shared across processes (the
+parallel sweep engine's workers) and across runs: entries are JSON
+documents written atomically (temp file + ``os.replace``), so concurrent
+writers at worst duplicate work, never corrupt an entry.  With
+``root=None`` it degrades to a per-process in-memory memo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+__all__ = ["ArtifactCache", "default_cache_root"]
+
+#: Environment override for the on-disk location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """The shared on-disk location (``$REPRO_CACHE_DIR`` or XDG cache)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "artifacts"
+
+
+def _module_sources(module_names: tuple[str, ...]) -> bytes:
+    blob = bytearray()
+    for name in module_names:
+        module = sys.modules.get(name)
+        if module is None:
+            __import__(name)
+            module = sys.modules[name]
+        path = getattr(module, "__file__", None)
+        if path:
+            blob += Path(path).read_bytes()
+    return bytes(blob)
+
+
+class ArtifactCache:
+    """Two-level (memory + optional disk) cache of workflow documents."""
+
+    def __init__(self, root: Optional[str | Path] = None):
+        self.root = Path(root).expanduser() if root is not None else None
+        self.hits = 0
+        self.misses = 0
+        self._memory: dict[str, dict[str, Any]] = {}
+        self._fingerprints: dict[tuple[str, ...], str] = {}
+        self._lock = threading.Lock()
+
+    # -- fingerprints -----------------------------------------------------
+    def _fingerprint(self, application: str, target: Optional[str]) -> str:
+        """Recipe-version hash: changing any involved source file (or the
+        schema version) produces new cache keys."""
+        from repro.wfcommons import recipe_for
+        from repro.wfcommons.schema import SCHEMA_VERSION
+
+        recipe_cls = recipe_for(application)
+        modules = (
+            recipe_cls.__module__,
+            "repro.wfcommons.recipes.base",
+            "repro.wfcommons.generator",
+            "repro.wfcommons.wfchef",
+            "repro.wfcommons.schema",
+        )
+        if target is not None:
+            modules += (
+                "repro.wfcommons.translators.base",
+                f"repro.wfcommons.translators.{target}",
+            )
+        key = modules
+        fingerprint = self._fingerprints.get(key)
+        if fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(_module_sources(modules))
+            digest.update(SCHEMA_VERSION.encode())
+            fingerprint = digest.hexdigest()[:16]
+            self._fingerprints[key] = fingerprint
+        return fingerprint
+
+    # -- generic get-or-build --------------------------------------------
+    def _key(self, kind: str, application: str, num_tasks: int, seed: int,
+             base_cpu_work: float, target: Optional[str]) -> str:
+        fingerprint = self._fingerprint(application, target)
+        parts = [kind, application, str(num_tasks), str(seed),
+                 f"{float(base_cpu_work):g}"]
+        if target is not None:
+            parts.append(target)
+        parts.append(fingerprint)
+        return "-".join(parts)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _get(self, key: str, build: Callable[[], dict[str, Any]]
+             ) -> dict[str, Any]:
+        with self._lock:
+            doc = self._memory.get(key)
+        if doc is not None:
+            self.hits += 1
+            return doc
+        if self.root is not None:
+            path = self._path(key)
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                doc = None
+            if doc is not None:
+                self.hits += 1
+                with self._lock:
+                    self._memory[key] = doc
+                return doc
+        self.misses += 1
+        doc = build()
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(doc))
+            os.replace(tmp, self._path(key))
+        with self._lock:
+            self._memory[key] = doc
+        return doc
+
+    # -- public entry points ---------------------------------------------
+    def generated_doc(
+        self, application: str, num_tasks: int, seed: int,
+        base_cpu_work: float, build: Callable[[], dict[str, Any]],
+    ) -> dict[str, Any]:
+        """The generated (untranslated) workflow document for the cell."""
+        key = self._key("gen", application, num_tasks, seed,
+                        base_cpu_work, None)
+        return self._get(key, build)
+
+    def translated_doc(
+        self, application: str, num_tasks: int, seed: int,
+        base_cpu_work: float, target: str,
+        build: Callable[[], dict[str, Any]],
+    ) -> dict[str, Any]:
+        """The platform-translated document for the cell."""
+        key = self._key("xlate", application, num_tasks, seed,
+                        base_cpu_work, target)
+        return self._get(key, build)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk entries stay)."""
+        with self._lock:
+            self._memory.clear()
+        self.hits = 0
+        self.misses = 0

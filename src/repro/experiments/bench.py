@@ -1,0 +1,163 @@
+"""Performance harness: hot-path microbenches + sweep scaling.
+
+``repro-experiments bench`` (and ``benchmarks/test_perf_sweep.py``)
+record three things into ``BENCH_sweep.json``:
+
+* **kernel** — raw event throughput of the simulation kernel
+  (schedule + dispatch, the inner loop under every experiment);
+* **sampler** — 1 Hz metric-sampling ticks per second over the
+  paper testbed cluster (the per-sample cost of Figures 4-7's data);
+* **sweep** — wall-clock of a figure-style experiment grid run
+  serially and at each ``--jobs`` level, with speedups and a
+  row-equality check (parallel results must be byte-identical).
+
+The JSON is a flat, diff-friendly document so CI can archive one per
+run and regressions show up as history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as platform_module
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.parallel import ParallelExperimentRunner
+from repro.monitoring.sampler import SimClusterSampler
+from repro.platform.cluster import Cluster
+from repro.simulation import Environment
+
+__all__ = [
+    "kernel_bench",
+    "sampler_bench",
+    "sweep_bench",
+    "run_bench",
+    "write_bench",
+    "DEFAULT_BENCH_PATH",
+]
+
+DEFAULT_BENCH_PATH = Path("BENCH_sweep.json")
+
+
+def kernel_bench(num_events: int = 200_000) -> dict[str, Any]:
+    """Schedule + dispatch throughput of the bare event kernel."""
+    env = Environment()
+    timeout = env.timeout
+    start = time.perf_counter()
+    for i in range(num_events):
+        timeout(i % 97 * 0.01)
+    env.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "events": num_events,
+        "seconds": round(elapsed, 4),
+        "events_per_second": round(num_events / elapsed),
+    }
+
+
+def sampler_bench(ticks: int = 20_000) -> dict[str, Any]:
+    """Metric-sampling ticks per second over the default cluster."""
+    env = Environment()
+    cluster = Cluster(env)
+    sampler = SimClusterSampler(env, cluster)
+    sample = sampler.sample
+    start = time.perf_counter()
+    for _ in range(ticks):
+        env._now += 1.0
+        sample()
+    elapsed = time.perf_counter() - start
+    return {
+        "ticks": ticks,
+        "seconds": round(elapsed, 4),
+        "ticks_per_second": round(ticks / elapsed),
+    }
+
+
+def bench_specs(
+    paradigms: tuple = ("Kn10wNoPM", "LC10wNoPM"),
+    applications: tuple = ("blast", "epigenomics"),
+    sizes: tuple = (100, 250, 500),
+    seed: int = 0,
+) -> list[ExperimentSpec]:
+    """A figure-7-style grid sized to dominate pool overhead."""
+    return [
+        ExperimentSpec(
+            experiment_id=f"bench/{par}/{app}/{size}",
+            paradigm_name=par, application=app, num_tasks=size,
+            granularity="fine", seed=seed,
+        )
+        for par in paradigms
+        for app in applications
+        for size in sizes
+    ]
+
+
+def sweep_bench(
+    jobs_levels: tuple = (2,),
+    specs: Optional[list[ExperimentSpec]] = None,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+) -> dict[str, Any]:
+    """Serial vs parallel wall-clock over the same spec grid.
+
+    Each jobs level reruns the identical specs; ``rows_equal`` asserts
+    the parallel rows match the serial ones exactly (the determinism
+    contract of the fan-out engine).
+    """
+    specs = specs if specs is not None else bench_specs(seed=seed)
+
+    serial = ParallelExperimentRunner(jobs=1, seed=seed, cache_dir=cache_dir)
+    serial.warm_cache(specs)  # time execution, not artifact generation
+    start = time.perf_counter()
+    serial_rows = [r.row() for r in serial.run_many(specs)]
+    serial_seconds = time.perf_counter() - start
+
+    levels: dict[str, Any] = {}
+    for jobs in jobs_levels:
+        runner = ParallelExperimentRunner(jobs=jobs, seed=seed,
+                                          cache_dir=cache_dir)
+        start = time.perf_counter()
+        rows = [r.row() for r in runner.run_many(specs)]
+        elapsed = time.perf_counter() - start
+        levels[str(jobs)] = {
+            "seconds": round(elapsed, 4),
+            "speedup": round(serial_seconds / elapsed, 3) if elapsed else 0.0,
+            "rows_equal": rows == serial_rows,
+        }
+    return {
+        "specs": len(specs),
+        "all_succeeded": all(r["succeeded"] for r in serial_rows),
+        "serial_seconds": round(serial_seconds, 4),
+        "jobs": levels,
+        "cache": serial.cache.stats(),
+    }
+
+
+def run_bench(
+    jobs_levels: tuple = (2,),
+    kernel_events: int = 200_000,
+    sampler_ticks: int = 20_000,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+) -> dict[str, Any]:
+    """The full BENCH_sweep.json payload."""
+    return {
+        "version": 1,
+        "python": platform_module.python_version(),
+        "cpu_count": os.cpu_count(),
+        "kernel": kernel_bench(kernel_events),
+        "sampler": sampler_bench(sampler_ticks),
+        "sweep": sweep_bench(jobs_levels=jobs_levels, seed=seed,
+                             cache_dir=cache_dir),
+    }
+
+
+def write_bench(payload: dict[str, Any],
+                path: Path = DEFAULT_BENCH_PATH) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -261,60 +261,87 @@ def _quantile(values: list, q: float) -> float:
     return ordered[min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))]
 
 
-def run_chaos(scenario: Optional[ChaosScenario] = None) -> ChaosReport:
-    """Run the sweep and aggregate per (fault, policy) cell."""
+def _chaos_cell_row(args: tuple) -> dict:
+    """One (fault, policy, repeat) cell → its report row.
+
+    Module-level and fed only picklable inputs (the workflow travels as
+    its JSON document), so the sweep can fan cells out to worker
+    processes; per-cell seeds are derived from the cell's identity, so
+    the rows are identical however the cells are distributed.
+    """
+    (scenario, doc, fault, policy, repeat,
+     baseline_makespan, baseline_p95, checkpoint_dir) = args
+    workflow = Workflow.from_json(doc)
+    num_unique = len(workflow.tasks) + 2  # + header/tail markers
+    seed = derive_seed(scenario.seed, f"{fault.name}/{policy}/{repeat}")
+    fault_seed = derive_seed(scenario.seed, f"{fault.name}/{repeat}")
+    resilience = _resilience_for(
+        policy, hedge_fallback_seconds=baseline_p95 * 1.5, seed=seed)
+    result, invocations, stats = _execute_cell(
+        scenario, workflow, fault, resilience, seed,
+        checkpoint_dir, fault_seed=fault_seed)
+    executed = [t for t in result.tasks if not t.replayed]
+    durations = [t.duration_seconds for t in executed]
+    makespan = result.metrics.get(
+        "combined_makespan_seconds", result.makespan_seconds)
+    return {
+        "fault": fault.name,
+        "policy": policy,
+        "repeat": repeat,
+        "paradigm": scenario.paradigm_name,
+        "workflow": workflow.name,
+        "succeeded": result.succeeded,
+        "makespan_seconds": round(makespan, 3),
+        "makespan_inflation": round(
+            makespan / baseline_makespan, 3)
+            if baseline_makespan else 0.0,
+        "invocations": invocations,
+        "wasted_invocations": max(0, invocations - num_unique),
+        "retries": result.metrics.get("retries", 0),
+        "retries_per_task": round(
+            result.metrics.get("retries", 0) / num_unique, 3),
+        "hedges": result.metrics.get("hedges", 0),
+        "hedge_wins": result.metrics.get("hedge_wins", 0),
+        "replayed_tasks": result.replayed_count,
+        "p99_task_latency_seconds": round(_quantile(durations, 0.99), 3),
+        "p95_task_latency_seconds": round(_quantile(durations, 0.95), 3),
+        "injected_faults": stats["injected_faults"],
+        "stragglers": stats["stragglers"],
+    }
+
+
+def run_chaos(scenario: Optional[ChaosScenario] = None,
+              jobs: int = 1) -> ChaosReport:
+    """Run the sweep and aggregate per (fault, policy) cell.
+
+    ``jobs > 1`` fans the (fault, policy, repeat) cells out across a
+    process pool; each cell derives its seeds from its own identity, so
+    parallel and serial sweeps produce identical rows (checkpoint files
+    are also per-cell, so workers never collide on disk).
+    """
     scenario = scenario or ChaosScenario()
     workflow = _generate(scenario)
     baseline_makespan, baseline_p95 = _baseline(scenario, workflow)
     report = ChaosReport(scenario=scenario)
-    num_unique = len(workflow.tasks) + 2  # + header/tail markers
+    doc = workflow.to_json()
 
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         checkpoint_dir = Path(tmp)
-        for fault in scenario.faults:
-            for policy in scenario.policies:
-                for repeat in range(scenario.repeats):
-                    seed = derive_seed(scenario.seed,
-                                       f"{fault.name}/{policy}/{repeat}")
-                    fault_seed = derive_seed(scenario.seed,
-                                             f"{fault.name}/{repeat}")
-                    resilience = _resilience_for(
-                        policy, hedge_fallback_seconds=baseline_p95 * 1.5,
-                        seed=seed)
-                    result, invocations, stats = _execute_cell(
-                        scenario, workflow, fault, resilience, seed,
-                        checkpoint_dir, fault_seed=fault_seed)
-                    executed = [t for t in result.tasks if not t.replayed]
-                    durations = [t.duration_seconds for t in executed]
-                    makespan = result.metrics.get(
-                        "combined_makespan_seconds", result.makespan_seconds)
-                    report.rows.append({
-                        "fault": fault.name,
-                        "policy": policy,
-                        "repeat": repeat,
-                        "paradigm": scenario.paradigm_name,
-                        "workflow": workflow.name,
-                        "succeeded": result.succeeded,
-                        "makespan_seconds": round(makespan, 3),
-                        "makespan_inflation": round(
-                            makespan / baseline_makespan, 3)
-                            if baseline_makespan else 0.0,
-                        "invocations": invocations,
-                        "wasted_invocations": max(0,
-                                                  invocations - num_unique),
-                        "retries": result.metrics.get("retries", 0),
-                        "retries_per_task": round(
-                            result.metrics.get("retries", 0) / num_unique, 3),
-                        "hedges": result.metrics.get("hedges", 0),
-                        "hedge_wins": result.metrics.get("hedge_wins", 0),
-                        "replayed_tasks": result.replayed_count,
-                        "p99_task_latency_seconds": round(
-                            _quantile(durations, 0.99), 3),
-                        "p95_task_latency_seconds": round(
-                            _quantile(durations, 0.95), 3),
-                        "injected_faults": stats["injected_faults"],
-                        "stragglers": stats["stragglers"],
-                    })
+        cells = [
+            (scenario, doc, fault, policy, repeat,
+             baseline_makespan, baseline_p95, checkpoint_dir)
+            for fault in scenario.faults
+            for policy in scenario.policies
+            for repeat in range(scenario.repeats)
+        ]
+        if jobs > 1 and len(cells) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(cells))) as pool:
+                report.rows.extend(pool.map(_chaos_cell_row, cells))
+        else:
+            report.rows.extend(_chaos_cell_row(cell) for cell in cells)
 
     for fault in scenario.faults:
         for policy in scenario.policies:

@@ -59,15 +59,20 @@ def run_cells(
     granularity: str = "fine",
     seed: int = 0,
 ) -> list[ExperimentResult]:
-    """Run the cross product of cells and return their results."""
-    results = []
-    for paradigm_name in paradigms:
-        for app in applications:
-            for size in sizes:
-                results.append(
-                    runner.run_spec(_spec(paradigm_name, app, size, granularity, seed))
-                )
-    return results
+    """Run the cross product of cells and return their results.
+
+    Builds the full spec list up front and hands it to the runner's
+    ``run_many`` so a :class:`~repro.experiments.parallel.
+    ParallelExperimentRunner` can fan the cells out across processes;
+    results come back in paradigm × application × size order either way.
+    """
+    specs = [
+        _spec(paradigm_name, app, size, granularity, seed)
+        for paradigm_name in paradigms
+        for app in applications
+        for size in sizes
+    ]
+    return runner.run_many(specs)
 
 
 # ---------------------------------------------------------------------------

@@ -34,7 +34,7 @@ from repro.wfcommons import WorkflowGenerator, recipe_for
 from repro.wfcommons.schema import Workflow
 
 __all__ = ["TenantSpec", "MultiTenantScenario", "MultiTenantReport",
-           "run_multitenant"]
+           "run_multitenant", "run_multitenant_sweep"]
 
 
 @dataclass(frozen=True)
@@ -197,3 +197,51 @@ def run_multitenant(scenario: MultiTenantScenario,
         tenant_rows=service.metrics.tenant_rows(),
         frame=sampler.frame if keep_frame else None,
     )
+
+
+def _sweep_cell_row(scenario: MultiTenantScenario) -> dict[str, Any]:
+    """One sweep cell → a flat picklable row (handles hold live
+    env/service references, so workers return summary data only)."""
+    report = run_multitenant(scenario)
+    row: dict[str, Any] = {
+        "paradigm": scenario.paradigm_name,
+        "max_concurrent": scenario.max_concurrent_workflows,
+        "arrival_spacing_seconds": scenario.arrival_spacing_seconds,
+    }
+    row.update(report.summary)
+    for tenant in report.tenant_rows:
+        name = tenant["tenant"]
+        row[f"{name}_completed"] = tenant["completed"]
+        row[f"{name}_rejected"] = tenant["rejected"]
+        row[f"{name}_service_seconds"] = tenant["service_seconds"]
+    return row
+
+
+def run_multitenant_sweep(
+    paradigms: tuple = ("Kn10wNoPM", "LC10wNoPM"),
+    concurrency_levels: tuple = (2, 4),
+    base_scenario: Optional[MultiTenantScenario] = None,
+    jobs: int = 1,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Service-level comparison grid: paradigm × concurrency limit.
+
+    Every cell runs an independent scenario (own environment, platform
+    and seeds derived from the scenario contents), so with ``jobs > 1``
+    the grid fans out across a process pool and still returns rows in
+    paradigm × concurrency order, identical to a serial sweep.
+    """
+    from dataclasses import replace
+
+    base = base_scenario or MultiTenantScenario(seed=seed)
+    cells = [
+        replace(base, paradigm_name=par, max_concurrent_workflows=limit)
+        for par in paradigms
+        for limit in concurrency_levels
+    ]
+    if jobs > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            return list(pool.map(_sweep_cell_row, cells))
+    return [_sweep_cell_row(cell) for cell in cells]

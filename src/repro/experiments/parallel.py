@@ -1,0 +1,186 @@
+"""Process-pool fan-out for experiment sweeps.
+
+The Table-I design is embarrassingly parallel across specs: every
+experiment builds a fresh simulated cluster and derives its RNG stream
+from ``(spec.seed, spec.experiment_id)``, so no state crosses cells.
+:class:`ParallelExperimentRunner` exploits that: picklable
+:class:`~repro.experiments.design.ExperimentSpec` objects go into a
+``ProcessPoolExecutor``; compact payloads (flat records + columnar
+serialised frames) come back; results return in spec order.
+
+Determinism: per-spec seeding makes the outcome independent of worker
+count and scheduling order, so ``--jobs 1`` and ``--jobs N`` produce
+byte-identical result CSVs (asserted by the perf-sweep benchmark and the
+CI smoke job).
+
+The generate+translate artifact cache
+(:class:`~repro.experiments.artifacts.ArtifactCache`) is shared through
+the on-disk layer: the parent pre-warms every unique (application, size,
+seed, platform) document serially before the fan-out, so workers start
+on cache hits instead of racing to generate the same workflows.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core import ManagerConfig
+from repro.experiments.artifacts import default_cache_root
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.paradigms import paradigm
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    failed_result,
+)
+from repro.platform.cluster import ClusterSpec
+from repro.wfbench.model import WfBenchModel
+
+__all__ = ["ParallelExperimentRunner", "RunnerConfig", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """Worker count when unspecified: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Everything a worker needs to rebuild an :class:`ExperimentRunner`.
+
+    All fields are plain data (dataclasses of primitives), so the config
+    pickles across the pool boundary.
+    """
+
+    cluster_spec: Optional[ClusterSpec] = None
+    model: Optional[WfBenchModel] = None
+    base_cpu_work: float = 250.0
+    manager_config: Optional[ManagerConfig] = None
+    keep_frames: bool = False
+    seed: int = 0
+    cache_dir: Optional[str] = None
+
+    def build(self) -> ExperimentRunner:
+        return ExperimentRunner(
+            cluster_spec=self.cluster_spec,
+            model=self.model,
+            base_cpu_work=self.base_cpu_work,
+            manager_config=self.manager_config,
+            keep_frames=self.keep_frames,
+            seed=self.seed,
+            cache_dir=self.cache_dir,
+        )
+
+
+#: Per-worker runner, built once by the pool initializer so the workflow
+#: and translation memos persist across the specs a worker processes.
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _init_worker(config: RunnerConfig) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = config.build()
+
+
+def _run_spec_payload(spec: ExperimentSpec) -> dict[str, Any]:
+    """Worker entry point: run one spec, return a picklable payload."""
+    assert _WORKER_RUNNER is not None, "pool initializer did not run"
+    try:
+        return _WORKER_RUNNER.run_spec(spec).to_payload()
+    except Exception as exc:  # noqa: BLE001 - mirror run_many isolation
+        return failed_result(spec, exc).to_payload()
+
+
+class ParallelExperimentRunner:
+    """Drop-in ``run_many`` replacement that fans specs out to processes.
+
+    With ``jobs=1`` (or a single spec) it degrades to the serial runner
+    in-process — same pipeline, same artifact cache, same results.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cluster_spec: Optional[ClusterSpec] = None,
+        model: Optional[WfBenchModel] = None,
+        base_cpu_work: float = 250.0,
+        manager_config: Optional[ManagerConfig] = None,
+        keep_frames: bool = False,
+        seed: int = 0,
+        cache_dir: Optional[str] = None,
+    ):
+        self.jobs = int(jobs) if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        # Workers can only share artifacts through the disk layer.
+        self.cache_dir = str(cache_dir) if cache_dir is not None else \
+            str(default_cache_root())
+        self.config = RunnerConfig(
+            cluster_spec=cluster_spec,
+            model=model,
+            base_cpu_work=base_cpu_work,
+            manager_config=manager_config,
+            keep_frames=keep_frames,
+            seed=seed,
+            cache_dir=self.cache_dir,
+        )
+        self._serial = self.config.build()
+
+    # -- serial-compatible surface ----------------------------------------
+    @property
+    def cache(self):
+        return self._serial.cache
+
+    @property
+    def seed(self) -> int:
+        return self._serial.seed
+
+    @property
+    def keep_frames(self) -> bool:
+        return self._serial.keep_frames
+
+    def workflow_for(self, application: str, num_tasks: int, seed: int):
+        return self._serial.workflow_for(application, num_tasks, seed)
+
+    def _translate(self, par, workflow):
+        return self._serial._translate(par, workflow)
+
+    def run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
+        return self._serial.run_spec(spec)
+
+    # -- fan-out -----------------------------------------------------------
+    def warm_cache(self, specs: list[ExperimentSpec]) -> int:
+        """Materialise every unique generate+translate artifact on disk
+        before the fan-out; returns the number of unique documents."""
+        unique: set[tuple[str, int, int, str]] = set()
+        for spec in specs:
+            par = paradigm(spec.paradigm_name)
+            target = "knative" if par.is_serverless else "local"
+            key = (spec.application, spec.num_tasks,
+                   spec.seed or self._serial.seed, target)
+            if key not in unique:
+                unique.add(key)
+                try:
+                    self._serial.translated_workflow_for(par, spec)
+                except Exception:  # noqa: BLE001 - best-effort pre-warm;
+                    # the worker reruns the build and reports the failure
+                    # as that spec's failed result.
+                    pass
+        return len(unique)
+
+    def run_many(self, specs: list[ExperimentSpec]) -> list[ExperimentResult]:
+        specs = list(specs)
+        if self.jobs == 1 or len(specs) <= 1:
+            return self._serial.run_many(specs)
+        self.warm_cache(specs)
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.config,),
+        ) as pool:
+            payloads = list(pool.map(_run_spec_payload, specs))
+        return [ExperimentResult.from_payload(p) for p in payloads]

@@ -27,6 +27,7 @@ from repro.core import (
     SimulatedSharedDrive,
     WorkflowRunResult,
 )
+from repro.experiments.artifacts import ArtifactCache
 from repro.experiments.design import ExperimentSpec
 from repro.experiments.paradigms import Paradigm, paradigm
 from repro.monitoring.metrics import MetricsFrame, ResourceAggregates
@@ -43,7 +44,7 @@ from repro.wfcommons import WorkflowGenerator, recipe_for
 from repro.wfcommons.schema import Workflow
 from repro.wfcommons.translators import KnativeTranslator, LocalContainerTranslator
 
-__all__ = ["ExperimentResult", "ExperimentRunner"]
+__all__ = ["ExperimentResult", "ExperimentRunner", "failed_result"]
 
 
 @dataclass
@@ -59,6 +60,29 @@ class ExperimentResult:
     @property
     def succeeded(self) -> bool:
         return self.run.succeeded
+
+    def to_payload(self) -> dict[str, Any]:
+        """Compact picklable form for cross-process transport: the flat
+        row plus the records the reporting paths consume (the frame is
+        serialised columnar instead of as per-sample objects)."""
+        return {
+            "spec": self.spec,
+            "run": self.run,
+            "aggregates": self.aggregates,
+            "platform_stats": self.platform_stats,
+            "frame": None if self.frame is None else self.frame.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ExperimentResult":
+        frame = payload["frame"]
+        return cls(
+            spec=payload["spec"],
+            run=payload["run"],
+            aggregates=payload["aggregates"],
+            platform_stats=payload["platform_stats"],
+            frame=None if frame is None else MetricsFrame.from_payload(frame),
+        )
 
     def row(self) -> dict[str, Any]:
         """Flat record for tables/CSV (one figure data point)."""
@@ -90,6 +114,8 @@ class ExperimentRunner:
         manager_config: Optional[ManagerConfig] = None,
         keep_frames: bool = False,
         seed: int = 0,
+        cache: Optional[ArtifactCache] = None,
+        cache_dir: Optional[str] = None,
     ):
         self.cluster_spec = cluster_spec
         self.model = model or WfBenchModel()
@@ -97,15 +123,30 @@ class ExperimentRunner:
         self.manager_config = manager_config
         self.keep_frames = keep_frames
         self.seed = int(seed)
+        #: Generate/translate artifact cache.  Default is in-memory only;
+        #: pass ``cache_dir`` (or a shared :class:`ArtifactCache`) to
+        #: persist artifacts on disk and share them across processes.
+        self.cache = cache if cache is not None else ArtifactCache(cache_dir)
         self._workflow_cache: dict[tuple[str, int, int], Workflow] = {}
+        self._translated_cache: dict[tuple[str, int, int, str], Workflow] = {}
 
     # ------------------------------------------------------------------
+    def _generated_doc(self, application: str, num_tasks: int,
+                       seed: int) -> dict[str, Any]:
+        def build() -> dict[str, Any]:
+            recipe = recipe_for(application)(base_cpu_work=self.base_cpu_work)
+            generator = WorkflowGenerator(
+                recipe, seed=derive_seed(seed, application))
+            return generator.build_workflow(num_tasks).to_json()
+
+        return self.cache.generated_doc(
+            application, num_tasks, seed, self.base_cpu_work, build)
+
     def workflow_for(self, application: str, num_tasks: int, seed: int) -> Workflow:
         key = (application, num_tasks, seed)
         if key not in self._workflow_cache:
-            recipe = recipe_for(application)(base_cpu_work=self.base_cpu_work)
-            generator = WorkflowGenerator(recipe, seed=derive_seed(seed, application))
-            self._workflow_cache[key] = generator.build_workflow(num_tasks)
+            doc = self._generated_doc(application, num_tasks, seed)
+            self._workflow_cache[key] = Workflow.from_json(doc)
         return self._workflow_cache[key]
 
     def _build_platform(
@@ -137,23 +178,45 @@ class ExperimentRunner:
         """Run the paradigm's translator and reload the emitted document.
 
         This keeps the full paper pipeline honest: the manager executes
-        the *translated* JSON, with its key/value arguments and api_url.
+        the *translated* JSON, with its key/value arguments and api_url
+        (``Workflow.from_json`` round-trips every command field).
         """
         if par.is_serverless:
             doc = KnativeTranslator().translate(workflow)
         else:
             doc = LocalContainerTranslator().translate(workflow)
+        return Workflow.from_json(doc)
+
+    def translated_workflow_for(self, par: Paradigm,
+                                spec: ExperimentSpec) -> Workflow:
+        """Cached generate+translate: one translation per (application,
+        size, seed, platform) cell, however many paradigm variants and
+        worker processes consume it."""
+        seed = spec.seed or self.seed
+        target = "knative" if par.is_serverless else "local"
+        key = (spec.application, spec.num_tasks, seed, target)
+        cached = self._translated_cache.get(key)
+        if cached is not None:
+            return cached
+
+        def build() -> dict[str, Any]:
+            workflow = self.workflow_for(spec.application, spec.num_tasks,
+                                         seed)
+            if par.is_serverless:
+                return KnativeTranslator().translate(workflow)
+            return LocalContainerTranslator().translate(workflow)
+
+        doc = self.cache.translated_doc(
+            spec.application, spec.num_tasks, seed, self.base_cpu_work,
+            target, build)
         translated = Workflow.from_json(doc)
-        for name, task in translated.tasks.items():
-            task.command.api_url = doc["workflow"]["tasks"][name]["command"]["api_url"]
+        self._translated_cache[key] = translated
         return translated
 
     # ------------------------------------------------------------------
     def run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
         par = paradigm(spec.paradigm_name)
-        workflow = self.workflow_for(spec.application, spec.num_tasks,
-                                     spec.seed or self.seed)
-        translated = self._translate(par, workflow)
+        translated = self.translated_workflow_for(par, spec)
 
         env = Environment()
         cluster = Cluster(env, self.cluster_spec)
@@ -196,4 +259,31 @@ class ExperimentRunner:
         )
 
     def run_many(self, specs: list[ExperimentSpec]) -> list[ExperimentResult]:
-        return [self.run_spec(spec) for spec in specs]
+        """Run every spec, collecting per-spec failures instead of
+        aborting the sweep: a spec that raises yields a failed
+        :class:`ExperimentResult` (error in ``run.error``) and the
+        remaining specs still run."""
+        results = []
+        for spec in specs:
+            try:
+                results.append(self.run_spec(spec))
+            except Exception as exc:  # noqa: BLE001 - sweep isolation
+                results.append(failed_result(spec, exc))
+        return results
+
+
+def failed_result(spec: ExperimentSpec, exc: Exception) -> ExperimentResult:
+    """A failed :class:`ExperimentResult` standing in for a spec whose
+    run raised (zero aggregates, the exception recorded in ``run.error``)."""
+    return ExperimentResult(
+        spec=spec,
+        run=WorkflowRunResult(
+            workflow_name=spec.application,
+            paradigm=spec.paradigm_name,
+            succeeded=False,
+            error=f"{type(exc).__name__}: {exc}",
+        ),
+        aggregates=ResourceAggregates(),
+        platform_stats=PlatformStats(),
+        frame=None,
+    )

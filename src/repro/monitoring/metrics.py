@@ -13,11 +13,14 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-__all__ = ["MetricSeries", "MetricsFrame", "ResourceAggregates"]
+__all__ = ["MetricSeries", "MetricsFrame", "ColumnAppender",
+           "ResourceAggregates"]
 
 
 class MetricSeries:
     """One sampled metric: monotonically increasing times + values."""
+
+    __slots__ = ("name", "unit", "_times", "_values")
 
     def __init__(self, name: str, unit: str = ""):
         self.name = name
@@ -71,6 +74,40 @@ class MetricSeries:
         return f"MetricSeries({self.name!r}, n={len(self)})"
 
 
+class ColumnAppender:
+    """Pre-resolved write path for a fixed set of series.
+
+    High-rate samplers append the same metric columns every tick; going
+    through :meth:`MetricsFrame.append_row` costs a dict build plus a
+    name lookup, a float conversion and a monotonicity compare per
+    column.  A ``ColumnAppender`` resolves the per-series storage lists
+    once, checks monotonicity once per *row* (all columns share the
+    sample time) and appends positionally.
+    """
+
+    __slots__ = ("_names", "_times", "_values", "_last_time")
+
+    def __init__(self, series: list[MetricSeries]):
+        self._names = [s.name for s in series]
+        self._times = [s._times for s in series]
+        self._values = [s._values for s in series]
+        self._last_time = max(
+            (s._times[-1] for s in series if s._times), default=None
+        )
+
+    def append(self, time: float, values: Iterable[float]) -> None:
+        """Append one row: ``values`` ordered like the constructor series."""
+        last = self._last_time
+        if last is not None and time < last:
+            raise ValueError(
+                f"{self._names[0]}: non-monotonic sample time {time} < {last}"
+            )
+        self._last_time = time
+        for times, column, value in zip(self._times, self._values, values):
+            times.append(time)
+            column.append(value)
+
+
 class MetricsFrame:
     """A bundle of series sampled together (one per metric per node)."""
 
@@ -94,6 +131,28 @@ class MetricsFrame:
     def append_row(self, time: float, values: dict[str, float]) -> None:
         for name, value in values.items():
             self.series(name).append(time, value)
+
+    def columns(self, names: Iterable[str]) -> ColumnAppender:
+        """A :class:`ColumnAppender` over ``names`` (created as needed)."""
+        return ColumnAppender([self.series(name) for name in names])
+
+    def to_payload(self) -> dict[str, dict[str, list[float]]]:
+        """Plain-data form (for pickling across process boundaries)."""
+        return {
+            name: {"unit": s.unit, "times": list(s._times),
+                   "values": list(s._values)}
+            for name, s in self._series.items()
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, dict[str, list[float]]]
+                     ) -> "MetricsFrame":
+        frame = cls()
+        for name, data in payload.items():
+            series = frame.series(name, unit=data.get("unit", ""))
+            series._times = [float(t) for t in data["times"]]
+            series._values = [float(v) for v in data["values"]]
+        return frame
 
 
 @dataclass

@@ -41,6 +41,32 @@ class SimClusterSampler:
         self.service = service
         self.frame = MetricsFrame()
         self._proc = None
+        # The metric-name universe is fixed by the cluster topology, so
+        # the per-node f-string keys and series lookups are paid once
+        # here instead of on every simulated second.  Nodes append
+        # through one ColumnAppender each (positional, no dict churn).
+        self._node_columns = [
+            (node, self.frame.columns((
+                f"repro.node.{node.spec.name}.cpu.busy",
+                f"repro.node.{node.spec.name}.cpu.held",
+                f"repro.node.{node.spec.name}.cpu.occupied",
+                f"repro.node.{node.spec.name}.mem.used",
+                f"repro.node.{node.spec.name}.power",
+            )))
+            for node in cluster.nodes
+        ]
+        self._cluster_columns = self.frame.columns((
+            "kernel.all.cpu.user",
+            "repro.cluster.cpu.occupied",
+            "mem.util.used",
+            "repro.cluster.power",
+        ))
+        self._platform_columns = None if platform is None else \
+            self.frame.columns((
+                "repro.platform.units",
+                "repro.platform.queue",
+                "repro.platform.active",
+            ))
 
     def start(self) -> "SimClusterSampler":
         if self._proc is None:
@@ -60,46 +86,30 @@ class SimClusterSampler:
         occupied_total = 0.0
         mem_total = 0.0
         power_total = 0.0
-        for node in self.cluster.nodes:
+        for node, columns in self._node_columns:
             busy = node.cpu_busy.value
             held = node.cpu_held.value
-            occupied = max(busy, held)
+            occupied = busy if busy >= held else held
             mem = node.mem_used.value
             power = node.power_watts()
-            prefix = f"repro.node.{node.spec.name}"
-            self.frame.append_row(
-                now,
-                {
-                    f"{prefix}.cpu.busy": busy,
-                    f"{prefix}.cpu.held": held,
-                    f"{prefix}.cpu.occupied": occupied,
-                    f"{prefix}.mem.used": mem,
-                    f"{prefix}.power": power,
-                },
-            )
+            columns.append(now, (busy, held, occupied, mem, power))
             busy_total += busy
             occupied_total += occupied
             mem_total += mem
             power_total += power
-        self.frame.append_row(
-            now,
-            {
-                "kernel.all.cpu.user": busy_total,
-                "repro.cluster.cpu.occupied": occupied_total,
-                "mem.util.used": mem_total,
-                "repro.cluster.power": power_total,
-            },
-        )
+        self._cluster_columns.append(
+            now, (busy_total, occupied_total, mem_total, power_total))
         if self.platform is not None:
-            units = [u for u in self.platform._units if u.alive]
-            self.frame.append_row(
+            active = 0
+            alive = 0
+            for unit in self.platform._units:
+                if unit.alive:
+                    alive += 1
+                    active += unit.active_requests
+            self._platform_columns.append(
                 now,
-                {
-                    "repro.platform.units": float(len(units)),
-                    "repro.platform.queue": float(self.platform.queue_length()),
-                    "repro.platform.active": float(
-                        sum(u.active_requests for u in units)),
-                },
+                (float(alive), float(self.platform.queue_length()),
+                 float(active)),
             )
         if self.service is not None:
             metrics = self.service.metrics

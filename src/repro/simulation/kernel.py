@@ -13,6 +13,7 @@ small, auditable core rather than full SimPy parity.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
@@ -153,11 +154,20 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts dominate the event mix, and a fresh timeout is born
+        # triggered and scheduled; writing the slots directly and pushing
+        # onto the queue here skips the Event.__init__ + schedule() calls
+        # (and schedule's already-scheduled guard, vacuous for a new
+        # object) on the kernel's hottest allocation path.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
 
 
 class Environment:
@@ -213,7 +223,7 @@ class Environment:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
@@ -232,7 +242,7 @@ class Environment:
         """
         if not self._queue:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        self._now, _, _, event = heappop(self._queue)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -266,8 +276,24 @@ class Environment:
                 )
 
         try:
-            while self._queue and self.peek() <= horizon:
-                self.step()
+            if "step" in self.__dict__ or type(self).step is not Environment.step:
+                # step() has been instrumented (Tracer) or overridden:
+                # dispatch through it so the hook sees every event.
+                while self._queue and self.peek() <= horizon:
+                    self.step()
+            else:
+                # Hot loop: pop-and-dispatch inline.  Identical semantics
+                # to repeated step() calls, minus a method call, a peek()
+                # and two attribute loads per event — the bulk of the
+                # kernel's per-event overhead in CPython.
+                queue = self._queue
+                while queue and queue[0][0] <= horizon:
+                    self._now, _, _, event = heappop(queue)
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
         except StopSimulation as stop:
             return stop.value
         if horizon != float("inf"):

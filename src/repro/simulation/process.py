@@ -50,7 +50,7 @@ class Process(Event):
     returned value.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
 
     def __init__(self, env: Environment, generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -59,6 +59,11 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # One bound method reused for every wait: registering a callback
+        # per yielded event otherwise allocates a fresh bound-method
+        # object each context switch (list.remove in interrupt() still
+        # matches — bound methods compare equal by (func, self)).
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     @property
@@ -132,7 +137,7 @@ class Process(Event):
 
             if next_event.callbacks is not None:
                 # Event still pending or scheduled: wait for it.
-                next_event.callbacks.append(self._resume)
+                next_event.callbacks.append(self._resume_cb)
                 self._target = next_event
                 return
             # Event already processed: feed its outcome straight back in.

@@ -1,0 +1,107 @@
+"""ArtifactCache: keying, fingerprint invalidation, disk sharing."""
+
+import json
+
+from repro.experiments.artifacts import (
+    ArtifactCache,
+    CACHE_DIR_ENV,
+    default_cache_root,
+)
+
+
+def _build_doc():
+    return {"workflow": {"name": "fake", "tasks": []}}
+
+
+class TestKeying:
+    def test_memory_hit_skips_build(self):
+        cache = ArtifactCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return _build_doc()
+
+        for _ in range(3):
+            cache.generated_doc("blast", 30, 0, 250.0, build)
+        assert len(calls) == 1
+        assert cache.stats() == {"hits": 2, "misses": 1}
+
+    def test_distinct_cells_do_not_collide(self):
+        cache = ArtifactCache()
+        docs = set()
+        for app, n, seed, work in [("blast", 30, 0, 250.0),
+                                   ("blast", 40, 0, 250.0),
+                                   ("blast", 30, 1, 250.0),
+                                   ("blast", 30, 0, 100.0),
+                                   ("bwa", 30, 0, 250.0)]:
+            key = cache._key("gen", app, n, seed, work, None)
+            assert key not in docs
+            docs.add(key)
+
+    def test_translated_keys_separate_from_generated(self):
+        cache = ArtifactCache()
+        gen = cache._key("gen", "blast", 30, 0, 250.0, None)
+        kn = cache._key("xlate", "blast", 30, 0, 250.0, "knative")
+        lc = cache._key("xlate", "blast", 30, 0, 250.0, "local")
+        assert len({gen, kn, lc}) == 3
+
+
+class TestFingerprint:
+    def test_fingerprint_tracks_recipe_sources(self):
+        """Same inputs → same fingerprint; the fingerprint appears in the
+        key, so editing a source module re-keys every affected entry."""
+        cache = ArtifactCache()
+        fp = cache._fingerprint("blast", None)
+        assert fp == ArtifactCache()._fingerprint("blast", None)
+        assert fp in cache._key("gen", "blast", 30, 0, 250.0, None)
+
+    def test_translator_fingerprint_differs_by_target(self):
+        cache = ArtifactCache()
+        assert cache._fingerprint("blast", "knative") != \
+            cache._fingerprint("blast", "local")
+
+
+class TestDisk:
+    def test_second_cache_reads_first_caches_write(self, tmp_path):
+        a = ArtifactCache(tmp_path)
+        a.generated_doc("blast", 30, 0, 250.0, _build_doc)
+        assert a.stats() == {"hits": 0, "misses": 1}
+
+        b = ArtifactCache(tmp_path)  # a different "process"
+        doc = b.generated_doc(
+            "blast", 30, 0, 250.0,
+            lambda: (_ for _ in ()).throw(AssertionError("should not build")))
+        assert doc == _build_doc()
+        assert b.stats() == {"hits": 1, "misses": 0}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        a = ArtifactCache(tmp_path)
+        a.generated_doc("blast", 30, 0, 250.0, _build_doc)
+        entry = next(tmp_path.glob("gen-*.json"))
+        entry.write_text("{not json")
+
+        b = ArtifactCache(tmp_path)
+        doc = b.generated_doc("blast", 30, 0, 250.0, _build_doc)
+        assert doc == _build_doc()
+        assert b.stats() == {"hits": 0, "misses": 1}
+        # And the rebuilt entry repaired the disk copy.
+        assert json.loads(entry.read_text()) == _build_doc()
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.generated_doc("blast", 30, 0, 250.0, _build_doc)
+        cache.clear_memory()
+        cache.generated_doc("blast", 30, 0, 250.0, _build_doc)
+        assert cache.stats() == {"hits": 1, "misses": 0}
+
+
+class TestDefaultRoot:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_root() == tmp_path / "repro" / "artifacts"

@@ -1,0 +1,120 @@
+"""Parallel sweep engine: determinism, error isolation, cache sharing."""
+
+import pytest
+
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.parallel import (
+    ParallelExperimentRunner,
+    RunnerConfig,
+    _init_worker,
+    _run_spec_payload,
+)
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+
+
+def _spec(paradigm, app, size, ident=None):
+    return ExperimentSpec(
+        experiment_id=ident or f"par/{paradigm}/{app}/{size}",
+        paradigm_name=paradigm, application=app, num_tasks=size,
+        granularity="fine",
+    )
+
+
+def _fig7_specs(sizes=(20, 40)):
+    return [
+        _spec(par, app, size)
+        for par in ("Kn10wNoPM", "LC10wNoPM")
+        for app in ("blast", "seismology")
+        for size in sizes
+    ]
+
+
+class TestDeterminism:
+    def test_jobs4_matches_jobs1(self, tmp_path):
+        """The headline contract: worker count never changes results."""
+        specs = _fig7_specs()
+        serial = ParallelExperimentRunner(jobs=1, seed=0,
+                                          cache_dir=str(tmp_path))
+        parallel = ParallelExperimentRunner(jobs=4, seed=0,
+                                            cache_dir=str(tmp_path))
+        rows_serial = [r.row() for r in serial.run_many(specs)]
+        rows_parallel = [r.row() for r in parallel.run_many(specs)]
+        assert rows_parallel == rows_serial
+
+    def test_cold_cache_matches_warm_cache(self, tmp_path):
+        """Cache hits must be observationally identical to misses."""
+        specs = _fig7_specs(sizes=(20,))
+        cold = ExperimentRunner(seed=0, cache_dir=str(tmp_path))
+        rows_cold = [r.row() for r in cold.run_many(specs)]
+        assert cold.cache.misses > 0
+
+        warm = ExperimentRunner(seed=0, cache_dir=str(tmp_path))
+        rows_warm = [r.row() for r in warm.run_many(specs)]
+        assert warm.cache.misses == 0
+        assert warm.cache.hits > 0
+        assert rows_warm == rows_cold
+
+    def test_results_in_spec_order(self, tmp_path):
+        specs = _fig7_specs()
+        runner = ParallelExperimentRunner(jobs=2, seed=0,
+                                          cache_dir=str(tmp_path))
+        results = runner.run_many(specs)
+        assert [r.spec.experiment_id for r in results] == \
+            [s.experiment_id for s in specs]
+
+
+class TestErrorIsolation:
+    def test_serial_run_many_collects_failures(self):
+        """One bad spec fails its own row; the sweep still completes."""
+        specs = [_spec("Kn10wNoPM", "blast", 20),
+                 _spec("Kn10wNoPM", "no-such-app", 20, "par/bad"),
+                 _spec("LC10wNoPM", "blast", 20)]
+        results = ExperimentRunner(seed=0).run_many(specs)
+        assert len(results) == 3
+        assert results[0].succeeded and results[2].succeeded
+        assert not results[1].succeeded
+        assert "no-such-app" in results[1].run.error
+        assert results[1].row()["makespan_seconds"] == 0.0
+
+    def test_parallel_run_many_collects_failures(self, tmp_path):
+        specs = [_spec("Kn10wNoPM", "no-such-app", 20, "par/bad"),
+                 _spec("Kn10wNoPM", "blast", 20)]
+        runner = ParallelExperimentRunner(jobs=2, seed=0,
+                                          cache_dir=str(tmp_path))
+        results = runner.run_many(specs)
+        assert not results[0].succeeded
+        assert "no-such-app" in results[0].run.error
+        assert results[1].succeeded
+
+
+class TestWorkerPlumbing:
+    def test_payload_round_trip_preserves_rows(self, tmp_path):
+        """What travels over the pool boundary loses nothing the
+        reporting paths read (including the sampled frame)."""
+        runner = ExperimentRunner(seed=0, keep_frames=True,
+                                  cache_dir=str(tmp_path))
+        result = runner.run_spec(_spec("Kn10wNoPM", "blast", 20))
+        rebuilt = ExperimentResult.from_payload(result.to_payload())
+        assert rebuilt.row() == result.row()
+        assert rebuilt.frame is not None
+        series = "kernel.all.cpu.user"
+        assert list(rebuilt.frame.series(series).values) == \
+            list(result.frame.series(series).values)
+
+    def test_worker_entry_point_in_process(self, tmp_path):
+        """The initializer + worker function pair works without a pool
+        (what each pool process executes, minus the fork)."""
+        _init_worker(RunnerConfig(seed=0, cache_dir=str(tmp_path)))
+        payload = _run_spec_payload(_spec("Kn10wNoPM", "blast", 20))
+        result = ExperimentResult.from_payload(payload)
+        assert result.succeeded
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelExperimentRunner(jobs=0)
+
+    def test_jobs1_needs_no_pool(self, tmp_path):
+        runner = ParallelExperimentRunner(jobs=1, seed=0,
+                                          cache_dir=str(tmp_path))
+        results = runner.run_many([_spec("Kn10wNoPM", "blast", 20)])
+        assert results[0].succeeded

@@ -1,0 +1,31 @@
+"""Byte-compatibility guard for the optimized sampler fast path.
+
+``tests/fixtures/blast30_lc10w.pmdumptext.csv`` was written by the
+pre-optimization sampler (row-dict ``append_row`` per tick) for a fixed
+experiment cell.  The columnar fast path must reproduce it byte for
+byte: same PCP column order, same timestamps, same formatted values.
+If this test fails after a sampler/metrics change, the change altered
+observable output, not just its cost.
+"""
+
+from pathlib import Path
+
+from repro.experiments.design import ExperimentSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.monitoring.pcp import PmdumptextWriter
+
+GOLDEN = Path(__file__).parent.parent / "fixtures" / \
+    "blast30_lc10w.pmdumptext.csv"
+
+
+def test_sampler_output_matches_golden_fixture(tmp_path):
+    runner = ExperimentRunner(seed=0, keep_frames=True)
+    spec = ExperimentSpec(
+        experiment_id="golden/LC10wNoPM/blast/30",
+        paradigm_name="LC10wNoPM", application="blast", num_tasks=30,
+        granularity="fine",
+    )
+    result = runner.run_spec(spec)
+    assert result.succeeded
+    path = PmdumptextWriter().write(result.frame, tmp_path / "golden.csv")
+    assert path.read_bytes() == GOLDEN.read_bytes()

@@ -212,3 +212,31 @@ class TestWorkflow:
         doc = json.loads(self.make().dumps())
         assert doc["schemaVersion"]
         assert isinstance(doc["workflow"]["tasks"], list)
+
+
+class TestTranslatedRoundTrip:
+    """The runner executes translated documents through
+    ``Workflow.from_json`` with no post-hoc patching, so the reload must
+    preserve every command field the translators set — notably
+    ``api_url``, which an earlier runner re-patched per task."""
+
+    def test_knative_translation_round_trips_api_urls(self):
+        from repro.wfcommons import WorkflowGenerator, recipe_for
+        from repro.wfcommons.translators import KnativeTranslator
+
+        wf = WorkflowGenerator(recipe_for("blast")(), seed=0) \
+            .build_workflow(8)
+        doc = KnativeTranslator().translate(wf)
+        reloaded = Workflow.from_json(doc)
+        urls = {t.name: t.command.api_url
+                for t in reloaded.tasks.values()}
+        assert len(urls) == 8
+        assert all(url for url in urls.values())
+        tasks_doc = doc["workflow"]["tasks"]
+        items = tasks_doc.items() if isinstance(tasks_doc, dict) else \
+            ((t["name"], t) for t in tasks_doc)
+        for name, task_doc in items:
+            assert urls[name] == task_doc["command"]["api_url"]
+        # A second serialize → parse cycle is a fixed point.
+        assert Workflow.from_json(reloaded.to_json()).to_json() == \
+            reloaded.to_json()
