@@ -235,12 +235,22 @@ def _run(args: argparse.Namespace) -> int:
         out_dir = args.output if args.output is not None else Path("results")
         path = write_rows_csv(report.rows, out_dir / "chaos.csv")
         print(f"[csv] {path}")
+        chaos_violations = sum(r["trace_violations"] for r in report.rows)
+        print(f"[trace] {sum(r['trace_events'] for r in report.rows)} "
+              f"events checked, {chaos_violations} invariant violation(s)")
+        if chaos_violations:
+            return 2
     if "multitenant" in targets:
         from repro.experiments.multitenant import run_multitenant_sweep
 
         rows = run_multitenant_sweep(jobs=args.jobs, seed=args.seed)
         _emit("multitenant", rows, args.output,
               "Multi-tenant service: paradigm × concurrency limit")
+        mt_violations = sum(r["trace_violations"] for r in rows)
+        print(f"[trace] {sum(r['trace_events'] for r in rows)} events "
+              f"checked, {mt_violations} invariant violation(s)")
+        if mt_violations:
+            return 2
     if "bench" in targets:
         from repro.experiments.bench import run_bench, write_bench
 

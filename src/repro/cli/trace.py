@@ -1,0 +1,112 @@
+"""``repro-trace``: inspect trace JSONL logs recorded by the stack.
+
+Subcommands::
+
+    repro-trace summarize run.trace.jsonl        # one row per workflow run
+    repro-trace check run.trace.jsonl            # replay the invariants
+    repro-trace critical-path run.trace.jsonl    # slowest task per phase
+    repro-trace export run.trace.jsonl -o t.json # Chrome about://tracing
+
+``check`` exits non-zero when any execution invariant is violated, so
+CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.tracing import (
+    check_jsonl,
+    critical_path,
+    load_jsonl,
+    load_meta,
+    summarize_trace,
+    write_chrome_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarize, verify and export repro trace JSONL logs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="one summary row per workflow run in the log")
+    summarize.add_argument("trace", type=Path, help="trace JSONL file")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit JSON instead of a table")
+
+    check = sub.add_parser(
+        "check", help="replay the execution invariants over the log")
+    check.add_argument("trace", type=Path, help="trace JSONL file")
+    check.add_argument("--eps", type=float, default=1e-9,
+                       help="timestamp comparison tolerance in seconds")
+
+    path = sub.add_parser(
+        "critical-path", help="per-phase spans and the slowest task of one run")
+    path.add_argument("trace", type=Path, help="trace JSONL file")
+    path.add_argument("--trace-id", default="",
+                      help="which run to analyse (default: first in the log)")
+    path.add_argument("--json", action="store_true",
+                      help="emit JSON instead of a table")
+
+    export = sub.add_parser(
+        "export", help="convert to Chrome trace_event JSON "
+        "(load in about://tracing or Perfetto)")
+    export.add_argument("trace", type=Path, help="trace JSONL file")
+    export.add_argument("--output", "-o", type=Path, required=True,
+                        help="output .json path")
+    return parser
+
+
+def _print_rows(rows: list[dict], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(rows, indent=2))
+        return
+    from repro.experiments.reporting import format_table
+
+    print(format_table(rows))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "summarize":
+        meta = load_meta(args.trace)
+        if meta and not args.json:
+            print(f"# {json.dumps(meta, sort_keys=True)}")
+        _print_rows(summarize_trace(load_jsonl(args.trace)), args.json)
+        return 0
+    if args.command == "check":
+        violations = check_jsonl(args.trace, eps=args.eps)
+        for violation in violations:
+            print(violation)
+        if violations:
+            print(f"{len(violations)} invariant violation(s)",
+                  file=sys.stderr)
+            return 1
+        print("ok: all invariants hold")
+        return 0
+    if args.command == "critical-path":
+        segments = critical_path(load_jsonl(args.trace), trace=args.trace_id)
+        if not segments:
+            print("no phase spans in this trace (eager run or empty log)",
+                  file=sys.stderr)
+            return 1
+        _print_rows(segments, args.json)
+        return 0
+    if args.command == "export":
+        out = write_chrome_trace(load_jsonl(args.trace), args.output)
+        print(f"chrome trace: {out}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -92,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", type=Path, default=None,
                         help="write a pmdumptext-style metrics CSV here")
     parser.add_argument("--summary-json", type=Path, default=None)
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="record a span/event trace of the run to this JSONL file "
+        "(inspect with repro-trace)",
+    )
     return parser
 
 
@@ -240,8 +245,14 @@ def main(argv: list[str] | None = None) -> int:
     checkpoint = _checkpoint_from_args(args, parser)
 
     if args.url is not None:
+        tracer = None
+        if args.trace_out is not None:
+            from repro.tracing import TraceRecorder
+
+            tracer = TraceRecorder()
         drive = LocalSharedDrive(Path(args.workdir))
-        invoker = HttpInvoker()
+        drive.tracer = tracer
+        invoker = HttpInvoker(tracer=tracer)
         config = ManagerConfig(
             phase_delay_seconds=args.phase_delay,
             workdir=".",
@@ -253,15 +264,22 @@ def main(argv: list[str] | None = None) -> int:
         for task in workflow:
             task.command.api_url = args.url
         manager = ServerlessWorkflowManager(invoker, drive, config,
-                                            checkpoint=checkpoint)
+                                            checkpoint=checkpoint,
+                                            tracer=tracer)
         result = manager.execute(workflow, platform_label="http")
         invoker.close()
         sampler_frame = None
     else:
         par = paradigm(args.paradigm)
         env = Environment()
+        tracer = None
         cluster = Cluster(env)
         drive = SimulatedSharedDrive()
+        if args.trace_out is not None:
+            from repro.tracing import TraceRecorder
+
+            tracer = TraceRecorder.for_env(env)
+            drive.tracer = tracer
         for f in workflow_input_files(workflow):
             drive.put(f.name, f.size_in_bytes)
         if par.is_serverless:
@@ -271,7 +289,7 @@ def main(argv: list[str] | None = None) -> int:
             platform = LocalContainerPlatform(env, cluster, drive,
                                               config=par.local_config())
         sampler = SimClusterSampler(env, cluster).start()
-        invoker = SimulatedInvoker(platform)
+        invoker = SimulatedInvoker(platform, tracer=tracer)
         config = ManagerConfig(
             phase_delay_seconds=args.phase_delay,
             keep_memory=par.persistent_memory,
@@ -280,12 +298,16 @@ def main(argv: list[str] | None = None) -> int:
             resilience=resilience,
         )
         manager = ServerlessWorkflowManager(invoker, drive, config,
-                                            checkpoint=checkpoint)
+                                            checkpoint=checkpoint,
+                                            tracer=tracer)
         result = manager.execute(workflow, platform_label=par.platform,
                                  paradigm_label=par.name)
         sampler.sample()
         sampler_frame = sampler.frame
 
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+        print(f"trace JSONL: {args.trace_out}", file=sys.stderr)
     summary = result.summary()
     print(json.dumps(summary, indent=2))
     if args.csv is not None and sampler_frame is not None:

@@ -30,8 +30,11 @@ from repro.platform.gateway import HttpGateway
 from repro.simulation import Environment, Event
 from repro.wfbench.spec import BenchRequest
 
+from repro.tracing.events import HEDGE_FIRE, HEDGE_RESOLVE, POST_END, POST_START
+
 if TYPE_CHECKING:
     from repro.resilience.state import ResilienceState
+    from repro.tracing.recorder import TraceRecorder
 
 __all__ = ["InvocationRecord", "Invoker", "HttpInvoker", "SimulatedInvoker"]
 
@@ -56,6 +59,14 @@ class InvocationRecord:
 
 class Invoker(abc.ABC):
     """What the manager needs from the outside world."""
+
+    #: Optional :class:`~repro.tracing.TraceRecorder`; when set, every
+    #: wire-level request emits ``post.start``/``post.end`` (and hedges
+    #: emit ``hedge.fire``/``hedge.resolve``).
+    tracer: Optional["TraceRecorder"] = None
+    #: Trace id stamped on emitted events; the manager sets it at the
+    #: start of each run (invokers are per-run in every service path).
+    trace_id: str = ""
 
     @abc.abstractmethod
     def now(self) -> float:
@@ -104,7 +115,8 @@ class Invoker(abc.ABC):
 class HttpInvoker(Invoker):
     """Real HTTP POSTs, mirroring the paper's ``curl``-driven manager."""
 
-    def __init__(self, max_parallel: int = 64, timeout_seconds: float = 300.0):
+    def __init__(self, max_parallel: int = 64, timeout_seconds: float = 300.0,
+                 tracer: Optional["TraceRecorder"] = None):
         self._pool = ThreadPoolExecutor(max_workers=max_parallel,
                                         thread_name_prefix="wfm-http")
         #: Hedge wrappers wait on ``_pool`` futures, so they need their own
@@ -113,6 +125,7 @@ class HttpInvoker(Invoker):
         self._hedge_pool = ThreadPoolExecutor(max_workers=max_parallel,
                                               thread_name_prefix="wfm-hedge")
         self.timeout_seconds = timeout_seconds
+        self.tracer = tracer
 
     def now(self) -> float:
         return time.monotonic()
@@ -122,6 +135,17 @@ class HttpInvoker(Invoker):
             time.sleep(seconds)
 
     def _post(self, url: str, request: BenchRequest) -> InvocationRecord:
+        tracer = self.tracer
+        if tracer is None:
+            return self._post_raw(url, request)
+        tracer.emit(POST_START, name=request.name, trace=self.trace_id,
+                    url=url)
+        record = self._post_raw(url, request)
+        tracer.emit(POST_END, name=request.name, trace=self.trace_id,
+                    url=url, status=record.status)
+        return record
+
+    def _post_raw(self, url: str, request: BenchRequest) -> InvocationRecord:
         submitted = self.now()
         body = request.dumps().encode()
         http_request = urllib.request.Request(
@@ -188,6 +212,10 @@ class HttpInvoker(Invoker):
             return primary.result()
         if state is not None:
             state.note_hedge()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(HEDGE_FIRE, name=request.name, trace=self.trace_id,
+                        url=url)
         hedge = self._pool.submit(self._post, url, request)
         done, _ = futures_wait([primary, hedge], return_when=FIRST_COMPLETED)
         winner = hedge if hedge in done else primary
@@ -198,6 +226,10 @@ class HttpInvoker(Invoker):
             # Report end-to-end latency from the original submission, not
             # from when the duplicate was fired.
             record.submitted_at = submitted
+        if tracer is not None:
+            tracer.emit(HEDGE_RESOLVE, name=request.name,
+                        trace=self.trace_id, url=url,
+                        winner="hedge" if winner is hedge else "primary")
         # The loser keeps running to completion and is ignored — WfBench
         # functions are idempotent by task name.
         return record
@@ -231,7 +263,7 @@ class SimulatedInvoker(Invoker):
     """
 
     def __init__(self, target: Union[Platform, HttpGateway], env: Optional[Environment] = None,
-                 tenant: str = ""):
+                 tenant: str = "", tracer: Optional["TraceRecorder"] = None):
         # Gateway-likes (HttpGateway, FederatedGateway) expose `platforms`;
         # anything else is treated as a single platform.
         if hasattr(target, "platforms"):
@@ -247,6 +279,7 @@ class SimulatedInvoker(Invoker):
         #: Multi-tenant attribution: a non-empty tenant is forwarded to
         #: gateways that account per tenant (FederatedGateway, HttpGateway).
         self.tenant = tenant
+        self.tracer = tracer
 
     def now(self) -> float:
         return self.env.now
@@ -258,9 +291,27 @@ class SimulatedInvoker(Invoker):
     def submit(self, url: str, request: BenchRequest) -> Event:
         if self.gateway is not None:
             if self.tenant:
-                return self.gateway.invoke(url, request, tenant=self.tenant)
-            return self.gateway.invoke(url, request)
-        return self._platform.invoke(request)
+                event = self.gateway.invoke(url, request, tenant=self.tenant)
+            else:
+                event = self.gateway.invoke(url, request)
+        else:
+            event = self._platform.invoke(request)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(POST_START, name=request.name, trace=self.trace_id,
+                        url=url)
+            trace_id = self.trace_id  # bind now: the run may end later
+
+            def _post_done(ev: Event) -> None:
+                tracer.emit(POST_END, name=request.name, trace=trace_id,
+                            url=url,
+                            status=getattr(ev.value, "status", 0))
+
+            if event.callbacks is not None:
+                event.callbacks.append(_post_done)
+            else:  # already completed (resolved handle)
+                _post_done(event)
+        return event
 
     def submit_hedged(
         self,
@@ -286,6 +337,10 @@ class SimulatedInvoker(Invoker):
             return
         if state is not None:
             state.note_hedge()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(HEDGE_FIRE, name=request.name, trace=self.trace_id,
+                        url=url)
         hedge = self.submit(url, request)
         yield self.env.any_of([primary, hedge])
         if primary.processed:
@@ -297,6 +352,10 @@ class SimulatedInvoker(Invoker):
             # Report end-to-end latency from the original submission, not
             # from when the duplicate was fired.
             winner.value.submitted_at = submitted
+        if tracer is not None:
+            tracer.emit(HEDGE_RESOLVE, name=request.name,
+                        trace=self.trace_id, url=url,
+                        winner="primary" if winner is primary else "hedge")
         # The loser's process keeps running; its completion is ignored.
         done.succeed(winner.value)
 

@@ -38,6 +38,19 @@ from repro.errors import WorkflowExecutionError
 from repro.resilience.checkpoint import WorkflowCheckpoint
 from repro.resilience.retry import RETRYABLE_STATUSES, RetryPolicy
 from repro.resilience.state import ResiliencePolicy, ResilienceState
+from repro.tracing.events import (
+    BREAKER_SHORT_CIRCUIT,
+    CHECKPOINT_WRITE,
+    PHASE_END,
+    PHASE_START,
+    TASK_END,
+    TASK_REPLAY,
+    TASK_RETRY,
+    TASK_SUBMIT,
+    WORKFLOW_END,
+    WORKFLOW_START,
+)
+from repro.tracing.recorder import TraceRecorder
 from repro.wfbench.spec import BenchRequest
 from repro.wfcommons.schema import Task, Workflow
 
@@ -116,12 +129,17 @@ class ServerlessWorkflowManager:
         config: Optional[ManagerConfig] = None,
         checkpoint: Optional[WorkflowCheckpoint] = None,
         resilience_state: Optional[ResilienceState] = None,
+        tracer: Optional[TraceRecorder] = None,
     ):
         self.invoker = invoker
         self.drive = drive
         self.config = config or ManagerConfig()
         #: Optional per-phase checkpoint (crash/resume).
         self.checkpoint = checkpoint
+        #: Optional span/event recorder; ``None`` keeps every emission
+        #: site on its zero-cost branch.
+        self._tracer = tracer
+        self._trace_id = ""
         #: Runtime fault-tolerance state.  Pass a shared instance so
         #: breakers and latency estimates span many managers (the
         #: workflow services do); otherwise the manager owns a private
@@ -129,7 +147,8 @@ class ServerlessWorkflowManager:
         if resilience_state is not None:
             self._state: Optional[ResilienceState] = resilience_state
         elif self.config.resilience is not None:
-            self._state = ResilienceState(self.config.resilience)
+            self._state = ResilienceState(self.config.resilience,
+                                          tracer=tracer)
         else:
             self._state = None
         self._run_retries = 0
@@ -187,25 +206,74 @@ class ServerlessWorkflowManager:
         """
         url = self.api_url_for(task)
         state = self._state
+        tracer = self._tracer
         if state is not None:
             now = self.invoker.now()
             if not state.allow(url, now):
                 state.note_short_circuit()
+                if tracer is not None:
+                    tracer.emit(BREAKER_SHORT_CIRCUIT, name=task.name,
+                                trace=self._trace_id, url=url)
                 return self.invoker.resolved(InvocationRecord(
                     name=task.name, status=503, submitted_at=now,
                     started_at=now, finished_at=now,
                     error=f"circuit open: {url}",
                 ))
+            if tracer is not None:
+                self._trace_submit(task, url)
             hedge_delay = state.hedge_delay(url)
             if hedge_delay is not None:
                 return self.invoker.submit_hedged(
                     url, self.build_request(task), hedge_delay, state=state
                 )
+            return self.invoker.submit(url, self.build_request(task))
+        if tracer is not None:
+            self._trace_submit(task, url)
         return self.invoker.submit(url, self.build_request(task))
+
+    def _trace_submit(self, task: Task, url: str) -> None:
+        self._tracer.emit(
+            TASK_SUBMIT, name=task.name, trace=self._trace_id, url=url,
+            inputs=[f.name for f in task.input_files],
+        )
+
+    def _trace_phase(self, phase: Phase, todo: int,
+                     replayed: bool = False) -> None:
+        self._tracer.emit(PHASE_START, trace=self._trace_id,
+                          index=phase.index, tasks=todo, replayed=replayed)
+
+    def _trace_phase_end(self, phase: Phase, failures: int) -> None:
+        self._tracer.emit(PHASE_END, trace=self._trace_id,
+                          index=phase.index, failures=failures)
+
+    def _trace_retries(self, final: list[InvocationRecord],
+                       retry_indices: list[int], round_number: int) -> None:
+        tracer = self._tracer
+        if tracer is None:
+            return
+        for i in retry_indices:
+            tracer.emit(TASK_RETRY, name=final[i].name, trace=self._trace_id,
+                        round=round_number, status=final[i].status)
+
+    def _trace_records(self, records: list[InvocationRecord]) -> None:
+        """Emit one ``task.end`` per gathered outcome (attempt)."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        for record in records:
+            if record.error.startswith("circuit open"):
+                continue  # shed submissions traced as breaker.short_circuit
+            tracer.emit(
+                TASK_END, name=record.name, trace=self._trace_id,
+                status=record.status, submitted_at=record.submitted_at,
+                started_at=record.started_at, finished_at=record.finished_at,
+            )
 
     def _observe(self, dag: WorkflowDAG, records: list[InvocationRecord]
                  ) -> None:
         """Feed completed invocations into breakers + latency tracker."""
+        if self._tracer is not None:
+            self._trace_records(records)
         state = self._state
         if state is None:
             return
@@ -255,12 +323,16 @@ class ServerlessWorkflowManager:
         """Append replayed records for checkpointed tasks; returns the
         names still to execute."""
         todo: list[str] = []
+        tracer = self._tracer
         for name in phase.tasks:
             if name not in completed:
                 todo.append(name)
                 continue
             entry = self.checkpoint.entry(name)
             at = float(entry.get("finished_at", 0.0))
+            if tracer is not None:
+                tracer.emit(TASK_REPLAY, name=name, trace=self._trace_id,
+                            phase=phase.index, status=int(entry["status"]))
             result.tasks.append(TaskExecution(
                 name=name, phase=phase.index, status=int(entry["status"]),
                 submitted_at=at, started_at=at, finished_at=at,
@@ -281,6 +353,12 @@ class ServerlessWorkflowManager:
                 outputs={f.name: f.size_in_bytes for f in task.output_files},
             )
         self.checkpoint.flush()
+        if self._tracer is not None:
+            self._tracer.emit(
+                CHECKPOINT_WRITE, trace=self._trace_id, phase=phase.index,
+                completed=len(self.checkpoint.completed_tasks()),
+                path=str(self.checkpoint.path),
+            )
 
     def _crash_check(self, phase: Phase, phases: list[Phase]) -> None:
         if (
@@ -293,12 +371,32 @@ class ServerlessWorkflowManager:
                 f"(max_phases={self.config.max_phases})"
             )
 
+    def _trace_run_start(self, workflow: Workflow, dag: WorkflowDAG,
+                         platform_label: str, paradigm_label: str,
+                         trace_id: str) -> None:
+        """Open the workflow span: assign the trace id, bind the invoker."""
+        tracer = self._tracer
+        self._trace_id = trace_id or tracer.new_trace()
+        self.invoker.trace_id = self._trace_id
+        tracer.emit(
+            WORKFLOW_START, name=workflow.name, trace=self._trace_id,
+            platform=platform_label, paradigm=paradigm_label,
+            mode=self.config.execution_mode, tasks=len(dag.task_names),
+        )
+
+    def _trace_run_end(self, result: WorkflowRunResult) -> None:
+        self._tracer.emit(
+            WORKFLOW_END, name=result.workflow_name, trace=self._trace_id,
+            succeeded=result.succeeded, error=result.error,
+        )
+
     # ------------------------------------------------------------------
     def execute(
         self,
         workflow: Union[Workflow, Mapping[str, Any]],
         platform_label: str = "",
         paradigm_label: str = "",
+        trace_id: str = "",
     ) -> WorkflowRunResult:
         """Run one workflow to completion (or first failure)."""
         if not isinstance(workflow, Workflow):
@@ -313,6 +411,9 @@ class ServerlessWorkflowManager:
             paradigm=paradigm_label,
             started_at=self.invoker.now(),
         )
+        if self._tracer is not None:
+            self._trace_run_start(workflow, dag, platform_label,
+                                  paradigm_label, trace_id)
         self._run_retries = 0
         before = self._run_snapshot()
         try:
@@ -330,16 +431,22 @@ class ServerlessWorkflowManager:
             result.error = str(exc)
         result.finished_at = self.invoker.now()
         self._attach_run_metrics(result, before)
+        if self._tracer is not None:
+            self._trace_run_end(result)
         return result
 
     def _execute_phases(self, dag: WorkflowDAG, result: WorkflowRunResult) -> None:
         phases = dag.phases
         completed = self._resume_setup(dag)
         retry_policy = self._effective_retry_policy()
+        tracer = self._tracer
         for phase in phases:
             todo = (self._replay_phase(result, phase, completed)
                     if completed else list(phase.tasks))
             if not todo:
+                if tracer is not None:
+                    self._trace_phase(phase, len(phase), replayed=True)
+                    self._trace_phase_end(phase, failures=0)
                 result.phases.append(PhaseResult(
                     index=phase.index, num_tasks=len(phase),
                     started_at=self.invoker.now(),
@@ -355,11 +462,15 @@ class ServerlessWorkflowManager:
                     )
 
             phase_start = self.invoker.now()
+            if tracer is not None:
+                self._trace_phase(phase, len(todo))
             records = self._run_phase(dag, todo)
             if retry_policy is not None:
                 records = self._retry_failures(dag, records, retry_policy)
             self._checkpoint_phase(dag, phase, records)
             failures = self._record_phase(result, phase, records)
+            if tracer is not None:
+                self._trace_phase_end(phase, failures)
             result.phases.append(
                 PhaseResult(
                     index=phase.index,
@@ -431,8 +542,10 @@ class ServerlessWorkflowManager:
             )
             if not record.ok and self.config.abort_on_failure:
                 # Drain what is already in flight, then stop.
+                drained_records = self.invoker.gather(list(in_flight))
+                self._trace_records(drained_records)
                 for leftover, drained in zip(
-                    list(flight_names), self.invoker.gather(list(in_flight))
+                    list(flight_names), drained_records
                 ):
                     result.tasks.append(
                         TaskExecution(
@@ -471,6 +584,7 @@ class ServerlessWorkflowManager:
         workflow: Union[Workflow, Mapping[str, Any]],
         platform_label: str = "",
         paradigm_label: str = "",
+        trace_id: str = "",
     ) -> Generator[Any, Any, WorkflowRunResult]:
         """Run one workflow as a simulation process.
 
@@ -496,6 +610,9 @@ class ServerlessWorkflowManager:
             paradigm=paradigm_label,
             started_at=env.now,
         )
+        if self._tracer is not None:
+            self._trace_run_start(workflow, dag, platform_label,
+                                  paradigm_label, trace_id)
         self._run_retries = 0
         before = self._run_snapshot()
         try:
@@ -513,6 +630,8 @@ class ServerlessWorkflowManager:
             result.error = str(exc)
         result.finished_at = env.now
         self._attach_run_metrics(result, before)
+        if self._tracer is not None:
+            self._trace_run_end(result)
         return result
 
     def _phases_proc(self, env, dag: WorkflowDAG, result: WorkflowRunResult
@@ -521,10 +640,14 @@ class ServerlessWorkflowManager:
         phases = dag.phases
         completed = self._resume_setup(dag)
         retry_policy = self._effective_retry_policy()
+        tracer = self._tracer
         for phase in phases:
             todo = (self._replay_phase(result, phase, completed)
                     if completed else list(phase.tasks))
             if not todo:
+                if tracer is not None:
+                    self._trace_phase(phase, len(phase), replayed=True)
+                    self._trace_phase_end(phase, failures=0)
                 result.phases.append(PhaseResult(
                     index=phase.index, num_tasks=len(phase),
                     started_at=env.now, finished_at=env.now, failures=0,
@@ -545,12 +668,16 @@ class ServerlessWorkflowManager:
                     )
 
             phase_start = env.now
+            if tracer is not None:
+                self._trace_phase(phase, len(todo))
             records = yield from self._run_phase_proc(env, dag, todo)
             if retry_policy is not None:
                 records = yield from self._retry_failures_proc(
                     env, dag, records, retry_policy)
             self._checkpoint_phase(dag, phase, records)
             failures = self._record_phase(result, phase, records)
+            if tracer is not None:
+                self._trace_phase_end(phase, failures)
             result.phases.append(
                 PhaseResult(
                     index=phase.index,
@@ -623,6 +750,7 @@ class ServerlessWorkflowManager:
             prev_delay = delay
             if delay > 0:
                 yield env.timeout(delay)
+            self._trace_retries(final, retry_indices, round_number)
             handles = [
                 self._fire(dag.task(final[i].name)) for i in retry_indices
             ]
@@ -688,8 +816,12 @@ class ServerlessWorkflowManager:
             if not record.ok and self.config.abort_on_failure:
                 if in_flight:
                     yield env.all_of(in_flight)
-                for leftover, handle in zip(list(flight_names), in_flight):
-                    drained = self.invoker.record(handle.value)
+                drained_records = [
+                    self.invoker.record(h.value) for h in in_flight
+                ]
+                self._trace_records(drained_records)
+                for leftover, drained in zip(list(flight_names),
+                                             drained_records):
                     result.tasks.append(
                         TaskExecution(
                             name=drained.name, phase=phase_of[leftover],
@@ -770,6 +902,7 @@ class ServerlessWorkflowManager:
             prev_delay = delay
             if delay > 0:
                 self.invoker.sleep(delay)
+            self._trace_retries(final, retry_indices, round_number)
             handles = [
                 self._fire(dag.task(final[i].name)) for i in retry_indices
             ]

@@ -13,11 +13,23 @@ import abc
 from pathlib import Path
 from typing import Iterable, Mapping
 
+from repro.tracing.events import DRIVE_PUT
+
 __all__ = ["SharedDrive", "LocalSharedDrive", "SimulatedSharedDrive"]
 
 
 class SharedDrive(abc.ABC):
     """What the workflow manager sees of the cluster's shared directory."""
+
+    #: Optional :class:`~repro.tracing.TraceRecorder`; when set, every
+    #: ``put`` emits a ``drive.put`` event (the inputs-exist invariant
+    #: is checked against these).
+    tracer = None
+
+    def _trace_put(self, name: str, size: int) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(DRIVE_PUT, name=name, bytes=int(size))
 
     @abc.abstractmethod
     def exists(self, name: str) -> bool:
@@ -58,6 +70,8 @@ class SimulatedSharedDrive(SharedDrive):
 
     def put(self, name: str, size: int) -> None:
         self._files[name] = int(size)
+        if self.tracer is not None:
+            self._trace_put(name, size)
 
     def list_files(self) -> list[str]:
         return sorted(self._files)
@@ -96,6 +110,8 @@ class LocalSharedDrive(SharedDrive):
             if size > 0:
                 handle.seek(size - 1)
                 handle.write(b"\0")
+        if self.tracer is not None:
+            self._trace_put(name, size)
 
     def list_files(self) -> list[str]:
         return sorted(

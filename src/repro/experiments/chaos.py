@@ -42,6 +42,7 @@ from repro.resilience import (
 )
 from repro.simulation import Environment
 from repro.simulation.rng import derive_seed
+from repro.tracing import TraceRecorder, check_trace
 from repro.wfbench.data import workflow_input_files
 from repro.wfbench.model import WfBenchModel
 from repro.wfcommons import WorkflowGenerator, recipe_for
@@ -181,17 +182,22 @@ def _execute_cell(
     seed: int,
     checkpoint_dir: Optional[Path],
     fault_seed: Optional[int] = None,
-) -> tuple[WorkflowRunResult, int, dict]:
-    """One run of the cell; returns (result, invocations, injector stats).
+) -> tuple[WorkflowRunResult, int, dict, TraceRecorder]:
+    """One run of the cell; returns (result, invocations, injector
+    stats, trace recorder).
 
     ``crash_after_phase`` cells run twice on the same platform: a first
     attempt that aborts mid-run, then a checkpoint resume; the returned
     result is the resumed run and invocations count both attempts.
+    Every cell records a full trace (sim clock); the chaos report runs
+    the invariant checker over it.
     """
     par = paradigm(scenario.paradigm_name)
     env = Environment()
     cluster = Cluster(env)
     drive = SimulatedSharedDrive()
+    recorder = TraceRecorder.for_env(env)
+    drive.tracer = recorder
     model = WfBenchModel(noise_sigma=0.0)
     rng = np.random.default_rng(
         derive_seed(fault_seed if fault_seed is not None else seed,
@@ -208,9 +214,10 @@ def _execute_cell(
 
     def run(config: ManagerConfig,
             checkpoint: Optional[WorkflowCheckpoint]) -> WorkflowRunResult:
-        invoker = SimulatedInvoker(platform)
+        invoker = SimulatedInvoker(platform, tracer=recorder)
         manager = ServerlessWorkflowManager(invoker, drive, config,
-                                            checkpoint=checkpoint)
+                                            checkpoint=checkpoint,
+                                            tracer=recorder)
         return manager.execute(workflow, platform_label=par.platform,
                                paradigm_label=scenario.paradigm_name)
 
@@ -237,15 +244,16 @@ def _execute_cell(
         "stragglers": getattr(injector, "stragglers", 0) if injector else 0,
     }
     platform.shutdown()
-    return result, platform.stats.invocations, stats
+    return result, platform.stats.invocations, stats, recorder
 
 
 def _baseline(scenario: ChaosScenario, workflow: Workflow
               ) -> tuple[float, float]:
     """(makespan, p95 task latency) of a fault-free, policy-free run."""
     clean = FaultScenario("baseline")
-    result, _, _ = _execute_cell(scenario, workflow, clean, None,
-                                 derive_seed(scenario.seed, "baseline"), None)
+    result, _, _, _ = _execute_cell(scenario, workflow, clean, None,
+                                    derive_seed(scenario.seed, "baseline"),
+                                    None)
     if not result.succeeded:
         raise RuntimeError(f"fault-free baseline failed: {result.error}")
     durations = sorted(t.duration_seconds for t in result.tasks)
@@ -277,9 +285,10 @@ def _chaos_cell_row(args: tuple) -> dict:
     fault_seed = derive_seed(scenario.seed, f"{fault.name}/{repeat}")
     resilience = _resilience_for(
         policy, hedge_fallback_seconds=baseline_p95 * 1.5, seed=seed)
-    result, invocations, stats = _execute_cell(
+    result, invocations, stats, recorder = _execute_cell(
         scenario, workflow, fault, resilience, seed,
         checkpoint_dir, fault_seed=fault_seed)
+    violations = check_trace(recorder.events)
     executed = [t for t in result.tasks if not t.replayed]
     durations = [t.duration_seconds for t in executed]
     makespan = result.metrics.get(
@@ -307,6 +316,8 @@ def _chaos_cell_row(args: tuple) -> dict:
         "p95_task_latency_seconds": round(_quantile(durations, 0.95), 3),
         "injected_faults": stats["injected_faults"],
         "stragglers": stats["stragglers"],
+        "trace_events": len(recorder.events),
+        "trace_violations": len(violations),
     }
 
 
@@ -367,5 +378,6 @@ def run_chaos(scenario: Optional[ChaosScenario] = None,
                     sum(r["p99_task_latency_seconds"] for r in cell) / n, 3),
                 "p95_task_latency_seconds": round(
                     sum(r["p95_task_latency_seconds"] for r in cell) / n, 3),
+                "trace_violations": sum(r["trace_violations"] for r in cell),
             })
     return report

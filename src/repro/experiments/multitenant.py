@@ -28,6 +28,7 @@ from repro.scheduler import AdmissionPolicy, ServiceConfig, WorkflowService
 from repro.scheduler.service import WorkflowHandle
 from repro.simulation import Environment
 from repro.simulation.rng import derive_seed
+from repro.tracing import TraceRecorder, check_trace
 from repro.wfbench.data import workflow_input_files
 from repro.wfbench.model import WfBenchModel
 from repro.wfcommons import WorkflowGenerator, recipe_for
@@ -83,6 +84,11 @@ class MultiTenantReport:
     summary: dict
     tenant_rows: list
     frame: Optional[MetricsFrame] = None
+    #: The scenario's full trace recorder (sim clock) and the invariant
+    #: violations :func:`repro.tracing.check_trace` found in it (a
+    #: healthy run has none).
+    tracer: Optional[TraceRecorder] = None
+    trace_violations: list = field(default_factory=list)
 
     def rows(self) -> list[dict[str, Any]]:
         return [h.row() for h in self.handles]
@@ -141,6 +147,8 @@ def run_multitenant(scenario: MultiTenantScenario,
     env = Environment()
     cluster = Cluster(env, scenario.cluster_spec)
     drive = SimulatedSharedDrive()
+    recorder = TraceRecorder.for_env(env)
+    drive.tracer = recorder
     model = WfBenchModel(noise_sigma=0.0)
     rng = np.random.default_rng(derive_seed(scenario.seed, "multitenant"))
     platform = _build_platform(par, env, cluster, drive, model, rng)
@@ -155,6 +163,7 @@ def run_multitenant(scenario: MultiTenantScenario,
         manager_config=manager_config,
         model=model,
         platform_label=par.platform,
+        tracer=recorder,
     )
     for spec in scenario.tenants:
         service.configure_tenant(spec.name, weight=spec.weight,
@@ -196,6 +205,8 @@ def run_multitenant(scenario: MultiTenantScenario,
         summary=service.summary(),
         tenant_rows=service.metrics.tenant_rows(),
         frame=sampler.frame if keep_frame else None,
+        tracer=recorder,
+        trace_violations=check_trace(recorder.events),
     )
 
 
@@ -209,6 +220,8 @@ def _sweep_cell_row(scenario: MultiTenantScenario) -> dict[str, Any]:
         "arrival_spacing_seconds": scenario.arrival_spacing_seconds,
     }
     row.update(report.summary)
+    row["trace_events"] = len(report.tracer.events) if report.tracer else 0
+    row["trace_violations"] = len(report.trace_violations)
     for tenant in report.tenant_rows:
         name = tenant["tenant"]
         row[f"{name}_completed"] = tenant["completed"]

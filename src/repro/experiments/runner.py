@@ -94,6 +94,7 @@ class ExperimentResult:
             "granularity": self.spec.granularity,
             "succeeded": self.succeeded,
             "error": self.run.error[:120],
+            "error_type": self.run.metrics.get("error_type", ""),
             **self.aggregates.as_dict(),
             "cold_starts": self.platform_stats.cold_starts,
             "peak_units": self.platform_stats.peak_units,
@@ -274,15 +275,22 @@ class ExperimentRunner:
 
 def failed_result(spec: ExperimentSpec, exc: Exception) -> ExperimentResult:
     """A failed :class:`ExperimentResult` standing in for a spec whose
-    run raised (zero aggregates, the exception recorded in ``run.error``)."""
+    run raised (zero aggregates, the exception recorded in ``run.error``).
+
+    The exception *type* is kept separately in
+    ``run.metrics["error_type"]`` (and the result row): the message in
+    ``run.error`` is truncated for tables, and sweeps triage failures by
+    type."""
+    run = WorkflowRunResult(
+        workflow_name=spec.application,
+        paradigm=spec.paradigm_name,
+        succeeded=False,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+    run.metrics["error_type"] = type(exc).__name__
     return ExperimentResult(
         spec=spec,
-        run=WorkflowRunResult(
-            workflow_name=spec.application,
-            paradigm=spec.paradigm_name,
-            succeeded=False,
-            error=f"{type(exc).__name__}: {exc}",
-        ),
+        run=run,
         aggregates=ResourceAggregates(),
         platform_stats=PlatformStats(),
         frame=None,

@@ -14,13 +14,17 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.resilience.breaker import BreakerConfig, BreakerRegistry
+from repro.resilience.breaker import CLOSED, OPEN, BreakerConfig, BreakerRegistry
 from repro.resilience.hedge import HedgePolicy, LatencyTracker
 from repro.resilience.retry import RetryPolicy
+from repro.tracing.events import BREAKER_CLOSE, BREAKER_OPEN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tracing.recorder import TraceRecorder
 
 __all__ = ["ResiliencePolicy", "ResilienceState"]
 
@@ -41,8 +45,12 @@ class ResiliencePolicy:
 class ResilienceState:
     """Mutable runtime companion of a :class:`ResiliencePolicy`."""
 
-    def __init__(self, policy: ResiliencePolicy):
+    def __init__(self, policy: ResiliencePolicy,
+                 tracer: Optional["TraceRecorder"] = None):
         self.policy = policy
+        #: Optional recorder; breaker transitions become
+        #: ``breaker.open`` / ``breaker.close`` events.
+        self.tracer = tracer
         self.breakers: Optional[BreakerRegistry] = (
             BreakerRegistry(policy.breaker) if policy.breaker else None
         )
@@ -102,9 +110,27 @@ class ResilienceState:
                 now: float) -> None:
         """Feed one completed invocation back into breaker + tracker."""
         with self._lock:
+            if self.breakers is None:
+                if ok:
+                    self.latency.observe(url, latency_seconds)
+                return
+            breaker = self.breakers.breaker(url)
+            prev = breaker.state(now)
             if ok:
                 self.latency.observe(url, latency_seconds)
-                if self.breakers is not None:
-                    self.breakers.on_success(url, now)
-            elif self.breakers is not None:
-                self.breakers.on_failure(url, now)
+                breaker.on_success(now)
+            else:
+                breaker.on_failure(now)
+            if self.tracer is not None:
+                self._trace_transition(url, prev, breaker.state(now))
+
+    def _trace_transition(self, url: str, prev: str, new: str) -> None:
+        if new == prev:
+            return
+        if new == OPEN and prev != OPEN:
+            self.tracer.emit(
+                BREAKER_OPEN, name=url, url=url,
+                recovery_seconds=self.policy.breaker.recovery_seconds,
+            )
+        elif new == CLOSED:
+            self.tracer.emit(BREAKER_CLOSE, name=url, url=url)

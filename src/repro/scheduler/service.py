@@ -38,6 +38,13 @@ from repro.scheduler.admission import (
 from repro.scheduler.estimate import WorkflowEstimate, estimate_workflow
 from repro.scheduler.metrics import ServiceMetrics
 from repro.scheduler.queue import FairShareQueue, QueueEntry, TenantQuota
+from repro.tracing.events import (
+    SCHED_FINISH,
+    SCHED_REJECT,
+    SCHED_START,
+    SCHED_SUBMIT,
+)
+from repro.tracing.recorder import TraceRecorder
 from repro.wfbench.model import WfBenchModel
 from repro.wfcommons.schema import Workflow
 
@@ -94,6 +101,9 @@ class WorkflowHandle:
     status: str = QUEUED
     #: Rejection/failure reason (admission gate or run error).
     reason: str = ""
+    #: Trace id assigned at submission when the service records traces
+    #: (ties scheduler decisions to the workflow's own span).
+    trace_id: str = ""
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     result: Optional[WorkflowRunResult] = None
@@ -150,18 +160,22 @@ class WorkflowService:
         admission: Optional[AdmissionController] = None,
         platform_label: str = "",
         resilience_state: Optional[ResilienceState] = None,
+        tracer: Optional[TraceRecorder] = None,
     ):
         self.target = target
         self.drive = drive
         self.config = config or ServiceConfig()
         self.manager_config = manager_config or ManagerConfig()
+        #: Optional recorder shared by the scheduler and every manager it
+        #: starts; each submission gets its own trace id.
+        self.tracer = tracer
         #: Shared across every manager the service starts, so circuit
         #: breakers and latency estimates span concurrent workflows.
         if resilience_state is not None:
             self.resilience_state: Optional[ResilienceState] = resilience_state
         elif self.manager_config.resilience is not None:
             self.resilience_state = ResilienceState(
-                self.manager_config.resilience)
+                self.manager_config.resilience, tracer=tracer)
         else:
             self.resilience_state = None
         self.model = model or getattr(target, "model", None) or WfBenchModel()
@@ -254,6 +268,13 @@ class WorkflowService:
             estimate=estimate,
         )
         self.handles.append(handle)
+        if self.tracer is not None:
+            handle.trace_id = self.tracer.new_trace()
+            self.tracer.emit(
+                SCHED_SUBMIT, name=workflow.name, trace=handle.trace_id,
+                tenant=tenant, priority=priority,
+                queue_depth=self.queue.depth(),
+            )
         weight = self.queue.weight_of(tenant)
         self.metrics.observe_submitted(tenant, weight)
 
@@ -365,16 +386,24 @@ class WorkflowService:
         handle.status = RUNNING
         handle.started_at = now
         self.metrics.observe_started(handle.tenant, now - handle.submitted_at)
+        if self.tracer is not None:
+            self.tracer.emit(
+                SCHED_START, name=handle.workflow_name, trace=handle.trace_id,
+                tenant=handle.tenant,
+                queue_wait=round(now - handle.submitted_at, 6),
+            )
         workflow = self._workflows.pop(handle.id)
-        invoker = SimulatedInvoker(self.target, tenant=handle.tenant)
+        invoker = SimulatedInvoker(self.target, tenant=handle.tenant,
+                                   tracer=self.tracer)
         manager = ServerlessWorkflowManager(
             invoker, self.drive, self.manager_config,
-            resilience_state=self.resilience_state)
+            resilience_state=self.resilience_state, tracer=self.tracer)
         proc = self.env.process(
             manager.execute_process(
                 workflow,
                 platform_label=self.platform_label,
                 paradigm_label=handle.tenant,
+                trace_id=handle.trace_id,
             )
         )
         self._running[handle.id] = handle
@@ -414,6 +443,12 @@ class WorkflowService:
         )
         if self.resilience_state is not None:
             self.metrics.sync_resilience(self.resilience_state.counters())
+        if self.tracer is not None:
+            self.tracer.emit(
+                SCHED_FINISH, name=handle.workflow_name,
+                trace=handle.trace_id, tenant=handle.tenant,
+                status=handle.status,
+            )
         self._outstanding -= 1
         self._maybe_finish_drain()
         self._kick()
@@ -422,6 +457,11 @@ class WorkflowService:
         handle.status = REJECTED
         handle.reason = reason
         handle.finished_at = self.env.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                SCHED_REJECT, name=handle.workflow_name,
+                trace=handle.trace_id, tenant=handle.tenant, reason=reason,
+            )
         self.metrics.observe_rejected(
             handle.tenant, reason, self.queue.weight_of(handle.tenant))
 

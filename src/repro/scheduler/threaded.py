@@ -40,6 +40,13 @@ from repro.scheduler.service import (
     ServiceConfig,
     WorkflowHandle,
 )
+from repro.tracing.events import (
+    SCHED_FINISH,
+    SCHED_REJECT,
+    SCHED_START,
+    SCHED_SUBMIT,
+)
+from repro.tracing.recorder import TraceRecorder
 from repro.wfbench.model import WfBenchModel
 from repro.wfcommons.schema import Workflow
 
@@ -67,18 +74,22 @@ class ThreadedWorkflowService:
         clock: Callable[[], float] = time.monotonic,
         platform_label: str = "",
         resilience_state: Optional[ResilienceState] = None,
+        tracer: Optional[TraceRecorder] = None,
     ):
         self.invoker_factory = invoker_factory
         self.drive = drive
         self.config = config or ServiceConfig()
         self.manager_config = manager_config or ManagerConfig()
+        #: Optional recorder (TraceRecorder is lock-protected, so
+        #: worker-thread managers can all emit into it).
+        self.tracer = tracer
         #: Shared across worker-thread managers (ResilienceState is
         #: lock-protected), so breakers span concurrent workflows.
         if resilience_state is not None:
             self.resilience_state: Optional[ResilienceState] = resilience_state
         elif self.manager_config.resilience is not None:
             self.resilience_state = ResilienceState(
-                self.manager_config.resilience)
+                self.manager_config.resilience, tracer=tracer)
         else:
             self.resilience_state = None
         self.model = model or WfBenchModel()
@@ -148,6 +159,13 @@ class ThreadedWorkflowService:
                 estimate=estimate,
             )
             self.handles.append(handle)
+            if self.tracer is not None:
+                handle.trace_id = self.tracer.new_trace()
+                self.tracer.emit(
+                    SCHED_SUBMIT, name=workflow.name, trace=handle.trace_id,
+                    tenant=tenant, priority=priority,
+                    queue_depth=self.queue.depth(),
+                )
             self.metrics.observe_submitted(tenant, self.queue.weight_of(tenant))
             decision = self.admission.on_submit(
                 estimate, self.queue.depth(), now=now, deadline=deadline)
@@ -249,6 +267,12 @@ class ThreadedWorkflowService:
             self.queue.start(entry)
             handle.status = RUNNING
             handle.started_at = now
+            if self.tracer is not None:
+                self.tracer.emit(
+                    SCHED_START, name=handle.workflow_name,
+                    trace=handle.trace_id, tenant=handle.tenant,
+                    queue_wait=round(now - handle.submitted_at, 6),
+                )
             self.metrics.observe_started(
                 handle.tenant, now - handle.submitted_at)
             workflow = self._workflows.pop(handle.id)
@@ -258,13 +282,16 @@ class ThreadedWorkflowService:
     def _run_one(self, handle: WorkflowHandle, workflow: Workflow) -> None:
         try:
             invoker = self.invoker_factory(handle.tenant)
+            if self.tracer is not None:
+                invoker.tracer = self.tracer
             manager = ServerlessWorkflowManager(
                 invoker, self.drive, self.manager_config,
-                resilience_state=self.resilience_state)
+                resilience_state=self.resilience_state, tracer=self.tracer)
             result = manager.execute(
                 workflow,
                 platform_label=self.platform_label,
                 paradigm_label=handle.tenant,
+                trace_id=handle.trace_id,
             )
             ok = result.succeeded
             reason = result.error
@@ -295,6 +322,12 @@ class ThreadedWorkflowService:
             if self.resilience_state is not None:
                 self.metrics.sync_resilience(
                     self.resilience_state.counters())
+            if self.tracer is not None:
+                self.tracer.emit(
+                    SCHED_FINISH, name=handle.workflow_name,
+                    trace=handle.trace_id, tenant=handle.tenant,
+                    status=handle.status,
+                )
             self._outstanding -= 1
             if self._outstanding == 0:
                 self._idle.set()
@@ -304,5 +337,10 @@ class ThreadedWorkflowService:
         handle.status = REJECTED
         handle.reason = reason
         handle.finished_at = self.clock()
+        if self.tracer is not None:
+            self.tracer.emit(
+                SCHED_REJECT, name=handle.workflow_name,
+                trace=handle.trace_id, tenant=handle.tenant, reason=reason,
+            )
         self.metrics.observe_rejected(
             handle.tenant, reason, self.queue.weight_of(handle.tenant))

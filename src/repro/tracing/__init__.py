@@ -1,0 +1,37 @@
+"""``repro.tracing``: cross-layer span/event tracing + invariant checking.
+
+One :class:`TraceRecorder` threads through the manager, invokers,
+resilience state, scheduler services and shared drive; every layer
+emits the flat :class:`TraceEvent` schema (see
+:mod:`repro.tracing.events`), stamped by an injected clock so simulated
+and real runs produce the same JSONL logs.  :func:`check_trace` replays
+a log against the execution invariants; :func:`summarize_trace`,
+:func:`critical_path` and :func:`to_chrome_trace` analyse/export it.
+"""
+
+from repro.tracing.analyze import critical_path, summarize_trace
+from repro.tracing.check import TraceViolation, check_jsonl, check_trace
+from repro.tracing.chrome import to_chrome_trace, write_chrome_trace
+from repro.tracing.events import SCHEMA_VERSION, TraceEvent
+from repro.tracing.recorder import (
+    TraceRecorder,
+    load_jsonl,
+    load_meta,
+    write_jsonl,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceViolation",
+    "check_jsonl",
+    "check_trace",
+    "critical_path",
+    "load_jsonl",
+    "load_meta",
+    "summarize_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,146 @@
+"""Trace analysis: per-run summaries and the phase critical path."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Sequence
+
+from repro.tracing.events import (
+    BREAKER_OPEN,
+    BREAKER_SHORT_CIRCUIT,
+    HEDGE_FIRE,
+    HEDGE_RESOLVE,
+    PHASE_END,
+    PHASE_START,
+    POST_START,
+    TASK_END,
+    TASK_REPLAY,
+    TASK_RETRY,
+    TASK_SUBMIT,
+    WORKFLOW_END,
+    WORKFLOW_START,
+    TraceEvent,
+)
+
+__all__ = ["summarize_trace", "critical_path"]
+
+
+def summarize_trace(events: Iterable[TraceEvent]) -> list[dict[str, Any]]:
+    """One summary row per trace id (workflow run) in the log."""
+    per_trace: dict[str, list[TraceEvent]] = defaultdict(list)
+    for event in events:
+        per_trace[event.trace].append(event)
+    globals_ = per_trace.pop("", [])
+
+    rows: list[dict[str, Any]] = []
+    for trace_id in sorted(per_trace, key=_trace_sort_key):
+        trace_events = per_trace[trace_id]
+        counts = defaultdict(int)
+        for event in trace_events:
+            counts[event.kind] += 1
+        start = next((e for e in trace_events if e.kind == WORKFLOW_START),
+                     None)
+        end = next((e for e in trace_events if e.kind == WORKFLOW_END), None)
+        rows.append({
+            "trace": trace_id,
+            "workflow": start.name if start else "",
+            "succeeded": bool(end.attrs.get("succeeded")) if end else None,
+            "duration_seconds": (
+                round(end.ts - start.ts, 6) if start and end else None),
+            "phases": counts[PHASE_END],
+            "tasks": counts[TASK_END],
+            "submits": counts[TASK_SUBMIT],
+            "retries": counts[TASK_RETRY],
+            "replayed": counts[TASK_REPLAY],
+            "hedges": counts[HEDGE_FIRE],
+            "hedge_wins": sum(
+                1 for e in trace_events
+                if e.kind == HEDGE_RESOLVE
+                and e.attrs.get("winner") == "hedge"),
+            "short_circuits": counts[BREAKER_SHORT_CIRCUIT],
+            "events": len(trace_events),
+        })
+    if globals_:
+        counts = defaultdict(int)
+        for event in globals_:
+            counts[event.kind] += 1
+        rows.append({
+            "trace": "(global)",
+            "workflow": "",
+            "succeeded": None,
+            "duration_seconds": None,
+            "phases": 0,
+            "tasks": 0,
+            "submits": 0,
+            "retries": 0,
+            "replayed": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "short_circuits": 0,
+            "events": len(globals_),
+        })
+        rows[-1]["breaker_opens"] = counts[BREAKER_OPEN]
+        rows[-1]["posts"] = counts[POST_START]
+    return rows
+
+
+def _trace_sort_key(trace_id: str) -> tuple:
+    # "wf-10" after "wf-9": sort the numeric suffix numerically.
+    label, _, seq = trace_id.rpartition("-")
+    return (label, int(seq)) if seq.isdigit() else (trace_id, 0)
+
+
+def critical_path(events: Sequence[TraceEvent],
+                  trace: str = "") -> list[dict[str, Any]]:
+    """The longest task per phase of one run — where the makespan went.
+
+    Returns one segment per phase: the slowest task's span plus the
+    barrier gap to the next phase.  For an eager (phase-less) run the
+    result is empty.  When ``trace`` is omitted the first trace in the
+    log is analysed.
+    """
+    if not trace:
+        trace = next((e.trace for e in events if e.trace), "")
+    mine = [e for e in events if e.trace == trace]
+    phase_spans: dict[int, dict[str, float]] = {}
+    for event in mine:
+        if event.kind == PHASE_START:
+            phase_spans.setdefault(
+                int(event.attrs.get("index", -1)), {})["start"] = event.ts
+        elif event.kind == PHASE_END:
+            phase_spans.setdefault(
+                int(event.attrs.get("index", -1)), {})["end"] = event.ts
+
+    # Attribute each task completion to the phase whose span contains it.
+    segments: list[dict[str, Any]] = []
+    ordered = sorted(i for i in phase_spans
+                     if "start" in phase_spans[i] and "end" in phase_spans[i])
+    for pos, idx in enumerate(ordered):
+        span = phase_spans[idx]
+        slowest_name = ""
+        slowest = 0.0
+        for event in mine:
+            if event.kind != TASK_END:
+                continue
+            finished = float(event.attrs.get("finished_at", event.ts))
+            if not span["start"] <= finished <= span["end"] + 1e-9:
+                continue
+            started = float(event.attrs.get("started_at", event.ts))
+            duration = max(0.0, finished - started)
+            if duration >= slowest:
+                slowest = duration
+                slowest_name = event.name
+        gap = 0.0
+        if pos + 1 < len(ordered):
+            gap = max(
+                0.0, phase_spans[ordered[pos + 1]]["start"] - span["end"])
+        segments.append({
+            "phase": idx,
+            "start": round(span["start"], 6),
+            "end": round(span["end"], 6),
+            "phase_seconds": round(span["end"] - span["start"], 6),
+            "slowest_task": slowest_name,
+            "slowest_task_seconds": round(slowest, 6),
+            "barrier_gap_seconds": round(gap, 6),
+        })
+    return segments

@@ -1,0 +1,309 @@
+"""Trace-invariant checker: replay an event log, assert the execution
+contract.
+
+The manager/platform/resilience stack promises a handful of invariants
+that no counter can verify but an event log can.  :func:`check_trace`
+replays a log and returns every violation it finds:
+
+``inputs-exist``
+    No successful task started before every one of its declared input
+    files had a ``drive.put`` (the paper's shared-drive file contract).
+``phase-order``
+    Within one workflow run, phase *N+1* never starts before phase *N*
+    ended (the manager's barrier semantics), and phase indexes are
+    unique.
+``hedge-winner``
+    Hedged submissions settle to at most one winner each: never more
+    ``hedge.resolve`` events than ``hedge.fire`` events for a task, and
+    every winner is ``primary`` or ``hedge``.
+``resume-no-reexec``
+    A resumed run re-executes zero completed tasks: a task replayed
+    from the checkpoint must have no ``task.submit`` in the same trace.
+``breaker-quiet``
+    An endpoint whose breaker opened receives no real POST during the
+    open window ``(open_ts, open_ts + recovery_seconds)`` — half-open
+    probes begin only at ``open_ts + recovery_seconds``.
+``submit-completion``
+    In a run that reports success, every ``task.submit`` has a matching
+    ``task.end`` (no lost completions).
+``run-termination``
+    Every ``workflow.start`` has exactly one ``workflow.end``.
+
+Failed runs are exempt from ``submit-completion`` (an aborted run
+legitimately leaves work unfinished) but not from the ordering/breaker
+invariants.  ``eps`` absorbs clock skew for wall-clock traces; keep the
+default for simulated logs, where time is exact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.tracing.events import (
+    BREAKER_OPEN,
+    DRIVE_PUT,
+    HEDGE_FIRE,
+    HEDGE_RESOLVE,
+    PHASE_END,
+    PHASE_START,
+    POST_START,
+    TASK_END,
+    TASK_REPLAY,
+    TASK_SUBMIT,
+    WORKFLOW_END,
+    WORKFLOW_START,
+    TraceEvent,
+)
+from repro.tracing.recorder import load_jsonl
+
+__all__ = ["TraceViolation", "check_trace", "check_jsonl"]
+
+
+@dataclass(frozen=True)
+class TraceViolation:
+    """One broken invariant, anchored to a trace and a timestamp."""
+
+    invariant: str
+    trace: str
+    message: str
+    ts: float = 0.0
+
+    def __str__(self) -> str:
+        where = f" [{self.trace}]" if self.trace else ""
+        return f"{self.invariant}{where} @ {self.ts:.6f}: {self.message}"
+
+
+class _TraceIndex:
+    """Per-trace-id aggregation of one event log."""
+
+    def __init__(self) -> None:
+        self.starts: list[TraceEvent] = []
+        self.ends: list[TraceEvent] = []
+        self.submits: dict[str, list[TraceEvent]] = defaultdict(list)
+        self.task_ends: dict[str, list[TraceEvent]] = defaultdict(list)
+        self.replays: dict[str, list[TraceEvent]] = defaultdict(list)
+        self.phase_starts: dict[int, list[TraceEvent]] = defaultdict(list)
+        self.phase_ends: dict[int, list[TraceEvent]] = defaultdict(list)
+        self.hedge_fires: dict[str, int] = defaultdict(int)
+        self.hedge_resolves: dict[str, list[TraceEvent]] = defaultdict(list)
+
+    @property
+    def succeeded(self) -> bool:
+        return any(e.attrs.get("succeeded") for e in self.ends)
+
+
+def _index(events: Sequence[TraceEvent]
+           ) -> tuple[dict[str, _TraceIndex], dict[str, float],
+                      list[TraceEvent], list[TraceEvent]]:
+    traces: dict[str, _TraceIndex] = defaultdict(_TraceIndex)
+    puts: dict[str, float] = {}
+    posts: list[TraceEvent] = []
+    opens: list[TraceEvent] = []
+    for event in events:
+        kind = event.kind
+        if kind == DRIVE_PUT:
+            prev = puts.get(event.name)
+            if prev is None or event.ts < prev:
+                puts[event.name] = event.ts
+        elif kind == POST_START:
+            posts.append(event)
+        elif kind == BREAKER_OPEN:
+            opens.append(event)
+        elif kind == WORKFLOW_START:
+            traces[event.trace].starts.append(event)
+        elif kind == WORKFLOW_END:
+            traces[event.trace].ends.append(event)
+        elif kind == TASK_SUBMIT:
+            traces[event.trace].submits[event.name].append(event)
+        elif kind == TASK_END:
+            traces[event.trace].task_ends[event.name].append(event)
+        elif kind == TASK_REPLAY:
+            traces[event.trace].replays[event.name].append(event)
+        elif kind == PHASE_START:
+            traces[event.trace].phase_starts[
+                int(event.attrs.get("index", -1))].append(event)
+        elif kind == PHASE_END:
+            traces[event.trace].phase_ends[
+                int(event.attrs.get("index", -1))].append(event)
+        elif kind == HEDGE_FIRE:
+            traces[event.trace].hedge_fires[event.name] += 1
+        elif kind == HEDGE_RESOLVE:
+            traces[event.trace].hedge_resolves[event.name].append(event)
+    return traces, puts, posts, opens
+
+
+def check_trace(events: Iterable[TraceEvent],
+                eps: float = 1e-9) -> list[TraceViolation]:
+    """Replay ``events`` and return every invariant violation found."""
+    events = list(events)
+    traces, puts, posts, opens = _index(events)
+    violations: list[TraceViolation] = []
+
+    # drive.put instrumentation is optional (real HTTP runs have no view
+    # of the remote drive); only enforce inputs-exist when it was on.
+    drive_instrumented = bool(puts)
+
+    for trace_id, index in sorted(traces.items()):
+        violations.extend(_check_inputs_exist(
+            trace_id, index, puts, drive_instrumented, eps))
+        violations.extend(_check_phase_order(trace_id, index, eps))
+        violations.extend(_check_hedge_winner(trace_id, index))
+        violations.extend(_check_resume_no_reexec(trace_id, index))
+        if index.succeeded:
+            violations.extend(_check_submit_completion(trace_id, index))
+        violations.extend(_check_run_termination(trace_id, index))
+
+    violations.extend(_check_breaker_quiet(posts, opens, eps))
+    violations.sort(key=lambda v: (v.ts, v.invariant, v.trace))
+    return violations
+
+
+def check_jsonl(path: str | Path, eps: float = 1e-9) -> list[TraceViolation]:
+    return check_trace(load_jsonl(path), eps=eps)
+
+
+# -- individual invariants ----------------------------------------------------
+def _check_inputs_exist(trace_id: str, index: _TraceIndex,
+                        puts: dict[str, float], instrumented: bool,
+                        eps: float) -> list[TraceViolation]:
+    if not instrumented:
+        return []
+    out: list[TraceViolation] = []
+    for name, ends in index.task_ends.items():
+        inputs: list[str] = []
+        for submit in index.submits.get(name, ()):
+            inputs = list(submit.attrs.get("inputs", ()))
+            break
+        if not inputs:
+            continue
+        for end in ends:
+            status = int(end.attrs.get("status", 0))
+            if not 200 <= status < 300:
+                continue
+            started = float(end.attrs.get("started_at", end.ts))
+            for fname in inputs:
+                put_ts = puts.get(fname)
+                if put_ts is None:
+                    out.append(TraceViolation(
+                        "inputs-exist", trace_id,
+                        f"task {name} succeeded but input {fname} was "
+                        f"never put on the shared drive", end.ts))
+                elif put_ts > started + eps:
+                    out.append(TraceViolation(
+                        "inputs-exist", trace_id,
+                        f"task {name} started at {started:.6f} before "
+                        f"input {fname} existed (put at {put_ts:.6f})",
+                        end.ts))
+    return out
+
+
+def _check_phase_order(trace_id: str, index: _TraceIndex,
+                       eps: float) -> list[TraceViolation]:
+    out: list[TraceViolation] = []
+    for idx, starts in index.phase_starts.items():
+        if len(starts) > 1:
+            out.append(TraceViolation(
+                "phase-order", trace_id,
+                f"phase {idx} started {len(starts)} times", starts[0].ts))
+    spans: list[tuple[int, float, float]] = []
+    for idx, starts in index.phase_starts.items():
+        ends = index.phase_ends.get(idx)
+        if not ends:
+            continue  # aborted mid-phase: legitimate on failed runs
+        spans.append((idx, starts[0].ts, ends[0].ts))
+    spans.sort()
+    for idx, start, end in spans:
+        if end + eps < start:
+            out.append(TraceViolation(
+                "phase-order", trace_id,
+                f"phase {idx} ended at {end:.6f} before it started "
+                f"at {start:.6f}", start))
+    for (i, _, prev_end), (j, next_start, _) in zip(spans, spans[1:]):
+        if next_start + eps < prev_end:
+            out.append(TraceViolation(
+                "phase-order", trace_id,
+                f"phase {j} started at {next_start:.6f} before phase {i} "
+                f"ended at {prev_end:.6f}", next_start))
+    return out
+
+
+def _check_hedge_winner(trace_id: str,
+                        index: _TraceIndex) -> list[TraceViolation]:
+    out: list[TraceViolation] = []
+    names = set(index.hedge_fires) | set(index.hedge_resolves)
+    for name in names:
+        fires = index.hedge_fires.get(name, 0)
+        resolves = index.hedge_resolves.get(name, [])
+        if len(resolves) > fires:
+            out.append(TraceViolation(
+                "hedge-winner", trace_id,
+                f"task {name}: {len(resolves)} hedge winner(s) for "
+                f"{fires} hedged submission(s)",
+                resolves[0].ts if resolves else 0.0))
+        for resolve in resolves:
+            winner = resolve.attrs.get("winner")
+            if winner not in ("primary", "hedge"):
+                out.append(TraceViolation(
+                    "hedge-winner", trace_id,
+                    f"task {name}: invalid hedge winner {winner!r}",
+                    resolve.ts))
+    return out
+
+
+def _check_resume_no_reexec(trace_id: str,
+                            index: _TraceIndex) -> list[TraceViolation]:
+    out: list[TraceViolation] = []
+    for name in sorted(set(index.replays) & set(index.submits)):
+        out.append(TraceViolation(
+            "resume-no-reexec", trace_id,
+            f"task {name} was replayed from the checkpoint and then "
+            f"re-submitted", index.submits[name][0].ts))
+    return out
+
+
+def _check_submit_completion(trace_id: str,
+                             index: _TraceIndex) -> list[TraceViolation]:
+    out: list[TraceViolation] = []
+    for name, submits in index.submits.items():
+        ends = index.task_ends.get(name, [])
+        if len(ends) != len(submits):
+            out.append(TraceViolation(
+                "submit-completion", trace_id,
+                f"task {name}: {len(submits)} submit(s) but {len(ends)} "
+                f"completion(s) in a run that reported success",
+                submits[0].ts))
+    return out
+
+
+def _check_run_termination(trace_id: str,
+                           index: _TraceIndex) -> list[TraceViolation]:
+    out: list[TraceViolation] = []
+    if index.starts and len(index.ends) != len(index.starts):
+        out.append(TraceViolation(
+            "run-termination", trace_id,
+            f"{len(index.starts)} workflow.start but {len(index.ends)} "
+            f"workflow.end", index.starts[0].ts))
+    return out
+
+
+def _check_breaker_quiet(posts: list[TraceEvent], opens: list[TraceEvent],
+                         eps: float) -> list[TraceViolation]:
+    out: list[TraceViolation] = []
+    for open_event in opens:
+        url = open_event.attrs.get("url", "")
+        recovery = float(open_event.attrs.get("recovery_seconds", 0.0))
+        lo = open_event.ts + eps
+        hi = open_event.ts + recovery - eps
+        for post in posts:
+            if post.attrs.get("url") != url:
+                continue
+            if lo < post.ts < hi:
+                out.append(TraceViolation(
+                    "breaker-quiet", post.trace,
+                    f"POST to {url} at {post.ts:.6f} inside the open "
+                    f"window [{open_event.ts:.6f}, "
+                    f"{open_event.ts + recovery:.6f})", post.ts))
+    return out

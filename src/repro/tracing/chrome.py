@@ -1,0 +1,112 @@
+"""Export a trace to Chrome's ``trace_event`` JSON format.
+
+The output loads directly into ``about://tracing`` (or Perfetto's
+legacy importer): each workflow run becomes a process row, phases and
+tasks become complete ("X") slices, and point events (retries, hedges,
+breaker transitions, scheduler decisions) become instants ("i").
+Timestamps are microseconds, as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.tracing.events import (
+    PHASE_END,
+    PHASE_START,
+    TASK_END,
+    WORKFLOW_END,
+    WORKFLOW_START,
+    TraceEvent,
+)
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: Events rendered as slices get dedicated rows; everything else is an
+#: instant on the run's control row (tid 0).
+_CONTROL_TID = 0
+_PHASE_TID = 1
+_TASK_TID_BASE = 2
+
+
+def _us(ts: float) -> float:
+    return ts * 1e6
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    events = list(events)
+    pids: dict[str, int] = {}
+
+    def pid_of(trace: str) -> int:
+        if trace not in pids:
+            pids[trace] = len(pids) + 1
+        return pids[trace]
+
+    out: list[dict[str, Any]] = []
+    task_tids: dict[tuple[str, str], int] = {}
+    phase_starts: dict[tuple[str, int], float] = {}
+    run_starts: dict[str, TraceEvent] = {}
+
+    for event in events:
+        pid = pid_of(event.trace or "(global)")
+        if event.kind == WORKFLOW_START:
+            run_starts[event.trace] = event
+        elif event.kind == WORKFLOW_END:
+            start = run_starts.get(event.trace)
+            if start is not None:
+                out.append({
+                    "ph": "X", "cat": "workflow", "name": start.name,
+                    "pid": pid, "tid": _CONTROL_TID,
+                    "ts": _us(start.ts), "dur": _us(event.ts - start.ts),
+                    "args": dict(event.attrs),
+                })
+        elif event.kind == PHASE_START:
+            phase_starts[(event.trace, int(event.attrs.get("index", -1)))] \
+                = event.ts
+        elif event.kind == PHASE_END:
+            idx = int(event.attrs.get("index", -1))
+            start_ts = phase_starts.get((event.trace, idx))
+            if start_ts is not None:
+                out.append({
+                    "ph": "X", "cat": "phase", "name": f"phase {idx}",
+                    "pid": pid, "tid": _PHASE_TID,
+                    "ts": _us(start_ts), "dur": _us(event.ts - start_ts),
+                    "args": dict(event.attrs),
+                })
+        elif event.kind == TASK_END:
+            key = (event.trace, event.name)
+            if key not in task_tids:
+                task_tids[key] = _TASK_TID_BASE + sum(
+                    1 for (t, _) in task_tids if t == event.trace)
+            started = float(event.attrs.get("started_at", event.ts))
+            finished = float(event.attrs.get("finished_at", event.ts))
+            out.append({
+                "ph": "X", "cat": "task", "name": event.name,
+                "pid": pid, "tid": task_tids[key],
+                "ts": _us(started), "dur": _us(max(0.0, finished - started)),
+                "args": dict(event.attrs),
+            })
+        else:
+            out.append({
+                "ph": "i", "s": "p", "cat": event.kind.split(".")[0],
+                "name": f"{event.kind} {event.name}".strip(),
+                "pid": pid, "tid": _CONTROL_TID,
+                "ts": _us(event.ts), "args": dict(event.attrs),
+            })
+
+    for trace, pid in pids.items():
+        out.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": trace},
+        })
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent],
+                       path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(events), indent=1))
+    return path

@@ -1,0 +1,112 @@
+"""Trace event schema: one vocabulary for simulated and real runs.
+
+Every run layer emits the same flat record — ``(ts, kind, trace, name,
+attrs)`` — so a trace of a simulated Knative run and a trace of real
+HTTP POSTs differ only in their clock domain (the JSONL header records
+which).  Events serialise to JSON Lines with sorted keys and no
+whitespace, so a fixed-seed simulated run produces a byte-stable log
+(the golden-trace test relies on this).
+
+Kinds are dotted ``layer.verb`` strings; the full vocabulary:
+
+========================  ====================================================
+kind                      emitted by / meaning
+========================  ====================================================
+``workflow.start/end``    manager: one span per workflow run (= one trace id)
+``phase.start/end``       manager: phase barrier spans (level/sequential)
+``task.submit``           manager: a task left the manager towards the
+                          platform (attrs carry ``url`` and ``inputs``)
+``task.end``              manager: a gathered invocation outcome
+``task.retry``            manager: a failed task re-submitted by the policy
+``task.replay``           manager: a checkpointed task restored on resume
+``post.start/end``        invoker: one real request on the wire (hedge
+                          duplicates produce their own pair)
+``hedge.fire``            invoker: speculative duplicate armed
+``hedge.resolve``         invoker: hedged submission settled (attrs say
+                          whether ``primary`` or ``hedge`` won)
+``breaker.open/close``    resilience state: circuit transition for a URL
+``breaker.short_circuit`` manager: submission shed without touching the wire
+``checkpoint.write``      manager: per-phase checkpoint flushed to disk
+``sched.submit/reject``   workflow service: admission decisions
+``sched.start/finish``    workflow service: queue dispatch and completion
+``drive.put``             shared drive: a file became available
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceEvent",
+    "WORKFLOW_START", "WORKFLOW_END",
+    "PHASE_START", "PHASE_END",
+    "TASK_SUBMIT", "TASK_END", "TASK_RETRY", "TASK_REPLAY",
+    "POST_START", "POST_END",
+    "HEDGE_FIRE", "HEDGE_RESOLVE",
+    "BREAKER_OPEN", "BREAKER_CLOSE", "BREAKER_SHORT_CIRCUIT",
+    "CHECKPOINT_WRITE",
+    "SCHED_SUBMIT", "SCHED_REJECT", "SCHED_START", "SCHED_FINISH",
+    "DRIVE_PUT",
+]
+
+SCHEMA_VERSION = 1
+
+WORKFLOW_START = "workflow.start"
+WORKFLOW_END = "workflow.end"
+PHASE_START = "phase.start"
+PHASE_END = "phase.end"
+TASK_SUBMIT = "task.submit"
+TASK_END = "task.end"
+TASK_RETRY = "task.retry"
+TASK_REPLAY = "task.replay"
+POST_START = "post.start"
+POST_END = "post.end"
+HEDGE_FIRE = "hedge.fire"
+HEDGE_RESOLVE = "hedge.resolve"
+BREAKER_OPEN = "breaker.open"
+BREAKER_CLOSE = "breaker.close"
+BREAKER_SHORT_CIRCUIT = "breaker.short_circuit"
+CHECKPOINT_WRITE = "checkpoint.write"
+SCHED_SUBMIT = "sched.submit"
+SCHED_REJECT = "sched.reject"
+SCHED_START = "sched.start"
+SCHED_FINISH = "sched.finish"
+DRIVE_PUT = "drive.put"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event in a run's trace."""
+
+    ts: float
+    kind: str
+    #: Trace id of the workflow run this event belongs to ("" = global:
+    #: drive/breaker events are shared across concurrent workflows).
+    trace: str = ""
+    #: Subject of the event — usually a task name.
+    name: str = ""
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        """Compact dict form; empty fields are omitted."""
+        payload: dict[str, Any] = {"ts": self.ts, "kind": self.kind}
+        if self.trace:
+            payload["trace"] = self.trace
+        if self.name:
+            payload["name"] = self.name
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            ts=float(payload["ts"]),
+            kind=str(payload["kind"]),
+            trace=str(payload.get("trace", "")),
+            name=str(payload.get("name", "")),
+            attrs=dict(payload.get("attrs", {})),
+        )

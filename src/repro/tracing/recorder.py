@@ -1,0 +1,127 @@
+"""The trace recorder: clock-injected, thread-safe, JSONL in/out.
+
+One :class:`TraceRecorder` collects every layer's events for a run (or
+for many interleaved runs — the workflow services share one recorder
+across all their managers).  The clock is injected so the same recorder
+works on the simulation kernel (``TraceRecorder.for_env(env)`` stamps
+events with ``env.now``) and on the wall clock (the default,
+``time.monotonic``); traces from both domains share one schema and one
+checker.
+
+Overhead discipline: every emission site in the manager/invoker/
+scheduler guards with ``if tracer is not None`` — a run without a
+recorder pays one attribute load per would-be event and allocates
+nothing.  ``emit`` itself takes the recorder lock only for the list
+append, so the threaded service's worker managers can trace
+concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from repro.tracing.events import SCHEMA_VERSION, TraceEvent
+
+__all__ = ["TraceRecorder", "write_jsonl", "load_jsonl", "load_meta"]
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records for one or many runs."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        meta: Optional[dict[str, Any]] = None,
+    ):
+        self.clock = clock if clock is not None else time.monotonic
+        self.events: list[TraceEvent] = []
+        self.meta: dict[str, Any] = {"clock": "wall"}
+        if meta:
+            self.meta.update(meta)
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    @classmethod
+    def for_env(cls, env: Any,
+                meta: Optional[dict[str, Any]] = None) -> "TraceRecorder":
+        """A recorder stamping events with the simulation clock."""
+        merged = {"clock": "sim"}
+        if meta:
+            merged.update(meta)
+        return cls(clock=lambda: env.now, meta=merged)
+
+    # -- emission -------------------------------------------------------------
+    def new_trace(self, label: str = "wf") -> str:
+        """A fresh trace id (one per workflow run), e.g. ``wf-3``.
+
+        Ids are a deterministic counter, not random, so fixed-seed runs
+        produce byte-stable logs.
+        """
+        with self._lock:
+            self._seq += 1
+            return f"{label}-{self._seq}"
+
+    def emit(self, kind: str, name: str = "", trace: str = "",
+             **attrs: Any) -> TraceEvent:
+        event = TraceEvent(ts=self.clock(), kind=kind, trace=trace,
+                           name=name, attrs=attrs)
+        with self._lock:
+            self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- persistence ----------------------------------------------------------
+    def write_jsonl(self, path: str | Path) -> Path:
+        with self._lock:
+            events = list(self.events)
+        meta = dict(self.meta)
+        meta["events"] = len(events)
+        return write_jsonl(events, path, meta=meta)
+
+
+def _dumps(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path,
+                meta: Optional[dict[str, Any]] = None) -> Path:
+    """Write a trace log: one header line, then one event per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"schema": SCHEMA_VERSION}
+    header.update(meta or {})
+    lines = [_dumps(header)]
+    lines.extend(_dumps(e.to_json()) for e in events)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Read the events of a trace log (header lines are skipped)."""
+    events: list[TraceEvent] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        if "kind" not in payload:  # header / metadata line
+            continue
+        events.append(TraceEvent.from_json(payload))
+    return events
+
+
+def load_meta(path: str | Path) -> dict[str, Any]:
+    """The header of a trace log ({} when the log has none)."""
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        return {} if "kind" in payload else payload
+    return {}

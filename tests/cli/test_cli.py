@@ -185,6 +185,115 @@ class TestWfmSubmit:
         assert '"rejected": 2' in out
 
 
+class TestExperimentsFlags:
+    """Parsing of the sweep-engine flags (--jobs/--cache-dir/--profile)."""
+
+    def test_defaults(self):
+        from repro.cli.experiments import build_parser
+
+        args = build_parser().parse_args(["fig7"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.profile is False
+
+    def test_explicit_values(self):
+        from pathlib import Path
+
+        from repro.cli.experiments import build_parser
+
+        args = build_parser().parse_args([
+            "fig7", "--jobs", "4", "--cache-dir", "cache", "--profile",
+        ])
+        assert args.jobs == 4
+        assert args.cache_dir == Path("cache")
+        assert args.profile is True
+
+    def test_short_jobs_alias(self):
+        from repro.cli.experiments import build_parser
+
+        assert build_parser().parse_args(["fig7", "-j", "2"]).jobs == 2
+
+
+class TestTraceCli:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        """A real trace log produced by ``repro-wfm --trace-out``."""
+        from helpers import make_workflow
+
+        tmp_path = tmp_path_factory.mktemp("trace")
+        wf = make_workflow("blast", 10)
+        path = wf.save(tmp_path / "wf.json")
+        trace_path = tmp_path / "run.trace.jsonl"
+        rc = wfm_main([str(path), "--paradigm", "Kn10wNoPM",
+                       "--trace-out", str(trace_path)])
+        assert rc == 0
+        assert trace_path.exists()
+        return trace_path
+
+    def test_wfm_trace_out_is_checkable(self, trace_file):
+        from repro.tracing import check_jsonl, load_meta
+
+        assert load_meta(trace_file)["clock"] == "sim"
+        assert check_jsonl(trace_file) == []
+
+    def test_summarize(self, trace_file, capsys):
+        from repro.cli.trace import main as trace_main
+
+        rc = trace_main(["summarize", str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wf-1" in out
+        assert "(global)" in out
+
+    def test_summarize_json(self, trace_file, capsys):
+        from repro.cli.trace import main as trace_main
+
+        rc = trace_main(["summarize", str(trace_file), "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(r["trace"] == "wf-1" and r["succeeded"] for r in rows)
+
+    def test_check_clean(self, trace_file, capsys):
+        from repro.cli.trace import main as trace_main
+
+        rc = trace_main(["check", str(trace_file)])
+        assert rc == 0
+        assert "ok: all invariants hold" in capsys.readouterr().out
+
+    def test_check_mutated_fails(self, trace_file, tmp_path, capsys):
+        from repro.cli.trace import main as trace_main
+
+        # Drop one task completion: the run claims success but a
+        # submitted task never finished.
+        mutated = trace_file.read_text().splitlines()
+        dropped = next(i for i, l in enumerate(mutated)
+                       if '"kind":"task.end"' in l)
+        del mutated[dropped]
+        bad = tmp_path / "bad.trace.jsonl"
+        bad.write_text("\n".join(mutated) + "\n")
+        rc = trace_main(["check", str(bad)])
+        assert rc == 1
+        assert "submit-completion" in capsys.readouterr().out
+
+    def test_critical_path(self, trace_file, capsys):
+        from repro.cli.trace import main as trace_main
+
+        rc = trace_main(["critical-path", str(trace_file), "--json"])
+        assert rc == 0
+        segments = json.loads(capsys.readouterr().out)
+        assert segments
+        assert all("slowest_task" in s for s in segments)
+
+    def test_export_chrome(self, trace_file, tmp_path):
+        from repro.cli.trace import main as trace_main
+
+        out = tmp_path / "chrome.json"
+        rc = trace_main(["export", str(trace_file), "-o", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
 class TestExperimentsCli:
     def test_design_target_runs_everything(self, tmp_path, capsys):
         rc = experiments_main([

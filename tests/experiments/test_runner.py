@@ -104,3 +104,20 @@ class TestRunMany:
         results = runner.run_many(specs)
         assert len(results) == 2
         assert all(r.succeeded for r in results)
+
+    def test_failed_spec_preserves_exception_type(self, runner):
+        """A spec that raises mid-sweep must keep the exception *type*
+        in its result row — sweeps triage failures by type, and the
+        truncated message alone loses it."""
+        bad = spec(app="nosuchapp", size=20)
+        results = runner.run_many([spec(size=20), bad])
+        assert len(results) == 2
+        assert results[0].succeeded
+        failed = results[1]
+        assert not failed.succeeded
+        assert failed.run.metrics["error_type"] == "KeyError"
+        row = failed.row()
+        assert row["error_type"] == "KeyError"
+        assert "nosuchapp" in row["error"]
+        # Healthy rows carry the column too, empty.
+        assert results[0].row()["error_type"] == ""

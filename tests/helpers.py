@@ -10,3 +10,52 @@ def make_workflow(application: str = "blast", num_tasks: int = 20, seed: int = 7
     return WorkflowGenerator(recipe_for(application)(), seed=seed).build_workflow(
         num_tasks
     )
+
+
+def traced_sim_run(workflow=None, *, application: str = "blast",
+                   num_tasks: int = 8, seed: int = 7, manager_config=None,
+                   fault_injector=None, checkpoint=None):
+    """One fully traced run on a simulated Knative platform.
+
+    Returns ``(result, recorder)``; the recorder holds the complete
+    span/event log of the run (sim clock), including the input staging
+    ``drive.put`` events.
+    """
+    import numpy as np
+
+    from repro.core import (
+        ManagerConfig,
+        ServerlessWorkflowManager,
+        SimulatedInvoker,
+        SimulatedSharedDrive,
+    )
+    from repro.platform.cluster import Cluster
+    from repro.platform.knative import KnativeConfig, KnativePlatform
+    from repro.simulation import Environment
+    from repro.tracing import TraceRecorder
+    from repro.wfbench.data import workflow_input_files
+    from repro.wfbench.model import WfBenchModel
+
+    wf = workflow if workflow is not None else \
+        make_workflow(application, num_tasks, seed=seed)
+    env = Environment()
+    cluster = Cluster(env)
+    drive = SimulatedSharedDrive()
+    recorder = TraceRecorder.for_env(env)
+    drive.tracer = recorder
+    platform = KnativePlatform(env, cluster, drive, config=KnativeConfig(),
+                               model=WfBenchModel(noise_sigma=0.0),
+                               rng=np.random.default_rng(0))
+    if fault_injector is not None:
+        platform.fault_injector = fault_injector
+    for f in workflow_input_files(wf):
+        drive.put(f.name, f.size_in_bytes)
+    invoker = SimulatedInvoker(platform, tracer=recorder)
+    manager = ServerlessWorkflowManager(invoker, drive,
+                                        manager_config or ManagerConfig(),
+                                        checkpoint=checkpoint,
+                                        tracer=recorder)
+    result = manager.execute(wf, platform_label="knative",
+                             paradigm_label="Kn10wNoPM")
+    platform.shutdown()
+    return result, recorder

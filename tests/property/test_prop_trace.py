@@ -1,0 +1,153 @@
+"""Property-based tests for the trace invariant checker.
+
+Two directions, both required for the checker to mean anything:
+
+1. *Honest traces pass.*  Any real execution — random application, DAG
+   size, seed, and chaos fault plan (transient failures + stragglers
+   with retries/hedging armed) — must produce an event log with zero
+   invariant violations.
+
+2. *Dishonest traces fail.*  Mutating an honest log in a way that
+   breaks an execution guarantee (dropping a completion, sliding a
+   phase start back across the barrier, crowning two hedge winners,
+   re-submitting a replayed task) must be caught.  A checker that
+   passes mutated logs is vacuous.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ManagerConfig
+from repro.platform.faults import ChaosInjector
+from repro.resilience import HedgePolicy, ResiliencePolicy, RetryPolicy
+from repro.tracing import TraceEvent, check_trace
+from repro.tracing.events import (
+    HEDGE_RESOLVE,
+    PHASE_START,
+    TASK_END,
+    TASK_REPLAY,
+    TASK_SUBMIT,
+)
+
+from helpers import traced_sim_run
+
+apps = st.sampled_from(["blast", "montage", "cycles"])
+sizes = st.integers(min_value=8, max_value=24)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+failure_rates = st.sampled_from([0.0, 0.1, 0.25])
+straggler_rates = st.sampled_from([0.0, 0.2])
+
+
+def chaos_policy(seed):
+    return ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=6, base_delay_seconds=0.2,
+                          jitter="decorrelated"),
+        hedge=HedgePolicy(quantile=0.5, min_samples=3,
+                          fallback_delay_seconds=1.0),
+        seed=seed,
+    )
+
+
+def honest_run(app, size, seed, failure_rate, straggler_rate):
+    injector = None
+    if failure_rate or straggler_rate:
+        injector = ChaosInjector(
+            failure_rate=failure_rate, seed=seed,
+            straggler_rate=straggler_rate, straggler_delay_seconds=15.0)
+    return traced_sim_run(
+        application=app, num_tasks=size, seed=seed,
+        manager_config=ManagerConfig(resilience=chaos_policy(seed % 1000)),
+        fault_injector=injector,
+    )
+
+
+class TestHonestTracesPass:
+    @given(apps, sizes, seeds, failure_rates, straggler_rates)
+    @settings(max_examples=12, deadline=None)
+    def test_real_runs_check_clean(self, app, size, seed, failure_rate,
+                                   straggler_rate):
+        result, recorder = honest_run(app, size, seed, failure_rate,
+                                      straggler_rate)
+        assert result.succeeded, result.error
+        assert check_trace(recorder.events) == []
+
+
+def mutate(events, predicate, replace):
+    """Replace (or drop, when ``replace`` returns None) matching events."""
+    out = []
+    hit = False
+    for event in events:
+        if not hit and predicate(event):
+            hit = True
+            replacement = replace(event)
+            if replacement is None:
+                continue
+            if isinstance(replacement, list):
+                out.extend(replacement)
+                continue
+            out.append(replacement)
+        else:
+            out.append(event)
+    assert hit, "mutation target not found in trace"
+    return out
+
+
+class TestMutatedTracesFail:
+    """Each mutation corrupts one guarantee; the checker must object."""
+
+    def honest(self, seed):
+        result, recorder = honest_run("blast", 12, seed, 0.0, 0.0)
+        assert result.succeeded
+        return recorder.events
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_dropped_completion_is_caught(self, seed):
+        events = self.honest(seed)
+        mutated = mutate(events, lambda e: e.kind == TASK_END,
+                         lambda e: None)
+        violations = check_trace(mutated)
+        assert any(v.invariant == "submit-completion" for v in violations)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_reordered_phase_is_caught(self, seed):
+        events = self.honest(seed)
+        last = max(e.attrs["index"] for e in events
+                   if e.kind == PHASE_START)
+        assert last >= 1, "need at least two phases to reorder"
+        mutated = mutate(
+            events,
+            lambda e: e.kind == PHASE_START and e.attrs["index"] == last,
+            lambda e: TraceEvent(ts=-1.0, kind=PHASE_START, trace=e.trace,
+                                 name=e.name, attrs=e.attrs),
+        )
+        violations = check_trace(mutated)
+        assert any(v.invariant == "phase-order" for v in violations)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_double_hedge_winner_is_caught(self, seed):
+        events = self.honest(seed)
+        # Forge a hedge race that two attempts "won".
+        name = next(e.name for e in events if e.kind == TASK_SUBMIT)
+        forged = events + [
+            TraceEvent(ts=events[-1].ts, kind=HEDGE_RESOLVE, trace="wf-1",
+                       name=name, attrs={"winner": "primary"}),
+            TraceEvent(ts=events[-1].ts, kind=HEDGE_RESOLVE, trace="wf-1",
+                       name=name, attrs={"winner": "hedge"}),
+        ]
+        violations = check_trace(forged)
+        assert any(v.invariant == "hedge-winner" for v in violations)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_replayed_task_resubmitted_is_caught(self, seed):
+        events = self.honest(seed)
+        name = next(e.name for e in events if e.kind == TASK_SUBMIT)
+        forged = events + [
+            TraceEvent(ts=0.0, kind=TASK_REPLAY, trace="wf-1", name=name,
+                       attrs={"phase": 0, "status": 200}),
+        ]
+        violations = check_trace(forged)
+        assert any(v.invariant == "resume-no-reexec" for v in violations)

@@ -1,0 +1,87 @@
+"""Unit tests for the trace recorder, schema and JSONL round-trip."""
+
+import json
+
+from repro.simulation import Environment
+from repro.tracing import (
+    SCHEMA_VERSION,
+    TraceEvent,
+    TraceRecorder,
+    load_jsonl,
+    load_meta,
+)
+from repro.tracing.events import TASK_END, TASK_SUBMIT, WORKFLOW_START
+
+
+class TestRecorder:
+    def test_injected_clock_stamps_events(self):
+        ticks = iter([1.5, 2.5, 10.0])
+        recorder = TraceRecorder(clock=lambda: next(ticks))
+        recorder.emit(TASK_SUBMIT, name="a")
+        recorder.emit(TASK_END, name="a")
+        assert [e.ts for e in recorder.events] == [1.5, 2.5]
+
+    def test_for_env_uses_sim_clock(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        env.run(until=env.timeout(3.0))
+        event = recorder.emit(WORKFLOW_START, name="wf")
+        assert event.ts == 3.0
+        assert recorder.meta["clock"] == "sim"
+
+    def test_default_clock_is_wall(self):
+        recorder = TraceRecorder()
+        assert recorder.meta["clock"] == "wall"
+        first = recorder.emit(TASK_SUBMIT, name="a")
+        second = recorder.emit(TASK_END, name="a")
+        assert second.ts >= first.ts
+
+    def test_new_trace_ids_are_sequential(self):
+        recorder = TraceRecorder()
+        assert recorder.new_trace() == "wf-1"
+        assert recorder.new_trace() == "wf-2"
+        assert recorder.new_trace(label="run") == "run-3"
+
+    def test_emit_collects_attrs(self):
+        recorder = TraceRecorder(clock=lambda: 0.0)
+        event = recorder.emit(TASK_SUBMIT, name="t", trace="wf-1",
+                              url="http://x", inputs=["a", "b"])
+        assert event.attrs == {"url": "http://x", "inputs": ["a", "b"]}
+        assert len(recorder) == 1
+
+
+class TestEventJson:
+    def test_empty_fields_omitted(self):
+        event = TraceEvent(ts=1.0, kind=TASK_END)
+        assert event.to_json() == {"ts": 1.0, "kind": TASK_END}
+
+    def test_round_trip(self):
+        event = TraceEvent(ts=2.0, kind=TASK_SUBMIT, trace="wf-1",
+                           name="t", attrs={"url": "http://x"})
+        assert TraceEvent.from_json(event.to_json()) == event
+
+
+class TestJsonl:
+    def test_write_and_load_round_trip(self, tmp_path):
+        recorder = TraceRecorder(clock=lambda: 1.0)
+        recorder.emit(TASK_SUBMIT, name="a", trace="wf-1", url="u")
+        recorder.emit(TASK_END, name="a", trace="wf-1", status=200)
+        path = recorder.write_jsonl(tmp_path / "run.trace.jsonl")
+
+        assert load_jsonl(path) == recorder.events
+        meta = load_meta(path)
+        assert meta["schema"] == SCHEMA_VERSION
+        assert meta["clock"] == "wall"
+        assert meta["events"] == 2
+
+    def test_lines_are_compact_sorted_json(self, tmp_path):
+        recorder = TraceRecorder(clock=lambda: 1.0)
+        recorder.emit(TASK_SUBMIT, name="a", trace="wf-1", zeta=1, alpha=2)
+        path = recorder.write_jsonl(tmp_path / "run.trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        # Compact separators, keys sorted — the byte-stability contract.
+        assert " " not in lines[1]
+        payload = json.loads(lines[1])
+        assert list(payload) == sorted(payload)
+        assert list(payload["attrs"]) == sorted(payload["attrs"])

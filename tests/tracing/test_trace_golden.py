@@ -1,0 +1,35 @@
+"""Byte-stability guard for the trace JSONL schema.
+
+``tests/fixtures/blast8_kn.trace.jsonl`` is the complete event log of a
+fixed small Blast run (8 tasks, seed 7, noise-free WfBench model) on
+the simulated Knative platform.  A fresh run of the same cell must
+reproduce it byte for byte: deterministic sim clock, counter-based
+trace ids, sorted-key compact JSON.  If this test fails after a
+tracing/manager/invoker change, the change altered the observable
+schema — bump ``SCHEMA_VERSION`` and regenerate the fixture
+deliberately:
+
+    PYTHONPATH=src:tests python -c "
+    from helpers import traced_sim_run
+    _, rec = traced_sim_run(num_tasks=8, seed=7)
+    rec.write_jsonl('tests/fixtures/blast8_kn.trace.jsonl')"
+"""
+
+from pathlib import Path
+
+from repro.tracing import check_jsonl
+
+from helpers import traced_sim_run
+
+GOLDEN = Path(__file__).parent.parent / "fixtures" / "blast8_kn.trace.jsonl"
+
+
+def test_trace_output_matches_golden_fixture(tmp_path):
+    result, recorder = traced_sim_run(num_tasks=8, seed=7)
+    assert result.succeeded
+    path = recorder.write_jsonl(tmp_path / "run.trace.jsonl")
+    assert path.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_golden_fixture_passes_checker():
+    assert check_jsonl(GOLDEN) == []

@@ -1,0 +1,179 @@
+"""Traces from real executions: every layer emits, the checker passes.
+
+These tests run actual workflows (simulated kernel) with the recorder
+attached and assert (a) the expected event kinds appear, (b) the
+invariant checker finds nothing wrong, and (c) the analysis/export
+helpers digest real logs.
+"""
+
+import json
+
+from repro.core import ManagerConfig
+from repro.platform.faults import ChaosInjector
+from repro.resilience import (
+    BreakerConfig,
+    HedgePolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    WorkflowCheckpoint,
+)
+from repro.tracing import check_trace, critical_path, summarize_trace, \
+    to_chrome_trace
+from repro.tracing.events import (
+    CHECKPOINT_WRITE,
+    DRIVE_PUT,
+    HEDGE_FIRE,
+    HEDGE_RESOLVE,
+    PHASE_END,
+    PHASE_START,
+    POST_END,
+    POST_START,
+    TASK_END,
+    TASK_REPLAY,
+    TASK_RETRY,
+    TASK_SUBMIT,
+    WORKFLOW_END,
+    WORKFLOW_START,
+)
+
+from helpers import make_workflow, traced_sim_run
+
+
+def kinds_of(recorder):
+    return {e.kind for e in recorder.events}
+
+
+class TestCleanRun:
+    def test_emits_full_vocabulary_and_checks_clean(self):
+        result, recorder = traced_sim_run(num_tasks=10)
+        assert result.succeeded
+        kinds = kinds_of(recorder)
+        assert {WORKFLOW_START, WORKFLOW_END, PHASE_START, PHASE_END,
+                TASK_SUBMIT, TASK_END, POST_START, POST_END,
+                DRIVE_PUT} <= kinds
+        assert check_trace(recorder.events) == []
+
+    def test_one_trace_id_per_run(self):
+        result, recorder = traced_sim_run(num_tasks=8)
+        traces = {e.trace for e in recorder.events if e.trace}
+        assert traces == {"wf-1"}
+        # header + tail + tasks, one submit and one end each
+        submits = [e for e in recorder.events if e.kind == TASK_SUBMIT]
+        ends = [e for e in recorder.events if e.kind == TASK_END]
+        assert len(submits) == result.num_tasks
+        assert len(ends) == result.num_tasks
+
+    def test_disabled_tracing_emits_nothing(self):
+        # traced_sim_run always traces; the inverse is the default path
+        # everywhere else in the suite — assert the invariant directly.
+        from repro.core import ServerlessWorkflowManager, SimulatedSharedDrive
+
+        drive = SimulatedSharedDrive()
+        assert drive.tracer is None
+        manager = ServerlessWorkflowManager.__new__(ServerlessWorkflowManager)
+        assert getattr(manager, "_tracer", None) is None
+
+
+class TestFaultsAndResilience:
+    def test_retry_events_and_clean_check_under_faults(self):
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=5, base_delay_seconds=0.2,
+                              jitter="decorrelated"),
+            breaker=BreakerConfig(failure_threshold=10,
+                                  recovery_seconds=5.0),
+            seed=3,
+        )
+        result, recorder = traced_sim_run(
+            num_tasks=12,
+            manager_config=ManagerConfig(resilience=policy),
+            fault_injector=ChaosInjector(failure_rate=0.2, seed=11),
+        )
+        assert result.succeeded
+        retries = [e for e in recorder.events if e.kind == TASK_RETRY]
+        assert retries, "20% transient faults must produce retries"
+        assert all(e.attrs["round"] >= 1 for e in retries)
+        assert check_trace(recorder.events) == []
+
+    def test_hedge_events_resolve_to_one_winner(self):
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3, base_delay_seconds=0.2),
+            hedge=HedgePolicy(quantile=0.5, min_samples=2,
+                              fallback_delay_seconds=0.5),
+            seed=5,
+        )
+        result, recorder = traced_sim_run(
+            num_tasks=14,
+            manager_config=ManagerConfig(resilience=policy),
+            fault_injector=ChaosInjector(
+                failure_rate=0.0, seed=13, straggler_rate=0.3,
+                straggler_delay_seconds=20.0),
+        )
+        assert result.succeeded
+        fires = [e for e in recorder.events if e.kind == HEDGE_FIRE]
+        resolves = [e for e in recorder.events if e.kind == HEDGE_RESOLVE]
+        assert fires, "30% stragglers must arm hedges"
+        assert len(resolves) <= len(fires)
+        assert {e.attrs["winner"] for e in resolves} <= {"primary", "hedge"}
+        assert check_trace(recorder.events) == []
+
+
+class TestCheckpointResume:
+    def test_crash_resume_replays_and_checks_clean(self, tmp_path):
+        wf = make_workflow("blast", 10)
+        path = tmp_path / "ckpt.json"
+        crashed, recorder1 = traced_sim_run(
+            wf, manager_config=ManagerConfig(max_phases=2),
+            checkpoint=WorkflowCheckpoint(path, wf.name))
+        assert not crashed.succeeded
+        assert CHECKPOINT_WRITE in kinds_of(recorder1)
+        assert check_trace(recorder1.events) == []
+
+        resumed, recorder2 = traced_sim_run(
+            wf, checkpoint=WorkflowCheckpoint.load(path))
+        assert resumed.succeeded
+        replays = [e for e in recorder2.events if e.kind == TASK_REPLAY]
+        assert replays, "resume must replay checkpointed tasks"
+        submitted = {e.name for e in recorder2.events
+                     if e.kind == TASK_SUBMIT}
+        assert submitted.isdisjoint({e.name for e in replays})
+        assert check_trace(recorder2.events) == []
+
+
+class TestAnalysis:
+    def test_summarize_real_run(self):
+        result, recorder = traced_sim_run(num_tasks=10)
+        rows = summarize_trace(recorder.events)
+        per_run = [r for r in rows if r["trace"] == "wf-1"]
+        assert len(per_run) == 1
+        row = per_run[0]
+        assert row["succeeded"] is True
+        assert row["tasks"] == result.num_tasks
+        assert row["phases"] == len(result.phases)
+        assert row["duration_seconds"] > 0
+        # drive.put events land in the global row
+        assert rows[-1]["trace"] == "(global)"
+
+    def test_critical_path_covers_every_phase(self):
+        result, recorder = traced_sim_run(num_tasks=10)
+        segments = critical_path(recorder.events)
+        assert len(segments) == len(result.phases)
+        assert [s["phase"] for s in segments] == sorted(
+            s["phase"] for s in segments)
+        for segment in segments:
+            assert segment["phase_seconds"] >= segment["slowest_task_seconds"]
+            assert segment["slowest_task"]
+
+    def test_chrome_export_is_valid_trace_event_json(self):
+        result, recorder = traced_sim_run(num_tasks=8)
+        doc = to_chrome_trace(recorder.events)
+        json.dumps(doc)  # serialisable
+        events = doc["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert slices and instants and metadata
+        workflow_slices = [e for e in slices if e["cat"] == "workflow"]
+        assert len(workflow_slices) == 1
+        assert workflow_slices[0]["dur"] > 0
+        task_slices = [e for e in slices if e["cat"] == "task"]
+        assert len(task_slices) == result.num_tasks
