@@ -23,6 +23,7 @@ from repro.experiments.bench import (
     kernel_bench,
     run_bench,
     sampler_bench,
+    transfer_bench,
     write_bench,
 )
 from repro.experiments.parallel import ParallelExperimentRunner
@@ -64,16 +65,18 @@ def test_bench_record(tmp_path):
     """The bench harness produces a complete, sane BENCH_sweep.json."""
     payload = run_bench(
         jobs_levels=(2,), kernel_events=50_000, sampler_ticks=5_000,
-        cache_dir=str(tmp_path),
+        transfer_count=2_000, cache_dir=str(tmp_path),
     )
     assert payload["kernel"]["events_per_second"] > 0
     assert payload["sampler"]["ticks_per_second"] > 0
+    assert payload["transfer"]["transfers_per_second"] > 0
     assert payload["sweep"]["all_succeeded"]
     assert payload["sweep"]["jobs"]["2"]["rows_equal"]
     path = write_bench(payload, BENCH_PATH)
     assert path.exists()
     print(f"\n[bench] kernel {payload['kernel']['events_per_second']:,} ev/s"
           f" | sampler {payload['sampler']['ticks_per_second']:,} ticks/s"
+          f" | transfer {payload['transfer']['transfers_per_second']:,} tr/s"
           f" | sweep serial {payload['sweep']['serial_seconds']}s"
           f" | jobs2 speedup {payload['sweep']['jobs']['2']['speedup']}x")
 
@@ -121,3 +124,13 @@ def test_kernel_microbench_floor():
 def test_sampler_microbench_floor():
     """Same order-of-magnitude guard for the 1 Hz sampler."""
     assert sampler_bench(5_000)["ticks_per_second"] > 20_000
+
+
+def test_transfer_microbench_floor():
+    """Contended data-plane transfers: each wave of 20 exercises the
+    processor-sharing re-rate walk, so this floor guards the hot path
+    dense workflow phases hit (~100k/s on the dev box; the floor only
+    catches order-of-magnitude regressions)."""
+    result = transfer_bench(2_000, fan_out=20)
+    assert result["transfers"] == 2_000
+    assert result["transfers_per_second"] > 5_000

@@ -33,7 +33,7 @@ __all__ = ["main", "build_parser"]
 
 _TARGETS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "headline", "design", "report", "chaos", "multitenant",
-            "bench", "all")
+            "dataplane", "bench", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,6 +251,24 @@ def _run(args: argparse.Namespace) -> int:
               f"checked, {mt_violations} invariant violation(s)")
         if mt_violations:
             return 2
+    if "dataplane" in targets:
+        from repro.experiments.dataplane import run_dataplane_sweep
+
+        rows = run_dataplane_sweep(jobs=args.jobs, seed=args.seed)
+        print()
+        print(format_table(
+            rows, title="Data plane: storage model × workflow"))
+        out_dir = args.output if args.output is not None else Path("results")
+        path = write_rows_csv(rows, out_dir / "dataplane.csv")
+        print(f"[csv] {path}")
+        dp_violations = sum(r["trace_violations"] for r in rows)
+        dp_mismatches = sum(
+            1 for r in rows if r["uniform_matches_legacy"] is False)
+        print(f"[trace] {sum(r['trace_events'] for r in rows)} events "
+              f"checked, {dp_violations} invariant violation(s), "
+              f"{dp_mismatches} uniform/legacy mismatch(es)")
+        if dp_violations or dp_mismatches:
+            return 2
     if "bench" in targets:
         from repro.experiments.bench import run_bench, write_bench
 
@@ -260,10 +278,13 @@ def _run(args: argparse.Namespace) -> int:
         path = write_bench(payload, args.bench_output)
         kernel = payload["kernel"]
         sampler = payload["sampler"]
+        transfer = payload["transfer"]
         sweep = payload["sweep"]
-        print(f"\nkernel : {kernel['events_per_second']:>12,} events/s")
-        print(f"sampler: {sampler['ticks_per_second']:>12,} ticks/s")
-        print(f"sweep  : {sweep['specs']} specs, serial "
+        print(f"\nkernel  : {kernel['events_per_second']:>12,} events/s")
+        print(f"sampler : {sampler['ticks_per_second']:>12,} ticks/s")
+        print(f"transfer: {transfer['transfers_per_second']:>12,} "
+              "transfers/s")
+        print(f"sweep   : {sweep['specs']} specs, serial "
               f"{sweep['serial_seconds']:.2f}s")
         for jobs, level in sweep["jobs"].items():
             print(f"  --jobs {jobs}: {level['seconds']:.2f}s "

@@ -65,9 +65,12 @@ class ManagerConfig:
     phase_delay_seconds: float = 1.0
     #: Check input-file availability on the shared drive before each phase.
     readiness_check: bool = True
-    #: Retries (each followed by ``readiness_retry_delay``) before giving up.
+    #: Retries (each followed by the poll interval) before giving up.
     readiness_retries: int = 3
     readiness_retry_delay_seconds: float = 1.0
+    #: Seconds between readiness polls; ``None`` falls back to
+    #: ``readiness_retry_delay_seconds`` (the paper's 1 s cadence).
+    readiness_poll_interval_seconds: Optional[float] = None
     #: Inject the header/tail marker functions.
     inject_header_tail: bool = True
     #: The PM/NoPM axis: force ``keep-memory`` on every request.
@@ -117,6 +120,9 @@ class ManagerConfig:
             raise ValueError("max_parallel_requests must be >= 0")
         if self.max_phases < 0:
             raise ValueError("max_phases must be >= 0")
+        if (self.readiness_poll_interval_seconds is not None
+                and self.readiness_poll_interval_seconds <= 0):
+            raise ValueError("readiness_poll_interval_seconds must be > 0")
 
 
 class ServerlessWorkflowManager:
@@ -152,6 +158,7 @@ class ServerlessWorkflowManager:
         else:
             self._state = None
         self._run_retries = 0
+        self._readiness_retries = 0
 
     @property
     def resilience_state(self) -> Optional[ResilienceState]:
@@ -175,13 +182,33 @@ class ServerlessWorkflowManager:
     def api_url_for(self, task: Task) -> str:
         return task.command.api_url or self.config.default_api_url
 
+    def _readiness_interval(self) -> float:
+        """Seconds between readiness polls (configurable; paper default 1 s)."""
+        interval = self.config.readiness_poll_interval_seconds
+        if interval is None:
+            interval = self.config.readiness_retry_delay_seconds
+        return interval
+
+    def _readiness_keep_waiting(self, missing: list[str],
+                                retries: int) -> bool:
+        """Poll again?  Within the retry budget always; past it only while
+        the data plane still has a write transfer in flight for a missing
+        file (it is guaranteed to land, so waiting terminates)."""
+        if not missing:
+            return False
+        if retries > 0:
+            return True
+        return bool(self.drive.in_flight(missing))
+
     def _check_readiness(self, dag: WorkflowDAG, phase: Phase) -> list[str]:
         """Wait (bounded) until the phase's inputs are on the shared drive."""
         needed = dag.phase_inputs(phase)
         missing = self.drive.missing(needed)
         retries = self.config.readiness_retries
-        while missing and retries > 0:
-            self.invoker.sleep(self.config.readiness_retry_delay_seconds)
+        interval = self._readiness_interval()
+        while self._readiness_keep_waiting(missing, retries):
+            self.invoker.sleep(interval)
+            self._readiness_retries += 1
             missing = self.drive.missing(needed)
             retries -= 1
         return missing
@@ -296,6 +323,8 @@ class ServerlessWorkflowManager:
         exact when the manager owns its state, approximate attribution
         when several interleaved managers share one)."""
         result.metrics.setdefault("retries", self._run_retries)
+        result.metrics.setdefault("readiness_retries",
+                                  self._readiness_retries)
         if self._state is None:
             return
         after = self._state.counters()
@@ -415,6 +444,7 @@ class ServerlessWorkflowManager:
             self._trace_run_start(workflow, dag, platform_label,
                                   paradigm_label, trace_id)
         self._run_retries = 0
+        self._readiness_retries = 0
         before = self._run_snapshot()
         try:
             if self.config.execution_mode == "eager":
@@ -614,6 +644,7 @@ class ServerlessWorkflowManager:
             self._trace_run_start(workflow, dag, platform_label,
                                   paradigm_label, trace_id)
         self._run_retries = 0
+        self._readiness_retries = 0
         before = self._run_snapshot()
         try:
             if self.config.execution_mode == "eager":
@@ -657,8 +688,10 @@ class ServerlessWorkflowManager:
                 needed = dag.phase_inputs(phase)
                 missing = self.drive.missing(needed)
                 retries = self.config.readiness_retries
-                while missing and retries > 0:
-                    yield env.timeout(self.config.readiness_retry_delay_seconds)
+                interval = self._readiness_interval()
+                while self._readiness_keep_waiting(missing, retries):
+                    yield env.timeout(interval)
+                    self._readiness_retries += 1
                     missing = self.drive.missing(needed)
                     retries -= 1
                 if missing:

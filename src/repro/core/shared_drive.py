@@ -2,9 +2,10 @@
 
 The paper's first prototype "assumes that all machines in the cluster
 have access to a common shared directory for storing I/O"; all function
-communication flows through it.  The manager only needs three operations
-— does a file exist, how big is it, stage these bytes — so both a real
-directory and an in-memory simulated store satisfy the same interface.
+communication flows through it.  The manager only needs a handful of
+operations — does a file exist, how big is it, stage these bytes, drop
+them again — so both a real directory and an in-memory simulated store
+satisfy the same interface.
 """
 
 from __future__ import annotations
@@ -44,12 +45,30 @@ class SharedDrive(abc.ABC):
         """Record/stage a file of ``size`` bytes."""
 
     @abc.abstractmethod
+    def delete(self, name: str) -> None:
+        """Remove ``name`` if present (eviction/cleanup; absent is a no-op)."""
+
+    @abc.abstractmethod
     def list_files(self) -> list[str]:
         """All file names currently on the drive."""
+
+    def clear(self) -> None:
+        """Remove every file (end-of-run cleanup)."""
+        for name in self.list_files():
+            self.delete(name)
 
     def missing(self, names: Iterable[str]) -> list[str]:
         """The subset of ``names`` not present (readiness check helper)."""
         return [n for n in names if not self.exists(n)]
+
+    def in_flight(self, names: Iterable[str]) -> list[str]:
+        """The subset of ``names`` whose bytes are still being written.
+
+        Only meaningful when a data plane models transfers; the base
+        drive has no in-flight state, so readiness polling degrades to
+        the bounded legacy loop.
+        """
+        return []
 
     def stage(self, files: Mapping[str, int]) -> None:
         for name, size in files.items():
@@ -61,6 +80,10 @@ class SimulatedSharedDrive(SharedDrive):
 
     def __init__(self) -> None:
         self._files: dict[str, int] = {}
+        #: Optional :class:`~repro.dataplane.DataPlane`; when attached,
+        #: the manager's readiness check can distinguish "never produced"
+        #: from "write transfer still in flight".
+        self.dataplane = None
 
     def exists(self, name: str) -> bool:
         return name in self._files
@@ -70,8 +93,10 @@ class SimulatedSharedDrive(SharedDrive):
 
     def put(self, name: str, size: int) -> None:
         self._files[name] = int(size)
-        if self.tracer is not None:
-            self._trace_put(name, size)
+        self._trace_put(name, size)
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
 
     def list_files(self) -> list[str]:
         return sorted(self._files)
@@ -81,6 +106,11 @@ class SimulatedSharedDrive(SharedDrive):
 
     def clear(self) -> None:
         self._files.clear()
+
+    def in_flight(self, names: Iterable[str]) -> list[str]:
+        if self.dataplane is None:
+            return []
+        return self.dataplane.in_flight(names)
 
 
 class LocalSharedDrive(SharedDrive):
@@ -110,8 +140,12 @@ class LocalSharedDrive(SharedDrive):
             if size > 0:
                 handle.seek(size - 1)
                 handle.write(b"\0")
-        if self.tracer is not None:
-            self._trace_put(name, size)
+        self._trace_put(name, size)
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        if path.is_file():
+            path.unlink()
 
     def list_files(self) -> list[str]:
         return sorted(

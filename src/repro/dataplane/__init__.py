@@ -1,0 +1,22 @@
+"""The data-plane subsystem: a modeled storage fabric for the platforms.
+
+Replaces the flat per-function bandwidth constant with a contended
+:class:`SharedStore` (processor-sharing aggregate bandwidth), per-node
+:class:`LocalCache` tiers, and a :class:`TransferScheduler` that turns
+task file sets into explicit traced transfer operations.  See
+``docs/dataplane.md``.
+"""
+
+from repro.dataplane.cache import LocalCache
+from repro.dataplane.config import DATA_PLANE_MODES, DataPlaneConfig
+from repro.dataplane.scheduler import DataPlane, TransferScheduler
+from repro.dataplane.store import SharedStore
+
+__all__ = [
+    "DATA_PLANE_MODES",
+    "DataPlane",
+    "DataPlaneConfig",
+    "LocalCache",
+    "SharedStore",
+    "TransferScheduler",
+]

@@ -1,0 +1,112 @@
+"""Per-node cache tier in front of the shared store.
+
+Each schedulable node gets one :class:`LocalCache`: a byte-budgeted LRU
+of file contents the node has produced or previously fetched.  A hit
+serves the read at local (page-cache/NVMe) bandwidth instead of crossing
+the contended shared fabric — which is what makes consumer-after-
+producer-on-the-same-node reads near-free and gives the locality
+placement hint something to aim at.
+
+Eviction events are emitted *before* the triggering insert so a replay
+of the event log (the ``cache-capacity`` trace invariant) never observes
+the cache above its capacity.
+"""
+
+from __future__ import annotations
+
+from repro.tracing.events import CACHE_EVICT, CACHE_HIT, CACHE_INSERT
+
+__all__ = ["LocalCache"]
+
+
+class LocalCache:
+    """LRU-by-bytes cache of shared-drive files on one node."""
+
+    def __init__(self, node: str, capacity_bytes: int, tracer=None):
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.node = node
+        self.capacity_bytes = int(capacity_bytes)
+        self.tracer = tracer
+        # dicts preserve insertion order; re-inserting on touch gives LRU.
+        self._entries: dict[str, int] = {}
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def size_of(self, name: str) -> int:
+        return self._entries.get(name, 0)
+
+    def lookup(self, name: str) -> bool:
+        """Hit test with LRU touch and hit/miss accounting."""
+        size = self._entries.pop(name, None)
+        if size is None:
+            self.misses += 1
+            return False
+        self._entries[name] = size  # most-recently-used position
+        self.hits += 1
+        if self.tracer is not None:
+            self.tracer.emit(CACHE_HIT, name=name, bytes=size,
+                             node=self.node)
+        return True
+
+    def insert(self, name: str, size: int) -> list[str]:
+        """Admit ``name``, evicting LRU entries to fit; returns evictees.
+
+        Files larger than the whole cache are never admitted (they would
+        evict everything for a single use), and a zero-capacity cache is
+        a no-op — ``shared`` mode runs with exactly that.
+        """
+        size = int(size)
+        if size > self.capacity_bytes or self.capacity_bytes == 0:
+            return []
+        previous = self._entries.pop(name, None)
+        if previous is not None:
+            self.used_bytes -= previous
+        evicted: list[str] = []
+        while self.used_bytes + size > self.capacity_bytes:
+            victim, victim_size = next(iter(self._entries.items()))
+            del self._entries[victim]
+            self.used_bytes -= victim_size
+            self.evictions += 1
+            evicted.append(victim)
+            if self.tracer is not None:
+                self.tracer.emit(CACHE_EVICT, name=victim,
+                                 bytes=victim_size, node=self.node)
+        self._entries[name] = size
+        self.used_bytes += size
+        if self.tracer is not None:
+            self.tracer.emit(CACHE_INSERT, name=name, bytes=size,
+                             node=self.node, capacity=self.capacity_bytes)
+        return evicted
+
+    def delete(self, name: str) -> None:
+        size = self._entries.pop(name, None)
+        if size is not None:
+            self.used_bytes -= size
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "node": self.node,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "used_bytes": self.used_bytes,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,80 @@
+"""Configuration of the modeled storage fabric.
+
+One frozen dataclass selects how much of the data plane is modeled:
+
+``uniform``
+    The legacy behaviour: I/O time comes from the flat
+    ``WfBenchModel.shared_drive_bandwidth`` constant, with zero
+    contention.  This mode is byte-compatible with every pre-dataplane
+    figure and trace fixture (the golden tests pin it).
+``shared``
+    Every file read/write becomes an explicit transfer through a
+    :class:`~repro.dataplane.store.SharedStore` with finite aggregate
+    bandwidth shared fairly among concurrent transfers — dense phases
+    now slow each other down, as the paper's NFS drive does (§III-C).
+``cached``
+    ``shared`` plus a per-node :class:`~repro.dataplane.cache.LocalCache`
+    tier in front of the store: a consumer re-reading bytes its node
+    already holds skips the shared fabric.
+``locality``
+    ``cached`` plus a placement hint — the dispatcher prefers the node
+    already holding the largest share of a request's input bytes (the
+    Wukong-style locality lever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DataPlaneConfig", "DATA_PLANE_MODES"]
+
+#: Recognised fidelity levels, weakest to strongest.
+DATA_PLANE_MODES = ("uniform", "shared", "cached", "locality")
+
+
+@dataclass(frozen=True)
+class DataPlaneConfig:
+    """Knobs of the storage fabric model."""
+
+    #: Fidelity level; see the module docstring.
+    mode: str = "uniform"
+    #: Total bandwidth of the shared store (bytes/s).  The paper's NFS
+    #: export rides a 10 GbE link ≈ 1.25 GB/s of which ~1 GB/s is
+    #: realisable payload.
+    aggregate_bandwidth: float = 1e9
+    #: Per-client ceiling (bytes/s); defaults to the legacy flat constant
+    #: so a lone transfer matches the uniform model exactly.
+    per_client_bandwidth: float = 200e6
+    #: Capacity of each node-local cache tier (bytes); 0 disables caching
+    #: even in ``cached``/``locality`` mode.
+    cache_bytes: int = 16 << 30
+    #: Bandwidth of a node-local cache read (bytes/s) — page-cache/NVMe
+    #: speed, an order of magnitude above the shared fabric.
+    cache_bandwidth: float = 2e9
+
+    def __post_init__(self) -> None:
+        if self.mode not in DATA_PLANE_MODES:
+            raise ValueError(
+                f"mode must be one of {DATA_PLANE_MODES}, got {self.mode!r}"
+            )
+        if self.aggregate_bandwidth <= 0:
+            raise ValueError("aggregate_bandwidth must be > 0")
+        if self.per_client_bandwidth <= 0:
+            raise ValueError("per_client_bandwidth must be > 0")
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be >= 0")
+        if self.cache_bandwidth <= 0:
+            raise ValueError("cache_bandwidth must be > 0")
+
+    @property
+    def modelled(self) -> bool:
+        """True when transfers go through the fabric (any non-uniform mode)."""
+        return self.mode != "uniform"
+
+    @property
+    def caching(self) -> bool:
+        return self.mode in ("cached", "locality") and self.cache_bytes > 0
+
+    @property
+    def locality(self) -> bool:
+        return self.mode == "locality"

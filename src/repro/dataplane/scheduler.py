@@ -1,0 +1,166 @@
+"""Transfer scheduling and the :class:`DataPlane` facade.
+
+:class:`TransferScheduler` turns a task's input/output file sets into
+explicit modeled transfer operations: cache hits are served at local
+bandwidth, misses fan out as concurrent transfers through the contended
+:class:`~repro.dataplane.store.SharedStore` (and populate the node's
+cache on arrival), and writes go write-through — shared store plus the
+producer node's cache, so a consumer landing on the same node later
+reads them for near-free.
+
+:class:`DataPlane` bundles the store, the per-node cache tier and the
+scheduler behind the single object the platforms, the manager and the
+sampler hold.  In ``uniform`` mode it is inert (``modelled`` is False)
+and every caller falls back to the legacy flat-bandwidth formula —
+byte-for-byte identical to the pre-dataplane behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional, Sequence
+
+from repro.dataplane.cache import LocalCache
+from repro.dataplane.config import DataPlaneConfig
+from repro.dataplane.store import SharedStore
+from repro.simulation import Environment
+
+__all__ = ["TransferScheduler", "DataPlane"]
+
+
+class TransferScheduler:
+    """Plans and executes the transfers behind one task's file I/O."""
+
+    def __init__(self, plane: "DataPlane"):
+        self.plane = plane
+
+    def read_inputs(self, node: str, files: Sequence[tuple[str, int]]
+                    ) -> Generator:
+        """Stage a task's inputs onto ``node``; yields kernel events.
+
+        Shared-store misses transfer concurrently (they share the
+        fabric's bandwidth, so concurrency is what creates contention);
+        cache hits are charged afterwards at local bandwidth.
+        """
+        plane = self.plane
+        cache = plane.cache_for(node)
+        local_bytes = 0
+        fetched: list[tuple[str, int]] = []
+        events = []
+        for name, size in files:
+            if size <= 0:
+                continue
+            if cache.lookup(name):
+                local_bytes += size
+            else:
+                fetched.append((name, size))
+                events.append(plane.store.transfer(name, size, "read", node))
+        if events:
+            yield plane.env.all_of(events)
+        for name, size in fetched:
+            cache.insert(name, size)
+        if local_bytes:
+            yield plane.env.timeout(local_bytes / plane.config.cache_bandwidth)
+
+    def write_outputs(self, node: str, files: Sequence[tuple[str, int]]
+                      ) -> Generator:
+        """Write-through a task's outputs: shared store + producer cache."""
+        plane = self.plane
+        events = [
+            plane.store.transfer(name, size, "write", node)
+            for name, size in files
+            if size > 0
+        ]
+        if events:
+            yield plane.env.all_of(events)
+        cache = plane.cache_for(node)
+        for name, size in files:
+            if size > 0:
+                cache.insert(name, size)
+
+
+class DataPlane:
+    """The modeled storage fabric: store + cache tier + scheduler."""
+
+    def __init__(self, env: Environment,
+                 config: Optional[DataPlaneConfig] = None, tracer=None):
+        self.env = env
+        self.config = config or DataPlaneConfig()
+        self.tracer = tracer
+        self.store = SharedStore(
+            env,
+            aggregate_bandwidth=self.config.aggregate_bandwidth,
+            per_client_bandwidth=self.config.per_client_bandwidth,
+            tracer=tracer,
+        )
+        self.scheduler = TransferScheduler(self)
+        self._caches: dict[str, LocalCache] = {}
+
+    # -- mode -------------------------------------------------------------
+    @property
+    def modelled(self) -> bool:
+        """False in ``uniform`` mode — callers use the legacy formula."""
+        return self.config.modelled
+
+    @property
+    def locality(self) -> bool:
+        return self.config.locality
+
+    # -- cache tier -------------------------------------------------------
+    def cache_for(self, node: str) -> LocalCache:
+        """The node's cache (zero-capacity when caching is off)."""
+        cache = self._caches.get(node)
+        if cache is None:
+            capacity = self.config.cache_bytes if self.config.caching else 0
+            cache = LocalCache(node, capacity, tracer=self.tracer)
+            self._caches[node] = cache
+        return cache
+
+    @property
+    def caches(self) -> list[LocalCache]:
+        return list(self._caches.values())
+
+    def locality_node(self, inputs: Iterable[str]) -> Optional[str]:
+        """The node holding the largest share of ``inputs``, if any."""
+        best: Optional[str] = None
+        best_bytes = 0
+        for node, cache in self._caches.items():
+            held = sum(cache.size_of(name) for name in inputs)
+            if held > best_bytes:
+                best, best_bytes = node, held
+        return best
+
+    # -- scheduler passthrough -------------------------------------------
+    def read_inputs(self, node: str, files: Sequence[tuple[str, int]]
+                    ) -> Generator:
+        return self.scheduler.read_inputs(node, files)
+
+    def write_outputs(self, node: str, files: Sequence[tuple[str, int]]
+                      ) -> Generator:
+        return self.scheduler.write_outputs(node, files)
+
+    # -- readiness --------------------------------------------------------
+    def in_flight(self, names: Iterable[str]) -> list[str]:
+        """Names whose producing write transfer has not landed yet."""
+        return self.store.in_flight_writes(names)
+
+    # -- reporting --------------------------------------------------------
+    def cache_hit_rate(self) -> float:
+        hits = sum(c.hits for c in self._caches.values())
+        misses = sum(c.misses for c in self._caches.values())
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def cache_used_bytes(self) -> int:
+        return sum(c.used_bytes for c in self._caches.values())
+
+    def stats(self) -> dict:
+        caches = self._caches.values()
+        return {
+            "mode": self.config.mode,
+            **self.store.stats(),
+            "cache_hits": sum(c.hits for c in caches),
+            "cache_misses": sum(c.misses for c in caches),
+            "cache_evictions": sum(c.evictions for c in caches),
+            "cache_hit_rate": self.cache_hit_rate(),
+            "cache_used_bytes": self.cache_used_bytes(),
+        }

@@ -1,0 +1,171 @@
+"""The contended shared store: processor-sharing bandwidth on the kernel.
+
+All concurrent transfers share the store's aggregate bandwidth fairly —
+each of ``n`` active transfers progresses at ``min(per_client,
+aggregate / n)`` bytes per second, the classic processor-sharing fluid
+model of a saturated NFS export.  Because every active transfer runs at
+the same rate, the one with the least remaining bytes always completes
+first; the store therefore keeps a single armed timer for the next
+completion and re-arms it whenever membership changes (a transfer
+starting or finishing changes everyone's rate).
+
+The simulation kernel has no event cancellation, so stale timers are
+neutralised with a generation counter: every re-arm bumps the
+generation, and a timer firing with an old generation is ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simulation import Environment, Event, Gauge
+from repro.tracing.events import TRANSFER_END, TRANSFER_START
+
+__all__ = ["SharedStore"]
+
+#: Residual bytes below this are rounding noise, not real work.
+_EPS_BYTES = 1e-6
+
+
+class _Transfer:
+    """One in-flight read or write through the shared store."""
+
+    __slots__ = ("name", "size", "remaining", "kind", "node", "event")
+
+    def __init__(self, name: str, size: float, kind: str, node: str,
+                 event: Event):
+        self.name = name
+        self.size = size
+        self.remaining = size
+        self.kind = kind
+        self.node = node
+        self.event = event
+
+
+class SharedStore:
+    """Finite-bandwidth shared storage fabric (the paper's NFS drive)."""
+
+    def __init__(self, env: Environment, aggregate_bandwidth: float,
+                 per_client_bandwidth: float, tracer=None):
+        if aggregate_bandwidth <= 0 or per_client_bandwidth <= 0:
+            raise ValueError("bandwidths must be > 0")
+        self.env = env
+        self.aggregate_bandwidth = float(aggregate_bandwidth)
+        self.per_client_bandwidth = float(per_client_bandwidth)
+        #: Optional :class:`~repro.tracing.TraceRecorder` for
+        #: ``transfer.start`` / ``transfer.end`` events.
+        self.tracer = tracer
+        self._active: list[_Transfer] = []
+        self._generation = 0
+        self._last_settle = env.now
+        #: Count of in-flight *write* transfers per file name — the
+        #: manager's readiness check consults this through the drive.
+        self._writes_in_flight: dict[str, int] = {}
+        #: Instantaneous delivered bandwidth (bytes/s), sampler-readable.
+        self.throughput = Gauge(env)
+        self.peak_active = 0
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.transfers_completed = 0
+
+    # -- rate model --------------------------------------------------------
+    def _rate(self) -> float:
+        """Per-transfer rate under processor sharing."""
+        n = len(self._active)
+        return min(self.per_client_bandwidth, self.aggregate_bandwidth / n)
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    def in_flight_writes(self, names) -> list[str]:
+        """The subset of ``names`` with a write transfer still in flight."""
+        return [n for n in names if self._writes_in_flight.get(n, 0) > 0]
+
+    # -- transfer lifecycle ------------------------------------------------
+    def transfer(self, name: str, size: int, kind: str = "read",
+                 node: str = "") -> Event:
+        """Start one transfer; the returned event fires at completion."""
+        if kind not in ("read", "write"):
+            raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
+        if self.tracer is not None:
+            self.tracer.emit(TRANSFER_START, name=name, bytes=int(size),
+                             op=kind, node=node)
+        if size <= 0:
+            # Zero-byte files move instantly but still round-trip the
+            # kernel so callers see consistent event semantics.
+            if self.tracer is not None:
+                self.tracer.emit(TRANSFER_END, name=name, bytes=int(size),
+                                 op=kind, node=node)
+            return self.env.timeout(0.0)
+        done = self.env.event()
+        item = _Transfer(name, float(size), kind, node, done)
+        self._settle()
+        self._active.append(item)
+        self.peak_active = max(self.peak_active, len(self._active))
+        if kind == "write":
+            self._writes_in_flight[name] = \
+                self._writes_in_flight.get(name, 0) + 1
+        self._rearm()
+        return done
+
+    def _settle(self) -> None:
+        """Credit progress accrued since the last membership change."""
+        now = self.env.now
+        dt = now - self._last_settle
+        if dt > 0 and self._active:
+            rate = self._rate()
+            for item in self._active:
+                item.remaining -= rate * dt
+        self._last_settle = now
+
+    def _rearm(self) -> None:
+        """Schedule the next completion under the current membership."""
+        self._generation += 1
+        if not self._active:
+            self.throughput.set(0.0)
+            return
+        rate = self._rate()
+        self.throughput.set(rate * len(self._active))
+        shortest = min(item.remaining for item in self._active)
+        generation = self._generation
+        timer = self.env.timeout(max(0.0, shortest / rate))
+        timer.callbacks.append(lambda _ev: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a later membership change
+        self._settle()
+        finished = [t for t in self._active if t.remaining <= _EPS_BYTES]
+        if not finished:
+            self._rearm()
+            return
+        for item in finished:
+            self._active.remove(item)
+            self.transfers_completed += 1
+            if item.kind == "write":
+                left = self._writes_in_flight.get(item.name, 1) - 1
+                if left > 0:
+                    self._writes_in_flight[item.name] = left
+                else:
+                    self._writes_in_flight.pop(item.name, None)
+                self.bytes_written += item.size
+            else:
+                self.bytes_read += item.size
+            if self.tracer is not None:
+                self.tracer.emit(TRANSFER_END, name=item.name,
+                                 bytes=int(item.size), op=item.kind,
+                                 node=item.node)
+        self._rearm()
+        for item in finished:
+            item.event.succeed()
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "transfers_completed": self.transfers_completed,
+            "peak_active": self.peak_active,
+            "throughput_mean": self.throughput.mean(),
+        }

@@ -33,6 +33,12 @@ from repro.experiments.chaos import (
     FaultScenario,
     run_chaos,
 )
+from repro.experiments.dataplane import (
+    DATA_PLANE_SWEEP_MODES,
+    DataPlaneScenario,
+    run_dataplane_cell,
+    run_dataplane_sweep,
+)
 from repro.experiments.sweeps import ParameterSweep, SweepCell
 from repro.experiments.repetitions import (
     MetricSummary,
@@ -70,6 +76,10 @@ __all__ = [
     "ChaosScenario",
     "FaultScenario",
     "run_chaos",
+    "DATA_PLANE_SWEEP_MODES",
+    "DataPlaneScenario",
+    "run_dataplane_cell",
+    "run_dataplane_sweep",
     "ParameterSweep",
     "SweepCell",
     "MetricSummary",

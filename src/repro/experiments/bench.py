@@ -7,6 +7,9 @@ record three things into ``BENCH_sweep.json``:
   (schedule + dispatch, the inner loop under every experiment);
 * **sampler** — 1 Hz metric-sampling ticks per second over the
   paper testbed cluster (the per-sample cost of Figures 4-7's data);
+* **transfer** — contended-transfer throughput of the data-plane
+  shared store (every re-rate walks the active set, so dense phases
+  stress this loop);
 * **sweep** — wall-clock of a figure-style experiment grid run
   serially and at each ``--jobs`` level, with speedups and a
   row-equality check (parallel results must be byte-identical).
@@ -33,6 +36,7 @@ from repro.simulation import Environment
 __all__ = [
     "kernel_bench",
     "sampler_bench",
+    "transfer_bench",
     "sweep_bench",
     "run_bench",
     "write_bench",
@@ -73,6 +77,34 @@ def sampler_bench(ticks: int = 20_000) -> dict[str, Any]:
         "ticks": ticks,
         "seconds": round(elapsed, 4),
         "ticks_per_second": round(ticks / elapsed),
+    }
+
+
+def transfer_bench(num_transfers: int = 5_000,
+                   fan_out: int = 20) -> dict[str, Any]:
+    """Contended transfers per second through the shared store.
+
+    Transfers are issued in waves of ``fan_out`` so each wave exercises
+    the processor-sharing re-rate path (join, drain, re-rate) rather
+    than the trivial single-client fast path.
+    """
+    from repro.dataplane.store import SharedStore
+
+    env = Environment()
+    store = SharedStore(env, aggregate_bandwidth=100.0,
+                        per_client_bandwidth=100.0)
+    start = time.perf_counter()
+    for wave in range(num_transfers // fan_out):
+        done = [store.transfer(f"f{wave}.{i}", 100.0 + i)
+                for i in range(fan_out)]
+        env.run(until=env.all_of(done))
+    elapsed = time.perf_counter() - start
+    completed = store.transfers_completed
+    return {
+        "transfers": completed,
+        "fan_out": fan_out,
+        "seconds": round(elapsed, 4),
+        "transfers_per_second": round(completed / elapsed),
     }
 
 
@@ -140,6 +172,7 @@ def run_bench(
     jobs_levels: tuple = (2,),
     kernel_events: int = 200_000,
     sampler_ticks: int = 20_000,
+    transfer_count: int = 5_000,
     seed: int = 0,
     cache_dir: Optional[str] = None,
 ) -> dict[str, Any]:
@@ -150,6 +183,7 @@ def run_bench(
         "cpu_count": os.cpu_count(),
         "kernel": kernel_bench(kernel_events),
         "sampler": sampler_bench(sampler_ticks),
+        "transfer": transfer_bench(transfer_count),
         "sweep": sweep_bench(jobs_levels=jobs_levels, seed=seed,
                              cache_dir=cache_dir),
     }

@@ -1,0 +1,253 @@
+"""Data-plane experiment: what the storage model does to the paper's runs.
+
+The paper charges every byte a flat 200 MB/s against the NFS share and
+moves on; :mod:`repro.dataplane` replaces that constant with a modeled
+fabric — a contended shared store, per-node caches, and locality-aware
+staging.  This sweep quantifies the difference, mode by mode, across the
+seven workflows:
+
+* ``legacy``   — no data plane at all (the pre-dataplane code path);
+* ``uniform``  — an *inert* data plane attached (must produce rows
+  identical to ``legacy``: the built-in regression check);
+* ``shared``   — contended store, no caches: dense phases now slow each
+  other down instead of each enjoying the full 200 MB/s;
+* ``cached``   — per-node LRU caches absorb re-reads;
+* ``locality`` — caches plus locality-aware placement: consumers land on
+  the node already holding their inputs.
+
+Every cell runs on a fresh multi-worker cluster (the default 2-node
+testbed has a single schedulable worker, which makes locality moot), is
+traced end to end, and is gated by
+:func:`repro.tracing.check_trace` — including the transfer-staged and
+cache-capacity invariants this subsystem introduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.dataplane import DataPlane, DataPlaneConfig
+from repro.experiments.design import APPLICATIONS_ORDER
+from repro.experiments.figures import GROUP_1
+from repro.experiments.paradigms import paradigm
+from repro.monitoring.sampler import SimClusterSampler
+from repro.platform.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.platform.knative import KnativePlatform
+from repro.simulation import Environment
+from repro.simulation.rng import derive_seed
+from repro.tracing import TraceRecorder, check_trace
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons import WorkflowGenerator, recipe_for
+
+__all__ = [
+    "DATA_PLANE_SWEEP_MODES",
+    "DataPlaneScenario",
+    "run_dataplane_cell",
+    "run_dataplane_sweep",
+]
+
+GB = 1 << 30
+
+#: Sweep order: the two non-modeled baselines first (their row equality
+#: is the uniform-mode regression check), then the modeled modes in
+#: increasing sophistication.
+DATA_PLANE_SWEEP_MODES = ("legacy", "uniform", "shared", "cached", "locality")
+
+
+@dataclass(frozen=True)
+class DataPlaneScenario:
+    """One cell of the data-plane sweep."""
+
+    application: str = "blast"
+    num_tasks: int = 20
+    mode: str = "uniform"
+    #: 1-worker pods: the autoscaler scales *out*, so pods (and their
+    #: node caches) actually spread across the cluster.
+    paradigm_name: str = "Kn1wNoPM"
+    #: Schedulable workers — locality needs somewhere to differ.
+    workers: int = 4
+    #: Multiplies every recipe file size: turns the workflows I/O-heavy
+    #: enough that the storage model is on the critical path.
+    data_scale: float = 32.0
+    base_cpu_work: float = 20.0
+    aggregate_bandwidth: float = 150e6
+    per_client_bandwidth: float = 50e6
+    cache_bytes: int = 32 * GB
+    cache_bandwidth: float = 2e9
+    seed: int = 0
+
+    def dataplane_config(self) -> Optional[DataPlaneConfig]:
+        if self.mode == "legacy":
+            return None
+        return DataPlaneConfig(
+            mode=self.mode,
+            aggregate_bandwidth=self.aggregate_bandwidth,
+            per_client_bandwidth=self.per_client_bandwidth,
+            cache_bytes=self.cache_bytes,
+            cache_bandwidth=self.cache_bandwidth,
+        )
+
+
+def _cluster_spec(workers: int) -> ClusterSpec:
+    """Master + ``workers`` schedulable nodes (32 cores / 96 GB each)."""
+    return ClusterSpec(nodes=(
+        NodeSpec(name="master", cores=32, memory_bytes=96 * GB,
+                 schedulable=False),
+        *(
+            NodeSpec(name=f"worker{i}", cores=32, memory_bytes=96 * GB)
+            for i in range(workers)
+        ),
+    ))
+
+
+def run_dataplane_cell(scenario: DataPlaneScenario,
+                       keep_frame: bool = False) -> dict[str, Any]:
+    """Run one (mode, workflow) cell on a fresh cluster → a flat row."""
+    par = paradigm(scenario.paradigm_name)
+    env = Environment()
+    # Spread placement scatters pods across the workers: that is the
+    # regime where per-node caches fragment and the locality hint has
+    # something to win (best-fit would pack one node and every mode
+    # would share one cache).
+    cluster = Cluster(env, _cluster_spec(scenario.workers),
+                      placement="spread")
+    drive = SimulatedSharedDrive()
+    recorder = TraceRecorder.for_env(env)
+    drive.tracer = recorder
+
+    config = scenario.dataplane_config()
+    plane = None if config is None else DataPlane(env, config,
+                                                  tracer=recorder)
+    # The uniform/legacy baselines bill the flat constant at the fabric's
+    # *per-client* rate: shared-mode slowdowns are then pure contention,
+    # not a bandwidth renumbering.
+    model = WfBenchModel(noise_sigma=0.0,
+                         shared_drive_bandwidth=scenario.per_client_bandwidth)
+    rng = np.random.default_rng(derive_seed(scenario.seed, "dataplane"))
+    worker_spec = cluster.workers[0].spec
+    platform = KnativePlatform(
+        env, cluster, drive,
+        config=par.knative_config(
+            node_cores=worker_spec.cores,
+            node_memory_bytes=worker_spec.memory_bytes,
+        ),
+        model=model, rng=rng, dataplane=plane,
+    )
+    sampler = SimClusterSampler(env, cluster, platform=platform,
+                                dataplane=plane).start()
+
+    recipe = recipe_for(scenario.application)(
+        base_cpu_work=scenario.base_cpu_work,
+        data_scale=scenario.data_scale,
+    )
+    workflow = WorkflowGenerator(
+        recipe, seed=derive_seed(scenario.seed, scenario.application)
+    ).build_workflow(scenario.num_tasks)
+    for f in workflow_input_files(workflow):
+        drive.put(f.name, f.size_in_bytes)
+
+    manager = ServerlessWorkflowManager(
+        SimulatedInvoker(platform), drive,
+        ManagerConfig(keep_memory=par.persistent_memory),
+    )
+    run = manager.execute(workflow, platform_label=par.platform,
+                          paradigm_label=par.name)
+    sampler.sample()
+    platform.shutdown()
+    violations = check_trace(recorder.events)
+
+    row: dict[str, Any] = {
+        "mode": scenario.mode,
+        "workflow": scenario.application,
+        "size": scenario.num_tasks,
+        "group": 1 if scenario.application in GROUP_1 else 2,
+        "succeeded": run.succeeded,
+        "error": run.error[:120],
+        "makespan_seconds": round(run.makespan_seconds, 6),
+        "readiness_retries": int(run.metrics.get("readiness_retries", 0)),
+        "bytes_read": 0,
+        "bytes_written": 0,
+        "transfers_completed": 0,
+        "peak_active_transfers": 0,
+        "mean_store_throughput": 0.0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "cache_evictions": 0,
+        "cache_hit_rate": 0.0,
+        "trace_events": len(recorder.events),
+        "trace_violations": len(violations),
+        # Filled by run_dataplane_sweep on uniform rows when a legacy
+        # counterpart is swept (True/False); "" = not applicable.
+        "uniform_matches_legacy": "",
+    }
+    if plane is not None and plane.modelled:
+        stats = plane.stats()
+        row.update(
+            bytes_read=int(stats["bytes_read"]),
+            bytes_written=int(stats["bytes_written"]),
+            transfers_completed=int(stats["transfers_completed"]),
+            peak_active_transfers=int(stats["peak_active"]),
+            mean_store_throughput=round(plane.store.throughput.mean(), 2),
+            cache_hits=int(stats["cache_hits"]),
+            cache_misses=int(stats["cache_misses"]),
+            cache_evictions=int(stats["cache_evictions"]),
+            cache_hit_rate=round(stats["cache_hit_rate"], 4),
+        )
+    if keep_frame:
+        row["frame"] = sampler.frame
+    return row
+
+
+def _comparable(row: dict[str, Any]) -> dict[str, Any]:
+    """The fields that must agree between legacy and uniform rows (the
+    data-plane counters are structurally zero on both sides; the trace
+    streams are identical because an inert plane emits no events)."""
+    keep = ("workflow", "size", "succeeded", "error", "makespan_seconds",
+            "readiness_retries", "trace_events", "trace_violations")
+    return {k: row[k] for k in keep}
+
+
+def run_dataplane_sweep(
+    applications: tuple = APPLICATIONS_ORDER,
+    modes: tuple = DATA_PLANE_SWEEP_MODES,
+    base_scenario: Optional[DataPlaneScenario] = None,
+    jobs: int = 1,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """mode × workflow grid, in mode-major order.
+
+    When both ``legacy`` and ``uniform`` are swept, their per-workflow
+    rows are cross-checked: any drift sets ``uniform_matches_legacy``
+    False on the uniform row (and the CLI treats that as a failure).
+    """
+    base = base_scenario or DataPlaneScenario(seed=seed)
+    cells = [
+        replace(base, mode=mode, application=app)
+        for mode in modes
+        for app in applications
+    ]
+    if jobs > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            rows = list(pool.map(run_dataplane_cell, cells))
+    else:
+        rows = [run_dataplane_cell(cell) for cell in cells]
+
+    legacy = {r["workflow"]: r for r in rows if r["mode"] == "legacy"}
+    for row in rows:
+        if row["mode"] != "uniform" or row["workflow"] not in legacy:
+            continue
+        row["uniform_matches_legacy"] = (
+            _comparable(row) == _comparable(legacy[row["workflow"]]))
+    return rows

@@ -98,6 +98,8 @@ class ExperimentResult:
             **self.aggregates.as_dict(),
             "cold_starts": self.platform_stats.cold_starts,
             "peak_units": self.platform_stats.peak_units,
+            "readiness_retries": int(
+                self.run.metrics.get("readiness_retries", 0)),
         }
 
 

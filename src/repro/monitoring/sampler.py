@@ -31,7 +31,8 @@ class SimClusterSampler:
     """
 
     def __init__(self, env: Environment, cluster: Cluster,
-                 interval_seconds: float = 1.0, platform=None, service=None):
+                 interval_seconds: float = 1.0, platform=None, service=None,
+                 dataplane=None):
         self.env = env
         self.cluster = cluster
         self.interval = float(interval_seconds)
@@ -39,6 +40,12 @@ class SimClusterSampler:
         #: Optional :class:`~repro.scheduler.service.WorkflowService`:
         #: scheduler state lands in the same frames as cluster state.
         self.service = service
+        #: Optional :class:`~repro.dataplane.DataPlane`: shared-store
+        #: throughput and cache hit-rate series land in the frames too.
+        #: Inert (uniform-mode) planes carry no transfers, so they are
+        #: not sampled.
+        self.dataplane = dataplane if dataplane is not None \
+            and dataplane.modelled else None
         self.frame = MetricsFrame()
         self._proc = None
         # The metric-name universe is fixed by the cluster topology, so
@@ -66,6 +73,13 @@ class SimClusterSampler:
                 "repro.platform.units",
                 "repro.platform.queue",
                 "repro.platform.active",
+            ))
+        self._dataplane_columns = None if self.dataplane is None else \
+            self.frame.columns((
+                "repro.dataplane.store.throughput",
+                "repro.dataplane.store.active",
+                "repro.dataplane.cache.hit_rate",
+                "repro.dataplane.cache.bytes",
             ))
 
     def start(self) -> "SimClusterSampler":
@@ -110,6 +124,14 @@ class SimClusterSampler:
                 now,
                 (float(alive), float(self.platform.queue_length()),
                  float(active)),
+            )
+        if self.dataplane is not None:
+            store = self.dataplane.store
+            self._dataplane_columns.append(
+                now,
+                (store.throughput.value, float(store.active_transfers),
+                 self.dataplane.cache_hit_rate(),
+                 float(self.dataplane.cache_used_bytes())),
             )
         if self.service is not None:
             metrics = self.service.metrics

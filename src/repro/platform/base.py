@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
     from repro.core.shared_drive import SimulatedSharedDrive
+    from repro.dataplane import DataPlane
 from repro.errors import ResourceExhaustedError
 from repro.platform.cluster import Cluster, Node
 from repro.simulation import Container, Environment, Event, Resource, Store
@@ -176,12 +177,17 @@ def execute_request(
     demand: TaskDemand,
     drive: "SimulatedSharedDrive",
     outcome: InvocationOutcome,
+    dataplane: Optional["DataPlane"] = None,
 ) -> Generator:
     """The worker-slot body: I/O in, stress, I/O out (paper §III-B).
 
     Runs with a worker slot already held.  Raises
     :class:`ResourceExhaustedError` out of the process on physical OOM —
     the platform converts that into a failed run.
+
+    With a modelled ``dataplane``, the two flat I/O timeouts become
+    explicit transfers through the contended shared store (cache hits
+    served locally); in uniform mode the legacy formula runs unchanged.
     """
     node = unit.node
     outcome.started_at = env.now
@@ -195,11 +201,16 @@ def execute_request(
         outcome.error = f"inputs not on shared drive: {missing[:3]}"
         outcome.finished_at = env.now
         return outcome
+    modelled = dataplane is not None and dataplane.modelled
     io_total = demand.io_seconds
     input_bytes = sum(drive.size(f) for f in request.inputs)
     output_bytes = request.total_output_bytes
     denom = max(1, input_bytes + output_bytes)
-    if io_total > 0 and input_bytes:
+    if modelled:
+        yield from dataplane.read_inputs(
+            node.spec.name, [(f, drive.size(f)) for f in request.inputs]
+        )
+    elif io_total > 0 and input_bytes:
         yield env.timeout(io_total * input_bytes / denom)
 
     # 2. Memory stress: grab limit tokens (throttles at the cgroup limit),
@@ -244,7 +255,11 @@ def execute_request(
             unit.mem_tokens.put(float(tokens_taken))
 
     # 4. Write outputs to the shared drive.
-    if io_total > 0 and output_bytes:
+    if modelled:
+        yield from dataplane.write_outputs(
+            node.spec.name, [(f, int(s)) for f, s in request.out.items()]
+        )
+    elif io_total > 0 and output_bytes:
         yield env.timeout(io_total * output_bytes / denom)
     for fname, size in request.out.items():
         drive.put(fname, int(size))
@@ -267,15 +282,26 @@ class Platform(abc.ABC):
         drive: "SimulatedSharedDrive",
         model: Optional[WfBenchModel] = None,
         rng: Optional[np.random.Generator] = None,
+        dataplane: Optional["DataPlane"] = None,
     ):
         self.env = env
         self.cluster = cluster
         self.drive = drive
         self.model = model or WfBenchModel()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: Optional modeled storage fabric (:mod:`repro.dataplane`); when
+        #: attached, the drive's readiness view also sees it.
+        self.dataplane = dataplane
+        if dataplane is not None and hasattr(drive, "dataplane"):
+            drive.dataplane = dataplane
         self.stats = PlatformStats()
         self._pending: Store = Store(env)
         self._slot_waiters: list[Event] = []
+        #: Inputs of each queued ticket, for the locality placement hint
+        #: (side table: Event has __slots__).  Keyed by id(ticket); rows
+        #: are removed on grant, timeout and abort, so ids cannot be
+        #: reused while still mapped.
+        self._waiter_inputs: dict[int, tuple] = {}
         self._units: list[ServingUnit] = []
         self._deployed = False
         self._fatal: Optional[ResourceExhaustedError] = None
@@ -333,7 +359,8 @@ class Platform(abc.ABC):
             self._finish(outcome, done, status=503, error=str(self._fatal))
             return
         try:
-            acquired = yield from self._acquire_slot(timeout=self.request_timeout)
+            acquired = yield from self._acquire_slot(
+                timeout=self.request_timeout, request=request)
         except ResourceExhaustedError as exc:
             self._fatal = self._fatal or exc
             self._finish(outcome, done, status=507, error=str(exc))
@@ -369,7 +396,9 @@ class Platform(abc.ABC):
         input_bytes = sum(self.drive.size(f) for f in request.inputs if self.drive.exists(f))
         demand = self.model.demand_for_sizes(request, input_bytes, rng=self.rng)
         try:
-            yield from execute_request(self.env, unit, request, demand, self.drive, outcome)
+            yield from execute_request(self.env, unit, request, demand,
+                                       self.drive, outcome,
+                                       dataplane=self.dataplane)
             self.stats.completed += 1
             if not outcome.ok:
                 self.stats.failed += 1
@@ -396,10 +425,19 @@ class Platform(abc.ABC):
         done.succeed(outcome)
 
     # -- slot acquisition ------------------------------------------------------------
-    def _pick_unit(self) -> Optional[ServingUnit]:
-        """Least-loaded alive unit with an uncommitted free worker slot."""
+    def _pick_unit(self, preferred_node: Optional[str] = None
+                   ) -> Optional[ServingUnit]:
+        """Least-loaded alive unit with an uncommitted free worker slot.
+
+        With ``preferred_node`` (the locality hint), units on that node
+        win ties outright: the least-loaded free unit there is chosen if
+        one exists, otherwise the global least-loaded — the hint shapes
+        placement but never delays dispatch.
+        """
         best: Optional[ServingUnit] = None
         best_load = 0
+        preferred: Optional[ServingUnit] = None
+        preferred_load = 0
         for unit in self._units:
             free = unit.free_slots - getattr(unit, "committed", 0)
             if free <= 0:
@@ -407,9 +445,24 @@ class Platform(abc.ABC):
             load = unit.active_requests + getattr(unit, "committed", 0)
             if best is None or load < best_load:
                 best, best_load = unit, load
-        return best
+            if preferred_node is not None \
+                    and unit.node.spec.name == preferred_node:
+                if preferred is None or load < preferred_load:
+                    preferred, preferred_load = unit, load
+        return preferred if preferred is not None else best
 
-    def _acquire_slot(self, timeout: Optional[float] = None) -> Generator:
+    def _locality_hint(self, ticket: Event) -> Optional[str]:
+        """The node to prefer for ``ticket``'s request, if locality is on."""
+        plane = self.dataplane
+        if plane is None or not plane.locality:
+            return None
+        inputs = self._waiter_inputs.get(id(ticket))
+        if not inputs:
+            return None
+        return plane.locality_node(inputs)
+
+    def _acquire_slot(self, timeout: Optional[float] = None,
+                      request: Optional[BenchRequest] = None) -> Generator:
         """FIFO acquisition of (unit, slot-request) across all units.
 
         Returns ``None`` when ``timeout`` elapses before a slot is granted
@@ -417,6 +470,8 @@ class Platform(abc.ABC):
         """
         ticket = self.env.event()
         self._slot_waiters.append(ticket)
+        if request is not None and request.inputs:
+            self._waiter_inputs[id(ticket)] = tuple(request.inputs)
         self.stats.peak_concurrency = max(self.stats.peak_concurrency,
                                           self.in_flight())
         self._wake_dispatcher()
@@ -430,6 +485,7 @@ class Platform(abc.ABC):
                     self._slot_waiters.remove(ticket)
                 except ValueError:
                     pass
+                self._waiter_inputs.pop(id(ticket), None)
                 self.on_queue_changed()
                 return None
         unit: ServingUnit = ticket.value
@@ -441,10 +497,12 @@ class Platform(abc.ABC):
     def _wake_dispatcher(self) -> None:
         """Match waiting tickets to free slots, strictly FIFO."""
         while self._slot_waiters:
-            unit = self._pick_unit()
+            ticket = self._slot_waiters[0]
+            unit = self._pick_unit(self._locality_hint(ticket))
             if unit is None:
                 return
-            ticket = self._slot_waiters.pop(0)
+            self._slot_waiters.pop(0)
+            self._waiter_inputs.pop(id(ticket), None)
             unit.committed += 1
             ticket.succeed(unit)
 
@@ -455,5 +513,6 @@ class Platform(abc.ABC):
         """Fail every queued request (cluster capacity exhausted)."""
         self._fatal = self._fatal or error
         waiters, self._slot_waiters = self._slot_waiters, []
+        self._waiter_inputs.clear()
         for ticket in waiters:
             ticket.fail(error)

@@ -10,6 +10,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
     from repro.core.shared_drive import SimulatedSharedDrive
+    from repro.dataplane import DataPlane
 from repro.errors import ResourceExhaustedError
 from repro.platform.base import Platform
 from repro.platform.cluster import Cluster
@@ -41,8 +42,10 @@ class KnativePlatform(Platform):
         config: Optional[KnativeConfig] = None,
         model: Optional[WfBenchModel] = None,
         rng: Optional[np.random.Generator] = None,
+        dataplane: Optional["DataPlane"] = None,
     ):
-        super().__init__(env, cluster, drive, model=model, rng=rng)
+        super().__init__(env, cluster, drive, model=model, rng=rng,
+                         dataplane=dataplane)
         self.config = config or KnativeConfig()
         self.routing_latency = self.config.routing_latency_seconds
         self.request_timeout = self.config.request_timeout_seconds

@@ -28,6 +28,14 @@ replays a log and returns every violation it finds:
     ``task.end`` (no lost completions).
 ``run-termination``
     Every ``workflow.start`` has exactly one ``workflow.end``.
+``transfer-staged``
+    No *read* transfer through the data-plane's shared store starts
+    before the file was staged (its first ``drive.put``): functions must
+    never read bytes that do not exist yet.
+``cache-capacity``
+    Replaying each node cache's ``cache.insert``/``cache.evict`` stream
+    never takes the cache above the capacity its insert events declare
+    (evictions must be traced before the insert that forced them).
 
 Failed runs are exempt from ``submit-completion`` (an aborted run
 legitimately leaves work unfinished) but not from the ordering/breaker
@@ -44,6 +52,8 @@ from typing import Iterable, Sequence
 
 from repro.tracing.events import (
     BREAKER_OPEN,
+    CACHE_EVICT,
+    CACHE_INSERT,
     DRIVE_PUT,
     HEDGE_FIRE,
     HEDGE_RESOLVE,
@@ -53,6 +63,7 @@ from repro.tracing.events import (
     TASK_END,
     TASK_REPLAY,
     TASK_SUBMIT,
+    TRANSFER_START,
     WORKFLOW_END,
     WORKFLOW_START,
     TraceEvent,
@@ -97,11 +108,14 @@ class _TraceIndex:
 
 def _index(events: Sequence[TraceEvent]
            ) -> tuple[dict[str, _TraceIndex], dict[str, float],
+                      list[TraceEvent], list[TraceEvent],
                       list[TraceEvent], list[TraceEvent]]:
     traces: dict[str, _TraceIndex] = defaultdict(_TraceIndex)
     puts: dict[str, float] = {}
     posts: list[TraceEvent] = []
     opens: list[TraceEvent] = []
+    reads: list[TraceEvent] = []
+    cache_ops: list[TraceEvent] = []
     for event in events:
         kind = event.kind
         if kind == DRIVE_PUT:
@@ -112,6 +126,11 @@ def _index(events: Sequence[TraceEvent]
             posts.append(event)
         elif kind == BREAKER_OPEN:
             opens.append(event)
+        elif kind == TRANSFER_START:
+            if event.attrs.get("op") == "read":
+                reads.append(event)
+        elif kind in (CACHE_INSERT, CACHE_EVICT):
+            cache_ops.append(event)
         elif kind == WORKFLOW_START:
             traces[event.trace].starts.append(event)
         elif kind == WORKFLOW_END:
@@ -132,14 +151,14 @@ def _index(events: Sequence[TraceEvent]
             traces[event.trace].hedge_fires[event.name] += 1
         elif kind == HEDGE_RESOLVE:
             traces[event.trace].hedge_resolves[event.name].append(event)
-    return traces, puts, posts, opens
+    return traces, puts, posts, opens, reads, cache_ops
 
 
 def check_trace(events: Iterable[TraceEvent],
                 eps: float = 1e-9) -> list[TraceViolation]:
     """Replay ``events`` and return every invariant violation found."""
     events = list(events)
-    traces, puts, posts, opens = _index(events)
+    traces, puts, posts, opens, reads, cache_ops = _index(events)
     violations: list[TraceViolation] = []
 
     # drive.put instrumentation is optional (real HTTP runs have no view
@@ -157,6 +176,9 @@ def check_trace(events: Iterable[TraceEvent],
         violations.extend(_check_run_termination(trace_id, index))
 
     violations.extend(_check_breaker_quiet(posts, opens, eps))
+    violations.extend(_check_transfer_staged(reads, puts,
+                                             drive_instrumented, eps))
+    violations.extend(_check_cache_capacity(cache_ops))
     violations.sort(key=lambda v: (v.ts, v.invariant, v.trace))
     return violations
 
@@ -286,6 +308,53 @@ def _check_run_termination(trace_id: str,
             "run-termination", trace_id,
             f"{len(index.starts)} workflow.start but {len(index.ends)} "
             f"workflow.end", index.starts[0].ts))
+    return out
+
+
+def _check_transfer_staged(reads: list[TraceEvent], puts: dict[str, float],
+                           instrumented: bool,
+                           eps: float) -> list[TraceViolation]:
+    """No read leaves the shared store before the file was staged."""
+    if not instrumented:
+        return []
+    out: list[TraceViolation] = []
+    for read in reads:
+        put_ts = puts.get(read.name)
+        if put_ts is None:
+            out.append(TraceViolation(
+                "transfer-staged", read.trace,
+                f"read transfer of {read.name} at {read.ts:.6f} but the "
+                f"file was never put on the shared drive", read.ts))
+        elif put_ts > read.ts + eps:
+            out.append(TraceViolation(
+                "transfer-staged", read.trace,
+                f"read transfer of {read.name} started at {read.ts:.6f} "
+                f"before the file was staged (put at {put_ts:.6f})",
+                read.ts))
+    return out
+
+
+def _check_cache_capacity(cache_ops: list[TraceEvent]
+                          ) -> list[TraceViolation]:
+    """Replaying each node's insert/evict stream stays within capacity."""
+    out: list[TraceViolation] = []
+    held: dict[str, dict[str, int]] = defaultdict(dict)
+    for event in cache_ops:
+        node = str(event.attrs.get("node", ""))
+        entries = held[node]
+        size = int(event.attrs.get("bytes", 0))
+        if event.kind == CACHE_EVICT:
+            entries.pop(event.name, None)
+            continue
+        entries[event.name] = size
+        capacity = int(event.attrs.get("capacity", 0))
+        used = sum(entries.values())
+        if capacity and used > capacity:
+            out.append(TraceViolation(
+                "cache-capacity", event.trace,
+                f"node {node!r} cache holds {used} bytes after inserting "
+                f"{event.name}, above its declared capacity {capacity}",
+                event.ts))
     return out
 
 

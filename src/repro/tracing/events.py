@@ -30,6 +30,13 @@ kind                      emitted by / meaning
 ``sched.submit/reject``   workflow service: admission decisions
 ``sched.start/finish``    workflow service: queue dispatch and completion
 ``drive.put``             shared drive: a file became available
+``transfer.start/end``    data plane: one file moving through the shared
+                          store (attrs carry ``bytes``, ``kind`` =
+                          read/write and the requesting ``node``)
+``cache.hit``             data plane: a read served from a node cache
+``cache.insert``          data plane: a file admitted to a node cache
+                          (attrs carry the cache ``capacity``)
+``cache.evict``           data plane: an LRU victim leaving a node cache
 ========================  ====================================================
 """
 
@@ -50,6 +57,8 @@ __all__ = [
     "CHECKPOINT_WRITE",
     "SCHED_SUBMIT", "SCHED_REJECT", "SCHED_START", "SCHED_FINISH",
     "DRIVE_PUT",
+    "TRANSFER_START", "TRANSFER_END",
+    "CACHE_HIT", "CACHE_INSERT", "CACHE_EVICT",
 ]
 
 SCHEMA_VERSION = 1
@@ -75,6 +84,11 @@ SCHED_REJECT = "sched.reject"
 SCHED_START = "sched.start"
 SCHED_FINISH = "sched.finish"
 DRIVE_PUT = "drive.put"
+TRANSFER_START = "transfer.start"
+TRANSFER_END = "transfer.end"
+CACHE_HIT = "cache.hit"
+CACHE_INSERT = "cache.insert"
+CACHE_EVICT = "cache.evict"
 
 
 @dataclass(frozen=True)

@@ -68,6 +68,16 @@ class WfBenchModel:
     #: Service-time noise (lognormal sigma); 0 disables.
     noise_sigma: float = 0.05
 
+    def io_seconds_for_bytes(self, total_bytes: float) -> float:
+        """Flat-bandwidth I/O time for ``total_bytes`` (the uniform model).
+
+        The data plane (:mod:`repro.dataplane`) replaces this with
+        modeled transfers in its non-uniform modes; everything that
+        bills I/O against the legacy constant goes through here so the
+        two paths share one definition of "uniform".
+        """
+        return total_bytes / self.shared_drive_bandwidth
+
     def demand(
         self,
         request: BenchRequest,
@@ -78,7 +88,7 @@ class WfBenchModel:
         if rng is not None and self.noise_sigma > 0:
             cpu_seconds *= float(rng.lognormal(0.0, self.noise_sigma))
         io_bytes = self._input_bytes(request) + request.total_output_bytes
-        io_seconds = io_bytes / self.shared_drive_bandwidth
+        io_seconds = self.io_seconds_for_bytes(io_bytes)
         effective = request.percent_cpu * request.cores
         wall_seconds = cpu_seconds / effective + io_seconds
         if request.keep_memory:
@@ -115,7 +125,8 @@ class WfBenchModel:
         cpu_seconds = request.cpu_work * self.seconds_per_unit
         if rng is not None and self.noise_sigma > 0:
             cpu_seconds *= float(rng.lognormal(0.0, self.noise_sigma))
-        io_seconds = (input_bytes + request.total_output_bytes) / self.shared_drive_bandwidth
+        io_seconds = self.io_seconds_for_bytes(
+            input_bytes + request.total_output_bytes)
         effective = request.percent_cpu * request.cores
         wall_seconds = cpu_seconds / effective + io_seconds
         if request.keep_memory:

@@ -1,0 +1,158 @@
+"""Unit tests for the manager's readiness polling (poll interval,
+retry surfacing, and the data-plane in-flight extension)."""
+
+import pytest
+
+from repro.core import ManagerConfig, ServerlessWorkflowManager, \
+    SimulatedSharedDrive
+from repro.core.invocation import SimulatedInvoker
+from repro.dataplane import DataPlane, DataPlaneConfig
+from repro.platform.cluster import Cluster
+from repro.platform.knative import KnativeConfig, KnativePlatform
+from repro.simulation import Environment
+
+
+class FakeInvoker:
+    """Records sleeps; optionally stages a file after N polls."""
+
+    def __init__(self, drive=None, stage_after=None, stage_name="f"):
+        self.sleeps = []
+        self.drive = drive
+        self.stage_after = stage_after
+        self.stage_name = stage_name
+
+    def now(self):
+        return float(sum(self.sleeps))
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        if self.stage_after is not None \
+                and len(self.sleeps) >= self.stage_after:
+            self.drive.put(self.stage_name, 1)
+
+    def submit(self, url, request):  # pragma: no cover - not exercised
+        raise NotImplementedError
+
+    def gather(self, handles):  # pragma: no cover - not exercised
+        raise NotImplementedError
+
+
+class StubDag:
+    def __init__(self, inputs):
+        self._inputs = list(inputs)
+
+    def phase_inputs(self, phase):
+        return list(self._inputs)
+
+
+def make_manager(config=None, drive=None, invoker=None):
+    drive = drive if drive is not None else SimulatedSharedDrive()
+    invoker = invoker if invoker is not None else FakeInvoker(drive)
+    manager = ServerlessWorkflowManager(invoker, drive,
+                                        config or ManagerConfig())
+    return manager, drive, invoker
+
+
+class TestPollInterval:
+    def test_defaults_to_retry_delay(self):
+        manager, _, _ = make_manager(ManagerConfig(
+            readiness_retry_delay_seconds=2.5))
+        assert manager._readiness_interval() == 2.5
+
+    def test_explicit_interval_wins(self):
+        manager, _, _ = make_manager(ManagerConfig(
+            readiness_retry_delay_seconds=2.5,
+            readiness_poll_interval_seconds=0.25))
+        assert manager._readiness_interval() == 0.25
+
+    def test_interval_used_between_polls(self):
+        manager, drive, invoker = make_manager(ManagerConfig(
+            readiness_poll_interval_seconds=0.25, readiness_retries=3))
+        invoker.stage_after = 2
+        missing = manager._check_readiness(StubDag(["f"]), phase=None)
+        assert missing == []
+        assert invoker.sleeps == [0.25, 0.25]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(readiness_poll_interval_seconds=0.0)
+
+
+class TestRetryBudget:
+    def test_gives_up_after_budget(self):
+        manager, _, invoker = make_manager(ManagerConfig(
+            readiness_retries=3))
+        missing = manager._check_readiness(StubDag(["never"]), phase=None)
+        assert missing == ["never"]
+        assert len(invoker.sleeps) == 3
+        assert manager._readiness_retries == 3
+
+    def test_no_poll_when_ready(self):
+        manager, drive, invoker = make_manager()
+        drive.put("f", 1)
+        assert manager._check_readiness(StubDag(["f"]), phase=None) == []
+        assert invoker.sleeps == []
+        assert manager._readiness_retries == 0
+
+
+class TestInFlightExtension:
+    def test_waits_past_budget_while_write_in_flight(self):
+        """A missing file whose write transfer is still in flight keeps
+        the manager polling beyond the retry budget (the transfer is
+        guaranteed to land, so the wait terminates)."""
+        env = Environment()
+        drive = SimulatedSharedDrive()
+        plane = DataPlane(env, DataPlaneConfig(
+            mode="shared", aggregate_bandwidth=10.0,
+            per_client_bandwidth=10.0))
+        drive.dataplane = plane
+        cluster = Cluster(env)
+        platform = KnativePlatform(env, cluster, drive,
+                                   config=KnativeConfig(), dataplane=plane)
+        invoker = SimulatedInvoker(platform)
+        manager = ServerlessWorkflowManager(invoker, drive, ManagerConfig(
+            readiness_retries=0, readiness_poll_interval_seconds=1.0))
+
+        # A 100-byte write at 10 B/s lands at t=10; mirror the platform's
+        # sequence: the drive.put happens when the transfer completes.
+        done = plane.store.transfer("out", 100, kind="write")
+        done.callbacks.append(lambda _e: drive.put("out", 100))
+
+        missing = manager._check_readiness(StubDag(["out"]), phase=None)
+        assert missing == []
+        assert env.now >= 10.0
+        assert manager._readiness_retries >= 10
+
+    def test_gives_up_when_nothing_in_flight(self):
+        env = Environment()
+        drive = SimulatedSharedDrive()
+        plane = DataPlane(env, DataPlaneConfig(mode="shared"))
+        drive.dataplane = plane
+        cluster = Cluster(env)
+        platform = KnativePlatform(env, cluster, drive,
+                                   config=KnativeConfig(), dataplane=plane)
+        invoker = SimulatedInvoker(platform)
+        manager = ServerlessWorkflowManager(invoker, drive, ManagerConfig(
+            readiness_retries=1))
+        missing = manager._check_readiness(StubDag(["never"]), phase=None)
+        assert missing == ["never"]
+
+
+class TestRetriesSurfaced:
+    def test_run_metrics_carry_readiness_retries(self):
+        """The counter lands in result.metrics (and sweep rows read it)."""
+        from helpers import traced_sim_run
+
+        result, _ = traced_sim_run(num_tasks=8, seed=7)
+        assert result.succeeded
+        assert result.metrics.get("readiness_retries") == 0
+
+    def test_experiment_row_has_readiness_column(self):
+        from repro.experiments import ExperimentSpec
+        from repro.experiments.runner import failed_result
+
+        spec = ExperimentSpec(experiment_id="t", paradigm_name="Kn10wNoPM",
+                              application="blast", num_tasks=5,
+                              granularity="fine")
+        row = failed_result(spec, RuntimeError("boom")).row()
+        assert row["readiness_retries"] == 0

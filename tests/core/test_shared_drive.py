@@ -81,3 +81,92 @@ class TestLocalSharedDrive:
         target = tmp_path / "new" / "root"
         LocalSharedDrive(target)
         assert target.is_dir()
+
+
+class TestSimulatedDriveMutation:
+    def test_delete(self):
+        drive = SimulatedSharedDrive()
+        drive.put("a", 1)
+        drive.delete("a")
+        assert not drive.exists("a")
+        drive.delete("a")  # absent delete is a no-op
+
+    def test_put_traced_exactly_once(self):
+        from repro.simulation import Environment
+        from repro.tracing import TraceRecorder
+        from repro.tracing.events import DRIVE_PUT
+
+        drive = SimulatedSharedDrive()
+        drive.tracer = TraceRecorder.for_env(Environment())
+        drive.put("a", 1)
+        puts = [e for e in drive.tracer.events if e.kind == DRIVE_PUT]
+        assert len(puts) == 1
+
+    def test_zero_byte_put(self):
+        drive = SimulatedSharedDrive()
+        drive.put("empty", 0)
+        assert drive.exists("empty")
+        assert drive.size("empty") == 0
+        assert drive.missing(["empty"]) == []
+
+    def test_in_flight_without_dataplane_is_empty(self):
+        assert SimulatedSharedDrive().in_flight(["a"]) == []
+
+    def test_in_flight_delegates_to_dataplane(self):
+        from repro.dataplane import DataPlane, DataPlaneConfig
+        from repro.simulation import Environment
+
+        env = Environment()
+        drive = SimulatedSharedDrive()
+        drive.dataplane = DataPlane(env, DataPlaneConfig(mode="shared"))
+        drive.dataplane.store.transfer("out", 100, kind="write")
+        assert drive.in_flight(["out", "other"]) == ["out"]
+
+
+class TestLocalDriveMutation:
+    def test_delete(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("f.txt", 5)
+        drive.delete("f.txt")
+        assert not drive.exists("f.txt")
+        drive.delete("f.txt")  # absent delete is a no-op
+
+    def test_clear(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("a.txt", 1)
+        drive.put("sub/b.txt", 1)
+        drive.clear()
+        assert drive.list_files() == []
+
+    def test_escape_rejected_on_all_operations(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path / "root")
+        for op in (drive.size, drive.delete, lambda n: drive.put(n, 1)):
+            with pytest.raises(ValueError):
+                op("../escape.txt")
+
+    def test_missing_preserves_query_order(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("b.txt", 1)
+        assert drive.missing(["z.txt", "b.txt", "a.txt"]) == \
+            ["z.txt", "a.txt"]
+
+    def test_missing_keeps_duplicates(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        assert drive.missing(["x", "x"]) == ["x", "x"]
+
+    def test_zero_byte_put_then_overwrite_truncates(self, tmp_path):
+        drive = LocalSharedDrive(tmp_path)
+        drive.put("f.txt", 100)
+        drive.put("f.txt", 0)
+        assert drive.size("f.txt") == 0
+
+    def test_put_traced_exactly_once(self, tmp_path):
+        from repro.simulation import Environment
+        from repro.tracing import TraceRecorder
+        from repro.tracing.events import DRIVE_PUT
+
+        drive = LocalSharedDrive(tmp_path)
+        drive.tracer = TraceRecorder.for_env(Environment())
+        drive.put("f.txt", 1)
+        puts = [e for e in drive.tracer.events if e.kind == DRIVE_PUT]
+        assert len(puts) == 1

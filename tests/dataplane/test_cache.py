@@ -1,0 +1,131 @@
+"""Unit tests for the per-node LRU cache tier."""
+
+import pytest
+
+from repro.dataplane import LocalCache
+from repro.simulation import Environment
+from repro.tracing import TraceRecorder
+from repro.tracing.events import CACHE_EVICT, CACHE_HIT, CACHE_INSERT
+
+
+class TestLookupAndInsert:
+    def test_miss_then_hit(self):
+        cache = LocalCache("w0", 100)
+        assert not cache.lookup("f")
+        cache.insert("f", 10)
+        assert cache.lookup("f")
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_insert_accounts_bytes(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 30)
+        cache.insert("b", 20)
+        assert cache.used_bytes == 50
+        assert len(cache) == 2
+        assert cache.size_of("a") == 30
+        assert "a" in cache
+
+    def test_reinsert_replaces_size(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 30)
+        cache.insert("a", 50)
+        assert cache.used_bytes == 50
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 40)
+        cache.insert("b", 40)
+        evicted = cache.insert("c", 40)
+        assert evicted == ["a"]
+        assert cache.evictions == 1
+        assert "b" in cache and "c" in cache
+
+    def test_lookup_touches_lru_position(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 40)
+        cache.insert("b", 40)
+        cache.lookup("a")  # a becomes most-recently-used
+        evicted = cache.insert("c", 40)
+        assert evicted == ["b"]
+
+    def test_evicts_multiple_victims(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 40)
+        cache.insert("b", 40)
+        evicted = cache.insert("big", 90)
+        assert evicted == ["a", "b"]
+        assert cache.used_bytes == 90
+
+    def test_oversize_file_never_admitted(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 40)
+        assert cache.insert("huge", 200) == []
+        assert "huge" not in cache
+        assert "a" in cache  # nothing was evicted for it
+
+    def test_zero_capacity_cache_is_inert(self):
+        cache = LocalCache("w0", 0)
+        assert cache.insert("f", 1) == []
+        assert not cache.lookup("f")
+        assert cache.used_bytes == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LocalCache("w0", -1)
+
+
+class TestMutation:
+    def test_delete(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 40)
+        cache.delete("a")
+        assert "a" not in cache
+        assert cache.used_bytes == 0
+        cache.delete("a")  # absent delete is a no-op
+
+    def test_clear(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 40)
+        cache.insert("b", 40)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+
+class TestTraceEvents:
+    def test_evict_traced_before_insert(self):
+        """Replaying the event stream must never exceed capacity."""
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        cache = LocalCache("w0", 100, tracer=recorder)
+        cache.insert("a", 60)
+        cache.insert("b", 60)
+        kinds = [e.kind for e in recorder.events]
+        assert kinds == [CACHE_INSERT, CACHE_EVICT, CACHE_INSERT]
+        insert_b = recorder.events[-1]
+        assert insert_b.attrs["capacity"] == 100
+        assert insert_b.attrs["node"] == "w0"
+
+    def test_hit_traced(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        cache = LocalCache("w0", 100, tracer=recorder)
+        cache.insert("a", 10)
+        cache.lookup("a")
+        assert recorder.events[-1].kind == CACHE_HIT
+
+    def test_stats_payload(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 10)
+        cache.lookup("a")
+        cache.lookup("b")
+        stats = cache.stats()
+        assert stats == {
+            "node": "w0", "hits": 1, "misses": 1, "evictions": 0,
+            "used_bytes": 10, "hit_rate": 0.5,
+        }

@@ -1,0 +1,164 @@
+"""Unit tests for DataPlaneConfig, the transfer scheduler and DataPlane."""
+
+import pytest
+
+from repro.dataplane import DataPlane, DataPlaneConfig
+from repro.simulation import Environment
+
+
+def plane_for(mode, **kwargs):
+    env = Environment()
+    defaults = dict(aggregate_bandwidth=100.0, per_client_bandwidth=100.0,
+                    cache_bytes=1000, cache_bandwidth=1000.0)
+    defaults.update(kwargs)
+    return env, DataPlane(env, DataPlaneConfig(mode=mode, **defaults))
+
+
+class TestConfig:
+    def test_mode_properties(self):
+        assert not DataPlaneConfig(mode="uniform").modelled
+        assert DataPlaneConfig(mode="shared").modelled
+        assert not DataPlaneConfig(mode="shared").caching
+        assert DataPlaneConfig(mode="cached").caching
+        assert DataPlaneConfig(mode="locality").caching
+        assert DataPlaneConfig(mode="locality").locality
+        assert not DataPlaneConfig(mode="cached").locality
+
+    def test_zero_cache_bytes_disables_caching(self):
+        assert not DataPlaneConfig(mode="cached", cache_bytes=0).caching
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DataPlaneConfig(mode="turbo")
+
+    @pytest.mark.parametrize("field,value", [
+        ("aggregate_bandwidth", 0.0),
+        ("per_client_bandwidth", -1.0),
+        ("cache_bytes", -1),
+        ("cache_bandwidth", 0.0),
+    ])
+    def test_invalid_numbers_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            DataPlaneConfig(**{field: value})
+
+
+class TestCacheTier:
+    def test_shared_mode_gets_zero_capacity_caches(self):
+        _, plane = plane_for("shared")
+        assert plane.cache_for("w0").capacity_bytes == 0
+
+    def test_cached_mode_gets_budgeted_caches(self):
+        _, plane = plane_for("cached")
+        assert plane.cache_for("w0").capacity_bytes == 1000
+
+    def test_cache_for_is_per_node_and_stable(self):
+        _, plane = plane_for("cached")
+        assert plane.cache_for("w0") is plane.cache_for("w0")
+        assert plane.cache_for("w0") is not plane.cache_for("w1")
+        assert len(plane.caches) == 2
+
+
+class TestReadInputs:
+    def test_miss_transfers_then_populates_cache(self):
+        env, plane = plane_for("cached")
+
+        def task():
+            yield from plane.read_inputs("w0", [("f", 100)])
+
+        env.run(until=env.process(task()))
+        assert env.now == pytest.approx(1.0)  # 100 B at 100 B/s
+        assert "f" in plane.cache_for("w0")
+        assert plane.store.bytes_read == pytest.approx(100)
+
+    def test_hit_serves_at_cache_bandwidth(self):
+        env, plane = plane_for("cached")
+        plane.cache_for("w0").insert("f", 100)
+
+        def task():
+            yield from plane.read_inputs("w0", [("f", 100)])
+
+        env.run(until=env.process(task()))
+        assert env.now == pytest.approx(0.1)  # 100 B at 1000 B/s
+        assert plane.store.bytes_read == 0
+        assert plane.cache_for("w0").hits == 1
+
+    def test_misses_fan_out_concurrently(self):
+        """Two misses share the fabric: contended, not serialised."""
+        env, plane = plane_for("cached")
+
+        def task():
+            yield from plane.read_inputs("w0", [("a", 100), ("b", 100)])
+
+        env.run(until=env.process(task()))
+        assert env.now == pytest.approx(2.0)  # 50 B/s each, in parallel
+
+    def test_zero_byte_inputs_skipped(self):
+        env, plane = plane_for("cached")
+
+        def task():
+            yield from plane.read_inputs("w0", [("f", 0)])
+
+        env.run(until=env.process(task()))
+        assert env.now == 0.0
+        assert plane.cache_for("w0").misses == 0
+
+
+class TestWriteOutputs:
+    def test_write_through_populates_producer_cache(self):
+        env, plane = plane_for("cached")
+
+        def task():
+            yield from plane.write_outputs("w0", [("out", 100)])
+
+        env.run(until=env.process(task()))
+        assert env.now == pytest.approx(1.0)
+        assert "out" in plane.cache_for("w0")
+        assert plane.store.bytes_written == pytest.approx(100)
+
+    def test_in_flight_while_writing(self):
+        env, plane = plane_for("cached")
+        seen = {}
+
+        def task():
+            yield from plane.write_outputs("w0", [("out", 100)])
+
+        def probe():
+            yield env.timeout(0.5)
+            seen["mid"] = plane.in_flight(["out"])
+
+        proc = env.process(task())
+        env.process(probe())
+        env.run(until=proc)
+        assert seen["mid"] == ["out"]
+        assert plane.in_flight(["out"]) == []
+
+
+class TestLocalityNode:
+    def test_prefers_node_with_most_input_bytes(self):
+        _, plane = plane_for("locality")
+        plane.cache_for("w0").insert("a", 100)
+        plane.cache_for("w1").insert("b", 300)
+        assert plane.locality_node(["a", "b"]) == "w1"
+
+    def test_none_when_nothing_cached(self):
+        _, plane = plane_for("locality")
+        plane.cache_for("w0")
+        assert plane.locality_node(["a"]) is None
+
+
+class TestReporting:
+    def test_hit_rate_aggregates_across_nodes(self):
+        _, plane = plane_for("cached")
+        plane.cache_for("w0").insert("a", 1)
+        plane.cache_for("w0").lookup("a")
+        plane.cache_for("w1").lookup("zzz")
+        assert plane.cache_hit_rate() == pytest.approx(0.5)
+        assert plane.cache_used_bytes() == 1
+
+    def test_stats_payload(self):
+        env, plane = plane_for("cached")
+        env.run(until=plane.store.transfer("f", 100))
+        stats = plane.stats()
+        assert stats["mode"] == "cached"
+        assert stats["bytes_read"] == pytest.approx(100)
+        assert stats["cache_hit_rate"] == 0.0

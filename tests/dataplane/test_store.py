@@ -1,0 +1,173 @@
+"""Unit tests for the processor-sharing shared store."""
+
+import pytest
+
+from repro.dataplane import SharedStore
+from repro.simulation import Environment
+from repro.tracing import TraceRecorder
+from repro.tracing.events import TRANSFER_END, TRANSFER_START
+
+
+def make_store(env, aggregate=100.0, per_client=100.0, tracer=None):
+    return SharedStore(env, aggregate_bandwidth=aggregate,
+                       per_client_bandwidth=per_client, tracer=tracer)
+
+
+class TestSingleTransfer:
+    def test_completes_at_per_client_rate(self):
+        env = Environment()
+        store = make_store(env, aggregate=1000.0, per_client=100.0)
+        done = store.transfer("f", 200)
+        env.run(until=done)
+        assert env.now == pytest.approx(2.0)
+        assert store.bytes_read == pytest.approx(200)
+        assert store.transfers_completed == 1
+        assert store.active_transfers == 0
+
+    def test_aggregate_caps_single_client(self):
+        env = Environment()
+        store = make_store(env, aggregate=50.0, per_client=100.0)
+        done = store.transfer("f", 100)
+        env.run(until=done)
+        assert env.now == pytest.approx(2.0)
+
+    def test_zero_byte_transfer_is_instant(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        store = make_store(env, tracer=recorder)
+        done = store.transfer("empty", 0)
+        env.run(until=done)
+        assert env.now == 0.0
+        kinds = [e.kind for e in recorder.events]
+        assert kinds == [TRANSFER_START, TRANSFER_END]
+
+    def test_invalid_kind_rejected(self):
+        env = Environment()
+        store = make_store(env)
+        with pytest.raises(ValueError):
+            store.transfer("f", 10, kind="copy")
+
+    def test_invalid_bandwidth_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SharedStore(env, aggregate_bandwidth=0, per_client_bandwidth=1)
+
+
+class TestProcessorSharing:
+    def test_two_transfers_share_aggregate(self):
+        """Two equal transfers on a saturated fabric take twice as long."""
+        env = Environment()
+        store = make_store(env, aggregate=100.0, per_client=100.0)
+        a = store.transfer("a", 100)
+        b = store.transfer("b", 100)
+        env.run(until=env.all_of([a, b]))
+        # Each runs at 50 B/s: both finish at t=2, not t=1.
+        assert env.now == pytest.approx(2.0)
+
+    def test_contention_slows_down_dense_phase(self):
+        """n concurrent transfers each degrade to aggregate/n."""
+        env = Environment()
+        store = make_store(env, aggregate=100.0, per_client=100.0)
+        events = [store.transfer(f"f{i}", 100) for i in range(4)]
+        assert store.active_transfers == 4
+        assert store.peak_active == 4
+        env.run(until=env.all_of(events))
+        assert env.now == pytest.approx(4.0)
+
+    def test_per_client_cap_before_contention(self):
+        """Two transfers under a half-rate client cap never contend."""
+        env = Environment()
+        store = make_store(env, aggregate=100.0, per_client=50.0)
+        a = store.transfer("a", 100)
+        b = store.transfer("b", 100)
+        env.run(until=env.all_of([a, b]))
+        assert env.now == pytest.approx(2.0)
+
+    def test_late_joiner_shares_remaining_bandwidth(self):
+        """A transfer arriving mid-flight re-rates the running one.
+
+        f1 (100 B) runs alone at 100 B/s for 0.5 s (50 B left), then f2
+        (50 B) joins: both run at 50 B/s and finish together at t=1.5.
+        """
+        env = Environment()
+        store = make_store(env, aggregate=100.0, per_client=100.0)
+        first = store.transfer("f1", 100)
+
+        finish_times = {}
+        first.callbacks.append(lambda _e: finish_times.__setitem__(
+            "f1", env.now))
+
+        def joiner():
+            yield env.timeout(0.5)
+            second = store.transfer("f2", 50)
+            second.callbacks.append(lambda _e: finish_times.__setitem__(
+                "f2", env.now))
+            yield second
+
+        proc = env.process(joiner())
+        env.run(until=env.all_of([first, proc]))
+        assert finish_times["f1"] == pytest.approx(1.5)
+        assert finish_times["f2"] == pytest.approx(1.5)
+
+    def test_shorter_transfer_finishes_first(self):
+        env = Environment()
+        store = make_store(env, aggregate=100.0, per_client=100.0)
+        long = store.transfer("long", 150)
+        short = store.transfer("short", 50)
+        finish = {}
+        long.callbacks.append(lambda _e: finish.__setitem__("long", env.now))
+        short.callbacks.append(lambda _e: finish.__setitem__("short", env.now))
+        env.run(until=env.all_of([long, short]))
+        # Both at 50 B/s until short drains (t=1), then long at 100 B/s.
+        assert finish["short"] == pytest.approx(1.0)
+        assert finish["long"] == pytest.approx(2.0)
+
+
+class TestWriteTracking:
+    def test_in_flight_writes_visible_until_landed(self):
+        env = Environment()
+        store = make_store(env)
+        done = store.transfer("out", 100, kind="write")
+        assert store.in_flight_writes(["out", "other"]) == ["out"]
+        env.run(until=done)
+        assert store.in_flight_writes(["out"]) == []
+        assert store.bytes_written == pytest.approx(100)
+
+    def test_reads_do_not_count_as_in_flight_writes(self):
+        env = Environment()
+        store = make_store(env)
+        store.transfer("f", 100, kind="read")
+        assert store.in_flight_writes(["f"]) == []
+
+
+class TestThroughputGauge:
+    def test_gauge_tracks_delivered_bandwidth(self):
+        env = Environment()
+        store = make_store(env, aggregate=100.0, per_client=100.0)
+        a = store.transfer("a", 100)
+        b = store.transfer("b", 100)
+        assert store.throughput.value == pytest.approx(100.0)
+        env.run(until=env.all_of([a, b]))
+        assert store.throughput.value == 0.0
+
+    def test_stats_payload(self):
+        env = Environment()
+        store = make_store(env)
+        env.run(until=store.transfer("f", 100))
+        stats = store.stats()
+        assert stats["bytes_read"] == pytest.approx(100)
+        assert stats["transfers_completed"] == 1
+        assert stats["peak_active"] == 1
+
+
+class TestTraceEvents:
+    def test_transfer_events_carry_op_and_node(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        store = make_store(env, tracer=recorder)
+        env.run(until=store.transfer("f", 100, kind="write", node="w0"))
+        start, end = recorder.events
+        assert start.kind == TRANSFER_START
+        assert start.attrs == {"bytes": 100, "op": "write", "node": "w0"}
+        assert end.kind == TRANSFER_END
+        assert end.ts == pytest.approx(1.0)

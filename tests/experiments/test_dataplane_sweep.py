@@ -1,0 +1,94 @@
+"""Integration tests for the data-plane experiment sweep."""
+
+import pytest
+
+from repro.experiments.dataplane import (
+    DATA_PLANE_SWEEP_MODES,
+    DataPlaneScenario,
+    run_dataplane_cell,
+    run_dataplane_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    """One srasearch sweep across every mode (module-cached: ~0.1 s)."""
+    return run_dataplane_sweep(applications=("srasearch",))
+
+
+def row_for(rows, mode):
+    return next(r for r in rows if r["mode"] == mode)
+
+
+class TestSweepGrid:
+    def test_all_modes_run_clean(self, sweep_rows):
+        assert [r["mode"] for r in sweep_rows] == list(DATA_PLANE_SWEEP_MODES)
+        assert all(r["succeeded"] for r in sweep_rows)
+        assert all(r["trace_violations"] == 0 for r in sweep_rows)
+
+    def test_uniform_matches_legacy(self, sweep_rows):
+        legacy = row_for(sweep_rows, "legacy")
+        uniform = row_for(sweep_rows, "uniform")
+        assert uniform["uniform_matches_legacy"] is True
+        assert uniform["makespan_seconds"] == legacy["makespan_seconds"]
+
+    def test_shared_mode_models_contention(self, sweep_rows):
+        """Shared mode replaces the flat constant with a contended fabric:
+        concurrent transfers overlap (so the makespan moves off the
+        uniform baseline) and no cache tier exists."""
+        uniform = row_for(sweep_rows, "uniform")
+        shared = row_for(sweep_rows, "shared")
+        assert shared["makespan_seconds"] != uniform["makespan_seconds"]
+        assert shared["peak_active_transfers"] > 1
+        assert shared["bytes_read"] > 0
+        assert shared["cache_hit_rate"] == 0.0
+
+    def test_caching_recovers_makespan(self, sweep_rows):
+        shared = row_for(sweep_rows, "shared")
+        cached = row_for(sweep_rows, "cached")
+        assert cached["cache_hit_rate"] > 0.0
+        assert cached["makespan_seconds"] < shared["makespan_seconds"]
+
+    def test_locality_beats_shared_on_dense_workflow(self, sweep_rows):
+        """The acceptance criterion: locality-aware staging reduces the
+        makespan of a group-1 dense workflow vs the shared-only model."""
+        shared = row_for(sweep_rows, "shared")
+        locality = row_for(sweep_rows, "locality")
+        assert locality["group"] == 1
+        assert locality["makespan_seconds"] < shared["makespan_seconds"]
+        assert locality["cache_hit_rate"] > 0.0
+
+    def test_rows_are_flat_and_csv_ready(self, sweep_rows):
+        for row in sweep_rows:
+            for value in row.values():
+                assert not isinstance(value, (list, dict))
+
+
+class TestCell:
+    def test_modeled_cell_reports_store_traffic(self):
+        row = run_dataplane_cell(DataPlaneScenario(
+            mode="shared", application="blast"))
+        assert row["bytes_read"] > 0
+        assert row["bytes_written"] > 0
+        assert row["transfers_completed"] > 0
+        assert row["mean_store_throughput"] > 0
+
+    def test_legacy_cell_has_no_dataplane_counters(self):
+        row = run_dataplane_cell(DataPlaneScenario(
+            mode="legacy", application="blast"))
+        assert row["bytes_read"] == 0
+        assert row["transfers_completed"] == 0
+
+    def test_frame_carries_dataplane_series(self):
+        row = run_dataplane_cell(
+            DataPlaneScenario(mode="locality", application="srasearch"),
+            keep_frame=True)
+        frame = row["frame"]
+        assert "repro.dataplane.store.throughput" in frame
+        assert "repro.dataplane.cache.hit_rate" in frame
+        assert frame["repro.dataplane.cache.hit_rate"].values.max() > 0.0
+
+    def test_parallel_sweep_matches_serial(self):
+        kwargs = dict(applications=("blast",), modes=("shared", "cached"))
+        assert run_dataplane_sweep(jobs=2, **kwargs) == \
+            run_dataplane_sweep(**kwargs)

@@ -14,12 +14,14 @@ def make_workflow(application: str = "blast", num_tasks: int = 20, seed: int = 7
 
 def traced_sim_run(workflow=None, *, application: str = "blast",
                    num_tasks: int = 8, seed: int = 7, manager_config=None,
-                   fault_injector=None, checkpoint=None):
+                   fault_injector=None, checkpoint=None, dataplane=None):
     """One fully traced run on a simulated Knative platform.
 
     Returns ``(result, recorder)``; the recorder holds the complete
     span/event log of the run (sim clock), including the input staging
-    ``drive.put`` events.
+    ``drive.put`` events.  ``dataplane`` may be a
+    :class:`repro.dataplane.DataPlaneConfig` to attach a data plane to
+    the platform (an inert uniform-mode plane must not change the trace).
     """
     import numpy as np
 
@@ -43,9 +45,15 @@ def traced_sim_run(workflow=None, *, application: str = "blast",
     drive = SimulatedSharedDrive()
     recorder = TraceRecorder.for_env(env)
     drive.tracer = recorder
+    plane = None
+    if dataplane is not None:
+        from repro.dataplane import DataPlane
+
+        plane = DataPlane(env, dataplane, tracer=recorder)
     platform = KnativePlatform(env, cluster, drive, config=KnativeConfig(),
                                model=WfBenchModel(noise_sigma=0.0),
-                               rng=np.random.default_rng(0))
+                               rng=np.random.default_rng(0),
+                               dataplane=plane)
     if fault_injector is not None:
         platform.fault_injector = fault_injector
     for f in workflow_input_files(wf):

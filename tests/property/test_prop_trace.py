@@ -32,7 +32,9 @@ from repro.tracing.events import (
 from helpers import traced_sim_run
 
 apps = st.sampled_from(["blast", "montage", "cycles"])
-sizes = st.integers(min_value=8, max_value=24)
+# Montage's recipe needs at least 9 tasks; start the size range there so
+# every (app, size) draw is generatable.
+sizes = st.integers(min_value=9, max_value=24)
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
 failure_rates = st.sampled_from([0.0, 0.1, 0.25])
 straggler_rates = st.sampled_from([0.0, 0.2])
@@ -68,7 +70,13 @@ class TestHonestTracesPass:
                                    straggler_rate):
         result, recorder = honest_run(app, size, seed, failure_rate,
                                       straggler_rate)
-        assert result.succeeded, result.error
+        if failure_rate == 0.0:
+            assert result.succeeded, result.error
+        elif not result.succeeded:
+            # With a 25% fault rate an unlucky seed can exhaust the
+            # 6-attempt retry budget; that is an honest failure and its
+            # trace must still check clean.
+            assert "injected transient fault" in result.error
         assert check_trace(recorder.events) == []
 
 

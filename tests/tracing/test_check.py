@@ -211,3 +211,81 @@ class TestViolationRendering:
         text = str(violation)
         assert "run-termination" in text
         assert "wf-1" in text
+
+
+class TestTransferStaged:
+    def _read(self, ts, name):
+        from repro.tracing.events import TRANSFER_START
+
+        return TraceEvent(ts=ts, kind=TRANSFER_START, name=name,
+                          attrs={"bytes": 10, "op": "read", "node": "w0"})
+
+    def test_read_after_put_ok(self):
+        events = honest_trace() + [self._read(1.5, "mid.txt")]
+        assert check_trace(events) == []
+
+    def test_read_before_put_flagged(self):
+        events = honest_trace() + [self._read(0.5, "mid.txt")]
+        assert "transfer-staged" in invariants_of(check_trace(events))
+
+    def test_read_of_never_staged_file_flagged(self):
+        events = honest_trace() + [self._read(2.0, "ghost.txt")]
+        assert "transfer-staged" in invariants_of(check_trace(events))
+
+    def test_write_transfers_exempt(self):
+        from repro.tracing.events import TRANSFER_START
+
+        events = honest_trace() + [
+            TraceEvent(ts=0.5, kind=TRANSFER_START, name="mid.txt",
+                       attrs={"bytes": 10, "op": "write", "node": "w0"}),
+        ]
+        assert check_trace(events) == []
+
+    def test_skipped_when_drive_not_instrumented(self):
+        events = [e for e in honest_trace() if e.kind != DRIVE_PUT]
+        events.append(self._read(0.5, "mid.txt"))
+        assert "transfer-staged" not in invariants_of(check_trace(events))
+
+
+class TestCacheCapacity:
+    def _insert(self, ts, name, size, capacity=100, node="w0"):
+        from repro.tracing.events import CACHE_INSERT
+
+        return TraceEvent(ts=ts, kind=CACHE_INSERT, name=name,
+                          attrs={"bytes": size, "capacity": capacity,
+                                 "node": node})
+
+    def _evict(self, ts, name, size, node="w0"):
+        from repro.tracing.events import CACHE_EVICT
+
+        return TraceEvent(ts=ts, kind=CACHE_EVICT, name=name,
+                          attrs={"bytes": size, "node": node})
+
+    def test_within_capacity_ok(self):
+        events = honest_trace() + [
+            self._insert(1.0, "a", 60),
+            self._evict(2.0, "a", 60),
+            self._insert(2.0, "b", 60),
+        ]
+        assert check_trace(events) == []
+
+    def test_insert_past_capacity_flagged(self):
+        events = honest_trace() + [
+            self._insert(1.0, "a", 60),
+            self._insert(2.0, "b", 60),  # 120 > 100, no evict first
+        ]
+        assert "cache-capacity" in invariants_of(check_trace(events))
+
+    def test_nodes_tracked_independently(self):
+        events = honest_trace() + [
+            self._insert(1.0, "a", 60, node="w0"),
+            self._insert(2.0, "b", 60, node="w1"),
+        ]
+        assert check_trace(events) == []
+
+    def test_reinsert_replaces_entry(self):
+        events = honest_trace() + [
+            self._insert(1.0, "a", 60),
+            self._insert(2.0, "a", 80),  # replaces, not adds
+        ]
+        assert check_trace(events) == []

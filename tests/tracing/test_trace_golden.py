@@ -33,3 +33,14 @@ def test_trace_output_matches_golden_fixture(tmp_path):
 
 def test_golden_fixture_passes_checker():
     assert check_jsonl(GOLDEN) == []
+
+
+def test_uniform_dataplane_reproduces_golden_fixture(tmp_path):
+    """An attached uniform-mode data plane is inert: same bytes."""
+    from repro.dataplane import DataPlaneConfig
+
+    result, recorder = traced_sim_run(
+        num_tasks=8, seed=7, dataplane=DataPlaneConfig(mode="uniform"))
+    assert result.succeeded
+    path = recorder.write_jsonl(tmp_path / "run.trace.jsonl")
+    assert path.read_bytes() == GOLDEN.read_bytes()
