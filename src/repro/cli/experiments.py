@@ -33,7 +33,7 @@ __all__ = ["main", "build_parser"]
 
 _TARGETS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "headline", "design", "report", "chaos", "multitenant",
-            "dataplane", "bench", "all")
+            "dataplane", "faults", "bench", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--chaos-repeats", type=int, default=3,
         help="repeats per (fault, policy) cell for the 'chaos' target")
+    parser.add_argument(
+        "--faults-apps", nargs="+", default=None, metavar="APP",
+        help="restrict the 'faults' target to these workflows "
+        "(default: all seven)")
+    parser.add_argument(
+        "--faults-shapes", nargs="+", default=None, metavar="SHAPE",
+        help="restrict the 'faults' target to these fault shapes "
+        "(default: crash partition corruption corruption-k1)")
     parser.add_argument(
         "--plot", action="store_true",
         help="render figure series as terminal bar charts (the artifact's "
@@ -268,6 +276,37 @@ def _run(args: argparse.Namespace) -> int:
               f"checked, {dp_violations} invariant violation(s), "
               f"{dp_mismatches} uniform/legacy mismatch(es)")
         if dp_violations or dp_mismatches:
+            return 2
+    if "faults" in targets:
+        from repro.experiments.design import APPLICATIONS_ORDER
+        from repro.experiments.faults import DEFAULT_SHAPES, run_faults_sweep
+
+        if args.faults_shapes:
+            by_name = {s.name: s for s in DEFAULT_SHAPES}
+            unknown = [n for n in args.faults_shapes if n not in by_name]
+            if unknown:
+                print(f"unknown fault shape(s) {unknown}; "
+                      f"choose from {sorted(by_name)}")
+                return 1
+            shapes = tuple(by_name[n] for n in args.faults_shapes)
+        else:
+            shapes = DEFAULT_SHAPES
+        apps = (tuple(args.faults_apps) if args.faults_apps
+                else APPLICATIONS_ORDER)
+        rows = run_faults_sweep(applications=apps, shapes=shapes,
+                                jobs=args.jobs, seed=args.seed)
+        print()
+        print(format_table(
+            rows, title="Failure domains: fault shape × workflow"))
+        out_dir = args.output if args.output is not None else Path("results")
+        path = write_rows_csv(rows, out_dir / "faults.csv")
+        print(f"[csv] {path}")
+        fl_violations = sum(r["trace_violations"] for r in rows)
+        fl_failed = sum(1 for r in rows if not r["succeeded"])
+        print(f"[trace] {sum(r['trace_events'] for r in rows)} events "
+              f"checked, {fl_violations} invariant violation(s), "
+              f"{fl_failed} failed run(s)")
+        if fl_violations or fl_failed:
             return 2
     if "bench" in targets:
         from repro.experiments.bench import run_bench, write_bench

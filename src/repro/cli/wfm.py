@@ -130,14 +130,21 @@ def _resilience_from_args(args) -> "ResiliencePolicy | None":
 
 
 def _checkpoint_from_args(args, parser) -> "WorkflowCheckpoint | None":
-    from repro.resilience import WorkflowCheckpoint
+    from repro.resilience import CheckpointCorrupt, WorkflowCheckpoint
 
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
     if args.checkpoint is None:
         return None
     if args.resume:
-        return WorkflowCheckpoint.load(args.checkpoint)
+        try:
+            return WorkflowCheckpoint.load(args.checkpoint)
+        except CheckpointCorrupt as exc:
+            # A truncated checkpoint must not strand the run: warn, drop
+            # the bad record, start fresh (losing the completed-task
+            # credit, never correctness).
+            print(f"warning: {exc}; starting a fresh run instead",
+                  file=sys.stderr)
     checkpoint = WorkflowCheckpoint(args.checkpoint)
     checkpoint.clear()  # a fresh (non-resume) run starts a fresh record
     return checkpoint

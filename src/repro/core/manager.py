@@ -41,6 +41,7 @@ from repro.resilience.state import ResiliencePolicy, ResilienceState
 from repro.tracing.events import (
     BREAKER_SHORT_CIRCUIT,
     CHECKPOINT_WRITE,
+    LINEAGE_REEXEC,
     PHASE_END,
     PHASE_START,
     TASK_END,
@@ -107,6 +108,16 @@ class ManagerConfig:
     #: injected-crash error (0 = unlimited).  The chaos harness uses this
     #: to emulate a manager crash mid-run for checkpoint/resume studies.
     max_phases: int = 0
+    #: Lineage-based recovery (phase modes only): when a phase's inputs
+    #: are unrecoverable — the durability catalog lost every replica, or
+    #: the files never appeared and polling is exhausted — consult the
+    #: DAG and re-execute the minimal producer subgraph that regenerates
+    #: them before declaring the run failed.  Checkpointed tasks whose
+    #: outputs are still durable are never redone (the lineage walk
+    #: stops at readable files).
+    lineage_recovery: bool = False
+    #: Recovery rounds one phase may trigger before giving up.
+    lineage_max_rounds: int = 2
 
     def __post_init__(self) -> None:
         if self.execution_mode not in ("level", "sequential", "eager"):
@@ -123,6 +134,8 @@ class ManagerConfig:
         if (self.readiness_poll_interval_seconds is not None
                 and self.readiness_poll_interval_seconds <= 0):
             raise ValueError("readiness_poll_interval_seconds must be > 0")
+        if self.lineage_max_rounds < 1:
+            raise ValueError("lineage_max_rounds must be >= 1")
 
 
 class ServerlessWorkflowManager:
@@ -159,6 +172,7 @@ class ServerlessWorkflowManager:
             self._state = None
         self._run_retries = 0
         self._readiness_retries = 0
+        self._lineage_reexecs = 0
 
     @property
     def resilience_state(self) -> Optional[ResilienceState]:
@@ -212,6 +226,204 @@ class ServerlessWorkflowManager:
             missing = self.drive.missing(needed)
             retries -= 1
         return missing
+
+    def _check_readiness_proc(self, env, dag: WorkflowDAG, phase: Phase
+                              ) -> Generator:
+        """Generator twin of :meth:`_check_readiness`."""
+        needed = dag.phase_inputs(phase)
+        missing = self.drive.missing(needed)
+        retries = self.config.readiness_retries
+        interval = self._readiness_interval()
+        while self._readiness_keep_waiting(missing, retries):
+            yield env.timeout(interval)
+            self._readiness_retries += 1
+            missing = self.drive.missing(needed)
+            retries -= 1
+        return missing
+
+    # ------------------------------------------------------------------
+    # Lineage-based recovery (repro.failures): when inputs are lost —
+    # every replica corrupt, or never staged and polling exhausted — the
+    # DAG knows which producers regenerate them.
+    # ------------------------------------------------------------------
+    def _unreadable(self, name: str) -> bool:
+        """Can ``name`` not be consumed right now (absent or lost)?"""
+        if not self.drive.exists(name):
+            return True
+        return bool(self.drive.unrecoverable([name]))
+
+    def _plan_lineage(self, dag: WorkflowDAG, lost: list[str]):
+        from repro.failures.lineage import plan_recovery
+
+        return plan_recovery(dag, lost, unreadable=self._unreadable)
+
+    def _trace_reexec(self, dag: WorkflowDAG, group, plan) -> None:
+        tracer = self._tracer
+        if tracer is None:
+            return
+        for name in group:
+            task = dag.task(name)
+            # produces is the task's full output set, not the
+            # plan-filtered one: the trace checker recomputes the
+            # ancestor fixpoint independently and must not have to trust
+            # the planner's own notion of which files were needed.
+            tracer.emit(
+                LINEAGE_REEXEC, name=name, trace=self._trace_id,
+                lost=list(plan.lost),
+                produces=sorted(f.name for f in task.output_files),
+                inputs=sorted(f.name for f in task.input_files),
+            )
+
+    def _lineage_recover(self, dag: WorkflowDAG, lost: list[str]) -> bool:
+        """Re-execute the minimal producer subgraph for ``lost``.
+
+        Returns False when nothing in the DAG produces those files (the
+        caller's failure stands); raises when a re-executed producer
+        itself fails beyond its retry budget.
+        """
+        plan = self._plan_lineage(dag, lost)
+        if plan.empty:
+            return False
+        policy = self._effective_retry_policy()
+        for group in plan.groups:
+            self._trace_reexec(dag, group, plan)
+            self._lineage_reexecs += len(group)
+            records = self._run_phase(dag, list(group))
+            if policy is not None:
+                records = self._retry_failures(dag, records, policy)
+            bad = [r for r in records if not r.ok]
+            if bad:
+                raise WorkflowExecutionError(
+                    f"lineage recovery failed at {bad[0].name}: "
+                    f"{bad[0].status} {bad[0].error}"
+                )
+        return True
+
+    def _lineage_recover_proc(self, env, dag: WorkflowDAG, lost: list[str]
+                              ) -> Generator:
+        """Generator twin of :meth:`_lineage_recover`."""
+        plan = self._plan_lineage(dag, lost)
+        if plan.empty:
+            return False
+        policy = self._effective_retry_policy()
+        for group in plan.groups:
+            self._trace_reexec(dag, group, plan)
+            self._lineage_reexecs += len(group)
+            records = yield from self._run_phase_proc(env, dag, list(group))
+            if policy is not None:
+                records = yield from self._retry_failures_proc(
+                    env, dag, records, policy)
+            bad = [r for r in records if not r.ok]
+            if bad:
+                raise WorkflowExecutionError(
+                    f"lineage recovery failed at {bad[0].name}: "
+                    f"{bad[0].status} {bad[0].error}"
+                )
+        return True
+
+    def _ready_or_recover(self, dag: WorkflowDAG, phase: Phase) -> list[str]:
+        """Readiness check with lineage recovery folded in."""
+        if not self.config.lineage_recovery:
+            return self._check_readiness(dag, phase)
+        needed = dag.phase_inputs(phase)
+        rounds = self.config.lineage_max_rounds
+        while True:
+            lost = self.drive.unrecoverable(needed)
+            if lost and rounds > 0:
+                rounds -= 1
+                self._lineage_recover(dag, sorted(lost))
+                continue
+            missing = self._check_readiness(dag, phase)
+            if missing and rounds > 0:
+                rounds -= 1
+                self._lineage_recover(dag, missing)
+                continue
+            return missing
+
+    def _ready_or_recover_proc(self, env, dag: WorkflowDAG, phase: Phase
+                               ) -> Generator:
+        """Generator twin of :meth:`_ready_or_recover`."""
+        if not self.config.lineage_recovery:
+            missing = yield from self._check_readiness_proc(env, dag, phase)
+            return missing
+        needed = dag.phase_inputs(phase)
+        rounds = self.config.lineage_max_rounds
+        while True:
+            lost = self.drive.unrecoverable(needed)
+            if lost and rounds > 0:
+                rounds -= 1
+                yield from self._lineage_recover_proc(env, dag, sorted(lost))
+                continue
+            missing = yield from self._check_readiness_proc(env, dag, phase)
+            if missing and rounds > 0:
+                rounds -= 1
+                yield from self._lineage_recover_proc(env, dag, missing)
+                continue
+            return missing
+
+    def _recover_failed_reads(self, dag: WorkflowDAG,
+                              records: list[InvocationRecord]
+                              ) -> list[InvocationRecord]:
+        """Mid-phase data loss (424s): regenerate inputs, re-fire."""
+        if not self.config.lineage_recovery:
+            return records
+        final = list(records)
+        rounds = self.config.lineage_max_rounds
+        policy = self._effective_retry_policy()
+        while rounds > 0:
+            idx = [i for i, r in enumerate(final) if r.status == 424]
+            if not idx:
+                break
+            lost: set[str] = set()
+            for i in idx:
+                task = dag.task(final[i].name)
+                lost.update(self.drive.unrecoverable(
+                    [f.name for f in task.input_files]))
+            if not lost:
+                break
+            rounds -= 1
+            if not self._lineage_recover(dag, sorted(lost)):
+                break
+            new_records = self._run_phase(dag, [final[i].name for i in idx])
+            if policy is not None:
+                new_records = self._retry_failures(dag, new_records, policy)
+            for i, rec in zip(idx, new_records):
+                final[i] = rec
+        return final
+
+    def _recover_failed_reads_proc(self, env, dag: WorkflowDAG,
+                                   records: list[InvocationRecord]
+                                   ) -> Generator:
+        """Generator twin of :meth:`_recover_failed_reads`."""
+        if not self.config.lineage_recovery:
+            return records
+        final = list(records)
+        rounds = self.config.lineage_max_rounds
+        policy = self._effective_retry_policy()
+        while rounds > 0:
+            idx = [i for i, r in enumerate(final) if r.status == 424]
+            if not idx:
+                break
+            lost: set[str] = set()
+            for i in idx:
+                task = dag.task(final[i].name)
+                lost.update(self.drive.unrecoverable(
+                    [f.name for f in task.input_files]))
+            if not lost:
+                break
+            rounds -= 1
+            recovered = yield from self._lineage_recover_proc(
+                env, dag, sorted(lost))
+            if not recovered:
+                break
+            new_records = yield from self._run_phase_proc(
+                env, dag, [final[i].name for i in idx])
+            if policy is not None:
+                new_records = yield from self._retry_failures_proc(
+                    env, dag, new_records, policy)
+            for i, rec in zip(idx, new_records):
+                final[i] = rec
+        return final
 
     # ------------------------------------------------------------------
     # Fault-tolerance plumbing shared by every execution path.
@@ -325,6 +537,7 @@ class ServerlessWorkflowManager:
         result.metrics.setdefault("retries", self._run_retries)
         result.metrics.setdefault("readiness_retries",
                                   self._readiness_retries)
+        result.metrics.setdefault("lineage_reexecs", self._lineage_reexecs)
         if self._state is None:
             return
         after = self._state.counters()
@@ -445,6 +658,7 @@ class ServerlessWorkflowManager:
                                   paradigm_label, trace_id)
         self._run_retries = 0
         self._readiness_retries = 0
+        self._lineage_reexecs = 0
         before = self._run_snapshot()
         try:
             if self.config.execution_mode == "eager":
@@ -484,7 +698,7 @@ class ServerlessWorkflowManager:
                 ))
                 continue
             if self.config.readiness_check:
-                missing = self._check_readiness(dag, phase)
+                missing = self._ready_or_recover(dag, phase)
                 if missing:
                     raise WorkflowExecutionError(
                         f"phase {phase.index}: inputs never appeared on the "
@@ -497,6 +711,7 @@ class ServerlessWorkflowManager:
             records = self._run_phase(dag, todo)
             if retry_policy is not None:
                 records = self._retry_failures(dag, records, retry_policy)
+            records = self._recover_failed_reads(dag, records)
             self._checkpoint_phase(dag, phase, records)
             failures = self._record_phase(result, phase, records)
             if tracer is not None:
@@ -645,6 +860,7 @@ class ServerlessWorkflowManager:
                                   paradigm_label, trace_id)
         self._run_retries = 0
         self._readiness_retries = 0
+        self._lineage_reexecs = 0
         before = self._run_snapshot()
         try:
             if self.config.execution_mode == "eager":
@@ -685,15 +901,8 @@ class ServerlessWorkflowManager:
                 ))
                 continue
             if self.config.readiness_check:
-                needed = dag.phase_inputs(phase)
-                missing = self.drive.missing(needed)
-                retries = self.config.readiness_retries
-                interval = self._readiness_interval()
-                while self._readiness_keep_waiting(missing, retries):
-                    yield env.timeout(interval)
-                    self._readiness_retries += 1
-                    missing = self.drive.missing(needed)
-                    retries -= 1
+                missing = yield from self._ready_or_recover_proc(
+                    env, dag, phase)
                 if missing:
                     raise WorkflowExecutionError(
                         f"phase {phase.index}: inputs never appeared on the "
@@ -707,6 +916,8 @@ class ServerlessWorkflowManager:
             if retry_policy is not None:
                 records = yield from self._retry_failures_proc(
                     env, dag, records, retry_policy)
+            records = yield from self._recover_failed_reads_proc(
+                env, dag, records)
             self._checkpoint_phase(dag, phase, records)
             failures = self._record_phase(result, phase, records)
             if tracer is not None:

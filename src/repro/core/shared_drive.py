@@ -70,6 +70,14 @@ class SharedDrive(abc.ABC):
         """
         return []
 
+    def unrecoverable(self, names: Iterable[str]) -> list[str]:
+        """The subset of ``names`` that was produced but lost every
+        replica (durability catalog view).  Unlike :meth:`missing`,
+        waiting does not help — only lineage re-execution brings the
+        bytes back.  The base drive never loses data.
+        """
+        return []
+
     def stage(self, files: Mapping[str, int]) -> None:
         for name, size in files.items():
             self.put(name, size)
@@ -111,6 +119,11 @@ class SimulatedSharedDrive(SharedDrive):
         if self.dataplane is None:
             return []
         return self.dataplane.in_flight(names)
+
+    def unrecoverable(self, names: Iterable[str]) -> list[str]:
+        if self.dataplane is None:
+            return []
+        return self.dataplane.unrecoverable(names)
 
 
 class LocalSharedDrive(SharedDrive):

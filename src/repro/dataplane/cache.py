@@ -14,7 +14,12 @@ the cache above its capacity.
 
 from __future__ import annotations
 
-from repro.tracing.events import CACHE_EVICT, CACHE_HIT, CACHE_INSERT
+from repro.tracing.events import (
+    CACHE_EVICT,
+    CACHE_HIT,
+    CACHE_INSERT,
+    CACHE_INVALIDATE,
+)
 
 __all__ = ["LocalCache"]
 
@@ -86,6 +91,22 @@ class LocalCache:
             self.tracer.emit(CACHE_INSERT, name=name, bytes=size,
                              node=self.node, capacity=self.capacity_bytes)
         return evicted
+
+    def invalidate(self) -> tuple[int, int]:
+        """Drop every entry atomically (the node died under the cache).
+
+        Unlike :meth:`clear` this is a failure-domain action: it emits
+        one ``cache.invalidate`` event summarising what was lost, so the
+        trace shows exactly which bytes a crash took with it.  Returns
+        ``(entries, bytes)`` dropped.
+        """
+        entries, dropped = len(self._entries), self.used_bytes
+        self._entries.clear()
+        self.used_bytes = 0
+        if self.tracer is not None and (entries or dropped):
+            self.tracer.emit(CACHE_INVALIDATE, name=self.node,
+                             node=self.node, entries=entries, bytes=dropped)
+        return entries, dropped
 
     def delete(self, name: str) -> None:
         size = self._entries.pop(name, None)

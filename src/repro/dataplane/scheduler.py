@@ -23,6 +23,7 @@ from repro.dataplane.cache import LocalCache
 from repro.dataplane.config import DataPlaneConfig
 from repro.dataplane.store import SharedStore
 from repro.simulation import Environment
+from repro.tracing.events import PLANE_DEGRADED, REPLICA_WRITE
 
 __all__ = ["TransferScheduler", "DataPlane"]
 
@@ -40,42 +41,88 @@ class TransferScheduler:
         Shared-store misses transfer concurrently (they share the
         fabric's bandwidth, so concurrency is what creates contention);
         cache hits are charged afterwards at local bandwidth.
+
+        With a durability catalog attached and ``verify_reads`` on, the
+        read first checks replica health: objects with zero healthy
+        replicas raise :class:`~repro.errors.DataLossError` (the task
+        fails and the manager's lineage recovery takes over); objects
+        with a corrupt-but-recoverable replica trigger a repair clone
+        through the fabric alongside the read.  In degraded mode the
+        cache tier is bypassed entirely.
         """
         plane = self.plane
+        catalog = plane.catalog
+        degraded = plane.degraded
+        sized = [(name, size) for name, size in files if size > 0]
+        if catalog is not None and plane.durability.verify_reads:
+            catalog.check_readable(name for name, _ in sized)
         cache = plane.cache_for(node)
         local_bytes = 0
         fetched: list[tuple[str, int]] = []
         events = []
-        for name, size in files:
-            if size <= 0:
-                continue
-            if cache.lookup(name):
+        for name, size in sized:
+            if not degraded and cache.lookup(name):
                 local_bytes += size
             else:
                 fetched.append((name, size))
                 events.append(plane.store.transfer(name, size, "read", node))
+            if catalog is not None and catalog.needs_repair(name):
+                # Re-clone a replica from a healthy one: store-internal
+                # write contending with everyone else on the fabric.
+                repair = plane.store.transfer(name, size, "write", "store")
+                repair.callbacks.append(
+                    lambda _ev, _n=name: catalog.mark_repaired(_n))
+                events.append(repair)
         if events:
             yield plane.env.all_of(events)
-        for name, size in fetched:
-            cache.insert(name, size)
+        if not degraded:
+            for name, size in fetched:
+                cache.insert(name, size)
         if local_bytes:
             yield plane.env.timeout(local_bytes / plane.config.cache_bandwidth)
 
     def write_outputs(self, node: str, files: Sequence[tuple[str, int]]
                       ) -> Generator:
-        """Write-through a task's outputs: shared store + producer cache."""
+        """Write-through a task's outputs: shared store + producer cache.
+
+        With a durability catalog attached, every file is written ``k``
+        times (one transfer per replica, all contending on the fabric);
+        each replica landing emits ``replica.write`` and only once all
+        of them landed is the object registered durable (``durable.ack``).
+        """
         plane = self.plane
-        events = [
-            plane.store.transfer(name, size, "write", node)
-            for name, size in files
-            if size > 0
-        ]
+        catalog = plane.catalog
+        if catalog is None:
+            events = [
+                plane.store.transfer(name, size, "write", node)
+                for name, size in files
+                if size > 0
+            ]
+        else:
+            k = plane.durability.replication_k
+            tracer = plane.tracer
+            events = []
+            for name, size in files:
+                if size <= 0:
+                    continue
+                for replica in range(k):
+                    ev = plane.store.transfer(name, size, "write", node)
+                    if tracer is not None:
+                        ev.callbacks.append(
+                            lambda _ev, _n=name, _r=replica: tracer.emit(
+                                REPLICA_WRITE, name=_n, replica=_r, k=k))
+                    events.append(ev)
         if events:
             yield plane.env.all_of(events)
-        cache = plane.cache_for(node)
-        for name, size in files:
-            if size > 0:
-                cache.insert(name, size)
+        if catalog is not None:
+            for name, size in files:
+                if size > 0:
+                    catalog.record_write(name, size, node=node)
+        if not plane.degraded:
+            cache = plane.cache_for(node)
+            for name, size in files:
+                if size > 0:
+                    cache.insert(name, size)
 
 
 class DataPlane:
@@ -94,6 +141,18 @@ class DataPlane:
         )
         self.scheduler = TransferScheduler(self)
         self._caches: dict[str, LocalCache] = {}
+        # -- failure domain (attached by repro.failures) -------------------
+        #: Optional :class:`~repro.failures.durability.DurableCatalog`;
+        #: None keeps every code path byte-identical to the pre-failure
+        #: plane (the golden traces pin this).
+        self.catalog = None
+        #: The :class:`~repro.failures.config.DurabilityPolicy` the
+        #: catalog runs under (None until attached).
+        self.durability = None
+        #: Sticky degraded flag: too many node caches died, locality
+        #: hints are shed and reads go shared-store-only.
+        self.degraded = False
+        self._dead_caches: set[str] = set()
 
     # -- mode -------------------------------------------------------------
     @property
@@ -103,7 +162,43 @@ class DataPlane:
 
     @property
     def locality(self) -> bool:
-        return self.config.locality
+        return self.config.locality and not self.degraded
+
+    # -- failure domain ----------------------------------------------------
+    def attach_durability(self, catalog, policy=None) -> None:
+        """Wire a durability catalog (and its policy) into the plane."""
+        self.catalog = catalog
+        self.durability = policy if policy is not None else catalog.policy
+
+    def node_down(self, node: str) -> tuple[int, int]:
+        """A node crashed: invalidate its cache atomically and track the
+        loss towards the degraded-mode threshold.  Returns the
+        ``(entries, bytes)`` the crash took with it.
+        """
+        cache = self.cache_for(node)
+        dropped = cache.invalidate()
+        self._dead_caches.add(node)
+        threshold = (self.durability.degraded_cache_loss_fraction
+                     if self.durability is not None else 1.0)
+        known = max(1, len(self._caches))
+        fraction = len(self._dead_caches) / known
+        if not self.degraded and self.config.caching \
+                and fraction >= threshold:
+            self.degraded = True
+            if self.tracer is not None:
+                self.tracer.emit(PLANE_DEGRADED, name=node,
+                                 lost=len(self._dead_caches), known=known)
+        return dropped
+
+    def node_restored(self, node: str) -> None:
+        """A crashed node came back (empty cache, may fill again)."""
+        self._dead_caches.discard(node)
+
+    def unrecoverable(self, names: Iterable[str]) -> list[str]:
+        """Names that were written durably but lost every replica."""
+        if self.catalog is None:
+            return []
+        return self.catalog.unrecoverable(names)
 
     # -- cache tier -------------------------------------------------------
     def cache_for(self, node: str) -> LocalCache:
@@ -163,4 +258,7 @@ class DataPlane:
             "cache_evictions": sum(c.evictions for c in caches),
             "cache_hit_rate": self.cache_hit_rate(),
             "cache_used_bytes": self.cache_used_bytes(),
+            "degraded": self.degraded,
+            "dead_caches": len(self._dead_caches),
+            **(self.catalog.stats() if self.catalog is not None else {}),
         }

@@ -160,6 +160,33 @@ class SharedStore:
         for item in finished:
             item.event.succeed()
 
+    # -- failure domain ----------------------------------------------------
+    def abort_node(self, node: str) -> int:
+        """Abort every in-flight transfer issued from ``node``.
+
+        Called by the failure injector when a node crashes: its reads no
+        longer matter and its half-written outputs must never become
+        visible.  Aborted transfers leave the fabric immediately (the
+        survivors speed up) and their completion events are simply never
+        fired — the kernel has no cancellation, and the requesting
+        processes are failed separately by the platform's ``fail_node``.
+        Returns the number of transfers aborted.
+        """
+        doomed = [t for t in self._active if t.node == node]
+        if not doomed:
+            return 0
+        self._settle()
+        for item in doomed:
+            self._active.remove(item)
+            if item.kind == "write":
+                left = self._writes_in_flight.get(item.name, 1) - 1
+                if left > 0:
+                    self._writes_in_flight[item.name] = left
+                else:
+                    self._writes_in_flight.pop(item.name, None)
+        self._rearm()
+        return len(doomed)
+
     # -- reporting ---------------------------------------------------------
     def stats(self) -> dict:
         return {

@@ -12,6 +12,7 @@ __all__ = [
     "ResourceExhaustedError",
     "InvocationError",
     "WorkflowExecutionError",
+    "DataLossError",
     "CalibrationError",
     "ExperimentError",
     "SchedulerError",
@@ -64,6 +65,19 @@ class InvocationError(ReproError):
 
 class WorkflowExecutionError(ReproError):
     """The workflow manager could not complete a run."""
+
+
+class DataLossError(ReproError):
+    """A stored object is unrecoverable: every replica is lost or corrupt.
+
+    Raised by the durability catalog when a read cannot be served even
+    after repair; the manager's lineage recovery re-executes the minimal
+    producer subgraph to regenerate the bytes.
+    """
+
+    def __init__(self, message: str, files: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.files = tuple(files)
 
 
 class CalibrationError(ReproError):

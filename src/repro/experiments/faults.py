@@ -1,0 +1,306 @@
+"""Failure-domain evaluation: crash/partition/corruption vs recovery.
+
+The paper's prototype assumes nodes and storage stay up; the
+:mod:`repro.failures` layer models what happens when they do not.  This
+sweep quantifies the cost of surviving, per workflow and fault shape:
+
+* ``baseline``      — durability attached (``k`` replicas billed on
+  every write) but no faults: the price of durability alone;
+* ``crash``         — one worker dies permanently mid-run: its cache,
+  in-flight transfers and executing requests are lost; the autoscaler
+  respawns pods elsewhere and retries re-drive the failed tasks;
+* ``partition``     — one worker is unreachable for a while, then
+  heals; the failure detector marks it dead and re-admits it once
+  heartbeats resume;
+* ``corruption``    — replicas rot at ``k=2``: verify-on-read catches
+  the damage and repair transfers re-clone from the healthy replica;
+* ``corruption-k1`` — replicas rot at ``k=1``: nothing to repair from,
+  so the manager re-executes the minimal producer subgraph (lineage
+  recovery).
+
+Every cell is traced end to end and gated by
+:func:`repro.tracing.check_trace` — including the ``no-corrupt-read``,
+``replication-honored`` and ``lineage-ancestors`` invariants this layer
+introduced.  **Time to recovery** is the cell's makespan minus the
+same-``k`` fault-free baseline of the same workflow.
+
+``repro-experiments faults`` writes the sweep to ``results/faults.csv``
+and exits 2 on any invariant violation or failed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.dataplane import DataPlane, DataPlaneConfig
+from repro.experiments.dataplane import _cluster_spec
+from repro.experiments.design import APPLICATIONS_ORDER
+from repro.experiments.figures import GROUP_1
+from repro.experiments.paradigms import paradigm
+from repro.failures import (
+    DurabilityPolicy,
+    DurableCatalog,
+    FailureDetector,
+    FailureSchedule,
+    NodeFailureInjector,
+)
+from repro.platform.cluster import Cluster
+from repro.platform.knative import KnativePlatform
+from repro.resilience import ResiliencePolicy, RetryPolicy
+from repro.simulation import Environment
+from repro.simulation.rng import derive_seed
+from repro.tracing import TraceRecorder, check_trace
+from repro.tracing.events import CACHE_INVALIDATE
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons import WorkflowGenerator, recipe_for
+
+__all__ = [
+    "DEFAULT_SHAPES",
+    "FaultShape",
+    "FaultsScenario",
+    "run_faults_cell",
+    "run_faults_sweep",
+]
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class FaultShape:
+    """One fault shape the sweep injects (``baseline`` = none)."""
+
+    name: str
+    crashes: int = 0
+    partitions: int = 0
+    partition_seconds: float = 30.0
+    #: Corruption *events*; each corrupts one replica of ``count`` objects.
+    corruptions: int = 0
+    corruption_count: int = 1
+    replication_k: int = 2
+
+    @property
+    def faulty(self) -> bool:
+        return bool(self.crashes or self.partitions or self.corruptions)
+
+    def schedule(self, seed: int, label: str, nodes: tuple,
+                 horizon_seconds: float) -> FailureSchedule:
+        if not self.faulty:
+            return FailureSchedule()
+        return FailureSchedule.generate(
+            seed, label, nodes, horizon_seconds,
+            crashes=self.crashes,
+            partitions=self.partitions,
+            partition_seconds=self.partition_seconds,
+            corruptions=self.corruptions,
+            corruption_count=self.corruption_count,
+        )
+
+
+#: One shape per failure domain the layer models; ``corruption-k1``
+#: forces the lineage path (no replica left to repair from).
+DEFAULT_SHAPES: tuple = (
+    FaultShape("crash", crashes=1),
+    FaultShape("partition", partitions=1, partition_seconds=30.0),
+    FaultShape("corruption", corruptions=2, corruption_count=2),
+    FaultShape("corruption-k1", corruptions=2, corruption_count=2,
+               replication_k=1),
+)
+
+
+@dataclass(frozen=True)
+class FaultsScenario:
+    """One (workflow, fault shape) cell of the faults sweep."""
+
+    application: str = "blast"
+    num_tasks: int = 20
+    shape: FaultShape = FaultShape("crash", crashes=1)
+    #: 1-worker pods spread over ``workers`` nodes: a crash then takes a
+    #: real slice of the fleet, not the whole run.
+    paradigm_name: str = "Kn1wNoPM"
+    workers: int = 4
+    data_scale: float = 32.0
+    base_cpu_work: float = 20.0
+    aggregate_bandwidth: float = 150e6
+    per_client_bandwidth: float = 50e6
+    cache_bytes: int = 32 * GB
+    cache_bandwidth: float = 2e9
+    seed: int = 0
+
+    @property
+    def cell_label(self) -> str:
+        return f"{self.application}/{self.shape.name}"
+
+
+def _run_once(scenario: FaultsScenario, schedule: FailureSchedule,
+              run_label: str) -> dict[str, Any]:
+    """One traced run on a fresh cluster, durability always attached."""
+    shape = scenario.shape
+    par = paradigm(scenario.paradigm_name)
+    env = Environment()
+    cluster = Cluster(env, _cluster_spec(scenario.workers),
+                      placement="spread")
+    drive = SimulatedSharedDrive()
+    recorder = TraceRecorder.for_env(env)
+    drive.tracer = recorder
+
+    plane = DataPlane(env, DataPlaneConfig(
+        mode="locality",
+        aggregate_bandwidth=scenario.aggregate_bandwidth,
+        per_client_bandwidth=scenario.per_client_bandwidth,
+        cache_bytes=scenario.cache_bytes,
+        cache_bandwidth=scenario.cache_bandwidth,
+    ), tracer=recorder)
+    catalog = DurableCatalog(
+        DurabilityPolicy(replication_k=shape.replication_k),
+        tracer=recorder)
+    plane.attach_durability(catalog)
+
+    model = WfBenchModel(noise_sigma=0.0,
+                         shared_drive_bandwidth=scenario.per_client_bandwidth)
+    rng = np.random.default_rng(
+        derive_seed(scenario.seed, f"faults-platform/{run_label}"))
+    worker_spec = cluster.workers[0].spec
+    platform = KnativePlatform(
+        env, cluster, drive,
+        config=par.knative_config(
+            node_cores=worker_spec.cores,
+            node_memory_bytes=worker_spec.memory_bytes,
+        ),
+        model=model, rng=rng, dataplane=plane,
+    )
+    detector = FailureDetector(env, cluster, tracer=recorder).start()
+    injector = NodeFailureInjector(env, cluster, schedule,
+                                   platform=platform, dataplane=plane,
+                                   tracer=recorder).start()
+
+    workflow = WorkflowGenerator(
+        recipe_for(scenario.application)(
+            base_cpu_work=scenario.base_cpu_work,
+            data_scale=scenario.data_scale,
+        ),
+        seed=derive_seed(scenario.seed, scenario.application),
+    ).build_workflow(scenario.num_tasks)
+    for f in workflow_input_files(workflow):
+        drive.put(f.name, f.size_in_bytes)
+
+    resilience = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=5, base_delay_seconds=0.5,
+                          max_delay_seconds=10.0, jitter="decorrelated"),
+        seed=derive_seed(scenario.seed, f"faults-retry/{run_label}"),
+    )
+    manager = ServerlessWorkflowManager(
+        SimulatedInvoker(platform, tracer=recorder), drive,
+        ManagerConfig(keep_memory=par.persistent_memory,
+                      resilience=resilience, lineage_recovery=True),
+        tracer=recorder,
+    )
+    run = manager.execute(workflow, platform_label=par.platform,
+                          paradigm_label=par.name)
+    platform.shutdown()
+    violations = check_trace(recorder.events)
+    plane_stats = plane.stats()
+
+    return {
+        "shape": shape.name,
+        "workflow": scenario.application,
+        "k": shape.replication_k,
+        "group": 1 if scenario.application in GROUP_1 else 2,
+        "succeeded": run.succeeded,
+        "error": run.error[:120],
+        "makespan_seconds": round(run.makespan_seconds, 6),
+        "retries": int(run.metrics.get("retries", 0)),
+        "lineage_reexecs": int(run.metrics.get("lineage_reexecs", 0)),
+        "crashes": injector.crashes,
+        "partitions": injector.partitions,
+        "requests_failed": injector.requests_failed,
+        "transfers_aborted": injector.transfers_aborted,
+        "objects_corrupted": injector.objects_corrupted,
+        "repairs": catalog.repairs,
+        "replicas_lost": catalog.losses,
+        "durable_acks": catalog.acks,
+        "cache_invalidations": sum(
+            1 for e in recorder.events if e.kind == CACHE_INVALIDATE),
+        "degraded": bool(plane_stats["degraded"]),
+        "suspects": detector.suspects,
+        "deaths": detector.deaths,
+        "revivals": detector.revivals,
+        "trace_events": len(recorder.events),
+        "trace_violations": len(violations),
+    }
+
+
+def run_faults_cell(scenario: FaultsScenario) -> dict[str, Any]:
+    """Baseline + faulted run of one cell → a flat row.
+
+    The fault-free baseline (same workflow, same ``k``) is run first: it
+    both calibrates the schedule horizon — faults land in the middle 60 %
+    of where the run would have been — and anchors
+    ``recovery_seconds = makespan − baseline``.
+    """
+    shape = scenario.shape
+    # The baseline's seed identity depends only on (workflow, k): every
+    # shape at the same k compares against — and a ``baseline-k{k}``
+    # sweep row reproduces — the byte-identical fault-free run.
+    baseline_label = (f"{scenario.application}/"
+                      f"baseline-k{shape.replication_k}")
+    baseline = _run_once(scenario, FailureSchedule(),
+                         run_label=baseline_label)
+    baseline["shape"] = shape.name
+    baseline["baseline_makespan_seconds"] = baseline["makespan_seconds"]
+    baseline["recovery_seconds"] = 0.0
+    if not shape.faulty or not baseline["succeeded"]:
+        return baseline
+
+    workers = tuple(f"worker{i}" for i in range(scenario.workers))
+    schedule = shape.schedule(
+        scenario.seed, scenario.cell_label, workers,
+        horizon_seconds=baseline["makespan_seconds"])
+    row = _run_once(scenario, schedule, run_label=scenario.cell_label)
+    row["baseline_makespan_seconds"] = baseline["makespan_seconds"]
+    row["recovery_seconds"] = round(
+        row["makespan_seconds"] - baseline["makespan_seconds"], 6)
+    return row
+
+
+def run_faults_sweep(
+    applications: tuple = APPLICATIONS_ORDER,
+    shapes: tuple = DEFAULT_SHAPES,
+    base_scenario: Optional[FaultsScenario] = None,
+    jobs: int = 1,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """shape × workflow grid, shape-major, plus one baseline row per
+    (workflow, distinct ``k``).
+
+    Every cell derives its seeds (workflow, platform, schedule,
+    corruption draws) from its own ``(seed, workflow, shape)`` identity,
+    so ``--jobs N`` and serial sweeps produce byte-identical rows.
+    """
+    base = base_scenario or FaultsScenario(seed=seed)
+    baseline_shapes = tuple(
+        FaultShape(f"baseline-k{k}", replication_k=k)
+        for k in sorted({s.replication_k for s in shapes})
+    )
+    cells = [
+        replace(base, application=app, shape=shape)
+        for shape in (*baseline_shapes, *shapes)
+        for app in applications
+    ]
+    if jobs > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            rows = list(pool.map(run_faults_cell, cells))
+    else:
+        rows = [run_faults_cell(cell) for cell in cells]
+    return rows

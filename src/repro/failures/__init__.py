@@ -1,0 +1,48 @@
+"""The failure-domain layer: crashes, durability, degraded recovery.
+
+The paper's prototype assumes the cluster, its nodes and the shared
+drive simply stay up (§III-C); this package models what happens when
+they do not, end to end:
+
+* :mod:`~repro.failures.schedule` — injectable, seed-derived fault
+  schedules (node crashes, partitions, object corruption);
+* :mod:`~repro.failures.injector` — applies a schedule to a running
+  simulation: fails executing requests, aborts in-flight transfers,
+  invalidates caches, corrupts replicas;
+* :mod:`~repro.failures.detector` — heartbeat/phi-accrual failure
+  detection marking nodes ``suspect``/``dead`` for the scheduler;
+* :mod:`~repro.failures.durability` — replica bookkeeping behind the
+  data plane's ``k``-way durable writes, verify-on-read and repair;
+* :mod:`~repro.failures.lineage` — minimal producer-subgraph planning
+  for the manager's lineage re-execution of unrecoverable data;
+* :mod:`~repro.failures.config` — :class:`DurabilityPolicy` and
+  :class:`FailureDetectorConfig`.
+
+Everything here is strictly additive: with no schedule, no catalog and
+no detector attached, every touched layer runs its pre-existing code
+paths byte-for-byte (the golden traces pin this).
+"""
+
+from repro.failures.config import DurabilityPolicy, FailureDetectorConfig
+from repro.failures.detector import FailureDetector
+from repro.failures.durability import DurableCatalog
+from repro.failures.injector import NodeFailureInjector
+from repro.failures.lineage import RecoveryPlan, plan_recovery
+from repro.failures.schedule import (
+    FailureSchedule,
+    NodeFault,
+    ObjectCorruption,
+)
+
+__all__ = [
+    "DurabilityPolicy",
+    "FailureDetectorConfig",
+    "FailureDetector",
+    "DurableCatalog",
+    "NodeFailureInjector",
+    "RecoveryPlan",
+    "plan_recovery",
+    "FailureSchedule",
+    "NodeFault",
+    "ObjectCorruption",
+]

@@ -1,0 +1,86 @@
+"""Configuration of the failure-domain layer.
+
+Two frozen dataclasses cover the layer's knobs:
+
+* :class:`DurabilityPolicy` — how the shared store protects bytes:
+  checksums on every write, an optional replication factor ``k`` (a
+  write is acknowledged only after all ``k`` replicas landed), and the
+  degraded-mode threshold (fraction of node caches that may be lost
+  before the plane sheds locality hints and serves shared-store-only).
+* :class:`FailureDetectorConfig` — the heartbeat cadence and the
+  phi-accrual suspicion thresholds (with plain-timeout overrides for
+  callers that want fixed deadlines instead of accrued suspicion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["DurabilityPolicy", "FailureDetectorConfig"]
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """How the data plane protects stored objects."""
+
+    #: Replicas per stored object.  ``k=1`` is the paper's bare NFS
+    #: export: a corrupted object is gone and only lineage re-execution
+    #: brings it back.  ``k>=2`` writes cost ``k``x the bytes but a
+    #: corrupt replica repairs from a surviving one.
+    replication_k: int = 1
+    #: Verify checksums on read; corrupt replicas are skipped and
+    #: repaired (or the read fails with :class:`~repro.errors.DataLossError`
+    #: when none survive).
+    verify_reads: bool = True
+    #: When more than this fraction of known node caches is lost to node
+    #: crashes, the plane enters degraded mode: locality hints are shed
+    #: and reads bypass the cache tier entirely.
+    degraded_cache_loss_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.replication_k < 1:
+            raise ValueError("replication_k must be >= 1")
+        if not 0.0 <= self.degraded_cache_loss_fraction <= 1.0:
+            raise ValueError(
+                "degraded_cache_loss_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FailureDetectorConfig:
+    """Heartbeat cadence and suspicion thresholds."""
+
+    #: Seconds between node heartbeats.
+    heartbeat_interval_seconds: float = 1.0
+    #: Seconds between detector evaluations.
+    check_interval_seconds: float = 0.5
+    #: Phi-accrual suspicion levels: with exponential inter-arrival
+    #: assumptions, ``phi = elapsed / (mean_interval * ln 10)`` — phi 3
+    #: means a heartbeat this late happens < 1 in 10^3 runs.
+    phi_suspect: float = 3.0
+    phi_dead: float = 8.0
+    #: Plain-timeout overrides (seconds since the last heartbeat); when
+    #: set they replace the phi thresholds.
+    suspect_timeout_seconds: Optional[float] = None
+    dead_timeout_seconds: Optional[float] = None
+    #: Sliding window of inter-arrival samples for the mean estimate.
+    window: int = 32
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_seconds <= 0:
+            raise ValueError("heartbeat_interval_seconds must be > 0")
+        if self.check_interval_seconds <= 0:
+            raise ValueError("check_interval_seconds must be > 0")
+        if self.phi_suspect <= 0 or self.phi_dead <= self.phi_suspect:
+            raise ValueError("need 0 < phi_suspect < phi_dead")
+        for name in ("suspect_timeout_seconds", "dead_timeout_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0 when set")
+        if (self.suspect_timeout_seconds is not None
+                and self.dead_timeout_seconds is not None
+                and self.dead_timeout_seconds <= self.suspect_timeout_seconds):
+            raise ValueError(
+                "dead_timeout_seconds must exceed suspect_timeout_seconds")
+        if self.window < 2:
+            raise ValueError("window must be >= 2")

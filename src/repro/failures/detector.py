@@ -1,0 +1,153 @@
+"""Heartbeat-driven failure detector (phi-accrual style).
+
+Every node runs a heartbeat process; while the node is up it reports to
+the detector each ``heartbeat_interval_seconds``.  A monitor process
+evaluates each node every ``check_interval_seconds`` and computes a
+suspicion level from how overdue the next heartbeat is.  With the
+exponential inter-arrival approximation the phi value is::
+
+    phi = elapsed_since_last_heartbeat / (mean_interval * ln 10)
+
+i.e. phi = 3 means a gap this long shows up in fewer than 1 in 10^3
+healthy runs.  Crossing ``phi_suspect`` marks the node ``suspect``
+(placement stops), crossing ``phi_dead`` marks it ``dead``; a resumed
+heartbeat restores ``up`` and emits ``node.alive``.
+
+The detector writes its verdict to :attr:`Node.health` — the cluster's
+placement path consults ``Node.available`` (``up`` ground truth *and*
+detector health), so a healed partition rejoins only once heartbeats
+flow again, exactly like a real membership service.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+from repro.failures.config import FailureDetectorConfig
+from repro.platform.cluster import Cluster, Node
+from repro.simulation import Environment
+from repro.tracing.events import NODE_ALIVE, NODE_DEAD, NODE_SUSPECT
+from repro.tracing.recorder import TraceRecorder
+
+__all__ = ["FailureDetector"]
+
+_LN10 = math.log(10.0)
+
+
+class FailureDetector:
+    """Marks cluster nodes ``up`` / ``suspect`` / ``dead`` from heartbeats."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        config: Optional[FailureDetectorConfig] = None,
+        tracer: Optional[TraceRecorder] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.config = config or FailureDetectorConfig()
+        self.tracer = tracer
+        self._last: dict[str, float] = {}
+        self._intervals: dict[str, deque[float]] = {}
+        #: Transition counters (observability; the faults sweep reports them).
+        self.suspects = 0
+        self.deaths = 0
+        self.revivals = 0
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "FailureDetector":
+        """Spawn the heartbeat and monitor processes on the environment."""
+        if self._started:
+            return self
+        self._started = True
+        now = self.env.now
+        for node in self.cluster.nodes:
+            self._last[node.spec.name] = now
+            self._intervals[node.spec.name] = deque(
+                maxlen=self.config.window)
+            self.env.process(self._heartbeat_loop(node))
+        self.env.process(self._monitor_loop())
+        return self
+
+    def _heartbeat_loop(self, node: Node):
+        interval = self.config.heartbeat_interval_seconds
+        while True:
+            yield self.env.timeout(interval)
+            if node.up:
+                self.beat(node.spec.name)
+
+    def _monitor_loop(self):
+        while True:
+            yield self.env.timeout(self.config.check_interval_seconds)
+            for node in self.cluster.nodes:
+                self._evaluate(node)
+
+    # -- heartbeats -----------------------------------------------------------
+    def beat(self, name: str) -> None:
+        """A heartbeat arrived from ``name`` at the current sim time."""
+        now = self.env.now
+        last = self._last.get(name)
+        window = self._intervals.setdefault(
+            name, deque(maxlen=self.config.window))
+        if last is not None and now > last:
+            window.append(now - last)
+        self._last[name] = now
+        node = self.cluster.node(name)
+        if node.health != "up":
+            # Heartbeats resumed from a suspect/dead node: welcome it back.
+            if node.health == "dead":
+                self.revivals += 1
+            node.health = "up"
+            if self.tracer is not None:
+                self.tracer.emit(NODE_ALIVE, name=name)
+
+    def phi(self, name: str, now: Optional[float] = None) -> float:
+        """Current suspicion level for ``name`` (0 = heartbeat just seen)."""
+        if now is None:
+            now = self.env.now
+        last = self._last.get(name)
+        if last is None:
+            return 0.0
+        elapsed = max(0.0, now - last)
+        window = self._intervals.get(name)
+        mean = (sum(window) / len(window)) if window else \
+            self.config.heartbeat_interval_seconds
+        if mean <= 0:
+            mean = self.config.heartbeat_interval_seconds
+        return elapsed / (mean * _LN10)
+
+    # -- evaluation -----------------------------------------------------------
+    def _thresholds(self, name: str, now: float) -> tuple[bool, bool]:
+        """(suspect?, dead?) for ``name`` at ``now``."""
+        cfg = self.config
+        if cfg.suspect_timeout_seconds is not None or \
+                cfg.dead_timeout_seconds is not None:
+            elapsed = now - self._last.get(name, now)
+            suspect_after = cfg.suspect_timeout_seconds
+            dead_after = cfg.dead_timeout_seconds
+            suspect = suspect_after is not None and elapsed >= suspect_after
+            dead = dead_after is not None and elapsed >= dead_after
+            return suspect or dead, dead
+        value = self.phi(name, now)
+        return value >= cfg.phi_suspect, value >= cfg.phi_dead
+
+    def _evaluate(self, node: Node) -> None:
+        now = self.env.now
+        name = node.spec.name
+        suspect, dead = self._thresholds(name, now)
+        if dead and node.health != "dead":
+            node.health = "dead"
+            self.deaths += 1
+            if self.tracer is not None:
+                self.tracer.emit(NODE_DEAD, name=name,
+                                 phi=round(self.phi(name, now), 3))
+        elif suspect and node.health == "up":
+            node.health = "suspect"
+            self.suspects += 1
+            if self.tracer is not None:
+                self.tracer.emit(NODE_SUSPECT, name=name,
+                                 phi=round(self.phi(name, now), 3))

@@ -1,0 +1,152 @@
+"""Replica bookkeeping for durable shared-store objects.
+
+The :class:`DurableCatalog` is the control-plane view of what the shared
+store holds: for every object it tracks the target replication factor
+``k`` and how many replicas are currently healthy.  The data plane's
+transfer scheduler consults it on every read (``verify_reads``) and
+registers every durable write; the failure injector corrupts replicas
+through it.
+
+State machine per object::
+
+    record_write(k)  ->  healthy = k           (durable.ack emitted)
+    corrupt_one()    ->  healthy -= 1          (object.corrupt)
+    mark_repaired()  ->  healthy += 1, <= k    (replica.repair)
+    healthy == 0     ->  lost: reads raise DataLossError until a
+                         lineage re-execution writes the object again
+
+The catalog never moves bytes itself — repairs and writes are transfers
+the :class:`~repro.dataplane.scheduler.TransferScheduler` drives through
+the contended fabric; the catalog only accounts for their outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import DataLossError
+from repro.failures.config import DurabilityPolicy
+from repro.tracing.events import (
+    DURABLE_ACK,
+    OBJECT_CORRUPT,
+    REPLICA_REPAIR,
+)
+
+__all__ = ["DurableCatalog"]
+
+
+class _ObjectState:
+    __slots__ = ("size", "k", "healthy")
+
+    def __init__(self, size: int, k: int):
+        self.size = int(size)
+        self.k = int(k)
+        self.healthy = int(k)
+
+
+class DurableCatalog:
+    """Tracks replica health of every durably written object."""
+
+    def __init__(self, policy: Optional[DurabilityPolicy] = None,
+                 tracer=None):
+        self.policy = policy or DurabilityPolicy()
+        self.tracer = tracer
+        self._objects: dict[str, _ObjectState] = {}
+        self.acks = 0
+        self.corruption_events = 0
+        self.repairs = 0
+        self.losses = 0
+
+    # -- queries ------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def healthy(self, name: str) -> int:
+        """Healthy replica count (objects never written count as 0... but
+        see :meth:`is_lost` — unknown objects are not *lost*, they just
+        have not been produced yet)."""
+        state = self._objects.get(name)
+        return state.healthy if state is not None else 0
+
+    def size_of(self, name: str) -> int:
+        state = self._objects.get(name)
+        return state.size if state is not None else 0
+
+    def is_lost(self, name: str) -> bool:
+        """True when the object was written but no replica survives."""
+        state = self._objects.get(name)
+        return state is not None and state.healthy <= 0
+
+    def needs_repair(self, name: str) -> bool:
+        """True when some — but not all — replicas are corrupt."""
+        state = self._objects.get(name)
+        return state is not None and 0 < state.healthy < state.k
+
+    def unrecoverable(self, names: Iterable[str]) -> list[str]:
+        """The subset of ``names`` that is written-but-lost."""
+        return [n for n in names if self.is_lost(n)]
+
+    def known_objects(self, prefix: str = "") -> list[str]:
+        """Sorted names with at least one healthy replica (corruption
+        victim pool); sorted so seeded draws are deterministic."""
+        return sorted(
+            n for n, s in self._objects.items()
+            if s.healthy > 0 and n.startswith(prefix)
+        )
+
+    # -- transitions --------------------------------------------------------
+    def record_write(self, name: str, size: int, node: str = "") -> None:
+        """All ``k`` replicas of ``name`` landed; the write is durable.
+
+        Re-writing a lost object (lineage re-execution) resets it to
+        fully healthy.
+        """
+        k = self.policy.replication_k
+        self._objects[name] = _ObjectState(size, k)
+        self.acks += 1
+        if self.tracer is not None:
+            self.tracer.emit(DURABLE_ACK, name=name, k=k, node=node)
+
+    def corrupt_one(self, name: str) -> int:
+        """Corrupt one replica of ``name``; returns healthy remaining."""
+        state = self._objects.get(name)
+        if state is None or state.healthy <= 0:
+            return 0
+        state.healthy -= 1
+        self.corruption_events += 1
+        if state.healthy == 0:
+            self.losses += 1
+        if self.tracer is not None:
+            self.tracer.emit(OBJECT_CORRUPT, name=name,
+                             healthy=state.healthy, k=state.k)
+        return state.healthy
+
+    def mark_repaired(self, name: str) -> None:
+        """A repair transfer re-cloned one replica from a healthy one."""
+        state = self._objects.get(name)
+        if state is None or state.healthy <= 0 or state.healthy >= state.k:
+            return
+        state.healthy += 1
+        self.repairs += 1
+        if self.tracer is not None:
+            self.tracer.emit(REPLICA_REPAIR, name=name,
+                             healthy=state.healthy, k=state.k)
+
+    def check_readable(self, names: Iterable[str]) -> None:
+        """Raise :class:`DataLossError` if any of ``names`` is lost."""
+        lost = self.unrecoverable(names)
+        if lost:
+            raise DataLossError(
+                f"unrecoverable objects (all replicas corrupt): {lost[:3]}",
+                files=tuple(lost),
+            )
+
+    # -- reporting ----------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "objects": len(self._objects),
+            "durable_acks": self.acks,
+            "corruption_events": self.corruption_events,
+            "repairs": self.repairs,
+            "losses": self.losses,
+        }

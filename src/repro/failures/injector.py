@@ -1,0 +1,133 @@
+"""Turns a :class:`~repro.failures.schedule.FailureSchedule` into faults.
+
+The injector owns the *mechanics* of failure: at each scheduled time it
+flips the node's ground-truth state, fails the platform's executing
+requests (connection-reset semantics), aborts the node's in-flight
+store transfers, invalidates its cache (crashes only — a partitioned
+node keeps its disk), and corrupts stored replicas through the
+durability catalog.  Detection, durability repair and lineage recovery
+are other components' jobs — the injector only breaks things.
+
+All corruption-victim draws come from ``np.random.default_rng(
+schedule.seed)``, and the schedule's seed is itself derived from the
+sweep cell identity, so serial and parallel fault sweeps are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.failures.schedule import FailureSchedule, NodeFault, ObjectCorruption
+from repro.platform.cluster import Cluster
+from repro.simulation import Environment
+from repro.tracing.events import NODE_CRASH, NODE_RESTORE
+from repro.tracing.recorder import TraceRecorder
+
+__all__ = ["NodeFailureInjector"]
+
+
+class NodeFailureInjector:
+    """Applies a failure schedule to a running simulation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        schedule: FailureSchedule,
+        platform=None,
+        dataplane=None,
+        tracer: Optional[TraceRecorder] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.schedule = schedule
+        self.platform = platform
+        self.dataplane = dataplane
+        self.tracer = tracer
+        self._rng = np.random.default_rng(schedule.seed)
+        self.crashes = 0
+        self.partitions = 0
+        self.requests_failed = 0
+        self.transfers_aborted = 0
+        self.objects_corrupted = 0
+        self._started = False
+
+    def start(self) -> "NodeFailureInjector":
+        """Spawn one process per scheduled fault/corruption."""
+        if self._started or self.schedule.empty:
+            self._started = True
+            return self
+        self._started = True
+        for fault in self.schedule.node_faults:
+            self.env.process(self._fault_proc(fault))
+        for corruption in self.schedule.corruptions:
+            self.env.process(self._corruption_proc(corruption))
+        return self
+
+    # -- node faults --------------------------------------------------------
+    def _fault_proc(self, fault: NodeFault):
+        yield self.env.timeout(max(0.0, fault.at - self.env.now))
+        try:
+            node = self.cluster.node(fault.node)
+        except KeyError:
+            return
+        if not node.up:
+            return  # already down from an overlapping fault
+        node.go_down()
+        if fault.kind == "crash":
+            self.crashes += 1
+        else:
+            self.partitions += 1
+        if self.tracer is not None:
+            self.tracer.emit(NODE_CRASH, name=fault.node, fault=fault.kind,
+                             duration=fault.duration)
+        if self.platform is not None:
+            self.requests_failed += self.platform.fail_node(
+                fault.node,
+                reason=f"node {fault.node!r} {fault.kind} at "
+                       f"{self.env.now:.1f}s",
+            )
+        if self.dataplane is not None:
+            # Either way the node's TCP streams to the store are gone.
+            self.transfers_aborted += \
+                self.dataplane.store.abort_node(fault.node)
+            if fault.kind == "crash":
+                # A crash additionally takes the node's cache with it.
+                self.dataplane.node_down(fault.node)
+        if fault.duration > 0:
+            yield self.env.timeout(fault.duration)
+            node.restore()
+            if fault.kind == "crash" and self.dataplane is not None:
+                self.dataplane.node_restored(fault.node)
+            if self.tracer is not None:
+                self.tracer.emit(NODE_RESTORE, name=fault.node,
+                                 fault=fault.kind)
+
+    # -- corruption ---------------------------------------------------------
+    def _corruption_proc(self, corruption: ObjectCorruption):
+        yield self.env.timeout(max(0.0, corruption.at - self.env.now))
+        plane = self.dataplane
+        catalog = plane.catalog if plane is not None else None
+        if catalog is None:
+            return
+        pool = catalog.known_objects(corruption.name_prefix)
+        if not pool:
+            return
+        count = min(corruption.count, len(pool))
+        victims = self._rng.choice(len(pool), size=count, replace=False)
+        for index in sorted(int(i) for i in victims):
+            catalog.corrupt_one(pool[index])
+            self.objects_corrupted += 1
+
+    # -- reporting ----------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "partitions": self.partitions,
+            "requests_failed": self.requests_failed,
+            "transfers_aborted": self.transfers_aborted,
+            "objects_corrupted": self.objects_corrupted,
+        }

@@ -1,0 +1,99 @@
+"""Lineage-based recovery planning over the workflow DAG.
+
+When a stored object loses every replica, waiting will not bring it
+back — but the workflow description knows exactly which task produced
+it.  :func:`plan_recovery` walks the DAG *upwards* from the lost files
+and returns the minimal producer subgraph that regenerates them:
+
+* the producer of every lost file must re-run;
+* a producer's own inputs that are also unreadable (lost or never
+  staged) pull *their* producers in, recursively;
+* the walk stops at files that are still readable — which is how
+  checkpoint integration falls out for free: a completed task whose
+  outputs are durable is never redone, because the walk never ascends
+  past its healthy outputs.
+
+The plan's tasks come back grouped by DAG phase (ascending), so the
+manager re-executes them with the same barrier discipline as a normal
+run: producers before consumers.
+
+This module deliberately imports nothing from :mod:`repro.core` at
+runtime (the manager imports *us* lazily); the DAG is duck-typed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dag import WorkflowDAG
+
+__all__ = ["RecoveryPlan", "plan_recovery"]
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """The minimal producer subgraph regenerating a set of lost files."""
+
+    #: Task names to re-execute, grouped by DAG phase, ascending — run
+    #: each group to completion before the next (producers first).
+    groups: tuple[tuple[str, ...], ...]
+    #: Every file the plan regenerates (the lost ones plus unreadable
+    #: intermediates discovered on the way up).
+    needed: frozenset[str]
+    #: The files the caller reported lost (the plan's root cause).
+    lost: tuple[str, ...]
+
+    @property
+    def tasks(self) -> list[str]:
+        return [name for group in self.groups for name in group]
+
+    @property
+    def empty(self) -> bool:
+        return not self.groups
+
+
+def plan_recovery(
+    dag: "WorkflowDAG",
+    lost: Iterable[str],
+    unreadable: Callable[[str], bool],
+) -> RecoveryPlan:
+    """Plan the re-execution that regenerates ``lost``.
+
+    ``unreadable(name)`` must return True for files that cannot be read
+    right now (missing from the drive or unrecoverably corrupt) — it
+    decides how far up the lineage the walk must go.  Files nobody in
+    the DAG produces (workflow-external inputs) are skipped: no amount
+    of re-execution regenerates those.
+    """
+    lost = tuple(sorted(set(lost)))
+    producer: dict[str, str] = {}
+    for task_name in dag.task_names:
+        for out in dag.task(task_name).output_files:
+            producer[out.name] = task_name
+
+    needed: set[str] = set(lost)
+    to_run: set[str] = set()
+    frontier: list[str] = list(lost)
+    while frontier:
+        fname = frontier.pop()
+        task_name = producer.get(fname)
+        if task_name is None or task_name in to_run:
+            continue
+        to_run.add(task_name)
+        for infile in dag.task(task_name).input_files:
+            if infile.name in needed:
+                continue
+            if unreadable(infile.name):
+                needed.add(infile.name)
+                frontier.append(infile.name)
+
+    phase_of = {name: p.index for p in dag.phases for name in p.tasks}
+    by_phase: dict[int, list[str]] = {}
+    for name in to_run:
+        by_phase.setdefault(phase_of.get(name, 0), []).append(name)
+    groups = tuple(
+        tuple(sorted(by_phase[index])) for index in sorted(by_phase)
+    )
+    return RecoveryPlan(groups=groups, needed=frozenset(needed), lost=lost)

@@ -1,0 +1,143 @@
+"""Injectable failure schedules: node crashes, partitions, corruption.
+
+A :class:`FailureSchedule` is a plain, picklable description of every
+fault a run will see — *when* each node goes down (and for how long) and
+*when* stored objects lose replicas to corruption.  Schedules are data,
+not processes: the :class:`~repro.failures.injector.NodeFailureInjector`
+turns one into kernel events at run time.
+
+Determinism contract: schedules built by :meth:`FailureSchedule.generate`
+derive every random draw from :func:`repro.simulation.rng.derive_seed`
+on the caller's ``(seed, label)`` identity, so a sweep cell produces the
+identical schedule whether it runs serially or on a worker process —
+the same idiom the parallel sweep engine pins with its CSV-equality
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.simulation.rng import derive_seed
+
+__all__ = ["NodeFault", "ObjectCorruption", "FailureSchedule"]
+
+FAULT_KINDS = ("crash", "partition")
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One node going down at ``at`` for ``duration`` seconds.
+
+    ``kind="crash"`` loses the node's cache and kills its in-flight
+    work; ``duration=0`` means it never comes back.  ``kind="partition"``
+    makes the node unreachable (requests fail, heartbeats stop) but its
+    cache and running work survive; the node heals after ``duration``.
+    """
+
+    node: str
+    at: float
+    kind: str = "crash"
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+        if self.kind == "partition" and self.duration <= 0:
+            raise ValueError("a partition needs a positive duration to heal")
+
+
+@dataclass(frozen=True)
+class ObjectCorruption:
+    """At ``at``, corrupt one replica each of up to ``count`` objects.
+
+    Victims are drawn (seeded) from whatever the catalog holds at that
+    moment; ``name_prefix`` restricts the candidate pool.
+    """
+
+    at: float
+    count: int = 1
+    name_prefix: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """Everything a run will suffer, in one picklable value."""
+
+    node_faults: tuple[NodeFault, ...] = ()
+    corruptions: tuple[ObjectCorruption, ...] = ()
+    #: Seed for the injector's own draws (corruption victim selection);
+    #: derived, never wall-clock.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "node_faults",
+            tuple(sorted(self.node_faults, key=lambda f: (f.at, f.node))))
+        object.__setattr__(
+            self, "corruptions",
+            tuple(sorted(self.corruptions, key=lambda c: c.at)))
+
+    @property
+    def empty(self) -> bool:
+        return not self.node_faults and not self.corruptions
+
+    # -- deterministic builders -------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        label: str,
+        nodes: Sequence[str],
+        horizon_seconds: float,
+        crashes: int = 0,
+        partitions: int = 0,
+        partition_seconds: float = 10.0,
+        corruptions: int = 0,
+        corruption_count: int = 1,
+    ) -> "FailureSchedule":
+        """Build a schedule whose draws derive from ``(seed, label)``.
+
+        Fault times land in the middle 60 % of ``horizon_seconds`` so a
+        crash neither pre-empts the first phase nor arrives after the
+        run would have finished.
+        """
+        if not nodes:
+            raise ValueError("need at least one node to fault")
+        rng = np.random.default_rng(derive_seed(seed, f"failures/{label}"))
+        lo, hi = 0.2 * horizon_seconds, 0.8 * horizon_seconds
+        faults: list[NodeFault] = []
+        victims = list(nodes)
+        for _ in range(crashes):
+            node = victims[int(rng.integers(len(victims)))]
+            faults.append(NodeFault(
+                node=node, at=float(rng.uniform(lo, hi)), kind="crash"))
+        for _ in range(partitions):
+            node = victims[int(rng.integers(len(victims)))]
+            faults.append(NodeFault(
+                node=node, at=float(rng.uniform(lo, hi)), kind="partition",
+                duration=partition_seconds))
+        corrupt_events = tuple(
+            ObjectCorruption(at=float(rng.uniform(lo, hi)),
+                             count=corruption_count)
+            for _ in range(corruptions)
+        )
+        return cls(
+            node_faults=tuple(faults),
+            corruptions=corrupt_events,
+            seed=derive_seed(seed, f"failures/{label}/injector"),
+        )

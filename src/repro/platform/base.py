@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
     from repro.core.shared_drive import SimulatedSharedDrive
     from repro.dataplane import DataPlane
-from repro.errors import ResourceExhaustedError
+from repro.errors import DataLossError, ResourceExhaustedError
 from repro.platform.cluster import Cluster, Node
 from repro.simulation import Container, Environment, Event, Resource, Store
 from repro.wfbench.model import TaskDemand, WfBenchModel
@@ -190,6 +190,7 @@ def execute_request(
     served locally); in uniform mode the legacy formula runs unchanged.
     """
     node = unit.node
+    epoch0 = node.epoch
     outcome.started_at = env.now
     outcome.node = node.spec.name
     outcome.unit = unit.name
@@ -254,7 +255,14 @@ def execute_request(
         if tokens_taken:
             unit.mem_tokens.put(float(tokens_taken))
 
-    # 4. Write outputs to the shared drive.
+    # 4. Write outputs to the shared drive — unless the node died (or
+    #    was partitioned away) while we computed: work from a stale node
+    #    epoch must never make its outputs visible.
+    if not node.up or node.epoch != epoch0:
+        outcome.status = 503
+        outcome.error = f"node {node.spec.name!r} failed during execution"
+        outcome.finished_at = env.now
+        return outcome
     if modelled:
         yield from dataplane.write_outputs(
             node.spec.name, [(f, int(s)) for f, s in request.out.items()]
@@ -305,6 +313,10 @@ class Platform(abc.ABC):
         self._units: list[ServingUnit] = []
         self._deployed = False
         self._fatal: Optional[ResourceExhaustedError] = None
+        #: Requests currently executing, keyed by id of their ``done``
+        #: event — ``fail_node`` fails the ones on a crashed node
+        #: immediately (connection-reset semantics).
+        self._executing: dict[int, tuple[str, InvocationOutcome, Event]] = {}
         #: Optional transient-failure injection (repro.platform.faults).
         self.fault_injector = None
         #: Per-request queue-wait ceiling (Knative's revision timeout);
@@ -374,6 +386,15 @@ class Platform(abc.ABC):
             return
         unit, slot = acquired
         outcome.cold_start = unit.ready_at > outcome.submitted_at
+        self._executing[id(done)] = (unit.node.spec.name, outcome, done)
+        try:
+            yield from self._serve(unit, slot, request, outcome, done)
+        finally:
+            self._executing.pop(id(done), None)
+
+    def _serve(self, unit: ServingUnit, slot, request: BenchRequest,
+               outcome: InvocationOutcome, done: Event) -> Generator:
+        """Run one granted request on ``unit`` (slot already held)."""
         extra_delay = 0.0
         if self.fault_injector is not None:
             injected = self.fault_injector.should_fail(request, self.env.now)
@@ -399,12 +420,22 @@ class Platform(abc.ABC):
             yield from execute_request(self.env, unit, request, demand,
                                        self.drive, outcome,
                                        dataplane=self.dataplane)
-            self.stats.completed += 1
-            if not outcome.ok:
+            if not done.triggered:
+                self.stats.completed += 1
+                if not outcome.ok:
+                    self.stats.failed += 1
+        except DataLossError as exc:
+            # The task's inputs lost every replica; the manager's lineage
+            # recovery regenerates them and resubmits.
+            if not done.triggered:
                 self.stats.failed += 1
+                outcome.status = 424
+                outcome.error = str(exc)
+                outcome.finished_at = self.env.now
         except ResourceExhaustedError as exc:
             self._fatal = self._fatal or exc
-            self.stats.failed += 1
+            if not done.triggered:
+                self.stats.failed += 1
             outcome.status = 507
             outcome.error = str(exc)
             outcome.finished_at = self.env.now
@@ -414,15 +445,39 @@ class Platform(abc.ABC):
             slot.release()
             self._wake_dispatcher()
             self.on_queue_changed()
-        done.succeed(outcome)
+        if not done.triggered:
+            done.succeed(outcome)
 
     def _finish(self, outcome: InvocationOutcome, done: Event, status: int,
                 error: str) -> None:
+        if done.triggered:
+            return
         outcome.status = status
         outcome.error = error
         outcome.finished_at = self.env.now
         self.stats.failed += 1
         done.succeed(outcome)
+
+    # -- failure domain -----------------------------------------------------
+    def fail_node(self, name: str, reason: str = "") -> int:
+        """A node crashed or got partitioned away: fail its executing
+        requests *now* (the manager sees a connection reset, not a hang)
+        and let the epoch gate in :func:`execute_request` stop their
+        zombie generators from staging outputs later.  Returns how many
+        requests were failed.
+        """
+        reason = reason or f"node {name!r} went down"
+        failed = 0
+        for node, outcome, done in list(self._executing.values()):
+            if node != name or done.triggered:
+                continue
+            outcome.status = 503
+            outcome.error = reason
+            outcome.finished_at = self.env.now
+            self.stats.failed += 1
+            done.succeed(outcome)
+            failed += 1
+        return failed
 
     # -- slot acquisition ------------------------------------------------------------
     def _pick_unit(self, preferred_node: Optional[str] = None
@@ -439,6 +494,8 @@ class Platform(abc.ABC):
         preferred: Optional[ServingUnit] = None
         preferred_load = 0
         for unit in self._units:
+            if not unit.node.available:
+                continue
             free = unit.free_slots - getattr(unit, "committed", 0)
             if free <= 0:
                 continue

@@ -118,6 +118,35 @@ class Node:
         self.cpu_held = Gauge(env)
         self.mem_used = Gauge(env, float(spec.os_baseline_bytes))
         self.mem_held = Gauge(env)
+        # -- failure domain (repro.failures) -------------------------------
+        #: Ground truth: is the node physically up and reachable?  Set by
+        #: the failure injector; every layer that would touch the node
+        #: checks it.
+        self.up = True
+        #: The failure detector's view: ``up`` / ``suspect`` / ``dead``.
+        #: Placement excludes non-``up`` health even after the underlying
+        #: fault heals — a recovered node rejoins only once heartbeats
+        #: resume.
+        self.health = "up"
+        #: Bumped on every crash/partition; work that started under an
+        #: older epoch must not stage outputs (its node died under it).
+        self.epoch = 0
+
+    # -- failure lifecycle ---------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """May the scheduler place new work here right now?"""
+        return self.up and self.health == "up"
+
+    def go_down(self) -> None:
+        """The node crashed or got partitioned away (injector-driven)."""
+        self.up = False
+        self.epoch += 1
+
+    def restore(self) -> None:
+        """The fault healed; health recovers via the detector (or here,
+        when no detector watches the cluster)."""
+        self.up = True
 
     # -- scheduling (requests) ---------------------------------------------
     @property
@@ -225,7 +254,10 @@ class Cluster:
 
     def place(self, cpu_request: float, mem_request: int) -> Optional[Node]:
         """Pick a node for a pod per the cluster's placement policy."""
-        candidates = [n for n in self.workers if n.can_fit(cpu_request, mem_request)]
+        candidates = [
+            n for n in self.workers
+            if n.available and n.can_fit(cpu_request, mem_request)
+        ]
         if not candidates:
             return None
         if self.placement == "spread":

@@ -116,6 +116,16 @@ class KnativePlatform(Platform):
         pod.terminate()
         self._units.remove(pod)
 
+    def fail_node(self, name: str, reason: str = "") -> int:
+        """Crash semantics: fail executing requests, then kill the
+        node's pods so the KPA respawns capacity on surviving nodes."""
+        failed = super().fail_node(name, reason)
+        for pod in [p for p in self.pods if p.node.spec.name == name]:
+            self._terminate_pod(pod)
+        self._wake_dispatcher()
+        self.on_queue_changed()
+        return failed
+
     # -- lifecycle ------------------------------------------------------------
     def deploy(self) -> None:
         """Apply the service; pre-warm ``min_scale`` pods; start the KPA."""

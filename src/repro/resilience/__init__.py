@@ -29,7 +29,7 @@ from repro.resilience.breaker import (
     BreakerRegistry,
     CircuitBreaker,
 )
-from repro.resilience.checkpoint import WorkflowCheckpoint
+from repro.resilience.checkpoint import CheckpointCorrupt, WorkflowCheckpoint
 from repro.resilience.hedge import HedgePolicy, LatencyTracker
 from repro.resilience.retry import RETRYABLE_STATUSES, RetryPolicy
 from repro.resilience.state import ResiliencePolicy, ResilienceState
@@ -37,6 +37,7 @@ from repro.resilience.state import ResiliencePolicy, ResilienceState
 __all__ = [
     "BreakerConfig",
     "BreakerRegistry",
+    "CheckpointCorrupt",
     "CircuitBreaker",
     "HedgePolicy",
     "LatencyTracker",

@@ -27,9 +27,24 @@ from typing import Mapping, Optional
 from repro.core.shared_drive import SharedDrive
 from repro.errors import WorkflowExecutionError
 
-__all__ = ["WorkflowCheckpoint"]
+__all__ = ["CheckpointCorrupt", "WorkflowCheckpoint"]
 
 _VERSION = 1
+
+
+class CheckpointCorrupt(WorkflowExecutionError):
+    """The checkpoint file exists but cannot be parsed.
+
+    A crash can truncate or garble the file despite the atomic-rename
+    discipline (partial disk, torn sector, a stray editor).  Carrying
+    ``path`` lets callers tell the user which file to inspect — and
+    decide to fall back to a fresh run instead of dying.
+    """
+
+    def __init__(self, path: Path, reason: str):
+        super().__init__(f"checkpoint {path} is corrupt: {reason}")
+        self.path = Path(path)
+        self.reason = reason
 
 
 class WorkflowCheckpoint:
@@ -43,18 +58,36 @@ class WorkflowCheckpoint:
     # -- persistence ----------------------------------------------------------
     @classmethod
     def load(cls, path: str | Path) -> "WorkflowCheckpoint":
-        """Load an existing checkpoint (empty when the file is absent)."""
+        """Load an existing checkpoint (empty when the file is absent).
+
+        Raises :class:`CheckpointCorrupt` for a file that exists but is
+        truncated, not JSON, or not shaped like a checkpoint — callers
+        can catch it and fall back to a fresh run.
+        """
         checkpoint = cls(path)
         if not checkpoint.path.is_file():
             return checkpoint
-        doc = json.loads(checkpoint.path.read_text())
+        try:
+            doc = json.loads(checkpoint.path.read_text(errors="replace"))
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorrupt(checkpoint.path,
+                                    f"not valid JSON ({exc})") from exc
+        if not isinstance(doc, dict):
+            raise CheckpointCorrupt(
+                checkpoint.path,
+                f"top level is {type(doc).__name__}, expected object")
         if doc.get("version") != _VERSION:
             raise WorkflowExecutionError(
                 f"checkpoint {checkpoint.path}: unsupported version "
                 f"{doc.get('version')!r}"
             )
+        completed = doc.get("completed", {})
+        if not isinstance(completed, dict) or not all(
+                isinstance(entry, dict) for entry in completed.values()):
+            raise CheckpointCorrupt(
+                checkpoint.path, "'completed' is not a map of task records")
         checkpoint.workflow_name = doc.get("workflow", "")
-        checkpoint.completed = dict(doc.get("completed", {}))
+        checkpoint.completed = dict(completed)
         return checkpoint
 
     def flush(self) -> None:

@@ -36,11 +36,27 @@ replays a log and returns every violation it finds:
     Replaying each node cache's ``cache.insert``/``cache.evict`` stream
     never takes the cache above the capacity its insert events declare
     (evictions must be traced before the insert that forced them).
+``no-corrupt-read``
+    Replaying the durability stream (``durable.ack`` / ``object.corrupt``
+    / ``replica.repair``), no read — shared-store transfer or cache hit —
+    touches an object while its healthy replica count is zero: tasks
+    never consume corrupt data.
+``replication-honored``
+    Every ``durable.ack`` declaring replication factor ``k`` is preceded
+    by at least ``k`` ``replica.write`` events for that object since its
+    previous ack: a write is never acknowledged durable before all its
+    replicas landed.
+``lineage-ancestors``
+    Every ``lineage.reexec`` is justified: the re-executed task produces
+    a lost file, or produces an input of another justified re-execution
+    (i.e. only DAG ancestors of lost outputs are ever redone).
 
 Failed runs are exempt from ``submit-completion`` (an aborted run
 legitimately leaves work unfinished) but not from the ordering/breaker
-invariants.  ``eps`` absorbs clock skew for wall-clock traces; keep the
-default for simulated logs, where time is exact.
+invariants.  ``resume-no-reexec`` exempts tasks with a ``lineage.reexec``
+event — regenerating lost data is the one legitimate reason to redo
+checkpointed work.  ``eps`` absorbs clock skew for wall-clock traces;
+keep the default for simulated logs, where time is exact.
 """
 
 from __future__ import annotations
@@ -53,13 +69,19 @@ from typing import Iterable, Sequence
 from repro.tracing.events import (
     BREAKER_OPEN,
     CACHE_EVICT,
+    CACHE_HIT,
     CACHE_INSERT,
     DRIVE_PUT,
+    DURABLE_ACK,
     HEDGE_FIRE,
     HEDGE_RESOLVE,
+    LINEAGE_REEXEC,
+    OBJECT_CORRUPT,
     PHASE_END,
     PHASE_START,
     POST_START,
+    REPLICA_REPAIR,
+    REPLICA_WRITE,
     TASK_END,
     TASK_REPLAY,
     TASK_SUBMIT,
@@ -100,6 +122,7 @@ class _TraceIndex:
         self.phase_ends: dict[int, list[TraceEvent]] = defaultdict(list)
         self.hedge_fires: dict[str, int] = defaultdict(int)
         self.hedge_resolves: dict[str, list[TraceEvent]] = defaultdict(list)
+        self.reexecs: list[TraceEvent] = []
 
     @property
     def succeeded(self) -> bool:
@@ -151,6 +174,8 @@ def _index(events: Sequence[TraceEvent]
             traces[event.trace].hedge_fires[event.name] += 1
         elif kind == HEDGE_RESOLVE:
             traces[event.trace].hedge_resolves[event.name].append(event)
+        elif kind == LINEAGE_REEXEC:
+            traces[event.trace].reexecs.append(event)
     return traces, puts, posts, opens, reads, cache_ops
 
 
@@ -171,6 +196,7 @@ def check_trace(events: Iterable[TraceEvent],
         violations.extend(_check_phase_order(trace_id, index, eps))
         violations.extend(_check_hedge_winner(trace_id, index))
         violations.extend(_check_resume_no_reexec(trace_id, index))
+        violations.extend(_check_lineage_ancestors(trace_id, index))
         if index.succeeded:
             violations.extend(_check_submit_completion(trace_id, index))
         violations.extend(_check_run_termination(trace_id, index))
@@ -179,6 +205,8 @@ def check_trace(events: Iterable[TraceEvent],
     violations.extend(_check_transfer_staged(reads, puts,
                                              drive_instrumented, eps))
     violations.extend(_check_cache_capacity(cache_ops))
+    violations.extend(_check_no_corrupt_read(events))
+    violations.extend(_check_replication_honored(events))
     violations.sort(key=lambda v: (v.ts, v.invariant, v.trace))
     return violations
 
@@ -278,11 +306,55 @@ def _check_hedge_winner(trace_id: str,
 def _check_resume_no_reexec(trace_id: str,
                             index: _TraceIndex) -> list[TraceViolation]:
     out: list[TraceViolation] = []
+    # Lineage recovery is the one legitimate reason to redo checkpointed
+    # work: a replayed task whose durable outputs were later lost must
+    # re-run, and announces that with a lineage.reexec event.
+    recovered = {event.name for event in index.reexecs}
     for name in sorted(set(index.replays) & set(index.submits)):
+        if name in recovered:
+            continue
         out.append(TraceViolation(
             "resume-no-reexec", trace_id,
             f"task {name} was replayed from the checkpoint and then "
             f"re-submitted", index.submits[name][0].ts))
+    return out
+
+
+def _check_lineage_ancestors(trace_id: str,
+                             index: _TraceIndex) -> list[TraceViolation]:
+    """Every re-executed task must be a lineage ancestor of lost data.
+
+    A ``lineage.reexec`` is justified iff the task produces a lost file,
+    or produces an input of another justified re-execution (its consumer
+    needed regenerating, so transitively it serves the lost file too).
+    The fixpoint is computed from the events alone — the checker does
+    not trust the recovery planner's own notion of "needed".
+    """
+    if not index.reexecs:
+        return []
+    needs: set[str] = set()
+    for event in index.reexecs:
+        needs.update(event.attrs.get("lost", ()))
+    justified: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for event in index.reexecs:
+            if id(event) in justified:
+                continue
+            produces = set(event.attrs.get("produces", ()))
+            if produces & needs:
+                justified.add(id(event))
+                needs.update(event.attrs.get("inputs", ()))
+                changed = True
+    out: list[TraceViolation] = []
+    for event in index.reexecs:
+        if id(event) in justified:
+            continue
+        out.append(TraceViolation(
+            "lineage-ancestors", trace_id,
+            f"task {event.name} was re-executed but produces no lost "
+            f"file and no input of any justified re-execution", event.ts))
     return out
 
 
@@ -375,4 +447,62 @@ def _check_breaker_quiet(posts: list[TraceEvent], opens: list[TraceEvent],
                     f"POST to {url} at {post.ts:.6f} inside the open "
                     f"window [{open_event.ts:.6f}, "
                     f"{open_event.ts + recovery:.6f})", post.ts))
+    return out
+
+
+def _check_no_corrupt_read(events: Sequence[TraceEvent]
+                           ) -> list[TraceViolation]:
+    """No read touches an object while its healthy replica count is 0.
+
+    Replays the durability stream in log order: ``durable.ack`` sets the
+    object's healthy count to its replication factor, ``object.corrupt``
+    and ``replica.repair`` carry the count they left behind.  Reads are
+    shared-store read transfers *and* cache hits — a cached copy of a
+    lost object is untrusted and must not be served either.
+    """
+    out: list[TraceViolation] = []
+    healthy: dict[str, int] = {}
+    for event in events:
+        kind = event.kind
+        if kind == DURABLE_ACK:
+            healthy[event.name] = int(event.attrs.get("k", 1))
+        elif kind in (OBJECT_CORRUPT, REPLICA_REPAIR):
+            healthy[event.name] = int(event.attrs.get("healthy", 0))
+        elif kind == TRANSFER_START and event.attrs.get("op") == "read":
+            if healthy.get(event.name, 1) <= 0:
+                out.append(TraceViolation(
+                    "no-corrupt-read", event.trace,
+                    f"read transfer of {event.name} at {event.ts:.6f} "
+                    f"while every replica was corrupt", event.ts))
+        elif kind == CACHE_HIT:
+            if healthy.get(event.name, 1) <= 0:
+                out.append(TraceViolation(
+                    "no-corrupt-read", event.trace,
+                    f"cache hit on {event.name} at {event.ts:.6f} while "
+                    f"every store replica was corrupt", event.ts))
+    return out
+
+
+def _check_replication_honored(events: Sequence[TraceEvent]
+                               ) -> list[TraceViolation]:
+    """Every durable.ack is backed by >= k replica writes since the last.
+
+    Per-object replica.write events are counted in log order and the
+    counter resets at each ack, so a re-executed producer must lay down
+    a full fresh replica set before its write is acknowledged again.
+    """
+    out: list[TraceViolation] = []
+    written: dict[str, int] = defaultdict(int)
+    for event in events:
+        if event.kind == REPLICA_WRITE:
+            written[event.name] += 1
+        elif event.kind == DURABLE_ACK:
+            k = int(event.attrs.get("k", 1))
+            if written[event.name] < k:
+                out.append(TraceViolation(
+                    "replication-honored", event.trace,
+                    f"write of {event.name} acknowledged durable at "
+                    f"{event.ts:.6f} with only {written[event.name]} of "
+                    f"{k} replicas written", event.ts))
+            written[event.name] = 0
     return out

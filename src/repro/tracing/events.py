@@ -37,6 +37,31 @@ kind                      emitted by / meaning
 ``cache.insert``          data plane: a file admitted to a node cache
                           (attrs carry the cache ``capacity``)
 ``cache.evict``           data plane: an LRU victim leaving a node cache
+``cache.invalidate``      failure domain: a node cache dropped atomically
+                          (node crash; attrs carry ``entries`` and ``bytes``)
+``node.crash``            failure domain: a node went down (attrs carry
+                          ``fault`` = crash/partition and ``duration``)
+``node.restore``          failure domain: a partitioned/restarted node came
+                          back up
+``node.suspect``          failure detector: heartbeats overdue, node under
+                          suspicion (attrs carry ``phi``)
+``node.dead``             failure detector: suspicion crossed the dead
+                          threshold; the scheduler must not place here
+``node.alive``            failure detector: heartbeats resumed from a
+                          suspect/dead node
+``object.corrupt``        durability: a stored replica failed its checksum
+                          (attrs carry ``healthy`` replicas remaining)
+``replica.write``         durability: one replica of a durable write landed
+                          (attrs carry ``replica`` index and target ``k``)
+``replica.repair``        durability: a corrupt/missing replica re-cloned
+                          from a healthy one (attrs carry ``healthy`` after)
+``durable.ack``           durability: a durable write acknowledged — all
+                          ``k`` replicas landed before this point
+``lineage.reexec``        manager: a producer task re-executed to regenerate
+                          lost data (attrs carry ``lost``, ``inputs`` and
+                          ``produces``)
+``plane.degraded``        data plane: too many node caches lost; locality
+                          hints shed, reads go shared-store-only
 ========================  ====================================================
 """
 
@@ -58,7 +83,10 @@ __all__ = [
     "SCHED_SUBMIT", "SCHED_REJECT", "SCHED_START", "SCHED_FINISH",
     "DRIVE_PUT",
     "TRANSFER_START", "TRANSFER_END",
-    "CACHE_HIT", "CACHE_INSERT", "CACHE_EVICT",
+    "CACHE_HIT", "CACHE_INSERT", "CACHE_EVICT", "CACHE_INVALIDATE",
+    "NODE_CRASH", "NODE_RESTORE", "NODE_SUSPECT", "NODE_DEAD", "NODE_ALIVE",
+    "OBJECT_CORRUPT", "REPLICA_WRITE", "REPLICA_REPAIR", "DURABLE_ACK",
+    "LINEAGE_REEXEC", "PLANE_DEGRADED",
 ]
 
 SCHEMA_VERSION = 1
@@ -89,6 +117,18 @@ TRANSFER_END = "transfer.end"
 CACHE_HIT = "cache.hit"
 CACHE_INSERT = "cache.insert"
 CACHE_EVICT = "cache.evict"
+CACHE_INVALIDATE = "cache.invalidate"
+NODE_CRASH = "node.crash"
+NODE_RESTORE = "node.restore"
+NODE_SUSPECT = "node.suspect"
+NODE_DEAD = "node.dead"
+NODE_ALIVE = "node.alive"
+OBJECT_CORRUPT = "object.corrupt"
+REPLICA_WRITE = "replica.write"
+REPLICA_REPAIR = "replica.repair"
+DURABLE_ACK = "durable.ack"
+LINEAGE_REEXEC = "lineage.reexec"
+PLANE_DEGRADED = "plane.degraded"
 
 
 @dataclass(frozen=True)

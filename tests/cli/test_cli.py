@@ -332,3 +332,44 @@ class TestExperimentsCli:
         assert "max CPU reduction" in out
         assert (tmp_path / "fig7.csv").exists()
         assert (tmp_path / "headline.csv").exists()
+
+
+class TestWfmResumeFallback:
+    """`--resume` with a corrupt checkpoint warns and runs fresh."""
+
+    def test_corrupt_checkpoint_falls_back_to_fresh_run(self, tmp_path,
+                                                        capsys):
+        from helpers import make_workflow
+
+        path = make_workflow("blast", 8).save(tmp_path / "wf.json")
+        checkpoint = tmp_path / "ck.json"
+        checkpoint.write_text('{"version": 1, "completed": {"t":')
+        rc = wfm_main([
+            str(path), "--paradigm", "Kn10wNoPM",
+            "--checkpoint", str(checkpoint), "--resume",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "warning" in captured.err
+        assert "corrupt" in captured.err
+        assert "fresh run" in captured.err
+        # The fresh run re-flushed a valid checkpoint over the wreck.
+        import json as json_module
+
+        doc = json_module.loads(checkpoint.read_text())
+        assert doc["completed"]
+
+    def test_resume_from_a_valid_checkpoint_stays_quiet(self, tmp_path,
+                                                        capsys):
+        from helpers import make_workflow
+
+        path = make_workflow("blast", 8).save(tmp_path / "wf.json")
+        checkpoint = tmp_path / "ck.json"
+        rc = wfm_main([str(path), "--paradigm", "Kn10wNoPM",
+                       "--checkpoint", str(checkpoint)])
+        assert rc == 0
+        rc = wfm_main([str(path), "--paradigm", "Kn10wNoPM",
+                       "--checkpoint", str(checkpoint), "--resume"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "warning" not in captured.err

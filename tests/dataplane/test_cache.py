@@ -5,7 +5,12 @@ import pytest
 from repro.dataplane import LocalCache
 from repro.simulation import Environment
 from repro.tracing import TraceRecorder
-from repro.tracing.events import CACHE_EVICT, CACHE_HIT, CACHE_INSERT
+from repro.tracing.events import (
+    CACHE_EVICT,
+    CACHE_HIT,
+    CACHE_INSERT,
+    CACHE_INVALIDATE,
+)
 
 
 class TestLookupAndInsert:
@@ -129,3 +134,65 @@ class TestTraceEvents:
             "node": "w0", "hits": 1, "misses": 1, "evictions": 0,
             "used_bytes": 10, "hit_rate": 0.5,
         }
+
+
+class TestEdgeCases:
+    def test_zero_byte_object_is_cacheable(self):
+        cache = LocalCache("w0", 100)
+        assert cache.insert("empty", 0) == []
+        assert "empty" in cache
+        assert cache.used_bytes == 0
+        assert cache.lookup("empty")
+        assert cache.hits == 1
+
+    def test_zero_capacity_cache_rejects_everything(self):
+        cache = LocalCache("w0", 0)
+        assert cache.insert("empty", 0) == []
+        assert "empty" not in cache
+        assert not cache.lookup("empty")
+        assert cache.used_bytes == 0
+
+    def test_oversized_object_rejected_without_collateral_damage(self):
+        """A file bigger than the whole cache must not flush the working
+        set on its way to being rejected."""
+        cache = LocalCache("w0", 100)
+        cache.insert("a", 40)
+        cache.insert("b", 40)
+        assert cache.insert("huge", 101) == []
+        assert "huge" not in cache
+        assert "a" in cache and "b" in cache
+        assert cache.used_bytes == 80
+        assert cache.evictions == 0
+
+    def test_eviction_order_restarts_after_mid_run_clear(self):
+        cache = LocalCache("w0", 100)
+        cache.insert("old1", 40)
+        cache.insert("old2", 40)
+        cache.clear()
+        assert cache.used_bytes == 0
+        assert len(cache) == 0
+        cache.insert("new1", 40)
+        cache.insert("new2", 40)
+        # Only post-clear residents are eviction candidates, LRU-first.
+        assert cache.insert("new3", 40) == ["new1"]
+        assert cache.used_bytes == 80
+
+    def test_invalidate_reports_and_traces_the_loss(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        cache = LocalCache("w0", 100, tracer=recorder)
+        cache.insert("a", 30)
+        cache.insert("b", 20)
+        assert cache.invalidate() == (2, 50)
+        assert cache.used_bytes == 0
+        events = [e for e in recorder.events
+                  if e.kind == CACHE_INVALIDATE]
+        assert len(events) == 1
+        assert events[0].attrs == {"node": "w0", "entries": 2, "bytes": 50}
+
+    def test_invalidating_an_empty_cache_is_silent(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        cache = LocalCache("w0", 100, tracer=recorder)
+        assert cache.invalidate() == (0, 0)
+        assert recorder.events == []

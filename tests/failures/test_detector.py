@@ -1,0 +1,160 @@
+"""Unit tests for the heartbeat/phi-accrual failure detector."""
+
+import pytest
+
+from repro.failures import FailureDetector, FailureDetectorConfig
+from repro.platform.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.simulation import Environment
+from repro.tracing import TraceRecorder
+from repro.tracing.events import NODE_ALIVE, NODE_DEAD, NODE_SUSPECT
+
+GB = 1 << 30
+
+
+def make_cluster(env, workers=2):
+    return Cluster(env, ClusterSpec(nodes=(
+        NodeSpec(name="master", cores=8, memory_bytes=8 * GB,
+                 schedulable=False),
+        *(NodeSpec(name=f"worker{i}", cores=8, memory_bytes=8 * GB)
+          for i in range(workers)),
+    )))
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = FailureDetectorConfig()
+        assert config.phi_dead > config.phi_suspect
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FailureDetectorConfig(heartbeat_interval_seconds=0.0)
+        with pytest.raises(ValueError):
+            FailureDetectorConfig(phi_suspect=5.0, phi_dead=3.0)
+
+
+class TestHealthyCluster:
+    def test_steady_heartbeats_never_suspect(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        detector = FailureDetector(env, cluster).start()
+        env.run(until=60.0)
+        assert detector.suspects == 0
+        assert detector.deaths == 0
+        assert all(n.health == "up" for n in cluster.nodes)
+
+    def test_phi_is_low_right_after_a_beat(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        detector = FailureDetector(env, cluster).start()
+        env.run(until=10.0)
+        assert detector.phi("worker0") < 1.0
+
+
+class TestCrashDetection:
+    def test_silent_node_goes_suspect_then_dead(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        recorder = TraceRecorder.for_env(env)
+        detector = FailureDetector(env, cluster, tracer=recorder).start()
+
+        def crash():
+            yield env.timeout(10.0)
+            cluster.node("worker0").go_down()
+
+        env.process(crash())
+        env.run(until=60.0)
+        node = cluster.node("worker0")
+        assert node.health == "dead"
+        assert not node.available
+        assert detector.suspects == 1
+        assert detector.deaths == 1
+        kinds = [e.kind for e in recorder.events if e.name == "worker0"]
+        assert kinds == [NODE_SUSPECT, NODE_DEAD]
+        # The healthy worker is untouched.
+        assert cluster.node("worker1").health == "up"
+
+    def test_suspect_precedes_dead_in_time(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        recorder = TraceRecorder.for_env(env)
+        FailureDetector(env, cluster, tracer=recorder).start()
+
+        def crash():
+            yield env.timeout(10.0)
+            cluster.node("worker0").go_down()
+
+        env.process(crash())
+        env.run(until=60.0)
+        times = {e.kind: e.ts for e in recorder.events
+                 if e.name == "worker0"}
+        assert 10.0 < times[NODE_SUSPECT] < times[NODE_DEAD]
+
+
+class TestRevival:
+    def test_healed_partition_rejoins_on_heartbeat(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        recorder = TraceRecorder.for_env(env)
+        detector = FailureDetector(env, cluster, tracer=recorder).start()
+
+        def partition():
+            yield env.timeout(10.0)
+            cluster.node("worker0").go_down()
+            yield env.timeout(30.0)
+            cluster.node("worker0").restore()
+
+        env.process(partition())
+        env.run(until=60.0)
+        node = cluster.node("worker0")
+        assert node.health == "up"
+        assert node.available
+        assert detector.deaths == 1
+        assert detector.revivals == 1
+        assert any(e.kind == NODE_ALIVE and e.name == "worker0"
+                   for e in recorder.events)
+
+    def test_rejoin_only_after_heartbeats_resume(self):
+        """restore() flips ground truth ``up``; detector health stays
+        dead until the next heartbeat actually arrives."""
+        env = Environment()
+        cluster = make_cluster(env)
+        FailureDetector(env, cluster).start()
+
+        def partition():
+            yield env.timeout(10.0)
+            cluster.node("worker0").go_down()
+            # Heal off the heartbeat boundary (beats land on whole
+            # seconds): the next beat is firmly at 41 s.
+            yield env.timeout(30.25)
+            cluster.node("worker0").restore()
+
+        env.process(partition())
+        env.run(until=40.9)  # healed, but before the next heartbeat
+        node = cluster.node("worker0")
+        assert node.up
+        assert node.health == "dead"
+        assert not node.available
+        env.run(until=41.5)  # a heartbeat has arrived by now
+        assert node.health == "up"
+        assert node.available
+
+
+class TestTimeoutOverrides:
+    def test_plain_timeouts_replace_phi(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        config = FailureDetectorConfig(suspect_timeout_seconds=3.0,
+                                       dead_timeout_seconds=5.0)
+        detector = FailureDetector(env, cluster, config).start()
+
+        def crash():
+            # Off the heartbeat boundary: the last beat is firmly at 10 s.
+            yield env.timeout(10.25)
+            cluster.node("worker0").go_down()
+
+        env.process(crash())
+        env.run(until=14.4)  # 4.4 s silent: suspect, not yet dead
+        assert cluster.node("worker0").health == "suspect"
+        env.run(until=16.5)  # 6.5 s silent: dead
+        assert cluster.node("worker0").health == "dead"
+        assert detector.deaths == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the replica-health catalog."""
+
+import pytest
+
+from repro.errors import DataLossError
+from repro.failures import DurabilityPolicy, DurableCatalog
+from repro.simulation import Environment
+from repro.tracing import TraceRecorder
+from repro.tracing.events import DURABLE_ACK, OBJECT_CORRUPT, REPLICA_REPAIR
+
+
+def make(k=2, tracer=None):
+    return DurableCatalog(DurabilityPolicy(replication_k=k), tracer=tracer)
+
+
+class TestPolicyValidation:
+    def test_k_minimum(self):
+        with pytest.raises(ValueError):
+            DurabilityPolicy(replication_k=0)
+
+    def test_degraded_fraction_range(self):
+        with pytest.raises(ValueError):
+            DurabilityPolicy(degraded_cache_loss_fraction=1.5)
+
+
+class TestStateMachine:
+    def test_write_makes_fully_healthy(self):
+        catalog = make(k=2)
+        catalog.record_write("a", 100, node="w0")
+        assert catalog.healthy("a") == 2
+        assert catalog.size_of("a") == 100
+        assert "a" in catalog
+        assert not catalog.is_lost("a")
+        assert not catalog.needs_repair("a")
+
+    def test_corruption_degrades_then_loses(self):
+        catalog = make(k=2)
+        catalog.record_write("a", 100)
+        assert catalog.corrupt_one("a") == 1
+        assert catalog.needs_repair("a")
+        assert not catalog.is_lost("a")
+        assert catalog.corrupt_one("a") == 0
+        assert catalog.is_lost("a")
+        assert catalog.losses == 1
+
+    def test_corrupting_a_lost_or_unknown_object_is_a_noop(self):
+        catalog = make(k=1)
+        assert catalog.corrupt_one("ghost") == 0
+        catalog.record_write("a", 10)
+        catalog.corrupt_one("a")
+        assert catalog.corrupt_one("a") == 0
+        assert catalog.losses == 1
+
+    def test_repair_restores_one_replica(self):
+        catalog = make(k=3)
+        catalog.record_write("a", 100)
+        catalog.corrupt_one("a")
+        catalog.corrupt_one("a")
+        catalog.mark_repaired("a")
+        assert catalog.healthy("a") == 2
+        assert catalog.repairs == 1
+
+    def test_repair_never_exceeds_k_or_resurrects_lost(self):
+        catalog = make(k=2)
+        catalog.record_write("a", 100)
+        catalog.mark_repaired("a")  # already fully healthy
+        assert catalog.healthy("a") == 2
+        catalog.corrupt_one("a")
+        catalog.corrupt_one("a")
+        catalog.mark_repaired("a")  # lost: nothing to clone from
+        assert catalog.is_lost("a")
+        assert catalog.repairs == 0
+
+    def test_rewrite_resets_a_lost_object(self):
+        """Lineage re-execution writes the object again: healthy again."""
+        catalog = make(k=1)
+        catalog.record_write("a", 100)
+        catalog.corrupt_one("a")
+        assert catalog.is_lost("a")
+        catalog.record_write("a", 100)
+        assert not catalog.is_lost("a")
+        assert catalog.healthy("a") == 1
+
+
+class TestQueries:
+    def test_unrecoverable_only_reports_written_but_lost(self):
+        catalog = make(k=1)
+        catalog.record_write("lost", 10)
+        catalog.corrupt_one("lost")
+        catalog.record_write("fine", 10)
+        assert catalog.unrecoverable(
+            ["lost", "fine", "never-written"]) == ["lost"]
+
+    def test_known_objects_sorted_and_prefix_filtered(self):
+        catalog = make(k=1)
+        for name in ("b.txt", "a.txt", "out/z"):
+            catalog.record_write(name, 10)
+        catalog.corrupt_one("a.txt")
+        assert catalog.known_objects() == ["b.txt", "out/z"]
+        assert catalog.known_objects("out/") == ["out/z"]
+
+    def test_check_readable_raises_with_files(self):
+        catalog = make(k=1)
+        catalog.record_write("a", 10)
+        catalog.corrupt_one("a")
+        with pytest.raises(DataLossError) as info:
+            catalog.check_readable(["a", "b"])
+        assert info.value.files == ("a",)
+        catalog.check_readable(["b"])  # never written: not lost
+
+
+class TestTracing:
+    def test_events_carry_health_and_k(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        catalog = make(k=2, tracer=recorder)
+        catalog.record_write("a", 100, node="w1")
+        catalog.corrupt_one("a")
+        catalog.mark_repaired("a")
+        kinds = [(e.kind, e.attrs) for e in recorder.events]
+        assert kinds == [
+            (DURABLE_ACK, {"k": 2, "node": "w1"}),
+            (OBJECT_CORRUPT, {"healthy": 1, "k": 2}),
+            (REPLICA_REPAIR, {"healthy": 2, "k": 2}),
+        ]
+
+    def test_stats(self):
+        catalog = make(k=2)
+        catalog.record_write("a", 100)
+        catalog.corrupt_one("a")
+        assert catalog.stats() == {
+            "objects": 1, "durable_acks": 1, "corruption_events": 1,
+            "repairs": 0, "losses": 0,
+        }

@@ -1,0 +1,189 @@
+"""Unit tests for the schedule-driven failure injector (stubbed plane)."""
+
+from repro.failures import (
+    DurabilityPolicy,
+    DurableCatalog,
+    FailureSchedule,
+    NodeFailureInjector,
+    NodeFault,
+    ObjectCorruption,
+)
+from repro.platform.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.simulation import Environment
+from repro.tracing import TraceRecorder
+from repro.tracing.events import NODE_CRASH, NODE_RESTORE
+
+GB = 1 << 30
+
+
+def make_cluster(env, workers=2):
+    return Cluster(env, ClusterSpec(nodes=(
+        NodeSpec(name="master", cores=8, memory_bytes=8 * GB,
+                 schedulable=False),
+        *(NodeSpec(name=f"worker{i}", cores=8, memory_bytes=8 * GB)
+          for i in range(workers)),
+    )))
+
+
+class StubPlatform:
+    def __init__(self):
+        self.failed_nodes = []
+
+    def fail_node(self, name, reason=""):
+        self.failed_nodes.append((name, reason))
+        return 3
+
+
+class StubStore:
+    def __init__(self):
+        self.aborted = []
+
+    def abort_node(self, node):
+        self.aborted.append(node)
+        return 2
+
+
+class StubPlane:
+    def __init__(self, catalog=None):
+        self.store = StubStore()
+        self.catalog = catalog
+        self.downed = []
+        self.restored = []
+
+    def node_down(self, node):
+        self.downed.append(node)
+        return (1, 100)
+
+    def node_restored(self, node):
+        self.restored.append(node)
+
+
+class TestCrash:
+    def test_crash_fails_requests_transfers_and_cache(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        recorder = TraceRecorder.for_env(env)
+        platform, plane = StubPlatform(), StubPlane()
+        schedule = FailureSchedule(
+            node_faults=(NodeFault("worker0", at=5.0),))
+        injector = NodeFailureInjector(
+            env, cluster, schedule, platform=platform, dataplane=plane,
+            tracer=recorder).start()
+        env.run(until=10.0)
+        assert not cluster.node("worker0").up
+        assert injector.crashes == 1
+        assert injector.requests_failed == 3
+        assert injector.transfers_aborted == 2
+        assert platform.failed_nodes[0][0] == "worker0"
+        assert plane.store.aborted == ["worker0"]
+        assert plane.downed == ["worker0"]  # crash loses the cache
+        crash = next(e for e in recorder.events if e.kind == NODE_CRASH)
+        assert crash.name == "worker0"
+        assert crash.attrs["fault"] == "crash"
+
+    def test_permanent_crash_never_restores(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        schedule = FailureSchedule(
+            node_faults=(NodeFault("worker0", at=5.0, duration=0.0),))
+        NodeFailureInjector(env, cluster, schedule).start()
+        env.run(until=100.0)
+        assert not cluster.node("worker0").up
+
+    def test_overlapping_fault_on_a_down_node_is_skipped(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        schedule = FailureSchedule(node_faults=(
+            NodeFault("worker0", at=5.0),
+            NodeFault("worker0", at=6.0),
+        ))
+        injector = NodeFailureInjector(env, cluster, schedule).start()
+        env.run(until=10.0)
+        assert injector.crashes == 1
+
+    def test_unknown_node_is_skipped(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        schedule = FailureSchedule(
+            node_faults=(NodeFault("worker99", at=5.0),))
+        injector = NodeFailureInjector(env, cluster, schedule).start()
+        env.run(until=10.0)
+        assert injector.crashes == 0
+
+
+class TestPartition:
+    def test_partition_keeps_cache_and_heals(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        recorder = TraceRecorder.for_env(env)
+        plane = StubPlane()
+        schedule = FailureSchedule(node_faults=(
+            NodeFault("worker1", at=5.0, kind="partition", duration=10.0),))
+        injector = NodeFailureInjector(
+            env, cluster, schedule, dataplane=plane,
+            tracer=recorder).start()
+        env.run(until=7.0)
+        assert not cluster.node("worker1").up
+        env.run(until=20.0)
+        assert cluster.node("worker1").up
+        assert injector.partitions == 1
+        assert plane.store.aborted == ["worker1"]  # streams still break
+        assert plane.downed == []                  # but the disk survives
+        assert any(e.kind == NODE_RESTORE for e in recorder.events)
+
+
+class TestCorruption:
+    def test_victims_drawn_from_catalog_deterministically(self):
+        def run():
+            env = Environment()
+            cluster = make_cluster(env)
+            catalog = DurableCatalog(DurabilityPolicy(replication_k=1))
+            for name in ("a", "b", "c", "d"):
+                catalog.record_write(name, 10)
+            plane = StubPlane(catalog=catalog)
+            schedule = FailureSchedule(
+                corruptions=(ObjectCorruption(at=5.0, count=2),), seed=99)
+            injector = NodeFailureInjector(
+                env, cluster, schedule, dataplane=plane).start()
+            env.run(until=10.0)
+            return injector, catalog
+
+        first, catalog_a = run()
+        second, catalog_b = run()
+        assert first.objects_corrupted == 2
+        lost_a = catalog_a.unrecoverable(["a", "b", "c", "d"])
+        lost_b = catalog_b.unrecoverable(["a", "b", "c", "d"])
+        assert lost_a == lost_b  # same schedule seed, same victims
+        assert len(lost_a) == 2
+
+    def test_count_clamped_to_pool(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        catalog = DurableCatalog(DurabilityPolicy(replication_k=1))
+        catalog.record_write("only", 10)
+        plane = StubPlane(catalog=catalog)
+        schedule = FailureSchedule(
+            corruptions=(ObjectCorruption(at=5.0, count=5),))
+        injector = NodeFailureInjector(
+            env, cluster, schedule, dataplane=plane).start()
+        env.run(until=10.0)
+        assert injector.objects_corrupted == 1
+
+    def test_no_catalog_means_no_corruption(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        schedule = FailureSchedule(
+            corruptions=(ObjectCorruption(at=5.0),))
+        injector = NodeFailureInjector(
+            env, cluster, schedule, dataplane=StubPlane()).start()
+        env.run(until=10.0)
+        assert injector.objects_corrupted == 0
+
+    def test_stats_shape(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        injector = NodeFailureInjector(env, cluster, FailureSchedule())
+        assert injector.stats() == {
+            "crashes": 0, "partitions": 0, "requests_failed": 0,
+            "transfers_aborted": 0, "objects_corrupted": 0,
+        }

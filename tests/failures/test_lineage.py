@@ -1,0 +1,106 @@
+"""Unit tests for lineage recovery planning (duck-typed DAG)."""
+
+from dataclasses import dataclass, field
+
+from repro.failures import plan_recovery
+
+
+@dataclass
+class _File:
+    name: str
+
+
+@dataclass
+class _Task:
+    name: str
+    input_files: list = field(default_factory=list)
+    output_files: list = field(default_factory=list)
+
+
+@dataclass
+class _Phase:
+    index: int
+    tasks: list
+
+
+class FakeDAG:
+    """Duck-typed stand-in for WorkflowDAG (what plan_recovery reads)."""
+
+    def __init__(self, tasks, phases):
+        self._tasks = {t.name: t for t in tasks}
+        self.phases = phases
+
+    @property
+    def task_names(self):
+        return list(self._tasks)
+
+    def task(self, name):
+        return self._tasks[name]
+
+
+def task(name, inputs=(), outputs=()):
+    return _Task(name, [_File(n) for n in inputs],
+                 [_File(n) for n in outputs])
+
+
+def chain_dag():
+    """a -> mid.txt -> b -> out.txt -> c -> final.txt"""
+    return FakeDAG(
+        tasks=[
+            task("a", inputs=["in.txt"], outputs=["mid.txt"]),
+            task("b", inputs=["mid.txt"], outputs=["out.txt"]),
+            task("c", inputs=["out.txt"], outputs=["final.txt"]),
+        ],
+        phases=[_Phase(0, ["a"]), _Phase(1, ["b"]), _Phase(2, ["c"])],
+    )
+
+
+class TestPlanRecovery:
+    def test_single_lost_file_reruns_its_producer_only(self):
+        plan = plan_recovery(chain_dag(), ["out.txt"],
+                             unreadable=lambda name: False)
+        assert plan.groups == (("b",),)
+        assert plan.tasks == ["b"]
+        assert plan.lost == ("out.txt",)
+        assert plan.needed == frozenset({"out.txt"})
+        assert not plan.empty
+
+    def test_walk_ascends_through_unreadable_inputs(self):
+        gone = {"out.txt", "mid.txt"}
+        plan = plan_recovery(chain_dag(), ["out.txt"],
+                             unreadable=lambda name: name in gone)
+        assert plan.groups == (("a",), ("b",))
+        assert plan.needed == frozenset({"out.txt", "mid.txt"})
+
+    def test_walk_stops_at_readable_files(self):
+        """Checkpoint integration: durable intermediates are never
+        regenerated, so their producers never re-run."""
+        plan = plan_recovery(chain_dag(), ["final.txt"],
+                             unreadable=lambda name: name == "final.txt")
+        assert plan.groups == (("c",),)
+
+    def test_external_inputs_have_no_producer(self):
+        plan = plan_recovery(chain_dag(), ["in.txt"],
+                             unreadable=lambda name: True)
+        assert plan.empty
+        assert plan.tasks == []
+
+    def test_groups_ordered_by_phase_and_sorted_within(self):
+        dag = FakeDAG(
+            tasks=[
+                task("p2", inputs=["x"], outputs=["f2"]),
+                task("p1", inputs=["x"], outputs=["f1"]),
+                task("join", inputs=["f1", "f2"], outputs=["out"]),
+            ],
+            phases=[_Phase(0, ["p1", "p2"]), _Phase(1, ["join"])],
+        )
+        gone = {"out", "f1", "f2"}
+        plan = plan_recovery(dag, ["out"],
+                             unreadable=lambda name: name in gone)
+        assert plan.groups == (("p1", "p2"), ("join",))
+
+    def test_lost_list_deduplicated_and_sorted(self):
+        plan = plan_recovery(chain_dag(), ["out.txt", "mid.txt", "out.txt"],
+                             unreadable=lambda name: False)
+        assert plan.lost == ("mid.txt", "out.txt")
+        assert plan.groups == (("a",), ("b",))

@@ -1,0 +1,108 @@
+"""Unit tests for fault schedules: validation, sorting, determinism."""
+
+import pytest
+
+from repro.failures import FailureSchedule, NodeFault, ObjectCorruption
+
+
+class TestNodeFault:
+    def test_crash_defaults(self):
+        fault = NodeFault("w0", at=5.0)
+        assert fault.kind == "crash"
+        assert fault.duration == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFault("w0", at=1.0, kind="meltdown")
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFault("w0", at=-1.0)
+        with pytest.raises(ValueError):
+            NodeFault("w0", at=1.0, duration=-2.0)
+
+    def test_partition_needs_a_duration_to_heal(self):
+        with pytest.raises(ValueError):
+            NodeFault("w0", at=1.0, kind="partition")
+        NodeFault("w0", at=1.0, kind="partition", duration=5.0)
+
+
+class TestObjectCorruption:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObjectCorruption(at=-1.0)
+        with pytest.raises(ValueError):
+            ObjectCorruption(at=1.0, count=0)
+
+
+class TestSchedule:
+    def test_empty(self):
+        assert FailureSchedule().empty
+        assert not FailureSchedule(
+            node_faults=(NodeFault("w0", at=1.0),)).empty
+        assert not FailureSchedule(
+            corruptions=(ObjectCorruption(at=1.0),)).empty
+
+    def test_faults_sorted_by_time_then_node(self):
+        schedule = FailureSchedule(node_faults=(
+            NodeFault("w1", at=5.0),
+            NodeFault("w0", at=5.0),
+            NodeFault("w2", at=1.0),
+        ))
+        assert [(f.node, f.at) for f in schedule.node_faults] == [
+            ("w2", 1.0), ("w0", 5.0), ("w1", 5.0)]
+
+    def test_corruptions_sorted(self):
+        schedule = FailureSchedule(corruptions=(
+            ObjectCorruption(at=9.0), ObjectCorruption(at=2.0)))
+        assert [c.at for c in schedule.corruptions] == [2.0, 9.0]
+
+
+class TestGenerate:
+    NODES = ("w0", "w1", "w2")
+
+    def test_counts_and_window(self):
+        schedule = FailureSchedule.generate(
+            7, "cell", self.NODES, horizon_seconds=100.0,
+            crashes=2, partitions=1, partition_seconds=12.0,
+            corruptions=3, corruption_count=2)
+        kinds = [f.kind for f in schedule.node_faults]
+        assert kinds.count("crash") == 2
+        assert kinds.count("partition") == 1
+        assert len(schedule.corruptions) == 3
+        for fault in schedule.node_faults:
+            assert 20.0 <= fault.at <= 80.0
+            assert fault.node in self.NODES
+            if fault.kind == "partition":
+                assert fault.duration == 12.0
+        for corruption in schedule.corruptions:
+            assert 20.0 <= corruption.at <= 80.0
+            assert corruption.count == 2
+
+    def test_same_identity_same_schedule(self):
+        a = FailureSchedule.generate(7, "cell", self.NODES, 100.0, crashes=2)
+        b = FailureSchedule.generate(7, "cell", self.NODES, 100.0, crashes=2)
+        assert a == b
+
+    def test_different_label_different_draws(self):
+        a = FailureSchedule.generate(7, "cell-a", self.NODES, 100.0,
+                                     crashes=2)
+        b = FailureSchedule.generate(7, "cell-b", self.NODES, 100.0,
+                                     crashes=2)
+        assert a != b
+
+    def test_injector_seed_derived_from_identity(self):
+        a = FailureSchedule.generate(7, "cell", self.NODES, 100.0)
+        b = FailureSchedule.generate(7, "other", self.NODES, 100.0)
+        assert a.seed != b.seed
+
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError):
+            FailureSchedule.generate(7, "cell", (), 100.0, crashes=1)
+
+    def test_schedules_are_picklable(self):
+        import pickle
+
+        schedule = FailureSchedule.generate(
+            7, "cell", self.NODES, 100.0, crashes=1, corruptions=1)
+        assert pickle.loads(pickle.dumps(schedule)) == schedule

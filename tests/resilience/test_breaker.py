@@ -109,3 +109,50 @@ class TestRegistry:
         registry.on_success("http://b", 0.0)
         assert registry.states(1.0) == {"http://a": OPEN, "http://b": CLOSED}
         assert registry.states(6.0)["http://a"] == HALF_OPEN
+
+
+class TestHalfOpenProbeRace:
+    """Two callers hitting ``allow()`` at the same instant while
+    half-open must admit exactly ``half_open_probes`` between them:
+    the probe slot is claimed inside ``allow()``, not on completion."""
+
+    def trip(self, breaker, threshold=3):
+        for t in range(threshold):
+            breaker.on_failure(float(t))
+
+    def test_concurrent_probes_admit_exactly_one(self):
+        breaker = make(threshold=3, recovery=10.0, probes=1)
+        self.trip(breaker)
+        now = 20.0
+        assert breaker.state(now) == HALF_OPEN
+        first = breaker.allow(now)
+        second = breaker.allow(now)  # same instant: a racing caller
+        assert [first, second] == [True, False]
+
+    def test_failed_probe_reopens_and_releases_the_slot(self):
+        breaker = make(threshold=3, recovery=10.0, probes=1)
+        self.trip(breaker)
+        assert breaker.allow(20.0)
+        breaker.on_failure(21.0)
+        assert breaker.state(21.0) == OPEN
+        assert not breaker.allow(21.0)
+        # After the restarted recovery window, the slot is free again.
+        assert breaker.state(31.0) == HALF_OPEN
+        assert breaker.allow(31.0)
+
+    def test_successful_probe_closes_and_releases_the_slot(self):
+        breaker = make(threshold=3, recovery=10.0, probes=1)
+        self.trip(breaker)
+        assert breaker.allow(20.0)
+        breaker.on_success(21.0)
+        assert breaker.state(21.0) == CLOSED
+        # Probe accounting reset: a later trip probes cleanly again.
+        self.trip(breaker, threshold=3)
+        assert breaker.allow(100.0)
+
+    def test_probe_budget_honored_above_one(self):
+        breaker = make(threshold=3, recovery=10.0, probes=2)
+        self.trip(breaker)
+        now = 20.0
+        admitted = [breaker.allow(now) for _ in range(4)]
+        assert admitted == [True, True, False, False]

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import SimulatedSharedDrive
 from repro.errors import WorkflowExecutionError
-from repro.resilience import WorkflowCheckpoint
+from repro.resilience import CheckpointCorrupt, WorkflowCheckpoint
 
 
 def make(tmp_path, name="wf"):
@@ -87,3 +87,49 @@ class TestRestage:
         drive = SimulatedSharedDrive()
         drive.put("a.dat", 100)
         assert checkpoint.restage(drive) == 0
+
+
+class TestCorruption:
+    """A crash can truncate the checkpoint mid-write; loading must fail
+    with a diagnosable error, not an arbitrary traceback."""
+
+    def test_truncated_file_raises_checkpoint_corrupt(self, tmp_path):
+        checkpoint = make(tmp_path)
+        checkpoint.mark("t1", phase=0, status=200, finished_at=3.5,
+                        outputs={"out.txt": 1024})
+        checkpoint.flush()
+        path = tmp_path / "ck.json"
+        path.write_bytes(path.read_bytes()[:-20])  # torn write
+        with pytest.raises(CheckpointCorrupt) as info:
+            WorkflowCheckpoint.load(path)
+        assert info.value.path == path
+        assert "not valid JSON" in str(info.value)
+
+    def test_garbage_bytes_raise_checkpoint_corrupt(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_bytes(b"\x00\xffnot json at all")
+        with pytest.raises(CheckpointCorrupt):
+            WorkflowCheckpoint.load(path)
+
+    def test_non_object_top_level_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("[]")
+        with pytest.raises(CheckpointCorrupt) as info:
+            WorkflowCheckpoint.load(path)
+        assert "top level" in info.value.reason
+
+    def test_completed_must_be_a_map_of_records(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps(
+            {"version": 1, "completed": {"t1": "done"}}))
+        with pytest.raises(CheckpointCorrupt) as info:
+            WorkflowCheckpoint.load(path)
+        assert "'completed'" in info.value.reason
+
+    def test_corrupt_is_a_workflow_execution_error(self, tmp_path):
+        """Existing ``except WorkflowExecutionError`` handlers still
+        catch corruption; only callers that opt in treat it specially."""
+        path = tmp_path / "ck.json"
+        path.write_text("{")
+        with pytest.raises(WorkflowExecutionError):
+            WorkflowCheckpoint.load(path)

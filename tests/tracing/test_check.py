@@ -3,15 +3,22 @@
 from repro.tracing import TraceEvent, check_jsonl, check_trace, write_jsonl
 from repro.tracing.events import (
     BREAKER_OPEN,
+    CACHE_HIT,
     DRIVE_PUT,
+    DURABLE_ACK,
     HEDGE_FIRE,
     HEDGE_RESOLVE,
+    LINEAGE_REEXEC,
+    OBJECT_CORRUPT,
     PHASE_END,
     PHASE_START,
     POST_START,
+    REPLICA_REPAIR,
+    REPLICA_WRITE,
     TASK_END,
     TASK_REPLAY,
     TASK_SUBMIT,
+    TRANSFER_START,
     WORKFLOW_END,
     WORKFLOW_START,
 )
@@ -287,5 +294,152 @@ class TestCacheCapacity:
         events = honest_trace() + [
             self._insert(1.0, "a", 60),
             self._insert(2.0, "a", 80),  # replaces, not adds
+        ]
+        assert check_trace(events) == []
+
+
+class TestNoCorruptRead:
+    def durability_prefix(self, k=2):
+        return [
+            ev(0.0, REPLICA_WRITE, name="mid.txt"),
+            ev(0.0, REPLICA_WRITE, name="mid.txt"),
+            ev(0.0, DURABLE_ACK, name="mid.txt", k=k),
+        ]
+
+    def test_read_of_healthy_object_passes(self):
+        events = self.durability_prefix() + [
+            ev(1.0, TRANSFER_START, name="mid.txt", op="read"),
+        ]
+        assert check_trace(events) == []
+
+    def test_read_after_total_corruption_flagged(self):
+        events = self.durability_prefix() + [
+            ev(1.0, OBJECT_CORRUPT, name="mid.txt", healthy=1),
+            ev(1.5, OBJECT_CORRUPT, name="mid.txt", healthy=0),
+            ev(2.0, TRANSFER_START, name="mid.txt", op="read"),
+        ]
+        assert invariants_of(check_trace(events)) == {"no-corrupt-read"}
+
+    def test_cache_hit_on_lost_object_flagged(self):
+        """A cached copy of a lost object is untrusted too."""
+        events = self.durability_prefix() + [
+            ev(1.0, OBJECT_CORRUPT, name="mid.txt", healthy=0),
+            ev(2.0, CACHE_HIT, name="mid.txt", node="w0"),
+        ]
+        assert invariants_of(check_trace(events)) == {"no-corrupt-read"}
+
+    def test_read_after_repair_passes(self):
+        events = self.durability_prefix() + [
+            ev(1.0, OBJECT_CORRUPT, name="mid.txt", healthy=1),
+            ev(2.0, REPLICA_REPAIR, name="mid.txt", healthy=2),
+            ev(3.0, TRANSFER_START, name="mid.txt", op="read"),
+        ]
+        assert check_trace(events) == []
+
+    def test_read_after_reexec_rewrite_passes(self):
+        events = [
+            ev(0.0, REPLICA_WRITE, name="mid.txt"),
+            ev(0.0, DURABLE_ACK, name="mid.txt", k=1),
+            ev(1.0, OBJECT_CORRUPT, name="mid.txt", healthy=0),
+            ev(2.0, REPLICA_WRITE, name="mid.txt"),
+            ev(2.0, DURABLE_ACK, name="mid.txt", k=1),
+            ev(3.0, TRANSFER_START, name="mid.txt", op="read"),
+        ]
+        assert check_trace(events) == []
+
+    def test_write_transfers_of_lost_objects_are_fine(self):
+        events = self.durability_prefix() + [
+            ev(1.0, OBJECT_CORRUPT, name="mid.txt", healthy=0),
+            ev(2.0, TRANSFER_START, name="mid.txt", op="write"),
+        ]
+        assert check_trace(events) == []
+
+
+class TestReplicationHonored:
+    def test_ack_backed_by_k_writes_passes(self):
+        events = [
+            ev(0.0, REPLICA_WRITE, name="a"),
+            ev(0.0, REPLICA_WRITE, name="a"),
+            ev(0.1, DURABLE_ACK, name="a", k=2),
+        ]
+        assert check_trace(events) == []
+
+    def test_underreplicated_ack_flagged(self):
+        events = [
+            ev(0.0, REPLICA_WRITE, name="a"),
+            ev(0.1, DURABLE_ACK, name="a", k=2),
+        ]
+        assert invariants_of(check_trace(events)) == \
+            {"replication-honored"}
+
+    def test_counter_resets_at_each_ack(self):
+        """Writes from the first generation cannot pay for the second."""
+        events = [
+            ev(0.0, REPLICA_WRITE, name="a"),
+            ev(0.0, REPLICA_WRITE, name="a"),
+            ev(0.1, DURABLE_ACK, name="a", k=2),
+            ev(1.0, DURABLE_ACK, name="a", k=2),  # no fresh writes
+        ]
+        assert invariants_of(check_trace(events)) == \
+            {"replication-honored"}
+
+    def test_objects_are_counted_independently(self):
+        events = [
+            ev(0.0, REPLICA_WRITE, name="a"),
+            ev(0.0, REPLICA_WRITE, name="b"),
+            ev(0.1, DURABLE_ACK, name="a", k=2),
+        ]
+        assert invariants_of(check_trace(events)) == \
+            {"replication-honored"}
+
+
+class TestLineageAncestors:
+    def test_producer_of_lost_file_is_justified(self):
+        events = honest_trace() + [
+            ev(4.0, LINEAGE_REEXEC, name="a", lost=["mid.txt"],
+               produces=["mid.txt"], inputs=["in.txt"]),
+        ]
+        assert check_trace(events) == []
+
+    def test_transitive_ancestor_is_justified(self):
+        """b's lost output needs b; b's input needs a: both justified."""
+        events = honest_trace() + [
+            ev(4.0, LINEAGE_REEXEC, name="b", lost=["out.txt"],
+               produces=["out.txt"], inputs=["mid.txt"]),
+            ev(4.0, LINEAGE_REEXEC, name="a", lost=["out.txt"],
+               produces=["mid.txt"], inputs=["in.txt"]),
+        ]
+        assert check_trace(events) == []
+
+    def test_non_ancestor_reexec_flagged(self):
+        events = honest_trace() + [
+            ev(4.0, LINEAGE_REEXEC, name="b", lost=["out.txt"],
+               produces=["out.txt"], inputs=["mid.txt"]),
+            ev(4.0, LINEAGE_REEXEC, name="z", lost=["out.txt"],
+               produces=["unrelated.txt"], inputs=[]),
+        ]
+        violations = check_trace(events)
+        assert invariants_of(violations) == {"lineage-ancestors"}
+        assert "task z" in violations[0].message
+
+
+class TestResumeReexecExemption:
+    def test_replay_then_resubmit_without_lineage_flagged(self):
+        events = honest_trace() + [
+            ev(4.0, TASK_REPLAY, name="a"),
+            ev(5.0, TASK_SUBMIT, name="a", url="u", inputs=["in.txt"]),
+        ]
+        assert "resume-no-reexec" in invariants_of(check_trace(events))
+
+    def test_lineage_reexec_exempts_the_replayed_task(self):
+        """Replay + re-submit is legal when the durable output was lost
+        and lineage recovery announced the re-execution."""
+        events = honest_trace() + [
+            ev(4.0, TASK_REPLAY, name="a"),
+            ev(4.5, LINEAGE_REEXEC, name="a", lost=["mid.txt"],
+               produces=["mid.txt"], inputs=["in.txt"]),
+            ev(5.0, TASK_SUBMIT, name="a", url="u", inputs=["in.txt"]),
+            ev(6.0, TASK_END, name="a", status=200, started_at=5.0,
+               finished_at=6.0),
         ]
         assert check_trace(events) == []
