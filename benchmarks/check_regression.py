@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Gate a fresh BENCH_sweep.json against a committed baseline.
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        BENCH_sweep.json fresh.json --threshold 0.25
+
+Exits 1 (and prints one line per metric) when any throughput component
+dropped by more than ``--threshold``, or trace overhead grew by more
+than the absolute slack — the CI perf-smoke job's regression gate.
+Version-1 baselines compare on the components they have.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.bench import compare_bench
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_sweep.json records.")
+    parser.add_argument("baseline", type=Path,
+                        help="the committed baseline record")
+    parser.add_argument("fresh", type=Path,
+                        help="the record produced by this run")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional throughput drop "
+                        "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    old = json.loads(args.baseline.read_text())
+    new = json.loads(args.fresh.read_text())
+    regressions = compare_bench(old, new, threshold=args.threshold)
+    if not regressions:
+        print(f"[perf] no regression beyond {args.threshold:.0%} "
+              f"vs {args.baseline}")
+        return 0
+    for r in regressions:
+        print(f"[perf] REGRESSION {r['metric']}: {r['old']} -> {r['new']} "
+              f"({r['change_pct']:+.1f}%)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,12 @@ Regenerates the paper's tables and figure data:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any
 
+from repro import perf
 from repro.experiments import (
     PARADIGMS,
     ParallelExperimentRunner,
@@ -97,7 +99,8 @@ _PANEL_METRICS = ("makespan_seconds", "power_watts", "cpu_usage_cores",
 
 
 def _emit(name: str, rows: list[dict[str, Any]], output: Path | None,
-          title: str, plot: bool = False) -> None:
+          title: str, plot: bool = False,
+          runner: ParallelExperimentRunner | None = None) -> None:
     print()
     print(format_table(rows, title=title))
     if plot and rows and "paradigm" in rows[0] and "workflow" in rows[0]:
@@ -115,6 +118,14 @@ def _emit(name: str, rows: list[dict[str, Any]], output: Path | None,
     if output is not None:
         path = write_rows_csv(rows, output / f"{name}.csv")
         print(f"[csv] {path}")
+        if runner is not None and runner.last_run_info:
+            # Execution metadata (effective jobs, chunking) lives in a
+            # sidecar — never in the CSV, which must stay byte-identical
+            # between --jobs 1 and --jobs N.
+            meta_path = output / f"{name}.meta.json"
+            meta_path.write_text(json.dumps(
+                runner.last_run_info, indent=2, sort_keys=True) + "\n")
+            print(f"[meta] {meta_path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -134,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
+    perf.tune_gc()
     targets = set(args.targets)
     if "all" in targets:
         targets = set(_TARGETS) - {"all"}
@@ -164,17 +176,21 @@ def _run(args: argparse.Namespace) -> int:
         _emit("fig3", rows, args.output, "Figure 3: workflow characterization")
     if "fig4" in targets:
         rows = fig4_knative_setups(runner, sizes=sizes or (100, 250), seed=args.seed)
-        _emit("fig4", rows, args.output, "Figure 4: Knative setups", plot=args.plot)
+        _emit("fig4", rows, args.output, "Figure 4: Knative setups",
+              plot=args.plot, runner=runner)
     if "fig5" in targets:
         rows = fig5_local_container_setups(runner, sizes=sizes or (100, 250),
                                            seed=args.seed)
-        _emit("fig5", rows, args.output, "Figure 5: local-container setups", plot=args.plot)
+        _emit("fig5", rows, args.output, "Figure 5: local-container setups",
+              plot=args.plot, runner=runner)
     if "fig6" in targets:
         rows = fig6_coarse_grained(runner, seed=args.seed)
-        _emit("fig6", rows, args.output, "Figure 6: coarse-grained comparison", plot=args.plot)
+        _emit("fig6", rows, args.output, "Figure 6: coarse-grained comparison",
+              plot=args.plot, runner=runner)
     if "fig7" in targets:
         rows = fig7_best_setups(runner, sizes=sizes or (100, 250), seed=args.seed)
-        _emit("fig7", rows, args.output, "Figure 7: best setups head-to-head", plot=args.plot)
+        _emit("fig7", rows, args.output, "Figure 7: best setups head-to-head",
+              plot=args.plot, runner=runner)
         if "headline" in targets:
             summary = headline_reductions(rows)
             _emit("headline", summary["per_cell"], args.output,
@@ -214,7 +230,7 @@ def _run(args: argparse.Namespace) -> int:
         rows = aggregate_cells(records)
         _emit("design", rows, args.output,
               f"Full design: {design.total} experiments "
-              f"({failed} failed)")
+              f"({failed} failed)", runner=design_runner)
         if store is not None:
             print(f"[store] per-run artefacts under {args.store}")
     if "report" in targets:
@@ -318,17 +334,23 @@ def _run(args: argparse.Namespace) -> int:
         kernel = payload["kernel"]
         sampler = payload["sampler"]
         transfer = payload["transfer"]
+        trace = payload["trace"]
         sweep = payload["sweep"]
         print(f"\nkernel  : {kernel['events_per_second']:>12,} events/s")
         print(f"sampler : {sampler['ticks_per_second']:>12,} ticks/s")
         print(f"transfer: {transfer['transfers_per_second']:>12,} "
               "transfers/s")
+        print(f"tracing : {trace['overhead_pct']:>11.2f}% overhead "
+              f"({trace['trace_events']} events)")
         print(f"sweep   : {sweep['specs']} specs, serial "
               f"{sweep['serial_seconds']:.2f}s")
         for jobs, level in sweep["jobs"].items():
+            info = level.get("run_info", {})
             print(f"  --jobs {jobs}: {level['seconds']:.2f}s "
-                  f"(speedup {level['speedup']:.2f}x, rows_equal="
-                  f"{level['rows_equal']})")
+                  f"(speedup {level['speedup']:.2f}x, "
+                  f"effective_jobs={info.get('effective_jobs')}, "
+                  f"pool_startup={level['pool_startup_seconds']:.2f}s, "
+                  f"rows_equal={level['rows_equal']})")
         print(f"[bench] {path}")
     if "headline" in targets:
         summary = headline_reductions(runner=runner, seed=args.seed)

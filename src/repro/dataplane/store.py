@@ -12,6 +12,12 @@ starting or finishing changes everyone's rate).
 The simulation kernel has no event cancellation, so stale timers are
 neutralised with a generation counter: every re-arm bumps the
 generation, and a timer firing with an old generation is ignored.
+
+Re-arms are coalesced: when a membership change leaves the next
+completion deadline unchanged (common under the per-client bandwidth
+cap, where a burst of same-timestamp starts doesn't change anyone's
+rate), the already-armed timer is kept instead of being superseded —
+no generation bump, no new kernel timeout.
 """
 
 from __future__ import annotations
@@ -58,6 +64,11 @@ class SharedStore:
         self._active: list[_Transfer] = []
         self._generation = 0
         self._last_settle = env.now
+        #: Absolute deadline of the live armed timer (None when no
+        #: timer is pending) — the re-arm coalescing key.
+        self._armed_deadline: Optional[float] = None
+        self.timers_armed = 0
+        self.timers_coalesced = 0
         #: Count of in-flight *write* transfers per file name — the
         #: manager's readiness check consults this through the drive.
         self._writes_in_flight: dict[str, int] = {}
@@ -121,20 +132,33 @@ class SharedStore:
 
     def _rearm(self) -> None:
         """Schedule the next completion under the current membership."""
-        self._generation += 1
         if not self._active:
+            self._generation += 1
+            self._armed_deadline = None
             self.throughput.set(0.0)
             return
         rate = self._rate()
         self.throughput.set(rate * len(self._active))
         shortest = min(item.remaining for item in self._active)
+        delay = max(0.0, shortest / rate)
+        deadline = self.env.now + delay
+        if self._armed_deadline is not None \
+                and deadline == self._armed_deadline:
+            # The pending timer already fires at exactly this deadline;
+            # keep it (and its generation) instead of superseding it.
+            self.timers_coalesced += 1
+            return
+        self._generation += 1
+        self._armed_deadline = deadline
+        self.timers_armed += 1
         generation = self._generation
-        timer = self.env.timeout(max(0.0, shortest / rate))
+        timer = self.env.timeout(delay)
         timer.callbacks.append(lambda _ev: self._on_timer(generation))
 
     def _on_timer(self, generation: int) -> None:
         if generation != self._generation:
             return  # superseded by a later membership change
+        self._armed_deadline = None  # this timer is spent
         self._settle()
         finished = [t for t in self._active if t.remaining <= _EPS_BYTES]
         if not finished:
@@ -195,4 +219,6 @@ class SharedStore:
             "transfers_completed": self.transfers_completed,
             "peak_active": self.peak_active,
             "throughput_mean": self.throughput.mean(),
+            "timers_armed": self.timers_armed,
+            "timers_coalesced": self.timers_coalesced,
         }

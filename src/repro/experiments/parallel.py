@@ -3,15 +3,29 @@
 The Table-I design is embarrassingly parallel across specs: every
 experiment builds a fresh simulated cluster and derives its RNG stream
 from ``(spec.seed, spec.experiment_id)``, so no state crosses cells.
-:class:`ParallelExperimentRunner` exploits that: picklable
-:class:`~repro.experiments.design.ExperimentSpec` objects go into a
-``ProcessPoolExecutor``; compact payloads (flat records + columnar
-serialised frames) come back; results return in spec order.
+:class:`ParallelExperimentRunner` exploits that with three overhead
+controls learned from the sub-second-per-spec profile:
+
+* **Clamping.**  ``jobs`` is clamped to ``os.cpu_count()`` — more
+  workers than cores just adds context-switch and pickle overhead (the
+  old engine ran at 0.5× serial on one core for exactly this reason).
+  A clamped-to-one (or single-spec) sweep degrades to the serial runner
+  in-process: same pipeline, same artifact cache, same results.
+* **Chunking.**  Specs cross the pool boundary in chunks, not one at a
+  time, so one worker round-trip (pickle, dispatch, result pickle)
+  amortises over many sub-second simulations.  Chunk results travel as
+  one columnar payload (parallel lists per field) instead of per-spec
+  dicts.
+* **Warm persistent workers.**  The pool is created once per runner and
+  reused across ``run_many`` calls.  Each worker's initializer builds
+  its :class:`ExperimentRunner`, pre-imports the recipe registry and
+  translators, and then freezes the warmed heap out of GC scans
+  (:func:`repro.perf.freeze_after_warmup`).
 
 Determinism: per-spec seeding makes the outcome independent of worker
-count and scheduling order, so ``--jobs 1`` and ``--jobs N`` produce
-byte-identical result CSVs (asserted by the perf-sweep benchmark and the
-CI smoke job).
+count, scheduling order and chunk boundaries, so ``--jobs 1`` and
+``--jobs N`` produce byte-identical result CSVs (asserted by the
+perf-sweep benchmark and the CI smoke job).
 
 The generate+translate artifact cache
 (:class:`~repro.experiments.artifacts.ArtifactCache`) is shared through
@@ -23,6 +37,8 @@ on cache hits instead of racing to generate the same workflows.
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -39,12 +55,23 @@ from repro.experiments.runner import (
 from repro.platform.cluster import ClusterSpec
 from repro.wfbench.model import WfBenchModel
 
-__all__ = ["ParallelExperimentRunner", "RunnerConfig", "default_jobs"]
+__all__ = ["ParallelExperimentRunner", "RunnerConfig", "default_jobs",
+           "effective_jobs"]
+
+#: Target number of chunks handed to each worker over a sweep: enough
+#: that a slow chunk can't straggle the whole run, few enough that
+#: round-trip overhead stays amortised.
+_CHUNKS_PER_WORKER = 4
 
 
 def default_jobs() -> int:
     """Worker count when unspecified: one per available core."""
     return max(1, os.cpu_count() or 1)
+
+
+def effective_jobs(requested: int) -> int:
+    """``requested`` clamped to the machine's core count (min 1)."""
+    return max(1, min(int(requested), os.cpu_count() or 1))
 
 
 @dataclass(frozen=True)
@@ -76,13 +103,39 @@ class RunnerConfig:
 
 
 #: Per-worker runner, built once by the pool initializer so the workflow
-#: and translation memos persist across the specs a worker processes.
+#: and translation memos persist across the chunks a worker processes.
 _WORKER_RUNNER: Optional[ExperimentRunner] = None
 
 
 def _init_worker(config: RunnerConfig) -> None:
+    """Build and warm one worker: runner, recipes, translators, GC."""
     global _WORKER_RUNNER
     _WORKER_RUNNER = config.build()
+    # Touch the lazy registries once so no chunk pays first-use costs.
+    from repro.wfcommons import recipe_for
+    from repro.wfcommons.translators import (
+        KnativeTranslator,
+        LocalContainerTranslator,
+    )
+
+    for application in ("blast", "epigenomics"):
+        try:
+            recipe_for(application)
+        except Exception:  # noqa: BLE001 - registry probing is best-effort
+            pass
+    KnativeTranslator()
+    LocalContainerTranslator()
+    from repro import perf
+
+    perf.tune_gc()
+    perf.freeze_after_warmup()
+
+
+def _worker_ready(delay: float = 0.0) -> int:
+    """No-op task used to force worker spawn + initializer execution."""
+    if delay:
+        time.sleep(delay)
+    return os.getpid()
 
 
 def _run_spec_payload(spec: ExperimentSpec) -> dict[str, Any]:
@@ -94,11 +147,55 @@ def _run_spec_payload(spec: ExperimentSpec) -> dict[str, Any]:
         return failed_result(spec, exc).to_payload()
 
 
+def _run_chunk_columns(specs: list[ExperimentSpec]) -> dict[str, list]:
+    """Worker entry point: run a chunk, return one columnar payload.
+
+    Fields travel as parallel lists (one pickle header per column
+    instead of one dict per spec); a failing spec contributes its
+    failed-result columns without poisoning the chunk.
+    """
+    assert _WORKER_RUNNER is not None, "pool initializer did not run"
+    columns: dict[str, list] = {
+        "spec": [], "run": [], "aggregates": [],
+        "platform_stats": [], "frame": [],
+    }
+    for spec in specs:
+        try:
+            result = _WORKER_RUNNER.run_spec(spec)
+        except Exception as exc:  # noqa: BLE001 - sweep isolation
+            result = failed_result(spec, exc)
+        columns["spec"].append(result.spec)
+        columns["run"].append(result.run)
+        columns["aggregates"].append(result.aggregates)
+        columns["platform_stats"].append(result.platform_stats)
+        columns["frame"].append(
+            None if result.frame is None else result.frame.to_payload())
+    return columns
+
+
+def _results_from_columns(columns: dict[str, list]) -> list[ExperimentResult]:
+    from repro.monitoring.metrics import MetricsFrame
+
+    return [
+        ExperimentResult(
+            spec=spec, run=run, aggregates=aggregates,
+            platform_stats=platform_stats,
+            frame=None if frame is None else MetricsFrame.from_payload(frame),
+        )
+        for spec, run, aggregates, platform_stats, frame in zip(
+            columns["spec"], columns["run"], columns["aggregates"],
+            columns["platform_stats"], columns["frame"])
+    ]
+
+
 class ParallelExperimentRunner:
     """Drop-in ``run_many`` replacement that fans specs out to processes.
 
-    With ``jobs=1`` (or a single spec) it degrades to the serial runner
-    in-process — same pipeline, same artifact cache, same results.
+    With an effective ``jobs`` of 1 (after clamping) or a single spec it
+    degrades to the serial runner in-process — same pipeline, same
+    artifact cache, same results.  Pass ``clamp=False`` to keep the
+    requested worker count even beyond the core count (used by tests
+    that must exercise the pool path on small machines).
     """
 
     def __init__(
@@ -111,10 +208,27 @@ class ParallelExperimentRunner:
         keep_frames: bool = False,
         seed: int = 0,
         cache_dir: Optional[str] = None,
+        clamp: bool = True,
+        chunk_size: Optional[int] = None,
     ):
-        self.jobs = int(jobs) if jobs is not None else default_jobs()
-        if self.jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.requested_jobs = int(jobs) if jobs is not None else default_jobs()
+        if self.requested_jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.requested_jobs}")
+        self.jobs = effective_jobs(self.requested_jobs) if clamp \
+            else self.requested_jobs
+        self.clamped = self.jobs != self.requested_jobs
+        if self.clamped:
+            warnings.warn(
+                f"--jobs {self.requested_jobs} exceeds the "
+                f"{os.cpu_count()} available core(s); clamping to "
+                f"{self.jobs} (extra workers only add scheduling and "
+                f"serialisation overhead)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
         # Workers can only share artifacts through the disk layer.
         self.cache_dir = str(cache_dir) if cache_dir is not None else \
             str(default_cache_root())
@@ -128,6 +242,13 @@ class ParallelExperimentRunner:
             cache_dir=self.cache_dir,
         )
         self._serial = self.config.build()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        #: How the last ``run_many`` actually executed (mode, effective
+        #: jobs, chunking) — surfaced in BENCH_sweep.json and the CLI's
+        #: sweep sidecar instead of the results CSV, which must stay
+        #: byte-identical between serial and parallel runs.
+        self.last_run_info: dict[str, Any] = {}
 
     # -- serial-compatible surface ----------------------------------------
     @property
@@ -151,6 +272,47 @@ class ParallelExperimentRunner:
     def run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
         return self._serial.run_spec(spec)
 
+    # -- pool lifecycle -----------------------------------------------------
+    def start_pool(self, workers: Optional[int] = None) -> float:
+        """Spawn and warm the worker pool; returns the startup seconds.
+
+        Called implicitly by ``run_many``; call it explicitly to move
+        worker spawn + warmup out of a timed region (the bench reports
+        it separately as ``pool_startup_seconds``).
+        """
+        workers = workers or self.jobs
+        if self._pool is not None and self._pool_workers >= workers:
+            return 0.0
+        self.close()
+        start = time.perf_counter()
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.config,),
+        )
+        self._pool_workers = workers
+        # Force every worker to spawn and run its initializer now: a
+        # short sleep per probe stops one eager worker from absorbing
+        # all of them.
+        probes = [self._pool.submit(_worker_ready, 0.05)
+                  for _ in range(workers)]
+        for probe in probes:
+            probe.result()
+        return time.perf_counter() - start
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "ParallelExperimentRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
     # -- fan-out -----------------------------------------------------------
     def warm_cache(self, specs: list[ExperimentSpec]) -> int:
         """Materialise every unique generate+translate artifact on disk
@@ -171,16 +333,39 @@ class ParallelExperimentRunner:
                     pass
         return len(unique)
 
+    def _chunk_size_for(self, num_specs: int, workers: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        target_chunks = workers * _CHUNKS_PER_WORKER
+        return max(1, -(-num_specs // target_chunks))
+
     def run_many(self, specs: list[ExperimentSpec]) -> list[ExperimentResult]:
         specs = list(specs)
         if self.jobs == 1 or len(specs) <= 1:
+            self.last_run_info = {
+                "mode": "serial",
+                "requested_jobs": self.requested_jobs,
+                "effective_jobs": 1,
+                "clamped": self.clamped,
+                "cpu_count": os.cpu_count(),
+            }
             return self._serial.run_many(specs)
         self.warm_cache(specs)
         workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(self.config,),
-        ) as pool:
-            payloads = list(pool.map(_run_spec_payload, specs))
-        return [ExperimentResult.from_payload(p) for p in payloads]
+        chunk_size = self._chunk_size_for(len(specs), workers)
+        chunks = [specs[i:i + chunk_size]
+                  for i in range(0, len(specs), chunk_size)]
+        self.start_pool(workers)
+        self.last_run_info = {
+            "mode": "pool",
+            "requested_jobs": self.requested_jobs,
+            "effective_jobs": workers,
+            "clamped": self.clamped,
+            "cpu_count": os.cpu_count(),
+            "chunk_size": chunk_size,
+            "num_chunks": len(chunks),
+        }
+        results: list[ExperimentResult] = []
+        for columns in self._pool.map(_run_chunk_columns, chunks):
+            results.extend(_results_from_columns(columns))
+        return results

@@ -89,9 +89,15 @@ class SimClusterSampler:
         return self
 
     def _loop(self) -> Generator:
+        # Bound methods hoisted: this loop runs once per simulated
+        # second for the whole run, alongside the pooled-timeout fast
+        # path in ``env.timeout`` (see kernel.py).
+        timeout = self.env.timeout
+        interval = self.interval
+        sample = self.sample
         while True:
-            yield self.env.timeout(self.interval)
-            self.sample()
+            yield timeout(interval)
+            sample()
 
     def sample(self) -> None:
         """Record one row of cluster + per-node metrics."""

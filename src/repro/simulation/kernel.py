@@ -1,18 +1,46 @@
 """Event queue, simulation clock and the core :class:`Environment`.
 
-The kernel follows the classic event-driven design: a priority queue of
-``(time, priority, sequence, event)`` entries; :meth:`Environment.step`
-pops the earliest entry and runs the event's callbacks.  Determinism is
-guaranteed by the monotonically increasing ``sequence`` tiebreaker —
-events scheduled at the same instant fire in scheduling order.
+The kernel follows the classic event-driven design — events ordered by
+``(time, priority, sequence)``, :meth:`Environment.step` dispatches the
+earliest — but the two hot paths are rebuilt for throughput:
 
-Only the features the platform models need are implemented; the goal is a
-small, auditable core rather than full SimPy parity.
+* **Timer wheel.**  Pending entries live in a :class:`TimerWheel`, a
+  calendar queue.  Future entries are appended unsorted into a ring of
+  per-tick slots (O(1) per insert); when the dispatcher reaches a slot,
+  the whole bucket is sorted once (Timsort, near-linear on the almost-
+  sorted appends) and consumed with O(1) ``list.pop()`` calls.  Entries
+  scheduled *behind* the current bucket boundary — ``succeed()`` and
+  zero-delay timeouts firing "now" — go to a small ``inc`` heap that is
+  merge-consumed against the bucket, and entries beyond the ring's
+  horizon wait in a ``far`` heap.  Slot membership is decided on integer
+  ticks (``int(t * scale)`` with a power-of-two scale, so the float
+  scaling is exact and strictly monotone in ``t``), which makes the
+  wheel pop in *exactly* the order a flat heap would — it just pays
+  ~O(1) instead of O(log n) per event.
+
+* **Object pools.**  ``Timeout`` dominates the event mix and most
+  timeouts are yielded once and dropped.  The dispatch loop recycles a
+  just-processed ``Timeout``/``Event`` into a per-environment free list
+  when ``sys.getrefcount`` proves nothing else references it (the
+  dispatch local is the only holder), clearing and reusing its
+  callbacks list.  ``env.timeout()`` / ``env.event()`` then hand the
+  reset object back out instead of allocating.  Objects the program
+  still holds (``t = env.timeout(...); ...; t.value``) are never
+  recycled — the refcount guard sees the extra reference.
+
+Determinism is guaranteed by the monotonically increasing ``sequence``
+tiebreaker — events scheduled at the same instant fire in scheduling
+order, and the wheel preserves the exact ``(time, priority, sequence)``
+total order (property-tested against a reference heap, and pinned by
+the golden-trace fixture).
+
+Only the features the platform models need are implemented; the goal is
+a small, auditable core rather than full SimPy parity.
 """
 
 from __future__ import annotations
 
-import heapq
+import sys
 from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
@@ -20,6 +48,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "TimerWheel",
     "SimulationError",
     "StopSimulation",
     "PENDING",
@@ -34,6 +63,26 @@ PENDING = object()
 URGENT = 0
 #: Scheduling priority for ordinary events.
 NORMAL = 1
+
+#: Ticks per simulated time unit.  A power of two keeps ``t * scale``
+#: an exact float operation, so ``int(t * scale)`` is monotone in ``t``
+#: and bucketing can never disagree with the ``(t, prio, seq)`` order.
+_TICK_SCALE = 128.0
+#: Ring size (buckets); must be a power of two for the index mask.
+_NSLOTS = 1024
+_SLOT_MASK = _NSLOTS - 1
+
+#: Refcount of an object whose only references are the dispatch-loop
+#: local and the ``getrefcount`` argument itself — i.e. provably
+#: unreachable from user code, safe to recycle.  On runtimes without
+#: ``sys.getrefcount`` (PyPy) the stand-in never matches, which simply
+#: disables pooling.
+_POOL_REFCOUNT = 2
+_getrefcount = getattr(sys, "getrefcount", lambda _obj: -1)
+
+#: Free lists are capped so a burst of a million timeouts cannot pin
+#: memory forever; past the cap, processed events fall back to the GC.
+_POOL_CAP = 4096
 
 
 class SimulationError(Exception):
@@ -154,11 +203,11 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        # Timeouts dominate the event mix, and a fresh timeout is born
-        # triggered and scheduled; writing the slots directly and pushing
-        # onto the queue here skips the Event.__init__ + schedule() calls
-        # (and schedule's already-scheduled guard, vacuous for a new
-        # object) on the kernel's hottest allocation path.
+        # A fresh timeout is born triggered and scheduled; writing the
+        # slots directly skips Event.__init__ + schedule() (and its
+        # already-scheduled guard, vacuous for a new object).  The truly
+        # hot construction path is Environment.timeout, which inlines
+        # this body and the wheel push.
         self.env = env
         self.callbacks = []
         self._value = value
@@ -167,11 +216,181 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         env._seq += 1
-        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
+        env.timeouts_created += 1
+        env._wheel.push((env._now + delay, NORMAL, env._seq, self))
+
+
+#: One queue entry: ``(time, priority, sequence, event)``.
+Entry = tuple
+
+
+class TimerWheel:
+    """Calendar-queue priority queue over ``(time, priority, seq)`` entries.
+
+    Containers, routed by integer tick (``tick = int(t * scale)`` where
+    ``scale`` is a power of two):
+
+    * ``_near`` — the current bucket, sorted *descending* so the next
+      entry is an O(1) ``pop()`` off the end.  Holds only ticks below
+      ``_near_tick``.
+    * ``_inc`` — a (normally tiny) heap of entries pushed behind
+      ``_near_tick`` after the bucket was sorted: ``succeed()`` calls
+      and zero-delay timeouts landing "now".  Pops merge ``_inc``
+      against ``_near`` by direct comparison.
+    * ``_slots`` — a ring of ``nslots`` unsorted buckets covering ticks
+      ``[_near_tick, _near_tick + nslots)``; inserts are O(1) appends.
+    * ``_far`` — a heap for everything past the ring's horizon.
+
+    When the near bucket and ``_inc`` drain, :meth:`_advance` rotates
+    the ring: the next non-empty slot is sorted into ``_near`` (Timsort
+    — near-linear, since same-tick entries were appended in ascending
+    sequence order), and far entries that fell under the horizon are
+    re-bucketed.  A fully slot-empty wheel jumps its anchor straight to
+    the far heap's minimum, so sparse schedules don't spin over empty
+    buckets.
+
+    The pop order is *exactly* the flat-heap order: tick bucketing is
+    monotone in time, same-tick entries always share a bucket, and the
+    bucket sort restores the total ``(time, priority, seq)`` order.
+    """
+
+    __slots__ = ("_near", "_inc", "_near_tick", "_slots", "_head", "_far",
+                 "_scale", "_nslots", "_mask", "_nslot", "_len", "_ticks")
+
+    def __init__(self, start: float = 0.0, scale: float = _TICK_SCALE,
+                 nslots: int = _NSLOTS):
+        if nslots & (nslots - 1):
+            raise ValueError(f"nslots must be a power of two, got {nslots}")
+        self._scale = float(scale)
+        self._nslots = nslots
+        self._mask = nslots - 1
+        self._near: list[Entry] = []
+        self._inc: list[Entry] = []
+        self._near_tick = int(start * self._scale) + 1
+        self._slots: list[list[Entry]] = [[] for _ in range(nslots)]
+        self._head = 0
+        self._far: list[Entry] = []
+        self._nslot = 0  # entries currently in the ring
+        #: Heap of the absolute ticks of occupied ring slots — lets
+        #: :meth:`_advance` jump straight to the next non-empty bucket
+        #: instead of stepping over empty ones (sparse schedules, e.g.
+        #: a store timer hundreds of ticks out, would otherwise pay an
+        #: O(gap) walk per hop).  Invariant: a tick is in this heap iff
+        #: its slot is non-empty, so there are no stale entries.
+        self._ticks: list[int] = []
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, entry: Entry) -> None:
+        """Insert one ``(time, priority, seq, event)`` entry."""
+        self._len += 1
+        d = int(entry[0] * self._scale) - self._near_tick
+        if d < 0:
+            heappush(self._inc, entry)
+        elif not (self._nslot or self._far or self._near):
+            # Nothing ahead of the anchor (at most same-instant entries
+            # in ``_inc``, which sort strictly earlier): jump the anchor
+            # to the entry, whatever its distance.  A sparse schedule —
+            # one armed store timer hundreds of ticks out, re-armed per
+            # hop — then bypasses the slot ring entirely instead of
+            # paying a bucket rotation per hop.
+            self._near_tick = int(entry[0] * self._scale) + 1
+            self._near.append(entry)
+        elif d < self._nslots:
+            bucket = self._slots[(self._head + d) & self._mask]
+            if not bucket:
+                heappush(self._ticks, self._near_tick + d)
+            bucket.append(entry)
+            self._nslot += 1
+        else:
+            heappush(self._far, entry)
+
+    def pop(self) -> Entry:
+        """Remove and return the earliest entry (caller checks length)."""
+        self._len -= 1
+        near = self._near
+        inc = self._inc
+        if near:
+            if inc and inc[0] < near[-1]:
+                return heappop(inc)
+            return near.pop()
+        if inc:
+            return heappop(inc)
+        self._advance()
+        return self._near.pop()
+
+    def peek(self) -> Optional[Entry]:
+        """The earliest entry without removing it, or ``None`` if empty."""
+        if not self._len:
+            return None
+        near = self._near
+        inc = self._inc
+        if near:
+            if inc and inc[0] < near[-1]:
+                return inc[0]
+            return near[-1]
+        if inc:
+            return inc[0]
+        self._advance()
+        return self._near[-1]
+
+    def _advance(self) -> None:
+        """Refill ``_near`` (precondition: near and inc empty, wheel not).
+
+        Postcondition: ``_near`` is non-empty and sorted descending.
+        """
+        scale = self._scale
+        slots = self._slots
+        mask = self._mask
+        if self._nslot:
+            # Jump to the next occupied bucket (heap min; no stale
+            # entries by the _ticks invariant).
+            tick = heappop(self._ticks)
+            head = (self._head + (tick - self._near_tick)) & mask
+            bucket = slots[head]
+            slots[head] = []
+            self._nslot -= len(bucket)
+            self._head = (head + 1) & mask
+            self._near_tick = tick + 1
+        else:
+            # Ring empty: everything pending is far.  Jump the anchor to
+            # the far minimum instead of stepping over empty buckets.
+            bucket = []
+            self._near_tick = int(self._far[0][0] * scale) + 1
+        # Pull far entries under the (possibly moved) horizon back in.
+        far = self._far
+        if far:
+            near_tick = self._near_tick
+            boundary = near_tick + self._nslots
+            head = self._head
+            nslot = 0
+            while far and int(far[0][0] * scale) < boundary:
+                entry = heappop(far)
+                d = int(entry[0] * scale) - near_tick
+                if d < 0:
+                    bucket.append(entry)
+                else:
+                    slot = slots[(head + d) & mask]
+                    if not slot:
+                        heappush(self._ticks, near_tick + d)
+                    slot.append(entry)
+                    nslot += 1
+            self._nslot += nslot
+        if bucket:
+            # Same-tick entries arrive in ascending (time, prio, seq)
+            # order, which Timsort consumes as a single run — sorting
+            # the bucket is near-linear, and descending order makes
+            # consumption an O(1) pop() off the end.
+            bucket.sort(reverse=True)
+            self._near = bucket
+        else:  # everything drained into the ring; rotate again
+            self._advance()
 
 
 class Environment:
-    """Simulation environment: clock plus event queue.
+    """Simulation environment: clock plus timer-wheel event queue.
 
     Parameters
     ----------
@@ -182,8 +401,16 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._wheel = TimerWheel(start=self._now)
         self._seq = 0
+        # Free lists for recycled objects (see module docstring).
+        self._free_timeouts: list[Timeout] = []
+        self._free_events: list[Event] = []
+        self.timeouts_created = 0
+        self.timeouts_reused = 0
+        self.events_created = 0
+        self.events_reused = 0
+        self.recycled = 0
 
     # -- clock ------------------------------------------------------------
     @property
@@ -193,12 +420,62 @@ class Environment:
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
-        """Create a fresh untriggered :class:`Event`."""
+        """Create (or recycle) a fresh untriggered :class:`Event`."""
+        free = self._free_events
+        if free:
+            event = free.pop()
+            event._value = PENDING
+            event._ok = None
+            event._scheduled = False
+            event._defused = False
+            self.events_reused += 1
+            return event
+        self.events_created += 1
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` firing ``delay`` from now."""
-        return Timeout(self, delay, value)
+        """Create (or recycle) a :class:`Timeout` firing ``delay`` from now.
+
+        This is the kernel's hottest allocation path: the constructor
+        and the wheel's common-case push are inlined here.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        free = self._free_timeouts
+        if free:
+            timeout = free.pop()
+            # callbacks is already an empty list and _ok/_scheduled are
+            # already True — the recycle path left them that way.
+            timeout._value = value
+            timeout._defused = False
+            timeout.delay = delay
+            self.timeouts_reused += 1
+        else:
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._scheduled = True
+            timeout._defused = False
+            timeout.delay = delay
+            self.timeouts_created += 1
+        seq = self._seq = self._seq + 1
+        at = self._now + delay
+        wheel = self._wheel
+        d = int(at * _TICK_SCALE) - wheel._near_tick
+        if 0 <= d < _NSLOTS and wheel._nslot:
+            # Ring already occupied: the common dense-schedule append.
+            # An empty ring falls through to push() for the anchor jump.
+            bucket = wheel._slots[(wheel._head + d) & _SLOT_MASK]
+            if not bucket:
+                heappush(wheel._ticks, wheel._near_tick + d)
+            bucket.append((at, NORMAL, seq, timeout))
+            wheel._nslot += 1
+            wheel._len += 1
+        else:
+            wheel.push((at, NORMAL, seq, timeout))
+        return timeout
 
     def process(self, generator) -> "Process":
         """Start a :class:`~repro.simulation.process.Process` from a generator."""
@@ -216,18 +493,47 @@ class Environment:
 
         return AnyOf(self, list(events))
 
+    # -- pooling ------------------------------------------------------------
+    def pool_stats(self) -> dict[str, int]:
+        """Allocation/reuse counters of the timeout/event free lists."""
+        return {
+            "timeouts_created": self.timeouts_created,
+            "timeouts_reused": self.timeouts_reused,
+            "events_created": self.events_created,
+            "events_reused": self.events_reused,
+            "recycled": self.recycled,
+            "free_timeouts": len(self._free_timeouts),
+            "free_events": len(self._free_events),
+        }
+
     # -- scheduling ---------------------------------------------------------
-    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
         """Queue ``event`` to be processed ``delay`` time units from now."""
         if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
-        self._seq += 1
-        heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        seq = self._seq = self._seq + 1
+        at = self._now + delay
+        wheel = self._wheel
+        if int(at * _TICK_SCALE) < wheel._near_tick:
+            # The common schedule() caller is succeed()/fail() at the
+            # current instant, which always lands behind the bucket
+            # boundary — push straight onto the small merge heap.
+            heappush(wheel._inc, (at, priority, seq, event))
+            wheel._len += 1
+        else:
+            wheel.push((at, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        entry = self._wheel.peek()
+        return entry[0] if entry is not None else float("inf")
+
+    def _peek_event(self) -> Optional[Event]:
+        """The next event to be dispatched (tracer hook), or ``None``."""
+        entry = self._wheel.peek()
+        return entry[3] if entry is not None else None
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -240,16 +546,34 @@ class Environment:
             The failure of an un-defused failed event with no callbacks
             left to handle it.
         """
-        if not self._queue:
+        wheel = self._wheel
+        if not wheel._len:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        entry = wheel.pop()
+        self._now = entry[0]
+        event = entry[3]
+        entry = None  # drop the tuple's reference for the recycle guard
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
         if event._ok is False and not event._defused:
             # Nothing handled the failure: crash the simulation like SimPy.
-            exc = event._value
-            raise exc
+            raise event._value
+        event_type = type(event)
+        if event_type is Timeout:
+            free = self._free_timeouts
+        elif event_type is Event:
+            free = self._free_events
+        else:
+            return
+        if len(free) < _POOL_CAP and _getrefcount(event) == _POOL_REFCOUNT:
+            callbacks.clear()
+            event.callbacks = callbacks
+            event._value = None  # drop any payload reference while pooled
+            free.append(event)
+            self.recycled += 1
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -279,29 +603,81 @@ class Environment:
             if "step" in self.__dict__ or type(self).step is not Environment.step:
                 # step() has been instrumented (Tracer) or overridden:
                 # dispatch through it so the hook sees every event.
-                while self._queue and self.peek() <= horizon:
+                while self._wheel._len and self.peek() <= horizon:
                     self.step()
             else:
-                # Hot loop: pop-and-dispatch inline.  Identical semantics
-                # to repeated step() calls, minus a method call, a peek()
-                # and two attribute loads per event — the bulk of the
-                # kernel's per-event overhead in CPython.
-                queue = self._queue
-                while queue and queue[0][0] <= horizon:
-                    self._now, _, _, event = heappop(queue)
-                    callbacks, event.callbacks = event.callbacks, None
-                    for callback in callbacks:
-                        callback(event)
-                    if event._ok is False and not event._defused:
-                        raise event._value
+                self._dispatch(horizon)
         except StopSimulation as stop:
             return stop.value
         if horizon != float("inf"):
             # Advance the clock to the horizon even if the queue drained.
-            self._now = max(self._now, horizon) if self._queue else horizon
+            self._now = max(self._now, horizon) if self._wheel._len \
+                else horizon
         if stop_event is not None and not stop_event.triggered:
             raise SimulationError("run(until=event) ended before event fired")
         return None
+
+    def _dispatch(self, horizon: float) -> None:
+        """The uninstrumented hot loop: pop-and-dispatch inline.
+
+        Identical semantics to repeated :meth:`step` calls, minus a
+        method call and several attribute loads per event — plus the
+        pool recycle of timeouts/events nothing else references.
+        """
+        wheel = self._wheel
+        inc = wheel._inc          # stable: _inc is never rebound
+        free_timeouts = self._free_timeouts
+        free_events = self._free_events
+        pop_min = heappop
+        getrefcount = _getrefcount
+        timeout_type = Timeout
+        event_type = Event
+        bounded = horizon != float("inf")
+        while wheel._len:
+            near = wheel._near
+            if near:
+                entry = near[-1]
+                if inc and inc[0] < entry:
+                    if bounded and inc[0][0] > horizon:
+                        return
+                    entry = pop_min(inc)
+                else:
+                    if bounded and entry[0] > horizon:
+                        return
+                    near.pop()
+            elif inc:
+                entry = inc[0]
+                if bounded and entry[0] > horizon:
+                    return
+                pop_min(inc)
+            else:
+                wheel._advance()
+                continue
+            wheel._len -= 1
+            self._now = entry[0]
+            event = entry[3]
+            entry = None  # drop the tuple's ref for the recycle guard
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if event._ok is False and not event._defused:
+                raise event._value
+            etype = type(event)
+            if etype is timeout_type:
+                free = free_timeouts
+            elif etype is event_type:
+                free = free_events
+            else:
+                continue
+            if len(free) < _POOL_CAP and \
+                    getrefcount(event) == _POOL_REFCOUNT:
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None
+                free.append(event)
+                self.recycled += 1
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

@@ -59,11 +59,11 @@ class Tracer:
         if self._original_step is not None:
             return
         original = self.env.step
-        queue = self.env._queue
+        peek_event = self.env._peek_event
 
         def traced_step() -> None:
-            if queue:
-                _, _, _, event = queue[0]
+            event = peek_event()
+            if event is not None:
                 kind = "timeout" if isinstance(event, Timeout) else (
                     "process" if type(event).__name__ == "Process" else "event"
                 )

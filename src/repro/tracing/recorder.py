@@ -8,16 +8,28 @@ events with ``env.now``) and on the wall clock (the default,
 ``time.monotonic``); traces from both domains share one schema and one
 checker.
 
-Overhead discipline: every emission site in the manager/invoker/
-scheduler guards with ``if tracer is not None`` — a run without a
-recorder pays one attribute load per would-be event and allocates
-nothing.  ``emit`` itself takes the recorder lock only for the list
-append, so the threaded service's worker managers can trace
-concurrently.
+Overhead discipline, in two layers:
+
+* Every emission site in the manager/invoker/scheduler guards with
+  ``if tracer is not None`` — a run without a recorder pays one
+  attribute load per would-be event and allocates nothing (the
+  module-level :func:`emit_count` counter lets tests assert this).
+* :meth:`TraceRecorder.emit` itself stores a raw ``(ts, kind, trace,
+  name, attrs)`` tuple — no :class:`TraceEvent` dataclass, no dict for
+  attr-less events — with ``trace``/``name`` strings interned in a
+  per-recorder table so repeated subjects share one object.
+  :class:`TraceEvent` objects are materialised lazily (and
+  incrementally) by the :attr:`events` property only when an analysis
+  pass asks for them; :meth:`write_jsonl` serialises straight from the
+  raw buffer through a compile-once encoder with batched flushes.
+
+``emit`` relies on the GIL's atomic ``list.append`` for thread safety;
+the recorder lock only guards trace-id allocation and file writes.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import threading
 import time
@@ -26,11 +38,28 @@ from typing import Any, Callable, Iterable, Optional
 
 from repro.tracing.events import SCHEMA_VERSION, TraceEvent
 
-__all__ = ["TraceRecorder", "write_jsonl", "load_jsonl", "load_meta"]
+__all__ = ["TraceRecorder", "write_jsonl", "load_jsonl", "load_meta",
+           "emit_count"]
+
+#: Compile-once serializer shared by every writer (sorted keys, no
+#: whitespace — the byte-stable golden-trace format).
+_encode = json.JSONEncoder(sort_keys=True, separators=(",", ":")).encode
+
+#: Lines per write when flushing a trace log.
+_FLUSH_BATCH = 8192
+
+#: Global count of events emitted through any recorder since process
+#: start — the tracer-disabled overhead tests assert this stays flat.
+_EMITS = 0
+
+
+def emit_count() -> int:
+    """Events emitted process-wide (all recorders) since start."""
+    return _EMITS
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` records for one or many runs."""
+    """Collects trace events for one or many runs."""
 
     def __init__(
         self,
@@ -38,7 +67,17 @@ class TraceRecorder:
         meta: Optional[dict[str, Any]] = None,
     ):
         self.clock = clock if clock is not None else time.monotonic
-        self.events: list[TraceEvent] = []
+        #: Raw ``(ts, kind, trace, name, attrs|None)`` tuples, in
+        #: emission order.  ``attrs`` is ``None`` rather than an empty
+        #: dict for the (dominant) attr-less case.
+        self._buffer: list[tuple] = []
+        #: Pre-bound ``list.append`` — one attribute load less per emit.
+        self._buffer_append = self._buffer.append
+        #: Lazily materialised :class:`TraceEvent` prefix of ``_buffer``.
+        self._events: list[TraceEvent] = []
+        #: Intern table: repeated trace ids / subject names collapse to
+        #: one string object each.
+        self._strings: dict[str, str] = {}
         self.meta: dict[str, Any] = {"clock": "wall"}
         if meta:
             self.meta.update(meta)
@@ -52,7 +91,11 @@ class TraceRecorder:
         merged = {"clock": "sim"}
         if meta:
             merged.update(meta)
-        return cls(clock=lambda: env.now, meta=merged)
+        # partial(getattr, ...) reads env._now without entering a
+        # Python frame — emit() calls the clock once per event.
+        clock = (functools.partial(getattr, env, "_now")
+                 if hasattr(env, "_now") else (lambda: env.now))
+        return cls(clock=clock, meta=merged)
 
     # -- emission -------------------------------------------------------------
     def new_trace(self, label: str = "wf") -> str:
@@ -66,27 +109,86 @@ class TraceRecorder:
             return f"{label}-{self._seq}"
 
     def emit(self, kind: str, name: str = "", trace: str = "",
-             **attrs: Any) -> TraceEvent:
-        event = TraceEvent(ts=self.clock(), kind=kind, trace=trace,
-                           name=name, attrs=attrs)
-        with self._lock:
-            self.events.append(event)
-        return event
+             **attrs: Any) -> None:
+        """Record one event at the current clock reading.
+
+        The hot path: one interning lookup per string field and one
+        tuple append — no event object, no empty-attrs dict.
+        """
+        global _EMITS
+        _EMITS += 1
+        if name or trace:
+            strings = self._strings
+            if name:
+                name = strings.setdefault(name, name)
+            if trace:
+                trace = strings.setdefault(trace, trace)
+        self._buffer_append(
+            (self.clock(), kind, trace, name, attrs or None))
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._buffer)
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The emitted events as :class:`TraceEvent` objects.
+
+        Materialised lazily and incrementally: the first access after a
+        burst of emissions converts only the new tail of the raw
+        buffer.  The returned list is live — it grows as more events
+        are emitted and materialised.
+        """
+        events = self._events
+        buffer = self._buffer
+        if len(events) < len(buffer):
+            append = events.append
+            for i in range(len(events), len(buffer)):
+                ts, kind, trace, name, attrs = buffer[i]
+                append(TraceEvent(ts=ts, kind=kind, trace=trace, name=name,
+                                  attrs=attrs if attrs is not None else {}))
+        return events
+
+    def stats(self) -> dict[str, int]:
+        """Buffer/materialisation counters (perf-test hook)."""
+        return {
+            "emitted": len(self._buffer),
+            "materialized": len(self._events),
+            "interned_strings": len(self._strings),
+        }
 
     # -- persistence ----------------------------------------------------------
     def write_jsonl(self, path: str | Path) -> Path:
+        """Write the trace log straight from the raw buffer.
+
+        Serialises without materialising :class:`TraceEvent` objects,
+        flushing in batches of ``_FLUSH_BATCH`` lines.
+        """
         with self._lock:
-            events = list(self.events)
-        meta = dict(self.meta)
-        meta["events"] = len(events)
-        return write_jsonl(events, path, meta=meta)
-
-
-def _dumps(payload: dict[str, Any]) -> str:
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            buffer = self._buffer[:]
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"schema": SCHEMA_VERSION}
+        header.update(self.meta)
+        header["events"] = len(buffer)
+        encode = _encode
+        batch = [encode(header)]
+        with path.open("w") as fh:
+            for ts, kind, trace, name, attrs in buffer:
+                payload: dict[str, Any] = {"ts": ts, "kind": kind}
+                if trace:
+                    payload["trace"] = trace
+                if name:
+                    payload["name"] = name
+                if attrs:
+                    payload["attrs"] = attrs
+                batch.append(encode(payload))
+                if len(batch) >= _FLUSH_BATCH:
+                    fh.write("\n".join(batch) + "\n")
+                    batch.clear()
+            if batch:
+                fh.write("\n".join(batch) + "\n")
+        return path
 
 
 def write_jsonl(events: Iterable[TraceEvent], path: str | Path,
@@ -96,9 +198,16 @@ def write_jsonl(events: Iterable[TraceEvent], path: str | Path,
     path.parent.mkdir(parents=True, exist_ok=True)
     header = {"schema": SCHEMA_VERSION}
     header.update(meta or {})
-    lines = [_dumps(header)]
-    lines.extend(_dumps(e.to_json()) for e in events)
-    path.write_text("\n".join(lines) + "\n")
+    encode = _encode
+    batch = [encode(header)]
+    with path.open("w") as fh:
+        for event in events:
+            batch.append(encode(event.to_json()))
+            if len(batch) >= _FLUSH_BATCH:
+                fh.write("\n".join(batch) + "\n")
+                batch.clear()
+        if batch:
+            fh.write("\n".join(batch) + "\n")
     return path
 
 

@@ -171,3 +171,40 @@ class TestTraceEvents:
         assert start.attrs == {"bytes": 100, "op": "write", "node": "w0"}
         assert end.kind == TRANSFER_END
         assert end.ts == pytest.approx(1.0)
+
+
+class TestRearmCoalescing:
+    def test_same_deadline_burst_keeps_one_timer(self):
+        """A same-timestamp burst in the per-client regime arms once."""
+        env = Environment()
+        store = make_store(env, aggregate=10_000.0, per_client=100.0)
+        done = [store.transfer(f"f{i}", 100) for i in range(8)]
+        assert store.timers_armed == 1
+        assert store.timers_coalesced == 7
+        env.run(until=env.all_of(done))
+        assert env.now == pytest.approx(1.0)
+        assert store.transfers_completed == 8
+
+    def test_changed_deadline_is_not_coalesced(self):
+        """Aggregate-limited starts change the deadline — re-arm."""
+        env = Environment()
+        store = make_store(env, aggregate=100.0, per_client=100.0)
+        a = store.transfer("a", 100)
+        b = store.transfer("b", 100)
+        assert store.timers_coalesced == 0
+        assert store.timers_armed == 2
+        env.run(until=env.all_of([a, b]))
+        assert env.now == pytest.approx(2.0)
+
+    def test_spent_timer_is_rearmed_not_coalesced(self):
+        """After a timer fires, the next arm is real even if the new
+        deadline happens to equal the old one."""
+        env = Environment()
+        store = make_store(env, aggregate=10_000.0, per_client=100.0)
+        a = store.transfer("a", 100)
+        env.run(until=a)
+        b = store.transfer("b", 100)
+        env.run(until=b)
+        assert env.now == pytest.approx(2.0)
+        assert store.timers_armed == 2
+        assert store.stats()["timers_coalesced"] == 0

@@ -1,4 +1,9 @@
-"""Parallel sweep engine: determinism, error isolation, cache sharing."""
+"""Parallel sweep engine: determinism, error isolation, cache sharing.
+
+The pool-path tests pass ``clamp=False`` so they exercise the real
+chunked fan-out even on single-core machines (clamping would silently
+degrade them to the serial path — which has its own tests below).
+"""
 
 import pytest
 
@@ -7,7 +12,9 @@ from repro.experiments.parallel import (
     ParallelExperimentRunner,
     RunnerConfig,
     _init_worker,
+    _run_chunk_columns,
     _run_spec_payload,
+    effective_jobs,
 )
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
 
@@ -35,11 +42,26 @@ class TestDeterminism:
         specs = _fig7_specs()
         serial = ParallelExperimentRunner(jobs=1, seed=0,
                                           cache_dir=str(tmp_path))
-        parallel = ParallelExperimentRunner(jobs=4, seed=0,
-                                            cache_dir=str(tmp_path))
-        rows_serial = [r.row() for r in serial.run_many(specs)]
-        rows_parallel = [r.row() for r in parallel.run_many(specs)]
+        with ParallelExperimentRunner(jobs=4, seed=0, clamp=False,
+                                      cache_dir=str(tmp_path)) as parallel:
+            rows_serial = [r.row() for r in serial.run_many(specs)]
+            rows_parallel = [r.row() for r in parallel.run_many(specs)]
+            assert parallel.last_run_info["mode"] == "pool"
         assert rows_parallel == rows_serial
+
+    def test_chunk_size_does_not_change_results(self, tmp_path):
+        """Chunk boundaries are invisible in the output."""
+        specs = _fig7_specs(sizes=(20,))
+        serial = ParallelExperimentRunner(jobs=1, seed=0,
+                                          cache_dir=str(tmp_path))
+        rows_serial = [r.row() for r in serial.run_many(specs)]
+        for chunk_size in (1, 3):
+            with ParallelExperimentRunner(
+                    jobs=2, seed=0, clamp=False, chunk_size=chunk_size,
+                    cache_dir=str(tmp_path)) as runner:
+                rows = [r.row() for r in runner.run_many(specs)]
+                assert runner.last_run_info["chunk_size"] == chunk_size
+            assert rows == rows_serial
 
     def test_cold_cache_matches_warm_cache(self, tmp_path):
         """Cache hits must be observationally identical to misses."""
@@ -56,11 +78,39 @@ class TestDeterminism:
 
     def test_results_in_spec_order(self, tmp_path):
         specs = _fig7_specs()
-        runner = ParallelExperimentRunner(jobs=2, seed=0,
-                                          cache_dir=str(tmp_path))
-        results = runner.run_many(specs)
+        with ParallelExperimentRunner(jobs=2, seed=0, clamp=False,
+                                      cache_dir=str(tmp_path)) as runner:
+            results = runner.run_many(specs)
         assert [r.spec.experiment_id for r in results] == \
             [s.experiment_id for s in specs]
+
+
+class TestClamping:
+    def test_jobs_clamped_to_cpu_count_with_warning(self, tmp_path):
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            runner = ParallelExperimentRunner(jobs=4096, seed=0,
+                                              cache_dir=str(tmp_path))
+        assert runner.requested_jobs == 4096
+        assert runner.jobs == effective_jobs(4096)
+        assert runner.clamped
+
+    def test_clamped_to_one_runs_serially(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count",
+                            lambda: 1)
+        with pytest.warns(RuntimeWarning):
+            runner = ParallelExperimentRunner(jobs=8, seed=0,
+                                              cache_dir=str(tmp_path))
+        assert runner.jobs == 1
+        results = runner.run_many(_fig7_specs(sizes=(20,)))
+        assert all(r.succeeded for r in results)
+        assert runner.last_run_info["mode"] == "serial"
+        assert runner.last_run_info["effective_jobs"] == 1
+        assert runner.last_run_info["clamped"] is True
+
+    def test_within_core_count_not_clamped(self, tmp_path):
+        runner = ParallelExperimentRunner(jobs=1, seed=0,
+                                          cache_dir=str(tmp_path))
+        assert not runner.clamped
 
 
 class TestErrorIsolation:
@@ -79,9 +129,9 @@ class TestErrorIsolation:
     def test_parallel_run_many_collects_failures(self, tmp_path):
         specs = [_spec("Kn10wNoPM", "no-such-app", 20, "par/bad"),
                  _spec("Kn10wNoPM", "blast", 20)]
-        runner = ParallelExperimentRunner(jobs=2, seed=0,
-                                          cache_dir=str(tmp_path))
-        results = runner.run_many(specs)
+        with ParallelExperimentRunner(jobs=2, seed=0, clamp=False,
+                                      cache_dir=str(tmp_path)) as runner:
+            results = runner.run_many(specs)
         assert not results[0].succeeded
         assert "no-such-app" in results[0].run.error
         assert results[1].succeeded
@@ -109,12 +159,31 @@ class TestWorkerPlumbing:
         result = ExperimentResult.from_payload(payload)
         assert result.succeeded
 
+    def test_chunk_columns_in_process(self, tmp_path):
+        """The chunked worker entry point returns columnar payloads and
+        isolates per-spec failures inside the chunk."""
+        _init_worker(RunnerConfig(seed=0, cache_dir=str(tmp_path)))
+        specs = [_spec("Kn10wNoPM", "blast", 20),
+                 _spec("Kn10wNoPM", "no-such-app", 20, "chunk/bad")]
+        columns = _run_chunk_columns(specs)
+        assert sorted(columns) == \
+            ["aggregates", "frame", "platform_stats", "run", "spec"]
+        assert all(len(col) == 2 for col in columns.values())
+        assert columns["run"][0].succeeded
+        assert not columns["run"][1].succeeded
+        assert "no-such-app" in columns["run"][1].error
+
     def test_jobs_must_be_positive(self):
         with pytest.raises(ValueError):
             ParallelExperimentRunner(jobs=0)
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelExperimentRunner(jobs=1, chunk_size=0)
 
     def test_jobs1_needs_no_pool(self, tmp_path):
         runner = ParallelExperimentRunner(jobs=1, seed=0,
                                           cache_dir=str(tmp_path))
         results = runner.run_many([_spec("Kn10wNoPM", "blast", 20)])
         assert results[0].succeeded
+        assert runner.last_run_info["mode"] == "serial"

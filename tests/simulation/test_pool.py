@@ -1,0 +1,140 @@
+"""Free-list pooling: recycled kernel objects must be indistinguishable
+from fresh ones, and objects the user still holds must never be
+recycled out from under them.
+"""
+
+import sys
+
+import pytest
+
+from repro.simulation import Environment
+from repro.simulation.kernel import Event, PENDING, Timeout
+
+needs_refcounts = pytest.mark.skipif(
+    not hasattr(sys, "getrefcount"),
+    reason="pooling is disabled without CPython refcounts")
+
+
+@needs_refcounts
+class TestTimeoutRecycling:
+    def test_unreferenced_timeout_is_recycled_and_reused(self):
+        env = Environment()
+        first_id = id(env.timeout(1.0))
+        env.run()
+        assert env.pool_stats()["recycled"] == 1
+        reused = env.timeout(2.0)
+        assert id(reused) is not None and id(reused) == first_id
+        assert env.timeouts_reused == 1
+
+    def test_held_timeout_is_not_recycled(self):
+        env = Environment()
+        held = env.timeout(1.0)
+        env.run()
+        assert env.pool_stats()["recycled"] == 0
+        assert env.pool_stats()["free_timeouts"] == 0
+        # the held object is still a perfectly valid fired timeout
+        assert held.processed
+        fresh = env.timeout(1.0)
+        assert fresh is not held
+
+    def test_reused_timeout_is_reset(self):
+        env = Environment()
+        env.timeout(1.0, value="a")
+        env.run()
+        reused = env.timeout(3.0, value="b")
+        assert reused.delay == 3.0
+        assert reused._value == "b"
+        assert reused.callbacks == []
+        assert not reused._defused
+        fired = []
+        reused.callbacks.append(lambda ev: fired.append(ev.value))
+        env.run()
+        assert fired == ["b"]
+        assert env.now == 4.0
+
+    def test_callback_holding_its_event_blocks_recycling(self):
+        """A callback that captures the event keeps it alive through the
+        refcount guard only while the reference survives dispatch."""
+        env = Environment()
+        kept = []
+        t = env.timeout(1.0)
+        t.callbacks.append(lambda ev: kept.append(ev))
+        del t
+        env.run()
+        assert env.pool_stats()["recycled"] == 0
+        assert kept[0].processed
+
+    def test_pool_capacity_is_bounded(self):
+        from repro.simulation import kernel
+
+        env = Environment()
+        for _ in range(kernel._POOL_CAP + 100):
+            env.timeout(0.0)
+        env.run()
+        assert env.pool_stats()["free_timeouts"] <= kernel._POOL_CAP
+
+
+@needs_refcounts
+class TestEventRecycling:
+    def test_succeeded_event_is_recycled_once_dispatched(self):
+        env = Environment()
+        env.event().succeed("x")
+        env.run()
+        assert env.pool_stats()["recycled"] == 1
+        reused = env.event()
+        assert env.events_reused == 1
+        # reset to a pristine untriggered state
+        assert reused._value is PENDING
+        assert reused._ok is None
+        assert not reused.triggered
+        assert not reused.processed
+
+    def test_subclassed_events_are_never_pooled(self):
+        """Only exact Event/Timeout instances recycle — subclasses
+        (AllOf, Process, user events) carry extra state."""
+
+        class MyEvent(Event):
+            pass
+
+        env = Environment()
+        MyEvent(env).succeed()
+        env.run()
+        assert env.pool_stats()["recycled"] == 0
+
+    def test_reuse_does_not_confuse_counters(self):
+        env = Environment()
+        for _ in range(5):
+            env.timeout(0.1)
+            env.run()
+        stats = env.pool_stats()
+        assert stats["timeouts_created"] == 1
+        assert stats["timeouts_reused"] == 4
+        assert stats["recycled"] == 5
+
+
+class TestPoolStatsShape:
+    def test_fresh_env_counters_start_at_zero(self):
+        stats = Environment().pool_stats()
+        assert set(stats) == {
+            "timeouts_created", "timeouts_reused", "events_created",
+            "events_reused", "recycled", "free_timeouts", "free_events",
+        }
+        assert all(v == 0 for v in stats.values())
+
+    def test_simulation_results_identical_with_pooling(self):
+        """The golden contract: pooling must be invisible. Two identical
+        sims — one whose objects recycle, one holding every timeout
+        alive (defeating the pool) — end at the same time."""
+
+        def run(hold):
+            env = Environment()
+            keep = []
+            for i in range(200):
+                t = env.timeout((i % 13) * 0.5)
+                if hold:
+                    keep.append(t)
+            env.run()
+            assert (env.pool_stats()["recycled"] == 0) == hold
+            return env.now
+
+        assert run(hold=True) == run(hold=False)

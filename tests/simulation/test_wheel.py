@@ -1,0 +1,114 @@
+"""Property tests: the timer wheel pops in exact flat-heap order.
+
+The wheel is a drop-in replacement for the kernel's old single heapq —
+any sequence of pushes (interleaved with pops, including far-future,
+zero-delay and negative-time entries) must come back in exactly the
+``(time, priority, seq)`` total order a reference heap produces.
+"""
+
+import heapq
+import random
+
+from repro.simulation.kernel import NORMAL, URGENT, TimerWheel
+
+
+def drain(wheel):
+    out = []
+    while len(wheel):
+        out.append(wheel.pop())
+    return out
+
+
+def reference_order(entries):
+    heap = list(entries)
+    heapq.heapify(heap)
+    return [heapq.heappop(heap) for _ in range(len(heap))]
+
+
+def make_entries(rng, n, time_fn):
+    return [(time_fn(rng), rng.choice((URGENT, NORMAL)), seq, None)
+            for seq in range(n)]
+
+
+class TestPopOrder:
+    def test_random_times_match_reference_heap(self):
+        rng = random.Random(1)
+        entries = make_entries(rng, 2_000, lambda r: r.uniform(0.0, 50.0))
+        wheel = TimerWheel()
+        for e in entries:
+            wheel.push(e)
+        assert drain(wheel) == reference_order(entries)
+
+    def test_far_future_entries_beyond_slot_horizon(self):
+        """Entries past the slot ring spill to the far heap and still
+        come back in global order."""
+        rng = random.Random(2)
+        entries = make_entries(rng, 1_000, lambda r: r.uniform(0.0, 1e6))
+        wheel = TimerWheel()
+        for e in entries:
+            wheel.push(e)
+        assert drain(wheel) == reference_order(entries)
+
+    def test_same_tick_entries_order_by_priority_then_seq(self):
+        entries = [(1.0, NORMAL, 2, None), (1.0, URGENT, 3, None),
+                   (1.0, NORMAL, 1, None), (1.0, URGENT, 0, None)]
+        wheel = TimerWheel()
+        for e in entries:
+            wheel.push(e)
+        assert drain(wheel) == reference_order(entries)
+
+    def test_negative_and_zero_times(self):
+        """Truncation to integer ticks must stay monotone below zero."""
+        rng = random.Random(3)
+        entries = make_entries(rng, 500, lambda r: r.uniform(-10.0, 10.0))
+        wheel = TimerWheel()
+        for e in entries:
+            wheel.push(e)
+        assert drain(wheel) == reference_order(entries)
+
+    def test_interleaved_push_pop(self):
+        """Pops interleaved with pushes at/after the current time — the
+        simulation's actual access pattern."""
+        rng = random.Random(4)
+        wheel = TimerWheel()
+        heap = []
+        seq = 0
+        now = 0.0
+        popped_wheel = []
+        popped_heap = []
+        for _ in range(5_000):
+            if heap and rng.random() < 0.5:
+                entry = heapq.heappop(heap)
+                popped_heap.append(entry)
+                popped_wheel.append(wheel.pop())
+                now = entry[0]
+            else:
+                delay = rng.choice((0.0, 0.01, 0.5, 3.0, 97.0))
+                entry = (now + delay, rng.choice((URGENT, NORMAL)), seq, None)
+                seq += 1
+                heapq.heappush(heap, entry)
+                wheel.push(entry)
+        while heap:
+            popped_heap.append(heapq.heappop(heap))
+            popped_wheel.append(wheel.pop())
+        assert popped_wheel == popped_heap
+        assert len(wheel) == 0
+
+    def test_peek_matches_pop(self):
+        rng = random.Random(5)
+        entries = make_entries(rng, 300, lambda r: r.uniform(0.0, 2000.0))
+        wheel = TimerWheel()
+        for e in entries:
+            wheel.push(e)
+        while len(wheel):
+            head = wheel.peek()
+            assert wheel.pop() is head
+
+    def test_empty_wheel_jump_anchor(self):
+        """A push onto an emptied wheel re-anchors the near tick: no
+        O(gap) slot rotation for sparse far-apart events."""
+        wheel = TimerWheel()
+        for t in (0.0, 1e5, 2e5, 3e5):
+            wheel.push((t, NORMAL, int(t), None))
+            assert wheel.pop()[0] == t
+        assert len(wheel) == 0

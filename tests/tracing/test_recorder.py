@@ -11,6 +11,7 @@ from repro.tracing import (
     load_meta,
 )
 from repro.tracing.events import TASK_END, TASK_SUBMIT, WORKFLOW_START
+from repro.tracing.recorder import emit_count
 
 
 class TestRecorder:
@@ -25,15 +26,16 @@ class TestRecorder:
         env = Environment()
         recorder = TraceRecorder.for_env(env)
         env.run(until=env.timeout(3.0))
-        event = recorder.emit(WORKFLOW_START, name="wf")
-        assert event.ts == 3.0
+        recorder.emit(WORKFLOW_START, name="wf")
+        assert recorder.events[-1].ts == 3.0
         assert recorder.meta["clock"] == "sim"
 
     def test_default_clock_is_wall(self):
         recorder = TraceRecorder()
         assert recorder.meta["clock"] == "wall"
-        first = recorder.emit(TASK_SUBMIT, name="a")
-        second = recorder.emit(TASK_END, name="a")
+        recorder.emit(TASK_SUBMIT, name="a")
+        recorder.emit(TASK_END, name="a")
+        first, second = recorder.events
         assert second.ts >= first.ts
 
     def test_new_trace_ids_are_sequential(self):
@@ -44,10 +46,56 @@ class TestRecorder:
 
     def test_emit_collects_attrs(self):
         recorder = TraceRecorder(clock=lambda: 0.0)
-        event = recorder.emit(TASK_SUBMIT, name="t", trace="wf-1",
-                              url="http://x", inputs=["a", "b"])
+        recorder.emit(TASK_SUBMIT, name="t", trace="wf-1",
+                      url="http://x", inputs=["a", "b"])
+        event = recorder.events[0]
         assert event.attrs == {"url": "http://x", "inputs": ["a", "b"]}
         assert len(recorder) == 1
+
+    def test_repeated_strings_are_interned(self):
+        recorder = TraceRecorder(clock=lambda: 0.0)
+        for _ in range(3):
+            recorder.emit(TASK_SUBMIT, name="task-" + "x", trace="wf" + "-1")
+        events = recorder.events
+        assert events[0].name is events[2].name
+        assert events[0].trace is events[2].trace
+        assert recorder.stats()["interned_strings"] == 2
+
+    def test_events_materialize_incrementally(self):
+        recorder = TraceRecorder(clock=lambda: 0.0)
+        recorder.emit(TASK_SUBMIT, name="a")
+        assert recorder.stats()["materialized"] == 0
+        first = recorder.events
+        assert recorder.stats()["materialized"] == 1
+        recorder.emit(TASK_END, name="a")
+        assert recorder.events is first  # the view list is live
+        assert [e.kind for e in first] == [TASK_SUBMIT, TASK_END]
+
+
+class TestUntracedRuns:
+    def test_untraced_experiment_emits_nothing(self):
+        """tracer=None pays one attribute load per would-be event and
+        allocates zero trace objects — the process-wide emit counter
+        must stay flat across a whole untraced experiment run."""
+        from repro.experiments.design import ExperimentSpec
+        from repro.experiments.runner import ExperimentRunner
+
+        spec = ExperimentSpec(
+            experiment_id="zero-alloc/Kn10wNoPM/blast/20",
+            paradigm_name="Kn10wNoPM", application="blast",
+            num_tasks=20, granularity="fine",
+        )
+        before = emit_count()
+        result = ExperimentRunner(seed=0).run_spec(spec)
+        assert result.succeeded
+        assert emit_count() == before
+
+    def test_emit_counter_hook_counts(self):
+        before = emit_count()
+        recorder = TraceRecorder(clock=lambda: 0.0)
+        recorder.emit(TASK_SUBMIT, name="a")
+        recorder.emit(TASK_END, name="a")
+        assert emit_count() == before + 2
 
 
 class TestEventJson:
