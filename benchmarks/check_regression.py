@@ -8,6 +8,11 @@ Exits 1 (and prints one line per metric) when any throughput component
 dropped by more than ``--threshold``, or trace overhead grew by more
 than the absolute slack — the CI perf-smoke job's regression gate.
 Version-1 baselines compare on the components they have.
+
+Exits 2 on operator error — missing or unreadable record files,
+malformed JSON, a record whose top level is not an object, or a
+negative threshold — with a one-line diagnosis instead of a traceback,
+so CI logs show *what* to fix rather than *where* it blew up.
 """
 
 from __future__ import annotations
@@ -32,9 +37,29 @@ def main(argv: list[str] | None = None) -> int:
                         "(default 0.25)")
     args = parser.parse_args(argv)
 
-    old = json.loads(args.baseline.read_text())
-    new = json.loads(args.fresh.read_text())
-    regressions = compare_bench(old, new, threshold=args.threshold)
+    if args.threshold < 0:
+        print(f"[perf] error: --threshold must be >= 0, "
+              f"got {args.threshold}", file=sys.stderr)
+        return 2
+    records = {}
+    for role, path in (("baseline", args.baseline), ("fresh", args.fresh)):
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            print(f"[perf] error: cannot read {role} record {path}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"[perf] error: {role} record {path} is not valid JSON "
+                  f"(line {exc.lineno}: {exc.msg})", file=sys.stderr)
+            return 2
+        if not isinstance(payload, dict):
+            print(f"[perf] error: {role} record {path} must be a JSON "
+                  f"object, got {type(payload).__name__}", file=sys.stderr)
+            return 2
+        records[role] = payload
+    regressions = compare_bench(records["baseline"], records["fresh"],
+                                threshold=args.threshold)
     if not regressions:
         print(f"[perf] no regression beyond {args.threshold:.0%} "
               f"vs {args.baseline}")

@@ -1,0 +1,114 @@
+"""``repro-fuzz``: the property-based workflow fuzzer.
+
+::
+
+    repro-fuzz --seed 0 --budget 50              # one campaign
+    repro-fuzz --seed 0 --budget 50 --out fails/ # persist failure repros
+    repro-fuzz --replay fails/case-0003.shrunk.json
+    REPRO_FUZZ_MUTATION=seed-drift repro-fuzz --seed 0 --budget 50
+
+The report is deterministic for a given ``(seed, budget)``: no
+wall-clock timestamps, simulation-derived numbers only, one SHA-256
+digest over every baseline trace.  CI runs the same campaign twice and
+diffs the bytes.  Exit status is 0 iff no property was violated.
+
+``--replay`` re-checks a single saved case JSON (the shrinker's repro
+artifact) against every property, which is how a shrunk failure is
+investigated after the campaign that found it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.validation import (
+    FuzzCase,
+    MUTATIONS,
+    check_case,
+    install_from_env,
+    property_names,
+    run_fuzz,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Fuzz the simulated stack with metamorphic properties "
+                    f"({', '.join(property_names())}).",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    parser.add_argument("--budget", type=int, default=50,
+                        help="number of fuzz cases to draw (default: 50)")
+    shrinking = parser.add_mutually_exclusive_group()
+    shrinking.add_argument("--shrink", dest="shrink", action="store_true",
+                           default=True,
+                           help="shrink failures to a minimal case (default)")
+    shrinking.add_argument("--no-shrink", dest="shrink", action="store_false",
+                           help="report failures without shrinking")
+    parser.add_argument("--out", type=Path, default=None, metavar="DIR",
+                        help="write failure repros (case JSON + shrunk JSON "
+                             "+ trace JSONL for repro-trace) into DIR")
+    parser.add_argument("--differential-every", type=int, default=None,
+                        metavar="N",
+                        help="run the real-backend differential check every "
+                             "N-th case (0 disables it; default: the "
+                             "property's own cadence)")
+    parser.add_argument("--max-failures", type=int, default=None, metavar="N",
+                        help="stop after N failing cases (default: scan the "
+                             "whole budget)")
+    parser.add_argument("--replay", type=Path, default=None, metavar="CASE",
+                        help="re-check one saved case JSON against every "
+                             "property instead of running a campaign")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-case progress to stderr")
+    return parser
+
+
+def _replay(path: Path) -> int:
+    case = FuzzCase.load(path)
+    print(f"replaying {case.label} from {path}")
+    report = check_case(case, only=property_names())
+    print(f"checked: {','.join(report.checked)}")
+    for violation in report.violations:
+        print(f"  {violation}")
+    if report.ok:
+        print("ok: every property holds")
+        return 0
+    print(f"{len(report.violations)} violation(s)", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    mutated = install_from_env()
+    if mutated is not None:
+        print(f"# sentinel mutation active: {mutated} "
+              f"(of {', '.join(MUTATIONS)})", file=sys.stderr)
+    if args.replay is not None:
+        return _replay(args.replay)
+    if args.budget < 1:
+        print("--budget must be at least 1", file=sys.stderr)
+        return 2
+    log = (lambda line: print(line, file=sys.stderr, flush=True)) \
+        if args.progress else None
+    result = run_fuzz(
+        args.seed,
+        args.budget,
+        shrink_failures=args.shrink,
+        out_dir=args.out,
+        differential_every=args.differential_every,
+        max_failures=args.max_failures,
+        log=log,
+    )
+    print("\n".join(result.summary_lines()))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

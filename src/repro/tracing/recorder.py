@@ -158,6 +158,31 @@ class TraceRecorder:
         }
 
     # -- persistence ----------------------------------------------------------
+    def _render_lines(self, buffer: list[tuple]):
+        """Yield the byte-stable JSONL lines for ``buffer`` (header first)."""
+        encode = _encode
+        header = {"schema": SCHEMA_VERSION}
+        header.update(self.meta)
+        header["events"] = len(buffer)
+        yield encode(header)
+        for ts, kind, trace, name, attrs in buffer:
+            payload: dict[str, Any] = {"ts": ts, "kind": kind}
+            if trace:
+                payload["trace"] = trace
+            if name:
+                payload["name"] = name
+            if attrs:
+                payload["attrs"] = attrs
+            yield encode(payload)
+
+    def dumps(self) -> str:
+        """The trace log as one string — byte-identical to the file
+        :meth:`write_jsonl` would produce (the fuzzer's determinism
+        property compares two runs on exactly this)."""
+        with self._lock:
+            buffer = self._buffer[:]
+        return "\n".join(self._render_lines(buffer)) + "\n"
+
     def write_jsonl(self, path: str | Path) -> Path:
         """Write the trace log straight from the raw buffer.
 
@@ -168,21 +193,10 @@ class TraceRecorder:
             buffer = self._buffer[:]
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        header = {"schema": SCHEMA_VERSION}
-        header.update(self.meta)
-        header["events"] = len(buffer)
-        encode = _encode
-        batch = [encode(header)]
+        batch: list[str] = []
         with path.open("w") as fh:
-            for ts, kind, trace, name, attrs in buffer:
-                payload: dict[str, Any] = {"ts": ts, "kind": kind}
-                if trace:
-                    payload["trace"] = trace
-                if name:
-                    payload["name"] = name
-                if attrs:
-                    payload["attrs"] = attrs
-                batch.append(encode(payload))
+            for line in self._render_lines(buffer):
+                batch.append(line)
                 if len(batch) >= _FLUSH_BATCH:
                     fh.write("\n".join(batch) + "\n")
                     batch.clear()

@@ -1,0 +1,70 @@
+"""Property-based workflow fuzzing and differential validation.
+
+The subsystem behind ``repro-fuzz`` (see ``docs/validation.md``):
+
+* :mod:`repro.validation.space` — the seeded case parameterisation;
+* :mod:`repro.validation.fuzzgen` — random DAG generation on the
+  WfCommons recipe machinery;
+* :mod:`repro.validation.runner` — one fuzz case through the full
+  simulated stack, traced;
+* :mod:`repro.validation.properties` — the metamorphic property
+  engine (determinism, invariants, conservation, monotonicity,
+  durability, sweep equality);
+* :mod:`repro.validation.differential` — modeled vs real WfBench
+  backend structure comparison;
+* :mod:`repro.validation.shrink` — failure reduction to a minimal
+  case + seed;
+* :mod:`repro.validation.mutations` — the three sentinel bugs CI
+  requires the fuzzer to catch;
+* :mod:`repro.validation.engine` — the deterministic campaign driver.
+"""
+
+from repro.validation.engine import CaseOutcome, FuzzRunResult, run_fuzz
+from repro.validation.fuzzgen import FuzzRecipe, build_case_workflow
+from repro.validation.mutations import (
+    MUTATIONS,
+    active_mutation,
+    apply_mutation,
+    clear_mutation,
+    install_from_env,
+    mutation,
+)
+from repro.validation.properties import (
+    PROPERTIES,
+    CaseReport,
+    FuzzProperty,
+    PropertyViolation,
+    check_case,
+    property_names,
+)
+from repro.validation.runner import CaseRun, run_case
+from repro.validation.shrink import ShrinkResult, shrink
+from repro.validation.space import DEFAULT_SPACE, FuzzCase, FuzzSpace, case_for
+
+__all__ = [
+    "CaseOutcome",
+    "CaseReport",
+    "CaseRun",
+    "DEFAULT_SPACE",
+    "FuzzCase",
+    "FuzzProperty",
+    "FuzzRecipe",
+    "FuzzRunResult",
+    "FuzzSpace",
+    "MUTATIONS",
+    "PROPERTIES",
+    "PropertyViolation",
+    "ShrinkResult",
+    "active_mutation",
+    "apply_mutation",
+    "build_case_workflow",
+    "case_for",
+    "check_case",
+    "clear_mutation",
+    "install_from_env",
+    "mutation",
+    "property_names",
+    "run_case",
+    "run_fuzz",
+    "shrink",
+]

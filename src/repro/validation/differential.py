@@ -1,0 +1,181 @@
+"""Differential validation: modeled backend vs the real WfBench engine.
+
+Takes a fuzz case, scales it down to something a laptop executes in
+about a second (tiny files, tiny cpu-work, at most
+:data:`MAX_DIFFERENTIAL_TASKS` tasks), then runs the *same workflow*
+twice:
+
+* for real — :class:`~repro.wfbench.service.WfBenchService` over HTTP
+  with a calibrated :class:`~repro.wfbench.workload.WorkloadEngine`
+  actually burning cycles and writing files to a
+  :class:`~repro.core.shared_drive.LocalSharedDrive`;
+* modeled — the :class:`~repro.platform.localcontainer.
+  LocalContainerPlatform` on the simulation kernel with a
+  :class:`~repro.core.shared_drive.SimulatedSharedDrive`.
+
+and compares what must agree regardless of timing:
+
+* both runs succeed;
+* the phase structure is identical — same task → phase assignment;
+* the I/O sets line up — every workflow file (inputs and every task's
+  outputs) exists on the respective drive after the run, and the
+  simulated drive holds *exactly* the workflow's file set.
+
+Wall-clock quantities are deliberately *not* compared (that is
+``tests/integration/test_model_vs_real.py``'s statistical job); the
+differential checker is about structure, so it stays deterministic.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.validation.fuzzgen import build_case_workflow
+from repro.validation.properties import PropertyViolation
+from repro.validation.space import FuzzCase
+
+__all__ = ["MAX_DIFFERENTIAL_TASKS", "differential_case", "differential_check"]
+
+#: Cap on the real-execution workflow size (8 HTTP workers serve it).
+MAX_DIFFERENTIAL_TASKS = 8
+
+#: One calibration per process — it measures the host, which is slow
+#: and (deliberately) not deterministic, so it must stay out of the
+#: per-case path.
+_CALIBRATION = None
+
+
+def _calibration():
+    global _CALIBRATION
+    if _CALIBRATION is None:
+        from repro.wfbench.workload import CpuCalibration
+
+        _CALIBRATION = CpuCalibration.measure(target_unit_seconds=0.001)
+    return _CALIBRATION
+
+
+def differential_case(case: FuzzCase) -> FuzzCase:
+    """The scaled-down twin of ``case`` the real backend executes."""
+    return case.with_(
+        num_tasks=min(case.num_tasks, MAX_DIFFERENTIAL_TASKS),
+        data_scale=0.002,
+        base_cpu_work=3.0,
+        use_dataplane=False,
+        # The real backend is a local container; compare like with like.
+        paradigm_name="LC10wNoPM",
+    )
+
+
+def _phase_map(result) -> dict[str, int]:
+    return {t.name: t.phase for t in result.tasks}
+
+
+def differential_check(
+    case: FuzzCase,
+    workdir: Optional[str] = None,
+) -> list[PropertyViolation]:
+    """Run the scaled case on both backends and compare structure."""
+    from repro.core import (
+        HttpInvoker,
+        LocalSharedDrive,
+        ManagerConfig,
+        ServerlessWorkflowManager,
+        SimulatedInvoker,
+        SimulatedSharedDrive,
+    )
+    from repro.platform.cluster import Cluster
+    from repro.platform.localcontainer import (
+        LocalContainerPlatform,
+        LocalContainerRuntimeConfig,
+    )
+    from repro.simulation import Environment
+    from repro.wfbench import AppConfig, WfBenchService
+    from repro.wfbench.data import stage_workflow_inputs, workflow_input_files
+    from repro.wfbench.model import WfBenchModel
+    from repro.wfbench.workload import WorkloadEngine
+
+    tiny = differential_case(case)
+    workflow = build_case_workflow(tiny)
+    expected_files = {
+        f.name for task in workflow.tasks.values() for f in task.files
+    }
+
+    base = Path(workdir) if workdir is not None else None
+    with tempfile.TemporaryDirectory(dir=base, prefix="fuzz-diff-") as tmp:
+        tmp_path = Path(tmp)
+
+        # -- real backend -------------------------------------------------
+        drive = LocalSharedDrive(tmp_path)
+        stage_workflow_inputs(workflow, tmp_path, max_file_bytes=256)
+        engine = WorkloadEngine(base_dir=tmp_path,
+                                calibration=_calibration(),
+                                max_stress_bytes=1 << 14)
+        with WfBenchService(base_dir=tmp_path, config=AppConfig(workers=8),
+                            engine=engine) as service:
+            invoker = HttpInvoker(max_parallel=8)
+            manager = ServerlessWorkflowManager(
+                invoker, drive,
+                ManagerConfig(phase_delay_seconds=0.02, workdir=".",
+                              default_api_url=service.url))
+            real = manager.execute(workflow)
+            invoker.close()
+        real_files = set(drive.list_files())
+
+    # -- modeled backend --------------------------------------------------
+    env = Environment()
+    sim_drive = SimulatedSharedDrive()
+    for f in workflow_input_files(workflow):
+        sim_drive.put(f.name, f.size_in_bytes)
+    platform = LocalContainerPlatform(
+        env, Cluster(env), sim_drive,
+        config=LocalContainerRuntimeConfig(),
+        model=WfBenchModel(noise_sigma=0.0))
+    sim_manager = ServerlessWorkflowManager(
+        SimulatedInvoker(platform), sim_drive, ManagerConfig())
+    sim = sim_manager.execute(workflow)
+    platform.shutdown()
+    sim_files = set(sim_drive.list_files())
+
+    violations: list[PropertyViolation] = []
+    if not real.succeeded:
+        violations.append(PropertyViolation(
+            "differential", f"real backend run failed: {real.error!r}"))
+    if not sim.succeeded:
+        violations.append(PropertyViolation(
+            "differential", f"modeled backend run failed: {sim.error!r}"))
+    if violations:
+        return violations
+
+    real_phases = _phase_map(real)
+    sim_phases = _phase_map(sim)
+    if real_phases != sim_phases:
+        differing = sorted(
+            name for name in set(real_phases) | set(sim_phases)
+            if real_phases.get(name) != sim_phases.get(name)
+        )
+        violations.append(PropertyViolation(
+            "differential",
+            f"phase structure diverged for {len(differing)} task(s): "
+            f"{differing[:3]}",
+            {"tasks": differing},
+        ))
+
+    real_missing = expected_files - real_files
+    if real_missing:
+        violations.append(PropertyViolation(
+            "differential",
+            f"real drive is missing {len(real_missing)} workflow file(s): "
+            f"{sorted(real_missing)[:3]}",
+            {"files": sorted(real_missing)},
+        ))
+    if sim_files != expected_files:
+        delta = sorted(sim_files ^ expected_files)
+        violations.append(PropertyViolation(
+            "differential",
+            f"simulated drive file set diverges from the workflow's "
+            f"({len(delta)} file(s)): {delta[:3]}",
+            {"files": delta},
+        ))
+    return violations

@@ -1,0 +1,151 @@
+"""The fuzz campaign driver.
+
+:func:`run_fuzz` turns a ``(seed, budget)`` pair into a deterministic
+campaign: draw case ``i`` from the seeded space, run the applicable
+metamorphic properties against it, shrink any failure to a minimal
+case, and fold every baseline trace into one SHA-256 digest.  The
+digest is the campaign's identity — two invocations with the same seed
+and budget must print the same digest, and the CI smoke job literally
+diffs the output of two runs to enforce that.
+
+Nothing here reads the wall clock or emits timestamps: every line of
+the report is derived from simulation state, so the report itself is
+byte-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.validation.properties import CaseReport, check_case
+from repro.validation.runner import run_case
+from repro.validation.shrink import ShrinkResult, shrink
+from repro.validation.space import DEFAULT_SPACE, FuzzSpace, case_for
+
+__all__ = ["CaseOutcome", "FuzzRunResult", "run_fuzz"]
+
+
+@dataclass
+class CaseOutcome:
+    """One case's report plus (for failures) its shrink result."""
+
+    report: CaseReport
+    shrunk: Optional[ShrinkResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+@dataclass
+class FuzzRunResult:
+    """Everything one campaign produced."""
+
+    seed: int
+    budget: int
+    outcomes: list[CaseOutcome] = field(default_factory=list)
+    #: SHA-256 over the concatenated baseline traces, in case order.
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def violations(self) -> int:
+        return sum(len(o.report.violations) for o in self.outcomes)
+
+    def failures(self) -> list[CaseOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary_lines(self) -> list[str]:
+        """The deterministic human-readable campaign report."""
+        lines = [f"repro-fuzz seed={self.seed} budget={self.budget}"]
+        for outcome in self.outcomes:
+            report = outcome.report
+            case = report.case
+            if report.ok:
+                lines.append(
+                    f"ok   {case.label} [{','.join(report.checked)}]")
+                continue
+            lines.append(f"FAIL {case.label}")
+            for violation in report.violations:
+                lines.append(f"     {violation}")
+            if outcome.shrunk is not None:
+                shrunk = outcome.shrunk.shrunk
+                lines.append(
+                    f"     shrunk to {shrunk.label} "
+                    f"({outcome.shrunk.probes} probes, "
+                    f"{outcome.shrunk.accepted} accepted)")
+        lines.append(
+            f"checked {len(self.outcomes)}/{self.budget} cases, "
+            f"{self.violations} violation(s)")
+        lines.append(f"trace-digest sha256={self.digest}")
+        return lines
+
+
+def _write_repro(outcome: CaseOutcome, out_dir: Path) -> None:
+    """Persist the failure: original + shrunk case JSON, shrunk trace."""
+    index = outcome.report.case.index
+    stem = out_dir / f"case-{index:04d}"
+    outcome.report.case.save(stem.with_suffix(".json"))
+    target = outcome.report.case
+    if outcome.shrunk is not None:
+        target = outcome.shrunk.shrunk
+        target.save(stem.with_suffix(".shrunk.json"))
+    try:
+        run = run_case(target)
+        # ``repro-trace summarize/check`` consume this file directly.
+        run.recorder.write_jsonl(stem.with_suffix(".trace.jsonl"))
+    except Exception:
+        pass  # a repro whose run crashes still has its case JSON
+
+
+def run_fuzz(
+    seed: int,
+    budget: int,
+    *,
+    space: FuzzSpace = DEFAULT_SPACE,
+    shrink_failures: bool = True,
+    out_dir: Optional[str | Path] = None,
+    workdir: Optional[str] = None,
+    differential_every: Optional[int] = None,
+    max_failures: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzRunResult:
+    """Run one deterministic fuzz campaign.
+
+    ``max_failures`` stops the campaign early once that many failing
+    cases have been seen (each already shrunk and persisted) — the
+    mutation-sentinel jobs use 1.  ``differential_every`` overrides the
+    differential property's cadence (0 disables the real backend).
+    """
+    result = FuzzRunResult(seed=seed, budget=budget)
+    hasher = hashlib.sha256()
+    out_path = Path(out_dir) if out_dir is not None else None
+    failures = 0
+    for index in range(budget):
+        case = case_for(seed, index, space)
+        report = check_case(case, position=index, workdir=workdir,
+                            differential_every=differential_every)
+        if report.trace_text is not None:
+            hasher.update(report.trace_text.encode())
+        outcome = CaseOutcome(report=report)
+        if not report.ok:
+            failures += 1
+            if shrink_failures:
+                props = sorted({v.prop for v in report.violations})
+                outcome.shrunk = shrink(case, props, workdir=workdir)
+            if out_path is not None:
+                _write_repro(outcome, out_path)
+        result.outcomes.append(outcome)
+        if log is not None:
+            tail = "ok" if report.ok else "FAIL"
+            log(f"[{index + 1}/{budget}] {case.label}: {tail}")
+        if max_failures is not None and failures >= max_failures:
+            break
+    result.digest = hasher.hexdigest()
+    return result

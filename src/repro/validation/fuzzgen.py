@@ -1,0 +1,156 @@
+"""Random workflow generation for the fuzzer.
+
+:class:`FuzzRecipe` is a regular :class:`~repro.wfcommons.recipes.base.
+WorkflowRecipe` — it goes through the same :class:`RecipeBuilder` file
+wiring, the same :class:`~repro.wfcommons.generator.WorkflowGenerator`
+seed streams and the same :func:`~repro.wfcommons.validation.
+validate_workflow` gate as the seven paper recipes.  The difference is
+that its *shape* is a parameter: chains, fan-out/fan-in stars, repeated
+diamonds, random layered DAGs and unconstrained random DAGs, each
+instantiated at exactly ``num_tasks`` tasks from the seeded stream.
+
+Category statistics come from the synthetic ``fuzz`` application profile
+in :mod:`repro.wfcommons.instances` (roots, single-parent middles,
+multi-parent joins and an occasional double-weight heavy task).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.validation.space import FuzzCase
+from repro.wfcommons.generator import WorkflowGenerator
+from repro.wfcommons.recipes.base import RecipeBuilder, WorkflowRecipe
+from repro.wfcommons.schema import Workflow
+
+__all__ = ["FuzzRecipe", "build_case_workflow"]
+
+
+class FuzzRecipe(WorkflowRecipe):
+    """A recipe whose DAG shape is drawn from the seeded stream."""
+
+    application = "fuzz"
+    min_tasks = 1
+
+    def __init__(
+        self,
+        shape: str = "layered",
+        max_width: int = 4,
+        fan_in: int = 2,
+        base_cpu_work: float = 100.0,
+        data_scale: float = 1.0,
+    ):
+        super().__init__(base_cpu_work=base_cpu_work, data_scale=data_scale)
+        if shape not in ("chain", "fanout", "diamond", "layered", "random"):
+            raise ValueError(f"unknown fuzz shape {shape!r}")
+        self.shape = shape
+        self.max_width = max(1, int(max_width))
+        self.fan_in = max(1, int(fan_in))
+
+    def workflow_name(self, num_tasks: int) -> str:
+        return (f"FuzzRecipe-{self.shape}-{int(self.base_cpu_work)}"
+                f"-{num_tasks}")
+
+    # -- shape emitters ---------------------------------------------------
+    def _category(self, rng: np.random.Generator, parents: list[str]) -> str:
+        if not parents:
+            return "fz_root"
+        if rng.random() < 0.1:
+            return "fz_heavy"
+        return "fz_join" if len(parents) >= 2 else "fz_mid"
+
+    def _add(self, builder: RecipeBuilder, parents: list[str]) -> str:
+        rng = builder.rng
+        outputs = 1 + int(rng.random() < 0.25)
+        return builder.add(self._category(rng, parents), parents or None,
+                           outputs=outputs)
+
+    def _chain(self, builder: RecipeBuilder, n: int) -> None:
+        prev: list[str] = []
+        for _ in range(n):
+            prev = [self._add(builder, prev)]
+
+    def _fanout(self, builder: RecipeBuilder, n: int) -> None:
+        if n < 3:
+            self._chain(builder, n)
+            return
+        root = self._add(builder, [])
+        mids = [self._add(builder, [root]) for _ in range(n - 2)]
+        self._add(builder, mids)
+
+    def _diamond(self, builder: RecipeBuilder, n: int) -> None:
+        rng = builder.rng
+        current = self._add(builder, [])
+        remaining = n - 1
+        while remaining > 0:
+            if remaining >= 3:
+                width = int(rng.integers(2, self.max_width + 1))
+                width = min(width, remaining - 1)
+                mids = [self._add(builder, [current]) for _ in range(width)]
+                current = self._add(builder, mids)
+                remaining -= width + 1
+            else:
+                current = self._add(builder, [current])
+                remaining -= 1
+
+    def _layered(self, builder: RecipeBuilder, n: int) -> None:
+        rng = builder.rng
+        previous: list[str] = []
+        built = 0
+        while built < n:
+            width = min(n - built, int(rng.integers(1, self.max_width + 1)))
+            layer = []
+            for _ in range(width):
+                if previous:
+                    k = int(rng.integers(1, min(self.fan_in,
+                                                len(previous)) + 1))
+                    idx = rng.choice(len(previous), size=k, replace=False)
+                    parents = [previous[i] for i in sorted(idx)]
+                else:
+                    parents = []
+                layer.append(self._add(builder, parents))
+            previous = layer
+            built += width
+
+    def _random(self, builder: RecipeBuilder, n: int) -> None:
+        rng = builder.rng
+        tasks: list[str] = []
+        for _ in range(n):
+            if not tasks or rng.random() < 0.15:
+                parents: list[str] = []
+            else:
+                k = int(rng.integers(1, min(self.fan_in, len(tasks)) + 1))
+                # Recency-biased parent picks keep the DAG's depth
+                # growing instead of collapsing into one wide layer.
+                offsets = rng.geometric(0.5, size=k)
+                idx = sorted({max(0, len(tasks) - int(o)) for o in offsets})
+                parents = [tasks[i] for i in idx]
+            tasks.append(self._add(builder, parents))
+
+    def structure(self, builder: RecipeBuilder, num_tasks: int) -> None:
+        emit = {
+            "chain": self._chain,
+            "fanout": self._fanout,
+            "diamond": self._diamond,
+            "layered": self._layered,
+            "random": self._random,
+        }[self.shape]
+        emit(builder, num_tasks)
+
+
+def build_case_workflow(case: FuzzCase) -> Workflow:
+    """Generate (and validate) the workflow a :class:`FuzzCase` names.
+
+    Generation is a fresh :class:`WorkflowGenerator` per call seeded
+    from the case, so two calls with the same case must produce
+    identical workflows — the determinism property leans on that.
+    """
+    recipe = FuzzRecipe(
+        shape=case.shape,
+        max_width=case.max_width,
+        fan_in=case.fan_in,
+        base_cpu_work=case.base_cpu_work,
+        data_scale=case.data_scale,
+    )
+    generator = WorkflowGenerator(recipe, seed=case.stream_seed("workflow"))
+    return generator.build_workflow(case.num_tasks)

@@ -1,0 +1,145 @@
+"""Sentinel mutations: three known bugs the fuzzer must catch.
+
+Each mutation is a runtime monkeypatch of one product function —
+nothing in the product tree carries mutation hooks, so the zero-cost
+guarantee of a normal run is structural, not conditional.  The CI
+``fuzz-smoke`` job runs ``repro-fuzz`` once per mutation (via the
+``REPRO_FUZZ_MUTATION`` environment flag) and requires a violation plus
+a shrunk repro each time; a fuzzer that stops catching these has
+regressed, whatever its pass rate says.
+
+``seed-drift``
+    :func:`derive_seed` as the workflow generator sees it gains a
+    per-call drift component, so the "same" seed generates a different
+    workflow on every call.  Caught by the **determinism** property.
+``lost-completion``
+    The manager's trace emission drops the first gathered record of
+    every phase — a ``task.submit`` with no ``task.end``.  Caught by
+    **conservation** (and the submit-completion trace invariant).
+``bandwidth-inversion``
+    The uniform I/O model multiplies by bandwidth instead of dividing,
+    so faster storage *slows the model down*.  Caught by
+    **monotone-bandwidth**.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+__all__ = [
+    "ENV_FLAG",
+    "MUTATIONS",
+    "active_mutation",
+    "apply_mutation",
+    "clear_mutation",
+    "mutation",
+    "install_from_env",
+]
+
+#: Environment variable the CLI/engine honours at startup.
+ENV_FLAG = "REPRO_FUZZ_MUTATION"
+
+#: name -> installer; an installer applies the patch and returns the
+#: undo closure.
+_INSTALLERS: dict[str, Callable[[], Callable[[], None]]] = {}
+_ACTIVE: Optional[tuple[str, Callable[[], None]]] = None
+
+
+def _installer(name: str):
+    def register(fn):
+        _INSTALLERS[name] = fn
+        return fn
+    return register
+
+
+@_installer("seed-drift")
+def _install_seed_drift() -> Callable[[], None]:
+    import repro.wfcommons.generator as generator
+
+    original = generator.derive_seed
+    drift = itertools.count(1)
+
+    def drifted(root_seed: int, name: str) -> int:
+        return original(root_seed, f"{name}#drift{next(drift)}")
+
+    generator.derive_seed = drifted
+    return lambda: setattr(generator, "derive_seed", original)
+
+
+@_installer("lost-completion")
+def _install_lost_completion() -> Callable[[], None]:
+    from repro.core.manager import ServerlessWorkflowManager
+
+    original = ServerlessWorkflowManager._trace_records
+
+    def lossy(self, records):
+        return original(self, records[1:])
+
+    ServerlessWorkflowManager._trace_records = lossy
+    return lambda: setattr(ServerlessWorkflowManager, "_trace_records",
+                           original)
+
+
+@_installer("bandwidth-inversion")
+def _install_bandwidth_inversion() -> Callable[[], None]:
+    from repro.wfbench.model import WfBenchModel
+
+    original = WfBenchModel.io_seconds_for_bytes
+    # Normalised so makespans stay finite around the fuzz space's
+    # ~200 MB/s midpoint — the *sign* of d(io)/d(bandwidth) is the bug.
+    pivot_sq = 200e6 ** 2
+
+    def inverted(self, total_bytes: float) -> float:
+        return total_bytes * self.shared_drive_bandwidth / pivot_sq
+
+    WfBenchModel.io_seconds_for_bytes = inverted
+    return lambda: setattr(WfBenchModel, "io_seconds_for_bytes", original)
+
+
+MUTATIONS: tuple[str, ...] = tuple(sorted(_INSTALLERS))
+
+
+def active_mutation() -> Optional[str]:
+    """The currently installed mutation's name, or ``None``."""
+    return _ACTIVE[0] if _ACTIVE is not None else None
+
+
+def apply_mutation(name: str) -> None:
+    """Install one sentinel bug (at most one at a time)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError(f"mutation {_ACTIVE[0]!r} is already active")
+    if name not in _INSTALLERS:
+        raise ValueError(
+            f"unknown mutation {name!r} (choose from {', '.join(MUTATIONS)})")
+    _ACTIVE = (name, _INSTALLERS[name]())
+
+
+def clear_mutation() -> None:
+    """Undo the active mutation (no-op when none is installed)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE[1]()
+        _ACTIVE = None
+
+
+@contextmanager
+def mutation(name: str):
+    """``with mutation("seed-drift"): ...`` — scoped install/undo."""
+    apply_mutation(name)
+    try:
+        yield
+    finally:
+        clear_mutation()
+
+
+def install_from_env() -> Optional[str]:
+    """Apply the mutation named by ``$REPRO_FUZZ_MUTATION``, if any."""
+    name = os.environ.get(ENV_FLAG, "").strip()
+    if not name:
+        return None
+    apply_mutation(name)
+    return name

@@ -1,0 +1,402 @@
+"""The metamorphic property engine.
+
+Every property is a relation that must hold for *any* fuzz case —
+violations are simulator bugs (or trace bugs), never workload quirks:
+
+``determinism``
+    Same case ⇒ byte-identical trace and identical makespan across two
+    completely fresh runs (including workflow generation).
+``invariants``
+    :func:`repro.tracing.check_trace` holds on the run's trace — the
+    full PR-4/PR-6 invariant set (phase order, submit/completion,
+    replication honoured, no corrupt reads, …).
+``conservation``
+    Every submitted task completes or is accounted for: a successful
+    run executed the whole DAG and left no ``task.submit`` without a
+    ``task.end`` (or an explicit breaker shed); a failed run carries an
+    error.
+``monotone-bandwidth``
+    4× the shared-drive bandwidth never increases the modeled makespan
+    (uniform I/O model; the data plane's cache-fragmentation trade-offs
+    are deliberately out of scope here).
+``monotone-workers``
+    More capacity — twice the worker nodes (Knative) or twice the
+    container workers (local) — never increases the modeled makespan.
+``durability``
+    With replication ``k``, fewer than ``k`` corruptions per object
+    never lose acked data; exactly ``k`` is detected as loss; a
+    re-write resets the object to healthy.
+
+Monotonicity runs disable the data plane (``use_dataplane=False``) so
+the comparison is against the uniform bandwidth model, and allow a
+small relative slack for float noise in barrier arithmetic.
+
+The per-case run budget is kept low by :class:`CaseContext`, which
+caches the two runs several properties share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import DataLossError
+from repro.failures import DurabilityPolicy, DurableCatalog
+from repro.tracing import check_trace
+from repro.tracing.events import (
+    BREAKER_SHORT_CIRCUIT,
+    TASK_END,
+    TASK_REPLAY,
+    TASK_SUBMIT,
+)
+from repro.validation.runner import CaseRun, run_case
+from repro.validation.space import FuzzCase
+
+__all__ = [
+    "PropertyViolation",
+    "FuzzProperty",
+    "CaseContext",
+    "CaseReport",
+    "PROPERTIES",
+    "property_names",
+    "check_case",
+]
+
+#: Relative slack for the monotonicity comparisons: float barrier
+#: arithmetic reorders under different event interleavings, so "never
+#: increases" is asserted up to this fraction (plus an absolute epsilon).
+MONO_REL_TOL = 0.01
+MONO_ABS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One broken metamorphic relation for one case."""
+
+    prop: str
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.prop}] {self.message}"
+
+
+class CaseContext:
+    """Shared run cache for one case's property checks."""
+
+    def __init__(self, case: FuzzCase, workdir: Optional[str] = None):
+        self.case = case
+        self.workdir = workdir
+        self._baseline: Optional[CaseRun] = None
+        self._mono_base: Optional[CaseRun] = None
+
+    def baseline(self) -> CaseRun:
+        """First full-stack run of the case (as configured)."""
+        if self._baseline is None:
+            self._baseline = run_case(self.case)
+        return self._baseline
+
+    def mono_base(self) -> CaseRun:
+        """The uniform-I/O run the monotonicity pairs compare against."""
+        if self._mono_base is None:
+            mono = self.case.with_(use_dataplane=False)
+            if not self.case.use_dataplane:
+                # The baseline already is the uniform run; reuse it.
+                self._mono_base = self.baseline()
+            else:
+                self._mono_base = run_case(mono)
+        return self._mono_base
+
+
+# -- individual properties --------------------------------------------------
+
+def _check_determinism(ctx: CaseContext) -> list[PropertyViolation]:
+    first = ctx.baseline()
+    second = run_case(ctx.case)
+    violations = []
+    if first.trace_text != second.trace_text:
+        lines_a = first.trace_text.splitlines()
+        lines_b = second.trace_text.splitlines()
+        diverged = next(
+            (i for i, (a, b) in enumerate(zip(lines_a, lines_b)) if a != b),
+            min(len(lines_a), len(lines_b)),
+        )
+        violations.append(PropertyViolation(
+            "determinism",
+            "same seed produced different traces "
+            f"({len(lines_a)} vs {len(lines_b)} lines, "
+            f"first divergence at line {diverged})",
+            {"line": diverged},
+        ))
+    if first.makespan != second.makespan:
+        violations.append(PropertyViolation(
+            "determinism",
+            f"same seed produced different makespans "
+            f"({first.makespan!r} vs {second.makespan!r})",
+        ))
+    return violations
+
+
+def _check_invariants(ctx: CaseContext) -> list[PropertyViolation]:
+    run = ctx.baseline()
+    return [
+        PropertyViolation("invariants",
+                          f"{v.invariant}: {v.message}",
+                          {"trace": v.trace, "ts": v.ts})
+        for v in check_trace(run.recorder.events)
+    ]
+
+
+def _check_conservation(ctx: CaseContext) -> list[PropertyViolation]:
+    run = ctx.baseline()
+    result = run.result
+    events = run.recorder.events
+    submitted = {e.name for e in events if e.kind == TASK_SUBMIT}
+    ended = {e.name for e in events if e.kind == TASK_END}
+    shed = {e.name for e in events if e.kind == BREAKER_SHORT_CIRCUIT}
+    replayed = {e.name for e in events if e.kind == TASK_REPLAY}
+    violations = []
+    if result.succeeded:
+        unaccounted = submitted - ended - shed
+        if unaccounted:
+            violations.append(PropertyViolation(
+                "conservation",
+                f"{len(unaccounted)} submitted task(s) neither completed "
+                f"nor accounted for: {sorted(unaccounted)[:3]}",
+                {"tasks": sorted(unaccounted)},
+            ))
+        executed = {t.name for t in result.tasks} | replayed
+        missing = set(run.workflow.tasks) - executed
+        if missing:
+            violations.append(PropertyViolation(
+                "conservation",
+                f"successful run never executed {len(missing)} task(s): "
+                f"{sorted(missing)[:3]}",
+                {"tasks": sorted(missing)},
+            ))
+    elif not result.error:
+        violations.append(PropertyViolation(
+            "conservation",
+            "failed run carries no error (loss not accounted for)",
+        ))
+    return violations
+
+
+def _mono_violation(prop: str, knob: str, slow: CaseRun,
+                    fast: CaseRun) -> list[PropertyViolation]:
+    if not (slow.result.succeeded and fast.result.succeeded):
+        return []  # failure paths are conservation's concern
+    bound = slow.makespan * (1.0 + MONO_REL_TOL) + MONO_ABS_TOL
+    if fast.makespan > bound:
+        return [PropertyViolation(
+            prop,
+            f"{knob} increased modeled makespan "
+            f"{slow.makespan:.6f}s -> {fast.makespan:.6f}s",
+            {"slow": slow.makespan, "fast": fast.makespan},
+        )]
+    return []
+
+
+def _check_monotone_bandwidth(ctx: CaseContext) -> list[PropertyViolation]:
+    base = ctx.mono_base()
+    mono = ctx.case.with_(use_dataplane=False)
+    fast = run_case(mono, bandwidth=4.0 * ctx.case.bandwidth)
+    return _mono_violation("monotone-bandwidth", "4x shared-drive bandwidth",
+                           base, fast)
+
+
+def _check_monotone_workers(ctx: CaseContext) -> list[PropertyViolation]:
+    base = ctx.mono_base()
+    mono = ctx.case.with_(use_dataplane=False)
+    from repro.experiments.paradigms import paradigm
+    if paradigm(ctx.case.paradigm_name).is_serverless:
+        more = run_case(mono, workers=2 * ctx.case.workers)
+        knob = "2x worker nodes"
+    else:
+        more = run_case(mono, workers_scale=2)
+        knob = "2x container workers"
+    return _mono_violation("monotone-workers", knob, base, more)
+
+
+def _check_durability(ctx: CaseContext) -> list[PropertyViolation]:
+    case = ctx.case
+    k = case.replication_k
+    rng = np.random.default_rng(case.stream_seed("durability"))
+    catalog = DurableCatalog(DurabilityPolicy(replication_k=k))
+    names = [f"fuzz-obj-{i:02d}" for i in range(16)]
+    for name in names:
+        catalog.record_write(name, int(rng.integers(1, 1 << 20)))
+    for name in names:
+        for _ in range(int(rng.integers(0, k))):  # strictly fewer than k
+            catalog.corrupt_one(name)
+
+    violations = []
+    lost = catalog.unrecoverable(names)
+    if lost:
+        violations.append(PropertyViolation(
+            "durability",
+            f"acked objects lost with < k={k} corruptions: {lost[:3]}",
+            {"lost": lost},
+        ))
+    try:
+        catalog.check_readable(names)
+    except DataLossError as exc:
+        violations.append(PropertyViolation(
+            "durability", f"read of acked data failed: {exc}"))
+    for name in names:
+        while catalog.needs_repair(name):
+            catalog.mark_repaired(name)
+        if catalog.healthy(name) != k and name not in lost:
+            violations.append(PropertyViolation(
+                "durability",
+                f"repair did not restore {name} to k={k} replicas "
+                f"(healthy={catalog.healthy(name)})",
+            ))
+    # The negative direction: k corruptions of one object must be
+    # *detected* as loss, and a lineage re-write must reset it.
+    victim = names[0]
+    for _ in range(k):
+        catalog.corrupt_one(victim)
+    if not catalog.is_lost(victim):
+        violations.append(PropertyViolation(
+            "durability", f"catalog failed to detect total loss of {victim}"))
+    catalog.record_write(victim, 1)
+    if catalog.is_lost(victim):
+        violations.append(PropertyViolation(
+            "durability", f"re-write did not resurrect {victim}"))
+    return violations
+
+
+def _check_sweep_equality(ctx: CaseContext) -> list[PropertyViolation]:
+    """Serial vs pooled-transport equality on a fuzz-drawn spec.
+
+    Runs one fuzz-chosen Table-I spec through the serial runner and
+    through the process pool's columnar chunk transport (in-process),
+    asserting identical result rows — the identity ``--jobs N`` relies
+    on, fuzzed over (application, paradigm, size) instead of pinned.
+    """
+    import repro.experiments.parallel as parallel
+    from repro.experiments.design import ExperimentSpec
+    from repro.experiments.paradigms import FINE_PARADIGMS
+    from repro.wfcommons.recipes import RECIPES, recipe_for
+
+    case = ctx.case
+    rng = np.random.default_rng(case.stream_seed("sweep"))
+    apps = sorted(RECIPES)
+    app = apps[int(rng.integers(len(apps)))]
+    par_name = FINE_PARADIGMS[int(rng.integers(len(FINE_PARADIGMS)))]
+    num_tasks = max(recipe_for(app).min_tasks, int(rng.integers(8, 21)))
+    spec = ExperimentSpec(
+        experiment_id=f"fuzz-sweep/{case.index}",
+        paradigm_name=par_name,
+        application=app,
+        num_tasks=num_tasks,
+        granularity="fine",
+        seed=int(rng.integers(1 << 31)),
+    )
+    config = parallel.RunnerConfig(cache_dir=ctx.workdir)
+    serial_row = config.build().run_spec(spec).row()
+    saved = parallel._WORKER_RUNNER
+    parallel._WORKER_RUNNER = config.build()
+    try:
+        columns = parallel._run_chunk_columns([spec])
+    finally:
+        parallel._WORKER_RUNNER = saved
+    pooled_row = parallel._results_from_columns(columns)[0].row()
+    if serial_row != pooled_row:
+        diff = sorted(k for k in serial_row
+                      if serial_row[k] != pooled_row.get(k))
+        return [PropertyViolation(
+            "sweep-equality",
+            f"serial and pooled-transport rows differ for "
+            f"{spec.experiment_id} on fields {diff[:5]}",
+            {"fields": diff},
+        )]
+    return []
+
+
+def _check_differential(ctx: CaseContext) -> list[PropertyViolation]:
+    from repro.validation.differential import differential_check
+
+    return differential_check(ctx.case, workdir=ctx.workdir)
+
+
+@dataclass(frozen=True)
+class FuzzProperty:
+    """One registered metamorphic relation."""
+
+    name: str
+    check: Callable[[CaseContext], list[PropertyViolation]]
+    #: Run on every ``every``-th case (expensive checks amortise).
+    every: int = 1
+
+
+PROPERTIES: tuple[FuzzProperty, ...] = (
+    FuzzProperty("determinism", _check_determinism),
+    FuzzProperty("invariants", _check_invariants),
+    FuzzProperty("conservation", _check_conservation),
+    FuzzProperty("monotone-bandwidth", _check_monotone_bandwidth),
+    FuzzProperty("monotone-workers", _check_monotone_workers),
+    FuzzProperty("durability", _check_durability),
+    FuzzProperty("sweep-equality", _check_sweep_equality, every=17),
+    FuzzProperty("differential", _check_differential, every=25),
+)
+
+
+def property_names() -> list[str]:
+    return [p.name for p in PROPERTIES]
+
+
+@dataclass
+class CaseReport:
+    """What checking one case produced."""
+
+    case: FuzzCase
+    checked: list[str]
+    violations: list[PropertyViolation]
+    #: Byte-stable trace of the case's baseline run (None when no
+    #: property needed a full-stack run — e.g. a shrink probe scoped to
+    #: the durability property alone).
+    trace_text: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_case(
+    case: FuzzCase,
+    *,
+    position: int = 0,
+    workdir: Optional[str] = None,
+    only: Optional[list[str]] = None,
+    differential_every: Optional[int] = None,
+) -> CaseReport:
+    """Run the applicable properties against one case.
+
+    ``position`` drives the ``every``-gating of expensive properties
+    (pass the case's position in the run); ``only`` restricts to named
+    properties regardless of gating (the shrinker re-checks just the
+    violated ones).  ``differential_every`` overrides the differential
+    property's cadence (0 disables it).
+    """
+    ctx = CaseContext(case, workdir=workdir)
+    checked: list[str] = []
+    violations: list[PropertyViolation] = []
+    for prop in PROPERTIES:
+        if only is not None:
+            if prop.name not in only:
+                continue
+        else:
+            every = prop.every
+            if prop.name == "differential" and differential_every is not None:
+                every = differential_every
+            if every == 0 or position % every:
+                continue
+        checked.append(prop.name)
+        violations.extend(prop.check(ctx))
+    trace = ctx._baseline.trace_text if ctx._baseline is not None else None
+    return CaseReport(case=case, checked=checked, violations=violations,
+                      trace_text=trace)

@@ -1,0 +1,163 @@
+"""Execute one fuzz case through the full simulated stack.
+
+One :func:`run_case` call is one completely fresh world: environment,
+cluster, drive, (optionally) data plane + durability catalog, platform,
+manager — assembled exactly like the faults sweep builds its cells, with
+every seed derived from the case.  The returned :class:`CaseRun` carries
+the run result *and* the trace recorder, because the metamorphic
+properties compare traces, not just makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.dataplane import DataPlane, DataPlaneConfig
+from repro.experiments.dataplane import _cluster_spec
+from repro.experiments.paradigms import paradigm
+from repro.failures import DurabilityPolicy, DurableCatalog
+from repro.platform.cluster import Cluster
+from repro.platform.knative import KnativePlatform
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.simulation import Environment
+from repro.tracing import TraceRecorder
+from repro.validation.fuzzgen import build_case_workflow
+from repro.validation.space import FuzzCase
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons.schema import Workflow
+
+__all__ = ["CaseRun", "run_case"]
+
+GB = 1 << 30
+
+
+@dataclass
+class CaseRun:
+    """Everything one execution of a fuzz case produced."""
+
+    case: FuzzCase
+    workflow: Workflow
+    result: object  # WorkflowRunResult
+    recorder: TraceRecorder
+    drive: SimulatedSharedDrive
+    catalog: Optional[DurableCatalog] = None
+    pool_stats: dict = field(default_factory=dict)
+
+    @property
+    def trace_text(self) -> str:
+        """The byte-stable JSONL serialisation of the run's trace."""
+        return self.recorder.dumps()
+
+    @property
+    def makespan(self) -> float:
+        return self.result.makespan_seconds
+
+
+def _lc_config(par, worker_spec,
+               workers_scale: int = 1) -> LocalContainerRuntimeConfig:
+    config = par.local_config(node_cores=worker_spec.cores)
+    config.node_name = worker_spec.name
+    if workers_scale != 1:
+        config = replace(config, workers=config.workers * workers_scale)
+    return config
+
+
+def run_case(
+    case: FuzzCase,
+    workflow: Optional[Workflow] = None,
+    *,
+    bandwidth: Optional[float] = None,
+    workers: Optional[int] = None,
+    workers_scale: int = 1,
+) -> CaseRun:
+    """One fresh, fully traced simulated run of ``case``.
+
+    ``workflow`` is regenerated from the case when not supplied (the
+    determinism property relies on that to cover generation itself).
+    ``bandwidth``/``workers``/``workers_scale`` override single knobs
+    for the monotonicity properties without changing the case identity
+    (and therefore without changing any derived seed).
+    """
+    par = paradigm(case.paradigm_name)
+    if workflow is None:
+        workflow = build_case_workflow(case)
+
+    env = Environment()
+    recorder = TraceRecorder.for_env(env)
+    drive = SimulatedSharedDrive()
+    drive.tracer = recorder
+    bw = float(bandwidth if bandwidth is not None else case.bandwidth)
+
+    plane = None
+    catalog = None
+    if case.use_dataplane:
+        plane = DataPlane(env, DataPlaneConfig(
+            mode="locality",
+            aggregate_bandwidth=4.0 * bw,
+            per_client_bandwidth=bw,
+            cache_bytes=8 * GB,
+            cache_bandwidth=2e9,
+        ), tracer=recorder)
+        catalog = DurableCatalog(
+            DurabilityPolicy(replication_k=case.replication_k),
+            tracer=recorder)
+        plane.attach_durability(catalog)
+
+    model = WfBenchModel(noise_sigma=0.0, shared_drive_bandwidth=bw)
+    rng = np.random.default_rng(case.stream_seed("platform"))
+    node_count = int(workers if workers is not None else case.workers)
+    cluster = Cluster(env, _cluster_spec(node_count), placement="spread")
+    worker_spec = cluster.workers[0].spec
+    if par.is_serverless:
+        platform = KnativePlatform(
+            env, cluster, drive,
+            config=par.knative_config(
+                node_cores=worker_spec.cores,
+                node_memory_bytes=worker_spec.memory_bytes,
+            ),
+            model=model, rng=rng, dataplane=plane,
+        )
+    else:
+        platform = LocalContainerPlatform(
+            env, cluster, drive,
+            config=_lc_config(par, worker_spec, workers_scale),
+            model=model, rng=rng, dataplane=plane,
+        )
+
+    for f in workflow_input_files(workflow):
+        drive.put(f.name, f.size_in_bytes)
+
+    manager = ServerlessWorkflowManager(
+        SimulatedInvoker(platform, tracer=recorder), drive,
+        ManagerConfig(
+            keep_memory=par.persistent_memory,
+            execution_mode=case.execution_mode,
+            lineage_recovery=case.use_dataplane,
+        ),
+        tracer=recorder,
+    )
+    result = manager.execute(workflow, platform_label=par.platform,
+                             paradigm_label=par.name)
+    platform.shutdown()
+    return CaseRun(
+        case=case,
+        workflow=workflow,
+        result=result,
+        recorder=recorder,
+        drive=drive,
+        catalog=catalog,
+        pool_stats=env.pool_stats(),
+    )

@@ -1,0 +1,117 @@
+"""Automatic shrinking of failing fuzz cases.
+
+A :class:`~repro.validation.space.FuzzCase` *fully determines* its
+workflow and stack, so shrinking never touches the DAG: it proposes a
+simpler case (fewer tasks first, then a simpler shape, fewer workers,
+no data plane, neutral scales, …), re-checks only the properties that
+originally failed, and keeps any candidate on which the failure still
+reproduces.  Greedy descent to a fixpoint, with a probe budget so one
+pathological case cannot stall the run.
+
+The shrunk case plus its seed *is* the repro — ``FuzzCase.save`` writes
+the JSON and the engine pairs it with the baseline trace JSONL, which
+``repro-trace check`` / ``summarize`` consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.validation.properties import check_case
+from repro.validation.space import FuzzCase
+
+__all__ = ["ShrinkResult", "shrink"]
+
+#: Hard cap on shrink probes per failing case (each probe re-runs the
+#: violated properties, i.e. a handful of simulations).
+MAX_PROBES = 48
+
+
+@dataclass
+class ShrinkResult:
+    """What shrinking one failure produced."""
+
+    original: FuzzCase
+    shrunk: FuzzCase
+    props: list[str]
+    probes: int
+    accepted: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.shrunk != self.original
+
+
+def _reproduces(case: FuzzCase, props: list[str],
+                workdir: Optional[str]) -> bool:
+    try:
+        return not check_case(case, only=props, workdir=workdir).ok
+    except Exception:
+        # A candidate that crashes the checker still exhibits a bug;
+        # treating it as reproducing keeps descent moving toward it.
+        return True
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Simpler variants of ``case``, most aggressive first."""
+    # Task count dominates repro readability: try the floor first, then
+    # successively gentler cuts.
+    for n in (1, 2, case.num_tasks // 4, case.num_tasks // 2,
+              case.num_tasks - 1):
+        if 1 <= n < case.num_tasks:
+            yield case.with_(num_tasks=n)
+    if case.use_dataplane:
+        yield case.with_(use_dataplane=False)
+    if case.workers != 1:
+        yield case.with_(workers=1)
+    if case.shape != "chain":
+        yield case.with_(shape="chain")
+    if case.max_width > 2:
+        yield case.with_(max_width=2)
+    if case.fan_in != 1:
+        yield case.with_(fan_in=1)
+    if case.replication_k != 1:
+        yield case.with_(replication_k=1)
+    if case.execution_mode != "level":
+        yield case.with_(execution_mode="level")
+    if case.data_scale != 1.0:
+        yield case.with_(data_scale=1.0)
+    if case.base_cpu_work != 10.0:
+        yield case.with_(base_cpu_work=10.0)
+    if case.paradigm_name != "LC1wNoPM":
+        yield case.with_(paradigm_name="LC1wNoPM")
+
+
+def shrink(
+    case: FuzzCase,
+    props: list[str],
+    *,
+    workdir: Optional[str] = None,
+    max_probes: int = MAX_PROBES,
+) -> ShrinkResult:
+    """Reduce ``case`` while the violations named in ``props`` persist.
+
+    Returns the smallest case found (possibly the original, when no
+    simplification reproduces) together with probe accounting.
+    """
+    current = case
+    probes = accepted = 0
+    seen = {current}
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        for candidate in _candidates(current):
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if probes >= max_probes:
+                break
+            probes += 1
+            if _reproduces(candidate, props, workdir):
+                current = candidate
+                accepted += 1
+                improved = True
+                break
+    return ShrinkResult(original=case, shrunk=current, props=list(props),
+                        probes=probes, accepted=accepted)

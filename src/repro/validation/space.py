@@ -1,0 +1,138 @@
+"""The fuzzer's search space and the seeded case parameterisation.
+
+A :class:`FuzzCase` is the *complete* identity of one fuzzed execution:
+DAG shape, size, paradigm, data/compute scales, bandwidth, stack
+configuration.  Everything downstream — workflow generation, platform
+assembly, every metamorphic property — derives its randomness from
+``derive_seed(case seed, stream name)``, so a case replays byte-for-byte
+from its JSON form alone.  That is what makes shrinking trivial: the
+shrinker never edits a DAG, it shrinks the *parameters* and regenerates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.simulation.rng import derive_seed
+
+__all__ = ["FuzzSpace", "FuzzCase", "case_for", "DEFAULT_SPACE"]
+
+
+@dataclass(frozen=True)
+class FuzzSpace:
+    """Bounds the case generator draws from (inclusive ranges)."""
+
+    min_tasks: int = 4
+    max_tasks: int = 24
+    shapes: tuple[str, ...] = ("chain", "fanout", "diamond", "layered",
+                               "random")
+    #: Paradigms worth fuzzing: both platforms, both worker counts, PM
+    #: and NoPM.  Coarse-grained paradigms need 100+ tasks, so they stay
+    #: out of the small-case space.
+    paradigms: tuple[str, ...] = ("Kn1wNoPM", "Kn10wNoPM", "Kn1wPM",
+                                  "LC1wNoPM", "LC10wNoPM")
+    max_width: int = 8
+    max_fan_in: int = 4
+    workers: tuple[int, ...] = (1, 2, 4)
+    #: Log-uniform data-scale range (file sizes and memory multiplier).
+    data_scale_range: tuple[float, float] = (0.25, 8.0)
+    base_cpu_work_range: tuple[float, float] = (5.0, 40.0)
+    #: Log-uniform shared-drive bandwidth range (bytes/s).
+    bandwidth_range: tuple[float, float] = (50e6, 400e6)
+    replication_ks: tuple[int, ...] = (1, 2, 3)
+    execution_modes: tuple[str, ...] = ("level", "sequential")
+
+
+DEFAULT_SPACE = FuzzSpace()
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-determined fuzz input (see module docstring)."""
+
+    seed: int
+    index: int
+    shape: str
+    num_tasks: int
+    max_width: int
+    fan_in: int
+    paradigm_name: str
+    workers: int
+    data_scale: float
+    base_cpu_work: float
+    bandwidth: float
+    replication_k: int
+    execution_mode: str
+    use_dataplane: bool
+
+    @property
+    def case_seed(self) -> int:
+        """Root of every seeded stream this case uses."""
+        return derive_seed(self.seed, f"fuzz/{self.index}")
+
+    def stream_seed(self, name: str) -> int:
+        return derive_seed(self.case_seed, name)
+
+    @property
+    def label(self) -> str:
+        return (f"case#{self.index} {self.shape}x{self.num_tasks} "
+                f"{self.paradigm_name} mode={self.execution_mode} "
+                f"plane={'on' if self.use_dataplane else 'off'}")
+
+    # -- persistence (the shrinker's repro artifact) ----------------------
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "FuzzCase":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__})
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FuzzCase":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+    def with_(self, **changes: Any) -> "FuzzCase":
+        return replace(self, **changes)
+
+
+def _log_uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
+    return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+
+def case_for(seed: int, index: int,
+             space: FuzzSpace = DEFAULT_SPACE) -> FuzzCase:
+    """Draw case ``index`` of the run seeded with ``seed``.
+
+    Each case has its own derived stream, so inserting or removing cases
+    never shifts the parameters of the others.
+    """
+    rng = np.random.default_rng(derive_seed(seed, f"fuzz-case/{index}"))
+    pick = lambda options: options[int(rng.integers(len(options)))]  # noqa: E731
+    return FuzzCase(
+        seed=seed,
+        index=index,
+        shape=pick(space.shapes),
+        num_tasks=int(rng.integers(space.min_tasks, space.max_tasks + 1)),
+        max_width=int(rng.integers(2, space.max_width + 1)),
+        fan_in=int(rng.integers(1, space.max_fan_in + 1)),
+        paradigm_name=pick(space.paradigms),
+        workers=pick(space.workers),
+        data_scale=round(_log_uniform(rng, *space.data_scale_range), 4),
+        base_cpu_work=round(rng.uniform(*space.base_cpu_work_range), 2),
+        bandwidth=round(_log_uniform(rng, *space.bandwidth_range), 0),
+        replication_k=pick(space.replication_ks),
+        execution_mode=pick(space.execution_modes),
+        use_dataplane=bool(rng.integers(2)),
+    )

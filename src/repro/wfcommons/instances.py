@@ -194,6 +194,18 @@ APPLICATIONS: dict[str, ApplicationProfile] = {
             CategoryStats("combine_variants", 1_300_000, 0.10, 0.65, 0.4, 128 * MB),
         ],
     ),
+    "fuzz": _profile(
+        "fuzz", "synthetic", 1,
+        "Synthetic function types for the repro.validation fuzzer: no "
+        "real application, just a spread of compute weights, duty "
+        "cycles and output sizes the random DAG shapes draw from.",
+        [
+            CategoryStats("fz_root", 2 * MB, 0.50, 0.80, 0.6, 96 * MB),
+            CategoryStats("fz_mid", 1 * MB, 0.80, 0.90, 1.0, 128 * MB),
+            CategoryStats("fz_join", 4 * MB, 0.30, 0.70, 0.8, 112 * MB),
+            CategoryStats("fz_heavy", 512 * KB, 0.60, 1.00, 2.0, 160 * MB),
+        ],
+    ),
 }
 
 

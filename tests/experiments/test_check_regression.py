@@ -1,0 +1,135 @@
+"""The CI perf gate: ``benchmarks/check_regression.py``.
+
+The script lives outside the package tree (it is a CI entry point, not
+library code), so the tests load it by path.  Covered: the 25 % gate in
+both directions, the version-1 partial-baseline skip, and every
+operator-error path (missing file, malformed JSON, non-object record,
+negative threshold) — each must exit 2 with a one-line diagnosis, never
+a traceback.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (Path(__file__).resolve().parents[2]
+           / "benchmarks" / "check_regression.py")
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_regression = _load()
+
+
+def _record(kernel=1000.0, sampler=500.0, transfer=200.0, overhead=10.0):
+    return {
+        "kernel": {"events_per_second": kernel},
+        "sampler": {"ticks_per_second": sampler},
+        "transfer": {"transfers_per_second": transfer},
+        "trace": {"overhead_pct": overhead},
+    }
+
+
+@pytest.fixture
+def records(tmp_path):
+    def write(name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload) if isinstance(payload, dict)
+                        else payload)
+        return path
+    return write
+
+
+class TestGate:
+    def test_identical_records_pass(self, records, capsys):
+        base = records("base.json", _record())
+        assert check_regression.main([str(base), str(base)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_drop_within_threshold_passes(self, records):
+        base = records("base.json", _record(kernel=1000.0))
+        fresh = records("fresh.json", _record(kernel=800.0))  # -20 %
+        assert check_regression.main([str(base), str(fresh)]) == 0
+
+    def test_drop_beyond_threshold_fails(self, records, capsys):
+        base = records("base.json", _record(kernel=1000.0))
+        fresh = records("fresh.json", _record(kernel=700.0))  # -30 %
+        assert check_regression.main([str(base), str(fresh)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "kernel events/s" in out
+
+    def test_custom_threshold(self, records):
+        base = records("base.json", _record(kernel=1000.0))
+        fresh = records("fresh.json", _record(kernel=800.0))  # -20 %
+        args = [str(base), str(fresh), "--threshold", "0.1"]
+        assert check_regression.main(args) == 1
+
+    def test_improvement_passes(self, records):
+        base = records("base.json", _record(kernel=1000.0))
+        fresh = records("fresh.json", _record(kernel=5000.0))
+        assert check_regression.main([str(base), str(fresh)]) == 0
+
+    def test_trace_overhead_growth_fails(self, records, capsys):
+        base = records("base.json", _record(overhead=5.0))
+        fresh = records("fresh.json", _record(overhead=15.0))
+        assert check_regression.main([str(base), str(fresh)]) == 1
+        assert "trace overhead" in capsys.readouterr().out
+
+    def test_version1_partial_baseline_compares_on_shared_metrics(
+            self, records):
+        # A v1 baseline without the sampler/transfer sections must still
+        # gate on the kernel metric it does have.
+        base = records("base.json", {
+            "kernel": {"events_per_second": 1000.0}})
+        fresh = records("fresh.json", _record(kernel=600.0))
+        assert check_regression.main([str(base), str(fresh)]) == 1
+
+    def test_zero_baseline_metric_is_skipped(self, records):
+        base = records("base.json", _record(kernel=0.0))
+        fresh = records("fresh.json", _record(kernel=0.0))
+        assert check_regression.main([str(base), str(fresh)]) == 0
+
+
+class TestOperatorErrors:
+    def test_missing_baseline_exits_2(self, records, tmp_path, capsys):
+        fresh = records("fresh.json", _record())
+        code = check_regression.main(
+            [str(tmp_path / "nope.json"), str(fresh)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "baseline" in err and "cannot read" in err
+
+    def test_missing_fresh_exits_2(self, records, tmp_path, capsys):
+        base = records("base.json", _record())
+        code = check_regression.main(
+            [str(base), str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "fresh" in capsys.readouterr().err
+
+    def test_malformed_json_exits_2(self, records, capsys):
+        base = records("base.json", _record())
+        broken = records("broken.json", "{not json")
+        assert check_regression.main([str(base), str(broken)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err and "line 1" in err
+
+    def test_non_object_record_exits_2(self, records, capsys):
+        base = records("base.json", _record())
+        listy = records("list.json", "[1,2,3]")
+        assert check_regression.main([str(base), str(listy)]) == 2
+        assert "must be a JSON object" in capsys.readouterr().err
+
+    def test_negative_threshold_exits_2(self, records, capsys):
+        base = records("base.json", _record())
+        args = [str(base), str(base), "--threshold", "-0.5"]
+        assert check_regression.main(args) == 2
+        assert "--threshold" in capsys.readouterr().err

@@ -1,0 +1,171 @@
+"""Free-list pooling under tracing: the refcount guard vs trace buffers.
+
+``tests/simulation/test_pool.py`` proves pooling is invisible to plain
+simulations; these tests pin down its interaction with tracing:
+
+* A :class:`TraceRecorder` stores raw tuples, never kernel objects, so
+  a fully traced run must still recycle — tracing that silently
+  defeated the pool would be a performance regression the perf-smoke
+  job only catches indirectly.
+* A diagnostic tracer that buffers the :class:`Timeout`/:class:`Event`
+  *objects themselves* (callback-side capture) pins them via the
+  refcount guard: nothing it holds may ever be handed back out by
+  ``env.timeout()``/``env.event()`` while the buffer is alive, and
+  releasing the buffer must not retroactively free-list them.
+* Recycling must not corrupt what a recorder already emitted: reuse of
+  the object does not mutate previously recorded state.
+"""
+
+import sys
+
+import pytest
+
+from repro.simulation import Environment
+from repro.tracing import TraceRecorder
+
+needs_refcounts = pytest.mark.skipif(
+    not hasattr(sys, "getrefcount"),
+    reason="pooling is disabled without CPython refcounts")
+
+
+def _traced_churn(env, recorder, rounds=50):
+    """A small traced workload: one timeout per round, one emit each.
+
+    No reference to the timeout survives into ``run()`` — the recycle
+    decision happens at dispatch, so a live local would pin the object.
+    """
+    for i in range(rounds):
+        env.timeout(0.5).callbacks.append(
+            lambda ev, i=i: recorder.emit("fuzz.tick", name=f"t{i}"))
+        env.run()
+
+
+@needs_refcounts
+class TestRecorderDoesNotDefeatPooling:
+    def test_traced_run_still_recycles(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        _traced_churn(env, recorder, rounds=50)
+        stats = env.pool_stats()
+        assert stats["recycled"] == 50
+        assert stats["timeouts_created"] == 1
+        assert stats["timeouts_reused"] == 49
+        assert len(recorder) == 50
+
+    def test_traced_and_untraced_runs_agree(self):
+        def run(traced):
+            env = Environment()
+            recorder = TraceRecorder.for_env(env) if traced else None
+            for _ in range(20):
+                timeout = env.timeout(0.25)
+                if recorder is not None:
+                    timeout.callbacks.append(
+                        lambda ev: recorder.emit("fuzz.tick"))
+                del timeout
+                env.run()
+            return env.now, env.pool_stats()["recycled"]
+
+        assert run(traced=True) == run(traced=False)
+
+    def test_reuse_does_not_corrupt_recorded_events(self):
+        """Emitted lines must be immutable history: recycling the object
+        that triggered an emission cannot rewrite the recorded tuple."""
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        env.timeout(1.0, value="first").callbacks.append(
+            lambda ev: recorder.emit("fuzz.fire", name=str(ev.value)))
+        env.run()
+        before = recorder.dumps()
+        env.timeout(2.0, value="second").callbacks.append(
+            lambda ev: recorder.emit("fuzz.fire", name=str(ev.value)))
+        env.run()
+        assert env.pool_stats()["timeouts_reused"] == 1
+        after = recorder.dumps().splitlines()
+        # the first event's line is byte-identical inside the new dump
+        assert before.splitlines()[1] == after[1]
+        assert '"name":"first"' in after[1]
+        assert '"name":"second"' in after[2]
+
+
+@needs_refcounts
+class TestObjectCapturingBuffer:
+    def test_buffered_timeouts_are_never_recycled(self):
+        env = Environment()
+        buffer = []
+        for _ in range(5):
+            env.timeout(1.0).callbacks.append(lambda ev: buffer.append(ev))
+            env.run()
+        assert len(buffer) == 5
+        assert env.pool_stats()["recycled"] == 0
+        assert env.pool_stats()["free_timeouts"] == 0
+        held = {id(e) for e in buffer}
+        fresh = [env.timeout(1.0) for _ in range(5)]
+        assert held.isdisjoint({id(t) for t in fresh})
+        # everything the buffer holds is still the fired original
+        assert all(e.processed for e in buffer)
+
+    def test_buffered_events_are_never_recycled(self):
+        env = Environment()
+        buffer = []
+        for i in range(3):
+            event = env.event()
+            event.callbacks.append(lambda ev: buffer.append(ev))
+            event.succeed(i)
+            del event
+            env.run()
+        assert env.pool_stats()["recycled"] == 0
+        assert [e.value for e in buffer] == [0, 1, 2]
+        fresh = env.event()
+        assert id(fresh) not in {id(e) for e in buffer}
+
+    def test_releasing_the_buffer_does_not_backfill_the_pool(self):
+        """The recycle decision happens at dispatch; dropping the buffer
+        later must not resurrect those objects into the free list."""
+        env = Environment()
+        buffer = []
+        env.timeout(1.0).callbacks.append(lambda ev: buffer.append(ev))
+        env.run()
+        assert env.pool_stats()["free_timeouts"] == 0
+        buffer.clear()
+        assert env.pool_stats()["free_timeouts"] == 0
+        # ...but the *next* unreferenced timeout recycles as usual
+        env.timeout(1.0)
+        env.run()
+        assert env.pool_stats()["recycled"] == 1
+
+    def test_partial_capture_recycles_only_the_unheld(self):
+        env = Environment()
+        buffer = []
+        for i in range(10):
+            timeout = env.timeout(1.0)
+            if i % 2:
+                timeout.callbacks.append(lambda ev: buffer.append(ev))
+            del timeout
+            env.run()
+        stats = env.pool_stats()
+        assert stats["recycled"] == 5
+        assert len(buffer) == 5
+        assert {id(e) for e in buffer}.isdisjoint(
+            {id(t) for t in env._free_timeouts})
+
+
+@needs_refcounts
+class TestPoolStatsSanity:
+    def test_counters_are_monotone_across_traced_rounds(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        last = env.pool_stats()
+        for _ in range(4):
+            _traced_churn(env, recorder, rounds=10)
+            stats = env.pool_stats()
+            for key in ("timeouts_created", "timeouts_reused",
+                        "events_created", "events_reused", "recycled"):
+                assert stats[key] >= last[key]
+            last = stats
+
+    def test_created_plus_reused_covers_every_allocation(self):
+        env = Environment()
+        recorder = TraceRecorder.for_env(env)
+        _traced_churn(env, recorder, rounds=25)
+        stats = env.pool_stats()
+        assert stats["timeouts_created"] + stats["timeouts_reused"] == 25

@@ -1,0 +1,167 @@
+"""Randomized interleaving properties for the timer wheel.
+
+``tests/simulation/test_wheel.py`` covers bulk push-then-drain; these
+tests drive hypothesis-generated *interleavings* of the three paths the
+PR-7 wheel added — incursion (pushes behind the anchor, the
+``succeed()``-at-now case), the far heap past the 8-second slot
+horizon, and the anchor jump a sparse schedule takes after a full
+drain — and check every pop against a flat ``heapq`` oracle holding the
+same entries.  "Cancel" is modeled the way the kernel consumes
+cancelled timeouts: the entry stays queued on both sides and is skipped
+when popped, so a cancel can never perturb the order of live entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.kernel import _NSLOTS, _TICK_SCALE, NORMAL, URGENT, TimerWheel
+
+#: The slot ring covers this many seconds past the anchor; entries
+#: beyond it take the far-heap path.
+HORIZON = _NSLOTS / _TICK_SCALE
+
+_PRIO = st.sampled_from((URGENT, NORMAL))
+
+#: One step of an interleaving.  Deltas are relative to the pop clock,
+#: quantised to quarter-ticks so same-tick collisions actually happen.
+_OP = st.one_of(
+    st.tuples(st.just("push"),
+              st.integers(0, int(4 * _TICK_SCALE)), _PRIO),
+    st.tuples(st.just("push_now"), st.just(0), _PRIO),           # incursion
+    st.tuples(st.just("push_far"),
+              st.integers(int(4 * HORIZON * _TICK_SCALE),
+                          int(40 * HORIZON * _TICK_SCALE)), _PRIO),
+    st.tuples(st.just("pop"), st.just(0), st.just(NORMAL)),
+    st.tuples(st.just("drain"), st.just(0), st.just(NORMAL)),    # anchor jump
+    st.tuples(st.just("cancel"), st.just(0), st.just(NORMAL)),
+)
+
+
+class _Harness:
+    """Wheel + oracle heap driven in lockstep, popping compared."""
+
+    def __init__(self):
+        self.wheel = TimerWheel()
+        self.oracle: list = []
+        self.now = 0.0
+        self.seq = itertools.count()
+        self.cancelled: set[int] = set()
+        self.live = 0
+
+    def push(self, time: float, prio: int) -> None:
+        entry = (time, prio, next(self.seq), None)
+        self.wheel.push(entry)
+        heapq.heappush(self.oracle, entry)
+        self.live += 1
+
+    def pop_one(self) -> None:
+        """Pop until one live entry came back (or both sides drain)."""
+        while self.oracle:
+            assert len(self.wheel) == len(self.oracle)
+            expected = heapq.heappop(self.oracle)
+            got = self.wheel.pop()
+            assert got == expected
+            self.now = max(self.now, expected[0])
+            if expected[2] not in self.cancelled:
+                self.live -= 1
+                return
+        assert len(self.wheel) == 0
+
+    def drain(self) -> None:
+        while self.oracle:
+            self.pop_one()
+
+    def cancel_newest_live(self) -> None:
+        for entry in sorted(self.oracle, key=lambda e: -e[2]):
+            if entry[2] not in self.cancelled:
+                self.cancelled.add(entry[2])
+                self.live -= 1
+                return
+
+    def run(self, ops) -> None:
+        quantum = 1.0 / (4.0 * _TICK_SCALE)
+        for op, delta, prio in ops:
+            if op == "push" or op == "push_far":
+                self.push(self.now + delta * quantum, prio)
+            elif op == "push_now":
+                # Behind the anchor the moment anything was popped or
+                # bucketed — the succeed()/zero-delay incursion path.
+                self.push(self.now, prio)
+            elif op == "pop":
+                self.pop_one()
+            elif op == "drain":
+                self.drain()
+            elif op == "cancel":
+                self.cancel_newest_live()
+        self.drain()
+
+
+class TestInterleavings:
+    @settings(max_examples=120)
+    @given(ops=st.lists(_OP, max_size=120))
+    def test_any_interleaving_matches_flat_heap(self, ops):
+        _Harness().run(ops)
+
+    @settings(max_examples=60)
+    @given(
+        pushes=st.lists(st.tuples(st.integers(0, int(4 * _TICK_SCALE)),
+                                  _PRIO), min_size=1, max_size=40),
+        incursions=st.lists(_PRIO, min_size=1, max_size=10),
+    )
+    def test_incursion_after_partial_drain(self, pushes, incursions):
+        """succeed()-style pushes behind a hot anchor keep total order."""
+        h = _Harness()
+        quantum = 1.0 / (4.0 * _TICK_SCALE)
+        for delta, prio in pushes:
+            h.push(delta * quantum, prio)
+        h.pop_one()  # sorts a near bucket, moving the anchor past 0
+        for prio in incursions:
+            h.push(0.0, prio)  # now strictly behind the anchor
+        h.drain()
+
+    @settings(max_examples=60)
+    @given(
+        jumps=st.lists(st.integers(1, 10_000), min_size=1, max_size=12),
+        prio=_PRIO,
+    )
+    def test_anchor_jump_chain(self, jumps, prio):
+        """A drained wheel re-armed far out jumps its anchor per hop.
+
+        This is the sparse-schedule shape (one store timer re-armed per
+        hop); each push lands on an empty wheel and must take the
+        anchor-jump fast path without corrupting order when several
+        same-instant entries pile up afterwards.
+        """
+        h = _Harness()
+        for hop in jumps:
+            t = h.now + hop * HORIZON / 7.0
+            h.push(t, prio)
+            h.push(t, NORMAL)  # same-instant sibling joins via _inc/slot
+            h.drain()
+
+    @settings(max_examples=40)
+    @given(ops=st.lists(_OP, max_size=60),
+           nslots=st.sampled_from((2, 4, 16)))
+    def test_tiny_rings_force_rotation(self, ops, nslots):
+        """Small rings make every path (rotation, far spill) hot."""
+        h = _Harness()
+        h.wheel = TimerWheel(nslots=nslots)
+        h.run(ops)
+
+
+class TestCancelSemantics:
+    def test_cancelled_entries_pop_in_place(self):
+        h = _Harness()
+        h.push(1.0, NORMAL)
+        h.push(2.0, NORMAL)
+        h.push(3.0, NORMAL)
+        h.cancel_newest_live()  # cancels the 3.0 entry
+        h.push(4.0, URGENT)
+        h.drain()  # oracle comparison inside asserts order is untouched
+        assert h.live == 0
+        assert len(h.wheel) == 0

@@ -1,0 +1,97 @@
+"""The ``repro-fuzz`` command: determinism, exit codes, artifacts."""
+
+import json
+
+import pytest
+
+from repro.cli.fuzz import main
+from repro.validation import FuzzCase, clear_mutation
+from repro.validation.mutations import ENV_FLAG
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_mutation(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    yield
+    clear_mutation()
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCampaign:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code, out, _ = _run(capsys, "--seed", "0", "--budget", "3",
+                            "--differential-every", "0")
+        assert code == 0
+        assert "checked 3/3 cases, 0 violation(s)" in out
+        assert "trace-digest sha256=" in out
+
+    def test_output_is_byte_deterministic(self, capsys):
+        args = ("--seed", "0", "--budget", "4", "--differential-every", "0")
+        first = _run(capsys, *args)
+        second = _run(capsys, *args)
+        assert first == second
+
+    def test_different_seeds_different_digests(self, capsys):
+        _, out_a, _ = _run(capsys, "--seed", "0", "--budget", "3",
+                           "--differential-every", "0")
+        _, out_b, _ = _run(capsys, "--seed", "1", "--budget", "3",
+                           "--differential-every", "0")
+        digest = lambda out: out.rsplit("sha256=", 1)[1].strip()  # noqa: E731
+        assert digest(out_a) != digest(out_b)
+
+    def test_zero_budget_is_an_operator_error(self, capsys):
+        code, _, err = _run(capsys, "--budget", "0")
+        assert code == 2
+        assert "--budget" in err
+
+
+class TestMutatedCampaign:
+    def test_mutation_fails_run_and_writes_repro(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "lost-completion")
+        out_dir = tmp_path / "fails"
+        code, out, err = _run(
+            capsys, "--seed", "0", "--budget", "10", "--max-failures", "1",
+            "--differential-every", "0", "--out", str(out_dir))
+        assert code == 1
+        assert "FAIL" in out and "shrunk to" in out
+        assert "sentinel mutation active: lost-completion" in err
+        originals = sorted(p.name for p in out_dir.glob("case-*.json"))
+        assert any(name.endswith(".shrunk.json") for name in originals)
+        traces = list(out_dir.glob("case-*.trace.jsonl"))
+        assert traces
+        header = json.loads(traces[0].read_text().splitlines()[0])
+        assert header["clock"] == "sim"
+        shrunk = FuzzCase.load(next(out_dir.glob("*.shrunk.json")))
+        assert shrunk.num_tasks <= 10
+
+    def test_no_shrink_flag_skips_shrinking(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "lost-completion")
+        code, out, _ = _run(
+            capsys, "--seed", "0", "--budget", "5", "--max-failures", "1",
+            "--differential-every", "0", "--no-shrink")
+        assert code == 1
+        assert "shrunk to" not in out
+
+
+class TestReplay:
+    def test_replay_clean_case(self, capsys, tmp_path):
+        from repro.validation import case_for
+        path = case_for(0, 1).save(tmp_path / "case.json")
+        code, out, _ = _run(capsys, "--replay", str(path))
+        assert code == 0
+        assert "every property holds" in out
+
+    def test_replay_reproduces_under_mutation(self, capsys, tmp_path,
+                                              monkeypatch):
+        from repro.validation import case_for
+        path = case_for(0, 0).with_(num_tasks=2).save(tmp_path / "case.json")
+        monkeypatch.setenv(ENV_FLAG, "lost-completion")
+        code, out, _ = _run(capsys, "--replay", str(path))
+        assert code == 1
+        assert "[conservation]" in out or "[invariants]" in out

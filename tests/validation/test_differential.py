@@ -1,0 +1,38 @@
+"""Differential validation: modeled vs real backend structure."""
+
+import pytest
+
+from repro.validation import case_for
+from repro.validation.differential import (
+    MAX_DIFFERENTIAL_TASKS,
+    differential_case,
+    differential_check,
+)
+
+
+class TestScaling:
+    def test_task_count_is_capped(self):
+        case = case_for(0, 0).with_(num_tasks=24)
+        tiny = differential_case(case)
+        assert tiny.num_tasks == MAX_DIFFERENTIAL_TASKS
+
+    def test_small_cases_keep_their_size(self):
+        case = case_for(0, 0).with_(num_tasks=3)
+        assert differential_case(case).num_tasks == 3
+
+    def test_real_execution_knobs_are_forced_down(self):
+        tiny = differential_case(case_for(0, 0))
+        assert tiny.data_scale < 0.01
+        assert tiny.base_cpu_work <= 5.0
+        assert not tiny.use_dataplane
+
+
+class TestRealBackendAgreement:
+    """Executes the real WfBench service — the slowest tests here
+    (calibration is measured once per process and cached)."""
+
+    @pytest.mark.parametrize("index", (0, 1))
+    def test_model_and_real_agree_on_structure(self, index, tmp_path):
+        violations = differential_check(case_for(0, index),
+                                        workdir=str(tmp_path))
+        assert violations == []

@@ -1,0 +1,41 @@
+"""The campaign driver: digests, budgets, early exit, artifacts."""
+
+from repro.validation import case_for, mutation, run_fuzz
+
+
+class TestCampaignDriver:
+    def test_digest_is_stable_and_seed_sensitive(self):
+        a = run_fuzz(0, 3, differential_every=0)
+        b = run_fuzz(0, 3, differential_every=0)
+        c = run_fuzz(1, 3, differential_every=0)
+        assert a.digest == b.digest
+        assert a.digest != c.digest
+        assert a.summary_lines() == b.summary_lines()
+
+    def test_every_case_is_drawn_from_its_own_stream(self):
+        result = run_fuzz(5, 4, differential_every=0)
+        assert [o.report.case for o in result.outcomes] \
+            == [case_for(5, i) for i in range(4)]
+
+    def test_max_failures_stops_early(self):
+        with mutation("lost-completion"):
+            result = run_fuzz(0, 10, differential_every=0, max_failures=1)
+        assert len(result.outcomes) < 10
+        assert len(result.failures()) == 1
+        # the report states the truncation explicitly
+        assert any("/10 cases" in line for line in result.summary_lines())
+
+    def test_log_callback_sees_every_case(self):
+        lines = []
+        run_fuzz(0, 3, differential_every=0, log=lines.append)
+        assert len(lines) == 3
+        assert lines[0].startswith("[1/3]")
+
+    def test_failure_artifacts_written(self, tmp_path):
+        with mutation("lost-completion"):
+            result = run_fuzz(0, 5, differential_every=0, max_failures=1,
+                              out_dir=tmp_path)
+        index = result.failures()[0].report.case.index
+        assert (tmp_path / f"case-{index:04d}.json").exists()
+        assert (tmp_path / f"case-{index:04d}.shrunk.json").exists()
+        assert (tmp_path / f"case-{index:04d}.trace.jsonl").exists()

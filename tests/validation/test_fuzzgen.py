@@ -1,0 +1,102 @@
+"""The fuzz case space and DAG generator."""
+
+import pytest
+
+from repro.validation import DEFAULT_SPACE, FuzzCase, case_for
+from repro.validation.fuzzgen import FuzzRecipe, build_case_workflow
+from repro.wfcommons.generator import WorkflowGenerator
+from repro.wfcommons.validation import validate_workflow
+
+
+def _case(**overrides):
+    base = case_for(0, 0)
+    return base.with_(**overrides) if overrides else base
+
+
+class TestCaseSpace:
+    def test_case_for_is_deterministic(self):
+        assert case_for(7, 3) == case_for(7, 3)
+
+    def test_cases_are_independent_streams(self):
+        """Drawing case 5 never depends on having drawn cases 0-4."""
+        direct = case_for(7, 5)
+        after_others = [case_for(7, i) for i in range(6)][5]
+        assert direct == after_others
+
+    def test_draws_stay_inside_the_space(self):
+        space = DEFAULT_SPACE
+        for index in range(64):
+            case = case_for(11, index)
+            assert space.min_tasks <= case.num_tasks <= space.max_tasks
+            assert case.shape in space.shapes
+            assert case.paradigm_name in space.paradigms
+            assert case.workers in space.workers
+            assert case.replication_k in space.replication_ks
+            assert case.execution_mode in space.execution_modes
+            lo, hi = space.bandwidth_range
+            assert lo <= case.bandwidth <= hi
+
+    def test_space_is_actually_covered(self):
+        cases = [case_for(0, i) for i in range(128)]
+        assert {c.shape for c in cases} == set(DEFAULT_SPACE.shapes)
+        assert {c.paradigm_name for c in cases} == set(DEFAULT_SPACE.paradigms)
+        assert {c.execution_mode for c in cases} == set(
+            DEFAULT_SPACE.execution_modes)
+
+    def test_json_round_trip(self, tmp_path):
+        case = case_for(3, 9)
+        path = case.save(tmp_path / "case.json")
+        assert FuzzCase.load(path) == case
+
+    def test_stream_seeds_differ_by_name(self):
+        case = _case()
+        assert case.stream_seed("workflow") != case.stream_seed("platform")
+
+
+class TestFuzzRecipe:
+    @pytest.mark.parametrize("shape", ("chain", "fanout", "diamond",
+                                       "layered", "random"))
+    @pytest.mark.parametrize("n", (1, 2, 7, 24))
+    def test_every_shape_builds_exactly_n_valid_tasks(self, shape, n):
+        recipe = FuzzRecipe(shape=shape, max_width=4, fan_in=3)
+        workflow = WorkflowGenerator(recipe, seed=5).build_workflow(n)
+        assert len(workflow.tasks) == n
+        validate_workflow(workflow)  # raises on a broken DAG
+
+    def test_chain_is_a_chain(self):
+        recipe = FuzzRecipe(shape="chain")
+        workflow = WorkflowGenerator(recipe, seed=1).build_workflow(6)
+        parent_counts = sorted(len(t.parents)
+                               for t in workflow.tasks.values())
+        assert parent_counts == [0, 1, 1, 1, 1, 1]
+
+    def test_fanout_has_one_root_one_join(self):
+        recipe = FuzzRecipe(shape="fanout")
+        workflow = WorkflowGenerator(recipe, seed=1).build_workflow(8)
+        roots = [t for t in workflow.tasks.values() if not t.parents]
+        joins = [t for t in workflow.tasks.values() if len(t.parents) > 1]
+        assert len(roots) == 1
+        assert len(joins) == 1
+        assert len(joins[0].parents) == 6
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz shape"):
+            FuzzRecipe(shape="moebius")
+
+    def test_generation_is_deterministic(self):
+        case = _case()
+        a = build_case_workflow(case)
+        b = build_case_workflow(case)
+        assert a.name == b.name
+        assert list(a.tasks) == list(b.tasks)
+        for name in a.tasks:
+            ta, tb = a.tasks[name], b.tasks[name]
+            assert ta.parents == tb.parents
+            assert [(f.name, f.size_in_bytes, f.link) for f in ta.files] \
+                == [(f.name, f.size_in_bytes, f.link) for f in tb.files]
+
+    def test_different_cases_differ(self):
+        a = build_case_workflow(case_for(0, 0))
+        b = build_case_workflow(case_for(0, 1))
+        assert (list(a.tasks) != list(b.tasks)
+                or a.name != b.name)

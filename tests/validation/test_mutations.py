@@ -1,0 +1,92 @@
+"""The sentinel mutations: three known bugs the fuzzer must catch.
+
+This is the mutation-score gate in miniature: a fuzzer change that
+stops catching any of these three — however green the normal campaign
+looks — fails here (and in the CI ``fuzz-smoke`` job, which runs the
+same check through the ``repro-fuzz`` binary and the env flag).
+"""
+
+import pytest
+
+from repro.validation import (
+    MUTATIONS,
+    active_mutation,
+    apply_mutation,
+    case_for,
+    clear_mutation,
+    install_from_env,
+    mutation,
+    run_fuzz,
+)
+from repro.validation.mutations import ENV_FLAG
+
+#: Which property must catch each sentinel.
+EXPECTED_CATCHER = {
+    "seed-drift": "determinism",
+    "lost-completion": "conservation",
+    "bandwidth-inversion": "monotone-bandwidth",
+}
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_mutation():
+    yield
+    clear_mutation()
+
+
+class TestMutationLifecycle:
+    def test_registry_matches_expected_set(self):
+        assert set(MUTATIONS) == set(EXPECTED_CATCHER)
+
+    def test_apply_and_clear_restore_originals(self):
+        import repro.wfcommons.generator as generator
+        from repro.core.manager import ServerlessWorkflowManager
+        from repro.wfbench.model import WfBenchModel
+
+        originals = (generator.derive_seed,
+                     ServerlessWorkflowManager._trace_records,
+                     WfBenchModel.io_seconds_for_bytes)
+        for name in MUTATIONS:
+            apply_mutation(name)
+            assert active_mutation() == name
+            clear_mutation()
+            assert active_mutation() is None
+        assert (generator.derive_seed,
+                ServerlessWorkflowManager._trace_records,
+                WfBenchModel.io_seconds_for_bytes) == originals
+
+    def test_double_apply_rejected(self):
+        apply_mutation("seed-drift")
+        with pytest.raises(RuntimeError, match="already active"):
+            apply_mutation("lost-completion")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            apply_mutation("off-by-one")
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert install_from_env() is None
+        monkeypatch.setenv(ENV_FLAG, "seed-drift")
+        assert install_from_env() == "seed-drift"
+        assert active_mutation() == "seed-drift"
+
+
+class TestFuzzerCatchesEverySentinel:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_CATCHER))
+    def test_sentinel_is_caught_and_shrunk(self, name):
+        with mutation(name):
+            result = run_fuzz(0, 10, differential_every=0, max_failures=1)
+        failures = result.failures()
+        assert failures, f"fuzzer missed sentinel mutation {name!r}"
+        report = failures[0].report
+        caught_by = {v.prop for v in report.violations}
+        assert EXPECTED_CATCHER[name] in caught_by
+        shrunk = failures[0].shrunk
+        assert shrunk is not None
+        assert shrunk.shrunk.num_tasks <= 10
+
+    def test_clean_stack_passes_the_same_campaign(self):
+        """The control arm: no mutation, same seed/budget, no findings."""
+        result = run_fuzz(0, 10, differential_every=0)
+        assert result.ok

@@ -1,0 +1,111 @@
+"""The metamorphic property engine on known-good cases."""
+
+import pytest
+
+from repro.validation import case_for, check_case, property_names, run_case
+from repro.validation.properties import (
+    MONO_REL_TOL,
+    CaseContext,
+    PROPERTIES,
+    _check_conservation,
+    _check_determinism,
+    _check_durability,
+    _check_monotone_bandwidth,
+    _mono_violation,
+)
+
+
+class TestEngineWiring:
+    def test_property_names_unique(self):
+        names = property_names()
+        assert len(names) == len(set(names))
+        assert "determinism" in names and "differential" in names
+
+    def test_position_gates_expensive_properties(self):
+        case = case_for(0, 1)
+        report = check_case(case, position=1)
+        assert "sweep-equality" not in report.checked
+        assert "differential" not in report.checked
+        # the always-on properties all ran
+        cheap = [p.name for p in PROPERTIES if p.every == 1]
+        assert report.checked == cheap
+
+    def test_only_restricts_and_ignores_gating(self):
+        case = case_for(0, 1)
+        report = check_case(case, only=["durability"], position=1)
+        assert report.checked == ["durability"]
+        # durability never runs the full stack -> no baseline trace
+        assert report.trace_text is None
+
+    def test_differential_every_zero_disables(self):
+        case = case_for(0, 1)
+        report = check_case(case, position=0, differential_every=0)
+        assert "differential" not in report.checked
+        assert "sweep-equality" in report.checked
+
+    def test_clean_case_reports_ok_with_trace(self):
+        report = check_case(case_for(0, 1), position=1)
+        assert report.ok
+        assert report.trace_text is not None
+        assert report.trace_text.startswith('{"clock":"sim"')
+
+
+class TestIndividualProperties:
+    def test_determinism_holds_on_seeded_case(self):
+        assert _check_determinism(CaseContext(case_for(0, 2))) == []
+
+    def test_conservation_holds_on_seeded_case(self):
+        assert _check_conservation(CaseContext(case_for(0, 2))) == []
+
+    def test_monotone_bandwidth_holds_on_seeded_case(self):
+        assert _check_monotone_bandwidth(CaseContext(case_for(0, 2))) == []
+
+    @pytest.mark.parametrize("k", (1, 2, 3))
+    def test_durability_holds_for_every_k(self, k):
+        case = case_for(0, 2).with_(replication_k=k)
+        assert _check_durability(CaseContext(case)) == []
+
+    def test_mono_violation_tolerance(self):
+        class Stub:
+            def __init__(self, makespan, ok=True):
+                self.makespan = makespan
+                self.result = type("R", (), {"succeeded": ok})()
+
+        slow = Stub(10.0)
+        within = Stub(10.0 * (1.0 + MONO_REL_TOL) * 0.999)
+        beyond = Stub(10.0 * (1.0 + MONO_REL_TOL) * 1.01)
+        assert _mono_violation("p", "knob", slow, within) == []
+        violations = _mono_violation("p", "knob", slow, beyond)
+        assert len(violations) == 1
+        assert violations[0].prop == "p"
+        # failed runs are conservation's concern, not monotonicity's
+        assert _mono_violation("p", "knob", slow, Stub(99.0, ok=False)) == []
+
+
+class TestCaseContextCaching:
+    def test_baseline_is_cached(self):
+        ctx = CaseContext(case_for(0, 2))
+        assert ctx.baseline() is ctx.baseline()
+
+    def test_mono_base_reuses_baseline_when_plane_off(self):
+        case = case_for(0, 2).with_(use_dataplane=False)
+        ctx = CaseContext(case)
+        assert ctx.mono_base() is ctx.baseline()
+
+    def test_mono_base_fresh_when_plane_on(self):
+        case = case_for(0, 2).with_(use_dataplane=True)
+        ctx = CaseContext(case)
+        assert ctx.mono_base() is not ctx.baseline()
+
+
+class TestRunCaseOverrides:
+    def test_bandwidth_override_leaves_case_identity(self):
+        case = case_for(0, 3).with_(use_dataplane=False)
+        base = run_case(case)
+        fast = run_case(case, bandwidth=case.bandwidth * 4.0)
+        assert fast.case == base.case
+        assert fast.makespan <= base.makespan * (1.0 + MONO_REL_TOL) + 1e-6
+
+    def test_pool_stats_travel_with_the_run(self):
+        run = run_case(case_for(0, 3))
+        assert "recycled" in run.pool_stats

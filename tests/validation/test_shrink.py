@@ -1,0 +1,53 @@
+"""The failure shrinker: greedy descent, probe budget, fixpoints."""
+
+from repro.validation import case_for, mutation, shrink
+from repro.validation.shrink import _candidates
+
+
+class TestCandidates:
+    def test_task_count_cuts_come_first_and_aggressive(self):
+        case = case_for(0, 0).with_(num_tasks=20)
+        first = next(_candidates(case))
+        assert first.num_tasks == 1
+
+    def test_no_candidate_repeats_the_case(self):
+        case = case_for(0, 0)
+        assert all(c != case for c in _candidates(case))
+
+    def test_minimal_case_has_no_num_tasks_candidates(self):
+        case = case_for(0, 0).with_(
+            num_tasks=1, use_dataplane=False, workers=1, shape="chain",
+            max_width=2, fan_in=1, replication_k=1, execution_mode="level",
+            data_scale=1.0, base_cpu_work=10.0, paradigm_name="LC1wNoPM")
+        assert list(_candidates(case)) == []
+
+
+class TestShrinkOnRealFailures:
+    def test_lost_completion_shrinks_to_one_task(self):
+        case = case_for(0, 0)
+        with mutation("lost-completion"):
+            result = shrink(case, ["conservation"])
+        assert result.reduced
+        assert result.shrunk.num_tasks == 1
+        assert result.probes <= 48
+
+    def test_bandwidth_inversion_shrinks_small(self):
+        case = case_for(0, 0)
+        with mutation("bandwidth-inversion"):
+            result = shrink(case, ["monotone-bandwidth"])
+        assert result.shrunk.num_tasks <= 10
+
+    def test_unreproducible_failure_returns_original(self):
+        """Without the bug installed nothing reproduces, so the shrinker
+        must come back with the untouched case and zero acceptances."""
+        case = case_for(0, 0)
+        result = shrink(case, ["conservation"], max_probes=6)
+        assert not result.reduced
+        assert result.accepted == 0
+        assert result.shrunk == case
+
+    def test_probe_budget_is_respected(self):
+        case = case_for(0, 0)
+        with mutation("lost-completion"):
+            result = shrink(case, ["conservation"], max_probes=2)
+        assert result.probes <= 2
