@@ -35,7 +35,7 @@ __all__ = ["main", "build_parser"]
 
 _TARGETS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "headline", "design", "report", "chaos", "multitenant",
-            "dataplane", "faults", "bench", "all")
+            "dataplane", "faults", "delivery", "bench", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults-shapes", nargs="+", default=None, metavar="SHAPE",
         help="restrict the 'faults' target to these fault shapes "
         "(default: crash partition corruption corruption-k1)")
+    parser.add_argument(
+        "--delivery-apps", nargs="+", default=None, metavar="APP",
+        help="restrict the 'delivery' target to these workflows "
+        "(default: all seven)")
+    parser.add_argument(
+        "--delivery-shapes", nargs="+", default=None, metavar="SHAPE",
+        help="restrict the 'delivery' target to these wire-fault shapes "
+        "(default: none drop lost-ack duplicate delay corrupt)")
     parser.add_argument(
         "--plot", action="store_true",
         help="render figure series as terminal bar charts (the artifact's "
@@ -323,6 +331,45 @@ def _run(args: argparse.Namespace) -> int:
               f"checked, {fl_violations} invariant violation(s), "
               f"{fl_failed} failed run(s)")
         if fl_violations or fl_failed:
+            return 2
+    if "delivery" in targets:
+        from repro.experiments.design import APPLICATIONS_ORDER
+        from repro.experiments.delivery import (
+            DEFAULT_SHAPES as DELIVERY_SHAPES,
+            gate_delivery_rows,
+            run_delivery_sweep,
+        )
+
+        if args.delivery_shapes:
+            by_name = {s.name: s for s in DELIVERY_SHAPES}
+            unknown = [n for n in args.delivery_shapes if n not in by_name]
+            if unknown:
+                print(f"unknown delivery shape(s) {unknown}; "
+                      f"choose from {sorted(by_name)}")
+                return 1
+            shapes = tuple(by_name[n] for n in args.delivery_shapes)
+        else:
+            shapes = DELIVERY_SHAPES
+        apps = (tuple(args.delivery_apps) if args.delivery_apps
+                else APPLICATIONS_ORDER)
+        rows = run_delivery_sweep(applications=apps, shapes=shapes,
+                                  jobs=args.jobs, seed=args.seed)
+        print()
+        print(format_table(
+            rows,
+            title="Delivery semantics: wire fault × workflow × protocol"))
+        out_dir = args.output if args.output is not None else Path("results")
+        path = write_rows_csv(rows, out_dir / "delivery.csv")
+        print(f"[csv] {path}")
+        failures = gate_delivery_rows(rows)
+        dup_absorbed = sum(r["dedupe_hits"] for r in rows)
+        print(f"[trace] {sum(r['trace_events'] for r in rows)} events "
+              f"checked, {sum(r['trace_violations'] for r in rows)} "
+              f"invariant violation(s), {dup_absorbed} duplicate "
+              f"deliveries absorbed, {len(failures)} gate failure(s)")
+        for failure in failures:
+            print(f"[gate] {failure}")
+        if failures:
             return 2
     if "bench" in targets:
         from repro.experiments.bench import run_bench, write_bench

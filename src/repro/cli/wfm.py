@@ -87,7 +87,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--resume", action="store_true",
-        help="load --checkpoint and re-execute only unfinished tasks",
+        help="load --checkpoint (or --journal) and re-execute only "
+        "unfinished tasks",
+    )
+    parser.add_argument(
+        "--journal", type=Path, default=None,
+        help="task-level write-ahead journal (intent/dispatched/acked per "
+        "task); replaces --checkpoint and resumes mid-phase with zero "
+        "re-execution of acked tasks",
+    )
+    parser.add_argument(
+        "--exactly-once", action="store_true",
+        help="stamp every request with an idempotency key + payload "
+        "checksum; simulated platforms dedupe replayed/hedged duplicates",
     )
     parser.add_argument("--csv", type=Path, default=None,
                         help="write a pmdumptext-style metrics CSV here")
@@ -132,8 +144,8 @@ def _resilience_from_args(args) -> "ResiliencePolicy | None":
 def _checkpoint_from_args(args, parser) -> "WorkflowCheckpoint | None":
     from repro.resilience import CheckpointCorrupt, WorkflowCheckpoint
 
-    if args.resume and args.checkpoint is None:
-        parser.error("--resume requires --checkpoint")
+    if args.resume and args.checkpoint is None and args.journal is None:
+        parser.error("--resume requires --checkpoint or --journal")
     if args.checkpoint is None:
         return None
     if args.resume:
@@ -148,6 +160,28 @@ def _checkpoint_from_args(args, parser) -> "WorkflowCheckpoint | None":
     checkpoint = WorkflowCheckpoint(args.checkpoint)
     checkpoint.clear()  # a fresh (non-resume) run starts a fresh record
     return checkpoint
+
+
+def _journal_from_args(args, parser) -> "TaskJournal | None":
+    from repro.delivery import JournalCorrupt, TaskJournal
+
+    if args.journal is None:
+        if args.resume and args.checkpoint is None:
+            parser.error("--resume requires --checkpoint or --journal")
+        return None
+    if args.checkpoint is not None:
+        parser.error("--journal replaces --checkpoint; pass only one")
+    if args.resume:
+        try:
+            return TaskJournal.load(args.journal)
+        except JournalCorrupt as exc:
+            # Same contract as a truncated checkpoint: warn, start fresh
+            # (losing completed-task credit, never correctness).
+            print(f"warning: {exc}; starting a fresh run instead",
+                  file=sys.stderr)
+    journal = TaskJournal(args.journal)
+    journal.clear()  # a fresh (non-resume) run starts a fresh WAL
+    return journal
 
 
 def build_submit_parser() -> argparse.ArgumentParser:
@@ -249,7 +283,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     workflow = Workflow.load(args.workflow)
     resilience = _resilience_from_args(args)
-    checkpoint = _checkpoint_from_args(args, parser)
+    journal = _journal_from_args(args, parser)
+    checkpoint = _checkpoint_from_args(args, parser) if journal is None \
+        else None
 
     if args.url is not None:
         tracer = None
@@ -267,11 +303,13 @@ def main(argv: list[str] | None = None) -> int:
             execution_mode=args.mode,
             task_retries=args.retries,
             resilience=resilience,
+            exactly_once=args.exactly_once,
         )
         for task in workflow:
             task.command.api_url = args.url
         manager = ServerlessWorkflowManager(invoker, drive, config,
                                             checkpoint=checkpoint,
+                                            journal=journal,
                                             tracer=tracer)
         result = manager.execute(workflow, platform_label="http")
         invoker.close()
@@ -295,6 +333,10 @@ def main(argv: list[str] | None = None) -> int:
         else:
             platform = LocalContainerPlatform(env, cluster, drive,
                                               config=par.local_config())
+        if args.exactly_once:
+            from repro.delivery import DedupeCache
+
+            platform.dedupe = DedupeCache(tracer=tracer)
         sampler = SimClusterSampler(env, cluster).start()
         invoker = SimulatedInvoker(platform, tracer=tracer)
         config = ManagerConfig(
@@ -303,9 +345,11 @@ def main(argv: list[str] | None = None) -> int:
             execution_mode=args.mode,
             task_retries=args.retries,
             resilience=resilience,
+            exactly_once=args.exactly_once,
         )
         manager = ServerlessWorkflowManager(invoker, drive, config,
                                             checkpoint=checkpoint,
+                                            journal=journal,
                                             tracer=tracer)
         result = manager.execute(workflow, platform_label=par.platform,
                                  paradigm_label=par.name)

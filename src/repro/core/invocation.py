@@ -39,6 +39,20 @@ if TYPE_CHECKING:
 __all__ = ["InvocationRecord", "Invoker", "HttpInvoker", "SimulatedInvoker"]
 
 
+def _retry_after_seconds(headers) -> float:
+    """Parse a numeric ``Retry-After`` header (seconds); 0 when absent
+    or unusable (the HTTP-date form is not worth supporting here)."""
+    if headers is None:
+        return 0.0
+    raw = headers.get("Retry-After")
+    if raw is None:
+        return 0.0
+    try:
+        return max(0.0, float(str(raw).strip()))
+    except ValueError:
+        return 0.0
+
+
 @dataclass
 class InvocationRecord:
     """Invoker-neutral outcome of one request."""
@@ -51,6 +65,10 @@ class InvocationRecord:
     cold_start: bool = False
     node: str = ""
     error: str = ""
+    #: Served from the receiver's idempotency cache (no fresh execution).
+    deduped: bool = False
+    #: ``Retry-After`` hint in seconds (429/503 responses); 0 = none.
+    retry_after: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -161,6 +179,10 @@ class HttpInvoker(Invoker):
             except Exception:
                 payload = {}
             status = exc.code
+            hint = _retry_after_seconds(exc.headers)
+            if hint:
+                payload = dict(payload)
+                payload["retryAfter"] = hint
         except (urllib.error.URLError, TimeoutError, OSError) as exc:
             finished = self.now()
             # Timeouts are 504 (gateway timeout: the function may still be
@@ -187,6 +209,8 @@ class HttpInvoker(Invoker):
             started_at=finished - float(payload.get("duration", 0.0)),
             finished_at=finished,
             error=str(payload.get("error", "")),
+            deduped=bool(payload.get("deduped", False)),
+            retry_after=float(payload.get("retryAfter", 0.0)),
         )
 
     def submit(self, url: str, request: BenchRequest) -> Future:
@@ -369,6 +393,8 @@ class SimulatedInvoker(Invoker):
             cold_start=record.cold_start,
             node=record.node,
             error=record.error,
+            deduped=record.deduped,
+            retry_after=record.retry_after,
         )
         event = self.env.event()
         event.succeed(outcome)
@@ -389,6 +415,8 @@ class SimulatedInvoker(Invoker):
             cold_start=outcome.cold_start,
             node=outcome.node,
             error=outcome.error,
+            deduped=getattr(outcome, "deduped", False),
+            retry_after=getattr(outcome, "retry_after", 0.0),
         )
 
     def gather(self, handles: Sequence[Event]) -> list[InvocationRecord]:

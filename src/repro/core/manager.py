@@ -27,8 +27,8 @@ honoured identically by the blocking (real HTTP) and coroutine
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Generator, Mapping, Optional, Union
+from dataclasses import dataclass, replace as dc_replace
+from typing import TYPE_CHECKING, Any, Generator, Mapping, Optional, Union
 
 from repro.core.dag import Phase, WorkflowDAG
 from repro.core.invocation import InvocationRecord, Invoker
@@ -41,6 +41,8 @@ from repro.resilience.state import ResiliencePolicy, ResilienceState
 from repro.tracing.events import (
     BREAKER_SHORT_CIRCUIT,
     CHECKPOINT_WRITE,
+    DELIVERY_PROTOCOL,
+    JOURNAL_REPLAY,
     LINEAGE_REEXEC,
     PHASE_END,
     PHASE_START,
@@ -52,8 +54,11 @@ from repro.tracing.events import (
     WORKFLOW_START,
 )
 from repro.tracing.recorder import TraceRecorder
-from repro.wfbench.spec import BenchRequest
+from repro.wfbench.spec import BenchRequest, payload_checksum
 from repro.wfcommons.schema import Task, Workflow
+
+if TYPE_CHECKING:
+    from repro.delivery.journal import TaskJournal
 
 __all__ = ["ManagerConfig", "ServerlessWorkflowManager"]
 
@@ -118,6 +123,13 @@ class ManagerConfig:
     lineage_recovery: bool = False
     #: Recovery rounds one phase may trigger before giving up.
     lineage_max_rounds: int = 2
+    #: Exactly-once delivery protocol (:mod:`repro.delivery`): stamp
+    #: every request with a deterministic idempotency key
+    #: (``workflow/task#epoch``) and a payload checksum, so receivers
+    #: can absorb duplicate deliveries and reject tampered messages.
+    #: Retries and hedges of one logical attempt share the key; only a
+    #: deliberate re-execution (lineage recovery) bumps the epoch.
+    exactly_once: bool = False
 
     def __post_init__(self) -> None:
         if self.execution_mode not in ("level", "sequential", "eager"):
@@ -149,6 +161,7 @@ class ServerlessWorkflowManager:
         checkpoint: Optional[WorkflowCheckpoint] = None,
         resilience_state: Optional[ResilienceState] = None,
         tracer: Optional[TraceRecorder] = None,
+        journal: Optional["TaskJournal"] = None,
     ):
         self.invoker = invoker
         self.drive = drive
@@ -173,6 +186,23 @@ class ServerlessWorkflowManager:
         self._run_retries = 0
         self._readiness_retries = 0
         self._lineage_reexecs = 0
+        #: Optional task-level write-ahead journal (repro.delivery).  The
+        #: journal is checkpoint-shaped, so it *replaces* the per-phase
+        #: checkpoint when given — the two would otherwise disagree about
+        #: what "completed" means mid-phase.
+        self.journal: Optional["TaskJournal"] = journal
+        if journal is not None:
+            if checkpoint is not None:
+                raise ValueError(
+                    "pass either a journal or a checkpoint, not both: "
+                    "the journal subsumes the phase checkpoint"
+                )
+            self.checkpoint = journal
+        #: Exactly-once protocol state: the workflow being executed and
+        #: the per-task attempt lineage (epoch).  Retries/hedges reuse
+        #: the epoch; lineage recovery bumps it (deliberate re-run).
+        self._workflow_name = ""
+        self._task_epoch: dict[str, int] = {}
 
     @property
     def resilience_state(self) -> Optional[ResilienceState]:
@@ -181,7 +211,7 @@ class ServerlessWorkflowManager:
     # ------------------------------------------------------------------
     def build_request(self, task: Task) -> BenchRequest:
         """The WfBench POST body for one task (paper §III-B)."""
-        return BenchRequest(
+        request = BenchRequest(
             name=task.name,
             percent_cpu=task.percent_cpu,
             cpu_work=task.cpu_work,
@@ -192,6 +222,17 @@ class ServerlessWorkflowManager:
             keep_memory=self.config.keep_memory,
             cores=task.cores,
         )
+        if self.config.exactly_once:
+            from repro.delivery.protocol import make_idempotency_key
+
+            key = make_idempotency_key(
+                self._workflow_name, task.name,
+                self._task_epoch.get(task.name, 0),
+            )
+            request = dc_replace(request, idempotency_key=key)
+            request = dc_replace(
+                request, checksum=payload_checksum(request))
+        return request
 
     def api_url_for(self, task: Task) -> str:
         return task.command.api_url or self.config.default_api_url
@@ -288,6 +329,7 @@ class ServerlessWorkflowManager:
         for group in plan.groups:
             self._trace_reexec(dag, group, plan)
             self._lineage_reexecs += len(group)
+            self._bump_epochs(group)
             records = self._run_phase(dag, list(group))
             if policy is not None:
                 records = self._retry_failures(dag, records, policy)
@@ -309,6 +351,7 @@ class ServerlessWorkflowManager:
         for group in plan.groups:
             self._trace_reexec(dag, group, plan)
             self._lineage_reexecs += len(group)
+            self._bump_epochs(group)
             records = yield from self._run_phase_proc(env, dag, list(group))
             if policy is not None:
                 records = yield from self._retry_failures_proc(
@@ -446,6 +489,11 @@ class ServerlessWorkflowManager:
         url = self.api_url_for(task)
         state = self._state
         tracer = self._tracer
+        if self.journal is not None:
+            # WAL: dispatched *before* the wire, so a crash between
+            # journal append and POST re-dispatches at most once.
+            self.journal.note_dispatched(
+                task.name, epoch=self._task_epoch.get(task.name, 0))
         if state is not None:
             now = self.invoker.now()
             if not state.allow(url, now):
@@ -544,7 +592,27 @@ class ServerlessWorkflowManager:
         for key in ("hedges", "hedge_wins", "breaker_short_circuits"):
             result.metrics[key] = after[key] - before.get(key, 0)
 
-    # -- checkpointing -------------------------------------------------
+    # -- checkpointing + write-ahead journal ---------------------------
+    def _bump_epochs(self, names) -> None:
+        """Advance the attempt lineage for deliberately re-executed tasks
+        (lineage recovery): the re-run must carry a *new* idempotency key
+        or the receiver's dedupe cache would replay the stale result."""
+        for name in names:
+            self._task_epoch[name] = self._task_epoch.get(name, 0) + 1
+
+    def _journal_intent(self, phase: Phase, todo: list[str]) -> None:
+        """WAL intent records for the tasks about to fire this phase."""
+        if self.journal is None:
+            return
+        from repro.delivery.protocol import make_idempotency_key
+
+        for name in todo:
+            epoch = self._task_epoch.get(name, 0)
+            key = ""
+            if self.config.exactly_once:
+                key = make_idempotency_key(self._workflow_name, name, epoch)
+            self.journal.note_intent(name, phase.index, epoch=epoch, key=key)
+
     def _resume_setup(self, dag: WorkflowDAG) -> frozenset:
         """Validate + restage the checkpoint; returns completed task names."""
         if self.checkpoint is None:
@@ -554,6 +622,10 @@ class ServerlessWorkflowManager:
                 "checkpointing requires phase-based execution "
                 "(level or sequential mode)"
             )
+        if self.journal is not None:
+            # Resume the attempt lineage where the journal left off so
+            # re-dispatched in-flight tasks reuse their original keys.
+            self._task_epoch.update(self.journal.epochs())
         self.checkpoint.restage(self.drive)
         return frozenset(
             n for n in self.checkpoint.completed_tasks()
@@ -575,6 +647,10 @@ class ServerlessWorkflowManager:
             if tracer is not None:
                 tracer.emit(TASK_REPLAY, name=name, trace=self._trace_id,
                             phase=phase.index, status=int(entry["status"]))
+                if self.journal is not None:
+                    tracer.emit(JOURNAL_REPLAY, name=name,
+                                trace=self._trace_id, phase=phase.index,
+                                epoch=int(entry.get("epoch", 0)))
             result.tasks.append(TaskExecution(
                 name=name, phase=phase.index, status=int(entry["status"]),
                 submitted_at=at, started_at=at, finished_at=at,
@@ -620,11 +696,21 @@ class ServerlessWorkflowManager:
         tracer = self._tracer
         self._trace_id = trace_id or tracer.new_trace()
         self.invoker.trace_id = self._trace_id
+        if self.journal is not None:
+            self.journal.tracer = tracer
+            self.journal.trace_id = self._trace_id
         tracer.emit(
             WORKFLOW_START, name=workflow.name, trace=self._trace_id,
             platform=platform_label, paradigm=paradigm_label,
             mode=self.config.execution_mode, tasks=len(dag.task_names),
         )
+        if self.config.exactly_once:
+            # Protocol marker: arms the exactly-once-effects trace
+            # invariant for this run.
+            tracer.emit(
+                DELIVERY_PROTOCOL, name=workflow.name, trace=self._trace_id,
+                journal=self.journal is not None,
+            )
 
     def _trace_run_end(self, result: WorkflowRunResult) -> None:
         self._tracer.emit(
@@ -644,6 +730,8 @@ class ServerlessWorkflowManager:
         if not isinstance(workflow, Workflow):
             workflow = Workflow.from_json(dict(workflow))
         dag = WorkflowDAG(workflow, inject_markers=self.config.inject_header_tail)
+        self._workflow_name = workflow.name
+        self._task_epoch = {}
         if self.checkpoint is not None:
             self.checkpoint.bind(workflow.name)
 
@@ -708,6 +796,7 @@ class ServerlessWorkflowManager:
             phase_start = self.invoker.now()
             if tracer is not None:
                 self._trace_phase(phase, len(todo))
+            self._journal_intent(phase, todo)
             records = self._run_phase(dag, todo)
             if retry_policy is not None:
                 records = self._retry_failures(dag, records, retry_policy)
@@ -847,6 +936,8 @@ class ServerlessWorkflowManager:
         if not isinstance(workflow, Workflow):
             workflow = Workflow.from_json(dict(workflow))
         dag = WorkflowDAG(workflow, inject_markers=self.config.inject_header_tail)
+        self._workflow_name = workflow.name
+        self._task_epoch = {}
         if self.checkpoint is not None:
             self.checkpoint.bind(workflow.name)
         result = WorkflowRunResult(
@@ -912,6 +1003,7 @@ class ServerlessWorkflowManager:
             phase_start = env.now
             if tracer is not None:
                 self._trace_phase(phase, len(todo))
+            self._journal_intent(phase, todo)
             records = yield from self._run_phase_proc(env, dag, todo)
             if retry_policy is not None:
                 records = yield from self._retry_failures_proc(
@@ -990,7 +1082,9 @@ class ServerlessWorkflowManager:
                 break
             round_number += 1
             delay = policy.next_delay(round_number, rng=rng,
-                                      prev_delay=prev_delay)
+                                      prev_delay=prev_delay,
+                                      hint_seconds=self._retry_hint(
+                                          final, retry_indices))
             prev_delay = delay
             if delay > 0:
                 yield env.timeout(delay)
@@ -1122,6 +1216,21 @@ class ServerlessWorkflowManager:
         if self._state is not None:
             self._state.note_retries(count)
 
+    @staticmethod
+    def _retry_hint(final: list[InvocationRecord],
+                    retry_indices: list[int]) -> Optional[float]:
+        """Server-provided ``Retry-After`` hint for the next backoff round.
+
+        Only 429/503 responses carry an authoritative recovery horizon;
+        with several failed tasks the *largest* hint wins (retrying the
+        batch before the slowest endpoint recovers just burns attempts).
+        """
+        hints = [
+            final[i].retry_after for i in retry_indices
+            if final[i].status in (429, 503) and final[i].retry_after > 0
+        ]
+        return max(hints) if hints else None
+
     def _retry_failures(
         self, dag: WorkflowDAG, records: list[InvocationRecord],
         policy: RetryPolicy,
@@ -1142,7 +1251,9 @@ class ServerlessWorkflowManager:
                 break
             round_number += 1
             delay = policy.next_delay(round_number, rng=rng,
-                                      prev_delay=prev_delay)
+                                      prev_delay=prev_delay,
+                                      hint_seconds=self._retry_hint(
+                                          final, retry_indices))
             prev_delay = delay
             if delay > 0:
                 self.invoker.sleep(delay)

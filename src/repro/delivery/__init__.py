@@ -1,0 +1,44 @@
+"""``repro.delivery``: exactly-once task execution.
+
+Three coupled pieces close the gap between "a task was requested" and
+"a task's side effects happened exactly once" under retries, hedges and
+a faulty wire:
+
+* the idempotent invocation protocol —
+  :func:`~repro.delivery.protocol.make_idempotency_key` stamps every
+  request with a stable attempt identity and
+  :class:`~repro.delivery.protocol.DedupeCache` (sim) /
+  :class:`~repro.wfbench.app.WfBenchApp`'s request cache (real HTTP)
+  absorb duplicate deliveries;
+* the task-level write-ahead journal —
+  :class:`~repro.delivery.journal.TaskJournal` records
+  intent → dispatched → acked per task with fsync'd appends, so
+  ``repro-wfm run --resume`` recovers mid-phase with zero re-execution
+  of acked tasks and at-most-one re-dispatch of in-flight ones;
+* the message-level fault injector —
+  :class:`~repro.delivery.faults.DeliveryFaultInjector` drops,
+  duplicates, delays, corrupts and loses the acks of individual
+  messages per a seeded :class:`~repro.delivery.faults.DeliveryFaultPlan`.
+
+See ``docs/delivery.md`` for the protocol walkthrough and the
+``exactly-once-effects`` / ``journal-monotonic`` trace invariants that
+gate the ``repro-experiments delivery`` sweep.
+"""
+
+from repro.delivery.faults import (
+    FAULT_KINDS,
+    DeliveryFaultInjector,
+    DeliveryFaultPlan,
+)
+from repro.delivery.journal import JournalCorrupt, TaskJournal
+from repro.delivery.protocol import DedupeCache, make_idempotency_key
+
+__all__ = [
+    "FAULT_KINDS",
+    "DedupeCache",
+    "DeliveryFaultInjector",
+    "DeliveryFaultPlan",
+    "JournalCorrupt",
+    "TaskJournal",
+    "make_idempotency_key",
+]

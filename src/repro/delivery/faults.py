@@ -1,0 +1,279 @@
+"""Message-level delivery faults: drop, lost-ack, duplicate, delay, corrupt.
+
+Where :class:`~repro.failures.injector.NodeFailureInjector` breaks the
+*machines*, :class:`DeliveryFaultInjector` breaks the *wire*: it wraps a
+:class:`~repro.core.invocation.SimulatedInvoker` and perturbs individual
+messages on their way to the platform.  Faults are data
+(:class:`DeliveryFaultPlan`) generated once per run from
+``derive_seed(seed, label)`` — schedules, not coin flips — so a sweep
+cell sees identical faults serially and on a pool worker.
+
+The five shapes, and what the exactly-once protocol does about each:
+
+``drop-request``
+    The message never reaches the receiver; the sender observes a 503
+    after a timeout penalty, with a ``Retry-After`` hint attached.
+    Harmless either way (nothing executed) — the retry is the first
+    delivery.
+``lost-ack``
+    The receiver executes to completion but the response is dropped; the
+    sender observes a 504.  *The* duplicate-inducing case: the retry
+    re-delivers an already-executed message.  With the protocol on, the
+    dedupe cache answers from the recorded result; off, the task's side
+    effects happen twice.
+``duplicate``
+    The message is delivered twice (at-least-once transport replay).
+    With the protocol on the second delivery is absorbed; off, both
+    execute.
+``delay``
+    The message is held back before delivery — reordering pressure, no
+    semantic harm.
+``corrupt``
+    A payload field is tampered in flight.  With checksums on, the
+    receiver rejects it with a 400 (the retry delivers a clean copy);
+    off, the tampered request executes undetected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.invocation import Invoker, SimulatedInvoker
+from repro.platform.base import InvocationOutcome
+from repro.simulation.rng import derive_seed
+from repro.tracing.events import (
+    DELIVERY_CORRUPT,
+    DELIVERY_DELAY,
+    DELIVERY_DROP,
+    DELIVERY_DUP,
+    DELIVERY_LOST_ACK,
+)
+from repro.wfbench.spec import BenchRequest
+
+__all__ = ["FAULT_KINDS", "DeliveryFaultPlan", "DeliveryFaultInjector"]
+
+FAULT_KINDS = ("drop-request", "lost-ack", "duplicate", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class DeliveryFaultPlan:
+    """Which message indices get which fault — plain, picklable data.
+
+    Message indices are 1-based submission counts through the injector;
+    indices past the plan's window (e.g. retries the faults themselves
+    provoked) are delivered cleanly.
+    """
+
+    #: 1-based message index -> fault kind (one of :data:`FAULT_KINDS`).
+    faults: Mapping[int, str] = field(default_factory=dict)
+    #: How long a dropped request takes to surface as a 503.
+    drop_penalty_seconds: float = 1.0
+    #: ``Retry-After`` hint attached to drop 503s (0 = no hint).
+    retry_after_seconds: float = 2.0
+    #: How long a delayed message is held before delivery.
+    delay_seconds: float = 3.0
+
+    def __post_init__(self) -> None:
+        for index, kind in self.faults.items():
+            if int(index) < 1:
+                raise ValueError("message indices are 1-based")
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"fault kind must be one of {FAULT_KINDS}, got {kind!r}")
+
+    @property
+    def empty(self) -> bool:
+        return not self.faults
+
+    def fault_for(self, index: int) -> Optional[str]:
+        return self.faults.get(index)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        label: str,
+        window: int,
+        drops: int = 0,
+        lost_acks: int = 0,
+        duplicates: int = 0,
+        delays: int = 0,
+        corruptions: int = 0,
+        **knobs: Any,
+    ) -> "DeliveryFaultPlan":
+        """Draw distinct victim messages in ``[1, window]`` from
+        ``derive_seed(seed, f"delivery/{label}")``."""
+        counts = (("drop-request", drops), ("lost-ack", lost_acks),
+                  ("duplicate", duplicates), ("delay", delays),
+                  ("corrupt", corruptions))
+        total = sum(n for _, n in counts)
+        if total > window:
+            raise ValueError(
+                f"{total} faults do not fit in a {window}-message window")
+        rng = np.random.default_rng(derive_seed(seed, f"delivery/{label}"))
+        victims = rng.choice(np.arange(1, window + 1), size=total,
+                             replace=False)
+        faults: dict[int, str] = {}
+        cursor = 0
+        for kind, n in counts:
+            for _ in range(n):
+                faults[int(victims[cursor])] = kind
+                cursor += 1
+        return cls(faults=faults, **knobs)
+
+
+class DeliveryFaultInjector(Invoker):
+    """Wraps a :class:`SimulatedInvoker`, perturbing messages per plan.
+
+    Drop-in for the manager: every Invoker operation delegates to the
+    inner invoker; only :meth:`submit` consults the plan.  Hedged
+    submissions pass through unfaulted (the sweep exercises the
+    protocol under plain retries; hedging has its own dedupe tests).
+    """
+
+    def __init__(self, inner: SimulatedInvoker, plan: DeliveryFaultPlan,
+                 tracer=None):
+        self.inner = inner
+        self.plan = plan
+        self.env = inner.env
+        self.tracer = tracer if tracer is not None else inner.tracer
+        self.messages = 0
+        self.counters: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # The manager stamps ``invoker.trace_id`` per run; forward it so the
+    # inner invoker's post.start/post.end events stay attributed.
+    @property
+    def trace_id(self) -> str:  # type: ignore[override]
+        return self.inner.trace_id
+
+    @trace_id.setter
+    def trace_id(self, value: str) -> None:
+        self.inner.trace_id = value
+
+    # -- plain delegation ---------------------------------------------------
+    def now(self) -> float:
+        return self.inner.now()
+
+    def sleep(self, seconds: float) -> None:
+        self.inner.sleep(seconds)
+
+    def resolved(self, record):
+        return self.inner.resolved(record)
+
+    def record(self, outcome):
+        return self.inner.record(outcome)
+
+    def gather(self, handles):
+        return self.inner.gather(handles)
+
+    def wait_any(self, handles):
+        return self.inner.wait_any(handles)
+
+    def submit_hedged(self, url, request, hedge_delay_seconds, state=None):
+        return self.inner.submit_hedged(url, request, hedge_delay_seconds,
+                                        state=state)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # -- the faulted wire ---------------------------------------------------
+    def submit(self, url: str, request: BenchRequest):
+        self.messages += 1
+        kind = self.plan.fault_for(self.messages)
+        if kind is None:
+            return self.inner.submit(url, request)
+        self.counters[kind] += 1
+        if kind == "drop-request":
+            return self._drop_request(request)
+        if kind == "lost-ack":
+            return self._lose_ack(url, request)
+        if kind == "duplicate":
+            return self._duplicate(url, request)
+        if kind == "delay":
+            return self._delay(url, request)
+        return self._corrupt(url, request)
+
+    def _emit(self, kind: str, name: str, **attrs) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(kind, name=name, trace=self.trace_id, **attrs)
+
+    def _drop_request(self, request: BenchRequest):
+        """The message is lost before the receiver; nothing executes."""
+        self._emit(DELIVERY_DROP, request.name)
+        done = self.env.event()
+        submitted = self.env.now
+        plan = self.plan
+
+        def proc():
+            yield self.env.timeout(plan.drop_penalty_seconds)
+            done.succeed(InvocationOutcome(
+                name=request.name, status=503, submitted_at=submitted,
+                started_at=submitted, finished_at=self.env.now,
+                error="request lost in transit",
+                retry_after=plan.retry_after_seconds,
+            ))
+
+        self.env.process(proc())
+        return done
+
+    def _lose_ack(self, url: str, request: BenchRequest):
+        """The receiver executes; the response never comes back."""
+        real = self.inner.submit(url, request)
+        done = self.env.event()
+        submitted = self.env.now
+
+        def _lose(event) -> None:
+            value = event.value
+            self._emit(DELIVERY_LOST_ACK, request.name, status=value.status)
+            done.succeed(InvocationOutcome(
+                name=request.name, status=504, submitted_at=submitted,
+                started_at=value.started_at, finished_at=self.env.now,
+                error="response lost in transit",
+            ))
+
+        if real.callbacks is not None:
+            real.callbacks.append(_lose)
+        else:
+            _lose(real)
+        return done
+
+    def _duplicate(self, url: str, request: BenchRequest):
+        """At-least-once transport replay: deliver the message twice."""
+        self._emit(DELIVERY_DUP, request.name, source="injector")
+        first = self.inner.submit(url, request)
+        second = self.inner.submit(url, request)
+        done = self.env.event()
+
+        def proc():
+            yield self.env.any_of([first, second])
+            winner = first if first.processed else second
+            done.succeed(winner.value)
+
+        self.env.process(proc())
+        return done
+
+    def _delay(self, url: str, request: BenchRequest):
+        """Hold the message back, then deliver normally."""
+        plan = self.plan
+        self._emit(DELIVERY_DELAY, request.name, seconds=plan.delay_seconds)
+        done = self.env.event()
+
+        def proc():
+            yield self.env.timeout(plan.delay_seconds)
+            real = self.inner.submit(url, request)
+            yield real
+            done.succeed(real.value)
+
+        self.env.process(proc())
+        return done
+
+    def _corrupt(self, url: str, request: BenchRequest):
+        """Tamper a payload field without fixing up the checksum."""
+        tampered = replace(request, cpu_work=request.cpu_work * 2.0 + 1.0)
+        self._emit(DELIVERY_CORRUPT, request.name,
+                   detected=bool(request.checksum))
+        return self.inner.submit(url, tampered)

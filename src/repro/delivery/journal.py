@@ -1,0 +1,283 @@
+"""Task-level write-ahead journal: intent → dispatched → acked.
+
+The phase checkpoint (:mod:`repro.resilience.checkpoint`) rewrites one
+JSON document per phase barrier, so a crash mid-phase forgets every
+completion since the last barrier.  :class:`TaskJournal` generalises it
+to a per-task WAL with fsync'd atomic appends::
+
+    {"version": 1, "workflow": "blast-20"}          # header
+    {"seq": 1, "task": "t", "state": "intent", "phase": 0, "epoch": 0,
+     "key": "blast-20/t#0"}
+    {"seq": 2, "task": "t", "state": "dispatched", "phase": 0, "epoch": 0}
+    {"seq": 3, "task": "t", "state": "acked", "phase": 0, "epoch": 0,
+     "status": 200, "finished_at": 12.3, "outputs": {"f": 2048}}
+
+Resume semantics: *acked* tasks are replayed with zero re-execution
+(exactly the checkpoint contract — the journal duck-types
+:class:`~repro.resilience.checkpoint.WorkflowCheckpoint`, so the
+manager's replay/restage machinery works unchanged); *dispatched*
+tasks are re-dispatched at most once under the **same** idempotency
+key, so a receiver that executed the first delivery absorbs the
+re-dispatch instead of re-executing.  A torn trailing line (crash mid
+append) is dropped on load; a garbled line elsewhere raises
+:class:`JournalCorrupt`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.errors import WorkflowExecutionError
+from repro.tracing.events import JOURNAL_APPEND
+
+if TYPE_CHECKING:
+    from repro.core.shared_drive import SharedDrive
+    from repro.tracing.recorder import TraceRecorder
+
+__all__ = ["JournalCorrupt", "TaskJournal"]
+
+_VERSION = 1
+_STATES = ("intent", "dispatched", "acked")
+
+
+class JournalCorrupt(WorkflowExecutionError):
+    """The journal file exists but cannot be parsed.
+
+    Only a *non-trailing* undecodable line is corruption: the trailing
+    line may legitimately be torn by a crash mid-append and is dropped.
+    """
+
+    def __init__(self, path: Path, reason: str):
+        super().__init__(f"journal {path} is corrupt: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
+
+class TaskJournal:
+    """Append-only WAL of task attempt state, checkpoint-compatible."""
+
+    def __init__(self, path: str | Path, workflow_name: str = ""):
+        self.path = Path(path)
+        self.workflow_name = workflow_name
+        #: Acked entries, checkpoint-shaped: name -> {phase, status,
+        #: finished_at, outputs}.  Mirrors ``WorkflowCheckpoint.completed``.
+        self.completed: dict[str, dict] = {}
+        #: Latest state seen per task: name -> (state, epoch, phase, key).
+        self._last: dict[str, tuple[str, int, int, str]] = {}
+        self._seq = 0
+        self._acked_appends = 0
+        self._fh = None
+        #: Test hook: raise after this many *acked* appends have been
+        #: fsync'd (the record survives; the run dies) — powers the
+        #: crash-at-every-task-boundary resume tests.
+        self.crash_after_acks: Optional[int] = None
+        #: Optional tracing (the manager binds these at run start).
+        self.tracer: Optional["TraceRecorder"] = None
+        self.trace_id = ""
+
+    # -- persistence --------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "TaskJournal":
+        """Load an existing journal (empty when the file is absent)."""
+        journal = cls(path)
+        if not journal.path.is_file():
+            return journal
+        lines = journal.path.read_text(errors="replace").splitlines()
+        if not lines:
+            return journal
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalCorrupt(journal.path,
+                                 f"header is not valid JSON ({exc})") from exc
+        if not isinstance(header, dict) or header.get("version") != _VERSION:
+            raise JournalCorrupt(
+                journal.path,
+                f"unsupported header {str(header)[:80]!r}")
+        journal.workflow_name = str(header.get("workflow", ""))
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    break  # torn trailing append: crash mid-write
+                raise JournalCorrupt(
+                    journal.path,
+                    f"line {lineno} is not valid JSON ({exc})") from exc
+            if not isinstance(record, dict) or "task" not in record \
+                    or record.get("state") not in _STATES:
+                raise JournalCorrupt(
+                    journal.path,
+                    f"line {lineno} is not a journal record")
+            journal._apply(record)
+        return journal
+
+    def _apply(self, record: dict) -> None:
+        """Fold one parsed record into the in-memory state."""
+        name = str(record["task"])
+        state = str(record["state"])
+        epoch = int(record.get("epoch", 0))
+        phase = int(record.get("phase", 0))
+        key = str(record.get("key", ""))
+        self._seq = max(self._seq, int(record.get("seq", 0)))
+        prev = self._last.get(name)
+        if prev is not None and key == "":
+            key = prev[3]
+        self._last[name] = (state, epoch, phase, key)
+        if state == "acked":
+            self.completed[name] = {
+                "phase": phase,
+                "status": int(record.get("status", 200)),
+                "finished_at": float(record.get("finished_at", 0.0)),
+                "outputs": dict(record.get("outputs", {})),
+                "epoch": epoch,
+            }
+        elif name in self.completed \
+                and epoch > int(self.completed[name].get("epoch", 0)):
+            # A fresh attempt lineage (lineage recovery) supersedes the
+            # old ack: the task must run again.
+            del self.completed[name]
+
+    def _append(self, record: dict) -> None:
+        """One fsync'd atomic append (write + flush + fsync)."""
+        self._seq += 1
+        record = {"seq": self._seq, **record}
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                header = {"version": _VERSION, "workflow": self.workflow_name}
+                self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._apply(record)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(JOURNAL_APPEND, name=record["task"],
+                        trace=self.trace_id, seq=record["seq"],
+                        state=record["state"],
+                        epoch=int(record.get("epoch", 0)))
+        if record["state"] == "acked":
+            self._acked_appends += 1
+            if self.crash_after_acks is not None \
+                    and self._acked_appends >= self.crash_after_acks:
+                raise WorkflowExecutionError(
+                    f"injected journal crash after "
+                    f"{self._acked_appends} acked append(s)")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def flush(self) -> None:
+        """Checkpoint-API parity: appends are already durable."""
+
+    def clear(self) -> None:
+        self.close()
+        self.completed.clear()
+        self._last.clear()
+        self._seq = 0
+        self._acked_appends = 0
+        if self.path.is_file():
+            self.path.unlink()
+
+    # -- WAL state transitions ----------------------------------------------
+    def note_intent(self, name: str, phase: int, epoch: int = 0,
+                    key: str = "") -> None:
+        """The manager is about to dispatch ``name`` (this epoch)."""
+        prev = self._last.get(name)
+        if prev is not None and prev[1] == epoch:
+            return  # this attempt lineage is already journalled
+        self._append({"task": name, "state": "intent", "phase": int(phase),
+                      "epoch": int(epoch), "key": key})
+
+    def note_dispatched(self, name: str, epoch: Optional[int] = None) -> None:
+        """``name`` left the manager towards the platform.
+
+        Repeatable — retries and post-resume re-dispatches append again.
+        An unseen task gets an implicit intent first (lineage recovery
+        fires producers without a phase-level intent pass).
+        """
+        prev = self._last.get(name)
+        if epoch is None:
+            epoch = prev[1] if prev is not None else 0
+        if prev is None or prev[1] != epoch:
+            self._append({"task": name, "state": "intent", "phase": 0,
+                          "epoch": int(epoch), "key": ""})
+            prev = self._last[name]
+        if prev[0] == "acked" and prev[1] == epoch:
+            return  # late duplicate dispatch of an acked attempt
+        self._append({"task": name, "state": "dispatched",
+                      "phase": prev[2], "epoch": int(epoch)})
+
+    # -- checkpoint-compatible API -------------------------------------------
+    def bind(self, workflow_name: str) -> None:
+        if self.workflow_name and self.workflow_name != workflow_name:
+            raise WorkflowExecutionError(
+                f"journal {self.path} belongs to workflow "
+                f"{self.workflow_name!r}, not {workflow_name!r}"
+            )
+        self.workflow_name = workflow_name
+
+    def is_completed(self, name: str) -> bool:
+        return name in self.completed
+
+    def completed_tasks(self) -> frozenset:
+        return frozenset(self.completed)
+
+    def mark(
+        self,
+        name: str,
+        phase: int,
+        status: int,
+        finished_at: float,
+        outputs: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """Ack one completed task (the checkpoint ``mark`` contract)."""
+        prev = self._last.get(name)
+        epoch = prev[1] if prev is not None else 0
+        self._append({
+            "task": name, "state": "acked", "phase": int(phase),
+            "epoch": epoch, "status": int(status),
+            "finished_at": float(finished_at),
+            "outputs": dict(outputs or {}),
+        })
+
+    def entry(self, name: str) -> dict:
+        return self.completed[name]
+
+    def restage(self, drive: "SharedDrive") -> int:
+        """Re-stage acked outputs (the checkpoint ``restage`` contract)."""
+        staged = 0
+        for entry in self.completed.values():
+            for fname, size in entry.get("outputs", {}).items():
+                if not drive.exists(fname):
+                    drive.put(fname, int(size))
+                    staged += 1
+        return staged
+
+    # -- resume introspection -------------------------------------------------
+    def epochs(self) -> dict[str, int]:
+        """Latest attempt epoch per journalled task (resume restores
+        these so re-dispatches reuse the original idempotency keys)."""
+        return {name: last[1] for name, last in self._last.items()}
+
+    def keys(self) -> dict[str, str]:
+        """Latest recorded idempotency key per task ("" when unkeyed)."""
+        return {name: last[3] for name, last in self._last.items()}
+
+    def in_flight(self) -> frozenset:
+        """Tasks dispatched but never acked — the at-most-once-re-dispatch
+        set a resumed run is allowed to fire again."""
+        return frozenset(
+            name for name, last in self._last.items()
+            if last[0] == "dispatched"
+        )

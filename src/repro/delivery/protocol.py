@@ -1,0 +1,184 @@
+"""Idempotent invocation protocol: receiver-side dedupe/result caching.
+
+The manager stack can legitimately deliver one logical task more than
+once — policy retries after a lost ack, hedged speculative duplicates,
+an injector replaying a message on the wire.  The protocol makes those
+duplicates side-effect-free:
+
+* every request carries a deterministic *idempotency key*
+  (``workflow/task#epoch`` — see :func:`make_idempotency_key`; the
+  epoch is the attempt lineage, bumped only when the manager
+  deliberately re-executes a task to regenerate lost data);
+* the receiver keeps a bounded LRU of recorded first results keyed by
+  that key; a replayed duplicate is answered from the record instead of
+  re-executing (no second shared-drive write);
+* an in-flight duplicate (hedge racing its primary) attaches to the
+  first execution and mirrors its outcome;
+* a CRC-32 payload checksum rejects tampered messages with a 400
+  before they reach the engine.
+
+:class:`DedupeCache` is the simulated-platform side — both backends
+route :meth:`~repro.platform.base.Platform.invoke` through it when
+attached.  The real HTTP side lives in
+:class:`~repro.wfbench.app.WfBenchApp`, which applies the same policy
+under a lock.  Only 2xx results are recorded: a genuine failure must
+stay retryable under the same key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.tracing.events import DELIVERY_DUP
+from repro.wfbench.spec import BenchRequest, payload_checksum
+
+if TYPE_CHECKING:
+    from repro.platform.base import InvocationOutcome, Platform
+    from repro.simulation import Event
+    from repro.tracing.recorder import TraceRecorder
+
+__all__ = ["DedupeCache", "make_idempotency_key"]
+
+
+def make_idempotency_key(workflow: str, task: str, epoch: int = 0) -> str:
+    """The stable identity of one logical attempt.
+
+    Deliberately excludes anything run-local (trace ids, timestamps):
+    a resumed manager must reproduce the same key so a re-dispatch of
+    an in-flight task dedupes against the first delivery.
+    """
+    return f"{workflow}/{task}#{epoch}"
+
+
+class DedupeCache:
+    """Bounded idempotency cache for the simulated platforms.
+
+    Attach as ``platform.dedupe``; ``Platform.invoke`` then routes every
+    request through :meth:`intercept` before spawning an execution
+    process.  The cache distinguishes three duplicate phases:
+
+    ``done``
+        The first delivery already completed 2xx — answer with a copy
+        of the recorded outcome (``deduped=True``, zero fresh CPU).
+    ``inflight``
+        The first delivery is still executing — attach to its
+        completion event and mirror whatever it returns.
+    (miss)
+        Register the delivery as the in-flight first and let the
+        platform execute it; its 2xx outcome is recorded on completion.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 tracer: Optional["TraceRecorder"] = None):
+        if capacity < 1:
+            raise ValueError("dedupe capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.tracer = tracer
+        self._done: OrderedDict[str, "InvocationOutcome"] = OrderedDict()
+        self._inflight: dict[str, "Event"] = {}
+        self.hits = 0
+        self.inflight_hits = 0
+        self.recorded = 0
+        self.rejected_checksums = 0
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def result(self, key: str) -> Optional["InvocationOutcome"]:
+        """The recorded first result for ``key``, if any (no LRU touch)."""
+        return self._done.get(key)
+
+    # -- the receive path ---------------------------------------------------
+    def intercept(self, platform: "Platform", request: BenchRequest,
+                  outcome: "InvocationOutcome", done: "Event") -> bool:
+        """Apply the protocol to one arriving request.
+
+        Returns True when the request was absorbed (checksum reject,
+        replay answer, or in-flight attach) — ``done`` is then already
+        resolved or wired up, and the platform must not execute.
+        Returns False for a first delivery, which the cache has
+        registered as in-flight.
+        """
+        if request.checksum and payload_checksum(request) != request.checksum:
+            self.rejected_checksums += 1
+            platform._finish(outcome, done, status=400,
+                             error="payload checksum mismatch")
+            return True
+        key = request.idempotency_key
+        if not key:
+            return False
+
+        recorded = self._done.get(key)
+        if recorded is not None:
+            self._done.move_to_end(key)
+            self.hits += 1
+            self._trace_dup(request.name, key, "done")
+            self._serve_copy(recorded, outcome, platform.env.now)
+            done.succeed(outcome)
+            return True
+
+        first = self._inflight.get(key)
+        if first is not None:
+            self.hits += 1
+            self.inflight_hits += 1
+            self._trace_dup(request.name, key, "inflight")
+
+            def _mirror(event: "Event") -> None:
+                self._serve_copy(event.value, outcome, platform.env.now)
+                outcome.status = event.value.status
+                outcome.error = event.value.error
+                done.succeed(outcome)
+
+            if first.callbacks is not None:
+                first.callbacks.append(_mirror)
+            else:
+                _mirror(first)
+            return True
+
+        self._inflight[key] = done
+
+        def _record(event: "Event") -> None:
+            self._inflight.pop(key, None)
+            value = event.value
+            if getattr(value, "ok", False):
+                self._remember(key, value)
+
+        done.callbacks.append(_record)
+        return False
+
+    # -- internals ----------------------------------------------------------
+    @staticmethod
+    def _serve_copy(src: "InvocationOutcome", dst: "InvocationOutcome",
+                    now: float) -> None:
+        """Fill ``dst`` from a recorded/first outcome.
+
+        The duplicate answers instantly from the record: no fresh CPU is
+        burned and no cold start happens, so those fields stay zeroed —
+        duplicate deliveries must not skew resource accounting.
+        """
+        dst.status = src.status
+        dst.error = src.error
+        dst.node = src.node
+        dst.unit = src.unit
+        dst.started_at = dst.submitted_at
+        dst.finished_at = now
+        dst.cold_start = False
+        dst.cpu_seconds = 0.0
+        dst.deduped = True
+
+    def _remember(self, key: str, outcome: "InvocationOutcome") -> None:
+        # Snapshot: hedging mutates the winning outcome's submitted_at
+        # after completion, and the record must not alias that.
+        self._done[key] = replace(outcome)
+        self._done.move_to_end(key)
+        self.recorded += 1
+        while len(self._done) > self.capacity:
+            self._done.popitem(last=False)
+
+    def _trace_dup(self, name: str, key: str, phase: str) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(DELIVERY_DUP, name=name, key=key, phase=phase)

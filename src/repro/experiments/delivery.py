@@ -1,0 +1,314 @@
+"""Delivery-semantics evaluation: message faults × exactly-once protocol.
+
+The wire between the manager and the platform is not reliable: requests
+vanish, responses vanish after the work ran, transports replay, payloads
+rot.  This sweep runs every workflow under each
+:class:`~repro.delivery.faults.DeliveryFaultPlan` shape twice — protocol
+**on** (idempotency keys + checksums + receiver dedupe + task journal)
+and protocol **off** (the seed repo's fire-and-retry) — and measures the
+one thing that matters: *did any side effect happen twice?*
+
+* ``none``      — clean wire: the protocol's overhead baseline;
+* ``drop``      — requests lost before the receiver (503 + Retry-After);
+* ``lost-ack``  — responses lost after execution: the duplicate-inducing
+  case the journal + dedupe cache exist for;
+* ``duplicate`` — at-least-once transport replay;
+* ``delay``     — messages held back (reordering pressure);
+* ``corrupt``   — payload tampered in flight (caught by checksum).
+
+Protocol-on rows are gated hard: the run must succeed with **zero**
+trace violations (including ``exactly-once-effects`` and
+``journal-monotonic``).  Protocol-off ``duplicate``/``lost-ack`` rows
+are the negative control: they must exhibit at least one duplicate side
+effect (a file ``drive.put`` twice), proving the faults are real and the
+protocol is what absorbs them — not the sweep being too gentle.
+
+``repro-experiments delivery`` writes ``results/delivery.csv`` and exits
+2 when either gate fails.  Cells derive every seed from
+``(seed, workflow, shape)``, so ``--jobs N`` is byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.delivery import (
+    DedupeCache,
+    DeliveryFaultInjector,
+    DeliveryFaultPlan,
+    TaskJournal,
+)
+from repro.experiments.dataplane import _cluster_spec
+from repro.experiments.design import APPLICATIONS_ORDER
+from repro.experiments.figures import GROUP_1
+from repro.experiments.paradigms import paradigm
+from repro.platform.cluster import Cluster
+from repro.platform.knative import KnativePlatform
+from repro.resilience import ResiliencePolicy, RetryPolicy
+from repro.resilience.retry import RETRYABLE_STATUSES
+from repro.simulation import Environment
+from repro.simulation.rng import derive_seed
+from repro.tracing import TraceRecorder, check_trace
+from repro.tracing.events import DRIVE_PUT
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+from repro.wfcommons import WorkflowGenerator, recipe_for
+
+__all__ = [
+    "DEFAULT_SHAPES",
+    "DeliveryScenario",
+    "DeliveryShape",
+    "gate_delivery_rows",
+    "run_delivery_cell",
+    "run_delivery_sweep",
+]
+
+
+@dataclass(frozen=True)
+class DeliveryShape:
+    """One wire-fault shape of the sweep (``none`` = clean wire)."""
+
+    name: str
+    drops: int = 0
+    lost_acks: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    corruptions: int = 0
+
+    @property
+    def faulty(self) -> bool:
+        return bool(self.drops or self.lost_acks or self.duplicates
+                    or self.delays or self.corruptions)
+
+    #: Shapes whose protocol-off run must provably duplicate a side
+    #: effect (the sweep's negative control).
+    @property
+    def duplicating(self) -> bool:
+        return bool(self.lost_acks or self.duplicates)
+
+    def plan(self, seed: int, label: str, window: int) -> DeliveryFaultPlan:
+        if not self.faulty:
+            return DeliveryFaultPlan()
+        return DeliveryFaultPlan.generate(
+            seed, label, window,
+            drops=self.drops, lost_acks=self.lost_acks,
+            duplicates=self.duplicates, delays=self.delays,
+            corruptions=self.corruptions,
+        )
+
+
+DEFAULT_SHAPES: tuple = (
+    DeliveryShape("none"),
+    DeliveryShape("drop", drops=2),
+    DeliveryShape("lost-ack", lost_acks=2),
+    DeliveryShape("duplicate", duplicates=2),
+    DeliveryShape("delay", delays=2),
+    DeliveryShape("corrupt", corruptions=2),
+)
+
+
+@dataclass(frozen=True)
+class DeliveryScenario:
+    """One (workflow, fault shape, protocol) cell."""
+
+    application: str = "blast"
+    num_tasks: int = 8
+    shape: DeliveryShape = DeliveryShape("lost-ack", lost_acks=2)
+    protocol: bool = True
+    paradigm_name: str = "Kn1wNoPM"
+    workers: int = 2
+    data_scale: float = 8.0
+    base_cpu_work: float = 20.0
+    seed: int = 0
+
+    @property
+    def cell_label(self) -> str:
+        state = "on" if self.protocol else "off"
+        return f"{self.application}/{self.shape.name}/{state}"
+
+
+def run_delivery_cell(scenario: DeliveryScenario) -> dict[str, Any]:
+    """One traced run: seeded fault plan on the wire, protocol on or off."""
+    shape = scenario.shape
+    par = paradigm(scenario.paradigm_name)
+    env = Environment()
+    cluster = Cluster(env, _cluster_spec(scenario.workers),
+                     placement="spread")
+    drive = SimulatedSharedDrive()
+    recorder = TraceRecorder.for_env(env)
+    drive.tracer = recorder
+
+    model = WfBenchModel(noise_sigma=0.0)
+    worker_spec = cluster.workers[0].spec
+    platform = KnativePlatform(
+        env, cluster, drive,
+        config=par.knative_config(
+            node_cores=worker_spec.cores,
+            node_memory_bytes=worker_spec.memory_bytes,
+        ),
+        model=model,
+        rng=np.random.default_rng(
+            # Protocol-independent (like the fault plan): the on/off
+            # rows of one cell must differ only by the protocol itself.
+            derive_seed(scenario.seed,
+                        f"delivery-platform/{scenario.application}"
+                        f"/{shape.name}")),
+    )
+
+    workflow = WorkflowGenerator(
+        recipe_for(scenario.application)(
+            base_cpu_work=scenario.base_cpu_work,
+            data_scale=scenario.data_scale,
+        ),
+        seed=derive_seed(scenario.seed, scenario.application),
+    ).build_workflow(scenario.num_tasks)
+    for f in workflow_input_files(workflow):
+        drive.put(f.name, f.size_in_bytes)
+    staged = {f.name for f in workflow_input_files(workflow)}
+
+    # The fault plan targets first-delivery messages; the identity
+    # deliberately excludes the protocol flag so on/off rows face the
+    # byte-identical wire.
+    plan = shape.plan(scenario.seed,
+                      f"{scenario.application}/{shape.name}",
+                      window=len(workflow.tasks))
+    invoker: Any = SimulatedInvoker(platform, tracer=recorder)
+    injector: Optional[DeliveryFaultInjector] = None
+    if not plan.empty:
+        injector = DeliveryFaultInjector(invoker, plan, tracer=recorder)
+        invoker = injector
+
+    # Corrupted payloads come back 400: with checksums that is the
+    # *detected* outcome and must be retried with a clean copy.
+    resilience = ResiliencePolicy(
+        retry=RetryPolicy(
+            max_attempts=5, base_delay_seconds=0.5, max_delay_seconds=10.0,
+            jitter="decorrelated",
+            retryable_statuses=frozenset(RETRYABLE_STATUSES | {400}),
+        ),
+        seed=derive_seed(scenario.seed,
+                         f"delivery-retry/{scenario.application}"
+                         f"/{shape.name}"),
+    )
+
+    dedupe: Optional[DedupeCache] = None
+    journal: Optional[TaskJournal] = None
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if scenario.protocol:
+        dedupe = DedupeCache(tracer=recorder)
+        platform.dedupe = dedupe
+        tmp = tempfile.TemporaryDirectory(prefix="repro-delivery-")
+        journal = TaskJournal(Path(tmp.name) / "journal.jsonl",
+                              workflow_name=workflow.name)
+    manager = ServerlessWorkflowManager(
+        invoker, drive,
+        ManagerConfig(keep_memory=par.persistent_memory,
+                      resilience=resilience,
+                      exactly_once=scenario.protocol),
+        tracer=recorder, journal=journal,
+    )
+    try:
+        run = manager.execute(workflow, platform_label=par.platform,
+                              paradigm_label=par.name)
+    finally:
+        platform.shutdown()
+        if journal is not None:
+            journal.close()
+        if tmp is not None:
+            tmp.cleanup()
+
+    violations = check_trace(recorder.events)
+    puts = Counter(e.name for e in recorder.events if e.kind == DRIVE_PUT)
+    duplicate_effects = sum(
+        1 for name, count in puts.items()
+        if count > 1 and name not in staged)
+    counters = injector.counters if injector is not None else {}
+
+    return {
+        "workflow": scenario.application,
+        "shape": shape.name,
+        "protocol": "on" if scenario.protocol else "off",
+        "group": 1 if scenario.application in GROUP_1 else 2,
+        "succeeded": run.succeeded,
+        "error": run.error[:120],
+        "makespan_seconds": round(run.makespan_seconds, 6),
+        "retries": int(run.metrics.get("retries", 0)),
+        "messages": injector.messages if injector is not None else 0,
+        "drops": counters.get("drop-request", 0),
+        "lost_acks": counters.get("lost-ack", 0),
+        "duplicates": counters.get("duplicate", 0),
+        "delays": counters.get("delay", 0),
+        "corruptions": counters.get("corrupt", 0),
+        "dedupe_hits": dedupe.hits if dedupe is not None else 0,
+        "rejected_checksums": (
+            dedupe.rejected_checksums if dedupe is not None else 0),
+        "duplicate_effects": duplicate_effects,
+        "trace_events": len(recorder.events),
+        "trace_violations": len(violations),
+    }
+
+
+def run_delivery_sweep(
+    applications: tuple = APPLICATIONS_ORDER,
+    shapes: tuple = DEFAULT_SHAPES,
+    base_scenario: Optional[DeliveryScenario] = None,
+    jobs: int = 1,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """shape × workflow × protocol grid, shape-major, on before off."""
+    base = base_scenario or DeliveryScenario(seed=seed)
+    cells = [
+        replace(base, application=app, shape=shape, protocol=protocol)
+        for shape in shapes
+        for app in applications
+        for protocol in (True, False)
+    ]
+    if jobs > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            rows = list(pool.map(run_delivery_cell, cells))
+    else:
+        rows = [run_delivery_cell(cell) for cell in cells]
+    return rows
+
+
+def gate_delivery_rows(rows: list[dict[str, Any]]) -> list[str]:
+    """The sweep's pass/fail contract; returns human-readable failures.
+
+    * protocol-on rows must succeed with zero trace violations and zero
+      duplicate side effects;
+    * protocol-off ``duplicate``/``lost-ack`` rows must exhibit at least
+      one duplicate side effect (otherwise the faults prove nothing).
+    """
+    duplicating = {s.name for s in DEFAULT_SHAPES if s.duplicating}
+    failures: list[str] = []
+    for row in rows:
+        cell = f"{row['workflow']}/{row['shape']}/{row['protocol']}"
+        if row["protocol"] == "on":
+            if not row["succeeded"]:
+                failures.append(f"{cell}: run failed ({row['error']})")
+            if row["trace_violations"]:
+                failures.append(
+                    f"{cell}: {row['trace_violations']} trace violation(s)")
+            if row["duplicate_effects"]:
+                failures.append(
+                    f"{cell}: {row['duplicate_effects']} duplicate side "
+                    f"effect(s) under the exactly-once protocol")
+        elif row["shape"] in duplicating and not row["duplicate_effects"]:
+            failures.append(
+                f"{cell}: negative control exhibited no duplicate side "
+                f"effect — the injected faults are not biting")
+    return failures

@@ -53,6 +53,11 @@ class InvocationOutcome:
     unit: str = ""
     cpu_seconds: float = 0.0
     error: str = ""
+    #: True when this outcome was served from the idempotency cache
+    #: instead of a fresh execution (:mod:`repro.delivery`).
+    deduped: bool = False
+    #: Server/injector backoff hint in seconds (``Retry-After``); 0 = none.
+    retry_after: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -319,6 +324,10 @@ class Platform(abc.ABC):
         self._executing: dict[int, tuple[str, InvocationOutcome, Event]] = {}
         #: Optional transient-failure injection (repro.platform.faults).
         self.fault_injector = None
+        #: Optional exactly-once dedupe/result cache
+        #: (:class:`repro.delivery.DedupeCache`).  Both backends inherit
+        #: this single receive-path hook.
+        self.dedupe = None
         #: Per-request queue-wait ceiling (Knative's revision timeout);
         #: None = wait forever.  Expired requests fail with 504.
         self.request_timeout: Optional[float] = None
@@ -358,6 +367,11 @@ class Platform(abc.ABC):
         done = self.env.event()
         outcome = InvocationOutcome(name=request.name, submitted_at=self.env.now)
         self.stats.invocations += 1
+        if self.dedupe is not None \
+                and self.dedupe.intercept(self, request, outcome, done):
+            # Absorbed by the idempotency protocol: checksum reject,
+            # replayed answer, or in-flight attach — nothing executes.
+            return done
         self.env.process(self._request_proc(request, outcome, done))
         self.stats.peak_concurrency = max(self.stats.peak_concurrency, self.in_flight())
         self.on_queue_changed()

@@ -84,16 +84,24 @@ class RetryPolicy:
         attempt: int,
         rng: Optional[np.random.Generator] = None,
         prev_delay: Optional[float] = None,
+        hint_seconds: Optional[float] = None,
     ) -> float:
         """Delay before retry number ``attempt`` (1-based).
 
         ``prev_delay`` chains decorrelated jitter: pass the value returned
         by the previous call (or ``None`` for the first retry).
+
+        ``hint_seconds`` is a server-provided ``Retry-After`` hint
+        (429/503): when given it overrides the computed backoff — the
+        server knows its own recovery horizon better than any jitter
+        schedule — capped at ``max_delay_seconds``.
         """
         if attempt < 1:
             raise ValueError("attempt is 1-based")
         cap = self.max_delay_seconds
         base = self.base_delay_seconds
+        if hint_seconds is not None:
+            return min(cap, max(0.0, float(hint_seconds)))
         if self.jitter == "decorrelated":
             if rng is None:
                 rng = np.random.default_rng(0)

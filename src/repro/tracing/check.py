@@ -50,13 +50,31 @@ replays a log and returns every violation it finds:
     Every ``lineage.reexec`` is justified: the re-executed task produces
     a lost file, or produces an input of another justified re-execution
     (i.e. only DAG ancestors of lost outputs are ever redone).
+``exactly-once-effects``
+    Armed by a ``delivery.protocol`` marker (a run that claimed
+    exactly-once semantics): no output file is ``drive.put`` more than
+    once in the log — duplicate deliveries, hedges and retries must be
+    absorbed before their side effects run.  Files produced by a
+    ``lineage.reexec`` task are exempt (regeneration is a deliberate
+    second write).  Applies within one log; a resumed run that restages
+    onto a fresh drive belongs in its own log.
+``journal-monotonic``
+    The write-ahead journal's ``journal.append`` stream is replayable:
+    sequence numbers strictly increase, every (task, epoch) lineage
+    opens with ``intent``, nothing follows its ``acked`` record, and a
+    task's epochs never go backwards.
 
 Failed runs are exempt from ``submit-completion`` (an aborted run
 legitimately leaves work unfinished) but not from the ordering/breaker
-invariants.  ``resume-no-reexec`` exempts tasks with a ``lineage.reexec``
-event — regenerating lost data is the one legitimate reason to redo
-checkpointed work.  ``eps`` absorbs clock skew for wall-clock traces;
-keep the default for simulated logs, where time is exact.
+invariants.  ``submit-completion`` tolerates up to one missing
+``task.end`` per recorded ``delivery.dup`` for the task — a deduped
+duplicate is answered from the receiver's cache, so its completion may
+be folded into the first delivery's.  ``resume-no-reexec`` exempts
+tasks with a ``lineage.reexec`` event — regenerating lost data is the
+one legitimate reason to redo checkpointed work — and additionally
+flags any ``task.submit`` after the task's ``acked`` journal record.
+``eps`` absorbs clock skew for wall-clock traces; keep the default for
+simulated logs, where time is exact.
 """
 
 from __future__ import annotations
@@ -71,10 +89,13 @@ from repro.tracing.events import (
     CACHE_EVICT,
     CACHE_HIT,
     CACHE_INSERT,
+    DELIVERY_DUP,
+    DELIVERY_PROTOCOL,
     DRIVE_PUT,
     DURABLE_ACK,
     HEDGE_FIRE,
     HEDGE_RESOLVE,
+    JOURNAL_APPEND,
     LINEAGE_REEXEC,
     OBJECT_CORRUPT,
     PHASE_END,
@@ -123,6 +144,12 @@ class _TraceIndex:
         self.hedge_fires: dict[str, int] = defaultdict(int)
         self.hedge_resolves: dict[str, list[TraceEvent]] = defaultdict(list)
         self.reexecs: list[TraceEvent] = []
+        #: delivery.dup events per task (deduped duplicate deliveries).
+        self.dups: dict[str, int] = defaultdict(int)
+        #: journal.append events in log order (the WAL stream).
+        self.journal: list[TraceEvent] = []
+        #: This run claimed exactly-once delivery semantics.
+        self.protocol = False
 
     @property
     def succeeded(self) -> bool:
@@ -132,9 +159,11 @@ class _TraceIndex:
 def _index(events: Sequence[TraceEvent]
            ) -> tuple[dict[str, _TraceIndex], dict[str, float],
                       list[TraceEvent], list[TraceEvent],
-                      list[TraceEvent], list[TraceEvent]]:
+                      list[TraceEvent], list[TraceEvent],
+                      dict[str, list[TraceEvent]]]:
     traces: dict[str, _TraceIndex] = defaultdict(_TraceIndex)
     puts: dict[str, float] = {}
+    put_events: dict[str, list[TraceEvent]] = defaultdict(list)
     posts: list[TraceEvent] = []
     opens: list[TraceEvent] = []
     reads: list[TraceEvent] = []
@@ -145,6 +174,7 @@ def _index(events: Sequence[TraceEvent]
             prev = puts.get(event.name)
             if prev is None or event.ts < prev:
                 puts[event.name] = event.ts
+            put_events[event.name].append(event)
         elif kind == POST_START:
             posts.append(event)
         elif kind == BREAKER_OPEN:
@@ -176,14 +206,20 @@ def _index(events: Sequence[TraceEvent]
             traces[event.trace].hedge_resolves[event.name].append(event)
         elif kind == LINEAGE_REEXEC:
             traces[event.trace].reexecs.append(event)
-    return traces, puts, posts, opens, reads, cache_ops
+        elif kind == DELIVERY_DUP:
+            traces[event.trace].dups[event.name] += 1
+        elif kind == JOURNAL_APPEND:
+            traces[event.trace].journal.append(event)
+        elif kind == DELIVERY_PROTOCOL:
+            traces[event.trace].protocol = True
+    return traces, puts, posts, opens, reads, cache_ops, put_events
 
 
 def check_trace(events: Iterable[TraceEvent],
                 eps: float = 1e-9) -> list[TraceViolation]:
     """Replay ``events`` and return every invariant violation found."""
     events = list(events)
-    traces, puts, posts, opens, reads, cache_ops = _index(events)
+    traces, puts, posts, opens, reads, cache_ops, put_events = _index(events)
     violations: list[TraceViolation] = []
 
     # drive.put instrumentation is optional (real HTTP runs have no view
@@ -197,10 +233,17 @@ def check_trace(events: Iterable[TraceEvent],
         violations.extend(_check_hedge_winner(trace_id, index))
         violations.extend(_check_resume_no_reexec(trace_id, index))
         violations.extend(_check_lineage_ancestors(trace_id, index))
+        violations.extend(_check_journal_monotonic(trace_id, index))
         if index.succeeded:
-            violations.extend(_check_submit_completion(trace_id, index))
+            # The platform-side dedupe cache emits delivery.dup without a
+            # trace id (it serves many runs); fold those into the run's
+            # own dup counts for the conservation relaxation.
+            untraced = traces[""].dups if "" in traces else {}
+            violations.extend(_check_submit_completion(
+                trace_id, index, untraced))
         violations.extend(_check_run_termination(trace_id, index))
 
+    violations.extend(_check_exactly_once_effects(traces, put_events))
     violations.extend(_check_breaker_quiet(posts, opens, eps))
     violations.extend(_check_transfer_staged(reads, puts,
                                              drive_instrumented, eps))
@@ -317,6 +360,23 @@ def _check_resume_no_reexec(trace_id: str,
             "resume-no-reexec", trace_id,
             f"task {name} was replayed from the checkpoint and then "
             f"re-submitted", index.submits[name][0].ts))
+    # WAL tightening: once a task's attempt is acked in the journal, the
+    # same run must never submit it again (the ack is the point of
+    # no-re-dispatch) — unless a fresh lineage epoch superseded it.
+    acked_at: dict[str, float] = {}
+    for event in index.journal:
+        if event.attrs.get("state") == "acked":
+            acked_at.setdefault(event.name, event.ts)
+    for name, ack_ts in sorted(acked_at.items()):
+        if name in recovered:
+            continue
+        for submit in index.submits.get(name, ()):
+            if submit.ts > ack_ts:
+                out.append(TraceViolation(
+                    "resume-no-reexec", trace_id,
+                    f"task {name} was submitted at {submit.ts:.6f} after "
+                    f"its journal ack at {ack_ts:.6f}", submit.ts))
+                break
     return out
 
 
@@ -358,17 +418,107 @@ def _check_lineage_ancestors(trace_id: str,
     return out
 
 
-def _check_submit_completion(trace_id: str,
-                             index: _TraceIndex) -> list[TraceViolation]:
+def _check_submit_completion(trace_id: str, index: _TraceIndex,
+                             untraced_dups: dict[str, int] = {},
+                             ) -> list[TraceViolation]:
     out: list[TraceViolation] = []
     for name, submits in index.submits.items():
         ends = index.task_ends.get(name, [])
-        if len(ends) != len(submits):
+        # A deduped duplicate delivery is answered from the receiver's
+        # result cache, so its completion may fold into the first
+        # delivery's: tolerate up to one missing end per delivery.dup.
+        # More ends than submits is always a lost-accounting bug.
+        dups = index.dups.get(name, 0) + untraced_dups.get(name, 0)
+        if len(ends) > len(submits) or len(ends) < len(submits) - dups:
             out.append(TraceViolation(
                 "submit-completion", trace_id,
                 f"task {name}: {len(submits)} submit(s) but {len(ends)} "
-                f"completion(s) in a run that reported success",
-                submits[0].ts))
+                f"completion(s) ({dups} deduped) in a run that reported "
+                f"success", submits[0].ts))
+    return out
+
+
+def _check_exactly_once_effects(traces: dict[str, _TraceIndex],
+                                put_events: dict[str, list[TraceEvent]]
+                                ) -> list[TraceViolation]:
+    """Armed by delivery.protocol: every output file lands exactly once.
+
+    ``drive.put`` is the observable side effect of task execution, so a
+    file written twice means some duplicate delivery (hedge, retry,
+    injected dup, re-dispatch after a lost ack) re-executed its task.
+    Files produced by a ``lineage.reexec`` task are exempt: regenerating
+    lost data is a deliberate second write.
+    """
+    if not any(index.protocol for index in traces.values()):
+        return []
+    regenerated: set[str] = set()
+    for index in traces.values():
+        for event in index.reexecs:
+            regenerated.update(event.attrs.get("produces", ()))
+    out: list[TraceViolation] = []
+    for fname in sorted(put_events):
+        events = put_events[fname]
+        if len(events) <= 1 or fname in regenerated:
+            continue
+        out.append(TraceViolation(
+            "exactly-once-effects", events[1].trace,
+            f"file {fname} was put on the shared drive {len(events)} "
+            f"times under the exactly-once protocol", events[1].ts))
+    return out
+
+
+def _check_journal_monotonic(trace_id: str,
+                             index: _TraceIndex) -> list[TraceViolation]:
+    """The WAL stream replays cleanly: monotone seqs, legal transitions.
+
+    A resumed run continues an existing journal file, so its first
+    append has seq > 1; lineages opened before the resume are then not
+    visible in this trace and their dispatched/acked records are legal.
+    """
+    out: list[TraceViolation] = []
+    continuation = bool(index.journal) and \
+        int(index.journal[0].attrs.get("seq", 0)) > 1
+    prev_seq = 0
+    opened: set[tuple[str, int]] = set()
+    acked: set[tuple[str, int]] = set()
+    top_epoch: dict[str, int] = {}
+    for event in index.journal:
+        seq = int(event.attrs.get("seq", 0))
+        if seq <= prev_seq:
+            out.append(TraceViolation(
+                "journal-monotonic", trace_id,
+                f"journal seq {seq} after {prev_seq} (must strictly "
+                f"increase)", event.ts))
+        prev_seq = max(prev_seq, seq)
+        name = event.name
+        state = str(event.attrs.get("state", ""))
+        epoch = int(event.attrs.get("epoch", 0))
+        lineage = (name, epoch)
+        if lineage in acked:
+            out.append(TraceViolation(
+                "journal-monotonic", trace_id,
+                f"task {name} epoch {epoch}: {state!r} record after the "
+                f"lineage was acked", event.ts))
+            continue
+        if state == "intent":
+            opened.add(lineage)
+        elif state in ("dispatched", "acked"):
+            if lineage not in opened:
+                if continuation:
+                    opened.add(lineage)  # intent predates the resume
+                else:
+                    out.append(TraceViolation(
+                        "journal-monotonic", trace_id,
+                        f"task {name} epoch {epoch}: {state!r} record with "
+                        f"no prior intent", event.ts))
+            if state == "acked":
+                acked.add(lineage)
+        if epoch < top_epoch.get(name, 0):
+            out.append(TraceViolation(
+                "journal-monotonic", trace_id,
+                f"task {name}: epoch went backwards "
+                f"({top_epoch[name]} -> {epoch})", event.ts))
+        top_epoch[name] = max(top_epoch.get(name, 0), epoch)
     return out
 
 

@@ -62,6 +62,29 @@ kind                      emitted by / meaning
                           ``produces``)
 ``plane.degraded``        data plane: too many node caches lost; locality
                           hints shed, reads go shared-store-only
+``delivery.protocol``     delivery: the exactly-once protocol is attached to
+                          this run (marker; its presence arms the
+                          ``exactly-once-effects`` invariant)
+``delivery.dup``          delivery: a duplicate delivery was absorbed — the
+                          receiver served the recorded (or in-flight) first
+                          result instead of re-executing (attrs carry the
+                          idempotency ``key`` and ``phase`` =
+                          done/inflight, or ``source`` = injector for a
+                          duplicate created on the wire)
+``delivery.lost_ack``     delivery fault: a response was dropped after the
+                          function executed — the nasty duplicate-inducing
+                          case (attrs carry the real ``status`` discarded)
+``delivery.drop``         delivery fault: a request was lost on the wire and
+                          never reached the receiver
+``delivery.delay``        delivery fault: a request was held ``seconds``
+                          before delivery
+``delivery.corrupt``      delivery fault: a payload was tampered in flight
+                          (attrs say whether the checksum ``detected`` it)
+``journal.append``        manager WAL: one record fsynced (attrs carry
+                          ``seq``, ``state`` = intent/dispatched/acked and
+                          the attempt ``epoch``)
+``journal.replay``        manager WAL: an acked task restored on resume
+                          without re-execution
 ========================  ====================================================
 """
 
@@ -87,6 +110,9 @@ __all__ = [
     "NODE_CRASH", "NODE_RESTORE", "NODE_SUSPECT", "NODE_DEAD", "NODE_ALIVE",
     "OBJECT_CORRUPT", "REPLICA_WRITE", "REPLICA_REPAIR", "DURABLE_ACK",
     "LINEAGE_REEXEC", "PLANE_DEGRADED",
+    "DELIVERY_PROTOCOL", "DELIVERY_DUP", "DELIVERY_LOST_ACK",
+    "DELIVERY_DROP", "DELIVERY_DELAY", "DELIVERY_CORRUPT",
+    "JOURNAL_APPEND", "JOURNAL_REPLAY",
 ]
 
 SCHEMA_VERSION = 1
@@ -129,6 +155,14 @@ REPLICA_REPAIR = "replica.repair"
 DURABLE_ACK = "durable.ack"
 LINEAGE_REEXEC = "lineage.reexec"
 PLANE_DEGRADED = "plane.degraded"
+DELIVERY_PROTOCOL = "delivery.protocol"
+DELIVERY_DUP = "delivery.dup"
+DELIVERY_LOST_ACK = "delivery.lost_ack"
+DELIVERY_DROP = "delivery.drop"
+DELIVERY_DELAY = "delivery.delay"
+DELIVERY_CORRUPT = "delivery.corrupt"
+JOURNAL_APPEND = "journal.append"
+JOURNAL_REPLAY = "journal.replay"
 
 
 @dataclass(frozen=True)

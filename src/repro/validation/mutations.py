@@ -1,4 +1,4 @@
-"""Sentinel mutations: three known bugs the fuzzer must catch.
+"""Sentinel mutations: four known bugs the fuzzer must catch.
 
 Each mutation is a runtime monkeypatch of one product function —
 nothing in the product tree carries mutation hooks, so the zero-cost
@@ -20,6 +20,12 @@ regressed, whatever its pass rate says.
     The uniform I/O model multiplies by bandwidth instead of dividing,
     so faster storage *slows the model down*.  Caught by
     **monotone-bandwidth**.
+``lost-ack``
+    The transport loses acks and redelivers: every third submit is
+    replayed, and the replayed copy has shed its idempotency envelope
+    (key and checksum stripped), so the dedupe cache cannot absorb it
+    and the task's side effects land twice.  Caught by the
+    **exactly-once-effects** trace invariant (armed on every fuzz run).
 """
 
 from __future__ import annotations
@@ -97,6 +103,30 @@ def _install_bandwidth_inversion() -> Callable[[], None]:
 
     WfBenchModel.io_seconds_for_bytes = inverted
     return lambda: setattr(WfBenchModel, "io_seconds_for_bytes", original)
+
+
+@_installer("lost-ack")
+def _install_lost_ack() -> Callable[[], None]:
+    from dataclasses import replace as dc_replace
+
+    from repro.core.invocation import SimulatedInvoker
+
+    original = SimulatedInvoker.submit
+
+    def replayed(self, url, request):
+        event = original(self, url, request)
+        # Per-invoker counter: each run builds a fresh invoker, so the
+        # replay pattern is identical run-to-run (determinism holds;
+        # only exactly-once is broken).
+        count = getattr(self, "_mutation_replays", 0) + 1
+        self._mutation_replays = count
+        if count % 3 == 1:
+            ghost = dc_replace(request, idempotency_key="", checksum=0)
+            original(self, url, ghost)
+        return event
+
+    SimulatedInvoker.submit = replayed
+    return lambda: setattr(SimulatedInvoker, "submit", original)
 
 
 MUTATIONS: tuple[str, ...] = tuple(sorted(_INSTALLERS))

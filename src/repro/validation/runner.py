@@ -140,12 +140,20 @@ def run_case(
     for f in workflow_input_files(workflow):
         drive.put(f.name, f.size_in_bytes)
 
+    # Every fuzz case runs under the exactly-once protocol: stamping is
+    # behaviour-neutral on a clean wire, and it arms the
+    # ``exactly-once-effects`` trace invariant for the whole corpus —
+    # any mutation that sneaks in a duplicate side effect gets caught.
+    from repro.delivery import DedupeCache
+
+    platform.dedupe = DedupeCache(tracer=recorder)
     manager = ServerlessWorkflowManager(
         SimulatedInvoker(platform, tracer=recorder), drive,
         ManagerConfig(
             keep_memory=par.persistent_memory,
             execution_mode=case.execution_mode,
             lineage_recovery=case.use_dataplane,
+            exactly_once=True,
         ),
         tracer=recorder,
     )

@@ -12,12 +12,13 @@ every request regardless of what the body says.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from dataclasses import replace as dc_replace
 from typing import Optional
 
 from repro.errors import SchemaError
-from repro.wfbench.spec import BenchRequest, BenchResponse
+from repro.wfbench.spec import BenchRequest, BenchResponse, payload_checksum
 from repro.wfbench.workload import WorkloadEngine
 
 __all__ = ["AppConfig", "WfBenchApp"]
@@ -34,12 +35,17 @@ class AppConfig:
     keep_memory: Optional[bool] = None
     #: gunicorn ``--timeout``; 0 disables (the paper uses 0).
     timeout_seconds: float = 0.0
+    #: Bound of the idempotency dedupe cache (recorded results, LRU);
+    #: 0 disables server-side dedupe even for keyed requests.
+    dedupe_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.threads_per_worker < 1:
             raise ValueError("threads_per_worker must be >= 1")
+        if self.dedupe_capacity < 0:
+            raise ValueError("dedupe_capacity must be >= 0")
 
     @property
     def concurrency(self) -> int:
@@ -57,6 +63,13 @@ class WfBenchApp:
         self._active = 0
         self._served = 0
         self._failed = 0
+        #: Exactly-once protocol state (repro.delivery): recorded ok
+        #: responses per idempotency key (bounded LRU) and in-flight
+        #: first deliveries other threads wait on instead of re-executing.
+        self._done: "OrderedDict[str, BenchResponse]" = OrderedDict()
+        self._inflight: dict[str, threading.Event] = {}
+        self._deduped = 0
+        self._rejected_checksums = 0
 
     # -- stats ---------------------------------------------------------------
     @property
@@ -74,6 +87,11 @@ class WfBenchApp:
         with self._lock:
             return self._failed
 
+    @property
+    def deduped_requests(self) -> int:
+        with self._lock:
+            return self._deduped
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {
@@ -81,6 +99,8 @@ class WfBenchApp:
                 "active": self._active,
                 "served": self._served,
                 "failed": self._failed,
+                "deduped": self._deduped,
+                "rejectedChecksums": self._rejected_checksums,
             }
 
     # -- request handling ------------------------------------------------------
@@ -103,6 +123,58 @@ class WfBenchApp:
         return self.handle_request(request)
 
     def handle_request(self, request: BenchRequest) -> BenchResponse:
+        """Execute one request with exactly-once delivery semantics.
+
+        A stamped checksum is verified before anything runs (tampered
+        payloads are rejected, never executed).  A keyed request that
+        matches a recorded result replays it without re-executing; one
+        that races a still-running first delivery waits for it instead
+        of executing twice.  Failed deliveries are *not* recorded — the
+        caller's retry (same key) gets a fresh execution.
+        """
+        if request.checksum and payload_checksum(request) != request.checksum:
+            with self._lock:
+                self._served += 1
+                self._failed += 1
+                self._rejected_checksums += 1
+            return BenchResponse(name=request.name, status=400,
+                                 error="payload checksum mismatch")
+        key = request.idempotency_key
+        if not key or self.config.dedupe_capacity == 0:
+            return self._execute(request)
+        while True:
+            with self._lock:
+                cached = self._done.get(key)
+                if cached is not None:
+                    self._done.move_to_end(key)
+                    self._deduped += 1
+                    self._served += 1
+                    return dc_replace(cached, deduped=True)
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            # Another thread is executing this key right now: wait for
+            # it, then re-check — a successful first delivery is served
+            # from the cache, a failed one lets this duplicate run.
+            waiter.wait()
+        try:
+            response = self._execute(request)
+            if response.ok:
+                with self._lock:
+                    self._done[key] = response
+                    self._done.move_to_end(key)
+                    while len(self._done) > self.config.dedupe_capacity:
+                        self._done.popitem(last=False)
+            return response
+        finally:
+            with self._lock:
+                event = self._inflight.pop(key, None)
+            if event is not None:
+                event.set()
+
+    def _execute(self, request: BenchRequest) -> BenchResponse:
+        """Run the workload engine, respecting the worker pool."""
         request = self.apply_deployment_policy(request)
         self._slots.acquire()
         with self._lock:

@@ -8,19 +8,38 @@ The POST body follows the paper's §III-B example exactly::
      "workdir": "../data/wfbench-knative"}
 
 plus the optional extensions this reproduction adds: ``memory`` (bytes of
-stress allocation) and ``keep-memory`` (the PM/NoPM axis — ``--vm-keep``
-in the paper's wfbench.py line 118).
+stress allocation), ``keep-memory`` (the PM/NoPM axis — ``--vm-keep``
+in the paper's wfbench.py line 118), and the delivery-semantics pair
+``idempotency-key``/``checksum`` (see :mod:`repro.delivery`): a stable
+attempt identity so receivers can absorb duplicate deliveries, and a
+CRC-32 over the canonical payload so tampered messages are rejected
+with a 400 instead of executing.  Both are omitted from the wire form
+when unset, keeping legacy payloads byte-identical.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.errors import SchemaError
 
-__all__ = ["BenchRequest", "BenchResponse"]
+__all__ = ["BenchRequest", "BenchResponse", "payload_checksum"]
+
+
+def payload_checksum(request: "BenchRequest") -> int:
+    """Deterministic CRC-32 of a request's canonical JSON payload.
+
+    The ``checksum`` field itself is excluded so the value is stable
+    whether or not it has been stamped yet; an injector that tampers
+    with any other field invalidates it.
+    """
+    doc = request.to_json()
+    doc.pop("checksum", None)
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -38,6 +57,13 @@ class BenchRequest:
     #: CPU threads of the stressor (WfBench's ``cpu-threads``); the task
     #: occupies ``cores x percent-cpu`` cores while computing.
     cores: int = 1
+    #: Stable identity of this logical attempt (workflow id + task name +
+    #: attempt epoch).  Duplicate deliveries of the same key must be
+    #: side-effect-free; "" disables the protocol for this request.
+    idempotency_key: str = ""
+    #: CRC-32 of the canonical payload (see :func:`payload_checksum`);
+    #: 0 means unchecked.
+    checksum: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -72,6 +98,10 @@ class BenchRequest:
             doc["keep-memory"] = True
         if self.cores != 1:
             doc["cpu-threads"] = self.cores
+        if self.idempotency_key:
+            doc["idempotency-key"] = self.idempotency_key
+        if self.checksum:
+            doc["checksum"] = self.checksum
         return doc
 
     @classmethod
@@ -87,6 +117,8 @@ class BenchRequest:
                 memory_bytes=int(doc.get("memory", 0)),
                 keep_memory=bool(doc.get("keep-memory", False)),
                 cores=int(doc.get("cpu-threads", 1)),
+                idempotency_key=str(doc.get("idempotency-key", "")),
+                checksum=int(doc.get("checksum", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SchemaError(f"malformed bench request: {exc}") from exc
@@ -121,6 +153,9 @@ class BenchResponse:
     bytes_written: int = 0
     peak_memory_bytes: int = 0
     error: str = ""
+    #: True when this response replays the recorded result of an earlier
+    #: delivery with the same idempotency key (no side effects re-ran).
+    deduped: bool = False
 
     @property
     def ok(self) -> bool:
@@ -138,6 +173,8 @@ class BenchResponse:
         }
         if self.error:
             doc["error"] = self.error
+        if self.deduped:
+            doc["deduped"] = True
         return doc
 
     @classmethod
@@ -151,6 +188,7 @@ class BenchResponse:
             bytes_written=int(doc.get("bytesWritten", 0)),
             peak_memory_bytes=int(doc.get("peakMemory", 0)),
             error=str(doc.get("error", "")),
+            deduped=bool(doc.get("deduped", False)),
         )
 
     def dumps(self) -> str:

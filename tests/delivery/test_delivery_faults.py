@@ -1,0 +1,137 @@
+"""Unit tests for delivery-fault plans and the message-level injector."""
+
+import pytest
+
+from repro.delivery import DeliveryFaultInjector, DeliveryFaultPlan
+from repro.delivery.faults import FAULT_KINDS
+from repro.platform.base import InvocationOutcome
+from repro.simulation import Environment
+from repro.wfbench.spec import BenchRequest
+
+
+class FakeInner:
+    """Counts deliveries; each completes 200 after one second of sim time."""
+
+    def __init__(self, env):
+        self.env = env
+        self.tracer = None
+        self.trace_id = ""
+        self.delivered = []
+
+    def submit(self, url, request):
+        self.delivered.append((self.env.now, request))
+        done = self.env.event()
+        submitted = self.env.now
+
+        def proc():
+            yield self.env.timeout(1.0)
+            done.succeed(InvocationOutcome(
+                name=request.name, status=200, submitted_at=submitted,
+                started_at=submitted, finished_at=self.env.now))
+
+        self.env.process(proc())
+        return done
+
+
+def run_one(kind, **plan_knobs):
+    """Submit one request through an injector faulting message 1."""
+    env = Environment()
+    inner = FakeInner(env)
+    plan = DeliveryFaultPlan(faults={1: kind}, **plan_knobs)
+    injector = DeliveryFaultInjector(inner, plan)
+    done = injector.submit("http://fn", BenchRequest(name="t", cpu_work=1.0))
+    env.run()
+    return inner, injector, done.value
+
+
+class TestPlan:
+    def test_indices_are_one_based(self):
+        with pytest.raises(ValueError):
+            DeliveryFaultPlan(faults={0: "drop-request"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DeliveryFaultPlan(faults={1: "gremlin"})
+
+    def test_generate_is_deterministic_in_seed_and_label(self):
+        a = DeliveryFaultPlan.generate(7, "blast/lost-ack", 20, lost_acks=3)
+        b = DeliveryFaultPlan.generate(7, "blast/lost-ack", 20, lost_acks=3)
+        assert a.faults == b.faults
+        c = DeliveryFaultPlan.generate(7, "blast/duplicate", 20, lost_acks=3)
+        assert a.faults != c.faults
+
+    def test_generate_draws_distinct_victims_in_window(self):
+        plan = DeliveryFaultPlan.generate(0, "x", 10, drops=4, duplicates=4)
+        assert len(plan.faults) == 8
+        assert all(1 <= i <= 10 for i in plan.faults)
+        assert set(plan.faults.values()) == {"drop-request", "duplicate"}
+
+    def test_generate_rejects_overfull_window(self):
+        with pytest.raises(ValueError):
+            DeliveryFaultPlan.generate(0, "x", 3, drops=2, delays=2)
+
+    def test_empty_plan(self):
+        assert DeliveryFaultPlan().empty
+        assert not DeliveryFaultPlan(faults={1: "delay"}).empty
+
+
+class TestInjector:
+    def test_clean_messages_pass_through(self):
+        env = Environment()
+        inner = FakeInner(env)
+        injector = DeliveryFaultInjector(inner, DeliveryFaultPlan(
+            faults={2: "drop-request"}))
+        done = injector.submit("u", BenchRequest(name="t", cpu_work=1.0))
+        env.run()
+        assert len(inner.delivered) == 1
+        assert done.value.status == 200
+
+    def test_drop_request_never_reaches_the_receiver(self):
+        inner, injector, outcome = run_one(
+            "drop-request", drop_penalty_seconds=1.5,
+            retry_after_seconds=4.0)
+        assert inner.delivered == []
+        assert outcome.status == 503
+        assert outcome.retry_after == 4.0
+        assert injector.counters["drop-request"] == 1
+
+    def test_lost_ack_executes_but_reports_504(self):
+        """The duplicate-inducing case: work done, response gone."""
+        inner, injector, outcome = run_one("lost-ack")
+        assert len(inner.delivered) == 1  # the receiver DID execute
+        assert outcome.status == 504
+        assert injector.counters["lost-ack"] == 1
+
+    def test_duplicate_delivers_twice(self):
+        inner, injector, outcome = run_one("duplicate")
+        assert len(inner.delivered) == 2
+        assert outcome.status == 200  # winner's result
+        assert injector.counters["duplicate"] == 1
+
+    def test_delay_holds_the_message_back(self):
+        inner, injector, outcome = run_one("delay", delay_seconds=2.5)
+        assert inner.delivered[0][0] == 2.5  # delivered late, intact
+        assert outcome.status == 200
+
+    def test_corrupt_tampers_payload_leaving_checksum_stale(self):
+        from repro.wfbench.spec import payload_checksum
+
+        env = Environment()
+        inner = FakeInner(env)
+        injector = DeliveryFaultInjector(
+            inner, DeliveryFaultPlan(faults={1: "corrupt"}))
+        request = BenchRequest(name="t", cpu_work=1.0)
+        from dataclasses import replace
+
+        request = replace(request, checksum=payload_checksum(request))
+        injector.submit("u", request)
+        env.run()
+        (_, tampered), = inner.delivered
+        assert tampered.cpu_work != request.cpu_work
+        assert tampered.checksum == request.checksum  # now stale
+        assert payload_checksum(tampered) != tampered.checksum
+
+    def test_counters_cover_every_kind(self):
+        env = Environment()
+        injector = DeliveryFaultInjector(FakeInner(env), DeliveryFaultPlan())
+        assert set(injector.counters) == set(FAULT_KINDS)

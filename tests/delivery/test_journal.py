@@ -1,0 +1,168 @@
+"""Unit tests for the task-level write-ahead journal."""
+
+import json
+
+import pytest
+
+from repro.core import SimulatedSharedDrive
+from repro.delivery import JournalCorrupt, TaskJournal
+from repro.errors import WorkflowExecutionError
+
+
+def make(tmp_path, name="wf"):
+    return TaskJournal(tmp_path / "journal.jsonl", workflow_name=name)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        journal = make(tmp_path)
+        journal.note_intent("t1", phase=0, epoch=0, key="wf/t1#0")
+        journal.note_dispatched("t1")
+        journal.mark("t1", phase=0, status=200, finished_at=3.5,
+                     outputs={"out.txt": 1024})
+        journal.close()
+
+        loaded = TaskJournal.load(tmp_path / "journal.jsonl")
+        assert loaded.workflow_name == "wf"
+        assert loaded.completed_tasks() == frozenset({"t1"})
+        assert loaded.entry("t1") == {
+            "phase": 0, "status": 200, "finished_at": 3.5,
+            "outputs": {"out.txt": 1024}, "epoch": 0,
+        }
+        assert loaded.keys()["t1"] == "wf/t1#0"
+        assert loaded.in_flight() == frozenset()
+
+    def test_load_absent_file_is_empty(self, tmp_path):
+        loaded = TaskJournal.load(tmp_path / "missing.jsonl")
+        assert loaded.completed_tasks() == frozenset()
+
+    def test_appends_survive_without_flush(self, tmp_path):
+        """The WAL contract: every append is durable the moment the call
+        returns (fsync), no barrier needed."""
+        journal = make(tmp_path)
+        journal.note_intent("t1", phase=0)
+        loaded = TaskJournal.load(tmp_path / "journal.jsonl")
+        assert loaded.epochs() == {"t1": 0}
+
+    def test_clear_removes_file_and_state(self, tmp_path):
+        journal = make(tmp_path)
+        journal.mark("t1", 0, 200, 1.0)
+        journal.clear()
+        assert not (tmp_path / "journal.jsonl").exists()
+        assert not journal.completed
+
+
+class TestTransitions:
+    def test_intent_is_once_per_epoch(self, tmp_path):
+        journal = make(tmp_path)
+        journal.note_intent("t1", phase=0, epoch=0)
+        journal.note_intent("t1", phase=0, epoch=0)
+        journal.close()
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 2  # header + one intent
+
+    def test_dispatch_without_intent_opens_one_implicitly(self, tmp_path):
+        """Lineage recovery fires producers with no phase-level intent
+        pass; the journal must still show a legal lineage."""
+        journal = make(tmp_path)
+        journal.note_dispatched("t1", epoch=1)
+        records = [json.loads(line) for line in
+                   (tmp_path / "journal.jsonl").read_text().splitlines()[1:]]
+        assert [r["state"] for r in records] == ["intent", "dispatched"]
+        assert all(r["epoch"] == 1 for r in records)
+
+    def test_redispatch_appends_again(self, tmp_path):
+        journal = make(tmp_path)
+        journal.note_intent("t1", phase=0)
+        journal.note_dispatched("t1")
+        journal.note_dispatched("t1")  # retry / post-resume re-dispatch
+        assert journal.in_flight() == frozenset({"t1"})
+
+    def test_late_dispatch_of_an_acked_attempt_is_dropped(self, tmp_path):
+        journal = make(tmp_path)
+        journal.note_intent("t1", phase=0)
+        journal.mark("t1", 0, 200, 1.0)
+        journal.note_dispatched("t1")
+        assert journal.in_flight() == frozenset()
+        assert journal.is_completed("t1")
+
+    def test_new_epoch_supersedes_the_old_ack(self, tmp_path):
+        """Lineage recovery bumps the epoch: the task must run again,
+        so the stale completion is forgotten on load too."""
+        journal = make(tmp_path)
+        journal.note_intent("t1", phase=0, epoch=0)
+        journal.mark("t1", 0, 200, 1.0, outputs={"a.dat": 10})
+        journal.note_intent("t1", phase=0, epoch=1)
+        assert not journal.is_completed("t1")
+        journal.close()
+        loaded = TaskJournal.load(tmp_path / "journal.jsonl")
+        assert not loaded.is_completed("t1")
+        assert loaded.epochs() == {"t1": 1}
+
+
+class TestCheckpointContract:
+    def test_bind_refuses_a_different_workflow(self, tmp_path):
+        journal = make(tmp_path, name="blast-20")
+        with pytest.raises(WorkflowExecutionError):
+            journal.bind("montage-50")
+
+    def test_bind_adopts_a_name_when_unset(self, tmp_path):
+        journal = TaskJournal(tmp_path / "journal.jsonl")
+        journal.bind("blast-20")
+        assert journal.workflow_name == "blast-20"
+        journal.bind("blast-20")  # idempotent
+
+    def test_restage_puts_missing_outputs(self, tmp_path):
+        journal = make(tmp_path)
+        journal.mark("t1", 0, 200, 1.0,
+                     outputs={"a.dat": 100, "b.dat": 200})
+        drive = SimulatedSharedDrive()
+        drive.put("a.dat", 100)
+        assert journal.restage(drive) == 1
+        assert drive.exists("b.dat")
+
+
+class TestCrashTolerance:
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        journal = make(tmp_path)
+        journal.note_intent("t1", phase=0)
+        journal.mark("t1", 0, 200, 1.0)
+        journal.close()
+        path = tmp_path / "journal.jsonl"
+        path.write_text(path.read_text() + '{"seq": 99, "task": "t2"')
+        loaded = TaskJournal.load(path)  # no raise
+        assert loaded.completed_tasks() == frozenset({"t1"})
+
+    def test_garbled_interior_line_raises(self, tmp_path):
+        journal = make(tmp_path)
+        journal.note_intent("t1", phase=0)
+        journal.close()
+        path = tmp_path / "journal.jsonl"
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json at all")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorrupt) as info:
+            TaskJournal.load(path)
+        assert info.value.path == path
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"version": 99}) + "\n")
+        with pytest.raises(JournalCorrupt):
+            TaskJournal.load(path)
+
+    def test_corrupt_is_a_workflow_execution_error(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(WorkflowExecutionError):
+            TaskJournal.load(path)
+
+    def test_crash_hook_fires_after_the_record_is_durable(self, tmp_path):
+        journal = make(tmp_path)
+        journal.crash_after_acks = 1
+        journal.note_intent("t1", phase=0)
+        with pytest.raises(WorkflowExecutionError):
+            journal.mark("t1", 0, 200, 1.0, outputs={"a.dat": 10})
+        journal.close()
+        loaded = TaskJournal.load(tmp_path / "journal.jsonl")
+        assert loaded.is_completed("t1")  # the ack survived the crash

@@ -1,0 +1,184 @@
+"""Unit tests for the idempotency key and the sim-side DedupeCache."""
+
+import pytest
+
+from repro.delivery import DedupeCache, make_idempotency_key
+from repro.platform.base import InvocationOutcome
+from repro.simulation import Environment
+from repro.wfbench.spec import BenchRequest, payload_checksum
+
+
+class FakePlatform:
+    """The three things ``DedupeCache.intercept`` touches on a platform."""
+
+    def __init__(self, env):
+        self.env = env
+
+    def _finish(self, outcome, done, status, error=""):
+        outcome.status = status
+        outcome.error = error
+        outcome.finished_at = self.env.now
+        done.succeed(outcome)
+
+
+def keyed_request(name="t1", key="wf/t1#0", **fields):
+    request = BenchRequest(name=name, cpu_work=1.0, idempotency_key=key,
+                           **fields)
+    from dataclasses import replace
+
+    return replace(request, checksum=payload_checksum(request))
+
+
+def deliver(cache, platform, request):
+    """One delivery through the protocol; returns (absorbed, outcome, done)."""
+    done = platform.env.event()
+    outcome = InvocationOutcome(name=request.name,
+                                submitted_at=platform.env.now)
+    absorbed = cache.intercept(platform, request, outcome, done)
+    return absorbed, outcome, done
+
+
+def complete(platform, outcome, done, status=200, cpu_seconds=2.0):
+    """The platform 'executed' the first delivery."""
+    outcome.status = status
+    outcome.started_at = outcome.submitted_at
+    outcome.finished_at = platform.env.now
+    outcome.cpu_seconds = cpu_seconds
+    outcome.cold_start = True
+    done.succeed(outcome)
+    platform.env.run()  # deliver the completion callbacks
+
+
+class TestKey:
+    def test_shape(self):
+        assert make_idempotency_key("blast-8", "t3", 0) == "blast-8/t3#0"
+
+    def test_stable_across_calls(self):
+        assert make_idempotency_key("w", "t", 2) == \
+            make_idempotency_key("w", "t", 2)
+
+    def test_epochs_are_distinct_attempts(self):
+        assert make_idempotency_key("w", "t", 0) != \
+            make_idempotency_key("w", "t", 1)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DedupeCache(capacity=0)
+
+
+class TestChecksum:
+    def test_tampered_payload_rejected_with_400(self):
+        env = Environment()
+        platform = FakePlatform(env)
+        cache = DedupeCache()
+        from dataclasses import replace
+
+        tampered = replace(keyed_request(), cpu_work=99.0)  # stale checksum
+        absorbed, outcome, done = deliver(cache, platform, tampered)
+        assert absorbed
+        assert done.triggered
+        assert outcome.status == 400
+        assert cache.rejected_checksums == 1
+
+    def test_unstamped_request_is_not_checksummed(self):
+        env = Environment()
+        cache = DedupeCache()
+        request = BenchRequest(name="t", cpu_work=1.0)  # checksum == 0
+        absorbed, _, _ = deliver(cache, FakePlatform(env), request)
+        assert not absorbed
+
+
+class TestDedupe:
+    def test_unkeyed_request_passes_through(self):
+        env = Environment()
+        cache = DedupeCache()
+        request = BenchRequest(name="t", cpu_work=1.0)
+        absorbed, _, _ = deliver(cache, FakePlatform(env), request)
+        assert not absorbed
+        assert len(cache) == 0
+
+    def test_replay_of_recorded_result_is_absorbed(self):
+        env = Environment()
+        platform = FakePlatform(env)
+        cache = DedupeCache()
+        request = keyed_request()
+
+        absorbed, outcome, done = deliver(cache, platform, request)
+        assert not absorbed  # first delivery executes
+        complete(platform, outcome, done)
+        assert cache.recorded == 1
+
+        absorbed2, outcome2, done2 = deliver(cache, platform, request)
+        assert absorbed2
+        assert done2.triggered
+        assert outcome2.status == 200
+        assert outcome2.deduped
+        assert cache.hits == 1
+
+    def test_replay_burns_no_fresh_resources(self):
+        """The duplicate answers from the record: zero CPU, no cold start
+        — duplicate deliveries must not skew resource accounting."""
+        env = Environment()
+        platform = FakePlatform(env)
+        cache = DedupeCache()
+        request = keyed_request()
+        _, outcome, done = deliver(cache, platform, request)
+        complete(platform, outcome, done, cpu_seconds=5.0)
+
+        _, outcome2, _ = deliver(cache, platform, request)
+        assert outcome2.cpu_seconds == 0.0
+        assert outcome2.cold_start is False
+
+    def test_record_does_not_alias_the_live_outcome(self):
+        env = Environment()
+        platform = FakePlatform(env)
+        cache = DedupeCache()
+        request = keyed_request()
+        _, outcome, done = deliver(cache, platform, request)
+        complete(platform, outcome, done)
+        outcome.status = 599  # hedging mutates winners post-completion
+        _, outcome2, _ = deliver(cache, platform, request)
+        assert outcome2.status == 200
+
+    def test_inflight_duplicate_mirrors_the_first_delivery(self):
+        env = Environment()
+        platform = FakePlatform(env)
+        cache = DedupeCache()
+        request = keyed_request()
+
+        _, outcome1, done1 = deliver(cache, platform, request)
+        absorbed, outcome2, done2 = deliver(cache, platform, request)
+        assert absorbed
+        assert not done2.triggered  # attached, waiting on the first
+        complete(platform, outcome1, done1)
+        assert done2.triggered
+        assert outcome2.status == 200
+        assert outcome2.deduped
+        assert cache.inflight_hits == 1
+
+    def test_failures_are_not_recorded(self):
+        """A failed first delivery must leave the key retryable."""
+        env = Environment()
+        platform = FakePlatform(env)
+        cache = DedupeCache()
+        request = keyed_request()
+        _, outcome, done = deliver(cache, platform, request)
+        complete(platform, outcome, done, status=503)
+        assert cache.recorded == 0
+
+        absorbed, _, _ = deliver(cache, platform, request)
+        assert not absorbed  # the retry executes for real
+
+    def test_lru_eviction_is_bounded(self):
+        env = Environment()
+        platform = FakePlatform(env)
+        cache = DedupeCache(capacity=2)
+        for i in range(4):
+            request = keyed_request(name=f"t{i}", key=f"wf/t{i}#0")
+            _, outcome, done = deliver(cache, platform, request)
+            complete(platform, outcome, done)
+        assert len(cache) == 2
+        assert cache.result("wf/t0#0") is None
+        assert cache.result("wf/t3#0") is not None

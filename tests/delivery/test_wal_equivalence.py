@@ -1,0 +1,136 @@
+"""WAL-vs-phase-checkpoint equivalence under crash/resume.
+
+A crash at *every* task boundary of a small Blast run, resumed under
+both mechanisms, must converge to the same final state as the uncrashed
+baseline: identical shared-drive contents (names and sizes), full DAG
+coverage, every task 2xx.  The WAL additionally guarantees *zero*
+re-execution of acked tasks, which the phase checkpoint (losing
+unflushed marks of the crashed phase) cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.delivery import TaskJournal
+from repro.errors import WorkflowExecutionError
+from repro.platform.cluster import Cluster
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.resilience import WorkflowCheckpoint
+from repro.simulation import Environment
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+
+from helpers import make_workflow
+
+WORKFLOW = make_workflow("blast", 8, seed=7)
+#: Acks of one full run: every task plus the header/tail markers.
+TOTAL_ACKS = len(WORKFLOW.tasks) + 2
+BOUNDARIES = list(range(1, TOTAL_ACKS + 1))
+
+
+class CrashingCheckpoint(WorkflowCheckpoint):
+    """Phase checkpoint with the journal's crash-at-ack test hook.
+
+    The crash strikes *between* mark and flush, exactly like a process
+    death mid-phase: marks since the last phase barrier are lost.
+    """
+
+    def __init__(self, *args, crash_after_acks=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.crash_after_acks = crash_after_acks
+        self._acks = 0
+
+    def mark(self, *args, **kwargs):
+        super().mark(*args, **kwargs)
+        self._acks += 1
+        if self.crash_after_acks is not None \
+                and self._acks >= self.crash_after_acks:
+            raise WorkflowExecutionError(
+                f"injected checkpoint crash after {self._acks} ack(s)")
+
+
+def build_stack():
+    env = Environment()
+    drive = SimulatedSharedDrive()
+    for f in workflow_input_files(WORKFLOW):
+        drive.put(f.name, f.size_in_bytes)
+    platform = LocalContainerPlatform(
+        env, Cluster(env), drive, config=LocalContainerRuntimeConfig(),
+        model=WfBenchModel(noise_sigma=0.0), rng=np.random.default_rng(0))
+    return platform, drive
+
+
+def run(checkpoint, platform=None, drive=None):
+    if platform is None:
+        platform, drive = build_stack()
+    manager = ServerlessWorkflowManager(
+        SimulatedInvoker(platform), drive, ManagerConfig(exactly_once=True),
+        checkpoint=None if isinstance(checkpoint, TaskJournal) else checkpoint,
+        journal=checkpoint if isinstance(checkpoint, TaskJournal) else None)
+    result = manager.execute(WORKFLOW)
+    return result, platform, drive
+
+
+def canonical(result, drive):
+    """The state 'byte-identical' compares: drive contents + outcomes."""
+    return {
+        "files": [(name, drive.size(name)) for name in drive.list_files()],
+        "statuses": sorted((t.name, t.status) for t in result.tasks),
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    result, _, drive = run(checkpoint=None)
+    assert result.succeeded
+    return canonical(result, drive)
+
+
+@pytest.mark.parametrize("k", BOUNDARIES)
+class TestEveryBoundary:
+    def test_wal_resume_matches_baseline(self, k, tmp_path, baseline):
+        path = tmp_path / "journal.jsonl"
+        journal = TaskJournal(path, workflow_name=WORKFLOW.name)
+        journal.crash_after_acks = k
+        crashed, platform, drive = run(journal)
+        assert not crashed.succeeded
+        journal.close()
+
+        loaded = TaskJournal.load(path)
+        acked = set(loaded.completed_tasks())
+        assert len(acked) == k  # every ack survived the crash (fsync)
+
+        resumed, _, drive = run(loaded, platform=platform, drive=drive)
+        assert resumed.succeeded, resumed.error
+        assert canonical(resumed, drive) == baseline
+        # The WAL's stronger promise: acked tasks replay with zero
+        # re-execution; everything else runs exactly once on resume.
+        replayed = {t.name for t in resumed.tasks if t.replayed}
+        executed = {t.name for t in resumed.tasks if not t.replayed}
+        assert replayed == acked
+        assert not executed & acked
+        assert resumed.replayed_count == k
+
+    def test_checkpoint_resume_matches_baseline(self, k, tmp_path, baseline):
+        path = tmp_path / "ck.json"
+        checkpoint = CrashingCheckpoint(path, WORKFLOW.name,
+                                        crash_after_acks=k)
+        crashed, platform, drive = run(checkpoint)
+        assert not crashed.succeeded
+
+        resumed, _, drive = run(WorkflowCheckpoint.load(path),
+                                platform=platform, drive=drive)
+        assert resumed.succeeded, resumed.error
+        assert canonical(resumed, drive) == baseline
+        # Phase granularity: marks since the last barrier were lost, so
+        # the crashed phase re-executes — never fewer runs than the WAL.
+        assert platform.stats.invocations >= TOTAL_ACKS

@@ -1,0 +1,112 @@
+"""Integration tests for the delivery-semantics experiment sweep."""
+
+import filecmp
+
+import pytest
+
+from repro.experiments.delivery import (
+    DEFAULT_SHAPES,
+    gate_delivery_rows,
+    run_delivery_sweep,
+)
+from repro.experiments.reporting import write_rows_csv
+
+SHAPES = tuple(s for s in DEFAULT_SHAPES
+               if s.name in ("none", "lost-ack", "duplicate"))
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    """One blast sweep: clean wire + both duplicating faults, on and off."""
+    return run_delivery_sweep(applications=("blast",), shapes=SHAPES)
+
+
+def row_for(rows, shape, protocol):
+    return next(r for r in rows if r["shape"] == shape
+                and r["protocol"] == protocol)
+
+
+class TestSweepGrid:
+    def test_grid_is_shape_major_on_before_off(self, sweep_rows):
+        cells = [(r["shape"], r["protocol"]) for r in sweep_rows]
+        assert cells == [(s.name, p) for s in SHAPES for p in ("on", "off")]
+
+    def test_gate_passes_on_the_real_sweep(self, sweep_rows):
+        assert gate_delivery_rows(sweep_rows) == []
+
+    def test_protocol_on_rows_are_exactly_once(self, sweep_rows):
+        for row in (r for r in sweep_rows if r["protocol"] == "on"):
+            assert row["succeeded"], row["error"]
+            assert row["trace_violations"] == 0
+            assert row["duplicate_effects"] == 0
+
+    def test_negative_control_duplicates_side_effects(self, sweep_rows):
+        """Acceptance: with the protocol off, lost acks and transport
+        replays provably write the same file twice."""
+        for shape in ("lost-ack", "duplicate"):
+            assert row_for(sweep_rows, shape, "off")["duplicate_effects"] >= 1
+
+    def test_protocol_is_free_on_a_clean_wire(self, sweep_rows):
+        on = row_for(sweep_rows, "none", "on")
+        off = row_for(sweep_rows, "none", "off")
+        assert on["makespan_seconds"] == off["makespan_seconds"]
+        assert on["retries"] == off["retries"] == 0
+
+    def test_rows_are_flat_and_csv_ready(self, sweep_rows):
+        for row in sweep_rows:
+            for value in row.values():
+                assert not isinstance(value, (list, dict))
+
+
+class TestGate:
+    """``gate_delivery_rows`` on synthetic rows — the contract itself."""
+
+    def synthetic(self, protocol, shape="lost-ack", **overrides):
+        row = {"workflow": "blast", "shape": shape, "protocol": protocol,
+               "succeeded": True, "error": "", "trace_violations": 0,
+               "duplicate_effects": 0 if protocol == "on" else 1}
+        row.update(overrides)
+        return row
+
+    def test_clean_rows_pass(self):
+        assert gate_delivery_rows([self.synthetic("on"),
+                                   self.synthetic("off")]) == []
+
+    def test_on_row_with_duplicate_effect_fails(self):
+        failures = gate_delivery_rows(
+            [self.synthetic("on", duplicate_effects=2)])
+        assert len(failures) == 1
+        assert "duplicate side" in failures[0]
+
+    def test_on_row_with_trace_violation_fails(self):
+        failures = gate_delivery_rows(
+            [self.synthetic("on", trace_violations=3)])
+        assert "trace violation" in failures[0]
+
+    def test_failed_on_row_fails(self):
+        failures = gate_delivery_rows(
+            [self.synthetic("on", succeeded=False, error="boom")])
+        assert "boom" in failures[0]
+
+    def test_toothless_negative_control_fails(self):
+        failures = gate_delivery_rows(
+            [self.synthetic("off", duplicate_effects=0)])
+        assert "negative control" in failures[0]
+
+    def test_off_rows_of_non_duplicating_shapes_are_not_gated(self):
+        assert gate_delivery_rows(
+            [self.synthetic("off", shape="drop", duplicate_effects=0),
+             self.synthetic("off", shape="none", duplicate_effects=0)]) == []
+
+
+class TestParallelDeterminism:
+    """Satellite: every cell seed derives from (seed, workflow, shape),
+    so ``--jobs 2`` is byte-identical to the serial sweep."""
+
+    def test_parallel_sweep_matches_serial(self, sweep_rows, tmp_path):
+        parallel = run_delivery_sweep(applications=("blast",),
+                                      shapes=SHAPES, jobs=2)
+        assert parallel == sweep_rows
+        serial_csv = write_rows_csv(sweep_rows, tmp_path / "serial.csv")
+        parallel_csv = write_rows_csv(parallel, tmp_path / "parallel.csv")
+        assert filecmp.cmp(serial_csv, parallel_csv, shallow=False)

@@ -1,0 +1,119 @@
+"""Hedge-loser accounting, with and without the exactly-once protocol.
+
+The audit behind these tests: a speculative duplicate that loses must
+release its worker slot and must not leave a second copy of the task's
+side effects.  Without dedupe the loser runs to completion (slot
+released in the platform's serve path, outputs overwritten — two
+``drive.put`` of the same file); with the dedupe cache attached the
+duplicate never executes at all: it attaches to the in-flight first
+delivery and mirrors its outcome.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ManagerConfig,
+    ServerlessWorkflowManager,
+    SimulatedInvoker,
+    SimulatedSharedDrive,
+)
+from repro.delivery import DedupeCache
+from repro.platform.cluster import Cluster
+from repro.platform.faults import ChaosInjector
+from repro.platform.localcontainer import (
+    LocalContainerPlatform,
+    LocalContainerRuntimeConfig,
+)
+from repro.resilience import HedgePolicy, ResiliencePolicy, RetryPolicy
+from repro.simulation import Environment
+from repro.tracing import TraceRecorder, check_trace
+from repro.tracing.events import DELIVERY_DUP, DRIVE_PUT
+from repro.wfbench.data import workflow_input_files
+from repro.wfbench.model import WfBenchModel
+
+from helpers import make_workflow
+
+HEDGE_CONFIG = ManagerConfig(resilience=ResiliencePolicy(
+    retry=RetryPolicy.none(),
+    hedge=HedgePolicy(quantile=0.8, min_samples=4,
+                      fallback_delay_seconds=5.0),
+))
+
+
+def hedged_run(dedupe: bool):
+    wf = make_workflow("blast", 20)
+    env = Environment()
+    drive = SimulatedSharedDrive()
+    recorder = TraceRecorder.for_env(env)
+    drive.tracer = recorder
+    platform = LocalContainerPlatform(
+        env, Cluster(env), drive, config=LocalContainerRuntimeConfig(),
+        model=WfBenchModel(noise_sigma=0.0), rng=np.random.default_rng(0))
+    platform.fault_injector = ChaosInjector(
+        failure_rate=0.0, straggler_rate=0.3,
+        straggler_delay_seconds=60.0, seed=2)
+    if dedupe:
+        platform.dedupe = DedupeCache(tracer=recorder)
+    for f in workflow_input_files(wf):
+        drive.put(f.name, f.size_in_bytes)
+    config = ManagerConfig(resilience=HEDGE_CONFIG.resilience,
+                           exactly_once=dedupe)
+    manager = ServerlessWorkflowManager(
+        SimulatedInvoker(platform, tracer=recorder), drive, config,
+        tracer=recorder)
+    result = manager.execute(wf)
+    # Drain hedge losers still executing when the run ended, then audit.
+    env.run()
+    platform.shutdown()
+    staged = {f.name for f in workflow_input_files(wf)}
+    puts = [e.name for e in recorder.events
+            if e.kind == DRIVE_PUT and e.name not in staged]
+    return wf, platform, recorder, result, puts
+
+
+@pytest.fixture(scope="module")
+def with_dedupe():
+    return hedged_run(dedupe=True)
+
+
+@pytest.fixture(scope="module")
+def without_dedupe():
+    return hedged_run(dedupe=False)
+
+
+class TestSlotAccounting:
+    @pytest.mark.parametrize("case", ["with_dedupe", "without_dedupe"])
+    def test_no_slot_leaks_after_hedging(self, case, request):
+        """Losers release their slots: nothing is left mid-execution."""
+        _, platform, _, result, _ = request.getfixturevalue(case)
+        assert result.succeeded, result.error
+        assert result.metrics["hedges"] > 0
+        assert platform.in_flight() == 0
+        assert all(unit.active_requests == 0 for unit in platform._units)
+
+
+class TestSideEffects:
+    def test_without_dedupe_losers_rewrite_outputs(self, without_dedupe):
+        """Pre-protocol reality: the losing duplicate runs to completion
+        and puts its outputs again (a silent overwrite)."""
+        _, _, _, result, puts = without_dedupe
+        assert result.metrics["hedge_wins"] >= 1
+        assert len(puts) > len(set(puts))
+
+    def test_with_dedupe_every_output_lands_once(self, with_dedupe):
+        _, _, _, _, puts = with_dedupe
+        assert len(puts) == len(set(puts))
+
+    def test_with_dedupe_duplicates_attach_not_execute(self, with_dedupe):
+        """The hedge duplicate shares its attempt's idempotency key, so
+        the cache absorbs it in-flight: it can never win, and the trace
+        records the absorption."""
+        _, platform, recorder, result, _ = with_dedupe
+        assert platform.dedupe.inflight_hits >= 1
+        assert result.metrics["hedge_wins"] == 0
+        assert any(e.kind == DELIVERY_DUP for e in recorder.events)
+
+    def test_trace_invariants_hold_under_hedging(self, with_dedupe):
+        _, _, recorder, _, _ = with_dedupe
+        assert check_trace(recorder.events) == []

@@ -1,0 +1,75 @@
+"""Retry-After hints: backoff honours server-provided recovery horizons."""
+
+import numpy as np
+
+from repro.core.invocation import InvocationRecord
+from repro.core.manager import ServerlessWorkflowManager
+from repro.resilience import RetryPolicy
+
+
+def record(status, retry_after=0.0, name="t"):
+    return InvocationRecord(name=name, status=status, submitted_at=0.0,
+                            started_at=0.0, finished_at=1.0,
+                            retry_after=retry_after)
+
+
+class TestNextDelayHint:
+    def test_hint_overrides_the_jitter_schedule(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, max_delay_seconds=60.0,
+                             jitter="decorrelated")
+        for attempt in (1, 3, 7):
+            assert policy.next_delay(
+                attempt, rng=np.random.default_rng(0),
+                hint_seconds=12.5) == 12.5
+
+    def test_hint_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, max_delay_seconds=10.0)
+        assert policy.next_delay(1, hint_seconds=3600.0) == 10.0
+
+    def test_negative_hint_clamped_to_zero(self):
+        assert RetryPolicy().next_delay(1, hint_seconds=-5.0) == 0.0
+
+    def test_no_hint_keeps_the_computed_backoff(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, max_delay_seconds=100.0,
+                             multiplier=2.0, jitter="none")
+        assert policy.next_delay(3, hint_seconds=None) == 4.0
+
+    def test_hint_is_deterministic(self):
+        """A hinted delay ignores the rng entirely — hinted retries stay
+        byte-reproducible across jitter streams."""
+        policy = RetryPolicy(jitter="full")
+        a = policy.next_delay(2, rng=np.random.default_rng(1),
+                              hint_seconds=2.0)
+        b = policy.next_delay(2, rng=np.random.default_rng(99),
+                              hint_seconds=2.0)
+        assert a == b == 2.0
+
+
+class TestManagerHintExtraction:
+    """``_retry_hint`` picks the backoff hint out of a phase's failures."""
+
+    def extract(self, records, indices=None):
+        indices = list(range(len(records))) if indices is None else indices
+        return ServerlessWorkflowManager._retry_hint(records, indices)
+
+    def test_no_failures_no_hint(self):
+        assert self.extract([record(200)]) is None
+
+    def test_hintless_failures_no_hint(self):
+        assert self.extract([record(503), record(429)]) is None
+
+    def test_only_429_and_503_carry_hints(self):
+        # A 504 with a retry_after (e.g. a lost-ack synthetic) is not a
+        # server backoff directive and must not slow the whole phase.
+        assert self.extract([record(504, retry_after=9.0)]) is None
+        assert self.extract([record(503, retry_after=9.0)]) == 9.0
+        assert self.extract([record(429, retry_after=4.0)]) == 4.0
+
+    def test_max_hint_wins_across_the_phase(self):
+        records = [record(503, retry_after=2.0), record(200),
+                   record(429, retry_after=7.0)]
+        assert self.extract(records) == 7.0
+
+    def test_only_retryable_indices_consulted(self):
+        records = [record(503, retry_after=30.0), record(429, retry_after=2.0)]
+        assert self.extract(records, indices=[1]) == 2.0

@@ -1,0 +1,186 @@
+"""Synthetic-trace tests for the delivery/journal invariants."""
+
+from repro.tracing import TraceEvent, check_trace
+from repro.tracing.events import (
+    DELIVERY_DUP,
+    DELIVERY_PROTOCOL,
+    DRIVE_PUT,
+    JOURNAL_APPEND,
+    LINEAGE_REEXEC,
+    PHASE_END,
+    PHASE_START,
+    TASK_END,
+    TASK_SUBMIT,
+    WORKFLOW_END,
+    WORKFLOW_START,
+)
+
+
+def ev(ts, kind, name="", trace="wf-1", **attrs):
+    return TraceEvent(ts=ts, kind=kind, trace=trace, name=name, attrs=attrs)
+
+
+def run_events(*, protocol=False):
+    """A minimal one-phase run; optionally armed with the protocol."""
+    events = [
+        TraceEvent(ts=0.0, kind=DRIVE_PUT, name="in.txt"),
+        ev(0.0, WORKFLOW_START, name="wf"),
+    ]
+    if protocol:
+        events.append(ev(0.0, DELIVERY_PROTOCOL, name="wf", journal=True))
+    events += [
+        ev(0.0, PHASE_START, index=0, tasks=1),
+        ev(0.0, TASK_SUBMIT, name="a", url="u", inputs=["in.txt"]),
+        TraceEvent(ts=1.0, kind=DRIVE_PUT, name="out.txt"),
+        ev(1.0, TASK_END, name="a", status=200, started_at=0.0,
+           finished_at=1.0),
+        ev(1.0, PHASE_END, index=0, failures=0),
+        ev(1.0, WORKFLOW_END, name="wf", succeeded=True, error=""),
+    ]
+    return events
+
+
+def journal(ts, name, state, seq, epoch=0, trace="wf-1"):
+    return ev(ts, JOURNAL_APPEND, name=name, trace=trace, seq=seq,
+              state=state, epoch=epoch)
+
+
+def invariants_of(violations):
+    return {v.invariant for v in violations}
+
+
+class TestExactlyOnceEffects:
+    def duplicate_put(self, **kw):
+        events = run_events(**kw)
+        events.insert(-2, TraceEvent(ts=0.9, kind=DRIVE_PUT, name="out.txt"))
+        return events
+
+    def test_not_armed_without_the_protocol_marker(self):
+        """Golden-fixture compatibility: pre-protocol traces are judged
+        by the old rules, duplicate puts included."""
+        assert check_trace(self.duplicate_put(protocol=False)) == []
+
+    def test_duplicate_put_flagged_under_the_protocol(self):
+        violations = check_trace(self.duplicate_put(protocol=True))
+        assert invariants_of(violations) == {"exactly-once-effects"}
+        assert "out.txt" in violations[0].message
+
+    def test_single_puts_pass(self):
+        assert check_trace(run_events(protocol=True)) == []
+
+    def test_lineage_regeneration_is_exempt(self):
+        """Re-putting a file whose durable copy was lost is deliberate."""
+        events = self.duplicate_put(protocol=True)
+        events.insert(-2, ev(0.8, LINEAGE_REEXEC, name="a",
+                             lost=["out.txt"], produces=["out.txt"]))
+        assert "exactly-once-effects" not in invariants_of(
+            check_trace(events))
+
+
+class TestJournalMonotonic:
+    def with_journal(self, *records):
+        events = run_events(protocol=True)
+        for record in records:
+            events.insert(-2, record)
+        return events
+
+    def test_legal_stream_passes(self):
+        events = self.with_journal(
+            journal(0.0, "a", "intent", seq=1),
+            journal(0.0, "a", "dispatched", seq=2),
+            journal(1.0, "a", "acked", seq=3),
+        )
+        assert check_trace(events) == []
+
+    def test_non_increasing_seq_flagged(self):
+        events = self.with_journal(
+            journal(0.0, "a", "intent", seq=2),
+            journal(0.0, "a", "dispatched", seq=2),
+            journal(1.0, "a", "acked", seq=3),
+        )
+        assert "journal-monotonic" in invariants_of(check_trace(events))
+
+    def test_dispatch_without_intent_flagged(self):
+        events = self.with_journal(
+            journal(0.0, "a", "dispatched", seq=1),
+            journal(1.0, "a", "acked", seq=2),
+        )
+        assert "journal-monotonic" in invariants_of(check_trace(events))
+
+    def test_record_after_ack_flagged(self):
+        events = self.with_journal(
+            journal(0.0, "a", "intent", seq=1),
+            journal(0.5, "a", "acked", seq=2),
+            journal(0.9, "a", "dispatched", seq=3),
+        )
+        assert "journal-monotonic" in invariants_of(check_trace(events))
+
+    def test_epoch_going_backwards_flagged(self):
+        events = self.with_journal(
+            journal(0.0, "a", "intent", seq=1, epoch=2),
+            journal(0.5, "a", "intent", seq=2, epoch=1),
+        )
+        assert "journal-monotonic" in invariants_of(check_trace(events))
+
+    def test_resumed_stream_may_start_mid_lineage(self):
+        """A continuation (first seq > 1) legally re-dispatches lineages
+        whose intent predates the resume."""
+        events = self.with_journal(
+            journal(0.0, "a", "dispatched", seq=7),
+            journal(1.0, "a", "acked", seq=8),
+        )
+        assert check_trace(events) == []
+
+
+class TestDedupedConservation:
+    def resubmitted(self, dup_trace=None):
+        """Two submits, one completion — a deduped duplicate delivery."""
+        events = run_events(protocol=True)
+        events.insert(-3, ev(0.5, TASK_SUBMIT, name="a", url="u",
+                             inputs=["in.txt"]))
+        if dup_trace is not None:
+            events.insert(-3, ev(0.6, DELIVERY_DUP, name="a",
+                                 trace=dup_trace, key="wf/a#0",
+                                 phase="done"))
+        return events
+
+    def test_missing_completion_without_dup_is_still_a_violation(self):
+        violations = check_trace(self.resubmitted(dup_trace=None))
+        assert "submit-completion" in invariants_of(violations)
+
+    def test_traced_dup_relaxes_conservation(self):
+        assert check_trace(self.resubmitted(dup_trace="wf-1")) == []
+
+    def test_untraced_dup_relaxes_conservation(self):
+        """The platform-side cache emits delivery.dup without a trace id
+        (it serves many runs); those still count for the run."""
+        assert check_trace(self.resubmitted(dup_trace="")) == []
+
+    def test_extra_completions_never_excused(self):
+        events = self.resubmitted(dup_trace="wf-1")
+        events.insert(-2, ev(0.9, TASK_END, name="a", status=200,
+                             started_at=0.5, finished_at=0.9))
+        events.insert(-2, ev(0.95, TASK_END, name="a", status=200,
+                             started_at=0.5, finished_at=0.95))
+        assert "submit-completion" in invariants_of(check_trace(events))
+
+
+class TestWalResumeNoReexec:
+    def test_submit_after_journal_ack_flagged(self):
+        events = run_events(protocol=True)
+        events.insert(3, journal(0.0, "a", "intent", seq=1))
+        events.insert(4, journal(0.0, "a", "dispatched", seq=2))
+        # Acked at 0.2, yet the same run submits "a" again at 0.5.
+        events.insert(5, journal(0.2, "a", "acked", seq=3))
+        events.insert(-3, ev(0.5, TASK_SUBMIT, name="a", url="u",
+                             inputs=["in.txt"]))
+        events.insert(-2, ev(0.9, TASK_END, name="a", status=200,
+                             started_at=0.5, finished_at=0.9))
+        assert "resume-no-reexec" in invariants_of(check_trace(events))
+
+    def test_submit_before_the_ack_is_fine(self):
+        events = run_events(protocol=True)
+        events.insert(-2, journal(0.0, "a", "intent", seq=1))
+        events.insert(-2, journal(0.0, "a", "dispatched", seq=2))
+        events.insert(-2, journal(1.0, "a", "acked", seq=3))
+        assert check_trace(events) == []

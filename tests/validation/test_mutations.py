@@ -1,7 +1,7 @@
-"""The sentinel mutations: three known bugs the fuzzer must catch.
+"""The sentinel mutations: four known bugs the fuzzer must catch.
 
 This is the mutation-score gate in miniature: a fuzzer change that
-stops catching any of these three — however green the normal campaign
+stops catching any of these four — however green the normal campaign
 looks — fails here (and in the CI ``fuzz-smoke`` job, which runs the
 same check through the ``repro-fuzz`` binary and the env flag).
 """
@@ -25,6 +25,9 @@ EXPECTED_CATCHER = {
     "seed-drift": "determinism",
     "lost-completion": "conservation",
     "bandwidth-inversion": "monotone-bandwidth",
+    # The ghost redelivery sheds its idempotency envelope, so the
+    # exactly-once-effects trace invariant is what fires.
+    "lost-ack": "invariants",
 }
 
 
@@ -40,12 +43,14 @@ class TestMutationLifecycle:
 
     def test_apply_and_clear_restore_originals(self):
         import repro.wfcommons.generator as generator
+        from repro.core.invocation import SimulatedInvoker
         from repro.core.manager import ServerlessWorkflowManager
         from repro.wfbench.model import WfBenchModel
 
         originals = (generator.derive_seed,
                      ServerlessWorkflowManager._trace_records,
-                     WfBenchModel.io_seconds_for_bytes)
+                     WfBenchModel.io_seconds_for_bytes,
+                     SimulatedInvoker.submit)
         for name in MUTATIONS:
             apply_mutation(name)
             assert active_mutation() == name
@@ -53,7 +58,8 @@ class TestMutationLifecycle:
             assert active_mutation() is None
         assert (generator.derive_seed,
                 ServerlessWorkflowManager._trace_records,
-                WfBenchModel.io_seconds_for_bytes) == originals
+                WfBenchModel.io_seconds_for_bytes,
+                SimulatedInvoker.submit) == originals
 
     def test_double_apply_rejected(self):
         apply_mutation("seed-drift")

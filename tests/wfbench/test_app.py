@@ -52,7 +52,8 @@ class TestHandle:
 
     def test_stats_shape(self, app):
         stats = app.stats()
-        assert set(stats) == {"workers", "active", "served", "failed"}
+        assert set(stats) == {"workers", "active", "served", "failed",
+                              "deduped", "rejectedChecksums"}
 
 
 class TestDeploymentPolicy:

@@ -1,0 +1,152 @@
+"""Server-side exactly-once semantics of the real WfBench app."""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.wfbench.app import AppConfig, WfBenchApp
+from repro.wfbench.spec import BenchRequest, BenchResponse, payload_checksum
+from repro.wfbench.workload import CpuCalibration, WorkloadEngine
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return CpuCalibration.measure(target_unit_seconds=0.0005)
+
+
+def make_app(tmp_path, calibration, **config):
+    engine = WorkloadEngine(base_dir=tmp_path, calibration=calibration)
+    return WfBenchApp(engine, AppConfig(workers=2, **config))
+
+
+def keyed_body(name="t", key="wf/t#0", **fields):
+    request = BenchRequest(name=name, cpu_work=1.0, out={f"{name}.txt": 10},
+                           idempotency_key=key, **fields)
+    return replace(request, checksum=payload_checksum(request)).dumps()
+
+
+def spy_engine(app):
+    calls = []
+    original = app.engine.execute
+
+    def spying(request):
+        calls.append(request.name)
+        return original(request)
+
+    app.engine.execute = spying
+    return calls
+
+
+class TestConfig:
+    def test_dedupe_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AppConfig(dedupe_capacity=-1)
+
+    def test_capacity_zero_disables_dedupe(self, tmp_path, calibration):
+        app = make_app(tmp_path, calibration, dedupe_capacity=0)
+        calls = spy_engine(app)
+        body = keyed_body()
+        assert app.handle(body).ok
+        assert not app.handle(body).deduped
+        assert len(calls) == 2
+
+
+class TestReplay:
+    def test_duplicate_is_served_from_the_record(self, tmp_path, calibration):
+        app = make_app(tmp_path, calibration)
+        calls = spy_engine(app)
+        body = keyed_body()
+        first = app.handle(body)
+        second = app.handle(body)
+        assert first.ok and not first.deduped
+        assert second.ok and second.deduped
+        assert calls == ["t"]  # the engine ran exactly once
+        assert app.deduped_requests == 1
+
+    def test_unkeyed_requests_always_execute(self, tmp_path, calibration):
+        app = make_app(tmp_path, calibration)
+        calls = spy_engine(app)
+        body = BenchRequest(name="t", cpu_work=1.0).dumps()
+        app.handle(body)
+        app.handle(body)
+        assert len(calls) == 2
+
+    def test_failed_first_delivery_stays_retryable(self, tmp_path,
+                                                   calibration):
+        """Only 2xx results are recorded: the retry of a genuine failure
+        must get a fresh execution under the same key."""
+        app = make_app(tmp_path, calibration)
+        calls = spy_engine(app)
+        request = BenchRequest(name="t", inputs=("missing.txt",),
+                               idempotency_key="wf/t#0")
+        body = replace(request,
+                       checksum=payload_checksum(request)).dumps()
+        assert app.handle(body).status == 409
+        assert app.handle(body).status == 409
+        assert len(calls) == 2
+        assert app.deduped_requests == 0
+
+    def test_lru_bound_is_enforced(self, tmp_path, calibration):
+        app = make_app(tmp_path, calibration, dedupe_capacity=2)
+        for i in range(4):
+            app.handle(keyed_body(name=f"t{i}", key=f"wf/t{i}#0"))
+        calls = spy_engine(app)
+        app.handle(keyed_body(name="t0", key="wf/t0#0"))  # evicted: reruns
+        app.handle(keyed_body(name="t3", key="wf/t3#0"))  # cached: replay
+        assert calls == ["t0"]
+
+
+class TestChecksum:
+    def test_tampered_payload_rejected_before_execution(self, tmp_path,
+                                                        calibration):
+        app = make_app(tmp_path, calibration)
+        calls = spy_engine(app)
+        request = BenchRequest(name="t", cpu_work=1.0,
+                               idempotency_key="wf/t#0")
+        tampered = replace(request, checksum=payload_checksum(request),
+                           cpu_work=64.0)
+        response = app.handle(tampered.dumps())
+        assert response.status == 400
+        assert "checksum" in response.error
+        assert calls == []  # never reached the engine
+        assert app.stats()["rejectedChecksums"] == 1
+
+
+class TestInflight:
+    def test_racing_duplicate_waits_instead_of_executing(self, tmp_path,
+                                                         calibration):
+        app = make_app(tmp_path, calibration)
+        started, release = threading.Event(), threading.Event()
+        original = app.engine.execute
+        calls = []
+
+        def gated(request):
+            calls.append(request.name)
+            started.set()
+            release.wait(10)
+            return original(request)
+
+        app.engine.execute = gated
+        body = keyed_body()
+        responses = []
+        threads = [threading.Thread(target=lambda: responses.append(
+            app.handle(body))) for _ in range(2)]
+        threads[0].start()
+        assert started.wait(10)  # first delivery is mid-execution
+        threads[1].start()
+        release.set()
+        for t in threads:
+            t.join()
+        assert calls == ["t"]  # the duplicate attached, never executed
+        assert sorted(r.deduped for r in responses) == [False, True]
+        assert all(r.ok for r in responses)
+
+
+class TestWireFormat:
+    def test_deduped_flag_roundtrips(self):
+        response = BenchResponse(name="t", status=200, deduped=True)
+        assert BenchResponse.from_json(response.to_json()).deduped
+
+    def test_deduped_flag_is_omitted_when_false(self):
+        assert '"deduped"' not in BenchResponse(name="t", status=200).dumps()
